@@ -1,0 +1,61 @@
+"""Benchmark harness: one benchmark per paper table/figure.
+
+Each benchmark runs the corresponding registered experiment exactly
+once (rounds=1 — these are end-to-end regenerations, not microbenches),
+prints the paper-vs-measured tables, appends them to
+``benchmarks/results/`` for EXPERIMENTS.md, and asserts the paper's
+qualitative claims (orderings, ratios, crossovers) on the measured
+rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro.analysis  # noqa: F401  (registers all experiments)
+from repro.analysis.report import render_result
+from repro.core import registry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_experiment(benchmark, results_dir):
+    """Run one registered experiment under the benchmark clock."""
+
+    def runner(experiment_id: str, **kwargs):
+        spec = registry.get(experiment_id)
+        result = benchmark.pedantic(
+            lambda: spec.run(**kwargs), rounds=1, iterations=1
+        )
+        rendered = render_result(result)
+        print()
+        print(rendered)
+        (results_dir / f"{experiment_id}.txt").write_text(rendered)
+        return result
+
+    return runner
+
+
+def rows_by(result, **criteria):
+    """All measured rows matching the criteria."""
+    return [
+        row
+        for row in result.rows
+        if all(row.get(key) == value for key, value in criteria.items())
+    ]
+
+
+def value_of(result, column, **criteria):
+    """The single matching row's column value."""
+    matches = rows_by(result, **criteria)
+    assert len(matches) == 1, f"expected 1 row for {criteria}, got {len(matches)}"
+    return matches[0][column]

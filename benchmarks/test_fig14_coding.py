@@ -1,0 +1,30 @@
+"""Benchmark for Figure 14 — rate vs temporal spike coding."""
+
+
+def accuracy_at(result, coding, neurons):
+    return result.find_row(coding=coding, neurons=neurons)["accuracy"]
+
+
+def test_fig14_coding_schemes(run_experiment):
+    result = run_experiment("fig14")
+    sizes = sorted({row["neurons"] for row in result.rows})
+    largest = sizes[-1]
+
+    # The paper's central Figure 14 claim: rate coding beats both
+    # temporal codings (91.82% vs 82.14% at 300 neurons).
+    rate = accuracy_at(result, "rate (Gaussian)", largest)
+    rank = accuracy_at(result, "rank order", largest)
+    ttfs = accuracy_at(result, "time-to-first-spike", largest)
+    assert rate > rank
+    assert rate > ttfs
+    assert rate - max(rank, ttfs) > 3.0
+
+    # All schemes improve with network size from the smallest network.
+    for coding in ("rate (Gaussian)", "rank order", "time-to-first-spike"):
+        small = accuracy_at(result, coding, sizes[0])
+        large = accuracy_at(result, coding, largest)
+        assert large > small - 5.0
+
+    # Section 4.2.2's companion check: Gaussian rate coding performs
+    # like the Poisson rate coding used in Table 3 (no free fall).
+    assert rate > 40.0

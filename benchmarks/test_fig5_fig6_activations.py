@@ -1,0 +1,32 @@
+"""Benchmarks for Figures 5 and 6 — sigmoid-to-step bridging."""
+
+
+def test_fig5_activation_profiles(run_experiment):
+    result = run_experiment("fig5")
+    # Deviation from the step decreases monotonically with slope a.
+    deviations = [
+        row["max_dev_from_step"]
+        for row in result.rows
+        if row["activation"].startswith("sigmoid")
+    ]
+    assert all(b < a for a, b in zip(deviations, deviations[1:]))
+    assert result.find_row(activation="step [0/1]")["max_dev_from_step"] == 0.0
+
+
+def test_fig6_bridging(run_experiment):
+    result = run_experiment("fig6")
+    errors = {row["activation"]: row["error_percent"] for row in result.rows}
+
+    # The paper's claim: the step-function error is approached from
+    # below as a grows — i.e. the threshold nonlinearity costs little
+    # and the ordering error(a=1) <= error(step) holds (up to noise).
+    assert errors["step [0/1]"] >= errors["sigmoid(a=1)"] - 1.0
+
+    # The whole bridge spans only a few points of error (paper: the
+    # range 2.35% -> 2.90%), not a collapse: even the hard step trains.
+    assert errors["step [0/1]"] - errors["sigmoid(a=1)"] < 10.0
+    for activation, error in errors.items():
+        assert error < 50.0, f"{activation} failed to train"
+
+    # The large-slope sigmoid behaves like the step.
+    assert abs(errors["sigmoid(a=16)"] - errors["step [0/1]"]) < 6.0

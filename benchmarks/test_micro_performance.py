@@ -1,0 +1,97 @@
+"""Microbenchmarks of the library's hot paths.
+
+Unlike the table/figure benches (single-shot regenerations), these use
+pytest-benchmark's normal multi-round timing to track the throughput
+of the simulation kernels: spike encoding, SNN presentations, MLP
+forward/backward passes, quantized inference and the cycle-accurate
+simulators.  They guard against performance regressions in the code
+the reproduction spends all its time in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPConfig, SNNConfig, mnist_snn_config
+from repro.datasets.digits import load_digits
+from repro.hardware.cyclesim import FoldedMLPSimulator
+from repro.hardware.folded import folded_mlp, folded_snn_wot
+from repro.mlp.network import MLP
+from repro.mlp.quantized import QuantizedMLP
+from repro.mlp.trainer import BackPropTrainer
+from repro.snn.coding import PoissonCoder
+from repro.snn.network import SpikingNetwork
+
+
+@pytest.fixture(scope="module")
+def image():
+    train, _ = load_digits(n_train=20, n_test=10)
+    return train.images[0]
+
+
+@pytest.fixture(scope="module")
+def batch():
+    train, _ = load_digits(n_train=64, n_test=10)
+    return train.normalized()
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return MLP(MLPConfig(n_hidden=100).validate())
+
+
+@pytest.fixture(scope="module")
+def snn():
+    network = SpikingNetwork(mnist_snn_config())
+    network.population.thresholds[:] = 2e5  # realistic operating point
+    return network
+
+
+def test_perf_poisson_encode(benchmark, image):
+    coder = PoissonCoder()
+    rng = np.random.default_rng(0)
+    train = benchmark(lambda: coder.encode(image, rng=rng))
+    assert train.n_spikes > 100
+
+
+def test_perf_snn_presentation(benchmark, snn, image):
+    rng = np.random.default_rng(0)
+    train = snn.coder.encode(image, rng=rng)
+    result = benchmark(lambda: snn.present(train))
+    assert result.final_potentials is not None
+
+
+def test_perf_mlp_forward_batch(benchmark, mlp, batch):
+    trace = benchmark(lambda: mlp.forward(batch))
+    assert trace.output_out.shape == (64, 10)
+
+
+def test_perf_mlp_training_step(benchmark, mlp, batch):
+    trainer = BackPropTrainer(mlp, batch_size=64)
+    labels = np.arange(64) % 10
+    loss = benchmark(lambda: trainer.train_batch(batch, labels))
+    assert loss >= 0.0
+
+
+def test_perf_quantized_inference(benchmark, mlp, batch):
+    quantized = QuantizedMLP(mlp)
+    predictions = benchmark(lambda: quantized.predict(batch))
+    assert predictions.shape == (64,)
+
+
+def test_perf_cyclesim_image(benchmark, mlp, batch):
+    simulator = FoldedMLPSimulator(QuantizedMLP(mlp), ni=16)
+    _codes, trace = benchmark(lambda: simulator.run_image(batch[0]))
+    assert trace.cycles == simulator.cycles_per_image()
+
+
+def test_perf_hardware_model(benchmark):
+    from repro.core.config import mnist_mlp_config
+
+    mlp_cfg = mnist_mlp_config()
+    snn_cfg = mnist_snn_config()
+
+    def evaluate_design_points():
+        return [folded_mlp(mlp_cfg, 16), folded_snn_wot(snn_cfg, 16)]
+
+    reports = benchmark(evaluate_design_points)
+    assert reports[0].total_area_mm2 > 0

@@ -1,0 +1,25 @@
+"""Benchmark for the large-scale crossover extension (Conclusions)."""
+
+
+def test_scale_study(run_experiment):
+    result = run_experiment("scale-study")
+    rows = sorted(result.rows, key=lambda r: r["n_inputs"])
+    assert len(rows) >= 3
+
+    # Expanded designs: the SNN wins at *every* scale (MLP/SNN > 1 in
+    # both area and time), and the advantage is scale-stable.
+    expanded_area = [r["expanded_mlp_over_snn_area"] for r in rows]
+    expanded_time = [r["expanded_mlp_over_snn_time"] for r in rows]
+    assert all(v > 1.3 for v in expanded_area)
+    assert all(v > 1.3 for v in expanded_time)
+    assert max(expanded_area) - min(expanded_area) < 0.5  # stable in scale
+
+    # Folded designs: the MLP wins at every scale, and its advantage
+    # *grows* as the SNN's 3x synaptic storage dominates.
+    folded = [r["folded_snn_over_mlp_area"] for r in rows]
+    assert all(v > 1.0 for v in folded)
+    assert folded[-1] > folded[0]
+
+    # The paper's MNIST point sits on the sweep with its Table 7 ratio.
+    mnist = result.find_row(input="28x28")
+    assert 2.0 < mnist["folded_snn_over_mlp_area"] < 3.0

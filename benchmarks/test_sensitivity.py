@@ -1,0 +1,32 @@
+"""Benchmark for the hyper-parameter sensitivity study (Section 3.1)."""
+
+
+def best_of(result, parameter):
+    rows = [r for r in result.rows if r["parameter"] == parameter]
+    return max(rows, key=lambda r: r["accuracy"])
+
+
+def chosen_of(result, parameter):
+    (row,) = [r for r in result.rows if r["parameter"] == parameter and r["chosen"]]
+    return row
+
+
+def test_sensitivity_study(run_experiment):
+    result = run_experiment("sensitivity")
+
+    # The paper's headline observation: the best leak constant is far
+    # above the bio-plausible ~50 ms (their best was 500 ms).
+    leak_rows = {r["value"]: r["accuracy"] for r in result.rows if r["parameter"] == "t_leak_ms"}
+    assert max(leak_rows[500.0], leak_rows[1000.0]) > leak_rows[50.0] - 2.0
+    assert best_of(result, "t_leak_ms")["value"] >= 150.0
+
+    # The Table 1 chosen value of every parameter is competitive:
+    # within a few points of the best value in its sweep.
+    for parameter in ("t_leak_ms", "t_ltp_ms", "t_period_ms"):
+        best = best_of(result, parameter)["accuracy"]
+        chosen = chosen_of(result, parameter)["accuracy"]
+        assert chosen > best - 6.0, f"{parameter}: chosen {chosen} vs best {best}"
+
+    # Everything in the sweeps trains well above chance.
+    for row in result.rows:
+        assert row["accuracy"] > 25.0

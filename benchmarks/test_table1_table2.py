@@ -1,0 +1,18 @@
+"""Benchmarks for Tables 1 and 2 (configuration and literature context)."""
+
+
+def test_table1_config(run_experiment):
+    result = run_experiment("table1")
+    # Every regenerated parameter must equal the paper's chosen value.
+    paper = {(r["model"], r["parameter"]): r["value"] for r in result.paper_rows}
+    for row in result.rows:
+        assert paper[(row["model"], row["parameter"])] == row["value"]
+
+
+def test_table2_reference(run_experiment):
+    result = run_experiment("table2")
+    accuracies = {row["model"]: row["accuracy"] for row in result.rows}
+    # The literature landscape the paper frames its study in:
+    # MLP+BP above the SNN+STDP results, deep nets above everything.
+    assert accuracies["MLP+BP (Simard et al.)"] > accuracies["SNN+STDP (Querlioz et al.)"]
+    assert accuracies["MCDNN (Ciresan et al.)"] > accuracies["MLP+BP (Simard et al.)"]

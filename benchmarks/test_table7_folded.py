@@ -1,0 +1,41 @@
+"""Benchmark for Table 7 — the central folded/expanded design table."""
+
+import pytest
+
+
+def test_table7_folded(run_experiment):
+    result = run_experiment("table7")
+    paper = {(r["design"], r["ni"]): r for r in result.paper_rows}
+    for row in result.rows:
+        reference = paper[(row["design"], row["ni"])]
+        assert row["total_mm2"] == pytest.approx(reference["total_mm2"], rel=0.10)
+        assert row["cycles"] == pytest.approx(reference["cycles"], rel=0.02)
+
+    # Conclusion (Section 4.3.3): the expanded ranking flips when
+    # designs are folded to realistic footprints.
+    for ni in ("1", "4", "8", "16"):
+        mlp = result.find_row(design="MLP", ni=ni)
+        wot = result.find_row(design="SNNwot", ni=ni)
+        assert mlp["total_mm2"] < wot["total_mm2"]
+        assert mlp["energy_uj"] < wot["energy_uj"]
+    assert (
+        result.find_row(design="MLP", ni="expanded")["total_mm2"]
+        > result.find_row(design="SNNwot", ni="expanded")["total_mm2"]
+    )
+
+    # The ni=16 ratios the paper quotes: 2.57x area, 2.41x energy.
+    mlp16 = result.find_row(design="MLP", ni="16")
+    wot16 = result.find_row(design="SNNwot", ni="16")
+    assert wot16["total_mm2"] / mlp16["total_mm2"] == pytest.approx(2.57, rel=0.15)
+    assert wot16["energy_uj"] / mlp16["energy_uj"] == pytest.approx(2.41, rel=0.25)
+
+    # SNNwt is cost-competitive but 500x slower (one cycle per ms).
+    wt16 = result.find_row(design="SNNwt", ni="16")
+    assert wt16["total_mm2"] < wot16["total_mm2"]
+    assert wt16["cycles"] == 500 * wot16["cycles"]
+
+    # Folding shrinks the MLP by the paper's ~39x (ni=16) to ~76x (ni=1)
+    # relative to expanded (total-area basis).
+    mlp_expanded = result.find_row(design="MLP", ni="expanded")["total_mm2"]
+    assert mlp_expanded / mlp16["total_mm2"] > 10
+    assert mlp_expanded / result.find_row(design="MLP", ni="1")["total_mm2"] > 50

@@ -1,0 +1,41 @@
+"""Benchmark for Table 8 — speedups and energy benefits over the GPU."""
+
+import pytest
+
+
+def test_table8_gpu(run_experiment):
+    result = run_experiment("table8")
+    paper = {(r["design"], r["ni"]): r for r in result.paper_rows}
+    for row in result.rows:
+        reference = paper[(row["design"], row["ni"])]
+        assert row["speedup"] == pytest.approx(reference["speedup"], rel=0.30)
+        if (row["design"], row["ni"]) == ("SNNwot", "expanded"):
+            # The paper's own Tables 7 and 8 disagree on this cell by
+            # ~3x: Table 7 reports 0.03 uJ for the expanded SNNwot but
+            # Table 8's 31,542x benefit implies ~0.09 uJ.  We calibrate
+            # to Table 7, so our benefit lands near 95,000x; assert the
+            # direction and magnitude class only (see EXPERIMENTS.md).
+            assert row["energy_benefit"] > 10_000
+            continue
+        assert row["energy_benefit"] == pytest.approx(
+            reference["energy_benefit"], rel=0.30
+        )
+
+    # The paper's standout observations:
+    # 1. folded SNNwt at ni=1 is *slower* than the GPU;
+    assert result.find_row(design="SNNwt", ni="1")["speedup"] < 1.0
+    # 2. everything else beats the GPU handily;
+    for design, ni in (("MLP", "1"), ("MLP", "16"), ("SNNwot", "1"), ("SNNwot", "16")):
+        assert result.find_row(design=design, ni=ni)["speedup"] > 10.0
+    # 3. energy benefits are orders of magnitude for MLP and SNNwot,
+    #    but only ~1 order for SNNwt;
+    assert result.find_row(design="MLP", ni="16")["energy_benefit"] > 1_000
+    assert result.find_row(design="SNNwot", ni="16")["energy_benefit"] > 1_000
+    assert result.find_row(design="SNNwt", ni="16")["energy_benefit"] < 100
+    # 4. speedups grow with parallelism (ni=16 > ni=1 > ... reversed for
+    #    the fully expanded points, which are fastest).
+    for design in ("MLP", "SNNwot"):
+        s1 = result.find_row(design=design, ni="1")["speedup"]
+        s16 = result.find_row(design=design, ni="16")["speedup"]
+        s_exp = result.find_row(design=design, ni="expanded")["speedup"]
+        assert s_exp > s16 > s1

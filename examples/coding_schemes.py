@@ -1,0 +1,61 @@
+"""Spike coding schemes: rate vs temporal coding (Figure 14, Sec 4.2.2).
+
+Compares the four pixel-to-spike conversions on the same SNN:
+
+* Poisson rate coding (the software reference),
+* Gaussian rate coding (what the hardware's 4-LFSR CLT generator
+  produces — the paper found it costs no accuracy),
+* rank-order coding and time-to-first-spike coding (the temporal
+  schemes the paper found significantly less accurate).
+
+Also demonstrates the bit-exact hardware Gaussian RNG driving spike
+intervals.
+
+Run:  python examples/coding_schemes.py
+"""
+
+from repro import SNNTrainer, SpikingNetwork, load_digits, mnist_snn_config
+from repro.hardware import HardwareGaussian
+from repro.snn import (
+    GaussianCoder,
+    PoissonCoder,
+    RankOrderCoder,
+    TimeToFirstSpikeCoder,
+)
+
+
+def main() -> None:
+    train_set, test_set = load_digits(n_train=1000, n_test=250)
+    config = mnist_snn_config(epochs=2).with_neurons(100)
+    duration = config.t_period
+    interval = config.min_spike_interval
+
+    coders = [
+        PoissonCoder(duration, interval),
+        GaussianCoder(duration, interval),
+        RankOrderCoder(duration, interval),
+        TimeToFirstSpikeCoder(duration, interval),
+    ]
+    print(f"{'coding scheme':<22}{'spikes/image':>14}{'accuracy':>10}")
+    print("-" * 46)
+    for coder in coders:
+        spikes = coder.encode(train_set.images[0], rng=0).n_spikes
+        network = SpikingNetwork(config, coder=coder)
+        trainer = SNNTrainer(network)
+        trainer.fit(train_set)
+        accuracy = trainer.evaluate(test_set).accuracy_percent
+        print(f"{coder.name:<22}{spikes:>14}{accuracy:>9.1f}%")
+
+    print("\nPaper's findings to compare against: Gaussian ~ Poisson")
+    print("(Section 4.2.2), temporal coding well below rate coding")
+    print("(Figure 14: 82.14% vs 91.82% at 300 neurons).")
+
+    print("\nHardware Gaussian RNG (4 x 31-bit LFSR, x^31+x^3+1):")
+    rng = HardwareGaussian(seeds=[1, 0x1234567, 0x7654321, 0x2468ACE])
+    intervals = rng.intervals(mean=50.0, n=8)
+    formatted = ", ".join(f"{v:.1f}" for v in intervals)
+    print(f"  spike intervals at 20 Hz mean rate (ms): {formatted}")
+
+
+if __name__ == "__main__":
+    main()

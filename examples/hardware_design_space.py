@@ -1,0 +1,85 @@
+"""Hardware design-space exploration (the Table 7 sweep).
+
+Walks the fold factor ni through 1, 4, 8, 16 and the fully expanded
+designs for all three accelerators (MLP, SNNwot, SNNwt), printing
+area / delay / cycles / energy, the SNN-over-MLP cost ratios, and the
+GPU comparison — the data behind the paper's central hardware claims.
+
+Run:  python examples/hardware_design_space.py
+"""
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.hardware import (
+    FOLD_FACTORS,
+    MLP_GPU,
+    SNN_GPU,
+    expanded_mlp,
+    expanded_snn_wot,
+    expanded_snn_wt,
+    folded_mlp,
+    folded_snn_wot,
+    folded_snn_wt,
+)
+
+
+def main() -> None:
+    mlp_cfg = mnist_mlp_config()
+    snn_cfg = mnist_snn_config()
+
+    print("Folded design points (65nm cost model):")
+    header = f"{'design':<18}{'ni':>4}{'area mm2':>10}{'delay ns':>10}{'cycles':>8}{'uJ/img':>10}"
+    print(header)
+    print("-" * len(header))
+    for ni in FOLD_FACTORS:
+        for fn, cfg in (
+            (folded_mlp, mlp_cfg),
+            (folded_snn_wot, snn_cfg),
+            (folded_snn_wt, snn_cfg),
+        ):
+            r = fn(cfg, ni)
+            print(
+                f"{r.name.split(' ni=')[0]:<18}{ni:>4}"
+                f"{r.total_area_mm2:>10.2f}{r.delay_ns:>10.2f}"
+                f"{r.cycles_per_image:>8}{r.energy_per_image_uj:>10.3g}"
+            )
+    print("\nExpanded designs:")
+    for fn, cfg in (
+        (expanded_mlp, mlp_cfg),
+        (expanded_snn_wot, snn_cfg),
+        (expanded_snn_wt, snn_cfg),
+    ):
+        print(f"  {fn(cfg).summary()}")
+
+    print("\nKey ratios (the paper's Section 4.3.3 conclusions):")
+    mlp16 = folded_mlp(mlp_cfg, 16)
+    wot16 = folded_snn_wot(snn_cfg, 16)
+    mlp_exp = expanded_mlp(mlp_cfg)
+    wot_exp = expanded_snn_wot(snn_cfg)
+    print(
+        f"  expanded: MLP / SNNwot area = "
+        f"{mlp_exp.total_area_mm2 / wot_exp.total_area_mm2:.2f}x (SNN wins)"
+    )
+    print(
+        f"  folded ni=16: SNNwot / MLP area = "
+        f"{wot16.total_area_mm2 / mlp16.total_area_mm2:.2f}x (MLP wins; paper 2.57x)"
+    )
+    print(
+        f"  folded ni=16: SNNwot / MLP energy = "
+        f"{wot16.energy_per_image_uj / mlp16.energy_per_image_uj:.2f}x (paper 2.41x)"
+    )
+
+    print("\nSpeedup / energy benefit over the K20M GPU (Table 8):")
+    for label, report, gpu in (
+        ("MLP ni=16", mlp16, MLP_GPU),
+        ("SNNwot ni=16", wot16, SNN_GPU),
+        ("MLP expanded", mlp_exp, MLP_GPU),
+        ("SNNwot expanded", wot_exp, SNN_GPU),
+    ):
+        print(
+            f"  {label:<16} speedup {gpu.speedup_of(report):>8.1f}x   "
+            f"energy {gpu.energy_benefit_of(report):>9.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

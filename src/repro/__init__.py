@@ -1,0 +1,79 @@
+"""repro — reproduction of Du et al., "Neuromorphic Accelerators: A
+Comparison Between Neuroscience and Machine-Learning Approaches"
+(MICRO 2015).
+
+The package compares the two accelerator families the paper studies:
+
+* ``repro.mlp`` — the machine-learning model (MLP + Back-Propagation);
+* ``repro.snn`` — the neuroscience model (single-layer LIF SNN with
+  STDP, homeostasis and winner-takes-all dynamics, plus the SNNwot and
+  SNN+BP variants);
+* ``repro.hardware`` — the 65nm hardware cost models (spatially
+  expanded and folded designs, SRAM storage, STDP online-learning
+  circuit, GPU and TrueNorth references) and a cycle-accurate folded
+  datapath simulator;
+* ``repro.datasets`` — synthetic stand-ins for MNIST, MPEG-7 and
+  Spoken Arabic Digits;
+* ``repro.analysis`` — regeneration of every quantitative table and
+  figure of the paper.
+
+Quickstart::
+
+    from repro import load_digits, mnist_mlp_config, train_mlp, evaluate_mlp
+    train, test = load_digits(n_train=1000, n_test=200)
+    mlp = train_mlp(mnist_mlp_config(epochs=10), train)
+    print(evaluate_mlp(mlp, test).summary())
+"""
+
+from .core import (
+    MLPConfig,
+    SNNConfig,
+    ReproError,
+    mnist_mlp_config,
+    mnist_snn_config,
+    mpeg7_mlp_config,
+    mpeg7_snn_config,
+    sad_mlp_config,
+    sad_snn_config,
+)
+from .datasets import Dataset, load_digits, load_shapes, load_spoken
+from .mlp import MLP, QuantizedMLP, evaluate_mlp, train_mlp
+from .snn import (
+    BackPropSNN,
+    SNNTrainer,
+    SNNWithoutTime,
+    SpikingNetwork,
+    evaluate_snn,
+    train_snn,
+    train_snn_bp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MLPConfig",
+    "SNNConfig",
+    "ReproError",
+    "mnist_mlp_config",
+    "mnist_snn_config",
+    "mpeg7_mlp_config",
+    "mpeg7_snn_config",
+    "sad_mlp_config",
+    "sad_snn_config",
+    "Dataset",
+    "load_digits",
+    "load_shapes",
+    "load_spoken",
+    "MLP",
+    "QuantizedMLP",
+    "train_mlp",
+    "evaluate_mlp",
+    "SpikingNetwork",
+    "SNNTrainer",
+    "SNNWithoutTime",
+    "BackPropSNN",
+    "train_snn",
+    "evaluate_snn",
+    "train_snn_bp",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Regeneration of every quantitative table and figure of the paper.
+
+Importing this package registers all experiments (one per paper
+artifact) in :mod:`repro.core.registry`; use
+:func:`repro.analysis.report.full_report` or the benchmark suite to
+run them.
+"""
+
+from ..core import registry
+from . import (  # noqa: F401
+    figures,
+    scale_study,
+    sensitivity,
+    tables_accuracy,
+    tables_hardware,
+    workloads,
+)
+from .report import full_report, render_result, render_table, run_and_render
+from .visualize import (
+    ascii_image,
+    dataset_contact_sheet,
+    potential_trace,
+    receptive_field_sheet,
+    spike_raster,
+    write_pgm,
+)
+
+__all__ = [
+    "registry",
+    "full_report",
+    "run_and_render",
+    "render_result",
+    "render_table",
+    "ascii_image",
+    "spike_raster",
+    "potential_trace",
+    "write_pgm",
+    "receptive_field_sheet",
+    "dataset_contact_sheet",
+]

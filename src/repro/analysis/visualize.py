@@ -1,0 +1,151 @@
+"""Text/PGM visualization helpers (no plotting dependencies).
+
+The paper's Figures 3 (spike raster + potential traces) and 9 (layout
+thumbnails) are illustrations; this module provides equivalents that
+work in a terminal or as portable graymap files:
+
+* :func:`ascii_image` — an 8-bit image as ASCII art (receptive fields,
+  dataset samples);
+* :func:`spike_raster` — a Figure 3-style raster of one presentation;
+* :func:`potential_trace` — per-neuron potential-vs-time sparkline;
+* :func:`write_pgm` / :func:`receptive_field_sheet` — lossless P2 PGM
+  export of weights/images for external viewers.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ReproError
+from ..snn.coding import SpikeTrain
+
+#: Luminance ramp for ASCII rendering (dark to bright).
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: Optional[int] = None) -> str:
+    """Render a 2-D array as ASCII art, normalizing to its own range."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 1:
+        side = int(round(math.sqrt(image.size)))
+        if side * side != image.size:
+            raise ReproError(f"cannot square-reshape {image.size} pixels")
+        image = image.reshape(side, side)
+    if image.ndim != 2:
+        raise ReproError(f"expected a 2-D image, got shape {image.shape}")
+    lo, hi = float(image.min()), float(image.max())
+    span = hi - lo if hi > lo else 1.0
+    normalized = (image - lo) / span
+    indices = np.minimum(
+        (normalized * len(ASCII_RAMP)).astype(int), len(ASCII_RAMP) - 1
+    )
+    lines = ["".join(ASCII_RAMP[i] for i in row) for row in indices]
+    return "\n".join(lines)
+
+
+def spike_raster(
+    train: SpikeTrain,
+    n_rows: int = 24,
+    n_bins: int = 60,
+) -> str:
+    """A Figure 3-style input-spike raster (one sampled input per row)."""
+    if n_rows < 1 or n_bins < 1:
+        raise ReproError("raster needs at least one row and one bin")
+    sampled = np.linspace(0, train.n_inputs - 1, min(n_rows, train.n_inputs))
+    lines = []
+    for raw in sampled:
+        pixel = int(round(raw))
+        mask = train.inputs == pixel
+        bins = np.minimum(
+            (train.times[mask] / max(train.duration, 1e-9) * n_bins).astype(int),
+            n_bins - 1,
+        )
+        row = ["."] * n_bins
+        for b in bins:
+            row[b] = "|"
+        lines.append(f"{pixel:>4} {''.join(row)}")
+    header = f"time 0 .. {train.duration:g} ms ({train.n_spikes} spikes total)"
+    return header + "\n" + "\n".join(lines)
+
+
+def potential_trace(
+    potentials_over_time: np.ndarray,
+    thresholds: Optional[np.ndarray] = None,
+    width: int = 60,
+) -> str:
+    """Sparkline of each neuron's potential over time (Figure 3 right).
+
+    ``potentials_over_time`` is (T, n_neurons); an ``x`` marks the
+    first threshold crossing when thresholds are given.
+    """
+    potentials_over_time = np.asarray(potentials_over_time, dtype=np.float64)
+    if potentials_over_time.ndim != 2:
+        raise ReproError("potentials_over_time must be (T, n_neurons)")
+    steps, n_neurons = potentials_over_time.shape
+    sample = np.linspace(0, steps - 1, min(width, steps)).astype(int)
+    ramp = " _.-=*#"
+    peak = max(float(potentials_over_time.max()), 1e-9)
+    lines = []
+    for neuron in range(n_neurons):
+        trace = potentials_over_time[sample, neuron] / peak
+        chars = [ramp[min(int(v * (len(ramp) - 1) + 0.5), len(ramp) - 1)] for v in np.clip(trace, 0, 1)]
+        if thresholds is not None:
+            crossed = np.flatnonzero(
+                potentials_over_time[sample, neuron] >= thresholds[neuron]
+            )
+            if crossed.size:
+                chars[crossed[0]] = "x"
+        lines.append(f"n{neuron:<3} {''.join(chars)}")
+    return "\n".join(lines)
+
+
+def write_pgm(path, image: np.ndarray, max_value: int = 255) -> pathlib.Path:
+    """Write a 2-D array as an ASCII (P2) PGM file, self-normalized."""
+    path = pathlib.Path(path)
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ReproError(f"expected a 2-D image, got shape {image.shape}")
+    lo, hi = float(image.min()), float(image.max())
+    span = hi - lo if hi > lo else 1.0
+    pixels = np.round((image - lo) / span * max_value).astype(int)
+    lines = [f"P2", f"{image.shape[1]} {image.shape[0]}", str(max_value)]
+    for row in pixels:
+        lines.append(" ".join(str(v) for v in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def receptive_field_sheet(
+    weights: np.ndarray,
+    side: int,
+    columns: int = 10,
+    pad: int = 1,
+) -> np.ndarray:
+    """Tile per-neuron receptive fields into one sheet image.
+
+    ``weights`` is (n_neurons, side*side); returns a 2-D array ready
+    for :func:`write_pgm` or :func:`ascii_image`.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != side * side:
+        raise ReproError(
+            f"weights must be (n, {side * side}), got {weights.shape}"
+        )
+    n = weights.shape[0]
+    columns = max(1, min(columns, n))
+    rows = math.ceil(n / columns)
+    sheet = np.zeros((rows * (side + pad) - pad, columns * (side + pad) - pad))
+    for index in range(n):
+        r, c = divmod(index, columns)
+        top, left = r * (side + pad), c * (side + pad)
+        sheet[top : top + side, left : left + side] = weights[index].reshape(side, side)
+    return sheet
+
+
+def dataset_contact_sheet(images: np.ndarray, side: int, columns: int = 10) -> np.ndarray:
+    """Tile dataset samples the same way (for eyeballing generators)."""
+    return receptive_field_sheet(np.asarray(images, dtype=np.float64), side, columns)

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — list every registered experiment;
+* ``report [ids...]``           — run experiments (default: all) and
+                                  print paper-vs-measured tables;
+* ``recommend [options]``       — the Section 7 designer guidance;
+* ``sample <dataset>``          — ASCII contact sheet of a workload;
+* ``fields``                    — train a small SNN and show its
+                                  receptive fields as ASCII art.
+
+The CLI is a thin shell over :mod:`repro.analysis`; everything it does
+is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis  # noqa: F401  (registers experiments)
+from .analysis.report import run_and_render
+from .analysis.visualize import ascii_image, dataset_contact_sheet
+from .core import registry
+from .core.config import mnist_mlp_config, mnist_snn_config
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for spec in registry.iter_specs():
+        location = f" ({spec.paper_location})" if spec.paper_location else ""
+        print(f"{spec.experiment_id:<8} {spec.title}{location}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    ids = args.ids or registry.all_ids()
+    for experiment_id in ids:
+        print(run_and_render(experiment_id))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .hardware.explorer import Requirements, recommend
+
+    requirements = Requirements(
+        max_area_mm2=args.max_area,
+        max_latency_us=args.max_latency,
+        max_energy_uj=args.max_energy,
+        needs_online_learning=args.online_learning,
+        accuracy_critical=args.accuracy_critical,
+    )
+    result = recommend(
+        requirements, mnist_mlp_config(), mnist_snn_config(), prefer=args.prefer
+    )
+    print(result.summary())
+    return 0 if result.chosen is not None else 1
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from .datasets import load_digits, load_shapes, load_spoken
+
+    loaders = {"digits": load_digits, "shapes": load_shapes, "spoken": load_spoken}
+    if args.dataset not in loaders:
+        print(f"unknown dataset {args.dataset!r}; choose from {sorted(loaders)}")
+        return 1
+    train, _test = loaders[args.dataset](n_train=max(args.count, 10), n_test=10)
+    side = train.side
+    sheet = dataset_contact_sheet(
+        train.images[: args.count].astype(float), side, columns=args.columns
+    )
+    print(ascii_image(sheet))
+    return 0
+
+
+def _cmd_fields(args: argparse.Namespace) -> int:
+    from .analysis.visualize import receptive_field_sheet
+    from .datasets import load_digits
+    from .snn.network import SNNTrainer, SpikingNetwork
+
+    train, _test = load_digits(n_train=args.images, n_test=10)
+    config = mnist_snn_config(epochs=args.epochs).with_neurons(args.neurons)
+    network = SpikingNetwork(config)
+    SNNTrainer(network).fit(train)
+    sheet = receptive_field_sheet(network.weights, side=28, columns=args.columns)
+    print(ascii_image(sheet))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Neuromorphic Accelerators' (MICRO 2015)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    report = subparsers.add_parser("report", help="run experiments and print tables")
+    report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    report.set_defaults(fn=_cmd_report)
+
+    recommend_parser = subparsers.add_parser(
+        "recommend", help="designer guidance (paper question 3)"
+    )
+    recommend_parser.add_argument("--max-area", type=float, default=None)
+    recommend_parser.add_argument("--max-latency", type=float, default=None)
+    recommend_parser.add_argument("--max-energy", type=float, default=None)
+    recommend_parser.add_argument("--online-learning", action="store_true")
+    recommend_parser.add_argument("--accuracy-critical", action="store_true")
+    recommend_parser.add_argument(
+        "--prefer", choices=("area", "energy", "latency", "power"), default="energy"
+    )
+    recommend_parser.set_defaults(fn=_cmd_recommend)
+
+    sample = subparsers.add_parser("sample", help="ASCII contact sheet of a dataset")
+    sample.add_argument("dataset", help="digits | shapes | spoken")
+    sample.add_argument("--count", type=int, default=10)
+    sample.add_argument("--columns", type=int, default=5)
+    sample.set_defaults(fn=_cmd_sample)
+
+    fields = subparsers.add_parser("fields", help="show trained SNN receptive fields")
+    fields.add_argument("--neurons", type=int, default=20)
+    fields.add_argument("--images", type=int, default=300)
+    fields.add_argument("--epochs", type=int, default=1)
+    fields.add_argument("--columns", type=int, default=5)
+    fields.set_defaults(fn=_cmd_fields)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core infrastructure: configuration, metrics, experiments, RNG, errors."""
+
+from .config import (
+    MLPConfig,
+    SNNConfig,
+    mnist_mlp_config,
+    mnist_snn_config,
+    mpeg7_mlp_config,
+    mpeg7_snn_config,
+    sad_mlp_config,
+    sad_snn_config,
+)
+from .errors import (
+    ConfigError,
+    DatasetError,
+    ExperimentError,
+    HardwareModelError,
+    ReproError,
+    SimulationError,
+    TrainingError,
+)
+from .experiment import ExperimentResult, ExperimentSpec, run_timed
+from .metrics import EvaluationResult, accuracy, confusion_matrix, error_rate, evaluate
+from .rng import DEFAULT_SEED, child_rng, make_rng, spawn_rngs
+from .serialization import load_mlp, load_model, load_snn, save_mlp, save_snn
+
+__all__ = [
+    "MLPConfig",
+    "SNNConfig",
+    "mnist_mlp_config",
+    "mnist_snn_config",
+    "mpeg7_mlp_config",
+    "mpeg7_snn_config",
+    "sad_mlp_config",
+    "sad_snn_config",
+    "ReproError",
+    "ConfigError",
+    "DatasetError",
+    "TrainingError",
+    "HardwareModelError",
+    "SimulationError",
+    "ExperimentError",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_timed",
+    "EvaluationResult",
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "evaluate",
+    "make_rng",
+    "child_rng",
+    "spawn_rngs",
+    "DEFAULT_SEED",
+    "save_mlp",
+    "load_mlp",
+    "save_snn",
+    "load_snn",
+    "load_model",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`
+so callers can catch library failures without catching unrelated
+built-in exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A model or hardware configuration is invalid or inconsistent."""
+
+
+class DatasetError(ReproError):
+    """A dataset request cannot be satisfied (bad shape, class count, split)."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was invoked with inconsistent data."""
+
+
+class HardwareModelError(ReproError):
+    """A hardware design cannot be composed or costed as requested."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulator detected an inconsistent datapath state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or its prerequisites are missing."""

@@ -1,0 +1,90 @@
+"""Experiment runner infrastructure.
+
+An *experiment* regenerates one of the paper's tables or figures.  It
+is a named callable returning an :class:`ExperimentResult`: a list of
+records (dict rows, e.g. one per table row or per plotted point) plus
+the paper's reference values, so reports can print paper-vs-measured
+side by side.
+
+Experiments register themselves in :mod:`repro.core.registry`; the
+benchmark harness and ``repro.analysis.report`` both run them through
+this interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment_id: e.g. "table3", "fig8", "sec45-mpeg7".
+        title: human-readable description.
+        rows: measured records; each a flat dict of column -> value.
+        paper_rows: the paper's reference records, aligned with rows
+            where possible (same keys), for side-by-side reporting.
+        notes: free-text caveats (substitutions, scale-downs).
+        elapsed_seconds: wall-clock time of the run.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper_rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+    elapsed_seconds: float = 0.0
+
+    def column_names(self) -> List[str]:
+        """Union of keys across measured rows, in first-seen order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def find_row(self, **criteria: Any) -> Dict[str, Any]:
+        """First measured row matching all key=value criteria."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                return row
+        raise ExperimentError(
+            f"{self.experiment_id}: no row matching {criteria!r}"
+        )
+
+
+#: An experiment entry point.  ``scale`` in (0, 1] lets callers trade
+#: fidelity for speed (smaller datasets / fewer epochs); 1.0 is the
+#: full reproduction configuration.
+ExperimentFn = Callable[..., ExperimentResult]
+
+
+def run_timed(
+    fn: ExperimentFn, *args: Any, **kwargs: Any
+) -> ExperimentResult:
+    """Run an experiment function and stamp its elapsed time."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry describing one reproducible table/figure."""
+
+    experiment_id: str
+    title: str
+    fn: ExperimentFn
+    #: Where in the paper this appears (for the report header).
+    paper_location: str = ""
+
+    def run(self, **kwargs: Any) -> ExperimentResult:
+        return run_timed(self.fn, **kwargs)

@@ -1,0 +1,109 @@
+"""Classification metrics used throughout the evaluation.
+
+The paper reports a single headline metric — test-set accuracy — plus
+error rate (Figure 6).  We additionally expose a confusion matrix and
+per-class accuracy, which the analysis modules use to sanity-check
+that a model is not collapsing onto a subset of classes (a common
+failure mode of WTA/STDP training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ReproError
+
+
+def accuracy(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """Fraction of correct predictions, in [0, 1].
+
+    Predictions of ``-1`` (the SNN's "no neuron fired" marker) always
+    count as incorrect.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ReproError(
+            f"predictions shape {predictions.shape} != labels shape {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ReproError("cannot compute accuracy of zero samples")
+    return float(np.mean(predictions == labels))
+
+
+def error_rate(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """1 - accuracy, in [0, 1] (the quantity plotted in Figure 6)."""
+    return 1.0 - accuracy(predictions, labels)
+
+
+def confusion_matrix(
+    predictions: Sequence[int], labels: Sequence[int], n_classes: int
+) -> np.ndarray:
+    """(n_classes, n_classes) matrix; rows = true label, cols = prediction.
+
+    Predictions outside [0, n_classes) (e.g. the SNN's -1 marker) are
+    dropped from the matrix but still count toward the row totals used
+    by :func:`per_class_accuracy`.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    valid = (predictions >= 0) & (predictions < n_classes)
+    np.add.at(matrix, (labels[valid], predictions[valid]), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    predictions: Sequence[int], labels: Sequence[int], n_classes: int
+) -> np.ndarray:
+    """Accuracy for each true class; NaN for classes absent from labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    result = np.full(n_classes, np.nan)
+    for cls in range(n_classes):
+        mask = labels == cls
+        if mask.any():
+            result[cls] = float(np.mean(predictions[mask] == cls))
+    return result
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Bundle of evaluation metrics for one trained model on one test set."""
+
+    accuracy: float
+    n_samples: int
+    n_classes: int
+    confusion: np.ndarray
+
+    @property
+    def error_rate(self) -> float:
+        return 1.0 - self.accuracy
+
+    @property
+    def accuracy_percent(self) -> float:
+        """Accuracy in percent, the unit the paper's tables use."""
+        return 100.0 * self.accuracy
+
+    def summary(self) -> str:
+        return (
+            f"accuracy={self.accuracy_percent:.2f}% "
+            f"({self.n_samples} samples, {self.n_classes} classes)"
+        )
+
+
+def evaluate(
+    predictions: Sequence[int], labels: Sequence[int], n_classes: int
+) -> EvaluationResult:
+    """Compute the full metric bundle for a prediction vector."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    return EvaluationResult(
+        accuracy=accuracy(predictions, labels),
+        n_samples=int(labels.size),
+        n_classes=n_classes,
+        confusion=confusion_matrix(predictions, labels, n_classes),
+    )

@@ -1,0 +1,61 @@
+"""Registry mapping experiment ids to their implementations.
+
+``repro.analysis`` registers one entry per paper table/figure; the
+report generator and the benchmark suite iterate this registry so the
+set of reproduced artifacts is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .errors import ExperimentError
+from .experiment import ExperimentFn, ExperimentSpec
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_location: str = ""
+):
+    """Decorator registering an experiment function under an id."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            fn=fn,
+            paper_location=paper_location,
+        )
+        return fn
+
+    return decorator
+
+
+def get(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id, raising on unknown ids."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise ExperimentError(
+            f"unknown experiment id {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_ids() -> List[str]:
+    """All registered ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def iter_specs() -> Iterator[ExperimentSpec]:
+    """Iterate specs in id order."""
+    for experiment_id in all_ids():
+        yield _REGISTRY[experiment_id]
+
+
+def clear() -> None:
+    """Remove all registrations (test helper)."""
+    _REGISTRY.clear()

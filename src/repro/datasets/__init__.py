@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for the paper's three benchmarks.
+
+* :mod:`~repro.datasets.digits` — MNIST substitute (28x28 digits).
+* :mod:`~repro.datasets.shapes` — MPEG-7 substitute (28x28 silhouettes).
+* :mod:`~repro.datasets.spoken` — Spoken Arabic Digits substitute
+  (13x13 spectro-temporal patterns).
+
+See DESIGN.md section 2 for why each substitution preserves the
+behaviours the paper measures.
+"""
+
+from .base import Dataset, merge
+from .digits import load_digits, render_digit
+from .mnist_io import load_idx, load_mnist, write_idx
+from .shapes import SHAPE_CLASSES, load_shapes, render_shape
+from .spoken import load_spoken, render_utterance
+
+__all__ = [
+    "Dataset",
+    "merge",
+    "load_digits",
+    "load_mnist",
+    "load_idx",
+    "write_idx",
+    "render_digit",
+    "load_shapes",
+    "render_shape",
+    "SHAPE_CLASSES",
+    "load_spoken",
+    "render_utterance",
+]

@@ -1,0 +1,154 @@
+"""Dataset containers and split utilities.
+
+All three workloads (digits / shapes / spoken) are delivered as a
+:class:`Dataset`: an ``(N, n_inputs)`` array of 8-bit luminances in
+[0, 255] plus integer labels.  8-bit luminance is exactly the input
+format of the paper's hardware (Section 2.1: "the inputs are usually
+n-bit values (8-bit values in our case for the pixel luminance)"), and
+the spike-coding front-ends consume it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..core.errors import DatasetError
+from ..core.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable labelled dataset of 8-bit input vectors.
+
+    Attributes:
+        images: uint8 array of shape (n_samples, n_inputs), values 0-255.
+        labels: int64 array of shape (n_samples,), values in [0, n_classes).
+        n_classes: number of distinct label values.
+        name: short identifier ("digits", "shapes", "spoken").
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 2:
+            raise DatasetError(
+                f"images must be 2-D (n_samples, n_inputs), got {self.images.shape}"
+            )
+        if self.labels.ndim != 1:
+            raise DatasetError(f"labels must be 1-D, got {self.labels.shape}")
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise DatasetError(
+                f"{self.images.shape[0]} images but {self.labels.shape[0]} labels"
+            )
+        if self.images.dtype != np.uint8:
+            raise DatasetError(f"images must be uint8, got {self.images.dtype}")
+        if self.n_classes < 2:
+            raise DatasetError(f"n_classes must be >= 2, got {self.n_classes}")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.n_classes
+        ):
+            raise DatasetError(
+                f"labels outside [0, {self.n_classes}): "
+                f"min={self.labels.min()}, max={self.labels.max()}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.images.shape[1])
+
+    @property
+    def side(self) -> int:
+        """Image side length if the input is a square image, else raises."""
+        side = int(round(self.n_inputs**0.5))
+        if side * side != self.n_inputs:
+            raise DatasetError(f"{self.n_inputs} inputs is not a square image")
+        return side
+
+    def normalized(self) -> np.ndarray:
+        """Images scaled to float64 in [0, 1] (the MLP input format)."""
+        return self.images.astype(np.float64) / 255.0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """A new Dataset restricted to ``indices`` (copying)."""
+        indices = np.asarray(indices)
+        return Dataset(
+            images=self.images[indices].copy(),
+            labels=self.labels[indices].copy(),
+            n_classes=self.n_classes,
+            name=self.name,
+        )
+
+    def take(self, n: int) -> "Dataset":
+        """The first ``n`` samples (useful for quick tests)."""
+        if n > len(self):
+            raise DatasetError(f"requested {n} samples from a dataset of {len(self)}")
+        return self.subset(np.arange(n))
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """A shuffled copy of the dataset."""
+        rng = make_rng(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def split(self, train_fraction: float, seed: SeedLike = None) -> Tuple["Dataset", "Dataset"]:
+        """Shuffle and split into (train, test) datasets.
+
+        The split is stratified per class so small test sets still
+        contain every class.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = make_rng(seed)
+        train_idx = []
+        test_idx = []
+        for cls in range(self.n_classes):
+            cls_idx = np.flatnonzero(self.labels == cls)
+            cls_idx = rng.permutation(cls_idx)
+            cut = int(round(train_fraction * cls_idx.size))
+            train_idx.append(cls_idx[:cut])
+            test_idx.append(cls_idx[cut:])
+        train = rng.permutation(np.concatenate(train_idx))
+        test = rng.permutation(np.concatenate(test_idx))
+        return self.subset(train), self.subset(test)
+
+    def batches(self, batch_size: int, seed: SeedLike = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield shuffled (images, labels) mini-batches of normalized inputs."""
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        rng = make_rng(seed)
+        order = rng.permutation(len(self))
+        normalized = self.normalized()
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield normalized[idx], self.labels[idx]
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples of each class."""
+        return np.bincount(self.labels, minlength=self.n_classes)
+
+
+def merge(first: Dataset, second: Dataset) -> Dataset:
+    """Concatenate two datasets of identical geometry."""
+    if first.n_inputs != second.n_inputs:
+        raise DatasetError(
+            f"input sizes differ: {first.n_inputs} vs {second.n_inputs}"
+        )
+    if first.n_classes != second.n_classes:
+        raise DatasetError(
+            f"class counts differ: {first.n_classes} vs {second.n_classes}"
+        )
+    return Dataset(
+        images=np.concatenate([first.images, second.images]),
+        labels=np.concatenate([first.labels, second.labels]),
+        n_classes=first.n_classes,
+        name=first.name,
+    )

@@ -1,0 +1,157 @@
+"""Synthetic object-silhouette workload (MPEG-7 CE Shape-1 substitute).
+
+The paper's second validation benchmark is MPEG-7 CE Shape-1 Part-B,
+a binary-silhouette object-recognition dataset, downscaled by the
+authors to the same 28x28 front end as MNIST (their MPEG-7 networks
+are MLP 28x28-15-10 and SNN 28x28-90).  We synthesize 10 silhouette
+classes as filled polygons with rotation/scale/translation jitter and
+light noise, rasterized to 28x28 uint8 images.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..core.errors import DatasetError
+from ..core.rng import SeedLike, child_rng
+from .base import Dataset
+from .render import (
+    add_noise,
+    rasterize_polygon,
+    to_uint8,
+    transform_points,
+    affine_matrix,
+)
+
+SIDE = 28
+
+#: Class names in label order, for reporting.
+SHAPE_CLASSES = (
+    "circle",
+    "square",
+    "triangle",
+    "star",
+    "cross",
+    "ellipse",
+    "diamond",
+    "pentagon",
+    "arrow",
+    "lshape",
+)
+
+
+def _regular_polygon(n: int, radius: float = 0.32, phase: float = 0.0) -> np.ndarray:
+    angles = 2 * math.pi * np.arange(n) / n + phase
+    return np.stack(
+        [0.5 + radius * np.cos(angles), 0.5 + radius * np.sin(angles)], axis=1
+    )
+
+
+def _star(points: int = 5, outer: float = 0.36, inner: float = 0.15) -> np.ndarray:
+    angles = math.pi * np.arange(2 * points) / points - math.pi / 2
+    radii = np.where(np.arange(2 * points) % 2 == 0, outer, inner)
+    return np.stack(
+        [0.5 + radii * np.cos(angles), 0.5 + radii * np.sin(angles)], axis=1
+    )
+
+
+def _cross(arm: float = 0.34, width: float = 0.13) -> np.ndarray:
+    a, w = arm, width
+    return np.array(
+        [
+            (0.5 - w, 0.5 - a), (0.5 + w, 0.5 - a), (0.5 + w, 0.5 - w),
+            (0.5 + a, 0.5 - w), (0.5 + a, 0.5 + w), (0.5 + w, 0.5 + w),
+            (0.5 + w, 0.5 + a), (0.5 - w, 0.5 + a), (0.5 - w, 0.5 + w),
+            (0.5 - a, 0.5 + w), (0.5 - a, 0.5 - w), (0.5 - w, 0.5 - w),
+        ]
+    )
+
+
+def _ellipse(rx: float = 0.36, ry: float = 0.20, n: int = 24) -> np.ndarray:
+    angles = 2 * math.pi * np.arange(n) / n
+    return np.stack(
+        [0.5 + rx * np.cos(angles), 0.5 + ry * np.sin(angles)], axis=1
+    )
+
+
+def _arrow() -> np.ndarray:
+    return np.array(
+        [
+            (0.18, 0.42), (0.55, 0.42), (0.55, 0.28), (0.84, 0.50),
+            (0.55, 0.72), (0.55, 0.58), (0.18, 0.58),
+        ]
+    )
+
+
+def _lshape() -> np.ndarray:
+    return np.array(
+        [
+            (0.28, 0.20), (0.48, 0.20), (0.48, 0.58), (0.76, 0.58),
+            (0.76, 0.80), (0.28, 0.80),
+        ]
+    )
+
+
+_SHAPE_BUILDERS: Dict[int, Callable[[], np.ndarray]] = {
+    0: lambda: _regular_polygon(24, radius=0.33),            # circle
+    1: lambda: _regular_polygon(4, radius=0.38, phase=math.pi / 4),  # square
+    2: lambda: _regular_polygon(3, radius=0.36, phase=-math.pi / 2), # triangle
+    3: _star,                                                # star
+    4: _cross,                                               # cross
+    5: _ellipse,                                             # ellipse
+    6: lambda: _regular_polygon(4, radius=0.36),             # diamond
+    7: lambda: _regular_polygon(5, radius=0.34, phase=-math.pi / 2), # pentagon
+    8: _arrow,                                               # arrow
+    9: _lshape,                                              # lshape
+}
+
+
+def render_shape(
+    shape: int,
+    rng: np.random.Generator,
+    side: int = SIDE,
+    jitter: float = 1.0,
+) -> np.ndarray:
+    """Render one jittered silhouette as a (side, side) uint8 image."""
+    if shape not in _SHAPE_BUILDERS:
+        raise DatasetError(f"shape class must be 0-9, got {shape}")
+    vertices = _SHAPE_BUILDERS[shape]()
+    matrix = affine_matrix(
+        rotation_deg=rng.uniform(-25, 25) * jitter,
+        scale=rng.uniform(1.0 - 0.25 * jitter, 1.0 + 0.10 * jitter),
+        shear=rng.uniform(-0.10, 0.10) * jitter,
+        translate=(
+            rng.uniform(-0.05, 0.05) * jitter,
+            rng.uniform(-0.05, 0.05) * jitter,
+        ),
+    )
+    vertices = transform_points(vertices, matrix)
+    image = rasterize_polygon(vertices, side, antialias=0.03)
+    image = add_noise(image, rng, amplitude=0.03 * jitter)
+    return to_uint8(image, peak=rng.uniform(210, 255) if jitter > 0 else 255)
+
+
+def load_shapes(
+    n_train: int = 1500,
+    n_test: int = 400,
+    seed: SeedLike = None,
+    side: int = SIDE,
+) -> tuple:
+    """Generate the (train, test) silhouette datasets."""
+    train = _generate(n_train, child_rng(seed, "shapes-train"), side)
+    test = _generate(n_test, child_rng(seed, "shapes-test"), side)
+    return train, test
+
+
+def _generate(n_samples: int, rng: np.random.Generator, side: int) -> Dataset:
+    if n_samples < 10:
+        raise DatasetError(f"need at least 10 samples (one per class), got {n_samples}")
+    labels = np.arange(n_samples) % 10
+    rng.shuffle(labels)
+    images = np.empty((n_samples, side * side), dtype=np.uint8)
+    for i, label in enumerate(labels):
+        images[i] = render_shape(int(label), rng, side=side).ravel()
+    return Dataset(images=images, labels=labels.astype(np.int64), n_classes=10, name="shapes")

@@ -1,0 +1,113 @@
+"""Synthetic spoken-digit workload (Spoken Arabic Digits substitute).
+
+The paper's third benchmark is the UCI Spoken Arabic Digits (SAD)
+dataset: 13 MFCC coefficients over time, which the authors present to
+13x13-input networks (MLP 13x13-60-10, SNN 13x13-90).  We synthesize a
+spectro-temporal pattern dataset with that exact geometry: for each of
+the 10 classes, a characteristic pattern of frequency ridges (formant
+trajectories) over 13 time frames x 13 coefficients, with per-sample
+time warping, amplitude jitter and noise.
+
+The paper reports notably lower accuracies on SAD than on the vision
+workloads (MLP 91.35%, SNN 74.7%) — it is the "hard" workload.  The
+generator mirrors that by using heavier intra-class variability
+(stronger warps and noise) than the vision generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.errors import DatasetError
+from ..core.rng import SeedLike, child_rng
+from .base import Dataset
+
+SIDE = 13
+
+#: Each class is a list of formant ridges: (start_freq, end_freq,
+#: start_time, end_time, amplitude), in normalized [0, 1] coordinates.
+_Ridge = Tuple[float, float, float, float, float]
+
+
+def _class_ridges() -> Dict[int, List[_Ridge]]:
+    ridges: Dict[int, List[_Ridge]] = {
+        0: [(0.2, 0.2, 0.0, 1.0, 1.0), (0.6, 0.6, 0.1, 0.9, 0.7)],
+        1: [(0.1, 0.8, 0.0, 1.0, 1.0)],
+        2: [(0.8, 0.1, 0.0, 1.0, 1.0)],
+        3: [(0.2, 0.8, 0.0, 0.5, 0.9), (0.8, 0.2, 0.5, 1.0, 0.9)],
+        4: [(0.5, 0.5, 0.0, 1.0, 1.0), (0.15, 0.85, 0.2, 0.8, 0.6)],
+        5: [(0.3, 0.3, 0.0, 0.45, 1.0), (0.7, 0.7, 0.55, 1.0, 1.0)],
+        6: [(0.75, 0.45, 0.0, 0.6, 0.9), (0.2, 0.2, 0.4, 1.0, 0.8)],
+        7: [(0.4, 0.9, 0.0, 1.0, 0.8), (0.4, 0.1, 0.0, 1.0, 0.8)],
+        8: [(0.55, 0.25, 0.0, 1.0, 1.0), (0.9, 0.9, 0.3, 0.7, 0.5)],
+        9: [(0.3, 0.6, 0.0, 0.33, 0.9), (0.6, 0.3, 0.33, 0.66, 0.9),
+            (0.3, 0.6, 0.66, 1.0, 0.9)],
+    }
+    return ridges
+
+
+_RIDGES = _class_ridges()
+
+
+def render_utterance(
+    digit: int,
+    rng: np.random.Generator,
+    side: int = SIDE,
+    jitter: float = 1.0,
+) -> np.ndarray:
+    """Render one synthetic utterance as a (side, side) uint8 pattern.
+
+    Rows are MFCC-like coefficients (frequency), columns are time
+    frames.  Per sample we apply a random monotonic time warp, ridge
+    frequency offsets, ridge width jitter, amplitude jitter and noise.
+    """
+    if digit not in _RIDGES:
+        raise DatasetError(f"digit class must be 0-9, got {digit}")
+    time = np.linspace(0.0, 1.0, side)
+    freq = np.linspace(0.0, 1.0, side)
+    # Monotonic time warp: t -> t + warp*sin(pi*t).
+    warp = rng.uniform(-0.30, 0.30) * jitter
+    warped_time = np.clip(time + warp * np.sin(np.pi * time), 0.0, 1.0)
+    image = np.zeros((side, side))
+    freq_offset = rng.uniform(-0.14, 0.14) * jitter
+    for start_f, end_f, start_t, end_t, amplitude in _RIDGES[digit]:
+        width = rng.uniform(0.06, 0.15) if jitter > 0 else 0.10
+        amp = amplitude * (1.0 + rng.uniform(-0.25, 0.25) * jitter)
+        span = max(end_t - start_t, 1e-9)
+        # Ridge centre frequency at each (warped) time frame.
+        progress = np.clip((warped_time - start_t) / span, 0.0, 1.0)
+        centre = start_f + (end_f - start_f) * progress + freq_offset
+        active = (warped_time >= start_t - 0.04) & (warped_time <= end_t + 0.04)
+        # Gaussian profile across frequency for the active frames.
+        profile = np.exp(-0.5 * ((freq[:, None] - centre[None, :]) / width) ** 2)
+        image += amp * profile * active[None, :]
+    image = np.clip(image, 0.0, 1.4) / 1.4
+    noise = rng.normal(0.0, 0.22 * jitter, size=image.shape)
+    image = np.clip(image + noise, 0.0, 1.0)
+    peak = rng.uniform(180, 255) if jitter > 0 else 255
+    return np.clip(np.round(image * peak), 0, 255).astype(np.uint8)
+
+
+def load_spoken(
+    n_train: int = 1500,
+    n_test: int = 400,
+    seed: SeedLike = None,
+    side: int = SIDE,
+) -> tuple:
+    """Generate the (train, test) spoken-digit datasets."""
+    train = _generate(n_train, child_rng(seed, "spoken-train"), side)
+    test = _generate(n_test, child_rng(seed, "spoken-test"), side)
+    return train, test
+
+
+def _generate(n_samples: int, rng: np.random.Generator, side: int) -> Dataset:
+    if n_samples < 10:
+        raise DatasetError(f"need at least 10 samples (one per class), got {n_samples}")
+    labels = np.arange(n_samples) % 10
+    rng.shuffle(labels)
+    images = np.empty((n_samples, side * side), dtype=np.uint8)
+    for i, label in enumerate(labels):
+        images[i] = render_utterance(int(label), rng, side=side).ravel()
+    return Dataset(images=images, labels=labels.astype(np.int64), n_classes=10, name="spoken")

@@ -1,0 +1,19 @@
+"""Fixed-point arithmetic used by the quantized inference paths."""
+
+from .qformat import (
+    ACTIVATION_Q8,
+    SNN_PRODUCT_Q12,
+    SNN_WEIGHT_Q8,
+    WEIGHT_Q8,
+    QFormat,
+    quantization_snr_db,
+)
+
+__all__ = [
+    "QFormat",
+    "WEIGHT_Q8",
+    "ACTIVATION_Q8",
+    "SNN_WEIGHT_Q8",
+    "SNN_PRODUCT_Q12",
+    "quantization_snr_db",
+]

@@ -1,0 +1,253 @@
+"""Hardware operator library (the datapath building blocks).
+
+Each factory returns a :class:`Component` carrying area (um^2),
+critical-path delay (ns) and per-operation dynamic energy (pJ).
+Composite designs aggregate components into a :class:`Netlist`, whose
+cost roll-up is what the design modules (expanded / folded / online)
+report.
+
+Structural formulas mirror how the paper's datapaths are built; the
+technology constants they multiply are calibrated to the paper's
+published per-operator numbers (see :mod:`repro.hardware.technology`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.errors import HardwareModelError
+from . import technology as tech
+
+
+@dataclass(frozen=True)
+class Component:
+    """One hardware operator instance type.
+
+    Attributes:
+        name: operator kind, e.g. "adder_tree(784,w8)".
+        area_um2: layout area of one instance.
+        delay_ns: critical path through one instance.
+        energy_pj: dynamic energy per operation of one instance.
+    """
+
+    name: str
+    area_um2: float
+    delay_ns: float
+    energy_pj: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 < 0 or self.delay_ns < 0 or self.energy_pj < 0:
+            raise HardwareModelError(f"negative cost in component {self.name}")
+
+
+def adder(width: int) -> Component:
+    """A ripple/carry-save adder of ``width`` bits."""
+    _require_positive(width, "width")
+    return Component(
+        name=f"adder(w{width})",
+        area_um2=width * tech.FULL_ADDER_AREA,
+        delay_ns=tech.ADDER_DELAY,
+        energy_pj=width * tech.FULL_ADDER_ENERGY,
+    )
+
+
+def adder_tree_slices(n_inputs: int, width: int) -> int:
+    """Full-adder bit-slice count of an ``n_inputs``-to-1 adder tree.
+
+    Level l combines pairs of level-(l-1) values whose width has grown
+    by one bit per level (the structural formula that reproduces the
+    paper's Table 4 tree areas):
+
+        slices = sum over levels of floor(n_l / 2) * (width + l)
+    """
+    _require_positive(n_inputs, "n_inputs")
+    _require_positive(width, "width")
+    slices = 0
+    remaining = n_inputs
+    level = 0
+    while remaining > 1:
+        level += 1
+        pairs = remaining // 2
+        slices += pairs * (width + level)
+        remaining = remaining - pairs
+    return slices
+
+
+def adder_tree(n_inputs: int, width: int) -> Component:
+    """A balanced adder tree summing ``n_inputs`` values of ``width`` bits."""
+    slices = adder_tree_slices(n_inputs, width)
+    depth = max(1, math.ceil(math.log2(max(n_inputs, 2))))
+    return Component(
+        name=f"adder_tree({n_inputs},w{width})",
+        area_um2=slices * tech.FULL_ADDER_AREA,
+        delay_ns=depth * tech.ADDER_STAGE_DELAY,
+        energy_pj=slices * tech.FULL_ADDER_ENERGY,
+    )
+
+
+def multiplier(width_a: int, width_b: int | None = None) -> Component:
+    """An integer array multiplier (``width_a`` x ``width_b`` bits)."""
+    if width_b is None:
+        width_b = width_a
+    _require_positive(width_a, "width_a")
+    _require_positive(width_b, "width_b")
+    cells = width_a * width_b
+    return Component(
+        name=f"multiplier({width_a}x{width_b})",
+        area_um2=cells * tech.MULTIPLIER_CELL_AREA,
+        delay_ns=tech.MULTIPLIER_DELAY,
+        energy_pj=cells * tech.MULTIPLIER_CELL_ENERGY,
+    )
+
+
+def max_unit(n_inputs: int, width: int) -> Component:
+    """A compare-select maximum over ``n_inputs`` values of ``width`` bits."""
+    _require_positive(n_inputs, "n_inputs")
+    _require_positive(width, "width")
+    stages = max(n_inputs - 1, 1)
+    depth = max(1, math.ceil(math.log2(max(n_inputs, 2))))
+    return Component(
+        name=f"max({n_inputs},w{width})",
+        area_um2=stages * width * tech.COMPARE_SELECT_AREA,
+        delay_ns=depth * tech.MAX_STAGE_DELAY,
+        energy_pj=stages * width * tech.COMPARE_SELECT_ENERGY,
+    )
+
+
+def comparator(width: int) -> Component:
+    """A single magnitude comparator (threshold check)."""
+    _require_positive(width, "width")
+    return Component(
+        name=f"comparator(w{width})",
+        area_um2=width * tech.COMPARE_SELECT_AREA,
+        delay_ns=tech.MAX_STAGE_DELAY,
+        energy_pj=width * tech.COMPARE_SELECT_ENERGY,
+    )
+
+
+def register(width: int) -> Component:
+    """A ``width``-bit pipeline/state register (charged every cycle)."""
+    _require_positive(width, "width")
+    return Component(
+        name=f"register(w{width})",
+        area_um2=width * tech.REGISTER_BIT_AREA,
+        delay_ns=tech.REGISTER_DELAY,
+        energy_pj=width * tech.REGISTER_BIT_ENERGY,
+    )
+
+
+def gaussian_rng() -> Component:
+    """The paper's 4-LFSR central-limit-theorem Gaussian generator."""
+    return Component(
+        name="gaussian_rng",
+        area_um2=tech.GAUSSIAN_RNG_AREA,
+        delay_ns=tech.ADDER_DELAY,
+        energy_pj=tech.GAUSSIAN_RNG_ENERGY,
+    )
+
+
+def shift_add_unit(width: int = 12) -> Component:
+    """SNNwot's per-input count-times-weight unit (4 shifters + adders).
+
+    Computes n3*8W + n2*4W + n1*2W + n0*W for a 4-bit spike count N and
+    8-bit weight W (Figure 7).  Area is the calibrated per-input extra
+    of Table 4's SNNwot tree over the plain 12-bit tree.
+    """
+    _require_positive(width, "width")
+    return Component(
+        name=f"shift_add(w{width})",
+        area_um2=tech.SHIFT_ADD_EXTRA_AREA,
+        delay_ns=tech.SHIFT_ADD_DELAY,
+        energy_pj=4 * width * tech.FULL_ADDER_ENERGY,
+    )
+
+
+def interpolation_unit() -> Component:
+    """16-segment piecewise-linear evaluator (sigmoid / leak)."""
+    return Component(
+        name="interpolation_unit",
+        area_um2=tech.INTERPOLATION_UNIT_AREA,
+        delay_ns=tech.INTERPOLATION_DELAY,
+        energy_pj=tech.INTERPOLATION_ENERGY,
+    )
+
+
+def spike_converter() -> Component:
+    """SNNwot per-pixel luminance-to-count converter (9 CMP + encoder)."""
+    return Component(
+        name="spike_converter",
+        area_um2=tech.SPIKE_CONVERTER_AREA,
+        delay_ns=tech.MAX_STAGE_DELAY,
+        energy_pj=8 * tech.COMPARE_SELECT_ENERGY,
+    )
+
+
+def stdp_unit(ni: int) -> Component:
+    """Per-neuron STDP online-learning circuit (Figures 12/13).
+
+    Contains the refractory, inhibition, last-firing and homeostasis
+    activity counters, the learning FSM, and one weight
+    increment/decrement + LTP-window compare slice per parallel input.
+    """
+    _require_positive(ni, "ni")
+    return Component(
+        name=f"stdp_unit(ni{ni})",
+        area_um2=tech.STDP_UNIT_BASE_AREA + ni * tech.STDP_UNIT_PER_INPUT_AREA,
+        delay_ns=tech.ADDER_DELAY,
+        energy_pj=tech.STDP_EVENT_ENERGY,
+    )
+
+
+def _require_positive(value: int, name: str) -> None:
+    if value < 1:
+        raise HardwareModelError(f"{name} must be >= 1, got {value}")
+
+
+@dataclass
+class Netlist:
+    """A bag of (component, instance count) with cost roll-ups.
+
+    ``add`` accumulates instances; ``area_um2``/``energy_pj`` sum over
+    instances; ``delay_ns`` is computed by the owning design from its
+    pipeline structure, not by the netlist (a netlist has no notion of
+    which components are in series).
+    """
+
+    entries: List[Tuple[Component, int]] = field(default_factory=list)
+
+    def add(self, component: Component, count: int = 1) -> "Netlist":
+        if count < 0:
+            raise HardwareModelError(
+                f"instance count must be >= 0, got {count} for {component.name}"
+            )
+        if count:
+            self.entries.append((component, count))
+        return self
+
+    @property
+    def area_um2(self) -> float:
+        return sum(c.area_um2 * n for c, n in self.entries)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    def energy_pj(self, activity: float = 1.0) -> float:
+        """Total dynamic energy for one operation of every instance."""
+        return activity * sum(c.energy_pj * n for c, n in self.entries)
+
+    def breakdown(self) -> Dict[str, Tuple[int, float]]:
+        """name -> (total instances, total area um^2), aggregated."""
+        result: Dict[str, Tuple[int, float]] = {}
+        for component, count in self.entries:
+            instances, area = result.get(component.name, (0, 0.0))
+            result[component.name] = (
+                instances + count,
+                area + component.area_um2 * count,
+            )
+        return result
+
+    def instance_count(self) -> int:
+        return sum(n for _c, n in self.entries)

@@ -1,0 +1,281 @@
+"""Cycle-accurate simulation of the folded datapaths.
+
+The paper validates its C++ functional simulators against the RTL
+(Section 4.1: "We validated both simulators against their RTL
+counterpart").  This module plays the RTL's role: it executes the
+folded schedules cycle by cycle — SRAM row reads, ni-wide
+multiply-accumulate, activation/readout stages — and the tests assert
+(a) bit-exact agreement with the functional (numpy) models and
+(b) cycle counts equal to the Table 7 formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..mlp.quantized import QuantizedMLP
+from ..snn.network import SpikingNetwork
+from ..snn.snn_wot import SNNWithoutTime
+
+
+@dataclass
+class CycleTrace:
+    """Execution record of one simulated classification."""
+
+    cycles: int
+    sram_reads: int
+    mac_operations: int
+
+
+class FoldedMLPSimulator:
+    """Cycle-accurate model of the folded MLP pipeline (Figure 10/11).
+
+    Each hardware neuron has ni physical inputs.  A layer with N
+    inputs takes ceil(N/ni) accumulation cycles (one SRAM row read and
+    one ni-wide MAC per hardware neuron per cycle) plus one activation
+    cycle through the piecewise-linear sigmoid; the full image is
+    hidden-layer cycles + output-layer cycles, matching Table 7's
+    ceil(784/ni) + ceil(100/ni) + 2.
+    """
+
+    def __init__(self, quantized: QuantizedMLP, ni: int):
+        if ni < 1:
+            raise SimulationError(f"ni must be >= 1, got {ni}")
+        self.quantized = quantized
+        self.ni = ni
+
+    def _layer_cycles(self, n_inputs: int) -> int:
+        return math.ceil(n_inputs / self.ni) + 1
+
+    def run_image(self, image: np.ndarray) -> tuple:
+        """Classify one normalized image; returns (output codes, trace).
+
+        The output layer's rescaled accumulators (pre-activations) are
+        kept on ``self.last_output_pre`` — the quantity the readout
+        compares (see :meth:`QuantizedMLP.predict`).
+        """
+        q = self.quantized
+        input_codes = q.activation_format.quantize_code(
+            np.asarray(image, dtype=np.float64).reshape(1, -1)
+        )[0]
+        trace = CycleTrace(cycles=0, sram_reads=0, mac_operations=0)
+        hidden_codes = self._run_layer(
+            input_codes, q.w_hidden_codes, q.b_hidden_codes, q.lut, trace
+        )
+        output_codes = self._run_layer(
+            hidden_codes, q.w_output_codes, q.b_output_codes, q.output_lut, trace
+        )
+        return output_codes, trace
+
+    def _run_layer(self, activations, weight_codes, bias_codes, lut, trace):
+        """Execute one layer's folded schedule."""
+        n_neurons, n_inputs = weight_codes.shape
+        if activations.shape[0] != n_inputs:
+            raise SimulationError(
+                f"layer expects {n_inputs} activations, got {activations.shape[0]}"
+            )
+        accumulators = np.zeros(n_neurons, dtype=np.int64)
+        for start in range(0, n_inputs, self.ni):
+            chunk = slice(start, min(start + self.ni, n_inputs))
+            # One cycle: every hardware neuron reads its SRAM row slice
+            # and performs an ni-wide multiply-accumulate.
+            accumulators += weight_codes[:, chunk] @ activations[chunk]
+            trace.cycles += 1
+            trace.sram_reads += n_neurons
+            trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
+        # Activation cycle: rescale, interpolated sigmoid, requantize —
+        # identical arithmetic to QuantizedMLP._layer.
+        q = self.quantized
+        pre = (
+            accumulators.astype(np.float64)
+            * q.activation_format.scale
+            * q.weight_format.scale
+            + bias_codes.astype(np.float64) * q.weight_format.scale
+        )
+        trace.cycles += 1
+        self.last_output_pre = pre
+        return q.activation_format.quantize_code(lut.evaluate(pre))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predictions over a batch; compares the output accumulators,
+        the same readout as :meth:`QuantizedMLP.predict`."""
+        images = np.atleast_2d(images)
+        winners = []
+        for image in images:
+            self.run_image(image)
+            winners.append(int(np.argmax(self.last_output_pre)))
+        return np.array(winners)
+
+    def cycles_per_image(self) -> int:
+        """Cycle count of one classification (matches Table 7's formula)."""
+        config = self.quantized.config
+        return self._layer_cycles(config.n_inputs) + self._layer_cycles(
+            config.n_hidden
+        )
+
+
+class FoldedSNNwtSimulator:
+    """Cycle-accurate model of the folded with-time SNN datapath.
+
+    One clock cycle emulates one millisecond of the presentation
+    (Section 4.2.2).  Each millisecond the datapath
+
+    1. applies the fixed-point leak multiplier (Q0.15, the
+       piecewise-linear interpolation's single-cycle constant) to
+       every active neuron's integer potential,
+    2. accumulates the 8-bit weights of the inputs whose hardware
+       interval counters reached zero (spike timings drawn from the
+       4-LFSR central-limit-theorem Gaussian generator),
+    3. compares potentials against thresholds; the first neuron to
+       cross fires, resets, starts its refractory counter and loads
+       every other neuron's inhibition counter —
+
+    i.e. the Figure 12/13 datapath.  The folded input walk multiplies
+    the millisecond count by ceil(n_inputs/ni); this simulator models
+    the *behaviour* per millisecond and reports the folded cycle count
+    separately (Table 7's (ceil(784/ni)+7) x 500).
+    """
+
+    def __init__(self, network: SpikingNetwork, ni: int, seed: int = 1):
+        if ni < 1:
+            raise SimulationError(f"ni must be >= 1, got {ni}")
+        if network.neuron_labels is None:
+            raise SimulationError("needs a trained, labeled network")
+        from .leak_lut import apply_fixed_point_leak, leak_factor_fixed_point
+        from .rng_hw import HardwareGaussian
+
+        self.network = network
+        self.ni = ni
+        self.weight_codes = np.round(network.weights).astype(np.int64)
+        config = network.config
+        self.leak_code = leak_factor_fixed_point(config.t_leak, dt=1.0)
+        self._apply_leak = apply_fixed_point_leak
+        base = max(int(seed), 1)
+        self.rng = HardwareGaussian(
+            seeds=[base, base * 7 + 3, base * 131 + 17, base * 8191 + 5]
+        )
+
+    def _spike_schedule(self, image: np.ndarray) -> list:
+        """Per-millisecond spiking-input lists from the hardware RNG."""
+        from ..snn.coding import mean_interval
+
+        config = self.network.config
+        duration = int(config.t_period)
+        image = np.asarray(image).ravel()
+        means = mean_interval(image, config.min_spike_interval)
+        buckets = [[] for _ in range(duration)]
+        cap = config.max_spikes_per_pixel
+        for pixel, mean in enumerate(means):
+            intervals = self.rng.intervals(float(mean), cap)
+            t = 0.0
+            for interval in intervals:
+                t += interval
+                if t >= duration:
+                    break
+                buckets[int(t)].append(pixel)
+        return [np.asarray(b, dtype=np.int64) for b in buckets]
+
+    def run_image(self, image: np.ndarray) -> tuple:
+        """Simulate one presentation; returns (winner index, trace)."""
+        config = self.network.config
+        n_neurons = config.n_neurons
+        potentials = np.zeros(n_neurons, dtype=np.int64)
+        thresholds = np.round(self.network.thresholds).astype(np.int64)
+        refractory = np.zeros(n_neurons, dtype=np.int64)
+        inhibited = np.zeros(n_neurons, dtype=np.int64)
+        winner = -1
+        trace = CycleTrace(cycles=0, sram_reads=0, mac_operations=0)
+        schedule = self._spike_schedule(image)
+        walk = math.ceil(config.n_inputs / self.ni)
+        for spiking in schedule:
+            active = (refractory == 0) & (inhibited == 0)
+            potentials[active] = self._apply_leak(
+                potentials[active], self.leak_code
+            )
+            if spiking.size:
+                contribution = self.weight_codes[:, spiking].sum(axis=1)
+                potentials[active] += contribution[active]
+            trace.cycles += walk
+            trace.sram_reads += n_neurons * walk
+            trace.mac_operations += n_neurons * spiking.size
+            fired = np.flatnonzero((potentials >= thresholds) & active)
+            if fired.size:
+                overshoot = potentials[fired] - thresholds[fired]
+                neuron = int(fired[int(np.argmax(overshoot))])
+                if winner < 0:
+                    winner = neuron
+                potentials[neuron] = 0
+                refractory[neuron] = int(config.t_refrac)
+                mask = np.arange(n_neurons) != neuron
+                inhibited[mask] = np.maximum(
+                    inhibited[mask], int(config.t_inhibit)
+                )
+            refractory = np.maximum(refractory - 1, 0)
+            inhibited = np.maximum(inhibited - 1, 0)
+        if winner < 0:
+            winner = int(np.argmax(potentials))
+        return winner, trace
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Label predictions through the network's neuron labels."""
+        images = np.atleast_2d(images)
+        winners = np.array([self.run_image(image)[0] for image in images])
+        return self.network.neuron_labels[winners]
+
+    def cycles_per_image(self) -> int:
+        """Folded cycle count: (ceil(n_inputs/ni) per ms) x t_period."""
+        config = self.network.config
+        return math.ceil(config.n_inputs / self.ni) * int(config.t_period)
+
+
+class FoldedSNNwotSimulator:
+    """Cycle-accurate model of the folded SNNwot pipeline.
+
+    Per cycle each of the N hardware neurons consumes ni pixels'
+    (weight, 4-bit count) pairs and accumulates weight x count into
+    its 20-bit potential; after ceil(784/ni) accumulation cycles, 7
+    pipeline/readout cycles flush the converter, tree and two-level
+    max stages (Table 7's ceil(784/ni) + 7).
+    """
+
+    #: Readout/pipeline flush cycles (spike conversion, tree, max tree).
+    FLUSH_CYCLES = 7
+
+    def __init__(self, model: SNNWithoutTime, ni: int):
+        if ni < 1:
+            raise SimulationError(f"ni must be >= 1, got {ni}")
+        self.model = model
+        self.ni = ni
+        # The hardware stores 8-bit weights; the trained float weights
+        # are already on (or clipped to) the 8-bit grid.
+        self.weight_codes = np.round(model.network.weights).astype(np.int64)
+
+    def run_image(self, image: np.ndarray) -> tuple:
+        """Classify one 8-bit image; returns (winner index, trace)."""
+        counts = self.model.spike_counts(image.reshape(1, -1))[0].astype(np.int64)
+        n_neurons, n_inputs = self.weight_codes.shape
+        potentials = np.zeros(n_neurons, dtype=np.int64)
+        trace = CycleTrace(cycles=0, sram_reads=0, mac_operations=0)
+        for start in range(0, n_inputs, self.ni):
+            chunk = slice(start, min(start + self.ni, n_inputs))
+            potentials += self.weight_codes[:, chunk] @ counts[chunk]
+            trace.cycles += 1
+            trace.sram_reads += n_neurons
+            trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
+        trace.cycles += self.FLUSH_CYCLES
+        return int(np.argmax(potentials)), trace
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Label predictions through the network's neuron labels."""
+        images = np.atleast_2d(images)
+        winners = np.array([self.run_image(image)[0] for image in images])
+        return self.model.network.neuron_labels[winners]
+
+    def cycles_per_image(self) -> int:
+        config = self.model.config
+        return math.ceil(config.n_inputs / self.ni) + self.FLUSH_CYCLES

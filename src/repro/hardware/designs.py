@@ -1,0 +1,83 @@
+"""Common cost-report structure for all hardware designs.
+
+Every design module (expanded / folded / online / TrueNorth) produces
+a :class:`DesignReport`: the quantities the paper tabulates — area
+with and without SRAM, critical-path delay (= cycle time), cycles and
+energy per classified image — plus derived time-per-image and average
+power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..core.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Cost roll-up of one hardware design point.
+
+    Attributes:
+        name: design identifier, e.g. "MLP folded ni=16".
+        topology: network topology string, e.g. "28x28-100-10".
+        logic_area_mm2: datapath area excluding synaptic SRAM.
+        sram_area_mm2: synaptic storage area.
+        delay_ns: critical-path delay = cycle time.
+        cycles_per_image: cycles to classify one input.
+        energy_per_image_uj: total energy per classified input (uJ).
+        area_breakdown: component name -> (instances, area um^2).
+    """
+
+    name: str
+    topology: str
+    logic_area_mm2: float
+    sram_area_mm2: float
+    delay_ns: float
+    cycles_per_image: int
+    energy_per_image_uj: float
+    area_breakdown: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delay_ns <= 0:
+            raise HardwareModelError(f"{self.name}: delay must be positive")
+        if self.cycles_per_image < 1:
+            raise HardwareModelError(f"{self.name}: needs >= 1 cycle per image")
+        if min(self.logic_area_mm2, self.sram_area_mm2, self.energy_per_image_uj) < 0:
+            raise HardwareModelError(f"{self.name}: negative cost")
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.logic_area_mm2 + self.sram_area_mm2
+
+    @property
+    def time_per_image_ns(self) -> float:
+        return self.delay_ns * self.cycles_per_image
+
+    @property
+    def time_per_image_us(self) -> float:
+        return self.time_per_image_ns / 1e3
+
+    @property
+    def clock_mhz(self) -> float:
+        return 1e3 / self.delay_ns
+
+    @property
+    def power_w(self) -> float:
+        """Average power: energy per image / time per image."""
+        return self.energy_per_image_uj * 1e-6 / (self.time_per_image_ns * 1e-9)
+
+    @property
+    def energy_per_image_nj(self) -> float:
+        return self.energy_per_image_uj * 1e3
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} [{self.topology}]: "
+            f"area {self.total_area_mm2:.2f} mm^2 "
+            f"({self.logic_area_mm2:.2f} logic + {self.sram_area_mm2:.2f} SRAM), "
+            f"delay {self.delay_ns:.2f} ns, "
+            f"{self.cycles_per_image} cycles/image, "
+            f"{self.energy_per_image_uj:.3g} uJ/image"
+        )

@@ -1,0 +1,166 @@
+"""Spatially expanded designs (paper Section 4.2, Tables 4 and 5).
+
+In a spatially expanded design every logical neuron and synapse maps
+to its own hardware operator: the MLP neuron is one multiplier per
+synapse feeding an adder tree plus a piecewise-linear sigmoid; the
+SNNwot neuron replaces the multipliers with 4-bit-count shift-and-add
+units and the sigmoid with a max-tree readout; the SNNwt neuron is an
+adder tree plus per-input Gaussian spike-timing RNGs and the leak
+interpolator, iterated for 500 one-millisecond cycles.
+
+Areas compose exactly as the paper's Table 4 does (the per-operator
+anchors reproduce to within 5%); expanded energies use the calibrated
+per-weight constants of :mod:`repro.hardware.technology` because
+Table 7's expanded rows are themselves estimates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import MLPConfig, SNNConfig
+from ..core.errors import HardwareModelError
+from . import technology as tech
+from .components import (
+    Netlist,
+    adder_tree,
+    gaussian_rng,
+    interpolation_unit,
+    max_unit,
+    multiplier,
+    shift_add_unit,
+    spike_converter,
+)
+from .designs import DesignReport
+from .sram import expanded_storage_area_um2
+
+#: Potential/accumulator width of the SNN datapaths (bits): 8-bit
+#: weights times up to 10 spikes over 784 inputs needs ~21 bits; the
+#: adder-tree *input* width that reproduces Table 4 is 12 (8-bit
+#: weight x 4-bit count).
+SNN_TREE_WIDTH = 12
+
+#: Readout width of the max tree (Table 4 lists a 16-bit max unit).
+MAX_WIDTH = 16
+
+#: The paper's two-level max-tree organization for 300 neurons:
+#: 15 x 20-input max units, then one 15-input max unit.
+MAX_FANIN = 20
+
+
+def _tree_depth(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def expanded_mlp(config: MLPConfig) -> DesignReport:
+    """The fully expanded MLP (Table 4's MLP rows).
+
+    One multiplier per synapse (plus one per neuron inside the sigmoid
+    interpolator, which is how Table 4's multiplier count of 79,510 =
+    784x100 + 100x10 + 110 decomposes), one adder tree per neuron.
+    """
+    config.validate()
+    n_neurons = config.n_hidden + config.n_output
+    netlist = Netlist()
+    netlist.add(adder_tree(config.n_inputs, 8), config.n_hidden)
+    netlist.add(adder_tree(config.n_hidden, 8), config.n_output)
+    n_multipliers = config.n_weights + n_neurons
+    netlist.add(multiplier(8, 8), n_multipliers)
+    delay = (
+        tech.MULTIPLIER_DELAY
+        + _tree_depth(config.n_inputs) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = config.n_weights * tech.EXPANDED_MLP_ENERGY_PER_WEIGHT / 1e6
+    return DesignReport(
+        name="MLP expanded",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        delay_ns=delay,
+        cycles_per_image=4,
+        energy_per_image_uj=energy_uj,
+        area_breakdown=netlist.breakdown(),
+    )
+
+
+def _max_tree(n_neurons: int) -> Netlist:
+    """The readout max tree: first-level units of MAX_FANIN inputs."""
+    netlist = Netlist()
+    first_level = math.ceil(n_neurons / MAX_FANIN)
+    if first_level > 1:
+        netlist.add(max_unit(MAX_FANIN, MAX_WIDTH), first_level)
+        netlist.add(max_unit(first_level, MAX_WIDTH), 1)
+    else:
+        netlist.add(max_unit(n_neurons, MAX_WIDTH), 1)
+    return netlist
+
+
+def expanded_snn_wot(config: SNNConfig) -> DesignReport:
+    """The fully expanded timing-free SNN (Table 4's SNNwot rows).
+
+    Per neuron: one shift-and-add unit per input (the 4-bit count x
+    8-bit weight "multiplier" of Figure 7) feeding a 12-bit Wallace
+    adder tree; a shared pixel-to-count converter per input; a
+    two-level max tree for the readout.  Three pipeline stages.
+    """
+    config.validate()
+    netlist = Netlist()
+    netlist.add(adder_tree(config.n_inputs, SNN_TREE_WIDTH), config.n_neurons)
+    netlist.add(shift_add_unit(SNN_TREE_WIDTH), config.n_neurons * config.n_inputs)
+    netlist.add(spike_converter(), config.n_inputs)
+    for component, count in _max_tree(config.n_neurons).entries:
+        netlist.add(component, count)
+    delay = (
+        tech.SHIFT_ADD_DELAY
+        + _tree_depth(config.n_inputs) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = config.n_weights * tech.EXPANDED_SNNWOT_ENERGY_PER_WEIGHT / 1e6
+    return DesignReport(
+        name="SNNwot expanded",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        delay_ns=delay,
+        cycles_per_image=3,
+        energy_per_image_uj=energy_uj,
+        area_breakdown=netlist.breakdown(),
+    )
+
+
+def expanded_snn_wt(config: SNNConfig) -> DesignReport:
+    """The fully expanded with-time SNN (Table 4's SNNwt rows).
+
+    Per neuron: a 12-bit adder tree accumulating the weights of the
+    inputs that spike each millisecond, plus the leak interpolator;
+    one Gaussian spike-timing RNG per input (Table 4 counts 784).
+    One clock cycle emulates one millisecond, so an image presentation
+    takes t_period cycles.
+    """
+    config.validate()
+    netlist = Netlist()
+    netlist.add(adder_tree(config.n_inputs, SNN_TREE_WIDTH), config.n_neurons)
+    netlist.add(gaussian_rng(), config.n_inputs)
+    netlist.add(interpolation_unit(), config.n_neurons)
+    cycles = int(config.t_period)
+    if cycles < 1:
+        raise HardwareModelError("t_period must be at least 1 ms")
+    delay = (
+        _tree_depth(config.n_inputs) * tech.ADDER_STAGE_DELAY
+        + tech.INTERPOLATION_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = (
+        config.n_weights * tech.EXPANDED_SNNWT_ENERGY_PER_WEIGHT_CYCLE * cycles / 1e6
+    )
+    return DesignReport(
+        name="SNNwt expanded",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        delay_ns=delay,
+        cycles_per_image=cycles,
+        energy_per_image_uj=energy_uj,
+        area_breakdown=netlist.breakdown(),
+    )

@@ -1,0 +1,238 @@
+"""Design-space exploration and designer guidance.
+
+The paper's third question — "In which cases shall the designer
+consider using hardware SNN or hardware MLP accelerators?" — is
+answered qualitatively in its conclusions:
+
+* MLP+BP folded designs win on accuracy, area and energy at the
+  few-mm^2 footprints of embedded systems;
+* fully expanded (latency-critical, large-area) designs favour SNNs
+  (adders beat multipliers once everything is spatially unrolled);
+* workloads needing *permanent online learning* favour SNN+STDP
+  (the learning circuit is cheap, BP in hardware is not);
+* accuracy-critical workloads rule SNN+STDP out.
+
+This module turns that guidance into code: it enumerates the design
+space (family x fold factor x expanded), computes each point's cost
+report, extracts the Pareto frontier for any pair of objectives, and
+:func:`recommend` applies the paper's decision logic to a
+:class:`Requirements` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import MLPConfig, SNNConfig
+from ..core.errors import HardwareModelError
+from .designs import DesignReport
+from .expanded import expanded_mlp, expanded_snn_wot, expanded_snn_wt
+from .folded import FOLD_FACTORS, folded_mlp, folded_snn_wot, folded_snn_wt
+from .online import online_snn
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored accelerator design."""
+
+    family: str              # "MLP", "SNNwot", "SNNwt", "SNN-online"
+    variant: str             # "ni=1".."ni=16" or "expanded"
+    report: DesignReport
+    supports_online_learning: bool = False
+
+    @property
+    def area_mm2(self) -> float:
+        return self.report.total_area_mm2
+
+    @property
+    def energy_uj(self) -> float:
+        return self.report.energy_per_image_uj
+
+    @property
+    def latency_us(self) -> float:
+        return self.report.time_per_image_us
+
+    def metric(self, name: str) -> float:
+        try:
+            return {
+                "area": self.area_mm2,
+                "energy": self.energy_uj,
+                "latency": self.latency_us,
+                "power": self.report.power_w,
+            }[name]
+        except KeyError:
+            raise HardwareModelError(
+                f"unknown metric {name!r}; choose area/energy/latency/power"
+            ) from None
+
+
+def enumerate_design_space(
+    mlp_config: MLPConfig,
+    snn_config: SNNConfig,
+    fold_factors: Sequence[int] = FOLD_FACTORS,
+    include_online: bool = True,
+) -> List[DesignPoint]:
+    """All design points of the paper's study for the two topologies."""
+    mlp_config.validate()
+    snn_config.validate()
+    points: List[DesignPoint] = []
+    for ni in fold_factors:
+        points.append(DesignPoint("MLP", f"ni={ni}", folded_mlp(mlp_config, ni)))
+        points.append(
+            DesignPoint("SNNwot", f"ni={ni}", folded_snn_wot(snn_config, ni))
+        )
+        points.append(
+            DesignPoint("SNNwt", f"ni={ni}", folded_snn_wt(snn_config, ni))
+        )
+        if include_online:
+            points.append(
+                DesignPoint(
+                    "SNN-online",
+                    f"ni={ni}",
+                    online_snn(snn_config, ni),
+                    supports_online_learning=True,
+                )
+            )
+    points.append(DesignPoint("MLP", "expanded", expanded_mlp(mlp_config)))
+    points.append(DesignPoint("SNNwot", "expanded", expanded_snn_wot(snn_config)))
+    points.append(DesignPoint("SNNwt", "expanded", expanded_snn_wt(snn_config)))
+    return points
+
+
+def pareto_frontier(
+    points: Sequence[DesignPoint],
+    objectives: Sequence[str] = ("area", "latency"),
+) -> List[DesignPoint]:
+    """Non-dominated points under the given minimize-all objectives.
+
+    A point is dominated if another point is no worse on every
+    objective and strictly better on at least one.
+    """
+    if not objectives:
+        raise HardwareModelError("need at least one objective")
+    frontier: List[DesignPoint] = []
+    for candidate in points:
+        candidate_values = [candidate.metric(o) for o in objectives]
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            other_values = [other.metric(o) for o in objectives]
+            if all(ov <= cv for ov, cv in zip(other_values, candidate_values)) and any(
+                ov < cv for ov, cv in zip(other_values, candidate_values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: p.metric(objectives[0]))
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """A designer's constraints, in the units the paper uses.
+
+    Attributes:
+        max_area_mm2: silicon budget (None = unconstrained).
+        max_latency_us: per-input deadline (None = unconstrained).
+        max_energy_uj: per-input energy budget (None = unconstrained).
+        needs_online_learning: the application must keep learning in
+            the field (the paper's SNN+STDP niche).
+        accuracy_critical: misclassifications are costly ("life or
+            death decisions" in the paper's example) — rules out the
+            lower-accuracy SNN+STDP family.
+    """
+
+    max_area_mm2: Optional[float] = None
+    max_latency_us: Optional[float] = None
+    max_energy_uj: Optional[float] = None
+    needs_online_learning: bool = False
+    accuracy_critical: bool = False
+
+
+@dataclass
+class Recommendation:
+    """The explorer's answer: a chosen point plus the reasoning trail."""
+
+    chosen: Optional[DesignPoint]
+    reasons: List[str] = field(default_factory=list)
+    feasible: List[DesignPoint] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = list(self.reasons)
+        if self.chosen is not None:
+            lines.append(
+                f"recommended: {self.chosen.family} {self.chosen.variant} — "
+                f"{self.chosen.report.summary()}"
+            )
+        else:
+            lines.append("no design satisfies the constraints")
+        return "\n".join(lines)
+
+
+def recommend(
+    requirements: Requirements,
+    mlp_config: MLPConfig,
+    snn_config: SNNConfig,
+    prefer: str = "energy",
+) -> Recommendation:
+    """Apply the paper's decision logic to a set of requirements.
+
+    1. If permanent online learning is required, only SNN+STDP with
+       the learning circuit qualifies (Section 4.4) — unless accuracy
+       is also critical, in which case the paper offers no winner.
+    2. Otherwise filter by the area / latency / energy constraints and
+       pick the feasible point minimizing ``prefer``; with the paper's
+       cost model this selects folded MLPs at embedded footprints and
+       expanded SNNs when area is unconstrained but latency is tight.
+    """
+    reasons: List[str] = []
+    points = enumerate_design_space(mlp_config, snn_config)
+
+    if requirements.needs_online_learning and requirements.accuracy_critical:
+        reasons.append(
+            "online learning + accuracy-critical: the paper identifies no "
+            "current winner (SNN+STDP accuracy is insufficient; hardware BP "
+            "is out of scope)"
+        )
+        return Recommendation(chosen=None, reasons=reasons)
+
+    if requirements.needs_online_learning:
+        points = [p for p in points if p.supports_online_learning]
+        reasons.append(
+            "permanent online learning required -> SNN+STDP with the "
+            "learning circuit (its overhead is small: Table 9)"
+        )
+    elif requirements.accuracy_critical:
+        points = [p for p in points if p.family == "MLP"]
+        reasons.append(
+            "accuracy-critical -> MLP+BP family (the SNN+STDP accuracy "
+            "gap is unacceptable here: Section 3.1)"
+        )
+
+    feasible = []
+    for point in points:
+        if requirements.max_area_mm2 is not None and point.area_mm2 > requirements.max_area_mm2:
+            continue
+        if (
+            requirements.max_latency_us is not None
+            and point.latency_us > requirements.max_latency_us
+        ):
+            continue
+        if (
+            requirements.max_energy_uj is not None
+            and point.energy_uj > requirements.max_energy_uj
+        ):
+            continue
+        feasible.append(point)
+
+    if not feasible:
+        reasons.append("constraints eliminate every design point")
+        return Recommendation(chosen=None, reasons=reasons, feasible=[])
+
+    chosen = min(feasible, key=lambda p: p.metric(prefer))
+    reasons.append(
+        f"{len(feasible)} feasible design(s); minimizing {prefer}"
+    )
+    return Recommendation(chosen=chosen, reasons=reasons, feasible=feasible)

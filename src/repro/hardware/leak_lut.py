@@ -1,0 +1,98 @@
+"""Piecewise-linear exponential-leak evaluator (paper Section 4.4).
+
+The SNNwt datapath models the membrane leak with the analytical
+expression v(T2) = v(T1) * exp(-(T2-T1)/T_leak).  "We implement this
+expression in hardware using piecewise linear interpolation" — the
+same small-table + multiplier + adder structure as the sigmoid unit.
+
+In the 1-ms-per-cycle design the elapsed time between evaluations is
+always one cycle, so the leak is a *constant* multiplicative factor
+exp(-1/T_leak); the interpolation table exists for the general case
+(multi-millisecond event gaps in an event-driven variant).  This
+module provides both: :class:`ExponentialLUT` interpolates
+exp(-dt/T_leak) over a dt range, and :func:`leak_factor_fixed_point`
+gives the single-cycle factor as the fixed-point constant the
+hardware multiplies by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..fixedpoint.qformat import QFormat
+
+#: Number of interpolation segments (matches the sigmoid unit).
+LEAK_SEGMENTS = 16
+
+#: Fixed-point format of the leak multiplier: unsigned Q0.15 covers
+#: factors in [0, 1) with ~3e-5 resolution.
+LEAK_FACTOR_FORMAT = QFormat(integer_bits=0, fraction_bits=15, signed=False)
+
+
+@dataclass(frozen=True)
+class ExponentialLUT:
+    """Piecewise-linear exp(-dt / t_leak) over dt in [0, dt_max]."""
+
+    slopes: np.ndarray
+    intercepts: np.ndarray
+    t_leak: float
+    dt_max: float
+
+    @classmethod
+    def build(
+        cls, t_leak: float, dt_max: float = None, segments: int = LEAK_SEGMENTS
+    ) -> "ExponentialLUT":
+        """Fit the interpolation; default range covers 3 leak constants."""
+        if t_leak <= 0:
+            raise ConfigError(f"t_leak must be positive, got {t_leak}")
+        if segments < 2:
+            raise ConfigError(f"need at least 2 segments, got {segments}")
+        if dt_max is None:
+            dt_max = 3.0 * t_leak
+        if dt_max <= 0:
+            raise ConfigError(f"dt_max must be positive, got {dt_max}")
+        edges = np.linspace(0.0, dt_max, segments + 1)
+        values = np.exp(-edges / t_leak)
+        slopes = (values[1:] - values[:-1]) / (edges[1:] - edges[:-1])
+        intercepts = values[:-1] - slopes * edges[:-1]
+        return cls(slopes=slopes, intercepts=intercepts, t_leak=t_leak, dt_max=dt_max)
+
+    @property
+    def segments(self) -> int:
+        return int(self.slopes.size)
+
+    def evaluate(self, dt: np.ndarray) -> np.ndarray:
+        """Interpolated exp(-dt/t_leak); clamps dt into [0, dt_max]."""
+        dt = np.clip(np.asarray(dt, dtype=np.float64), 0.0, self.dt_max)
+        width = self.dt_max / self.segments
+        index = np.minimum((dt / width).astype(np.int64), self.segments - 1)
+        return np.clip(self.slopes[index] * dt + self.intercepts[index], 0.0, 1.0)
+
+    def max_error(self, n_probe: int = 4001) -> float:
+        """Worst-case |LUT - exact| over the covered range."""
+        dts = np.linspace(0.0, self.dt_max, n_probe)
+        return float(np.max(np.abs(self.evaluate(dts) - np.exp(-dts / self.t_leak))))
+
+
+def leak_factor_fixed_point(t_leak: float, dt: float = 1.0) -> int:
+    """The single-cycle leak multiplier as a Q0.15 integer code.
+
+    The 1-ms-per-cycle SNNwt datapath multiplies every potential by
+    this constant each cycle; with t_leak = 500 ms the factor is
+    0.998002 -> code 32703.
+    """
+    if t_leak <= 0 or dt < 0:
+        raise ConfigError("t_leak must be positive and dt non-negative")
+    factor = float(np.exp(-dt / t_leak))
+    return int(LEAK_FACTOR_FORMAT.quantize_code(np.array([factor]))[0])
+
+
+def apply_fixed_point_leak(potential_codes: np.ndarray, factor_code: int) -> np.ndarray:
+    """One hardware leak step: (v * factor) >> 15, in integer arithmetic."""
+    potential_codes = np.asarray(potential_codes, dtype=np.int64)
+    if not 0 <= factor_code <= LEAK_FACTOR_FORMAT.max_code:
+        raise ConfigError(f"factor code {factor_code} outside Q0.15")
+    return (potential_codes * factor_code) >> 15

@@ -1,0 +1,87 @@
+"""SNN with online STDP learning in hardware (paper Section 4.4, Table 9).
+
+The paper's headline asset for SNN+STDP accelerators is *permanent
+online learning*: the STDP circuit is cheap enough that applications
+needing it (and tolerating moderate accuracy) are excellent SNN
+candidates.  Table 9 quantifies the overhead over the plain folded
+SNNwt: total area 1.34x (ni=16) to 1.93x (ni=1), cycle time +7% at
+most, energy 1.02x to 1.50x.
+
+The per-neuron STDP circuit (Figures 12/13) manages, through a small
+FSM: the time since the last output spike (for LTP/LTD windowing),
+the refractory and inhibition counters, constant +-1 weight
+increments applied through the weight SRAM's write port, the
+leak-interpolation path, and the homeostasis activity counter; only
+the homeostasis epoch counter is global.
+"""
+
+from __future__ import annotations
+
+from ..core.config import SNNConfig
+from . import technology as tech
+from .components import Netlist, stdp_unit
+from .designs import DesignReport
+from .folded import folded_snn_wt
+
+#: Write-capable weight SRAM overhead factor: STDP updates weights in
+#: place, so every bank needs a write port (Table 9 total-area deltas
+#: beyond the logic delta imply ~15%).
+SRAM_WRITE_PORT_FACTOR = 1.15
+
+#: Cycle-time penalty of muxing the weight write-back path into the
+#: read pipeline ("the cycle time increases by 7% at most").
+DELAY_FACTOR = 1.07
+
+
+def online_snn(config: SNNConfig, ni: int) -> DesignReport:
+    """The folded SNNwt design with the STDP learning circuit attached.
+
+    Returns the Table 9 design point: the folded SNNwt of Table 7 plus
+    one STDP unit per neuron, a write-ported weight SRAM, the muxed
+    write-back delay, and the learning-event energy.
+    """
+    base = folded_snn_wt(config, ni)
+    stdp = Netlist()
+    stdp.add(stdp_unit(ni), config.n_neurons)
+
+    # Learning energy: each output spike triggers one weight-row
+    # update walk (n_inputs/ni write cycles); in the homeostasis
+    # equilibrium ~1 neuron fires per image, so per image we charge
+    # one row walk plus the per-cycle STDP counter activity.
+    import math
+
+    counter_energy_per_cycle = config.n_neurons * 1.6  # pJ: STDP counters/FSM
+    row_walk_cycles = math.ceil(config.n_inputs / ni)
+    write_energy = row_walk_cycles * ni * 8 * 0.05  # pJ: SRAM write per bit
+    learning_energy_uj = (
+        base.cycles_per_image * counter_energy_per_cycle + write_energy
+    ) / 1e6
+
+    breakdown = dict(base.area_breakdown)
+    for name, (count, area) in stdp.breakdown().items():
+        breakdown[name] = (count, area)
+    return DesignReport(
+        name=f"SNN online (STDP) ni={ni}",
+        topology=config.topology,
+        logic_area_mm2=base.logic_area_mm2 + stdp.area_mm2,
+        sram_area_mm2=base.sram_area_mm2 * SRAM_WRITE_PORT_FACTOR,
+        delay_ns=base.delay_ns * DELAY_FACTOR,
+        cycles_per_image=base.cycles_per_image,
+        energy_per_image_uj=base.energy_per_image_uj * 1.02 + learning_energy_uj,
+        area_breakdown=breakdown,
+    )
+
+
+def stdp_overhead(config: SNNConfig, ni: int) -> dict:
+    """Overhead ratios of the online design over the plain folded SNNwt.
+
+    The quantities the paper quotes in Section 4.4.1.
+    """
+    base = folded_snn_wt(config, ni)
+    online = online_snn(config, ni)
+    return {
+        "ni": ni,
+        "area_ratio": online.total_area_mm2 / base.total_area_mm2,
+        "delay_ratio": online.delay_ns / base.delay_ns,
+        "energy_ratio": online.energy_per_image_uj / base.energy_per_image_uj,
+    }

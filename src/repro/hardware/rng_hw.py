@@ -1,0 +1,128 @@
+"""Bit-exact model of the hardware Gaussian RNG (paper Section 4.2.2).
+
+The SNNwt design needs per-pixel random spike intervals.  A true
+Poisson generator is costly in hardware, and the paper observes that
+a Gaussian distribution loses no accuracy, so it builds a Gaussian
+generator from the central limit theorem: the sum of four uniform
+random numbers produced by four 31-bit Linear Feedback Shift
+Registers with primitive polynomial x^31 + x^3 + 1 (whose 2^31 - 1
+period avoids cycling).
+
+This module implements that generator bit-exactly (Fibonacci LFSR,
+taps 31 and 3) so the SNNwt spike-timing path can be driven by the
+same pseudo-random stream the hardware would produce.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.errors import HardwareModelError
+
+#: LFSR register length.
+LFSR_BITS = 31
+
+#: Tap positions of the primitive polynomial x^31 + x^3 + 1.
+LFSR_TAPS = (31, 3)
+
+#: LFSRs summed per Gaussian sample (central limit theorem).
+CLT_TERMS = 4
+
+
+class LFSR31:
+    """A 31-bit Fibonacci LFSR with polynomial x^31 + x^3 + 1.
+
+    ``step()`` advances one bit; ``next_bits(n)`` assembles an n-bit
+    unsigned integer from successive output bits (MSB first), which is
+    how the hardware serializes the register into a uniform sample.
+    """
+
+    _MASK = (1 << LFSR_BITS) - 1
+
+    def __init__(self, seed: int):
+        state = int(seed) & self._MASK
+        if state == 0:
+            raise HardwareModelError("LFSR seed must be non-zero")
+        self.state = state
+
+    def step(self) -> int:
+        """Advance one cycle; returns the output bit (the LSB shifted out)."""
+        bit = ((self.state >> (LFSR_TAPS[0] - 1)) ^ (self.state >> (LFSR_TAPS[1] - 1))) & 1
+        self.state = ((self.state << 1) | bit) & self._MASK
+        return bit
+
+    def next_bits(self, n_bits: int) -> int:
+        """Assemble the next ``n_bits`` output bits into an integer."""
+        if n_bits < 1:
+            raise HardwareModelError(f"n_bits must be >= 1, got {n_bits}")
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.step()
+        return value
+
+
+class HardwareGaussian:
+    """Four-LFSR central-limit-theorem Gaussian sample stream.
+
+    Each call to :meth:`sample` reads one ``resolution``-bit uniform
+    from each of the four LFSRs and returns their sum, an Irwin-Hall(4)
+    variate: mean ``4 * (2^resolution - 1) / 2``, standard deviation
+    ``sqrt(4/12) * (2^resolution - 1)``.  :meth:`intervals` rescales
+    the stream to a requested mean, producing the spike intervals the
+    SNNwt datapath decrements millisecond counters with.
+    """
+
+    def __init__(self, seeds: List[int], resolution: int = 8):
+        if len(seeds) != CLT_TERMS:
+            raise HardwareModelError(f"need exactly {CLT_TERMS} seeds, got {len(seeds)}")
+        if resolution < 2 or resolution > 24:
+            raise HardwareModelError(f"resolution must be in [2, 24], got {resolution}")
+        self.lfsrs = [LFSR31(seed) for seed in seeds]
+        self.resolution = resolution
+
+    @property
+    def raw_mean(self) -> float:
+        return CLT_TERMS * (2**self.resolution - 1) / 2.0
+
+    @property
+    def raw_std(self) -> float:
+        return float(np.sqrt(CLT_TERMS / 12.0) * (2**self.resolution - 1))
+
+    def sample(self) -> int:
+        """One raw Irwin-Hall(4) sample (integer)."""
+        return sum(lfsr.next_bits(self.resolution) for lfsr in self.lfsrs)
+
+    def samples(self, n: int) -> np.ndarray:
+        """``n`` raw samples as an int64 array."""
+        if n < 0:
+            raise HardwareModelError(f"n must be >= 0, got {n}")
+        return np.array([self.sample() for _ in range(n)], dtype=np.int64)
+
+    def intervals(self, mean: float, n: int, minimum: float = 1.0) -> np.ndarray:
+        """``n`` spike intervals (ms) with the requested mean.
+
+        Raw samples are rescaled by mean/raw_mean — in hardware a
+        constant shift-and-add — and clamped below at one millisecond
+        (one clock cycle).
+        """
+        if mean <= 0:
+            raise HardwareModelError(f"mean must be positive, got {mean}")
+        raw = self.samples(n).astype(np.float64)
+        return np.maximum(raw * (mean / self.raw_mean), minimum)
+
+
+def lfsr_period_probe(seed: int = 1, probe: int = 100_000) -> bool:
+    """Check the LFSR does not revisit its seed state within ``probe`` steps.
+
+    The full period is 2^31 - 1 (primitive polynomial), far beyond any
+    test budget; this probe catches wiring mistakes (short cycles).
+    """
+    lfsr = LFSR31(seed)
+    initial = lfsr.state
+    for _ in range(probe):
+        lfsr.step()
+        if lfsr.state == initial:
+            return False
+    return True

@@ -1,0 +1,134 @@
+"""Technology-node scaling of design reports (paper Section 5 context).
+
+The paper compares designs across process nodes: TrueNorth's published
+core is 4.2 mm^2 at IBM 45nm, while the paper reimplements it at TSMC
+65nm (3.30 mm^2) to compare like for like.  This module provides the
+classical (Dennard-style, with a leakage-era derating on voltage)
+scaling rules used for such conversions, so any
+:class:`~repro.hardware.designs.DesignReport` can be re-expressed at
+another node:
+
+* area scales with the square of the feature-size ratio;
+* gate delay scales roughly linearly with feature size;
+* dynamic energy (CV^2) scales with area x voltage^2.
+
+These are first-order rules — good to tens of percent across one or
+two nodes, which matches how the paper itself uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..core.errors import HardwareModelError
+from .designs import DesignReport
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """A CMOS process node's first-order electrical parameters.
+
+    Attributes:
+        name: e.g. "65nm".
+        feature_nm: drawn feature size in nanometres.
+        voltage: nominal supply voltage (V).
+    """
+
+    name: str
+    feature_nm: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise HardwareModelError(f"{self.name}: feature size must be positive")
+        if self.voltage <= 0:
+            raise HardwareModelError(f"{self.name}: voltage must be positive")
+
+
+#: Nodes relevant to the paper and its references (nominal voltages
+#: from the respective foundry literature).
+NODES: Dict[str, ProcessNode] = {
+    "90nm": ProcessNode("90nm", 90.0, 1.2),
+    "65nm": ProcessNode("65nm", 65.0, 1.2),
+    "45nm": ProcessNode("45nm", 45.0, 1.1),
+    "28nm": ProcessNode("28nm", 28.0, 1.0),
+}
+
+
+def get_node(name: str) -> ProcessNode:
+    """Look up a known node by name."""
+    try:
+        return NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(NODES))
+        raise HardwareModelError(f"unknown node {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class ScalingFactors:
+    """Multipliers applied when converting between two nodes."""
+
+    area: float
+    delay: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if min(self.area, self.delay, self.energy) <= 0:
+            raise HardwareModelError("scaling factors must be positive")
+
+
+def scaling_factors(source: ProcessNode, target: ProcessNode) -> ScalingFactors:
+    """First-order factors for converting source-node costs to target.
+
+    area   x (Lt/Ls)^2
+    delay  x (Lt/Ls)
+    energy x (Lt/Ls)^2 * (Vt/Vs)^2
+    """
+    length_ratio = target.feature_nm / source.feature_nm
+    voltage_ratio = target.voltage / source.voltage
+    return ScalingFactors(
+        area=length_ratio**2,
+        delay=length_ratio,
+        energy=length_ratio**2 * voltage_ratio**2,
+    )
+
+
+def scale_report(
+    report: DesignReport, source: str, target: str
+) -> DesignReport:
+    """Re-express a design report at another process node.
+
+    Cycle counts are architectural and do not change; area, cycle time
+    and energy scale by the first-order factors.
+    """
+    factors = scaling_factors(get_node(source), get_node(target))
+    return replace(
+        report,
+        name=f"{report.name} @{target}",
+        logic_area_mm2=report.logic_area_mm2 * factors.area,
+        sram_area_mm2=report.sram_area_mm2 * factors.area,
+        delay_ns=report.delay_ns * factors.delay,
+        energy_per_image_uj=report.energy_per_image_uj * factors.energy,
+    )
+
+
+def truenorth_45nm_sanity() -> dict:
+    """Cross-check the paper's TrueNorth conversion.
+
+    Merolla et al. report a 4.2 mm^2 core at 45nm (the paper's Section
+    5 footnote describes the 4x-larger core); the paper's 65nm
+    reimplementation lands at 3.30 mm^2.  A naive 45->65nm area scaling
+    of 4.2 mm^2 would give ~8.8 mm^2, i.e. the paper's reimplementation
+    is ~2.7x denser than a direct shrink — consistent with its caveat
+    that the reimplementation "does not make justice to TrueNorth
+    design optimizations".  Returns the numbers for reporting.
+    """
+    factors = scaling_factors(get_node("45nm"), get_node("65nm"))
+    naive = 4.2 * factors.area
+    return {
+        "published_45nm_mm2": 4.2,
+        "naive_65nm_mm2": round(naive, 2),
+        "paper_reimplementation_mm2": 3.30,
+        "density_gap": round(naive / 3.30, 2),
+    }

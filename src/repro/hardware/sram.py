@@ -1,0 +1,157 @@
+"""SRAM bank model for synaptic storage (paper Table 6).
+
+The folded designs keep all synaptic weights in 128-bit-wide SRAM
+banks.  The bank packing rule, recovered exactly from Table 6's
+numbers (see DESIGN.md section 5):
+
+* one neuron's weight table is ``n_inputs * 8`` bits;
+* each cycle a hardware neuron reads ``ni * 8`` bits, so a 128-bit
+  read can feed ``16 / ni`` neurons — that many neurons share a bank
+  (at least one);
+* the bank depth is whatever holds the sharing neurons' tables,
+  rounded up to a multiple of 8 rows, with a 128-row minimum macro.
+
+Bank area and read energy come from the paper's three published
+geometries, with a CACTI-flavoured interpolation for other depths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import HardwareModelError
+
+#: All banks are 128 bits wide (Table 6).
+BANK_WIDTH_BITS = 128
+
+#: Smallest macro depth the paper instantiates.
+MIN_BANK_DEPTH = 128
+
+#: The paper's published bank geometries: depth -> (area um^2, read pJ).
+_PUBLISHED_BANKS: Dict[int, tuple] = {
+    784: (108_351.0, 44.41),
+    200: (46_002.0, 33.05),
+    128: (40_772.0, 32.46),
+}
+
+
+def bank_area_um2(depth: int) -> float:
+    """Layout area of one 128-bit-wide bank of ``depth`` rows.
+
+    Exact for the paper's three geometries; interpolated elsewhere
+    with a linear bit-cost plus square-root periphery term fitted to
+    the 128- and 784-row anchors.
+    """
+    _check_depth(depth)
+    if depth in _PUBLISHED_BANKS:
+        return _PUBLISHED_BANKS[depth][0]
+    bits = depth * BANK_WIDTH_BITS
+    # Fit area = a*bits + c*sqrt(bits) through (16384, 40772) and
+    # (100352, 108351): a = 0.1244, c = 302.6.
+    return 0.1244 * bits + 302.6 * math.sqrt(bits)
+
+
+def bank_read_energy_pj(depth: int) -> float:
+    """Energy of one 128-bit read from a bank of ``depth`` rows."""
+    _check_depth(depth)
+    if depth in _PUBLISHED_BANKS:
+        return _PUBLISHED_BANKS[depth][1]
+    bits = depth * BANK_WIDTH_BITS
+    # Fit energy = a*bits + c through (16384, 32.46) and (100352, 44.41).
+    return 1.4231e-4 * bits + 30.13
+
+
+def _check_depth(depth: int) -> None:
+    if depth < 1:
+        raise HardwareModelError(f"bank depth must be >= 1, got {depth}")
+
+
+@dataclass(frozen=True)
+class SRAMPlan:
+    """Synaptic-storage plan of one network layer at fold factor ni.
+
+    Attributes:
+        n_neurons: logical neurons in the layer.
+        n_inputs: synapses per neuron.
+        ni: inputs processed per cycle per hardware neuron.
+        neurons_per_bank: neurons sharing one 128-bit bank.
+        depth: rows per bank.
+        n_banks: bank count for the layer.
+    """
+
+    n_neurons: int
+    n_inputs: int
+    ni: int
+    neurons_per_bank: int
+    depth: int
+    n_banks: int
+
+    @property
+    def area_um2(self) -> float:
+        return self.n_banks * bank_area_um2(self.depth)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    @property
+    def read_energy_per_cycle_pj(self) -> float:
+        """All banks read one row per cycle (Table 6's 'Total Energy')."""
+        return self.n_banks * bank_read_energy_pj(self.depth)
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_banks * self.depth * BANK_WIDTH_BITS
+
+    @property
+    def weight_bits(self) -> int:
+        return self.n_neurons * self.n_inputs * 8
+
+
+def plan_layer(n_neurons: int, n_inputs: int, ni: int, weight_bits: int = 8) -> SRAMPlan:
+    """Build the Table 6 bank plan for one fully-connected layer.
+
+    ``ni`` must divide the 128-bit bank width in weight units
+    (ni * weight_bits <= 128), matching the paper's ni in {1,4,8,16}
+    with 8-bit weights.
+    """
+    if n_neurons < 1 or n_inputs < 1:
+        raise HardwareModelError(
+            f"layer must have >=1 neurons and inputs, got {n_neurons}x{n_inputs}"
+        )
+    if ni < 1:
+        raise HardwareModelError(f"ni must be >= 1, got {ni}")
+    if ni * weight_bits > BANK_WIDTH_BITS:
+        raise HardwareModelError(
+            f"ni={ni} needs {ni * weight_bits} bits/cycle > bank width {BANK_WIDTH_BITS}"
+        )
+    neurons_per_bank = max(1, BANK_WIDTH_BITS // (ni * weight_bits))
+    neurons_per_bank = min(neurons_per_bank, n_neurons)
+    neuron_bits = n_inputs * weight_bits
+    needed_rows = math.ceil(neurons_per_bank * neuron_bits / BANK_WIDTH_BITS)
+    depth = max(MIN_BANK_DEPTH, 8 * math.ceil(needed_rows / 8))
+    n_banks = math.ceil(n_neurons / neurons_per_bank)
+    return SRAMPlan(
+        n_neurons=n_neurons,
+        n_inputs=n_inputs,
+        ni=ni,
+        neurons_per_bank=neurons_per_bank,
+        depth=depth,
+        n_banks=n_banks,
+    )
+
+
+def expanded_storage_area_um2(n_weights: int, weight_bits: int = 8) -> float:
+    """Synaptic storage area of a *spatially expanded* design.
+
+    Expanded designs must deliver every weight every cycle, forcing
+    tiny periphery-dominated macros; Table 4 implies a uniform
+    ~10.2 um^2/bit for both networks.
+    """
+    from . import technology as tech
+
+    if n_weights < 0:
+        raise HardwareModelError(f"n_weights must be >= 0, got {n_weights}")
+    return n_weights * weight_bits * tech.EXPANDED_SRAM_AREA_PER_BIT

@@ -1,0 +1,170 @@
+"""65nm technology constants, calibrated to the paper's layouts.
+
+The paper implements every design at RTL, synthesizes with Synopsys
+Design Compiler against the TSMC 65nm GPlus high-VT library, and lays
+out with IC Compiler; all published area/delay/power/energy numbers
+come from those tools (Section 4.1).  Offline we cannot run Synopsys,
+so this module is the substitution: per-component analytical models
+whose constants are *calibrated against the paper's own published
+per-operator numbers*, principally:
+
+* Table 4 — per-operator areas of the spatially expanded designs
+  (8-bit multiplier 862 um^2; 784-input adder trees 45,436 / 60,820 /
+  89,006 um^2 for MLP / SNNwt / SNNwot; 16-input max 6,081 um^2;
+  Gaussian RNG 1,749 um^2);
+* Table 6 — SRAM bank geometry, area and read energy;
+* Tables 5, 7, 9 — delays and energies of the laid-out designs.
+
+Derived constants (see tests/hardware/test_calibration.py for the
+residual checks against every anchor):
+
+* A full-adder bit-slice of 5.81 um^2 reproduces all three 784-input
+  adder-tree areas within 5% through the structural tree-composition
+  formula (exact bit-growth per level).
+* A multiplier cell of 13.47 um^2 per partial-product bit reproduces
+  the 8-bit multiplier exactly (64 cells x 13.47 = 862).
+* A compare-select slice of 20.0 um^2/bit reproduces the 16-bit
+  20-input max unit exactly (19 stages x 16 bits x 20.0 = 6,081).
+
+All areas in um^2, delays in ns, energies in pJ unless noted.
+"""
+
+from __future__ import annotations
+
+#: Area of one full-adder bit slice (um^2).  Calibrated so the
+#: structural adder-tree formula hits Table 4's 784-input, 8-bit MLP
+#: tree (45,436 um^2) exactly: 45,436 / 7,824 FA slices.
+FULL_ADDER_AREA = 5.808
+
+#: Area of one multiplier partial-product cell (um^2); an n x m
+#: multiplier uses n*m cells.  862 um^2 / 64 = 13.47 for the paper's
+#: 8x8 multiplier.
+MULTIPLIER_CELL_AREA = 13.47
+
+#: Area of one compare-select bit slice of a max unit (um^2).
+#: 6,081 um^2 / (19 stages x 16 bits) = 20.0.
+COMPARE_SELECT_AREA = 20.0
+
+#: Area of one D flip-flop bit (um^2), typical 65nm standard cell.
+REGISTER_BIT_AREA = 4.8
+
+#: Area of the 4-LFSR central-limit-theorem Gaussian random number
+#: generator (um^2) — Table 4 reports it directly.
+GAUSSIAN_RNG_AREA = 1749.0
+
+#: Extra per-input area of the SNNwot shift-and-add spike-count
+#: multiplier (4 shifters + 4 adders sharing hardware, Figure 7),
+#: beyond the 12-bit adder tree: (89,006 - 63,632) / 784 inputs.
+SHIFT_ADD_EXTRA_AREA = 32.4
+
+#: Area of the piecewise-linear interpolation unit used for the MLP
+#: sigmoid and the SNNwt leak (a small coefficient table + one
+#: multiplier + one adder, Section 4.2.1 / 4.4).
+INTERPOLATION_UNIT_AREA = 1000.0
+
+#: Area of the SNNwot pixel-to-count converter per input (9
+#: comparators on 8-bit luminance + 9-to-4 encoder, Figure 7).
+SPIKE_CONVERTER_AREA = 160.0
+
+#: Per-neuron base area of the STDP online-learning circuit
+#: (refractory/inhibition/LTP counters, firing-time register,
+#: homeostasis activity counter, FSM — Figures 12/13), plus the
+#: per-input increment/decrement + LTP-compare slice.  Fitted to
+#: Table 9 minus Table 7 (see DESIGN.md): base 6,300 um^2 + 590 um^2
+#: per parallel input.
+STDP_UNIT_BASE_AREA = 6300.0
+STDP_UNIT_PER_INPUT_AREA = 590.0
+
+#: SRAM area per bit for the *spatially expanded* designs (um^2/bit).
+#: The expanded designs need every weight readable every cycle, which
+#: forces tiny, periphery-dominated macros; Table 4's SRAM columns
+#: imply 10.2 um^2/bit for both networks (19.27 mm^2 / 235,200 x 8
+#: bits and 6.49 mm^2 / 79,400 x 8 bits).
+EXPANDED_SRAM_AREA_PER_BIT = 10.22
+
+# ---------------------------------------------------------------------------
+# Delay constants (ns).  Calibrated against Tables 5 and 7.
+# ---------------------------------------------------------------------------
+
+#: SRAM read access (folded designs read one row per cycle).
+SRAM_READ_DELAY = 0.55
+
+#: 8x8 multiplier critical path.
+MULTIPLIER_DELAY = 1.30
+
+#: Delay of one adder stage in a tree (carry-save; per level).
+ADDER_STAGE_DELAY = 0.22
+
+#: Delay of a single (final / accumulator) adder.
+ADDER_DELAY = 0.24
+
+#: Delay of the SNNwot shift-and-add unit.
+SHIFT_ADD_DELAY = 0.20
+
+#: Delay of one compare-select stage of a max tree.
+MAX_STAGE_DELAY = 0.16
+
+#: Delay of the piecewise-linear interpolation unit.
+INTERPOLATION_DELAY = 0.50
+
+#: Register setup + clock-to-q overhead charged once per cycle.
+REGISTER_DELAY = 0.15
+
+# ---------------------------------------------------------------------------
+# Energy constants (pJ).  Calibrated against Tables 5, 7 and 9.
+# ---------------------------------------------------------------------------
+
+#: Dynamic energy of one full-adder bit slice per operation.
+FULL_ADDER_ENERGY = 0.010
+
+#: Dynamic energy of one multiplier partial-product cell per operation.
+MULTIPLIER_CELL_ENERGY = 0.010
+
+#: Dynamic energy of one compare-select bit per operation.
+COMPARE_SELECT_ENERGY = 0.010
+
+#: Clock + state energy of one register bit per cycle.  Clock power is
+#: a large share of total power in these designs (60% for the small
+#: SNN layout of Table 5), so this constant matters.
+REGISTER_BIT_ENERGY = 0.02
+
+#: Energy of one Gaussian RNG update per cycle.
+GAUSSIAN_RNG_ENERGY = 0.25
+
+#: Energy of one interpolation-unit evaluation.
+INTERPOLATION_ENERGY = 1.2
+
+#: Energy of the per-neuron STDP circuit per learning event.
+STDP_EVENT_ENERGY = 2.0
+
+#: Per-hardware-neuron control/state overhead of the folded designs
+#: (FSM, wide potential/pipeline registers), fitted per design family
+#: to Table 7's no-SRAM areas.
+MLP_NEURON_OVERHEAD_AREA = 500.0
+SNNWOT_NEURON_OVERHEAD_AREA = 2000.0
+SNNWT_NEURON_OVERHEAD_AREA = 0.0
+
+# ---------------------------------------------------------------------------
+# Expanded-design per-weight energies (pJ).  Table 7's expanded rows
+# are the paper's own estimates; the cleanest consistent calibration
+# is energy per synaptic weight touched:
+#   MLP       0.75 pJ/weight/image   (79,400 x 0.75 ~ 0.06 uJ)
+#   SNNwot    0.13 pJ/weight/image   (235,200 x 0.13 ~ 0.03 uJ)
+#   SNNwt     1.825 pJ/weight/cycle  (x 500 cycles ~ 214.7 uJ)
+# The SNNwt figure is per *cycle* because the with-time design re-walks
+# every weight each simulated millisecond (leak + accumulation).
+# ---------------------------------------------------------------------------
+
+EXPANDED_MLP_ENERGY_PER_WEIGHT = 0.75
+EXPANDED_SNNWOT_ENERGY_PER_WEIGHT = 0.13
+EXPANDED_SNNWT_ENERGY_PER_WEIGHT_CYCLE = 1.825
+
+#: Per-weight energy of the *laid-out small* MLP design (Table 5's
+#: 4x4-10-10: 1.28 nJ / 260 weights).  The full layout includes the
+#: clock tree and pipeline registers that Table 7's expanded estimates
+#: omit (the paper notes clock power is 20% of the small MLP's total
+#: and 60% of the small SNN's), hence the larger per-weight figure.
+SMALL_MLP_ENERGY_PER_WEIGHT = 4.9
+
+#: Process name recorded on every cost report.
+PROCESS = "TSMC 65nm GPlus high-VT (calibrated analytical model)"

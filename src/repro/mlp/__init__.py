@@ -1,0 +1,31 @@
+"""The machine-learning model: Multi-Layer Perceptron + Back-Propagation."""
+
+from .activations import (
+    Activation,
+    activation_profile,
+    make_sigmoid,
+    make_step,
+    sigmoid,
+    step,
+)
+from .network import MLP, ForwardTrace
+from .quantized import QuantizedMLP, SigmoidLUT
+from .trainer import BackPropTrainer, TrainingHistory, evaluate_mlp, one_hot, train_mlp
+
+__all__ = [
+    "MLP",
+    "ForwardTrace",
+    "Activation",
+    "make_sigmoid",
+    "make_step",
+    "sigmoid",
+    "step",
+    "activation_profile",
+    "BackPropTrainer",
+    "TrainingHistory",
+    "train_mlp",
+    "evaluate_mlp",
+    "one_hot",
+    "QuantizedMLP",
+    "SigmoidLUT",
+]

@@ -1,0 +1,104 @@
+"""Activation functions for the MLP (paper Section 2.1 and Figure 5).
+
+The paper uses the sigmoid f(x) = 1/(1+exp(-x)) and, in Section 3.2,
+a *parameterized* sigmoid f_a(x) = 1/(1+exp(-a*x)) whose slope ``a``
+morphs it toward the [0/1] step function used (implicitly) by spiking
+neurons.  Figure 5 plots these profiles; Figure 6 trains the MLP at
+a = 1, 2, 4, 8, 16 and with the hard step, showing the error rate
+converging to the step-function error as ``a`` grows.
+
+The step function has zero gradient almost everywhere, so the trainer
+uses a *surrogate derivative* (the derivative of a steep sigmoid) —
+the straight-through realization of the paper's step-function point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+#: Slope of the surrogate sigmoid used for the step function's gradient.
+STEP_SURROGATE_SLOPE = 8.0
+
+
+def sigmoid(x: np.ndarray, slope: float = 1.0) -> np.ndarray:
+    """The parameterized sigmoid f_a(x) = 1/(1+exp(-a*x)).
+
+    Numerically stable for large |a*x| (no overflow warnings).
+    """
+    z = slope * np.asarray(x, dtype=np.float64)
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+def sigmoid_derivative_from_output(y: np.ndarray, slope: float = 1.0) -> np.ndarray:
+    """f_a'(x) expressed via the output y = f_a(x): a * y * (1 - y)."""
+    y = np.asarray(y, dtype=np.float64)
+    return slope * y * (1.0 - y)
+
+
+def step(x: np.ndarray) -> np.ndarray:
+    """The hard [0/1] step function (spike / no-spike)."""
+    return (np.asarray(x, dtype=np.float64) > 0.0).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An activation function with forward and surrogate-gradient passes.
+
+    ``forward(x)`` maps pre-activations to activations; ``derivative``
+    maps (pre-activation, activation) to df/dx.  For the step function
+    the derivative is the steep-sigmoid surrogate evaluated at x.
+    """
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def make_sigmoid(slope: float = 1.0) -> Activation:
+    """Build the parameterized-sigmoid activation (Figure 5 curves)."""
+    if slope <= 0:
+        raise ConfigError(f"sigmoid slope must be positive, got {slope}")
+    return Activation(
+        name=f"sigmoid(a={slope:g})",
+        forward=lambda x: sigmoid(x, slope),
+        derivative=lambda x, y: sigmoid_derivative_from_output(y, slope),
+    )
+
+
+def make_step(surrogate_slope: float = STEP_SURROGATE_SLOPE) -> Activation:
+    """Build the hard-step activation with a surrogate gradient.
+
+    The forward pass is the exact [0/1] step (what the SNN hardware
+    implements: spike or no spike); the backward pass uses the
+    derivative of a slope-``surrogate_slope`` sigmoid evaluated at the
+    pre-activation, which is the standard straight-through estimator.
+    """
+    if surrogate_slope <= 0:
+        raise ConfigError(f"surrogate slope must be positive, got {surrogate_slope}")
+
+    def surrogate(x: np.ndarray, _y: np.ndarray) -> np.ndarray:
+        y_soft = sigmoid(x, surrogate_slope)
+        return sigmoid_derivative_from_output(y_soft, surrogate_slope)
+
+    return Activation(name="step[0/1]", forward=step, derivative=surrogate)
+
+
+def activation_profile(
+    activation: Activation, x_min: float = -5.0, x_max: float = 5.0, n_points: int = 201
+) -> tuple:
+    """Sample (x, f(x)) over a range — the data behind Figure 5."""
+    xs = np.linspace(x_min, x_max, n_points)
+    return xs, activation.forward(xs)

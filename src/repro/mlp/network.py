@@ -1,0 +1,97 @@
+"""The Multi-Layer Perceptron (paper Section 2.1).
+
+Topology: an input layer (no neurons; 8-bit luminances normalized to
+[0, 1]), one hidden layer, and an output layer, fully connected.  A
+neuron computes y = f(sum_i w_ji * y_i + b_j) with f the (slope-
+parameterized) sigmoid, or the hard step for the Figure 6 experiment.
+
+The class holds weights as float64 matrices; the quantized inference
+path of Section 4.2.1 lives in :mod:`repro.mlp.quantized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import MLPConfig
+from ..core.errors import ConfigError, TrainingError
+from ..core.rng import child_rng
+from .activations import Activation, make_sigmoid, make_step
+
+
+@dataclass
+class ForwardTrace:
+    """Intermediate values of one forward pass, kept for back-propagation."""
+
+    inputs: np.ndarray          # (B, n_inputs)
+    hidden_pre: np.ndarray      # (B, n_hidden) pre-activations s^1
+    hidden_out: np.ndarray      # (B, n_hidden) activations y^1
+    output_pre: np.ndarray      # (B, n_output) pre-activations s^2
+    output_out: np.ndarray      # (B, n_output) activations y^2
+
+
+class MLP:
+    """A 2-layer perceptron with pluggable hidden/output activations.
+
+    Weight layout follows the paper's notation: ``w_hidden[j, i]`` is
+    the weight from input i to hidden neuron j; ``w_output[k, j]`` from
+    hidden neuron j to output neuron k.  Biases are separate vectors.
+    """
+
+    def __init__(self, config: MLPConfig, activation: Optional[Activation] = None):
+        config.validate()
+        self.config = config
+        if activation is not None:
+            self.activation = activation
+        elif config.step_activation:
+            self.activation = make_step()
+        else:
+            self.activation = make_sigmoid(config.sigmoid_slope)
+        # The output layer always uses the standard sigmoid: the paper's
+        # step/slope experiment targets the hidden-layer nonlinearity
+        # (the analogue of spike generation).
+        self.output_activation = make_sigmoid(1.0)
+        rng = child_rng(config.seed, "mlp-init")
+        scale = config.init_scale
+        self.w_hidden = rng.uniform(-scale, scale, size=(config.n_hidden, config.n_inputs))
+        self.b_hidden = rng.uniform(-scale, scale, size=config.n_hidden)
+        self.w_output = rng.uniform(-scale, scale, size=(config.n_output, config.n_hidden))
+        self.b_output = rng.uniform(-scale, scale, size=config.n_output)
+
+    @property
+    def n_weights(self) -> int:
+        """Synaptic weight count, excluding biases (matches Table 7's text)."""
+        return self.w_hidden.size + self.w_output.size
+
+    def forward(self, inputs: np.ndarray) -> ForwardTrace:
+        """Run the feed-forward path on a (B, n_inputs) batch in [0, 1]."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[1] != self.config.n_inputs:
+            raise ConfigError(
+                f"expected {self.config.n_inputs} inputs, got {inputs.shape[1]}"
+            )
+        hidden_pre = inputs @ self.w_hidden.T + self.b_hidden
+        hidden_out = self.activation.forward(hidden_pre)
+        output_pre = hidden_out @ self.w_output.T + self.b_output
+        output_out = self.output_activation.forward(output_pre)
+        return ForwardTrace(inputs, hidden_pre, hidden_out, output_pre, output_out)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over output neurons) for a batch."""
+        return np.argmax(self.forward(inputs).output_out, axis=1)
+
+    def predict_dataset(self, dataset) -> np.ndarray:
+        """Predictions for every sample of a :class:`Dataset`."""
+        return self.predict(dataset.normalized())
+
+    def copy_weights_from(self, other: "MLP") -> None:
+        """Copy all parameters from another MLP of identical topology."""
+        if other.w_hidden.shape != self.w_hidden.shape or other.w_output.shape != self.w_output.shape:
+            raise TrainingError("cannot copy weights between different topologies")
+        self.w_hidden = other.w_hidden.copy()
+        self.b_hidden = other.b_hidden.copy()
+        self.w_output = other.w_output.copy()
+        self.b_output = other.b_output.copy()

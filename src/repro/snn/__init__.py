@@ -1,0 +1,76 @@
+"""The neuroscience model: single-layer LIF SNN + STDP (+ variants)."""
+
+from .coding import (
+    CODERS,
+    GaussianCoder,
+    PoissonCoder,
+    RankOrderCoder,
+    SpikeCoder,
+    SpikeTrain,
+    TimeToFirstSpikeCoder,
+    deterministic_counts,
+    make_coder,
+    mean_interval,
+)
+from .conversion import ConvertedSNN, conversion_sweep, convert_mlp
+from .event_driven import (
+    grid_agreement,
+    predict_event_driven,
+    present_event_driven,
+)
+from .homeostasis import HomeostasisController
+from .labeling import NeuronLabeler
+from .lif import LIFParameters, LIFPopulation
+from .retention import (
+    RetentionPoint,
+    RetentionStudy,
+    receptive_field_drift,
+    retention_curve,
+)
+from .network import (
+    PresentationResult,
+    SNNTrainer,
+    SpikingNetwork,
+    evaluate_snn,
+    train_snn,
+)
+from .snn_bp import BackPropSNN, train_snn_bp
+from .snn_wot import SNNWithoutTime, relabel_for_counts
+from .stdp import STDPRule
+
+__all__ = [
+    "SpikeTrain",
+    "SpikeCoder",
+    "PoissonCoder",
+    "GaussianCoder",
+    "RankOrderCoder",
+    "TimeToFirstSpikeCoder",
+    "CODERS",
+    "make_coder",
+    "mean_interval",
+    "deterministic_counts",
+    "LIFParameters",
+    "LIFPopulation",
+    "STDPRule",
+    "HomeostasisController",
+    "NeuronLabeler",
+    "SpikingNetwork",
+    "SNNTrainer",
+    "PresentationResult",
+    "train_snn",
+    "evaluate_snn",
+    "SNNWithoutTime",
+    "relabel_for_counts",
+    "BackPropSNN",
+    "train_snn_bp",
+    "ConvertedSNN",
+    "convert_mlp",
+    "conversion_sweep",
+    "RetentionPoint",
+    "RetentionStudy",
+    "retention_curve",
+    "receptive_field_drift",
+    "present_event_driven",
+    "predict_event_driven",
+    "grid_agreement",
+]

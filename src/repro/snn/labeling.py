@@ -1,0 +1,75 @@
+"""Self-labeling of STDP-trained neurons (paper Section 2.2, "Labeling").
+
+STDP is unsupervised, so after training the 300 neurons must be tagged
+with output labels.  The paper's procedure: present the training
+images (whose labels are known); each neuron keeps one counter per
+label, incremented when the neuron fires (wins) for an image of that
+label.  After all images, a neuron's *score* for a label is its
+counter divided by the number of training images carrying that label
+(normalizing away class imbalance), and the neuron is tagged with its
+highest-scoring label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigError, TrainingError
+
+
+class NeuronLabeler:
+    """Accumulates win counts and produces the per-neuron label map."""
+
+    def __init__(self, n_neurons: int, n_labels: int):
+        if n_neurons < 1 or n_labels < 2:
+            raise ConfigError(
+                f"need >=1 neuron and >=2 labels, got {n_neurons}, {n_labels}"
+            )
+        self.n_neurons = n_neurons
+        self.n_labels = n_labels
+        self.win_counts = np.zeros((n_neurons, n_labels), dtype=np.int64)
+        self.label_presentations = np.zeros(n_labels, dtype=np.int64)
+
+    def record(self, winner: int, label: int) -> None:
+        """Record that ``winner`` fired first for an image of ``label``.
+
+        ``winner`` may be -1 ("no neuron fired"), which still counts
+        the presentation for normalization.
+        """
+        if not 0 <= label < self.n_labels:
+            raise ConfigError(f"label {label} outside [0, {self.n_labels})")
+        self.label_presentations[label] += 1
+        if winner >= 0:
+            if winner >= self.n_neurons:
+                raise ConfigError(f"winner {winner} outside [0, {self.n_neurons})")
+            self.win_counts[winner, label] += 1
+
+    def scores(self) -> np.ndarray:
+        """(n_neurons, n_labels) normalized scores.
+
+        Score = win count / number of presentations of that label,
+        which "accounts for possible discrepancies in the number of
+        times each label is used as input" (paper).
+        """
+        presentations = np.maximum(self.label_presentations, 1)
+        return self.win_counts / presentations[None, :]
+
+    def labels(self) -> np.ndarray:
+        """Per-neuron label assignment (argmax score).
+
+        Neurons that never won any image get label -1 (they abstain
+        from prediction; they can still win at test time, in which
+        case the prediction is counted as incorrect, matching the
+        conservative reading of the paper's readout).
+        """
+        if self.label_presentations.sum() == 0:
+            raise TrainingError("no presentations recorded; cannot label neurons")
+        scores = self.scores()
+        assigned = np.argmax(scores, axis=1)
+        never_won = self.win_counts.sum(axis=1) == 0
+        assigned[never_won] = -1
+        return assigned
+
+    def coverage(self) -> float:
+        """Fraction of neurons that won at least one training image."""
+        return float(np.mean(self.win_counts.sum(axis=1) > 0))

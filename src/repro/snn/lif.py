@@ -1,0 +1,118 @@
+"""Leaky Integrate-and-Fire population state (paper Section 2.2).
+
+The membrane potential of neuron j obeys
+
+    dv_j/dt + v_j/T_leak = sum_i w_ji * I_i(t)
+
+Between input spikes the paper exploits the analytical solution
+``v(T2) = v(T1) * exp(-(T2-T1)/T_leak)`` instead of fine-grained
+numerical integration — the same trick its hardware uses.  This module
+implements that population state: exponential decay between events,
+weight accumulation on input spikes, threshold crossing, the
+post-firing refractory period and the lateral-inhibition period during
+which "incoming spikes have no impact" and the potential is not
+modified (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+
+@dataclass
+class LIFParameters:
+    """Population-level LIF constants (a subset of Table 1)."""
+
+    t_leak: float = 500.0
+    t_inhibit: float = 5.0
+    t_refrac: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.t_leak <= 0:
+            raise ConfigError(f"t_leak must be positive, got {self.t_leak}")
+        if self.t_inhibit < 0 or self.t_refrac < 0:
+            raise ConfigError("inhibition/refractory periods must be non-negative")
+
+    def decay_factor(self, dt: float) -> float:
+        """exp(-dt / t_leak): the analytical inter-spike leak."""
+        if dt < 0:
+            raise ConfigError(f"dt must be non-negative, got {dt}")
+        return float(np.exp(-dt / self.t_leak))
+
+
+class LIFPopulation:
+    """State of N leaky integrate-and-fire neurons sharing parameters.
+
+    The population tracks, per neuron: membrane potential, firing
+    threshold (individual, because homeostasis adjusts them
+    independently), refractory deadline and inhibition deadline.
+    Time is tracked by the caller; all methods take the current time
+    or time delta explicitly.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        parameters: LIFParameters,
+        initial_threshold: float,
+    ):
+        if n_neurons < 1:
+            raise ConfigError(f"need at least 1 neuron, got {n_neurons}")
+        if initial_threshold <= 0:
+            raise ConfigError(
+                f"initial_threshold must be positive, got {initial_threshold}"
+            )
+        self.n_neurons = n_neurons
+        self.parameters = parameters
+        self.potentials = np.zeros(n_neurons)
+        self.thresholds = np.full(n_neurons, float(initial_threshold))
+        self.refractory_until = np.full(n_neurons, -np.inf)
+        self.inhibited_until = np.full(n_neurons, -np.inf)
+
+    def active_mask(self, now: float) -> np.ndarray:
+        """Neurons currently integrating (not refractory, not inhibited)."""
+        return (now >= self.refractory_until) & (now >= self.inhibited_until)
+
+    def decay(self, dt: float, active: np.ndarray) -> None:
+        """Leak active neurons' potentials by exp(-dt/t_leak)."""
+        if dt == 0:
+            return
+        self.potentials[active] *= self.parameters.decay_factor(dt)
+
+    def integrate(self, contributions: np.ndarray, active: np.ndarray) -> None:
+        """Add per-neuron input contributions (masked to active neurons)."""
+        self.potentials[active] += contributions[active]
+
+    def fired(self, active: np.ndarray) -> np.ndarray:
+        """Indices of active neurons at/above their firing threshold."""
+        over = (self.potentials >= self.thresholds) & active
+        return np.flatnonzero(over)
+
+    def fire(self, neuron: int, now: float) -> None:
+        """Neuron ``neuron`` emits a spike at time ``now``.
+
+        Resets its potential, starts its refractory period, and
+        inhibits every *other* neuron (winner-takes-all lateral
+        inhibition) for t_inhibit.
+        """
+        self.potentials[neuron] = 0.0
+        self.refractory_until[neuron] = now + self.parameters.t_refrac
+        others = np.arange(self.n_neurons) != neuron
+        self.inhibited_until[others] = np.maximum(
+            self.inhibited_until[others], now + self.parameters.t_inhibit
+        )
+
+    def reset_for_presentation(self) -> None:
+        """Clear dynamic state before a new image presentation.
+
+        Thresholds persist (they are learned by homeostasis);
+        potentials and the inhibition/refractory clocks do not carry
+        across presentations.
+        """
+        self.potentials.fill(0.0)
+        self.refractory_until.fill(-np.inf)
+        self.inhibited_until.fill(-np.inf)

@@ -1,0 +1,199 @@
+"""Memory retention under continued STDP learning (Section 3.2).
+
+The paper notes that "online learning rules like STDP raise the
+problem of retention of earlier memories when new ones are presented"
+and that "sufficient lateral inhibition stabilizes receptive fields,
+the stability of which is a measure of memory retention time span"
+(citing Billings & van Rossum).  This module makes that discussion
+measurable:
+
+* :func:`retention_curve` trains an SNN on a first set of classes
+  (task A), then continues training on a second set (task B) while
+  periodically probing accuracy on task A — the forgetting curve;
+* :func:`receptive_field_drift` tracks how far the weight vectors
+  move during continued learning — the paper's "stability of
+  receptive fields" proxy.
+
+Both run entirely on the public training APIs, so they double as an
+integration stress of online learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.errors import TrainingError
+from ..core.rng import child_rng
+from ..datasets.base import Dataset
+from .labeling import NeuronLabeler
+from .network import SNNTrainer, SpikingNetwork
+
+
+@dataclass
+class RetentionPoint:
+    """One probe during continued learning."""
+
+    images_seen: int
+    task_a_accuracy: float
+    task_b_accuracy: float
+    field_drift: float
+
+
+@dataclass
+class RetentionStudy:
+    """The full forgetting curve plus summary statistics."""
+
+    points: List[RetentionPoint] = field(default_factory=list)
+
+    @property
+    def initial_accuracy(self) -> float:
+        if not self.points:
+            raise TrainingError("study has no probe points")
+        return self.points[0].task_a_accuracy
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.points:
+            raise TrainingError("study has no probe points")
+        return self.points[-1].task_a_accuracy
+
+    @property
+    def forgetting(self) -> float:
+        """Accuracy on task A lost over the continued-learning phase."""
+        return self.initial_accuracy - self.final_accuracy
+
+
+def _split_by_classes(dataset: Dataset, classes: Sequence[int]) -> Dataset:
+    mask = np.isin(dataset.labels, list(classes))
+    return dataset.subset(np.flatnonzero(mask))
+
+
+def _relabel(network: SpikingNetwork, dataset: Dataset, rng) -> None:
+    """Refresh neuron labels from a labeling pass over ``dataset``."""
+    labeler = NeuronLabeler(network.config.n_neurons, network.config.n_labels)
+    for image, label in zip(dataset.images, dataset.labels):
+        winner = network.present_image(image, rng=rng).readout()
+        labeler.record(winner, int(label))
+    network.neuron_labels = labeler.labels()
+
+
+def _accuracy_on(network: SpikingNetwork, dataset: Dataset, rng) -> float:
+    correct = 0
+    for image, label in zip(dataset.images, dataset.labels):
+        if network.predict_image(image, rng=rng) == label:
+            correct += 1
+    return correct / max(len(dataset), 1)
+
+
+def retention_curve(
+    network: SpikingNetwork,
+    train_set: Dataset,
+    test_set: Dataset,
+    task_a_classes: Sequence[int] = (0, 1, 2, 3, 4),
+    task_b_classes: Sequence[int] = (5, 6, 7, 8, 9),
+    probe_every: int = 100,
+    task_b_images: int = 400,
+) -> RetentionStudy:
+    """Train on task A, continue on task B, probe task-A accuracy.
+
+    The network is trained (with the standard pipeline) on task A's
+    classes, then receives ``task_b_images`` presentations of task B
+    with learning on; every ``probe_every`` presentations the study
+    records accuracy on both tasks' test subsets and the receptive-
+    field drift since task A ended.
+    """
+    if probe_every < 1:
+        raise TrainingError(f"probe_every must be >= 1, got {probe_every}")
+    trainer = SNNTrainer(network)
+    task_a_train = _split_by_classes(train_set, task_a_classes)
+    task_b_train = _split_by_classes(train_set, task_b_classes)
+    task_a_test = _split_by_classes(test_set, task_a_classes)
+    task_b_test = _split_by_classes(test_set, task_b_classes)
+    if len(task_a_train) == 0 or len(task_b_train) == 0:
+        raise TrainingError("both tasks need training images")
+
+    trainer.train(task_a_train)
+    network.equalize_thresholds()
+    label_rng = child_rng(network.config.seed, "retention-label")
+    _relabel(network, task_a_train, label_rng)
+    baseline_weights = network.weights.copy()
+    baseline_scale = float(np.linalg.norm(baseline_weights)) or 1.0
+
+    probe_rng = child_rng(network.config.seed, "retention-probe")
+    study = RetentionStudy()
+    study.points.append(
+        RetentionPoint(
+            images_seen=0,
+            task_a_accuracy=_accuracy_on(network, task_a_test, probe_rng),
+            task_b_accuracy=_accuracy_on(network, task_b_test, probe_rng),
+            field_drift=0.0,
+        )
+    )
+
+    stream_rng = child_rng(network.config.seed, "retention-stream")
+    spikes_rng = child_rng(network.config.seed, "retention-spikes")
+    order = stream_rng.choice(len(task_b_train), size=task_b_images, replace=True)
+    for index, image_index in enumerate(order, start=1):
+        network.present_image(
+            task_b_train.images[image_index],
+            learn=True,
+            rng=spikes_rng,
+            stop_after_first_spike=True,
+        )
+        if index % probe_every == 0 or index == task_b_images:
+            _relabel(
+                network,
+                _merge_for_labeling(task_a_train, task_b_train, index),
+                label_rng,
+            )
+            drift = float(
+                np.linalg.norm(network.weights - baseline_weights) / baseline_scale
+            )
+            study.points.append(
+                RetentionPoint(
+                    images_seen=index,
+                    task_a_accuracy=_accuracy_on(network, task_a_test, probe_rng),
+                    task_b_accuracy=_accuracy_on(network, task_b_test, probe_rng),
+                    field_drift=drift,
+                )
+            )
+    return study
+
+
+def _merge_for_labeling(task_a: Dataset, task_b: Dataset, seen_b: int) -> Dataset:
+    """Labeling set: all of task A plus the task-B images seen so far."""
+    from ..datasets.base import merge
+
+    b_slice = task_b.take(min(max(seen_b, 10), len(task_b)))
+    return merge(task_a, b_slice)
+
+
+def receptive_field_drift(
+    network: SpikingNetwork,
+    dataset: Dataset,
+    n_presentations: int = 200,
+) -> List[float]:
+    """Per-probe relative weight drift under continued learning.
+
+    A compact stability probe: present ``n_presentations`` images with
+    learning on and record ||W - W0|| / ||W0|| every 20 images.
+    """
+    baseline = network.weights.copy()
+    scale = float(np.linalg.norm(baseline)) or 1.0
+    rng = child_rng(network.config.seed, "drift-spikes")
+    order_rng = child_rng(network.config.seed, "drift-order")
+    order = order_rng.choice(len(dataset), size=n_presentations, replace=True)
+    drifts = []
+    for index, image_index in enumerate(order, start=1):
+        network.present_image(
+            dataset.images[image_index],
+            learn=True,
+            rng=rng,
+            stop_after_first_spike=True,
+        )
+        if index % 20 == 0:
+            drifts.append(float(np.linalg.norm(network.weights - baseline) / scale))
+    return drifts

@@ -1,0 +1,93 @@
+"""SNNwot — the SNN with timing information removed (Section 4.2.2).
+
+The paper's simplified hardware variant: each pixel is converted into
+a *number* of spikes (a 4-bit count, up to 10), not a timed train; the
+leak plays no role; a neuron's potential is simply the weighted sum of
+counts (computed in hardware by shifters + a Wallace adder tree); and
+the winner is the neuron with the highest final potential (the
+potential being "highly correlated to the number of output spikes").
+
+Training still happens with the timed STDP process (the paper trains
+once and deploys either forward path, generating "the same number of
+spikes as for the STDP learning process ... to obtain consistent
+forward-phase results"); SNNwot costs about 1% of accuracy versus
+SNNwt in exchange for a 500x shorter evaluation (Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import TrainingError
+from ..core.metrics import EvaluationResult, evaluate
+from ..datasets.base import Dataset
+from .coding import deterministic_counts
+from .network import SpikingNetwork
+
+
+class SNNWithoutTime:
+    """Count-based forward path over an STDP-trained network's weights."""
+
+    def __init__(self, network: SpikingNetwork):
+        if network.neuron_labels is None:
+            raise TrainingError(
+                "SNNwot needs a trained, labeled network; run SNNTrainer.fit first"
+            )
+        self.network = network
+        self.config = network.config
+
+    def spike_counts(self, images: np.ndarray) -> np.ndarray:
+        """(B, n_inputs) 4-bit spike counts from the hardware converter."""
+        images = np.atleast_2d(images)
+        return np.stack(
+            [
+                deterministic_counts(
+                    image,
+                    duration=self.config.t_period,
+                    max_rate_interval=self.config.min_spike_interval,
+                )
+                for image in images
+            ]
+        )
+
+    def potentials(self, images: np.ndarray) -> np.ndarray:
+        """(B, n_neurons) final potentials: weights x counts."""
+        counts = self.spike_counts(images).astype(np.float64)
+        return counts @ self.network.weights.T
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions: max-potential neuron's label per image."""
+        winners = np.argmax(self.potentials(images), axis=1)
+        labels = self.network.neuron_labels[winners]
+        return labels
+
+    def predict_dataset(self, dataset: Dataset) -> np.ndarray:
+        return self.predict(dataset.images)
+
+    def evaluate(self, dataset: Dataset) -> EvaluationResult:
+        predictions = self.predict_dataset(dataset)
+        return evaluate(predictions, dataset.labels, dataset.n_classes)
+
+
+def relabel_for_counts(network: SpikingNetwork, train_set: Dataset) -> SNNWithoutTime:
+    """Build an SNNwot whose neuron labels come from the count readout.
+
+    The timing-free readout can crown different winners than the timed
+    one, so labeling neurons *with the same readout used at test time*
+    (still only using training images) is the consistent procedure.
+    Returns the wrapped model with labels refreshed.
+    """
+    from .labeling import NeuronLabeler  # local import to avoid a cycle
+
+    model = SNNWithoutTime.__new__(SNNWithoutTime)
+    model.network = network
+    model.config = network.config
+    potentials = model.potentials(train_set.images)
+    winners = np.argmax(potentials, axis=1)
+    labeler = NeuronLabeler(network.config.n_neurons, network.config.n_labels)
+    for winner, label in zip(winners, train_set.labels):
+        labeler.record(int(winner), int(label))
+    network.neuron_labels = labeler.labels()
+    return SNNWithoutTime(network)

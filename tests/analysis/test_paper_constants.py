@@ -1,0 +1,153 @@
+"""Consistency checks on the embedded paper reference data.
+
+The analysis modules carry the paper's published numbers as reference
+rows.  These tests cross-check them against each other and against the
+relationships the paper states in prose, so a typo in one table's
+constants cannot silently skew a comparison.
+"""
+
+import pytest
+
+from repro.analysis.figures import PAPER_FIG6, PAPER_FIG8, PAPER_FIG14
+from repro.analysis.tables_accuracy import PAPER_TABLE2, PAPER_TABLE3
+from repro.analysis.tables_hardware import (
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    PAPER_TABLE9,
+)
+from repro.analysis.workloads import PAPER_SEC45, PAPER_SEC5
+
+
+class TestAccuracyConstants:
+    def test_table3_gap_is_583(self):
+        # Section 3.1: "the SNN+STDP accuracy is 5.83% less than for
+        # the MLP".
+        rows = {r["model"]: r["accuracy"] for r in PAPER_TABLE3}
+        gap = rows["MLP+BP"] - rows["SNN+STDP - LIF (SNNwt)"]
+        assert gap == pytest.approx(5.83, abs=0.01)
+
+    def test_table3_snn_bp_gap_is_225(self):
+        # Section 3.2: "only 2.25% of accuracy difference between
+        # SNN+BP and MLP+BP".
+        rows = {r["model"]: r["accuracy"] for r in PAPER_TABLE3}
+        assert rows["MLP+BP"] - rows["SNN+BP"] == pytest.approx(2.25, abs=0.01)
+
+    def test_table3_wot_costs_103(self):
+        # Section 4.2.2: "the accuracy difference between the two is
+        # 1.03%".
+        rows = {r["model"]: r["accuracy"] for r in PAPER_TABLE3}
+        delta = rows["SNN+STDP - LIF (SNNwt)"] - rows["SNN+STDP - Simplified (SNNwot)"]
+        assert delta == pytest.approx(0.97, abs=0.07)  # 91.82 - 90.85
+
+    def test_table2_contains_querlioz_anchor(self):
+        rows = {r["model"]: r["accuracy"] for r in PAPER_TABLE2}
+        assert rows["SNN+STDP (Querlioz et al.)"] == 93.50
+
+    def test_fig14_rate_matches_table3(self):
+        # Section 5: "82.14% vs 91.82%" at the same topology.
+        at_300 = {
+            r["coding"]: r["accuracy"] for r in PAPER_FIG14 if r["neurons"] == 300
+        }
+        assert at_300["rate (Gaussian)"] == pytest.approx(91.82)
+        assert at_300["rank order"] == pytest.approx(82.14)
+
+    def test_fig8_anchors_match_table3(self):
+        at = {(r["model"], r["neurons"]): r["accuracy"] for r in PAPER_FIG8}
+        assert at[("MLP", 100)] == pytest.approx(97.65)
+        assert at[("SNN", 300)] == pytest.approx(91.82)
+        # Section 4.2.3: MLP with 15 hidden neurons reaches 92.07%.
+        assert at[("MLP", 15)] == pytest.approx(92.1, abs=0.1)
+
+    def test_fig6_errors_bracket_table3_mlp(self):
+        # Figure 6's a=1 error (~2.35%) matches Table 3's 97.65%.
+        errors = {r["activation"]: r["error_percent"] for r in PAPER_FIG6}
+        assert errors["sigmoid(a=1)"] == pytest.approx(100 - 97.65, abs=0.1)
+        assert errors["step [0/1]"] >= errors["sigmoid(a=16)"] >= errors["sigmoid(a=1)"]
+
+
+class TestHardwareConstants:
+    def test_table4_totals_are_sums(self):
+        for row in PAPER_TABLE4:
+            assert row["total_mm2"] == pytest.approx(
+                row["logic_mm2"] + row["sram_mm2"], abs=0.01
+            )
+
+    def test_table5_energy_equals_power_times_delay(self):
+        # E = P x delay holds within rounding of the published digits.
+        for row in PAPER_TABLE5:
+            assert row["energy_nj"] == pytest.approx(
+                row["power_w"] * row["delay_ns"], abs=0.03
+            )
+
+    def test_table6_totals_consistent_with_banks(self):
+        # Per-cycle energy = banks x per-bank read energy for the
+        # published bank geometries.
+        per_bank = {1: 44.41, 4: 33.05, 8: 32.46, 16: 32.46}
+        for row in PAPER_TABLE6:
+            if row["network"] == "SNN":
+                expected = row["n_banks"] * per_bank[row["ni"]] / 1e3
+                assert row["energy_nj"] == pytest.approx(expected, rel=0.01)
+
+    def test_table7_totals_include_table6_sram(self):
+        sram = {r["ni"]: r["area_mm2"] for r in PAPER_TABLE6 if r["network"] == "SNN"}
+        for row in PAPER_TABLE7:
+            if row["design"] == "SNNwot" and row["ni"] != "expanded":
+                assert row["total_mm2"] == pytest.approx(
+                    row["logic_mm2"] + sram[int(row["ni"])], abs=0.01
+                )
+
+    def test_table7_snnwt_cycles_are_500x_wot(self):
+        wot = {r["ni"]: r["cycles"] for r in PAPER_TABLE7 if r["design"] == "SNNwot"}
+        wt = {r["ni"]: r["cycles"] for r in PAPER_TABLE7 if r["design"] == "SNNwt"}
+        for ni in ("1", "4", "8", "16"):
+            assert wt[ni] == 500 * wot[ni]
+
+    def test_table8_gpu_times_self_consistent(self):
+        # The per-image GPU times implied by different MLP rows agree
+        # within a few percent — the property the GPU model relies on.
+        t7 = {
+            (r["design"], r["ni"]): r
+            for r in PAPER_TABLE7
+        }
+        implied = []
+        for ni in ("1", "16"):
+            row7 = t7[("MLP", ni)]
+            speedup = next(
+                r["speedup"] for r in PAPER_TABLE8
+                if r["design"] == "MLP" and r["ni"] == ni
+            )
+            implied.append(row7["cycles"] * row7["delay_ns"] * speedup)
+        assert implied[0] == pytest.approx(implied[1], rel=0.02)
+
+    def test_table9_delay_vs_table7_prose(self):
+        # The paper says the STDP circuit raises cycle time "by 7% at
+        # most", and that holds at ni=1 and ni=16 — but its own Table 9
+        # delays at ni=4/8 (1.48/1.81 ns) are ~30-50% above Table 7's
+        # SNNwt (1.11/1.18 ns).  Table 9's values instead follow the
+        # smooth tree-depth growth our delay model produces; recorded
+        # as a paper-internal inconsistency (DESIGN.md section 7).
+        wt_delay = {
+            int(r["ni"]): r["delay_ns"]
+            for r in PAPER_TABLE7
+            if r["design"] == "SNNwt" and r["ni"] != "expanded"
+        }
+        t9 = {r["ni"]: r["delay_ns"] for r in PAPER_TABLE9}
+        assert t9[1] <= wt_delay[1] * 1.08
+        assert t9[16] <= wt_delay[16] * 1.08
+        assert t9[4] > wt_delay[4] * 1.2   # the inconsistent cells
+        assert t9[8] > wt_delay[8] * 1.2
+
+    def test_sec5_paper_rows(self):
+        rows = {r["design"]: r for r in PAPER_SEC5}
+        assert rows["TrueNorth core"]["time_us"] / rows["SNNwot folded ni=1"]["time_us"] > 1000
+
+    def test_sec45_ratio_bands_ordered(self):
+        rows = {(r["workload"], r["model"]): r for r in PAPER_SEC45}
+        mpeg = rows[("MPEG-7", "SNNwot/MLP area ratio ni=1..16")]
+        sad = rows[("SAD", "SNNwot/MLP area ratio ni=1..16")]
+        assert mpeg["low"] <= mpeg["high"]
+        assert sad["low"] <= sad["high"]
+        assert mpeg["low"] > sad["high"]

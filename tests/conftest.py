@@ -1,0 +1,56 @@
+"""Shared fixtures: small datasets and pre-trained small models.
+
+Session-scoped so the expensive artifacts (dataset synthesis, model
+training) happen once per test run; tests must not mutate them —
+anything that trains or mutates builds its own instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPConfig, SNNConfig
+from repro.datasets.digits import load_digits
+from repro.mlp.network import MLP
+from repro.mlp.trainer import BackPropTrainer
+from repro.snn.network import SNNTrainer, SpikingNetwork
+
+
+@pytest.fixture(scope="session")
+def digits_small():
+    """A small digits train/test pair shared across the suite."""
+    return load_digits(n_train=240, n_test=80)
+
+
+@pytest.fixture(scope="session")
+def mlp_config_small() -> MLPConfig:
+    return MLPConfig(n_hidden=24, learning_rate=0.5, epochs=120).validate()
+
+
+@pytest.fixture(scope="session")
+def snn_config_small() -> SNNConfig:
+    return SNNConfig(epochs=2).with_neurons(40).validate()
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(digits_small, mlp_config_small) -> MLP:
+    """An MLP trained on the small digits set (do not mutate)."""
+    train_set, _ = digits_small
+    network = MLP(mlp_config_small)
+    BackPropTrainer(network, batch_size=16).train(train_set, epochs=120)
+    return network
+
+
+@pytest.fixture(scope="session")
+def trained_snn(digits_small, snn_config_small) -> SpikingNetwork:
+    """An SNN trained and labeled on the small digits set (do not mutate)."""
+    train_set, _ = digits_small
+    network = SpikingNetwork(snn_config_small)
+    SNNTrainer(network).fit(train_set)
+    return network
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

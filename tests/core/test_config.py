@@ -1,0 +1,155 @@
+"""Tests for the Table 1 configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import (
+    MLPConfig,
+    SNNConfig,
+    mnist_mlp_config,
+    mnist_snn_config,
+    mpeg7_mlp_config,
+    mpeg7_snn_config,
+    sad_mlp_config,
+    sad_snn_config,
+)
+from repro.core.errors import ConfigError
+
+
+class TestMLPConfigDefaults:
+    def test_defaults_match_table1(self):
+        config = mnist_mlp_config()
+        assert config.n_inputs == 784
+        assert config.n_hidden == 100
+        assert config.n_output == 10
+        assert config.learning_rate == 0.3
+        assert config.epochs == 50
+
+    def test_weight_count_matches_paper(self):
+        # Section 4.3.3: 784*100 + 100*10 = 79,400 weights.
+        assert mnist_mlp_config().n_weights == 79_400
+
+    def test_topology_string(self):
+        assert mnist_mlp_config().topology == "28x28-100-10"
+
+    def test_topology_non_square_inputs(self):
+        config = MLPConfig(n_inputs=90, n_hidden=10, n_output=10)
+        assert config.topology == "90-10-10"
+
+    def test_with_hidden_returns_new_config(self):
+        base = mnist_mlp_config()
+        small = base.with_hidden(15)
+        assert small.n_hidden == 15
+        assert base.n_hidden == 100
+        assert small.topology == "28x28-15-10"
+
+
+class TestMLPConfigValidation:
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            MLPConfig(n_inputs=0).validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_hidden", 0),
+        ("n_hidden", 10_000),
+        ("learning_rate", 0.0),
+        ("learning_rate", 5.0),
+        ("epochs", 0),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            MLPConfig(**{field: value}).validate()
+
+    def test_negative_sigmoid_slope_rejected(self):
+        with pytest.raises(ConfigError):
+            MLPConfig(sigmoid_slope=-1.0).validate()
+
+    def test_validate_returns_self(self):
+        config = MLPConfig()
+        assert config.validate() is config
+
+
+class TestSNNConfigDefaults:
+    def test_defaults_match_table1(self):
+        config = mnist_snn_config()
+        assert config.n_neurons == 300
+        assert config.t_period == 500.0
+        assert config.t_leak == 500.0
+        assert config.t_inhibit == 5.0
+        assert config.t_refrac == 20.0
+        assert config.t_ltp == 45.0
+        assert config.initial_threshold == 17_850.0  # w_max * 70
+        assert config.homeo_epoch == 1_500_000.0
+        assert config.homeo_threshold == 30.0
+
+    def test_initial_threshold_is_wmax_times_70(self):
+        config = mnist_snn_config()
+        assert config.initial_threshold == config.w_max * 70
+
+    def test_weight_count_matches_paper(self):
+        # Section 4.3.3: 784*300 = 235,200 weights.
+        assert mnist_snn_config().n_weights == 235_200
+
+    def test_max_spikes_per_pixel_is_ten(self):
+        # Section 4.2.2: up to 10 spikes per 8-bit pixel.
+        assert mnist_snn_config().max_spikes_per_pixel == 10
+
+    def test_topology_string(self):
+        assert mnist_snn_config().topology == "28x28-300"
+
+    def test_with_neurons_rescales_homeostasis(self):
+        config = mnist_snn_config().with_neurons(100)
+        # Table 1: HomeoT = 10 * Tperiod * #N; Homeoth = 3*HomeoT/(Tperiod*#N).
+        assert config.homeo_epoch == 10 * 500.0 * 100
+        assert config.homeo_threshold == pytest.approx(30.0)
+
+
+class TestSNNConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_neurons", 1),
+        ("t_period", 10.0),
+        ("t_leak", 5.0),
+        ("t_inhibit", 0.0),
+        ("t_refrac", 1.0),
+        ("t_ltp", 0.0),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            SNNConfig(**{field: value}).validate()
+
+    def test_w_max_bounds(self):
+        with pytest.raises(ConfigError):
+            SNNConfig(w_max=0).validate()
+        with pytest.raises(ConfigError):
+            SNNConfig(w_max=300).validate()
+
+    def test_period_shorter_than_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            SNNConfig(t_period=60.0, min_spike_interval=100.0).validate()
+
+    def test_bad_stdp_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SNNConfig(stdp_mode="magic").validate()
+
+    def test_negative_stdp_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            SNNConfig(stdp_ltp=-1.0).validate()
+
+
+class TestWorkloadConfigs:
+    def test_mpeg7_topologies(self):
+        # Section 4.5: MLP 28x28-15-10 and SNN 28x28-90.
+        assert mpeg7_mlp_config().topology == "28x28-15-10"
+        assert mpeg7_snn_config().topology == "28x28-90"
+
+    def test_sad_topologies(self):
+        # Section 4.5: MLP 13x13-60-10 and SNN 13x13-90.
+        assert sad_mlp_config().topology == "13x13-60-10"
+        assert sad_snn_config().topology == "13x13-90"
+
+    def test_overrides_apply(self):
+        config = mnist_snn_config(epochs=7)
+        assert config.epochs == 7
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigError):
+            mnist_mlp_config(learning_rate=100.0)

@@ -1,0 +1,75 @@
+"""Tests for the experiment runner and registry."""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.experiment import ExperimentResult, ExperimentSpec, run_timed
+from repro.core import registry
+
+
+def make_result(**overrides):
+    base = dict(
+        experiment_id="t", title="T",
+        rows=[{"a": 1, "b": 2}, {"a": 3, "c": 4}],
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestExperimentResult:
+    def test_column_names_first_seen_order(self):
+        assert make_result().column_names() == ["a", "b", "c"]
+
+    def test_find_row_matches(self):
+        assert make_result().find_row(a=3) == {"a": 3, "c": 4}
+
+    def test_find_row_multiple_criteria(self):
+        assert make_result().find_row(a=1, b=2) == {"a": 1, "b": 2}
+
+    def test_find_row_missing_raises(self):
+        with pytest.raises(ExperimentError):
+            make_result().find_row(a=99)
+
+    def test_run_timed_stamps_elapsed(self):
+        result = run_timed(lambda: make_result())
+        assert result.elapsed_seconds >= 0.0
+
+
+class TestRegistry:
+    def test_analysis_registers_all_artifacts(self):
+        import repro.analysis  # noqa: F401  (triggers registration)
+
+        ids = registry.all_ids()
+        for expected in (
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "table9", "fig5", "fig6", "fig8", "fig14",
+            "sec45", "sec5",
+        ):
+            assert expected in ids
+
+    def test_get_unknown_raises_with_known_list(self):
+        import repro.analysis  # noqa: F401
+
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            registry.get("table99")
+
+    def test_duplicate_registration_rejected(self):
+        import repro.analysis  # noqa: F401
+
+        with pytest.raises(ExperimentError, match="duplicate"):
+            registry.register("table1", "again")(lambda: None)
+
+    def test_spec_run_returns_result(self):
+        import repro.analysis  # noqa: F401
+
+        spec = registry.get("table6")
+        assert isinstance(spec, ExperimentSpec)
+        result = spec.run()
+        assert result.rows
+        assert result.elapsed_seconds >= 0.0
+
+    def test_iter_specs_sorted(self):
+        import repro.analysis  # noqa: F401
+
+        ids = [spec.experiment_id for spec in registry.iter_specs()]
+        assert ids == sorted(ids)

@@ -1,0 +1,86 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    evaluate,
+    per_class_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy([1, 2, 0], [0, 1, 2]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 0, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_no_fire_marker_counts_wrong(self):
+        # -1 is the SNN "no neuron fired" marker; always incorrect.
+        assert accuracy([-1, -1], [0, 1]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy([], [])
+
+    def test_error_rate_complements_accuracy(self):
+        predictions = [0, 1, 0, 2]
+        labels = [0, 1, 1, 1]
+        assert accuracy(predictions, labels) + error_rate(predictions, labels) == 1.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix = confusion_matrix([0, 1, 2, 2], [0, 1, 2, 2], 3)
+        assert np.array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([1, 1], [0, 0], 2)
+        assert matrix[0, 1] == 2
+        assert matrix.sum() == 2
+
+    def test_invalid_predictions_dropped(self):
+        matrix = confusion_matrix([-1, 0], [0, 0], 2)
+        assert matrix.sum() == 1
+
+    def test_rows_are_true_labels(self):
+        matrix = confusion_matrix([2], [1], 3)
+        assert matrix[1, 2] == 1
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        result = per_class_accuracy([0, 0, 1, 0], [0, 0, 1, 1], 2)
+        assert result[0] == 1.0
+        assert result[1] == 0.5
+
+    def test_absent_class_is_nan(self):
+        result = per_class_accuracy([0], [0], 3)
+        assert np.isnan(result[1]) and np.isnan(result[2])
+
+
+class TestEvaluate:
+    def test_bundle_fields(self):
+        result = evaluate([0, 1, 1, 0], [0, 1, 0, 0], 2)
+        assert result.accuracy == 0.75
+        assert result.n_samples == 4
+        assert result.n_classes == 2
+        assert result.confusion.shape == (2, 2)
+        assert result.error_rate == pytest.approx(0.25)
+        assert result.accuracy_percent == pytest.approx(75.0)
+
+    def test_summary_mentions_accuracy(self):
+        result = evaluate([0, 1], [0, 1], 2)
+        assert "100.00%" in result.summary()

@@ -1,0 +1,55 @@
+"""Tests for the deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.core.rng import DEFAULT_SEED, as_seed, child_rng, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).integers(0, 1000, 5).tolist() == make_rng(42).integers(0, 1000, 5).tolist()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**31, 10)
+        b = make_rng(2).integers(0, 2**31, 10)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).integers(0, 1000, 3).tolist() == make_rng(DEFAULT_SEED).integers(0, 1000, 3).tolist()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+
+class TestChildRng:
+    def test_streams_are_deterministic(self):
+        a = child_rng(7, "weights").integers(0, 1000, 5)
+        b = child_rng(7, "weights").integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_streams_are_decorrelated(self):
+        a = child_rng(7, "weights").integers(0, 2**31, 50)
+        b = child_rng(7, "spikes").integers(0, 2**31, 50)
+        assert not np.array_equal(a, b)
+
+    def test_different_parents_differ(self):
+        a = child_rng(1, "weights").integers(0, 2**31, 20)
+        b = child_rng(2, "weights").integers(0, 2**31, 20)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_returns_one_per_stream(self):
+        rngs = spawn_rngs(3, "a", "b", "c")
+        assert len(rngs) == 3
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+class TestAsSeed:
+    def test_int_passthrough(self):
+        assert as_seed(5) == 5
+
+    def test_none_gives_default(self):
+        assert as_seed(None) == DEFAULT_SEED
+
+    def test_generator_gives_int(self):
+        assert isinstance(as_seed(np.random.default_rng(0)), int)

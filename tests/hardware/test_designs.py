@@ -1,0 +1,94 @@
+"""Tests for DesignReport invariants and design-space monotonicity."""
+
+import pytest
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.core.errors import HardwareModelError
+from repro.hardware.designs import DesignReport
+from repro.hardware.folded import (
+    FOLD_FACTORS,
+    folded_mlp,
+    folded_snn_wot,
+    folded_snn_wt,
+    mlp_cycles,
+    snn_wot_cycles,
+    snn_wt_cycles,
+)
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+
+class TestDesignReport:
+    def test_derived_quantities(self):
+        report = DesignReport(
+            name="x", topology="t", logic_area_mm2=1.0, sram_area_mm2=2.0,
+            delay_ns=2.0, cycles_per_image=100, energy_per_image_uj=0.5,
+        )
+        assert report.total_area_mm2 == 3.0
+        assert report.time_per_image_ns == 200.0
+        assert report.time_per_image_us == pytest.approx(0.2)
+        assert report.clock_mhz == 500.0
+        assert report.power_w == pytest.approx(0.5e-6 / 200e-9)
+        assert report.energy_per_image_nj == 500.0
+
+    def test_summary_contains_key_numbers(self):
+        report = folded_mlp(MLP, 4)
+        summary = report.summary()
+        assert "mm^2" in summary and "cycles" in summary
+
+    def test_invalid_reports_rejected(self):
+        with pytest.raises(HardwareModelError):
+            DesignReport("x", "t", 1.0, 1.0, 0.0, 1, 1.0)
+        with pytest.raises(HardwareModelError):
+            DesignReport("x", "t", 1.0, 1.0, 1.0, 0, 1.0)
+        with pytest.raises(HardwareModelError):
+            DesignReport("x", "t", -1.0, 1.0, 1.0, 1, 1.0)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("fn,cfg", [
+        (folded_mlp, MLP), (folded_snn_wot, SNN), (folded_snn_wt, SNN),
+    ])
+    def test_area_grows_with_ni(self, fn, cfg):
+        areas = [fn(cfg, ni).total_area_mm2 for ni in FOLD_FACTORS]
+        assert all(b > a for a, b in zip(areas, areas[1:]))
+
+    @pytest.mark.parametrize("fn,cfg", [
+        (folded_mlp, MLP), (folded_snn_wot, SNN), (folded_snn_wt, SNN),
+    ])
+    def test_cycles_shrink_with_ni(self, fn, cfg):
+        cycles = [fn(cfg, ni).cycles_per_image for ni in FOLD_FACTORS]
+        assert all(b < a for a, b in zip(cycles, cycles[1:]))
+
+    def test_time_per_image_improves_with_ni(self):
+        times = [folded_mlp(MLP, ni).time_per_image_ns for ni in FOLD_FACTORS]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_snn_wt_500x_slower_than_wot(self):
+        # One cycle per emulated millisecond, 500 ms presentations.
+        for ni in FOLD_FACTORS:
+            assert snn_wt_cycles(SNN, ni) == 500 * snn_wot_cycles(SNN, ni)
+
+
+class TestCycleFormulas:
+    def test_mlp_formula(self):
+        # ceil(784/ni) + ceil(100/ni) + 2
+        assert mlp_cycles(MLP, 1) == 784 + 100 + 2
+        assert mlp_cycles(MLP, 16) == 49 + 7 + 2
+
+    def test_snn_wot_formula(self):
+        assert snn_wot_cycles(SNN, 1) == 784 + 7
+        assert snn_wot_cycles(SNN, 16) == 49 + 7
+
+    def test_ni_over_16_rejected(self):
+        with pytest.raises(HardwareModelError):
+            folded_mlp(MLP, 32)
+
+    def test_ni_zero_rejected(self):
+        with pytest.raises(HardwareModelError):
+            folded_snn_wot(SNN, 0)
+
+    def test_breakdown_populated(self):
+        report = folded_snn_wot(SNN, 4)
+        assert any("multiplier" in name for name in report.area_breakdown)

@@ -1,0 +1,118 @@
+"""Detail tests for the expanded/folded design internals."""
+
+import pytest
+
+from repro.core.config import MLPConfig, SNNConfig, mnist_mlp_config, mnist_snn_config
+from repro.hardware.expanded import (
+    MAX_FANIN,
+    _max_tree,
+    expanded_mlp,
+    expanded_snn_wot,
+    expanded_snn_wt,
+)
+from repro.hardware.folded import (
+    _tree_levels,
+    folded_mlp,
+    folded_snn_wot,
+    mlp_sram_plans,
+    snn_sram_plans,
+)
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+
+class TestMaxTree:
+    def test_two_level_structure_for_300_neurons(self):
+        netlist = _max_tree(300)
+        names = sorted(component.name for component, _count in netlist.entries)
+        # 15 first-level 20-input units + one 15-input unit.
+        assert any("max(20" in n for n in names)
+        assert any("max(15" in n for n in names)
+        total_units = sum(count for _c, count in netlist.entries)
+        assert total_units == 16
+
+    def test_single_level_when_small(self):
+        netlist = _max_tree(MAX_FANIN)
+        assert sum(count for _c, count in netlist.entries) == 1
+
+    def test_paper_max_tree_share(self):
+        # Section 4.3.2: the max tree is a small share of the smallest
+        # folded SNN design (the paper says 5.6%).
+        report = folded_snn_wot(SNN, 1)
+        max_area = sum(
+            area for name, (_c, area) in report.area_breakdown.items() if "max(" in name
+        )
+        share = max_area / (report.logic_area_mm2 * 1e6)
+        assert 0.02 < share < 0.20
+
+
+class TestTreeLevels:
+    @pytest.mark.parametrize("ni,levels", [(1, 1), (2, 2), (4, 3), (8, 4), (16, 5)])
+    def test_levels(self, ni, levels):
+        assert _tree_levels(ni) == levels
+
+
+class TestExpandedBreakdowns:
+    def test_snnwt_counts_784_rngs(self):
+        report = expanded_snn_wt(SNN)
+        count, _area = report.area_breakdown["gaussian_rng"]
+        assert count == 784
+
+    def test_snnwot_counts_shift_add_per_synapse(self):
+        report = expanded_snn_wot(SNN)
+        count, _area = report.area_breakdown["shift_add(w12)"]
+        assert count == 300 * 784
+
+    def test_mlp_tree_counts(self):
+        report = expanded_mlp(MLP)
+        assert report.area_breakdown["adder_tree(784,w8)"][0] == 100
+        assert report.area_breakdown["adder_tree(100,w8)"][0] == 10
+
+    def test_expanded_energy_per_weight_scaling(self):
+        # Energy scales linearly with weight count across topologies.
+        small = expanded_mlp(MLP.with_hidden(15))
+        large = expanded_mlp(MLP)
+        ratio = large.energy_per_image_uj / small.energy_per_image_uj
+        assert ratio == pytest.approx(
+            MLP.n_weights / MLP.with_hidden(15).n_weights, rel=1e-6
+        )
+
+
+class TestFoldedScalingBehaviour:
+    def test_mlp_logic_dominated_by_multipliers_at_high_ni(self):
+        report = folded_mlp(MLP, 16)
+        mult_area = report.area_breakdown["multiplier(8x8)"][1]
+        assert mult_area / (report.logic_area_mm2 * 1e6) > 0.5
+
+    def test_snn_total_dominated_by_sram_at_high_ni(self):
+        # Section 4.3.3's causal claim: the SNN loses folded because of
+        # synaptic storage.
+        report = folded_snn_wot(SNN, 16)
+        assert report.sram_area_mm2 > report.logic_area_mm2 * 2
+
+    def test_sram_plans_capacity_for_other_topologies(self):
+        for config in (
+            MLPConfig(n_inputs=169, n_hidden=60, n_output=10).validate(),
+            MLPConfig(n_inputs=3136, n_hidden=400, n_output=10).validate(),
+        ):
+            for ni in (1, 4, 8, 16):
+                for plan in mlp_sram_plans(config, ni):
+                    assert plan.total_bits >= plan.weight_bits
+
+    def test_snn_plan_matches_weight_count(self):
+        for ni in (1, 16):
+            (plan,) = snn_sram_plans(SNN, ni)
+            assert plan.weight_bits == SNN.n_weights * 8
+
+    def test_power_orders_of_magnitude(self):
+        # Folded designs draw fractions of a watt to a few watts —
+        # the embedded regime the paper targets.
+        for report in (folded_mlp(MLP, 16), folded_snn_wot(SNN, 16)):
+            assert 0.01 < report.power_w < 20.0
+
+    def test_snn_small_config_works(self):
+        config = SNNConfig(n_inputs=169).with_neurons(90)
+        report = folded_snn_wot(config, 8)
+        assert report.total_area_mm2 > 0
+        assert report.cycles_per_image == -(-169 // 8) + 7

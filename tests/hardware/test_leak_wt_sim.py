@@ -1,0 +1,132 @@
+"""Tests for the leak interpolator and the cycle-accurate SNNwt sim."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import ConfigError, SimulationError
+from repro.hardware.cyclesim import FoldedSNNwtSimulator
+from repro.hardware.leak_lut import (
+    LEAK_FACTOR_FORMAT,
+    ExponentialLUT,
+    apply_fixed_point_leak,
+    leak_factor_fixed_point,
+)
+
+
+class TestExponentialLUT:
+    def test_exact_at_zero(self):
+        lut = ExponentialLUT.build(t_leak=500.0)
+        assert lut.evaluate(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_interpolation_error_small(self):
+        lut = ExponentialLUT.build(t_leak=500.0)
+        assert lut.max_error() < 0.01
+
+    def test_monotone_decreasing(self):
+        lut = ExponentialLUT.build(t_leak=100.0)
+        values = lut.evaluate(np.linspace(0, 300, 200))
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_clamps_beyond_range(self):
+        lut = ExponentialLUT.build(t_leak=100.0, dt_max=200.0)
+        assert lut.evaluate(np.array([1e6]))[0] == lut.evaluate(np.array([200.0]))[0]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialLUT.build(t_leak=0.0)
+        with pytest.raises(ConfigError):
+            ExponentialLUT.build(t_leak=10.0, segments=1)
+
+
+class TestFixedPointLeak:
+    def test_paper_constant(self):
+        # t_leak = 500 ms -> exp(-1/500) = 0.998002 -> Q0.15 code 32703.
+        assert leak_factor_fixed_point(500.0) == 32703
+
+    def test_factor_accuracy(self):
+        code = leak_factor_fixed_point(500.0)
+        assert code * LEAK_FACTOR_FORMAT.scale == pytest.approx(
+            np.exp(-1 / 500), abs=2e-5
+        )
+
+    def test_apply_leak_shrinks_potentials(self):
+        code = leak_factor_fixed_point(500.0)
+        potentials = np.array([100_000, 0, 5])
+        leaked = apply_fixed_point_leak(potentials, code)
+        assert leaked[0] < 100_000
+        assert leaked[1] == 0
+        assert np.all(leaked <= potentials)
+
+    def test_repeated_leak_tracks_exponential(self):
+        code = leak_factor_fixed_point(500.0)
+        potential = np.array([1_000_000])
+        for _ in range(100):
+            potential = apply_fixed_point_leak(potential, code)
+        exact = 1_000_000 * np.exp(-100 / 500)
+        assert potential[0] == pytest.approx(exact, rel=0.01)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            leak_factor_fixed_point(-1.0)
+        with pytest.raises(ConfigError):
+            apply_fixed_point_leak(np.array([1]), 1 << 16)
+
+
+class TestFoldedSNNwtSimulator:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.datasets.digits import load_digits
+        from repro.snn.network import SNNTrainer, SpikingNetwork
+
+        train_set, test_set = load_digits(n_train=160, n_test=60)
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        SNNTrainer(network).fit(train_set)
+        return network, test_set
+
+    def test_cycle_count_matches_table7_structure(self, trained):
+        network, _ = trained
+        for ni, expected in ((1, 784 * 500), (4, 196 * 500), (16, 49 * 500)):
+            simulator = FoldedSNNwtSimulator(network, ni)
+            assert simulator.cycles_per_image() == expected
+
+    def test_trace_counts_folded_cycles(self, trained):
+        network, test_set = trained
+        simulator = FoldedSNNwtSimulator(network, 16)
+        _winner, trace = simulator.run_image(test_set.images[0])
+        assert trace.cycles == simulator.cycles_per_image()
+
+    def test_predictions_agree_with_functional_model(self, trained):
+        # The hardware datapath (LFSR timing, fixed-point leak) must
+        # behave like the functional SNN: high prediction agreement on
+        # the same images (spike realizations differ, so not exact).
+        network, test_set = trained
+        simulator = FoldedSNNwtSimulator(network, 16)
+        hardware = simulator.predict(test_set.images[:25])
+        functional = np.array(
+            [
+                network.predict_image(image, rng=i)
+                for i, image in enumerate(test_set.images[:25])
+            ]
+        )
+        agreement = np.mean(hardware == functional)
+        assert agreement > 0.5  # well above the 0.1 chance rate
+
+    def test_accuracy_above_chance(self, trained):
+        network, test_set = trained
+        simulator = FoldedSNNwtSimulator(network, 8)
+        predictions = simulator.predict(test_set.images)
+        accuracy = np.mean(predictions == test_set.labels)
+        assert accuracy > 0.3
+
+    def test_unlabeled_network_rejected(self):
+        from repro.snn.network import SpikingNetwork
+
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(10))
+        with pytest.raises(SimulationError):
+            FoldedSNNwtSimulator(network, 1)
+
+    def test_bad_ni_rejected(self, trained):
+        network, _ = trained
+        with pytest.raises(SimulationError):
+            FoldedSNNwtSimulator(network, 0)

@@ -1,0 +1,189 @@
+"""Tests for technology scaling and the design-space explorer."""
+
+import pytest
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.core.errors import HardwareModelError
+from repro.hardware.explorer import (
+    DesignPoint,
+    Requirements,
+    enumerate_design_space,
+    pareto_frontier,
+    recommend,
+)
+from repro.hardware.folded import folded_mlp
+from repro.hardware.scaling import (
+    NODES,
+    ProcessNode,
+    get_node,
+    scale_report,
+    scaling_factors,
+    truenorth_45nm_sanity,
+)
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+
+class TestScaling:
+    def test_known_nodes(self):
+        assert get_node("65nm").feature_nm == 65.0
+        assert get_node("45nm").voltage == 1.1
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(HardwareModelError):
+            get_node("3nm")
+
+    def test_identity_scaling(self):
+        factors = scaling_factors(get_node("65nm"), get_node("65nm"))
+        assert factors.area == factors.delay == factors.energy == 1.0
+
+    def test_shrink_reduces_all_costs(self):
+        factors = scaling_factors(get_node("65nm"), get_node("45nm"))
+        assert factors.area < 1.0
+        assert factors.delay < 1.0
+        assert factors.energy < 1.0
+
+    def test_area_scales_quadratically(self):
+        factors = scaling_factors(get_node("90nm"), get_node("45nm"))
+        assert factors.area == pytest.approx(0.25)
+        assert factors.delay == pytest.approx(0.5)
+
+    def test_scale_report_round_trip(self):
+        report = folded_mlp(MLP, 4)
+        shrunk = scale_report(report, "65nm", "45nm")
+        restored = scale_report(shrunk, "45nm", "65nm")
+        assert restored.total_area_mm2 == pytest.approx(report.total_area_mm2)
+        assert restored.delay_ns == pytest.approx(report.delay_ns)
+        assert restored.energy_per_image_uj == pytest.approx(
+            report.energy_per_image_uj
+        )
+
+    def test_scale_report_preserves_cycles(self):
+        report = folded_mlp(MLP, 4)
+        shrunk = scale_report(report, "65nm", "45nm")
+        assert shrunk.cycles_per_image == report.cycles_per_image
+
+    def test_invalid_node_parameters_rejected(self):
+        with pytest.raises(HardwareModelError):
+            ProcessNode("bad", -1.0, 1.0)
+
+    def test_truenorth_sanity_numbers(self):
+        sanity = truenorth_45nm_sanity()
+        # A naive 45->65nm shrink of the published 4.2 mm^2 core is
+        # larger than the paper's reimplementation.
+        assert sanity["naive_65nm_mm2"] > sanity["paper_reimplementation_mm2"]
+        assert sanity["density_gap"] > 1.5
+
+    def test_nodes_registry_complete(self):
+        assert {"90nm", "65nm", "45nm", "28nm"} <= set(NODES)
+
+
+class TestEnumeration:
+    def test_design_space_size(self):
+        points = enumerate_design_space(MLP, SNN)
+        # 4 fold factors x 4 families + 3 expanded = 19.
+        assert len(points) == 19
+
+    def test_online_points_flagged(self):
+        points = enumerate_design_space(MLP, SNN)
+        online = [p for p in points if p.supports_online_learning]
+        assert len(online) == 4
+        assert all(p.family == "SNN-online" for p in online)
+
+    def test_metric_dispatch(self):
+        point = enumerate_design_space(MLP, SNN)[0]
+        assert point.metric("area") == point.area_mm2
+        assert point.metric("latency") == point.latency_us
+        with pytest.raises(HardwareModelError):
+            point.metric("beauty")
+
+
+class TestPareto:
+    def test_frontier_is_nondominated(self):
+        points = enumerate_design_space(MLP, SNN)
+        frontier = pareto_frontier(points, ("area", "latency"))
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    b.metric("area") <= a.metric("area")
+                    and b.metric("latency") <= a.metric("latency")
+                    and (
+                        b.metric("area") < a.metric("area")
+                        or b.metric("latency") < a.metric("latency")
+                    )
+                )
+                assert not dominates
+
+    def test_frontier_sorted_by_first_objective(self):
+        frontier = pareto_frontier(
+            enumerate_design_space(MLP, SNN), ("area", "latency")
+        )
+        areas = [p.metric("area") for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_expanded_designs_on_latency_frontier(self):
+        # Expanded designs are the fastest; they must survive when
+        # latency is an objective.
+        frontier = pareto_frontier(
+            enumerate_design_space(MLP, SNN), ("latency", "area")
+        )
+        assert any(p.variant == "expanded" for p in frontier)
+
+    def test_single_objective_gives_minimum(self):
+        points = enumerate_design_space(MLP, SNN)
+        frontier = pareto_frontier(points, ("area",))
+        best = min(points, key=lambda p: p.area_mm2)
+        assert frontier[0].area_mm2 == best.area_mm2
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(HardwareModelError):
+            pareto_frontier(enumerate_design_space(MLP, SNN), ())
+
+
+class TestRecommend:
+    def test_embedded_budget_selects_folded_mlp(self):
+        # The paper's conclusion: at few-mm^2 embedded footprints the
+        # MLP wins across the board.
+        result = recommend(Requirements(max_area_mm2=8.0), MLP, SNN)
+        assert result.chosen is not None
+        assert result.chosen.family == "MLP"
+
+    def test_online_learning_selects_snn(self):
+        result = recommend(Requirements(needs_online_learning=True), MLP, SNN)
+        assert result.chosen is not None
+        assert result.chosen.family == "SNN-online"
+
+    def test_online_plus_accuracy_critical_has_no_winner(self):
+        result = recommend(
+            Requirements(needs_online_learning=True, accuracy_critical=True),
+            MLP,
+            SNN,
+        )
+        assert result.chosen is None
+        assert any("no current winner" in r for r in result.reasons)
+
+    def test_accuracy_critical_restricts_to_mlp(self):
+        result = recommend(Requirements(accuracy_critical=True), MLP, SNN)
+        assert result.chosen.family == "MLP"
+        assert all(p.family == "MLP" for p in result.feasible)
+
+    def test_impossible_constraints_yield_none(self):
+        result = recommend(Requirements(max_area_mm2=0.001), MLP, SNN)
+        assert result.chosen is None
+        assert not result.feasible
+
+    def test_latency_constraint_can_force_expanded(self):
+        # Sub-100ns deadlines are only reachable spatially expanded.
+        result = recommend(
+            Requirements(max_latency_us=0.05), MLP, SNN, prefer="area"
+        )
+        assert result.chosen is not None
+        assert result.chosen.variant == "expanded"
+
+    def test_summary_mentions_choice(self):
+        result = recommend(Requirements(max_area_mm2=8.0), MLP, SNN)
+        assert "recommended:" in result.summary()

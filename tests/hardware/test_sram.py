@@ -1,0 +1,103 @@
+"""Tests for the SRAM bank model (Table 6)."""
+
+import pytest
+
+from repro.core.errors import HardwareModelError
+from repro.hardware.sram import (
+    BANK_WIDTH_BITS,
+    bank_area_um2,
+    bank_read_energy_pj,
+    expanded_storage_area_um2,
+    plan_layer,
+)
+
+
+class TestPublishedBanks:
+    def test_784_deep_bank(self):
+        assert bank_area_um2(784) == 108_351.0
+        assert bank_read_energy_pj(784) == 44.41
+
+    def test_200_deep_bank(self):
+        assert bank_area_um2(200) == 46_002.0
+        assert bank_read_energy_pj(200) == 33.05
+
+    def test_128_deep_bank(self):
+        assert bank_area_um2(128) == 40_772.0
+        assert bank_read_energy_pj(128) == 32.46
+
+    def test_interpolation_monotone(self):
+        assert bank_area_um2(300) > bank_area_um2(150)
+        assert bank_read_energy_pj(600) > bank_read_energy_pj(150)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(HardwareModelError):
+            bank_area_um2(0)
+
+
+class TestPackingRule:
+    """The recovered Table 6 packing (DESIGN.md section 5)."""
+
+    @pytest.mark.parametrize("ni,expected_banks,expected_depth,neurons_per_bank", [
+        (1, 19, 784, 16),
+        (4, 75, 200, 4),
+        (8, 150, 128, 2),
+        (16, 300, 128, 1),
+    ])
+    def test_snn_layer_matches_paper(self, ni, expected_banks, expected_depth, neurons_per_bank):
+        plan = plan_layer(300, 784, ni)
+        assert plan.n_banks == expected_banks
+        assert plan.depth == expected_depth
+        assert plan.neurons_per_bank == neurons_per_bank
+
+    @pytest.mark.parametrize("ni,expected_banks", [(1, 8), (4, 28), (8, 55), (16, 110)])
+    def test_mlp_layers_match_paper(self, ni, expected_banks):
+        hidden = plan_layer(100, 784, ni)
+        output = plan_layer(10, 100, ni)
+        assert hidden.n_banks + output.n_banks == expected_banks
+
+    def test_snn_area_matches_paper(self):
+        # Table 6 totals: 2.06 / 3.45 / 6.12 / 12.23 mm^2.
+        for ni, expected in ((1, 2.06), (4, 3.45), (8, 6.12), (16, 12.23)):
+            assert plan_layer(300, 784, ni).area_mm2 == pytest.approx(expected, rel=0.01)
+
+    def test_snn_read_energy_matches_paper(self):
+        for ni, expected in ((1, 0.84), (4, 2.48), (8, 4.87), (16, 9.74)):
+            energy_nj = plan_layer(300, 784, ni).read_energy_per_cycle_pj / 1e3
+            assert energy_nj == pytest.approx(expected, rel=0.01)
+
+    def test_capacity_holds_all_weights(self):
+        for ni in (1, 4, 8, 16):
+            plan = plan_layer(300, 784, ni)
+            assert plan.total_bits >= plan.weight_bits
+
+    def test_ni_too_wide_rejected(self):
+        with pytest.raises(HardwareModelError):
+            plan_layer(10, 100, 32)  # 32*8 = 256 > 128-bit row
+
+    def test_small_layer_single_bank(self):
+        plan = plan_layer(4, 16, 1)
+        assert plan.n_banks == 1
+
+    def test_invalid_layer_rejected(self):
+        with pytest.raises(HardwareModelError):
+            plan_layer(0, 10, 1)
+        with pytest.raises(HardwareModelError):
+            plan_layer(10, 10, 0)
+
+    def test_bank_width_constant(self):
+        assert BANK_WIDTH_BITS == 128
+
+
+class TestExpandedStorage:
+    def test_snn_expanded_matches_table4(self):
+        # 235,200 weights -> 19.27 mm^2.
+        area = expanded_storage_area_um2(235_200) / 1e6
+        assert area == pytest.approx(19.27, rel=0.01)
+
+    def test_mlp_expanded_matches_table4(self):
+        area = expanded_storage_area_um2(79_400) / 1e6
+        assert area == pytest.approx(6.49, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareModelError):
+            expanded_storage_area_um2(-1)

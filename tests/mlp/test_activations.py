@@ -1,0 +1,89 @@
+"""Tests for the activation functions (Figure 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.mlp.activations import (
+    activation_profile,
+    make_sigmoid,
+    make_step,
+    sigmoid,
+    sigmoid_derivative_from_output,
+    step,
+)
+
+
+class TestSigmoid:
+    def test_standard_values(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_for_extreme_inputs(self):
+        with np.errstate(over="raise"):
+            values = sigmoid(np.array([-1e4, 1e4]), slope=16.0)
+        assert values[0] == 0.0 and values[1] == 1.0
+
+    def test_slope_steepens_profile(self):
+        x = np.array([0.5])
+        values = [sigmoid(x, slope=a)[0] for a in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_slope_convergence_to_step(self):
+        # Figure 5: higher a brings the sigmoid closer to the step.
+        x = np.linspace(-4, 4, 101)
+        x = x[np.abs(x) > 0.25]
+        deviations = [
+            np.max(np.abs(sigmoid(x, slope=a) - step(x))) for a in (1, 4, 16)
+        ]
+        assert deviations[0] > deviations[1] > deviations[2]
+
+    def test_derivative_from_output(self):
+        y = sigmoid(np.array([0.7]), slope=3.0)
+        expected = 3.0 * y * (1 - y)
+        assert sigmoid_derivative_from_output(y, 3.0) == pytest.approx(expected)
+
+    def test_derivative_matches_numerical(self):
+        x = np.array([0.3])
+        eps = 1e-6
+        numeric = (sigmoid(x + eps, 2.0) - sigmoid(x - eps, 2.0)) / (2 * eps)
+        y = sigmoid(x, 2.0)
+        assert sigmoid_derivative_from_output(y, 2.0)[0] == pytest.approx(
+            numeric[0], rel=1e-4
+        )
+
+
+class TestStep:
+    def test_values(self):
+        assert step(np.array([-1.0, 0.0, 1.0])).tolist() == [0.0, 0.0, 1.0]
+
+    def test_step_activation_has_surrogate_gradient(self):
+        activation = make_step()
+        x = np.array([0.1, -0.1])
+        gradient = activation.derivative(x, activation.forward(x))
+        assert np.all(gradient > 0)  # surrogate is positive near 0
+
+    def test_surrogate_vanishes_far_from_zero(self):
+        activation = make_step()
+        near = activation.derivative(np.array([0.0]), None)
+        far = activation.derivative(np.array([10.0]), None)
+        assert near[0] > far[0]
+
+
+class TestFactories:
+    def test_make_sigmoid_names(self):
+        assert make_sigmoid(4.0).name == "sigmoid(a=4)"
+
+    def test_make_sigmoid_rejects_bad_slope(self):
+        with pytest.raises(ConfigError):
+            make_sigmoid(0.0)
+
+    def test_make_step_rejects_bad_slope(self):
+        with pytest.raises(ConfigError):
+            make_step(surrogate_slope=-1.0)
+
+    def test_activation_profile_shape(self):
+        xs, ys = activation_profile(make_sigmoid(1.0), -5, 5, 21)
+        assert xs.shape == ys.shape == (21,)
+        assert ys[0] < 0.01 and ys[-1] > 0.99

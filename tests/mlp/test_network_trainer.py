@@ -1,0 +1,145 @@
+"""Tests for the MLP forward pass and the BP trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPConfig
+from repro.core.errors import ConfigError, TrainingError
+from repro.datasets.base import Dataset
+from repro.mlp.network import MLP
+from repro.mlp.trainer import BackPropTrainer, evaluate_mlp, one_hot, train_mlp
+
+
+def tiny_config(**overrides):
+    base = dict(n_inputs=16, n_hidden=8, n_output=4, epochs=10, seed=1)
+    base.update(overrides)
+    return MLPConfig(**base).validate()
+
+
+def tiny_dataset(n=80, n_classes=4):
+    """A trivially separable dataset: class = brightest quadrant."""
+    rng = np.random.default_rng(0)
+    images = np.zeros((n, 16), dtype=np.uint8)
+    labels = np.arange(n) % n_classes
+    for i, label in enumerate(labels):
+        images[i] = rng.integers(0, 60, 16)
+        images[i, label * 4 : label * 4 + 4] = rng.integers(180, 255, 4)
+    return Dataset(images=images, labels=labels.astype(np.int64), n_classes=n_classes)
+
+
+class TestForward:
+    def test_output_shape(self):
+        network = MLP(tiny_config())
+        trace = network.forward(np.zeros((5, 16)))
+        assert trace.output_out.shape == (5, 4)
+        assert trace.hidden_out.shape == (5, 8)
+
+    def test_single_sample_promoted_to_batch(self):
+        network = MLP(tiny_config())
+        trace = network.forward(np.zeros(16))
+        assert trace.output_out.shape == (1, 4)
+
+    def test_wrong_input_size_rejected(self):
+        network = MLP(tiny_config())
+        with pytest.raises(ConfigError):
+            network.forward(np.zeros((2, 9)))
+
+    def test_outputs_in_sigmoid_range(self):
+        network = MLP(tiny_config())
+        trace = network.forward(np.random.default_rng(0).random((10, 16)))
+        assert trace.output_out.min() > 0.0 and trace.output_out.max() < 1.0
+
+    def test_deterministic_init_per_seed(self):
+        a = MLP(tiny_config(seed=3))
+        b = MLP(tiny_config(seed=3))
+        assert np.array_equal(a.w_hidden, b.w_hidden)
+
+    def test_different_seeds_differ(self):
+        a = MLP(tiny_config(seed=3))
+        b = MLP(tiny_config(seed=4))
+        assert not np.array_equal(a.w_hidden, b.w_hidden)
+
+    def test_copy_weights(self):
+        a = MLP(tiny_config(seed=3))
+        b = MLP(tiny_config(seed=4))
+        b.copy_weights_from(a)
+        assert np.array_equal(a.w_output, b.w_output)
+
+    def test_copy_weights_shape_mismatch_rejected(self):
+        a = MLP(tiny_config())
+        b = MLP(tiny_config(n_hidden=6))
+        with pytest.raises(TrainingError):
+            b.copy_weights_from(a)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        targets = one_hot(np.array([0, 2]), 3)
+        assert targets.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TrainingError):
+            one_hot(np.array([3]), 3)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        dataset = tiny_dataset()
+        network = MLP(tiny_config(learning_rate=0.5))
+        trainer = BackPropTrainer(network, batch_size=8)
+        history = trainer.train(dataset, epochs=20)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_learns_separable_data(self):
+        dataset = tiny_dataset()
+        network = train_mlp(tiny_config(learning_rate=0.5), dataset, epochs=40, batch_size=8)
+        result = evaluate_mlp(network, dataset)
+        assert result.accuracy > 0.9
+
+    def test_batch_size_one_is_online_bp(self):
+        dataset = tiny_dataset(n=20)
+        network = MLP(tiny_config(learning_rate=0.5))
+        trainer = BackPropTrainer(network, batch_size=1)
+        history = trainer.train(dataset, epochs=5)
+        assert len(history.epoch_losses) == 5
+
+    def test_validation_history(self):
+        dataset = tiny_dataset()
+        network = MLP(tiny_config())
+        trainer = BackPropTrainer(network)
+        history = trainer.train(dataset, epochs=3, validation=dataset)
+        assert len(history.epoch_accuracies) == 3
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(TrainingError):
+            BackPropTrainer(MLP(tiny_config()), batch_size=0)
+
+    def test_final_loss_requires_epochs(self):
+        from repro.mlp.trainer import TrainingHistory
+
+        with pytest.raises(TrainingError):
+            _ = TrainingHistory().final_loss
+
+    def test_default_epochs_from_config(self):
+        dataset = tiny_dataset(n=20)
+        network = MLP(tiny_config(epochs=2))
+        history = BackPropTrainer(network).train(dataset)
+        assert len(history.epoch_losses) == 2
+
+
+class TestTrainingOnDigits:
+    def test_reaches_high_accuracy_on_digits(self, digits_small, trained_mlp):
+        _, test_set = digits_small
+        result = evaluate_mlp(trained_mlp, test_set)
+        assert result.accuracy > 0.75
+
+    def test_step_activation_trains(self, digits_small):
+        from repro.mlp.activations import make_step
+
+        train_set, test_set = digits_small
+        config = MLPConfig(n_hidden=24, step_activation=True).validate()
+        network = MLP(config)
+        assert network.activation.name == "step[0/1]"
+        BackPropTrainer(network).train(train_set, epochs=15)
+        result = evaluate_mlp(network, test_set)
+        assert result.accuracy > 0.5  # trains despite the hard step

@@ -1,0 +1,90 @@
+"""Tests for the 8-bit fixed-point MLP inference path (Section 4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.mlp.activations import sigmoid
+from repro.mlp.quantized import SIGMOID_SEGMENTS, QuantizedMLP, SigmoidLUT
+from repro.mlp.trainer import evaluate_mlp
+
+
+class TestSigmoidLUT:
+    def test_has_16_segments(self):
+        lut = SigmoidLUT.build()
+        assert lut.segments == SIGMOID_SEGMENTS == 16
+
+    def test_interpolation_error_small(self):
+        # 16 uniform segments over [-8, 8]: worst-case interpolation
+        # error ~0.012 (3 LSB at 8 bits) — small against the trained
+        # network's decision margins (see the accuracy tests below).
+        assert SigmoidLUT.build().max_error() < 0.012
+
+    def test_exact_at_segment_edges(self):
+        lut = SigmoidLUT.build()
+        edges = np.linspace(lut.x_min, lut.x_max, lut.segments + 1)
+        assert np.allclose(lut.evaluate(edges), sigmoid(edges), atol=1e-12)
+
+    def test_saturates_outside_range(self):
+        lut = SigmoidLUT.build()
+        assert lut.evaluate(np.array([-50.0]))[0] == 0.0
+        assert lut.evaluate(np.array([50.0]))[0] == 1.0
+
+    def test_monotone(self):
+        lut = SigmoidLUT.build()
+        xs = np.linspace(-10, 10, 400)
+        assert np.all(np.diff(lut.evaluate(xs)) >= 0)
+
+    def test_slope_parameter_respected(self):
+        lut = SigmoidLUT.build(slope=8.0)
+        assert lut.evaluate(np.array([0.5]))[0] == pytest.approx(
+            sigmoid(np.array([0.5]), 8.0)[0], abs=0.02
+        )
+
+    def test_too_few_segments_rejected(self):
+        with pytest.raises(ConfigError):
+            SigmoidLUT.build(segments=1)
+
+
+class TestQuantizedMLP:
+    def test_codes_within_8bit_range(self, trained_mlp):
+        quantized = QuantizedMLP(trained_mlp)
+        assert quantized.w_hidden_codes.max() <= 127
+        assert quantized.w_hidden_codes.min() >= -128
+
+    def test_output_codes_unsigned_8bit(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        quantized = QuantizedMLP(trained_mlp)
+        codes = quantized.forward_codes(test_set.normalized()[:8])
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_accuracy_close_to_float(self, trained_mlp, digits_small):
+        # Section 4.2.1: 8-bit inference loses ~1% (96.65 vs 97.65).
+        _, test_set = digits_small
+        float_acc = evaluate_mlp(trained_mlp, test_set).accuracy
+        quantized = QuantizedMLP(trained_mlp)
+        q_acc = float(
+            np.mean(quantized.predict_dataset(test_set) == test_set.labels)
+        )
+        assert q_acc >= float_acc - 0.08
+
+    def test_agrees_with_float_on_most_samples(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        quantized = QuantizedMLP(trained_mlp)
+        agreement = np.mean(
+            quantized.predict_dataset(test_set)
+            == trained_mlp.predict_dataset(test_set)
+        )
+        assert agreement > 0.85
+
+    def test_wrong_input_size_rejected(self, trained_mlp):
+        quantized = QuantizedMLP(trained_mlp)
+        with pytest.raises(ConfigError):
+            quantized.forward_codes(np.zeros((1, 99)))
+
+    def test_deterministic(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        quantized = QuantizedMLP(trained_mlp)
+        a = quantized.predict_dataset(test_set)
+        b = quantized.predict_dataset(test_set)
+        assert np.array_equal(a, b)

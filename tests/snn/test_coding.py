@@ -1,0 +1,225 @@
+"""Tests for the spike coding schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.snn.coding import (
+    GaussianCoder,
+    PoissonCoder,
+    RankOrderCoder,
+    SpikeTrain,
+    TimeToFirstSpikeCoder,
+    deterministic_counts,
+    make_coder,
+    mean_interval,
+)
+
+
+class TestMeanInterval:
+    def test_full_luminance_is_min_interval(self):
+        # 255 -> 50 ms (20 Hz), the paper's anchor.
+        assert mean_interval(np.array([255]))[0] == pytest.approx(50.0)
+
+    def test_zero_luminance_is_three_times_slower(self):
+        assert mean_interval(np.array([0]))[0] == pytest.approx(150.0)
+
+    def test_monotone_decreasing_in_luminance(self):
+        intervals = mean_interval(np.arange(256))
+        assert np.all(np.diff(intervals) < 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            mean_interval(np.array([300]))
+
+
+class TestDeterministicCounts:
+    def test_bright_pixel_max_count(self):
+        # 500 ms / 50 ms = 10 spikes, the 4-bit hardware cap.
+        assert deterministic_counts(np.array([255]))[0] == 10
+
+    def test_dark_pixel_count(self):
+        # 500 ms / 150 ms = 3 spikes.
+        assert deterministic_counts(np.array([0]))[0] == 3
+
+    def test_monotone_in_luminance(self):
+        counts = deterministic_counts(np.arange(256))
+        assert np.all(np.diff(counts) >= 0)
+
+    def test_matches_figure7_breakpoints(self):
+        # The Figure 7 comparator thresholds correspond to the count
+        # increments of the rate law: counts step up near 64, 128, 170,
+        # 200, 223, 242, 255 luminance.
+        counts = deterministic_counts(np.arange(256))
+        jumps = np.flatnonzero(np.diff(counts)) + 1
+        for expected in (64, 128, 170, 200):
+            assert np.any(np.abs(jumps - expected) <= 2)
+
+
+class TestRateCoders:
+    @pytest.mark.parametrize("coder_cls", [PoissonCoder, GaussianCoder])
+    def test_bright_pixels_spike_more(self, coder_cls):
+        coder = coder_cls()
+        image = np.array([255] * 8 + [20] * 8, dtype=np.uint8)
+        counts = coder.encode(image, rng=0).counts()
+        assert counts[:8].mean() > counts[8:].mean()
+
+    @pytest.mark.parametrize("coder_cls", [PoissonCoder, GaussianCoder])
+    def test_count_cap_respected(self, coder_cls):
+        coder = coder_cls()
+        image = np.full(16, 255, dtype=np.uint8)
+        counts = coder.encode(image, rng=0).counts()
+        assert counts.max() <= coder.max_spikes_per_pixel == 10
+
+    def test_mean_rate_matches_law(self):
+        # At luminance 255 the mean interval is 50 ms -> about 9-10
+        # spikes in a 500 ms window (cap at 10).
+        coder = PoissonCoder()
+        image = np.full(300, 255, dtype=np.uint8)
+        counts = coder.encode(image, rng=0).counts()
+        assert 6.5 < counts.mean() <= 10
+
+    def test_gaussian_mean_close_to_poisson_mean(self):
+        # Section 4.2.2: Gaussian intervals behave like Poisson ones.
+        image = np.full(300, 180, dtype=np.uint8)
+        poisson = PoissonCoder().encode(image, rng=0).counts().mean()
+        gaussian = GaussianCoder().encode(image, rng=0).counts().mean()
+        assert gaussian == pytest.approx(poisson, rel=0.25)
+
+    def test_spike_times_within_duration(self):
+        train = PoissonCoder(duration=400).encode(
+            np.full(50, 200, dtype=np.uint8), rng=1
+        )
+        assert train.times.max() < 400
+
+    def test_deterministic_given_rng_seed(self):
+        image = np.full(20, 128, dtype=np.uint8)
+        a = PoissonCoder().encode(image, rng=9)
+        b = PoissonCoder().encode(image, rng=9)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.inputs, b.inputs)
+
+
+class TestTemporalCoders:
+    def test_ttfs_one_spike_per_active_pixel(self):
+        image = np.array([0, 100, 200, 255], dtype=np.uint8)
+        train = TimeToFirstSpikeCoder().encode(image)
+        assert train.n_spikes == 3  # dark pixel silent
+        assert train.counts().max() == 1
+
+    def test_ttfs_brighter_spikes_earlier(self):
+        image = np.array([50, 250], dtype=np.uint8)
+        train = TimeToFirstSpikeCoder().encode(image)
+        time_dim = dict(zip(train.inputs, train.times))
+        assert time_dim[1] < time_dim[0]
+
+    def test_rank_order_ordering(self):
+        image = np.array([10, 240, 120], dtype=np.uint8)
+        train = RankOrderCoder().encode(image)
+        assert train.inputs.tolist() == [1, 2, 0]  # luminance descending
+
+    def test_rank_order_modulation_decays(self):
+        image = np.arange(1, 100, dtype=np.uint8)
+        train = RankOrderCoder().encode(image)
+        assert np.all(np.diff(train.modulation) <= 0)
+        assert train.modulation[0] == 1.0
+
+    def test_rank_order_bad_modulation_rejected(self):
+        with pytest.raises(ConfigError):
+            RankOrderCoder(modulation=1.5)
+
+    def test_temporal_coders_flagged_not_rate_coded(self):
+        assert PoissonCoder.rate_coded and GaussianCoder.rate_coded
+        assert not TimeToFirstSpikeCoder.rate_coded
+        assert not RankOrderCoder.rate_coded
+
+
+class TestSpikeTrain:
+    def test_sorted_on_construction(self):
+        train = SpikeTrain(
+            times=np.array([5.0, 1.0, 3.0]),
+            inputs=np.array([0, 1, 2]),
+            n_inputs=3,
+            duration=10.0,
+        )
+        assert train.times.tolist() == [1.0, 3.0, 5.0]
+        assert train.inputs.tolist() == [1, 2, 0]
+
+    def test_counts(self):
+        train = SpikeTrain(
+            times=np.array([1.0, 2.0, 3.0]),
+            inputs=np.array([0, 0, 2]),
+            n_inputs=3,
+            duration=10.0,
+        )
+        assert train.counts().tolist() == [2, 0, 1]
+
+    def test_weighted_counts_use_modulation(self):
+        train = SpikeTrain(
+            times=np.array([1.0, 2.0]),
+            inputs=np.array([0, 0]),
+            n_inputs=1,
+            duration=10.0,
+            modulation=np.array([1.0, 0.5]),
+        )
+        assert train.weighted_counts()[0] == pytest.approx(1.5)
+
+    def test_steps_bucketing(self):
+        train = SpikeTrain(
+            times=np.array([0.2, 0.7, 1.5]),
+            inputs=np.array([0, 1, 2]),
+            n_inputs=3,
+            duration=3.0,
+        )
+        steps = train.steps(1.0)
+        assert len(steps) == 3
+        assert sorted(steps[0].tolist()) == [0, 1]
+        assert steps[1].tolist() == [2]
+        assert steps[2].tolist() == []
+
+    def test_steps_weighted_matches_steps(self):
+        image = np.full(30, 150, dtype=np.uint8)
+        train = PoissonCoder().encode(image, rng=0)
+        plain = train.steps(1.0)
+        weighted = train.steps_weighted(1.0)
+        assert len(plain) == len(weighted)
+        for p, (inputs, modulation) in zip(plain, weighted):
+            assert sorted(p.tolist()) == sorted(inputs.tolist())
+            assert np.all(modulation == 1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            SpikeTrain(np.array([1.0]), np.array([0, 1]), 2, 10.0)
+
+
+class TestMakeCoder:
+    def test_all_registered_names(self):
+        for name in ("poisson", "gaussian", "rank-order", "time-to-first-spike"):
+            assert make_coder(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_coder("morse")
+
+
+class TestCodingProperties:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_bounded_for_any_luminance(self, luminance):
+        counts = deterministic_counts(np.array([luminance]))
+        assert 3 <= counts[0] <= 10
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_spikes_always_valid(self, pixels, seed):
+        image = np.array(pixels, dtype=np.uint8)
+        train = PoissonCoder().encode(image, rng=seed)
+        assert np.all(train.times >= 0)
+        assert np.all(train.times < train.duration)
+        assert np.all(train.inputs < image.size)
+        assert train.counts().max() <= 10

@@ -1,0 +1,82 @@
+"""Tests for MLP-to-SNN conversion (the Section 3.2 bridging direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError, TrainingError
+from repro.snn.conversion import ConvertedSNN, conversion_sweep, convert_mlp
+
+
+class TestConversion:
+    def test_converted_predictions_valid(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        converted = convert_mlp(trained_mlp)
+        predictions = converted.predict(test_set.normalized()[:10], timesteps=50, rng=0)
+        assert predictions.shape == (10,)
+        assert predictions.min() >= 0 and predictions.max() < 10
+
+    def test_accuracy_approaches_mlp(self, trained_mlp, digits_small):
+        # The conversion promise: with enough timesteps the spiking
+        # execution recovers most of the MLP's accuracy.
+        train_set, test_set = digits_small
+        converted = convert_mlp(trained_mlp, calibration=train_set)
+        result = converted.evaluate(test_set, timesteps=150, rng=0)
+        mlp_accuracy = float(
+            np.mean(trained_mlp.predict_dataset(test_set) == test_set.labels)
+        )
+        assert result.accuracy > mlp_accuracy - 0.15
+
+    def test_more_timesteps_not_worse(self, trained_mlp, digits_small):
+        train_set, test_set = digits_small
+        converted = convert_mlp(trained_mlp, calibration=train_set)
+        short = converted.evaluate(test_set, timesteps=5, rng=0).accuracy
+        long = converted.evaluate(test_set, timesteps=150, rng=0).accuracy
+        assert long >= short - 0.05
+
+    def test_sweep_monotone_trend(self, trained_mlp, digits_small):
+        train_set, test_set = digits_small
+        results = conversion_sweep(
+            trained_mlp,
+            test_set.take(60),
+            timesteps_list=[5, 50, 200],
+            calibration=train_set,
+            rng=0,
+        )
+        assert len(results) == 3
+        assert results[-1].snn_accuracy >= results[0].snn_accuracy - 0.05
+        # The final gap to the MLP is small.
+        assert results[-1].gap < 0.2
+
+    def test_deterministic_given_rng(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        converted = convert_mlp(trained_mlp)
+        a = converted.predict(test_set.normalized()[:5], timesteps=20, rng=3)
+        b = converted.predict(test_set.normalized()[:5], timesteps=20, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_bad_timesteps_rejected(self, trained_mlp):
+        converted = convert_mlp(trained_mlp)
+        with pytest.raises(ConfigError):
+            converted.simulate(np.zeros((1, 784)), timesteps=0)
+
+    def test_wrong_input_size_rejected(self, trained_mlp):
+        converted = convert_mlp(trained_mlp)
+        with pytest.raises(ConfigError):
+            converted.simulate(np.zeros((1, 100)), timesteps=5)
+
+    def test_empty_calibration_rejected(self, trained_mlp, digits_small):
+        train_set, _ = digits_small
+        with pytest.raises(TrainingError):
+            convert_mlp(trained_mlp, calibration=train_set.subset(np.array([], dtype=int)))
+
+    def test_bridges_beyond_stdp(self, trained_mlp, trained_snn, digits_small):
+        # The converted network (BP-trained weights run as spikes)
+        # should beat the STDP-trained SNN — the paper's Section 3.2
+        # point that the learning rule, not spiking, is the bottleneck.
+        from repro.snn.network import SNNTrainer
+
+        train_set, test_set = digits_small
+        converted = convert_mlp(trained_mlp, calibration=train_set)
+        converted_accuracy = converted.evaluate(test_set, timesteps=150, rng=0).accuracy
+        stdp_accuracy = SNNTrainer(trained_snn).evaluate(test_set).accuracy
+        assert converted_accuracy > stdp_accuracy

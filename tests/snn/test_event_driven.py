@@ -1,0 +1,135 @@
+"""Tests for the exact event-driven simulator vs the 1-ms grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import SimulationError
+from repro.snn.coding import SpikeTrain
+from repro.snn.event_driven import (
+    grid_agreement,
+    predict_event_driven,
+    present_event_driven,
+)
+from repro.snn.network import SpikingNetwork
+
+
+def tiny_network(threshold=500.0, n_neurons=6, n_inputs=16):
+    config = SNNConfig(n_inputs=n_inputs, t_period=200.0, epochs=1).with_neurons(
+        n_neurons
+    )
+    network = SpikingNetwork(config)
+    network.population.thresholds[:] = threshold
+    return network
+
+
+def integer_train(n_inputs=16, duration=200.0, every=10):
+    times, inputs = [], []
+    for t in range(0, int(duration), every):
+        for i in range(n_inputs):
+            times.append(float(t))
+            inputs.append(i)
+    return SpikeTrain(np.array(times), np.array(inputs), n_inputs, duration)
+
+
+class TestExactEquivalence:
+    def test_integer_times_match_grid_exactly(self):
+        # On integer spike times the grid introduces no quantization,
+        # so winner, winner time and potentials must agree.
+        network = tiny_network()
+        train = integer_train()
+        grid = network.present(train)
+        event = present_event_driven(network, train)
+        assert event.winner == grid.winner
+        assert event.winner_time == pytest.approx(grid.winner_time)
+        assert len(event.output_spikes) == len(grid.output_spikes)
+
+    def test_final_potentials_match_on_integer_times(self):
+        network = tiny_network(threshold=1e12)  # no firing: pure integration
+        train = integer_train()
+        grid = network.present(train)
+        event = present_event_driven(network, train)
+        # The grid decays at step start; the event sim decays over exact
+        # gaps — identical for integer arrivals up to the final step.
+        assert np.allclose(event.final_potentials, grid.final_potentials, rtol=0.01)
+
+    def test_stop_after_first_spike(self):
+        network = tiny_network()
+        result = present_event_driven(
+            network, integer_train(), stop_after_first_spike=True
+        )
+        assert result.n_output_spikes == 1
+
+
+class TestEventDrivenSemantics:
+    def test_fractional_times_processed_exactly(self):
+        network = tiny_network(threshold=1e12, n_inputs=2, n_neurons=2)
+        network.weights[:] = 100.0
+        train = SpikeTrain(
+            times=np.array([0.25, 100.75]),
+            inputs=np.array([0, 1]),
+            n_inputs=2,
+            duration=200.0,
+        )
+        result = present_event_driven(network, train)
+        # Analytical: 100*exp(-100.5/500) + 100, then decay to 200 ms.
+        tau = network.config.t_leak
+        expected = (100 * np.exp(-100.5 / tau) + 100) * np.exp(-99.25 / tau)
+        assert result.final_potentials[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_simultaneous_spikes_form_one_group(self):
+        network = tiny_network(threshold=1e12, n_inputs=4, n_neurons=2)
+        network.weights[:] = 1.0
+        train = SpikeTrain(
+            times=np.array([5.0, 5.0, 5.0, 5.0]),
+            inputs=np.arange(4),
+            n_inputs=4,
+            duration=10.0,
+        )
+        result = present_event_driven(network, train)
+        tau = network.config.t_leak
+        assert result.final_potentials[0] == pytest.approx(
+            4.0 * np.exp(-5.0 / tau), rel=1e-9
+        )
+
+    def test_refractory_respected_at_exact_deadlines(self):
+        network = tiny_network(threshold=10.0, n_inputs=2, n_neurons=2)
+        network.weights[0, :] = 20.0
+        network.weights[1, :] = 0.0  # silence the WTA competitor
+        t_refrac = network.config.t_refrac
+        train = SpikeTrain(
+            times=np.array([1.0, 1.0 + t_refrac / 2, 1.0 + t_refrac + 1.0]),
+            inputs=np.zeros(3, dtype=np.int64),
+            n_inputs=2,
+            duration=200.0,
+        )
+        result = present_event_driven(network, train)
+        spike_times = [t for t, _ in result.output_spikes]
+        assert spike_times[0] == pytest.approx(1.0)
+        # The mid-refractory spike is ignored; the next fire happens at
+        # the post-refractory arrival.
+        assert len(spike_times) == 2
+        assert spike_times[1] == pytest.approx(1.0 + t_refrac + 1.0)
+
+    def test_wrong_input_count_rejected(self):
+        network = tiny_network(n_inputs=16)
+        train = SpikeTrain(np.array([1.0]), np.array([0]), 4, 10.0)
+        with pytest.raises(SimulationError):
+            present_event_driven(network, train)
+
+
+class TestAgreementOnRealData:
+    def test_high_agreement_with_grid(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        agreement = grid_agreement(trained_snn, test_set.images[:30])
+        assert agreement > 0.8
+
+    def test_predict_event_driven(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        prediction = predict_event_driven(trained_snn, test_set.images[0], rng=0)
+        assert -1 <= prediction < 10
+
+    def test_predict_requires_labels(self):
+        network = tiny_network()
+        with pytest.raises(SimulationError):
+            predict_event_driven(network, np.zeros(16, dtype=np.uint8))

@@ -1,0 +1,144 @@
+"""Tests for the homeostasis controller and the self-labeling pass."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError, TrainingError
+from repro.snn.homeostasis import HomeostasisController
+from repro.snn.labeling import NeuronLabeler
+
+
+def make_controller(n=4, epoch=1000.0, threshold=2.0, rate=0.1, **kwargs):
+    return HomeostasisController(n, epoch, threshold, rate, **kwargs)
+
+
+class TestHomeostasis:
+    def test_no_update_before_epoch(self):
+        controller = make_controller()
+        thresholds = np.full(4, 100.0)
+        assert not controller.advance(999.0, thresholds)
+        assert np.all(thresholds == 100.0)
+
+    def test_update_at_epoch_boundary(self):
+        controller = make_controller()
+        thresholds = np.full(4, 100.0)
+        controller.record_firing(0)
+        controller.record_firing(0)
+        controller.record_firing(0)  # above threshold 2 -> punished
+        assert controller.advance(1000.0, thresholds)
+        assert thresholds[0] == pytest.approx(110.0)   # +rate
+        assert thresholds[1] == pytest.approx(90.0)    # -rate (activity 0 < 2)
+
+    def test_paper_update_expression(self):
+        # threshold += sign(activity - H) * threshold * r
+        controller = make_controller(threshold=2.0, rate=0.05)
+        thresholds = np.array([200.0, 200.0, 200.0, 200.0])
+        for _ in range(5):
+            controller.record_firing(2)
+        controller.advance(1000.0, thresholds)
+        assert thresholds[2] == pytest.approx(200.0 * 1.05)
+
+    def test_activity_exactly_at_threshold_unchanged(self):
+        controller = make_controller(threshold=2.0)
+        thresholds = np.full(4, 100.0)
+        controller.record_firing(1)
+        controller.record_firing(1)
+        controller.advance(1000.0, thresholds)
+        assert thresholds[1] == 100.0  # sign(0) = 0
+
+    def test_multiple_epochs_in_one_advance(self):
+        controller = make_controller()
+        thresholds = np.full(4, 100.0)
+        controller.advance(2500.0, thresholds)
+        assert controller.epochs_completed == 2
+
+    def test_activity_resets_each_epoch(self):
+        controller = make_controller()
+        thresholds = np.full(4, 100.0)
+        controller.record_firing(0)
+        controller.advance(1000.0, thresholds)
+        assert controller.activity[0] == 0
+
+    def test_min_threshold_floor(self):
+        controller = make_controller(rate=0.9)
+        thresholds = np.full(4, 1.5)
+        controller.advance(1000.0, thresholds)
+        assert np.all(thresholds >= controller.min_threshold)
+
+    def test_asymmetric_down_rate(self):
+        controller = make_controller(rate=0.3, down_rate=0.01)
+        thresholds = np.full(4, 100.0)
+        controller.record_firing(0)
+        controller.record_firing(0)
+        controller.record_firing(0)
+        controller.advance(1000.0, thresholds)
+        assert thresholds[0] == pytest.approx(130.0)
+        assert thresholds[1] == pytest.approx(99.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigError):
+            make_controller().advance(-1.0, np.ones(4))
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            make_controller(epoch=0.0)
+        with pytest.raises(ConfigError):
+            make_controller(rate=0.0)
+        with pytest.raises(ConfigError):
+            make_controller(down_rate=-0.1)
+
+
+class TestLabeler:
+    def test_majority_label_assigned(self):
+        labeler = NeuronLabeler(2, 3)
+        for _ in range(3):
+            labeler.record(0, 1)
+        labeler.record(0, 2)
+        labeler.record(1, 0)
+        labels = labeler.labels()
+        assert labels[0] == 1
+        assert labels[1] == 0
+
+    def test_never_winning_neuron_gets_minus_one(self):
+        labeler = NeuronLabeler(3, 2)
+        labeler.record(0, 0)
+        assert labeler.labels()[1] == -1
+        assert labeler.labels()[2] == -1
+
+    def test_no_fire_presentation_still_counted(self):
+        labeler = NeuronLabeler(2, 2)
+        labeler.record(-1, 0)
+        assert labeler.label_presentations[0] == 1
+        assert labeler.win_counts.sum() == 0
+
+    def test_scores_normalized_by_label_frequency(self):
+        # Paper: score divides by presentations of that label to absorb
+        # class imbalance.  Neuron 0 wins 2/10 of label 0 and 1/1 of
+        # label 1 -> label 1 must score higher.
+        labeler = NeuronLabeler(1, 2)
+        for _ in range(8):
+            labeler.record(-1, 0)
+        for _ in range(2):
+            labeler.record(0, 0)
+        labeler.record(0, 1)
+        scores = labeler.scores()
+        assert scores[0, 1] > scores[0, 0]
+        assert labeler.labels()[0] == 1
+
+    def test_coverage(self):
+        labeler = NeuronLabeler(4, 2)
+        labeler.record(0, 0)
+        labeler.record(1, 1)
+        assert labeler.coverage() == 0.5
+
+    def test_empty_labeler_rejects_labels(self):
+        with pytest.raises(TrainingError):
+            NeuronLabeler(2, 2).labels()
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ConfigError):
+            NeuronLabeler(2, 2).record(0, 5)
+
+    def test_out_of_range_winner_rejected(self):
+        with pytest.raises(ConfigError):
+            NeuronLabeler(2, 2).record(7, 0)

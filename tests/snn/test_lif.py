@@ -1,0 +1,116 @@
+"""Tests for the LIF population dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.snn.lif import LIFParameters, LIFPopulation
+
+
+def make_population(n=4, threshold=10.0, **params):
+    defaults = dict(t_leak=100.0, t_inhibit=5.0, t_refrac=20.0)
+    defaults.update(params)
+    return LIFPopulation(n, LIFParameters(**defaults), threshold)
+
+
+class TestParameters:
+    def test_decay_factor_exponential(self):
+        params = LIFParameters(t_leak=100.0)
+        assert params.decay_factor(100.0) == pytest.approx(np.exp(-1.0))
+
+    def test_decay_factor_identity_at_zero(self):
+        assert LIFParameters().decay_factor(0.0) == 1.0
+
+    def test_negative_leak_rejected(self):
+        with pytest.raises(ConfigError):
+            LIFParameters(t_leak=-5.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ConfigError):
+            LIFParameters().decay_factor(-1.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_decay_composes_multiplicatively(self, dt1, dt2):
+        # The analytical solution property the hardware exploits:
+        # decaying by dt1 then dt2 equals decaying by dt1+dt2.
+        params = LIFParameters(t_leak=50.0)
+        combined = params.decay_factor(dt1 + dt2)
+        stepwise = params.decay_factor(dt1) * params.decay_factor(dt2)
+        assert combined == pytest.approx(stepwise, rel=1e-9)
+
+
+class TestPopulation:
+    def test_initial_state(self):
+        population = make_population()
+        assert np.all(population.potentials == 0)
+        assert np.all(population.active_mask(0.0))
+
+    def test_integrate_only_active(self):
+        population = make_population(n=3)
+        population.inhibited_until[1] = 100.0
+        active = population.active_mask(0.0)
+        population.integrate(np.ones(3), active)
+        assert population.potentials.tolist() == [1.0, 0.0, 1.0]
+
+    def test_decay_reduces_potential(self):
+        population = make_population()
+        population.potentials[:] = 8.0
+        population.decay(50.0, np.ones(4, dtype=bool))
+        assert np.all(population.potentials == pytest.approx(8.0 * np.exp(-0.5)))
+
+    def test_fired_requires_threshold_and_active(self):
+        population = make_population(threshold=5.0)
+        population.potentials[:] = np.array([6.0, 4.0, 6.0, 6.0])
+        population.refractory_until[2] = 10.0
+        fired = population.fired(population.active_mask(0.0))
+        assert fired.tolist() == [0, 3]
+
+    def test_fire_resets_and_inhibits_others(self):
+        population = make_population(n=3)
+        population.potentials[:] = 7.0
+        population.fire(1, now=10.0)
+        assert population.potentials[1] == 0.0
+        assert population.refractory_until[1] == 30.0  # +t_refrac
+        assert population.inhibited_until[0] == 15.0   # +t_inhibit
+        assert population.inhibited_until[2] == 15.0
+        # The firing neuron is not self-inhibited.
+        assert population.inhibited_until[1] == -np.inf
+
+    def test_refractory_neuron_inactive_then_active(self):
+        population = make_population()
+        population.fire(0, now=0.0)
+        assert not population.active_mask(10.0)[0]
+        assert population.active_mask(20.0)[0]
+
+    def test_inhibition_shorter_than_refractory(self):
+        population = make_population()
+        population.fire(0, now=0.0)
+        # Others recover after t_inhibit=5, the firer after t_refrac=20.
+        assert population.active_mask(6.0)[1]
+        assert not population.active_mask(6.0)[0]
+
+    def test_inhibition_extends_not_shrinks(self):
+        population = make_population(n=3)
+        population.inhibited_until[2] = 50.0
+        population.fire(0, now=10.0)
+        assert population.inhibited_until[2] == 50.0  # keeps the later deadline
+
+    def test_reset_for_presentation_keeps_thresholds(self):
+        population = make_population()
+        population.thresholds[:] = 42.0
+        population.potentials[:] = 5.0
+        population.fire(0, now=0.0)
+        population.reset_for_presentation()
+        assert np.all(population.potentials == 0)
+        assert np.all(population.active_mask(0.0))
+        assert np.all(population.thresholds == 42.0)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            make_population(n=0)
+        with pytest.raises(ConfigError):
+            make_population(threshold=0.0)

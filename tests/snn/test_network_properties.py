@@ -1,0 +1,121 @@
+"""Property-based invariants of the WTA spiking network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SNNConfig
+from repro.snn.coding import PoissonCoder, SpikeTrain
+from repro.snn.network import SpikingNetwork
+
+
+def make_network(threshold: float, seed: int = 0) -> SpikingNetwork:
+    config = SNNConfig(n_inputs=16, t_period=200.0, epochs=1, seed=seed).with_neurons(6)
+    network = SpikingNetwork(config)
+    network.population.thresholds[:] = threshold
+    return network
+
+
+@st.composite
+def spike_trains(draw):
+    n_spikes = draw(st.integers(min_value=0, max_value=120))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=199.0, allow_nan=False),
+            min_size=n_spikes,
+            max_size=n_spikes,
+        )
+    )
+    inputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=15),
+            min_size=n_spikes,
+            max_size=n_spikes,
+        )
+    )
+    return SpikeTrain(
+        np.array(times), np.array(inputs, dtype=np.int64), 16, 200.0
+    )
+
+
+class TestPresentationInvariants:
+    @given(spike_trains(), st.sampled_from([50.0, 500.0, 5000.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_output_spikes_sorted_and_in_window(self, train, threshold):
+        network = make_network(threshold)
+        result = network.present(train)
+        times = [t for t, _n in result.output_spikes]
+        assert times == sorted(times)
+        assert all(0 <= t < train.duration for t in times)
+
+    @given(spike_trains(), st.sampled_from([50.0, 500.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_winner_is_first_output_spike(self, train, threshold):
+        network = make_network(threshold)
+        result = network.present(train)
+        if result.output_spikes:
+            first_time, first_neuron = result.output_spikes[0]
+            assert result.winner == first_neuron
+            assert result.winner_time == first_time
+        else:
+            assert result.winner == -1
+
+    @given(spike_trains())
+    @settings(max_examples=30, deadline=None)
+    def test_refractory_gap_between_same_neuron_spikes(self, train):
+        network = make_network(100.0)
+        result = network.present(train)
+        per_neuron = {}
+        for t, neuron in result.output_spikes:
+            per_neuron.setdefault(neuron, []).append(t)
+        for times in per_neuron.values():
+            assert all(
+                b - a >= network.config.t_refrac for a, b in zip(times, times[1:])
+            )
+
+    @given(spike_trains())
+    @settings(max_examples=20, deadline=None)
+    def test_potentials_finite_and_weights_untouched(self, train):
+        network = make_network(1e9)
+        before = network.weights.copy()
+        result = network.present(train)
+        assert np.all(np.isfinite(result.final_potentials))
+        assert np.all(result.final_potentials >= 0.0)
+        assert np.array_equal(before, network.weights)
+
+    @given(spike_trains())
+    @settings(max_examples=20, deadline=None)
+    def test_learning_keeps_weights_in_8bit_range(self, train):
+        network = make_network(100.0)
+        network.present(train, learn=True)
+        assert network.weights.min() >= 0.0
+        assert network.weights.max() <= network.config.w_max
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_same_train_is_deterministic(self, seed):
+        network_a = make_network(500.0)
+        network_b = make_network(500.0)
+        image = np.random.default_rng(seed).integers(0, 256, 16, dtype=np.uint8)
+        coder = PoissonCoder(duration=200.0)
+        train = coder.encode(image, rng=seed)
+        result_a = network_a.present(train)
+        result_b = network_b.present(train)
+        assert result_a.winner == result_b.winner
+        assert np.array_equal(result_a.final_potentials, result_b.final_potentials)
+
+
+class TestThresholdScalingInvariance:
+    @given(st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_joint_weight_threshold_scaling_preserves_winner(self, scale):
+        # The invariance equalize_thresholds relies on.
+        base = make_network(500.0)
+        scaled = make_network(500.0)
+        scaled.weights = base.weights * scale
+        scaled.population.thresholds[:] = 500.0 * scale
+        train = integer = PoissonCoder(duration=200.0).encode(
+            np.full(16, 200, dtype=np.uint8), rng=3
+        )
+        assert scaled.present(train).winner == base.present(train).winner

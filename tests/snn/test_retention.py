@@ -1,0 +1,103 @@
+"""Tests for the memory-retention study (Section 3.2's discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import TrainingError
+from repro.snn.network import SNNTrainer, SpikingNetwork
+from repro.snn.retention import (
+    RetentionStudy,
+    receptive_field_drift,
+    retention_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def retention_study(digits_retention):
+    train_set, test_set = digits_retention
+    network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(30))
+    return retention_curve(
+        network,
+        train_set,
+        test_set,
+        probe_every=60,
+        task_b_images=180,
+    )
+
+
+@pytest.fixture(scope="module")
+def digits_retention():
+    from repro.datasets.digits import load_digits
+
+    return load_digits(n_train=300, n_test=120)
+
+
+class TestRetentionCurve:
+    def test_probe_schedule(self, retention_study):
+        seen = [p.images_seen for p in retention_study.points]
+        assert seen == [0, 60, 120, 180]
+
+    def test_task_a_learned_initially(self, retention_study):
+        # After phase A, task-A accuracy is far above the 20% chance
+        # level of its 5-class subset at this tiny scale.
+        assert retention_study.initial_accuracy > 0.35
+
+    def test_task_b_improves_during_phase_b(self, retention_study):
+        first = retention_study.points[0].task_b_accuracy
+        last = retention_study.points[-1].task_b_accuracy
+        assert last > first - 0.05
+
+    def test_drift_grows_monotonically(self, retention_study):
+        drifts = [p.field_drift for p in retention_study.points]
+        assert all(b >= a for a, b in zip(drifts, drifts[1:]))
+        assert drifts[-1] > 0.0
+
+    def test_forgetting_is_bounded(self, retention_study):
+        # STDP with WTA keeps old receptive fields reasonably stable
+        # ("sufficient lateral inhibition stabilizes receptive fields"):
+        # task A must not collapse to chance.
+        assert retention_study.final_accuracy > 0.15
+
+    def test_summary_properties(self, retention_study):
+        assert retention_study.forgetting == pytest.approx(
+            retention_study.initial_accuracy - retention_study.final_accuracy
+        )
+
+    def test_empty_study_rejected(self):
+        with pytest.raises(TrainingError):
+            _ = RetentionStudy().initial_accuracy
+
+    def test_bad_probe_every_rejected(self, digits_retention):
+        train_set, test_set = digits_retention
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(10))
+        with pytest.raises(TrainingError):
+            retention_curve(network, train_set, test_set, probe_every=0)
+
+    def test_missing_task_rejected(self, digits_retention):
+        train_set, test_set = digits_retention
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(10))
+        with pytest.raises(TrainingError):
+            retention_curve(
+                network, train_set, test_set, task_a_classes=(), probe_every=10
+            )
+
+
+class TestFieldDrift:
+    def test_drift_sequence(self, digits_retention):
+        train_set, _ = digits_retention
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        SNNTrainer(network).train(train_set.take(100))
+        drifts = receptive_field_drift(network, train_set, n_presentations=60)
+        assert len(drifts) == 3
+        assert all(b >= a for a, b in zip(drifts, drifts[1:]))
+
+    def test_no_learning_no_drift(self, digits_retention):
+        train_set, _ = digits_retention
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        network.calibrate_thresholds(train_set.images[:50])
+        before = network.weights.copy()
+        rng = np.random.default_rng(0)
+        for image in train_set.images[:20]:
+            network.present_image(image, learn=False, rng=rng)
+        assert np.array_equal(before, network.weights)

@@ -1,0 +1,138 @@
+"""Tests for the STDP rule (sampled, soft-bound and expected forms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.snn.stdp import STDPRule
+
+
+class TestLTPMask:
+    def test_window_inclusive(self):
+        rule = STDPRule(t_ltp=45.0)
+        last_pre = np.array([100.0, 55.0, 54.9, 101.0, -np.inf])
+        mask = rule.ltp_mask(last_pre, t_post=100.0)
+        assert mask.tolist() == [True, True, False, False, False]
+
+    def test_never_spiked_is_ltd(self):
+        rule = STDPRule()
+        mask = rule.ltp_mask(np.array([-np.inf]), t_post=10.0)
+        assert not mask[0]
+
+
+class TestConstantStep:
+    def test_ltp_increments_ltd_decrements(self):
+        rule = STDPRule(t_ltp=45.0, ltp_step=1.0, ltd_step=1.0, soft=False)
+        weights = np.array([100.0, 100.0])
+        rule.apply(weights, np.array([90.0, 10.0]), t_post=100.0)
+        assert weights.tolist() == [101.0, 99.0]
+
+    def test_clamps_at_bounds(self):
+        rule = STDPRule(ltp_step=10.0, ltd_step=10.0, w_min=0.0, w_max=255.0, soft=False)
+        weights = np.array([250.0, 5.0])
+        rule.apply(weights, np.array([99.0, 10.0]), t_post=100.0)
+        assert weights.tolist() == [255.0, 0.0]
+
+    def test_returns_ltp_mask(self):
+        rule = STDPRule(soft=False)
+        mask = rule.apply(np.array([1.0]), np.array([99.0]), 100.0)
+        assert mask.tolist() == [True]
+
+
+class TestSoftBound:
+    def test_update_shrinks_near_bounds(self):
+        rule = STDPRule(ltp_step=10.0, ltd_step=10.0, soft=True, beta=2.5)
+        low = np.array([10.0])
+        high = np.array([245.0])
+        rule.apply(low, np.array([99.0]), 100.0)   # LTP on a low weight
+        rule.apply(high, np.array([99.0]), 100.0)  # LTP on a high weight
+        assert (low[0] - 10.0) > (high[0] - 245.0) > 0
+
+    def test_soft_never_exceeds_bounds(self):
+        rule = STDPRule(ltp_step=50.0, ltd_step=50.0, soft=True)
+        weights = np.array([254.0, 1.0])
+        rule.apply(weights, np.array([99.0, 0.0]), 100.0)
+        assert weights[0] <= 255.0 and weights[1] >= 0.0
+
+
+class TestExpectedApply:
+    def test_matches_expectation_of_sampled_rule(self):
+        # E[sampled update] over the spike-window randomness must equal
+        # the expected_apply update (constant-step case, away from rails).
+        rule = STDPRule(t_ltp=45.0, ltp_step=2.0, ltd_step=1.0, soft=False)
+        q = np.array([0.7, 0.3])
+        start = np.array([100.0, 100.0])
+
+        expected = start.copy()
+        rule.expected_apply(expected, q)
+
+        rng = np.random.default_rng(0)
+        trials = 4000
+        accumulated = np.zeros(2)
+        for _ in range(trials):
+            weights = start.copy()
+            in_window = rng.random(2) < q
+            last_pre = np.where(in_window, 90.0, 10.0)
+            rule.apply(weights, last_pre, t_post=100.0)
+            accumulated += weights - start
+        mean_update = accumulated / trials
+        assert np.allclose(mean_update, expected - start, atol=0.08)
+
+    def test_probability_one_is_pure_ltp(self):
+        rule = STDPRule(ltp_step=3.0, ltd_step=1.0, soft=False)
+        weights = np.array([100.0])
+        rule.expected_apply(weights, np.array([1.0]))
+        assert weights[0] == 103.0
+
+    def test_probability_zero_is_pure_ltd(self):
+        rule = STDPRule(ltp_step=3.0, ltd_step=1.0, soft=False)
+        weights = np.array([100.0])
+        rule.expected_apply(weights, np.array([0.0]))
+        assert weights[0] == 99.0
+
+    def test_shape_mismatch_rejected(self):
+        rule = STDPRule()
+        with pytest.raises(ConfigError):
+            rule.expected_apply(np.zeros(3), np.zeros(2))
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=20),
+        st.lists(st.floats(min_value=0, max_value=255), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_expected_apply_keeps_bounds(self, probabilities, weights):
+        size = min(len(probabilities), len(weights))
+        rule = STDPRule(ltp_step=30.0, ltd_step=30.0, soft=True)
+        w = np.array(weights[:size])
+        rule.expected_apply(w, np.array(probabilities[:size]))
+        assert np.all(w >= 0.0) and np.all(w <= 255.0)
+
+
+class TestDeltaCurve:
+    def test_figure4_shape(self):
+        # LTP inside [0, t_ltp]; LTD for negative dt or beyond the window.
+        rule = STDPRule(t_ltp=45.0, ltp_step=1.0, ltd_step=1.0)
+        assert rule.delta(10.0) == 1.0
+        assert rule.delta(45.0) == 1.0
+        assert rule.delta(46.0) == -1.0
+        assert rule.delta(-5.0) == -1.0
+
+
+class TestValidation:
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigError):
+            STDPRule(t_ltp=0.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            STDPRule(w_min=10.0, w_max=5.0)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            STDPRule(ltp_step=-1.0)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ConfigError):
+            STDPRule(beta=0.0)
