@@ -14,8 +14,11 @@ The package compares the two accelerator families the paper studies:
   datapath simulator;
 * ``repro.datasets`` — synthetic stand-ins for MNIST, MPEG-7 and
   Spoken Arabic Digits;
+* ``repro.faults`` — seeded hardware fault models (SRAM bit flips,
+  stuck-at synapses, dead neurons, spike-fabric noise, transient
+  datapath upsets) injectable into every inference path;
 * ``repro.analysis`` — regeneration of every quantitative table and
-  figure of the paper.
+  figure of the paper, plus the fault-sweep robustness study.
 
 Quickstart::
 
@@ -37,6 +40,7 @@ from .core import (
     sad_snn_config,
 )
 from .datasets import Dataset, load_digits, load_shapes, load_spoken
+from .faults import FaultConfig, FaultInjector
 from .mlp import MLP, QuantizedMLP, evaluate_mlp, train_mlp
 from .snn import (
     BackPropSNN,
@@ -64,6 +68,8 @@ __all__ = [
     "load_digits",
     "load_shapes",
     "load_spoken",
+    "FaultConfig",
+    "FaultInjector",
     "MLP",
     "QuantizedMLP",
     "train_mlp",

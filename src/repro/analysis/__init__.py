@@ -8,6 +8,7 @@ run them.
 
 from ..core import registry
 from . import (  # noqa: F401
+    fault_sweep,
     figures,
     scale_study,
     sensitivity,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..core import registry
-from ..core.experiment import ExperimentResult
+from ..core.experiment import ExperimentResult, ResilientRunner, RunPolicy
 
 
 def _format_value(value: Any) -> str:
@@ -48,27 +48,55 @@ def render_table(rows: List[Dict[str, Any]], title: str = "") -> str:
 
 
 def render_result(result: ExperimentResult) -> str:
-    """Render one experiment: measured rows, paper rows, notes."""
+    """Render one experiment: measured rows, paper rows, notes.
+
+    Resilient runs additionally render their structured failure
+    record: total attempts, degradation status, and one line per
+    failed attempt (kind, error, per-attempt wall clock).
+    """
     parts = [f"== {result.experiment_id}: {result.title} =="]
     parts.append(render_table(result.rows, title="measured:"))
     if result.paper_rows:
         parts.append(render_table(result.paper_rows, title="paper:"))
     if result.notes:
         parts.append(f"notes: {result.notes}")
+    if result.attempts > 1 or result.failures or result.degraded:
+        status = "degraded" if result.degraded else "recovered"
+        parts.append(
+            f"resilience: {result.attempts} attempt(s), "
+            f"{len(result.failures)} failure(s), {status}"
+        )
+        if result.failures:
+            parts.append(render_table(result.failures, title="failed attempts:"))
     if result.elapsed_seconds:
         parts.append(f"elapsed: {result.elapsed_seconds:.1f}s")
     return "\n".join(parts) + "\n"
 
 
-def run_and_render(experiment_id: str, **kwargs: Any) -> str:
-    """Run one registered experiment and render it."""
+def run_and_render(
+    experiment_id: str, policy: Optional[RunPolicy] = None, **kwargs: Any
+) -> str:
+    """Run one registered experiment and render it.
+
+    With a :class:`RunPolicy`, the experiment runs under the
+    :class:`ResilientRunner` (timeouts, retries, checkpointing,
+    graceful degradation) instead of a bare call.
+    """
     spec = registry.get(experiment_id)
-    return render_result(spec.run(**kwargs))
+    if policy is None:
+        return render_result(spec.run(**kwargs))
+    runner = ResilientRunner(policy)
+    return render_result(runner.run_spec(spec, **kwargs))
 
 
 def full_report(
-    experiment_ids: Optional[Iterable[str]] = None, **kwargs: Any
+    experiment_ids: Optional[Iterable[str]] = None,
+    policy: Optional[RunPolicy] = None,
+    **kwargs: Any,
 ) -> str:
     """Run every (or the selected) registered experiment and render all."""
     ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
-    return "\n".join(run_and_render(experiment_id, **kwargs) for experiment_id in ids)
+    return "\n".join(
+        run_and_render(experiment_id, policy=policy, **kwargs)
+        for experiment_id in ids
+    )

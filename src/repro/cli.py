@@ -25,6 +25,12 @@ from .analysis.report import run_and_render
 from .analysis.visualize import ascii_image, dataset_contact_sheet
 from .core import registry
 from .core.config import mnist_mlp_config, mnist_snn_config
+from .core.errors import ExperimentError
+from .core.experiment import RunPolicy
+
+#: Exit code for bad invocations (e.g. unknown experiment ids),
+#: mirroring argparse's own usage-error convention.
+EXIT_USAGE = 2
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -34,10 +40,45 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """Build a RunPolicy from report flags (None when none were given)."""
+    degrade = tuple(
+        float(s) for s in (args.degrade_scales or "").split(",") if s.strip()
+    )
+    if (
+        args.retries == 0
+        and args.timeout is None
+        and args.checkpoint_dir is None
+        and args.backoff == 0.0
+        and not degrade
+    ):
+        return None
+    return RunPolicy(
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+        backoff_seconds=args.backoff,
+        degrade_scales=degrade,
+        checkpoint_dir=args.checkpoint_dir,
+    ).validate()
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     ids = args.ids or registry.all_ids()
+    # Validate every id up front so a typo fails fast with the known-ids
+    # message and a clean usage exit code instead of a traceback.
     for experiment_id in ids:
-        print(run_and_render(experiment_id))
+        try:
+            registry.get(experiment_id)
+        except ExperimentError as error:
+            print(error, file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        policy = _policy_from_args(args)
+    except ExperimentError as error:
+        print(error, file=sys.stderr)
+        return EXIT_USAGE
+    for experiment_id in ids:
+        print(run_and_render(experiment_id, policy=policy))
     return 0
 
 
@@ -101,6 +142,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="run experiments and print tables")
     report.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    report.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per experiment (resilient runner)",
+    )
+    report.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per attempt",
+    )
+    report.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="initial retry backoff (doubles per retry)",
+    )
+    report.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for trained-model checkpoints (resume skips retraining)",
+    )
+    report.add_argument(
+        "--degrade-scales",
+        default="",
+        metavar="S1,S2,...",
+        help="comma-separated fallback scales tried after retries are exhausted",
+    )
     report.set_defaults(fn=_cmd_report)
 
     recommend_parser = subparsers.add_parser(

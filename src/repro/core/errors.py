@@ -34,3 +34,11 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or its prerequisites are missing."""
+
+
+class SerializationError(ReproError):
+    """A model checkpoint is corrupt, incomplete, or of an unknown layout."""
+
+
+class ExperimentTimeoutError(ExperimentError):
+    """An experiment attempt exceeded its wall-clock budget."""

@@ -9,15 +9,28 @@ side by side.
 Experiments register themselves in :mod:`repro.core.registry`; the
 benchmark harness and ``repro.analysis.report`` both run them through
 this interface.
+
+For long sweeps, :class:`ResilientRunner` hardens any experiment
+function with per-attempt wall-clock timeouts, bounded retries (with
+reseeding and exponential backoff), checkpoint/resume of trained
+models (through :class:`repro.core.serialization.CheckpointStore`)
+and graceful degradation — an automatic ``scale`` fallback when every
+retry at the requested fidelity fails.  The structured failure record
+of a resilient run (``attempts``, ``failures``, ``degraded``) is
+surfaced on the returned :class:`ExperimentResult` and rendered by
+:mod:`repro.analysis.report`.
 """
 
 from __future__ import annotations
 
+import inspect
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .errors import ExperimentError
+from .errors import ExperimentError, ExperimentTimeoutError
+from .rng import DEFAULT_SEED
 
 
 @dataclass
@@ -40,6 +53,11 @@ class ExperimentResult:
     paper_rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: str = ""
     elapsed_seconds: float = 0.0
+    #: Resilient-run bookkeeping (filled by :class:`ResilientRunner`;
+    #: a plain run leaves the defaults: one attempt, no failures).
+    attempts: int = 1
+    degraded: bool = False
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     def column_names(self) -> List[str]:
         """Union of keys across measured rows, in first-seen order."""
@@ -88,3 +106,254 @@ class ExperimentSpec:
 
     def run(self, **kwargs: Any) -> ExperimentResult:
         return run_timed(self.fn, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Resilient execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Knobs of a resilient experiment run.
+
+    Attributes:
+        retries: extra attempts after the first, *per scale level*.
+        timeout_seconds: wall-clock budget of one attempt (``None``
+            disables the timeout).
+        backoff_seconds: sleep before the first retry; each further
+            retry multiplies it by ``backoff_factor`` (0 disables).
+        backoff_factor: exponential backoff multiplier.
+        degrade_scales: successive fallback ``scale`` values tried
+            (in order) once every retry at the requested fidelity has
+            failed; only used when the experiment function accepts a
+            ``scale`` keyword.  Each fallback level gets the same
+            retry budget.
+        checkpoint_dir: directory for trained-model checkpoints; when
+            set (and the function accepts a ``checkpoint`` keyword) a
+            :class:`~repro.core.serialization.CheckpointStore` is
+            passed through, so retries resume instead of retraining.
+        reseed: derive a fresh ``seed`` for every retry (only when the
+            function accepts a ``seed`` keyword) so a failure caused
+            by an unlucky stochastic draw is not replayed verbatim.
+    """
+
+    retries: int = 0
+    timeout_seconds: Optional[float] = None
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    degrade_scales: Tuple[float, ...] = ()
+    checkpoint_dir: Optional[str] = None
+    reseed: bool = True
+
+    def validate(self) -> "RunPolicy":
+        if self.retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ExperimentError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.backoff_seconds < 0 or self.backoff_factor < 1.0:
+            raise ExperimentError(
+                "backoff_seconds must be >= 0 and backoff_factor >= 1"
+            )
+        for scale in self.degrade_scales:
+            if not 0.0 < scale <= 1.0:
+                raise ExperimentError(
+                    f"degrade scales must be in (0, 1], got {scale}"
+                )
+        return self
+
+
+@dataclass
+class FailureRecord:
+    """One failed attempt of a resilient run."""
+
+    attempt: int              # 1-based global attempt number
+    scale: Optional[float]    # fidelity the attempt ran at (None: n/a)
+    seed: Optional[int]       # seed the attempt ran with (None: n/a)
+    kind: str                 # "timeout" | "error"
+    error: str                # exception type name
+    message: str
+    elapsed_seconds: float
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "scale": self.scale,
+            "seed": self.seed,
+            "kind": self.kind,
+            "error": self.error,
+            "message": self.message,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def _accepted_keywords(fn: Callable) -> Optional[set]:
+    """Keyword names ``fn`` accepts, or ``None`` if it takes **kwargs."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins, odd callables
+        return None
+    names = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.add(parameter.name)
+    return names
+
+
+def _call_with_timeout(
+    fn: Callable[..., Any], kwargs: Dict[str, Any], timeout: Optional[float]
+) -> Any:
+    """Run ``fn(**kwargs)``, raising on a blown wall-clock budget.
+
+    The attempt runs on a daemon thread joined with ``timeout``; a
+    still-running attempt is *abandoned* (Python offers no safe way to
+    kill a thread) and :class:`ExperimentTimeoutError` is raised so
+    the caller can retry.  Abandoned attempts never block interpreter
+    exit (daemon threads).
+    """
+    if timeout is None:
+        return fn(**kwargs)
+    box: Dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            box["result"] = fn(**kwargs)
+        except BaseException as exc:  # re-raised on the caller's thread
+            box["error"] = exc
+
+    worker = threading.Thread(target=_target, daemon=True, name="repro-attempt")
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise ExperimentTimeoutError(
+            f"attempt exceeded the {timeout:g}s wall-clock budget"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+class ResilientRunner:
+    """Wraps experiment functions with retry / timeout / degrade logic.
+
+    The run plan is a sequence of *scale levels*: the requested
+    fidelity first, then each of ``policy.degrade_scales``.  Every
+    level gets ``1 + policy.retries`` attempts; each attempt is bounded
+    by ``policy.timeout_seconds`` and separated from the previous one
+    by the exponential backoff.  Retries reseed (when supported), so a
+    pathological stochastic draw is not replayed.  The first success
+    wins; its :class:`ExperimentResult` carries the full failure
+    history.  If every attempt at every level fails, the last
+    exception propagates (with the history attached as
+    ``failure_records``).
+
+    ``sleep`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        policy: RunPolicy,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.policy = policy.validate()
+        self._sleep = sleep
+
+    def run(
+        self,
+        fn: ExperimentFn,
+        experiment_id: str = "",
+        **kwargs: Any,
+    ) -> ExperimentResult:
+        """Run ``fn(**kwargs)`` under the policy; returns its result."""
+        policy = self.policy
+        accepted = _accepted_keywords(fn)
+
+        def supports(name: str) -> bool:
+            return accepted is None or name in accepted
+
+        call_kwargs = dict(kwargs)
+        if policy.checkpoint_dir is not None and supports("checkpoint"):
+            from .serialization import CheckpointStore  # lazy: avoid cycle
+
+            call_kwargs.setdefault(
+                "checkpoint", CheckpointStore(policy.checkpoint_dir)
+            )
+        base_seed = call_kwargs.get("seed")
+        scales: List[Optional[float]] = [call_kwargs.get("scale")]
+        if supports("scale"):
+            scales += [s for s in policy.degrade_scales]
+
+        failures: List[FailureRecord] = []
+        attempt_number = 0
+        last_error: Optional[BaseException] = None
+        for level, scale in enumerate(scales):
+            for retry in range(policy.retries + 1):
+                attempt_number += 1
+                attempt_kwargs = dict(call_kwargs)
+                if scale is not None and supports("scale"):
+                    attempt_kwargs["scale"] = scale
+                seed_used = base_seed if base_seed is None else int(base_seed)
+                if policy.reseed and attempt_number > 1 and supports("seed"):
+                    seed_used = (
+                        int(base_seed) if base_seed is not None else DEFAULT_SEED
+                    ) + 1009 * (attempt_number - 1)
+                    attempt_kwargs["seed"] = seed_used
+                if attempt_number > 1 and policy.backoff_seconds > 0:
+                    self._sleep(
+                        policy.backoff_seconds
+                        * policy.backoff_factor ** (attempt_number - 2)
+                    )
+                start = time.perf_counter()
+                try:
+                    result = _call_with_timeout(
+                        fn, attempt_kwargs, policy.timeout_seconds
+                    )
+                except Exception as exc:  # noqa: BLE001 — any failure retries
+                    last_error = exc
+                    failures.append(
+                        FailureRecord(
+                            attempt=attempt_number,
+                            scale=scale,
+                            seed=seed_used,
+                            kind=(
+                                "timeout"
+                                if isinstance(exc, ExperimentTimeoutError)
+                                else "error"
+                            ),
+                            error=type(exc).__name__,
+                            message=str(exc),
+                            elapsed_seconds=time.perf_counter() - start,
+                        )
+                    )
+                    continue
+                result.elapsed_seconds = time.perf_counter() - start
+                result.attempts = attempt_number
+                result.degraded = level > 0
+                result.failures = [record.as_row() for record in failures]
+                if result.degraded:
+                    note = (
+                        f"degraded to scale={scale:g} after "
+                        f"{len(failures)} failed attempt(s)"
+                    )
+                    result.notes = (
+                        f"{result.notes} [{note}]" if result.notes else note
+                    )
+                return result
+        message = (
+            f"{experiment_id or getattr(fn, '__name__', 'experiment')}: all "
+            f"{attempt_number} attempt(s) failed; last error: {last_error}"
+        )
+        error = ExperimentError(message)
+        error.failure_records = [record.as_row() for record in failures]
+        raise error from last_error
+
+    def run_spec(self, spec: ExperimentSpec, **kwargs: Any) -> ExperimentResult:
+        """Run a registry entry under the policy."""
+        return self.run(spec.fn, experiment_id=spec.experiment_id, **kwargs)

@@ -20,7 +20,7 @@ from typing import Union
 import numpy as np
 
 from .config import MLPConfig, SNNConfig
-from .errors import ReproError
+from .errors import ReproError, SerializationError
 
 #: Bumped on any breaking change to the on-disk layout.
 FORMAT_VERSION = 1
@@ -33,13 +33,55 @@ def _config_to_json(config) -> str:
 
 
 def _config_from_json(text: str, config_cls):
-    data = json.loads(text)
-    return config_cls(**data).validate()
+    """Rebuild a config dataclass from its checkpointed JSON.
+
+    A corrupted checkpoint (invalid JSON, wrong payload type, unknown
+    or missing keys) fails with :class:`SerializationError` — part of
+    the library's exception hierarchy — instead of leaking raw
+    ``TypeError``/``KeyError``/``json.JSONDecodeError``.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"checkpointed {config_cls.__name__} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"checkpointed {config_cls.__name__} must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        config = config_cls(**data)
+    except TypeError as exc:
+        raise SerializationError(
+            f"checkpointed {config_cls.__name__} has unknown or missing "
+            f"fields: {exc}"
+        ) from exc
+    return config.validate()
+
+
+def _resolve_npz_path(path: PathLike) -> pathlib.Path:
+    """The path :func:`numpy.savez` actually writes for ``path``.
+
+    ``np.savez`` appends ``.npz`` whenever the filename does not
+    already end with it; mirroring that rule here (on the *name*, not
+    via ``with_suffix``, which mangles multi-dot names) lets save
+    functions return the real on-disk location.
+    """
+    path = pathlib.Path(path)
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
 
 
 def save_mlp(network, path: PathLike) -> pathlib.Path:
-    """Serialize a trained :class:`~repro.mlp.network.MLP`."""
-    path = pathlib.Path(path)
+    """Serialize a trained :class:`~repro.mlp.network.MLP`.
+
+    Returns the path actually written (``.npz`` appended when the
+    caller's path lacks the suffix, matching ``np.savez``).
+    """
+    path = _resolve_npz_path(path)
     np.savez(
         path,
         kind=np.array("mlp"),
@@ -50,7 +92,7 @@ def save_mlp(network, path: PathLike) -> pathlib.Path:
         w_output=network.w_output,
         b_output=network.b_output,
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def load_mlp(path: PathLike):
@@ -75,7 +117,7 @@ def save_snn(network, path: PathLike) -> pathlib.Path:
     Persists weights, per-neuron thresholds and (if present) the
     neuron-label map, i.e. everything the inference paths need.
     """
-    path = pathlib.Path(path)
+    path = _resolve_npz_path(path)
     labels = (
         network.neuron_labels
         if network.neuron_labels is not None
@@ -90,7 +132,7 @@ def save_snn(network, path: PathLike) -> pathlib.Path:
         thresholds=network.population.thresholds,
         neuron_labels=labels,
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def load_snn(path: PathLike):
@@ -143,3 +185,92 @@ def _check_shape(array: np.ndarray, expected: tuple, name: str) -> None:
         raise ReproError(
             f"{name} has shape {array.shape}, config expects {expected}"
         )
+
+
+def save_model(model, path: PathLike) -> pathlib.Path:
+    """Serialize either model kind, dispatching on its structure."""
+    if hasattr(model, "w_hidden"):
+        return save_mlp(model, path)
+    if hasattr(model, "population"):
+        return save_snn(model, path)
+    raise SerializationError(
+        f"cannot serialize {type(model).__name__}: expected an MLP or a "
+        "SpikingNetwork"
+    )
+
+
+class CheckpointStore:
+    """Keyed on-disk store of trained models (NPZ checkpoints).
+
+    The resilient experiment runner hands one of these to experiment
+    functions (as a ``checkpoint=`` keyword) so expensive training
+    steps become resumable: a retried or re-run experiment reloads the
+    trained model instead of retraining it.  Keys are free-form
+    strings; they are sanitized into filenames.
+
+    A checkpoint that exists but fails to load (corrupt file, format
+    mismatch) is treated as absent: :meth:`load_or_train` falls back
+    to retraining and overwrites it, so a bad checkpoint can never
+    wedge a sweep.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """The on-disk path backing ``key``."""
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        if not safe:
+            raise SerializationError(f"checkpoint key {key!r} sanitizes to nothing")
+        return self.directory / f"{safe}.npz"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def save(self, key: str, model) -> pathlib.Path:
+        """Checkpoint ``model`` under ``key`` (overwrites)."""
+        return save_model(model, self.path_for(key))
+
+    def load(self, key: str):
+        """Load the model checkpointed under ``key``.
+
+        Any failure to read the file (truncated/garbage archive, wrong
+        kind or version, bad config JSON) surfaces as a
+        :class:`~repro.core.errors.ReproError` subclass.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            raise SerializationError(f"no checkpoint for key {key!r} at {path}")
+        try:
+            return load_model(path)
+        except ReproError:
+            raise
+        except Exception as exc:  # unreadable archive, truncated file, ...
+            raise SerializationError(
+                f"checkpoint for key {key!r} at {path} is unreadable: {exc}"
+            ) from exc
+
+    def load_or_train(self, key: str, train_fn):
+        """Return the checkpointed model for ``key``, training on a miss.
+
+        ``train_fn`` is a zero-argument callable producing the model;
+        it runs only when no (valid) checkpoint exists, and its result
+        is checkpointed before being returned.
+        """
+        if self.has(key):
+            try:
+                return self.load(key)
+            except ReproError:
+                pass  # corrupt/stale checkpoint: retrain and overwrite
+        model = train_fn()
+        self.save(key, model)
+        return model
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

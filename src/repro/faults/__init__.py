@@ -1,0 +1,49 @@
+"""Hardware fault models and injection hooks (robustness study).
+
+The paper's comparison (MLP+BP vs SNNwt/SNNwot on shared hardware
+substrates) stops at clean-hardware accuracy and cost.  A recurring
+claim in the surrounding literature — e.g. Bouvier et al.'s SNN
+hardware survey — is that spiking substrates *degrade gracefully*
+under hardware faults while dense MLP datapaths do not.  This package
+lets us test that claim directly against the models we already have:
+
+* :mod:`repro.faults.models` — composable, seeded fault descriptions
+  (:class:`FaultConfig`) plus the bit-level corruption primitives
+  (SRAM weight bit-flips at a configurable BER, stuck-at-0/1
+  synapses, dead neurons, dropped/spurious spikes, transient datapath
+  upsets);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, binding a
+  :class:`FaultConfig` to deterministic child RNG streams
+  (:func:`repro.core.rng.child_rng`) so every corrupted run is
+  reproducible;
+* :mod:`repro.faults.apply` — model-level application helpers that
+  build corrupted clones of trained models without mutating the
+  originals.
+
+All inference-path hooks are *provable no-ops* when every fault rate
+is 0.0: the hooks return their inputs unchanged (the same array
+objects), so the uninjected path is bit-identical.
+"""
+
+from .apply import corrupt_spiking_network, faulty_quantized_mlp, faulty_snn_wot
+from .injector import FaultInjector, null_injector
+from .models import (
+    FaultConfig,
+    flip_bits,
+    perturb_counts,
+    sample_dead_mask,
+    stuck_at,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "null_injector",
+    "flip_bits",
+    "stuck_at",
+    "sample_dead_mask",
+    "perturb_counts",
+    "faulty_quantized_mlp",
+    "corrupt_spiking_network",
+    "faulty_snn_wot",
+]

@@ -1,0 +1,98 @@
+"""Model-level fault application: corrupted clones of trained models.
+
+These helpers never mutate the trained model they are given; they
+build corrupted copies (or return the original object unchanged when
+the injector is null, preserving the bit-identity guarantee).
+
+Fault-site mapping:
+
+========================  =====================================================
+fault                     realisation per substrate
+========================  =====================================================
+weight bit flips /        corrupt the stored 8-bit codes: the MLP's signed
+stuck-at synapses         Q2.5 codes (hidden + output banks), the SNN's
+                          unsigned [0, 255] weights.
+dead neurons              MLP: a dead *hidden* unit contributes nothing
+                          downstream (its output-bank column is zeroed).
+                          SNN: a dead neuron never fires and accumulates no
+                          potential (zero weights, unreachable threshold).
+dropped/spurious spikes   SNNwt: corrupt the timed SpikeTrain per
+                          presentation.  SNNwot: corrupt the 4-bit counts.
+transient upsets          folded datapath simulators only
+                          (:mod:`repro.hardware.cyclesim`).
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .injector import FaultInjector
+
+#: Threshold assigned to dead SNN neurons — unreachable for any input
+#: (well above w_max * n_inputs for every supported topology) yet safe
+#: to round into the cycle simulator's int64 thresholds.
+DEAD_NEURON_THRESHOLD = 1e15
+
+
+def faulty_quantized_mlp(network, injector: FaultInjector):
+    """A :class:`~repro.mlp.quantized.QuantizedMLP` with injected faults.
+
+    Convenience wrapper around the ``injector=`` constructor hook.
+    """
+    from ..mlp.quantized import QuantizedMLP
+
+    return QuantizedMLP(network, injector=injector)
+
+
+def corrupt_spiking_network(network, injector: FaultInjector):
+    """A corrupted clone of a trained, labeled SpikingNetwork (SNNwt).
+
+    Returns ``network`` itself (untouched) when the injector is null.
+    Otherwise the clone carries SRAM-corrupted weights, dead neurons
+    (zero weights, unreachable thresholds) and — via the network's
+    ``fault_injector`` hook — per-presentation spike-fabric faults.
+    """
+    if injector.null:
+        return network
+    from ..snn.network import SpikingNetwork
+
+    clone = SpikingNetwork(network.config, coder=network.coder)
+    clone.weights = injector.corrupt_weights(network.weights, "snn")
+    if clone.weights is network.weights:  # no weight faults configured
+        clone.weights = network.weights.copy()
+    clone.population.thresholds[:] = network.population.thresholds
+    clone.neuron_labels = (
+        None if network.neuron_labels is None else network.neuron_labels.copy()
+    )
+    dead = injector.dead_neuron_mask(network.config.n_neurons, "snn")
+    if dead.any():
+        clone.weights[dead] = 0.0
+        clone.population.thresholds[dead] = DEAD_NEURON_THRESHOLD
+    if injector.config.affects_spikes:
+        clone.fault_injector = injector
+    return clone
+
+
+def faulty_snn_wot(network, injector: FaultInjector):
+    """A :class:`~repro.snn.snn_wot.SNNWithoutTime` with injected faults.
+
+    The count-based forward path shares the SNN's weight SRAM and
+    input fabric, so it sees the same weight corruption, dead-neuron
+    mask (independent stream: a dead MAX-tree lane is a different
+    physical circuit) and count-level spike faults.
+    """
+    from ..snn.snn_wot import SNNWithoutTime
+
+    return SNNWithoutTime(network, injector=injector)
+
+
+def dead_rows_zeroed(
+    weights: np.ndarray, dead: np.ndarray
+) -> np.ndarray:
+    """Copy of ``weights`` with dead neurons' rows zeroed (no copy if none)."""
+    if not dead.any():
+        return weights
+    out = np.array(weights, copy=True)
+    out[dead] = 0
+    return out

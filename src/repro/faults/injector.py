@@ -1,0 +1,189 @@
+"""Deterministic fault injection bound to named RNG streams.
+
+A :class:`FaultInjector` couples a :class:`~repro.faults.models.FaultConfig`
+to the library's deterministic RNG plumbing: every fault site draws
+from its own child generator (:func:`repro.core.rng.child_rng` keyed
+by the config's seed and a stream name), so
+
+* the same ``(FaultConfig, stream)`` pair always produces the same
+  corruption — corrupted accuracies are exactly reproducible;
+* different fault sites (MLP hidden weights vs SNN weights vs spike
+  fabric) are statistically independent;
+* per-trial reseeding is just ``config.with_seed(trial_seed)``.
+
+When the config is *null* (all rates zero) every method returns its
+input unchanged — the injected inference paths are bit-identical to
+the uninjected ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.rng import child_rng
+from .models import (
+    FaultConfig,
+    flip_bits,
+    perturb_counts,
+    sample_dead_mask,
+    stuck_at,
+)
+
+
+class FaultInjector:
+    """Applies the faults of one :class:`FaultConfig` deterministically.
+
+    One-shot corruption (weights, dead masks) derives a *fresh* child
+    generator per call from ``(seed, stream)``, so repeating a call
+    with the same stream reproduces the same corruption.  Streaming
+    corruption (spike trains, transient upsets) advances a cached
+    per-stream generator, so a *sequence* of calls is deterministic
+    for a given injector instance.
+    """
+
+    def __init__(self, config: FaultConfig):
+        self.config = config.validate()
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def null(self) -> bool:
+        """True when injection is a provable no-op."""
+        return self.config.null
+
+    def _fresh(self, stream: str) -> np.random.Generator:
+        """A fresh deterministic generator for a one-shot fault site."""
+        return child_rng(self.config.seed, f"fault-{stream}")
+
+    def stream(self, stream: str) -> np.random.Generator:
+        """The cached, advancing generator for a streaming fault site."""
+        if stream not in self._streams:
+            self._streams[stream] = self._fresh(stream)
+        return self._streams[stream]
+
+    # ------------------------------------------------------------------
+    # one-shot (construction-time) faults
+    # ------------------------------------------------------------------
+
+    def corrupt_weight_codes(
+        self, codes: np.ndarray, stream: str, signed: bool = False
+    ) -> np.ndarray:
+        """SRAM corruption of stored 8-bit weight codes.
+
+        Applies stuck-at defects first (a permanently shorted cell
+        also suffers no further soft error in this model), then the
+        bit-flip BER.  Returns ``codes`` unchanged when the config has
+        no weight faults.
+        """
+        config = self.config
+        if not config.affects_weights:
+            return codes
+        rng = self._fresh(f"{stream}-weights")
+        out = stuck_at(
+            codes,
+            config.stuck_at_zero_rate,
+            config.stuck_at_one_rate,
+            rng,
+            signed=signed,
+        )
+        return flip_bits(out, config.weight_bit_flip_ber, rng, signed=signed)
+
+    def corrupt_weights(self, weights: np.ndarray, stream: str) -> np.ndarray:
+        """SRAM corruption of *float* weights stored as unsigned codes.
+
+        The SNN keeps float weights on (or near) the 8-bit [0, 255]
+        grid; the SRAM stores the rounded code, so corruption rounds,
+        corrupts the code, and returns the float image of the result.
+        Returns ``weights`` unchanged (no rounding!) when the config
+        has no weight faults — preserving the bit-identity guarantee.
+        """
+        if not self.config.affects_weights:
+            return weights
+        codes = np.clip(np.round(weights), 0, 255).astype(np.int64)
+        return self.corrupt_weight_codes(codes, stream).astype(np.float64)
+
+    def dead_neuron_mask(self, n_neurons: int, stream: str) -> np.ndarray:
+        """Boolean mask of dead neuron circuits for one layer."""
+        return sample_dead_mask(
+            n_neurons, self.config.dead_neuron_rate, self._fresh(f"{stream}-dead")
+        )
+
+    # ------------------------------------------------------------------
+    # streaming (inference-time) faults
+    # ------------------------------------------------------------------
+
+    def corrupt_counts(self, counts: np.ndarray, cap: int, stream: str) -> np.ndarray:
+        """Dropped/spurious spikes on SNNwot's per-pixel counts."""
+        config = self.config
+        if not config.affects_spikes:
+            return counts
+        return perturb_counts(
+            counts,
+            config.spike_drop_rate,
+            config.spike_spurious_rate,
+            self.stream(f"{stream}-counts"),
+            cap,
+        )
+
+    def corrupt_spike_train(self, train, stream: str):
+        """Dropped/spurious spikes on a timed :class:`SpikeTrain`.
+
+        Returns the train itself when the config has no spike faults;
+        otherwise a new train (modulation of spurious spikes is 1.0,
+        matching rate coding).
+        """
+        config = self.config
+        if not config.affects_spikes:
+            return train
+        from ..snn.coding import SpikeTrain  # local import avoids a cycle
+
+        rng = self.stream(f"{stream}-spikes")
+        keep = rng.random(train.times.shape) >= config.spike_drop_rate
+        times = train.times[keep]
+        inputs = train.inputs[keep]
+        modulation = train.modulation[keep]
+        if config.spike_spurious_rate > 0.0:
+            n_extra = int(
+                rng.poisson(config.spike_spurious_rate * max(train.n_spikes, 1))
+            )
+            if n_extra:
+                times = np.concatenate(
+                    [times, rng.uniform(0.0, train.duration, size=n_extra)]
+                )
+                inputs = np.concatenate(
+                    [inputs, rng.integers(0, train.n_inputs, size=n_extra)]
+                )
+                modulation = np.concatenate([modulation, np.ones(n_extra)])
+        return SpikeTrain(
+            times=times,
+            inputs=inputs,
+            n_inputs=train.n_inputs,
+            duration=train.duration,
+            modulation=modulation,
+        )
+
+    def maybe_upset(
+        self, accumulators: np.ndarray, stream: str, bits: int = 20
+    ) -> None:
+        """One accumulation cycle's transient-upset lottery (in place).
+
+        With probability ``transient_upset_rate`` a single-event upset
+        flips one random bit (of the low ``bits``) in one random
+        accumulator register.  No-op (and no RNG draw) at rate 0.
+        """
+        rate = self.config.transient_upset_rate
+        if rate <= 0.0:
+            return
+        rng = self.stream(f"{stream}-upsets")
+        if rng.random() >= rate:
+            return
+        index = int(rng.integers(0, accumulators.size))
+        bit = int(rng.integers(0, bits))
+        flat = accumulators.reshape(-1)
+        flat[index] = int(flat[index]) ^ (1 << bit)
+
+
+def null_injector() -> FaultInjector:
+    """An injector with every rate zero (for tests and defaults)."""
+    return FaultInjector(FaultConfig())

@@ -1,0 +1,230 @@
+"""Fault descriptions and bit-level corruption primitives.
+
+The fault taxonomy follows the SNN-hardware reliability literature
+(SRAM soft errors, manufacturing stuck-at defects, dead neuron
+circuits, communication-fabric spike loss, transient datapath upsets)
+applied to the two substrates of the paper:
+
+* both accelerators keep 8-bit synaptic weights in SRAM banks
+  (:mod:`repro.hardware.sram`), so *weight bit-flips* (a per-bit
+  error rate, BER) and *stuck-at-0/1 synapses* apply to MLP and SNN
+  alike at the stored-code level;
+* *dead neurons* model a defective neuron circuit: an MLP hidden unit
+  whose output contributes nothing downstream, or an SNN neuron that
+  can never fire;
+* *dropped / spurious spikes* model input-fabric faults of the
+  spiking substrates (AER link errors);
+* *transient upsets* model single-event upsets in the folded
+  datapath's accumulator registers, one potential bit per event
+  (:mod:`repro.hardware.cyclesim`).
+
+Every primitive takes an explicit :class:`numpy.random.Generator` and
+returns its input **unchanged and un-copied** when the corresponding
+rate is zero, making the rate-0.0 path provably bit-identical to the
+uninjected one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+#: Width of a stored synaptic weight (both substrates use 8-bit SRAM
+#: words; Table 6 / Section 4.2).
+WEIGHT_BITS = 8
+
+_RATE_FIELDS: Tuple[str, ...] = (
+    "weight_bit_flip_ber",
+    "stuck_at_zero_rate",
+    "stuck_at_one_rate",
+    "dead_neuron_rate",
+    "spike_drop_rate",
+    "spike_spurious_rate",
+    "transient_upset_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """A composable description of the injected hardware faults.
+
+    All rates are probabilities in [0, 1]; a rate of 0.0 disables the
+    corresponding fault entirely (the injection hook becomes a no-op).
+
+    Attributes:
+        weight_bit_flip_ber: per-bit flip probability applied to every
+            stored 8-bit weight code (SRAM soft-error BER).
+        stuck_at_zero_rate: fraction of synapses whose stored code is
+            stuck at all-zeros (manufacturing defect).
+        stuck_at_one_rate: fraction of synapses whose stored code is
+            stuck at all-ones (0xFF).
+        dead_neuron_rate: fraction of neuron circuits that are dead.
+        spike_drop_rate: probability that an input spike event is lost
+            before reaching the synaptic array.
+        spike_spurious_rate: expected number of spurious spike events
+            injected per genuine event (AER noise).
+        transient_upset_rate: per-accumulation-cycle probability of a
+            single-event upset flipping one bit of one accumulator in
+            the folded datapath simulators.
+        seed: base seed for all fault RNG streams (child streams are
+            derived per fault site, see
+            :class:`repro.faults.injector.FaultInjector`).
+    """
+
+    weight_bit_flip_ber: float = 0.0
+    stuck_at_zero_rate: float = 0.0
+    stuck_at_one_rate: float = 0.0
+    dead_neuron_rate: float = 0.0
+    spike_drop_rate: float = 0.0
+    spike_spurious_rate: float = 0.0
+    transient_upset_rate: float = 0.0
+    seed: int = 0
+
+    def validate(self) -> "FaultConfig":
+        """Raise :class:`ConfigError` on out-of-range rates."""
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= float(value) <= 1.0:
+                raise ConfigError(
+                    f"FaultConfig.{name}={value} must be in [0, 1]"
+                )
+        if self.stuck_at_zero_rate + self.stuck_at_one_rate > 1.0:
+            raise ConfigError(
+                "stuck_at_zero_rate + stuck_at_one_rate must not exceed 1"
+            )
+        return self
+
+    @property
+    def null(self) -> bool:
+        """True when every fault rate is zero (injection is a no-op)."""
+        return all(float(getattr(self, name)) == 0.0 for name in _RATE_FIELDS)
+
+    @property
+    def affects_weights(self) -> bool:
+        return (
+            self.weight_bit_flip_ber > 0.0
+            or self.stuck_at_zero_rate > 0.0
+            or self.stuck_at_one_rate > 0.0
+        )
+
+    @property
+    def affects_spikes(self) -> bool:
+        return self.spike_drop_rate > 0.0 or self.spike_spurious_rate > 0.0
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        """Copy with a different base seed (per-trial reseeding)."""
+        return replace(self, seed=int(seed))
+
+    def scaled(self, severity: float) -> "FaultConfig":
+        """Copy with every rate multiplied by ``severity`` (clipped to 1)."""
+        if severity < 0:
+            raise ConfigError(f"severity must be >= 0, got {severity}")
+        updates = {
+            name: min(float(getattr(self, name)) * severity, 1.0)
+            for name in _RATE_FIELDS
+        }
+        return replace(self, **updates).validate()
+
+
+def flip_bits(
+    codes: np.ndarray,
+    ber: float,
+    rng: np.random.Generator,
+    bits: int = WEIGHT_BITS,
+    signed: bool = False,
+) -> np.ndarray:
+    """Flip each of the low ``bits`` bits of every code with prob ``ber``.
+
+    Codes are treated as ``bits``-wide two's-complement (``signed``)
+    or unsigned registers; the result stays inside the register range.
+    Returns ``codes`` itself (no copy) when ``ber`` is 0.
+    """
+    if ber <= 0.0:
+        return codes
+    codes = np.asarray(codes)
+    mask = np.zeros(codes.shape, dtype=np.int64)
+    for bit in range(bits):
+        mask |= (rng.random(codes.shape) < ber).astype(np.int64) << bit
+    return _from_register(_to_register(codes, bits) ^ mask, bits, signed)
+
+
+def stuck_at(
+    codes: np.ndarray,
+    zero_rate: float,
+    one_rate: float,
+    rng: np.random.Generator,
+    bits: int = WEIGHT_BITS,
+    signed: bool = False,
+) -> np.ndarray:
+    """Force a random fraction of codes to all-zeros / all-ones.
+
+    A single uniform draw per synapse partitions the population into
+    stuck-at-0 (``< zero_rate``), stuck-at-1 (next ``one_rate``), and
+    healthy, so the two defect sets never overlap.  Returns ``codes``
+    itself when both rates are 0.
+    """
+    if zero_rate <= 0.0 and one_rate <= 0.0:
+        return codes
+    codes = np.asarray(codes)
+    draw = rng.random(codes.shape)
+    register = _to_register(codes, bits)
+    register = np.where(draw < zero_rate, 0, register)
+    all_ones = (1 << bits) - 1
+    register = np.where(
+        (draw >= zero_rate) & (draw < zero_rate + one_rate), all_ones, register
+    )
+    return _from_register(register, bits, signed)
+
+
+def sample_dead_mask(
+    n_neurons: int, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean mask of dead neuron circuits (all-False at rate 0)."""
+    if rate <= 0.0:
+        return np.zeros(n_neurons, dtype=bool)
+    return rng.random(n_neurons) < rate
+
+
+def perturb_counts(
+    counts: np.ndarray,
+    drop_rate: float,
+    spurious_rate: float,
+    rng: np.random.Generator,
+    cap: int,
+) -> np.ndarray:
+    """Corrupt per-pixel spike counts (the SNNwot representation).
+
+    Each genuine spike is independently lost with ``drop_rate``
+    (binomial thinning) and spurious events arrive Poisson-distributed
+    at ``spurious_rate`` expected extras per genuine event (plus a
+    small floor so silent pixels can glitch too).  The result is
+    clipped to the hardware's 4-bit count range [0, cap].  Returns
+    ``counts`` itself when both rates are 0.
+    """
+    if drop_rate <= 0.0 and spurious_rate <= 0.0:
+        return counts
+    counts = np.asarray(counts)
+    kept = counts
+    if drop_rate > 0.0:
+        kept = rng.binomial(counts.astype(np.int64), 1.0 - drop_rate)
+    if spurious_rate > 0.0:
+        lam = spurious_rate * np.maximum(counts.astype(np.float64), 1.0)
+        kept = kept + rng.poisson(lam)
+    return np.clip(kept, 0, cap).astype(counts.dtype)
+
+
+def _to_register(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Two's-complement register image of integer codes (int64 >= 0)."""
+    return codes.astype(np.int64) & ((1 << bits) - 1)
+
+
+def _from_register(register: np.ndarray, bits: int, signed: bool) -> np.ndarray:
+    """Back from a register image to (signed) integer codes."""
+    if not signed:
+        return register.astype(np.int64)
+    half = 1 << (bits - 1)
+    return ((register + half) & ((1 << bits) - 1)) - half

@@ -43,11 +43,17 @@ class FoldedMLPSimulator:
     ceil(784/ni) + ceil(100/ni) + 2.
     """
 
-    def __init__(self, quantized: QuantizedMLP, ni: int):
+    def __init__(self, quantized: QuantizedMLP, ni: int, injector=None):
         if ni < 1:
             raise SimulationError(f"ni must be >= 1, got {ni}")
         self.quantized = quantized
         self.ni = ni
+        #: Optional :class:`repro.faults.FaultInjector`; each
+        #: accumulation cycle runs its transient-upset lottery against
+        #: the accumulator registers (``None`` → clean datapath).  SRAM
+        #: weight corruption enters through the ``QuantizedMLP`` itself
+        #: (its ``injector=`` hook), which this simulator reads.
+        self.injector = injector
 
     def _layer_cycles(self, n_inputs: int) -> int:
         return math.ceil(n_inputs / self.ni) + 1
@@ -85,6 +91,8 @@ class FoldedMLPSimulator:
             # One cycle: every hardware neuron reads its SRAM row slice
             # and performs an ni-wide multiply-accumulate.
             accumulators += weight_codes[:, chunk] @ activations[chunk]
+            if self.injector is not None:
+                self.injector.maybe_upset(accumulators, "folded-mlp")
             trace.cycles += 1
             trace.sram_reads += n_neurons
             trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
@@ -141,7 +149,9 @@ class FoldedSNNwtSimulator:
     separately (Table 7's (ceil(784/ni)+7) x 500).
     """
 
-    def __init__(self, network: SpikingNetwork, ni: int, seed: int = 1):
+    def __init__(
+        self, network: SpikingNetwork, ni: int, seed: int = 1, injector=None
+    ):
         if ni < 1:
             raise SimulationError(f"ni must be >= 1, got {ni}")
         if network.neuron_labels is None:
@@ -151,6 +161,10 @@ class FoldedSNNwtSimulator:
 
         self.network = network
         self.ni = ni
+        #: Optional fault injector for transient potential-register
+        #: upsets (the network passed in may itself carry SRAM/spike
+        #: faults via :func:`repro.faults.apply.corrupt_spiking_network`).
+        self.injector = injector
         self.weight_codes = np.round(network.weights).astype(np.int64)
         config = network.config
         self.leak_code = leak_factor_fixed_point(config.t_leak, dt=1.0)
@@ -200,6 +214,8 @@ class FoldedSNNwtSimulator:
             if spiking.size:
                 contribution = self.weight_codes[:, spiking].sum(axis=1)
                 potentials[active] += contribution[active]
+            if self.injector is not None:
+                self.injector.maybe_upset(potentials, "folded-snnwt")
             trace.cycles += walk
             trace.sram_reads += n_neurons * walk
             trace.mac_operations += n_neurons * spiking.size
@@ -246,14 +262,18 @@ class FoldedSNNwotSimulator:
     #: Readout/pipeline flush cycles (spike conversion, tree, max tree).
     FLUSH_CYCLES = 7
 
-    def __init__(self, model: SNNWithoutTime, ni: int):
+    def __init__(self, model: SNNWithoutTime, ni: int, injector=None):
         if ni < 1:
             raise SimulationError(f"ni must be >= 1, got {ni}")
         self.model = model
         self.ni = ni
+        #: Optional fault injector for transient potential-register
+        #: upsets (weight/count faults come in through the model).
+        self.injector = injector
         # The hardware stores 8-bit weights; the trained float weights
-        # are already on (or clipped to) the 8-bit grid.
-        self.weight_codes = np.round(model.network.weights).astype(np.int64)
+        # are already on (or clipped to) the 8-bit grid.  ``model.weights``
+        # carries any SRAM corruption injected into this substrate.
+        self.weight_codes = np.round(model.weights).astype(np.int64)
 
     def run_image(self, image: np.ndarray) -> tuple:
         """Classify one 8-bit image; returns (winner index, trace)."""
@@ -264,6 +284,8 @@ class FoldedSNNwotSimulator:
         for start in range(0, n_inputs, self.ni):
             chunk = slice(start, min(start + self.ni, n_inputs))
             potentials += self.weight_codes[:, chunk] @ counts[chunk]
+            if self.injector is not None:
+                self.injector.maybe_upset(potentials, "folded-snnwot")
             trace.cycles += 1
             trace.sram_reads += n_neurons
             trace.mac_operations += n_neurons * (chunk.stop - chunk.start)

@@ -109,6 +109,7 @@ class QuantizedMLP:
         network: MLP,
         weight_format: QFormat = WEIGHT_Q8,
         activation_format: QFormat = ACTIVATION_Q8,
+        injector=None,
     ):
         self.config = network.config
         self.weight_format = weight_format
@@ -120,6 +121,32 @@ class QuantizedMLP:
         self.b_hidden_codes = weight_format.quantize_code(network.b_hidden)
         self.w_output_codes = weight_format.quantize_code(network.w_output)
         self.b_output_codes = weight_format.quantize_code(network.b_output)
+        self._inject_faults(injector)
+
+    def _inject_faults(self, injector) -> None:
+        """Apply SRAM weight corruption and dead hidden units.
+
+        ``injector`` is a :class:`repro.faults.FaultInjector` (duck-
+        typed to keep this module free of a faults dependency).  A
+        ``None`` or null injector leaves every code array untouched —
+        the injected path is bit-identical to the clean one.  Weight
+        bit-flips / stuck-at defects corrupt the stored signed Q2.5
+        codes of both SRAM banks; a dead hidden unit contributes
+        nothing downstream, so its output-bank column is zeroed (the
+        hidden layer holds ~91% of the MLP's neuron circuits).
+        """
+        if injector is None or injector.null:
+            return
+        self.w_hidden_codes = injector.corrupt_weight_codes(
+            self.w_hidden_codes, "mlp-hidden", signed=True
+        )
+        self.w_output_codes = injector.corrupt_weight_codes(
+            self.w_output_codes, "mlp-output", signed=True
+        )
+        dead = injector.dead_neuron_mask(self.config.n_hidden, "mlp-hidden")
+        if dead.any():
+            self.w_output_codes = np.array(self.w_output_codes, copy=True)
+            self.w_output_codes[:, dead] = 0
 
     def _pre_activation(
         self,

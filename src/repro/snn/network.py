@@ -102,6 +102,11 @@ class SpikingNetwork:
             size=(config.n_neurons, config.n_inputs),
         )
         self.neuron_labels: Optional[np.ndarray] = None
+        #: Optional :class:`repro.faults.FaultInjector` corrupting the
+        #: input spike fabric per presentation (set by
+        #: :func:`repro.faults.apply.corrupt_spiking_network`; ``None``
+        #: keeps the encode->present path untouched).
+        self.fault_injector = None
 
     @property
     def thresholds(self) -> np.ndarray:
@@ -202,6 +207,8 @@ class SpikingNetwork:
         the literal spike-sampled rule.
         """
         train = self.coder.encode(image, rng=make_rng(rng))
+        if self.fault_injector is not None:
+            train = self.fault_injector.corrupt_spike_train(train, "snnwt")
         probabilities = None
         if learn and self.config.stdp_mode == "expected" and self.coder.rate_coded:
             probabilities = self.ltp_probabilities(image)

@@ -28,20 +28,45 @@ from .network import SpikingNetwork
 
 
 class SNNWithoutTime:
-    """Count-based forward path over an STDP-trained network's weights."""
+    """Count-based forward path over an STDP-trained network's weights.
 
-    def __init__(self, network: SpikingNetwork):
+    ``injector`` (a :class:`repro.faults.FaultInjector`, duck-typed)
+    optionally corrupts this substrate's own copy of the weight SRAM
+    (bit flips / stuck-at), disables dead MAX-tree lanes, and — at
+    inference time — drops/injects spikes on the 4-bit counts.  A
+    ``None`` or null injector leaves the path bit-identical to the
+    clean one (``self.weights`` *is* ``network.weights``).
+    """
+
+    def __init__(self, network: SpikingNetwork, injector=None):
         if network.neuron_labels is None:
             raise TrainingError(
                 "SNNwot needs a trained, labeled network; run SNNTrainer.fit first"
             )
         self.network = network
         self.config = network.config
+        self.weights = network.weights
+        self.fault_injector = None
+        self._inject_faults(injector)
+
+    def _inject_faults(self, injector) -> None:
+        if injector is None or injector.null:
+            return
+        self.weights = injector.corrupt_weights(self.network.weights, "snnwot")
+        if self.weights is self.network.weights:  # no weight faults set
+            self.weights = self.network.weights.copy()
+        dead = injector.dead_neuron_mask(self.config.n_neurons, "snnwot")
+        if dead.any():
+            # A dead lane accumulates nothing; with non-negative weights
+            # and counts it can never win the MAX readout.
+            self.weights[dead] = 0.0
+        if injector.config.affects_spikes:
+            self.fault_injector = injector
 
     def spike_counts(self, images: np.ndarray) -> np.ndarray:
         """(B, n_inputs) 4-bit spike counts from the hardware converter."""
         images = np.atleast_2d(images)
-        return np.stack(
+        counts = np.stack(
             [
                 deterministic_counts(
                     image,
@@ -51,11 +76,16 @@ class SNNWithoutTime:
                 for image in images
             ]
         )
+        if self.fault_injector is not None:
+            counts = self.fault_injector.corrupt_counts(
+                counts, cap=self.config.max_spikes_per_pixel, stream="snnwot"
+            )
+        return counts
 
     def potentials(self, images: np.ndarray) -> np.ndarray:
         """(B, n_neurons) final potentials: weights x counts."""
         counts = self.spike_counts(images).astype(np.float64)
-        return counts @ self.network.weights.T
+        return counts @ self.weights.T
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions: max-potential neuron's label per image."""
@@ -84,6 +114,8 @@ def relabel_for_counts(network: SpikingNetwork, train_set: Dataset) -> SNNWithou
     model = SNNWithoutTime.__new__(SNNWithoutTime)
     model.network = network
     model.config = network.config
+    model.weights = network.weights
+    model.fault_injector = None
     potentials = model.potentials(train_set.images)
     winners = np.argmax(potentials, axis=1)
     labeler = NeuronLabeler(network.config.n_neurons, network.config.n_labels)

@@ -1,0 +1,115 @@
+"""Tests for the fault-sweep robustness experiment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fault_sweep import DEFAULT_RATES, fault_sweep
+from repro.core.errors import ExperimentError
+from repro.core.serialization import CheckpointStore
+
+#: Cheap sweep configuration shared by the tests below.
+CHEAP = dict(
+    scale=0.4, rates=(0.0, 0.3), trials=1, seed=3, mlp_epochs=40, snn_epochs=1
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return fault_sweep(**CHEAP)
+
+
+class TestValidation:
+    def test_scale_out_of_range(self):
+        with pytest.raises(ExperimentError, match="scale"):
+            fault_sweep(scale=0.0)
+        with pytest.raises(ExperimentError, match="scale"):
+            fault_sweep(scale=1.5)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ExperimentError, match="rates"):
+            fault_sweep(rates=[0.0, 2.0])
+        with pytest.raises(ExperimentError, match="rates"):
+            fault_sweep(rates=[])
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ExperimentError, match="trials"):
+            fault_sweep(trials=0)
+
+    def test_default_rates_start_clean_and_increase(self):
+        assert DEFAULT_RATES[0] == 0.0
+        assert list(DEFAULT_RATES) == sorted(DEFAULT_RATES)
+
+
+class TestSweepResult:
+    def test_one_row_per_rate_with_all_columns(self, sweep_result):
+        assert len(sweep_result.rows) == 2
+        for row in sweep_result.rows:
+            for column in (
+                "weight_ber",
+                "mlp8_acc",
+                "snnwt_acc",
+                "snnwot_acc",
+                "mlp8_ret%",
+                "snnwt_ret%",
+                "snnwot_ret%",
+            ):
+                assert column in row
+
+    def test_rate_zero_row_is_the_clean_baseline(self, sweep_result):
+        clean = sweep_result.find_row(weight_ber=0.0)
+        # Retention is measured against the first swept rate, so the
+        # uninjected row retains exactly 100% for every model.
+        assert clean["mlp8_ret%"] == 100.0
+        assert clean["snnwt_ret%"] == 100.0
+        assert clean["snnwot_ret%"] == 100.0
+        # And the models actually learned something at this scale
+        # (chance on the 10-class digits workload is 10%).
+        assert clean["mlp8_acc"] > 25.0
+        assert clean["snnwot_acc"] > 25.0
+
+    def test_heavy_corruption_degrades_every_model(self, sweep_result):
+        clean = sweep_result.find_row(weight_ber=0.0)
+        heavy = sweep_result.find_row(weight_ber=0.3)
+        assert heavy["mlp8_acc"] < clean["mlp8_acc"]
+        assert heavy["snnwot_acc"] <= clean["snnwot_acc"]
+        assert heavy["snnwt_acc"] <= clean["snnwt_acc"]
+
+    def test_deterministic_given_seed(self, sweep_result):
+        again = fault_sweep(**CHEAP)
+        assert again.rows == sweep_result.rows
+
+    def test_paper_claims_attached(self, sweep_result):
+        assert sweep_result.paper_rows
+        assert any(
+            "graceful" in row["expectation"] for row in sweep_result.paper_rows
+        )
+
+
+class TestSweepCheckpointing:
+    def test_checkpoint_reused_across_runs(self, tmp_path, sweep_result):
+        store = CheckpointStore(tmp_path)
+        first = fault_sweep(checkpoint=store, **CHEAP)
+        checkpoints = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert len(checkpoints) == 2  # one MLP, one SNN
+        # Second run must reload the exact same trained models, so the
+        # rows are identical; a retrain under a fresh store would be
+        # identical anyway (same seed), so also assert the files are
+        # untouched (same mtime).
+        stamps = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")}
+        second = fault_sweep(checkpoint=store, **CHEAP)
+        assert second.rows == first.rows
+        assert {
+            p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")
+        } == stamps
+        # Checkpointed or not, the sweep yields the same curve.
+        assert first.rows == sweep_result.rows
+
+
+class TestRegistryIntegration:
+    def test_registered_under_fault_sweep(self):
+        import repro.analysis  # noqa: F401  (registers experiments)
+        from repro.core import registry
+
+        spec = registry.get("fault-sweep")
+        assert spec.fn is fault_sweep
+        assert "fault" in spec.title.lower() or "fault" in spec.paper_location.lower()

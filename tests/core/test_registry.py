@@ -1,0 +1,77 @@
+"""Focused tests for registry error paths, isolated from the global state.
+
+``tests/core/test_experiment.py`` covers the registry as populated by
+``repro.analysis``; these tests swap in an empty registry (restored by
+``monkeypatch``) so the error paths are exercised hermetically.
+"""
+
+import pytest
+
+from repro.core import registry
+from repro.core.errors import ExperimentError
+from repro.core.experiment import ExperimentResult
+
+
+@pytest.fixture()
+def empty_registry(monkeypatch):
+    """Run against a private, initially-empty registry dict."""
+    monkeypatch.setattr(registry, "_REGISTRY", {})
+
+
+def make_fn(experiment_id="x"):
+    def fn(**_kwargs):
+        return ExperimentResult(experiment_id=experiment_id, title="T")
+
+    return fn
+
+
+class TestRegistration:
+    def test_register_and_get(self, empty_registry):
+        fn = registry.register("exp-a", "Experiment A", "Table 0")(make_fn())
+        spec = registry.get("exp-a")
+        assert spec.fn is fn
+        assert spec.title == "Experiment A"
+        assert spec.paper_location == "Table 0"
+
+    def test_duplicate_registration_raises(self, empty_registry):
+        registry.register("exp-a", "first")(make_fn())
+        with pytest.raises(ExperimentError, match="duplicate experiment id 'exp-a'"):
+            registry.register("exp-a", "second")(make_fn())
+
+    def test_unknown_id_lists_known_ids(self, empty_registry):
+        registry.register("exp-a", "A")(make_fn())
+        registry.register("exp-b", "B")(make_fn())
+        with pytest.raises(ExperimentError, match="exp-a, exp-b"):
+            registry.get("nosuch")
+
+    def test_unknown_id_on_empty_registry(self, empty_registry):
+        with pytest.raises(ExperimentError, match="none registered"):
+            registry.get("nosuch")
+
+    def test_clear_empties(self, empty_registry):
+        registry.register("exp-a", "A")(make_fn())
+        registry.clear()
+        assert registry.all_ids() == []
+
+    def test_iter_specs_in_id_order(self, empty_registry):
+        for experiment_id in ("zz", "aa", "mm"):
+            registry.register(experiment_id, experiment_id.upper())(make_fn())
+        assert [s.experiment_id for s in registry.iter_specs()] == [
+            "aa",
+            "mm",
+            "zz",
+        ]
+
+
+class TestFindRowMismatch:
+    def test_mismatch_names_experiment_and_criteria(self):
+        result = ExperimentResult(
+            experiment_id="exp-a", title="T", rows=[{"k": 1}]
+        )
+        with pytest.raises(ExperimentError, match="exp-a") as excinfo:
+            result.find_row(k=2)
+        assert "'k': 2" in str(excinfo.value)
+
+    def test_mismatch_on_empty_rows(self):
+        with pytest.raises(ExperimentError, match="no row matching"):
+            ExperimentResult(experiment_id="e", title="T").find_row(any_key=1)

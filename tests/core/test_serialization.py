@@ -1,14 +1,18 @@
 """Tests for model save/load round-trips."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SerializationError
 from repro.core.serialization import (
+    CheckpointStore,
     load_mlp,
     load_model,
     load_snn,
     save_mlp,
+    save_model,
     save_snn,
 )
 
@@ -80,6 +84,140 @@ class TestSNNRoundTrip:
         wot = SNNWithoutTime(load_snn(path))
         original = SNNWithoutTime(trained_snn).predict_dataset(test_set)
         assert np.array_equal(wot.predict_dataset(test_set), original)
+
+
+class TestSuffixlessPaths:
+    """save_* must return the path numpy actually wrote.
+
+    ``np.savez`` appends ``.npz`` when the name lacks it; the save
+    functions mirror that rule so a suffixless caller path round-trips.
+    """
+
+    def test_mlp_suffixless_round_trip(self, trained_mlp, tmp_path):
+        requested = tmp_path / "mlp-checkpoint"  # no suffix
+        written = save_mlp(trained_mlp, requested)
+        assert written.exists()
+        assert written.name == "mlp-checkpoint.npz"
+        loaded = load_mlp(written)
+        assert np.array_equal(loaded.w_hidden, trained_mlp.w_hidden)
+
+    def test_snn_suffixless_round_trip(self, trained_snn, tmp_path):
+        written = save_snn(trained_snn, tmp_path / "snn-checkpoint")
+        assert written.exists()
+        assert written.name == "snn-checkpoint.npz"
+        loaded = load_snn(written)
+        assert np.array_equal(loaded.weights, trained_snn.weights)
+
+    def test_multi_dot_name_not_mangled(self, trained_mlp, tmp_path):
+        # with_suffix would have clobbered ".v2"; the name-append must not.
+        written = save_mlp(trained_mlp, tmp_path / "model.v2")
+        assert written.name == "model.v2.npz"
+        assert written.exists()
+
+    def test_explicit_npz_suffix_unchanged(self, trained_mlp, tmp_path):
+        written = save_mlp(trained_mlp, tmp_path / "model.npz")
+        assert written == tmp_path / "model.npz"
+        assert written.exists()
+
+
+class TestCorruptConfigJSON:
+    """A corrupted checkpointed config fails inside the error hierarchy."""
+
+    def _rewrite_config(self, path, new_config_text):
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["config"] = np.array(new_config_text)
+        np.savez(path, **arrays)
+
+    def test_invalid_json_raises_serialization_error(self, trained_mlp, tmp_path):
+        path = save_mlp(trained_mlp, tmp_path / "mlp.npz")
+        self._rewrite_config(path, "{not json")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_mlp(path)
+
+    def test_non_object_json_raises(self, trained_mlp, tmp_path):
+        path = save_mlp(trained_mlp, tmp_path / "mlp.npz")
+        self._rewrite_config(path, json.dumps([1, 2, 3]))
+        with pytest.raises(SerializationError, match="JSON object"):
+            load_mlp(path)
+
+    def test_unknown_field_raises(self, trained_mlp, tmp_path):
+        path = save_mlp(trained_mlp, tmp_path / "mlp.npz")
+        payload = json.loads(json.dumps(trained_mlp.config.__dict__))
+        payload["bogus_field"] = 1
+        self._rewrite_config(path, json.dumps(payload))
+        with pytest.raises(SerializationError, match="unknown or missing"):
+            load_mlp(path)
+
+    def test_serialization_error_is_repro_error(self):
+        assert issubclass(SerializationError, ReproError)
+
+
+class TestSaveModelDispatch:
+    def test_dispatches_both_kinds(self, trained_mlp, trained_snn, tmp_path):
+        assert save_model(trained_mlp, tmp_path / "a").name == "a.npz"
+        assert save_model(trained_snn, tmp_path / "b").name == "b.npz"
+
+    def test_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot serialize"):
+            save_model(object(), tmp_path / "x")
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, trained_mlp, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        assert not store.has("mlp")
+        store.save("mlp", trained_mlp)
+        assert store.has("mlp")
+        loaded = store.load("mlp")
+        assert np.array_equal(loaded.w_hidden, trained_mlp.w_hidden)
+
+    def test_keys_sanitized(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.path_for("a/b c:d").name == "a_b_c_d.npz"
+        with pytest.raises(SerializationError, match="sanitizes"):
+            store.path_for("")
+
+    def test_load_missing_key_raises(self, tmp_path):
+        with pytest.raises(SerializationError, match="no checkpoint"):
+            CheckpointStore(tmp_path).load("nope")
+
+    def test_load_or_train_trains_once(self, trained_mlp, tmp_path):
+        store = CheckpointStore(tmp_path)
+        calls = []
+
+        def train():
+            calls.append(1)
+            return trained_mlp
+
+        first = store.load_or_train("m", train)
+        second = store.load_or_train("m", train)
+        assert len(calls) == 1
+        assert np.array_equal(first.w_hidden, second.w_hidden)
+
+    def test_corrupt_checkpoint_falls_back_to_retraining(
+        self, trained_mlp, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        store.path_for("m").write_bytes(b"garbage, not an npz archive")
+        calls = []
+
+        def train():
+            calls.append(1)
+            return trained_mlp
+
+        model = store.load_or_train("m", train)
+        assert len(calls) == 1
+        assert np.array_equal(model.w_hidden, trained_mlp.w_hidden)
+        # The bad file was overwritten with a valid checkpoint.
+        assert np.array_equal(store.load("m").w_hidden, trained_mlp.w_hidden)
+
+    def test_clear_removes_all(self, trained_mlp, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", trained_mlp)
+        store.save("b", trained_mlp)
+        assert store.clear() == 2
+        assert not store.has("a")
 
 
 class TestErrors:

@@ -133,3 +133,71 @@ class TestCLI:
         assert main(["sample", "digits", "--count", "2", "--columns", "2"]) == 0
         out = capsys.readouterr().out
         assert len(out.splitlines()) > 20
+
+
+class TestCLIUnknownIds:
+    def test_unknown_id_exits_2_with_known_ids(self, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        assert main(["report", "nosuch"]) == EXIT_USAGE == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment id 'nosuch'" in captured.err
+        assert "table1" in captured.err  # the known-ids list
+        assert "Traceback" not in captured.err
+
+    def test_unknown_id_fails_before_running_anything(self, capsys):
+        from repro.cli import main
+
+        # A valid id listed before the bad one must not run: validation
+        # is up-front, so nothing prints to stdout.
+        assert main(["report", "table6", "nosuch"]) == 2
+        assert "measured:" not in capsys.readouterr().out
+
+
+class TestCLIResilienceFlags:
+    def test_report_with_retries_and_timeout(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["report", "table6", "--retries", "1", "--timeout", "120"]
+        )
+        assert code == 0
+        assert "measured:" in capsys.readouterr().out
+
+    def test_invalid_degrade_scale_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "table6", "--degrade-scales", "1.5"]) == 2
+        assert "degrade" in capsys.readouterr().err
+
+    def test_default_flags_mean_no_policy(self):
+        import argparse
+
+        from repro.cli import _policy_from_args
+
+        args = argparse.Namespace(
+            retries=0,
+            timeout=None,
+            backoff=0.0,
+            checkpoint_dir=None,
+            degrade_scales="",
+        )
+        assert _policy_from_args(args) is None
+
+    def test_flags_build_validated_policy(self):
+        import argparse
+
+        from repro.cli import _policy_from_args
+
+        args = argparse.Namespace(
+            retries=2,
+            timeout=30.0,
+            backoff=0.5,
+            checkpoint_dir="/tmp/ckpt",
+            degrade_scales="0.5, 0.25",
+        )
+        policy = _policy_from_args(args)
+        assert policy.retries == 2
+        assert policy.timeout_seconds == 30.0
+        assert policy.degrade_scales == (0.5, 0.25)
+        assert policy.checkpoint_dir == "/tmp/ckpt"

@@ -1,0 +1,279 @@
+"""Injection-hook tests: bit-identity at rate 0.0, determinism, degradation.
+
+The acceptance bar of the robustness study:
+
+* a null injector (all rates 0.0) must leave every inference path
+  **bit-identical** to the uninjected one — for the quantized MLP and
+  for both SNN forward paths;
+* corruption must be exactly reproducible given a seed;
+* the trained models handed to injection helpers must never be
+  mutated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    corrupt_spiking_network,
+    faulty_snn_wot,
+    null_injector,
+)
+from repro.mlp.quantized import QuantizedMLP
+from repro.snn.coding import SpikeTrain
+from repro.snn.snn_wot import SNNWithoutTime
+
+
+def make_injector(**rates) -> FaultInjector:
+    return FaultInjector(FaultConfig(**rates))
+
+
+class TestInjectorStreams:
+    def test_null_detection(self):
+        assert null_injector().null
+        assert not make_injector(weight_bit_flip_ber=0.1).null
+
+    def test_one_shot_corruption_is_repeatable(self):
+        injector = make_injector(weight_bit_flip_ber=0.2, seed=5)
+        codes = np.arange(256, dtype=np.int64)
+        first = injector.corrupt_weight_codes(codes, "bank")
+        second = injector.corrupt_weight_codes(codes, "bank")
+        assert np.array_equal(first, second)
+
+    def test_streams_are_independent(self):
+        injector = make_injector(weight_bit_flip_ber=0.3, seed=5)
+        codes = np.arange(512, dtype=np.int64) % 256
+        a = injector.corrupt_weight_codes(codes, "bank-a")
+        b = injector.corrupt_weight_codes(codes, "bank-b")
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_corruption(self):
+        codes = np.arange(512, dtype=np.int64) % 256
+        a = make_injector(weight_bit_flip_ber=0.2, seed=1).corrupt_weight_codes(
+            codes, "bank"
+        )
+        b = make_injector(weight_bit_flip_ber=0.2, seed=2).corrupt_weight_codes(
+            codes, "bank"
+        )
+        assert not np.array_equal(a, b)
+
+    def test_null_weight_corruption_returns_same_object(self):
+        injector = null_injector()
+        codes = np.arange(10, dtype=np.int64)
+        weights = np.linspace(0, 255, 10)
+        assert injector.corrupt_weight_codes(codes, "x") is codes
+        # Crucially no rounding happens on the float path either.
+        assert injector.corrupt_weights(weights, "x") is weights
+
+
+class TestQuantizedMLPInjection:
+    def test_null_injector_is_bit_identical(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        clean = QuantizedMLP(trained_mlp)
+        nulled = QuantizedMLP(trained_mlp, injector=null_injector())
+        assert np.array_equal(nulled.w_hidden_codes, clean.w_hidden_codes)
+        assert np.array_equal(nulled.w_output_codes, clean.w_output_codes)
+        assert np.array_equal(
+            nulled.predict_dataset(test_set), clean.predict_dataset(test_set)
+        )
+
+    def test_corruption_deterministic_given_seed(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        a = QuantizedMLP(
+            trained_mlp, injector=make_injector(weight_bit_flip_ber=0.02, seed=9)
+        )
+        b = QuantizedMLP(
+            trained_mlp, injector=make_injector(weight_bit_flip_ber=0.02, seed=9)
+        )
+        assert np.array_equal(a.w_hidden_codes, b.w_hidden_codes)
+        assert np.array_equal(
+            a.predict_dataset(test_set), b.predict_dataset(test_set)
+        )
+
+    def test_high_ber_degrades_accuracy(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        labels = np.asarray(test_set.labels)
+        clean = QuantizedMLP(trained_mlp).predict_dataset(test_set)
+        faulty = QuantizedMLP(
+            trained_mlp, injector=make_injector(weight_bit_flip_ber=0.25, seed=0)
+        ).predict_dataset(test_set)
+        assert (faulty == labels).mean() < (clean == labels).mean()
+
+    def test_trained_model_not_mutated(self, trained_mlp):
+        before = trained_mlp.w_hidden.copy()
+        QuantizedMLP(
+            trained_mlp,
+            injector=make_injector(weight_bit_flip_ber=0.3, dead_neuron_rate=0.5),
+        )
+        assert np.array_equal(trained_mlp.w_hidden, before)
+
+    def test_dead_hidden_units_zero_output_columns(self, trained_mlp):
+        quantized = QuantizedMLP(
+            trained_mlp, injector=make_injector(dead_neuron_rate=1.0)
+        )
+        assert not quantized.w_output_codes.any()
+
+
+class TestSpikingNetworkInjection:
+    def test_null_injector_returns_network_itself(self, trained_snn):
+        assert corrupt_spiking_network(trained_snn, null_injector()) is trained_snn
+
+    def test_weight_corruption_clones(self, trained_snn):
+        before = trained_snn.weights.copy()
+        clone = corrupt_spiking_network(
+            trained_snn, make_injector(weight_bit_flip_ber=0.1, seed=3)
+        )
+        assert clone is not trained_snn
+        assert not np.array_equal(clone.weights, before)
+        assert np.array_equal(trained_snn.weights, before)  # untouched
+        assert np.array_equal(clone.neuron_labels, trained_snn.neuron_labels)
+
+    def test_corruption_deterministic_given_seed(self, trained_snn):
+        a = corrupt_spiking_network(
+            trained_snn, make_injector(weight_bit_flip_ber=0.1, seed=3)
+        )
+        b = corrupt_spiking_network(
+            trained_snn, make_injector(weight_bit_flip_ber=0.1, seed=3)
+        )
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_dead_neurons_cannot_fire(self, trained_snn):
+        clone = corrupt_spiking_network(
+            trained_snn, make_injector(dead_neuron_rate=1.0)
+        )
+        assert not clone.weights.any()
+        assert clone.population.thresholds.min() >= 1e12
+
+    def test_spike_faults_attach_injector(self, trained_snn):
+        clone = corrupt_spiking_network(
+            trained_snn, make_injector(spike_drop_rate=0.2)
+        )
+        assert clone.fault_injector is not None
+        assert trained_snn.fault_injector is None
+
+
+class TestSNNwotInjection:
+    def test_null_injector_is_bit_identical(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        clean = SNNWithoutTime(trained_snn)
+        nulled = SNNWithoutTime(trained_snn, injector=null_injector())
+        assert nulled.weights is trained_snn.weights  # no copy at all
+        assert np.array_equal(
+            nulled.predict_dataset(test_set), clean.predict_dataset(test_set)
+        )
+
+    def test_corruption_deterministic_given_seed(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        a = faulty_snn_wot(
+            trained_snn, make_injector(weight_bit_flip_ber=0.05, seed=2)
+        )
+        b = faulty_snn_wot(
+            trained_snn, make_injector(weight_bit_flip_ber=0.05, seed=2)
+        )
+        assert np.array_equal(a.weights, b.weights)
+        assert np.array_equal(
+            a.predict_dataset(test_set), b.predict_dataset(test_set)
+        )
+
+    def test_trained_weights_not_mutated(self, trained_snn):
+        before = trained_snn.weights.copy()
+        faulty_snn_wot(
+            trained_snn,
+            make_injector(weight_bit_flip_ber=0.2, dead_neuron_rate=0.5),
+        )
+        assert np.array_equal(trained_snn.weights, before)
+
+    def test_dead_lanes_have_zero_potential(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        model = faulty_snn_wot(trained_snn, make_injector(dead_neuron_rate=1.0))
+        assert not model.potentials(test_set.images[:4]).any()
+
+    def test_count_faults_stay_in_range(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        model = faulty_snn_wot(
+            trained_snn,
+            make_injector(spike_drop_rate=0.3, spike_spurious_rate=0.3),
+        )
+        counts = model.spike_counts(test_set.images[:4])
+        cap = trained_snn.config.max_spikes_per_pixel
+        assert counts.min() >= 0 and counts.max() <= cap
+
+
+class TestSpikeTrainCorruption:
+    def make_train(self, n=200) -> SpikeTrain:
+        rng = np.random.default_rng(0)
+        return SpikeTrain(
+            times=np.sort(rng.uniform(0, 500.0, n)),
+            inputs=rng.integers(0, 64, n),
+            n_inputs=64,
+            duration=500.0,
+        )
+
+    def test_null_returns_same_object(self):
+        train = self.make_train()
+        assert null_injector().corrupt_spike_train(train, "s") is train
+
+    def test_full_drop_empties_train(self):
+        train = self.make_train()
+        out = make_injector(spike_drop_rate=1.0).corrupt_spike_train(train, "s")
+        assert out.n_spikes == 0
+        assert out.n_inputs == train.n_inputs
+
+    def test_spurious_spikes_added_within_duration(self):
+        train = self.make_train()
+        out = make_injector(spike_spurious_rate=0.5, seed=1).corrupt_spike_train(
+            train, "s"
+        )
+        assert out.n_spikes > 0
+        assert out.times.max() <= train.duration
+        assert out.inputs.max() < train.n_inputs
+
+
+class TestTransientUpsets:
+    def test_rate_zero_never_touches_registers(self):
+        accumulators = np.arange(8, dtype=np.int64)
+        before = accumulators.copy()
+        injector = null_injector()
+        for _ in range(50):
+            injector.maybe_upset(accumulators, "dp")
+        assert np.array_equal(accumulators, before)
+
+    def test_rate_one_flips_exactly_one_bit_per_cycle(self):
+        accumulators = np.zeros(8, dtype=np.int64)
+        injector = make_injector(transient_upset_rate=1.0, seed=4)
+        injector.maybe_upset(accumulators, "dp")
+        changed = accumulators[accumulators != 0]
+        assert changed.size == 1
+        value = int(changed[0])
+        assert value & (value - 1) == 0  # a single set bit
+
+    def test_upset_sequence_deterministic(self):
+        def run(seed):
+            acc = np.zeros(16, dtype=np.int64)
+            injector = make_injector(transient_upset_rate=0.5, seed=seed)
+            for _ in range(20):
+                injector.maybe_upset(acc, "dp")
+            return acc
+
+        assert np.array_equal(run(7), run(7))
+        assert not np.array_equal(run(7), run(8))
+
+
+class TestFoldedSimulatorInjection:
+    def test_upsets_perturb_folded_mlp_outputs(self, trained_mlp, digits_small):
+        from repro.hardware.cyclesim import FoldedMLPSimulator
+
+        _, test_set = digits_small
+        quantized = QuantizedMLP(trained_mlp)
+        image = test_set.normalized()[0]
+        clean_codes, _ = FoldedMLPSimulator(quantized, ni=64).run_image(image)
+        null_codes, _ = FoldedMLPSimulator(
+            quantized, ni=64, injector=null_injector()
+        ).run_image(image)
+        assert np.array_equal(null_codes, clean_codes)
+        upset_sim = FoldedMLPSimulator(
+            quantized, ni=64, injector=make_injector(transient_upset_rate=1.0, seed=6)
+        )
+        upset_codes, _ = upset_sim.run_image(image)
+        assert not np.array_equal(upset_codes, clean_codes)

@@ -1,0 +1,153 @@
+"""Tests for the fault descriptions and bit-level corruption primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.faults.models import (
+    FaultConfig,
+    flip_bits,
+    perturb_counts,
+    sample_dead_mask,
+    stuck_at,
+)
+
+
+class TestFaultConfig:
+    def test_default_is_null(self):
+        config = FaultConfig().validate()
+        assert config.null
+        assert not config.affects_weights
+        assert not config.affects_spikes
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(ConfigError, match="weight_bit_flip_ber"):
+            FaultConfig(weight_bit_flip_ber=1.5).validate()
+        with pytest.raises(ConfigError, match="spike_drop_rate"):
+            FaultConfig(spike_drop_rate=-0.1).validate()
+
+    def test_overlapping_stuck_rates_rejected(self):
+        with pytest.raises(ConfigError, match="stuck_at"):
+            FaultConfig(stuck_at_zero_rate=0.6, stuck_at_one_rate=0.6).validate()
+
+    def test_affects_weights(self):
+        assert FaultConfig(weight_bit_flip_ber=0.01).affects_weights
+        assert FaultConfig(stuck_at_one_rate=0.01).affects_weights
+        assert not FaultConfig(spike_drop_rate=0.5).affects_weights
+
+    def test_affects_spikes(self):
+        assert FaultConfig(spike_drop_rate=0.1).affects_spikes
+        assert FaultConfig(spike_spurious_rate=0.1).affects_spikes
+        assert not FaultConfig(weight_bit_flip_ber=0.5).affects_spikes
+
+    def test_with_seed_only_changes_seed(self):
+        config = FaultConfig(weight_bit_flip_ber=0.25, seed=1)
+        reseeded = config.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.weight_bit_flip_ber == 0.25
+
+    def test_scaled_multiplies_and_clips(self):
+        config = FaultConfig(weight_bit_flip_ber=0.4, spike_drop_rate=0.8)
+        half = config.scaled(0.5)
+        assert half.weight_bit_flip_ber == pytest.approx(0.2)
+        doubled = config.scaled(2.0)
+        assert doubled.spike_drop_rate == 1.0  # clipped
+
+    def test_scaled_rejects_negative_severity(self):
+        with pytest.raises(ConfigError):
+            FaultConfig().scaled(-1.0)
+
+
+class TestFlipBits:
+    def test_zero_ber_returns_same_object(self, rng):
+        codes = np.arange(10, dtype=np.int64)
+        assert flip_bits(codes, 0.0, rng) is codes
+
+    def test_deterministic_given_generator_seed(self):
+        codes = np.arange(256, dtype=np.int64) % 200
+        a = flip_bits(codes, 0.1, np.random.default_rng(3))
+        b = flip_bits(codes, 0.1, np.random.default_rng(3))
+        c = flip_bits(codes, 0.1, np.random.default_rng(4))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_ber_one_inverts_every_bit(self, rng):
+        codes = np.array([0, 1, 0x55, 0xFF], dtype=np.int64)
+        flipped = flip_bits(codes, 1.0, rng)
+        assert np.array_equal(flipped, codes ^ 0xFF)
+
+    def test_unsigned_range_preserved(self, rng):
+        codes = np.arange(256, dtype=np.int64)
+        flipped = flip_bits(codes, 0.5, rng)
+        assert flipped.min() >= 0 and flipped.max() <= 255
+
+    def test_signed_range_preserved(self, rng):
+        codes = np.arange(-128, 128, dtype=np.int64)
+        flipped = flip_bits(codes, 0.5, rng, signed=True)
+        assert flipped.min() >= -128 and flipped.max() <= 127
+
+    def test_signed_msb_flip_changes_sign(self, rng):
+        # Flipping all bits of two's-complement x yields -x - 1.
+        codes = np.array([5, -17, 100], dtype=np.int64)
+        flipped = flip_bits(codes, 1.0, rng, signed=True)
+        assert np.array_equal(flipped, -codes - 1)
+
+
+class TestStuckAt:
+    def test_zero_rates_return_same_object(self, rng):
+        codes = np.arange(10, dtype=np.int64)
+        assert stuck_at(codes, 0.0, 0.0, rng) is codes
+
+    def test_all_stuck_at_zero(self, rng):
+        codes = np.arange(1, 9, dtype=np.int64)
+        assert np.array_equal(stuck_at(codes, 1.0, 0.0, rng), np.zeros(8))
+
+    def test_all_stuck_at_one_unsigned(self, rng):
+        codes = np.arange(8, dtype=np.int64)
+        assert np.array_equal(stuck_at(codes, 0.0, 1.0, rng), np.full(8, 255))
+
+    def test_all_stuck_at_one_signed_is_minus_one(self, rng):
+        codes = np.arange(8, dtype=np.int64)
+        stuck = stuck_at(codes, 0.0, 1.0, rng, signed=True)
+        assert np.array_equal(stuck, np.full(8, -1))
+
+    def test_partition_never_overlaps(self):
+        # With complementary rates every synapse is stuck, each exactly once.
+        codes = np.full(10_000, 7, dtype=np.int64)
+        stuck = stuck_at(codes, 0.5, 0.5, np.random.default_rng(0))
+        assert set(np.unique(stuck)) <= {0, 255}
+
+    def test_deterministic(self):
+        codes = np.arange(500, dtype=np.int64) % 256
+        a = stuck_at(codes, 0.1, 0.1, np.random.default_rng(11))
+        b = stuck_at(codes, 0.1, 0.1, np.random.default_rng(11))
+        assert np.array_equal(a, b)
+
+
+class TestDeadMaskAndCounts:
+    def test_dead_mask_rate_zero_all_false(self, rng):
+        assert not sample_dead_mask(50, 0.0, rng).any()
+
+    def test_dead_mask_rate_one_all_true(self, rng):
+        assert sample_dead_mask(50, 1.0, rng).all()
+
+    def test_perturb_counts_zero_rates_same_object(self, rng):
+        counts = np.arange(10, dtype=np.int64)
+        assert perturb_counts(counts, 0.0, 0.0, rng, cap=10) is counts
+
+    def test_perturb_counts_full_drop_silences(self, rng):
+        counts = np.arange(1, 11, dtype=np.int64)
+        out = perturb_counts(counts, 1.0, 0.0, rng, cap=10)
+        assert not out.any()
+
+    def test_perturb_counts_respects_cap(self, rng):
+        counts = np.full(100, 10, dtype=np.int64)
+        out = perturb_counts(counts, 0.0, 5.0, rng, cap=10)
+        assert out.min() >= 0 and out.max() <= 10
+
+    def test_perturb_counts_spurious_can_wake_silent_pixels(self):
+        counts = np.zeros(2000, dtype=np.int64)
+        out = perturb_counts(
+            counts, 0.0, 1.0, np.random.default_rng(2), cap=10
+        )
+        assert out.sum() > 0
