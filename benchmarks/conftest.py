@@ -21,6 +21,24 @@ from repro.core import registry
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_model_cache(tmp_path_factory):
+    """Per-run model-cache dir (no .repro-cache in the repository)."""
+    import os
+
+    from repro.core.artifacts import reset_default_cache
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("model-cache"))
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_cache()
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

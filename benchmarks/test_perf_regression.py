@@ -1,0 +1,333 @@
+"""Wall-clock regression harness for the batched-evaluation work.
+
+Not part of the tier-1 suite (pytest ``testpaths`` excludes
+``benchmarks/``).  Run it directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
+
+Three things are measured with a plain ``time.perf_counter`` clock
+(pytest-benchmark's statistics are overkill for end-to-end runs that
+take seconds):
+
+* SNN evaluation through the per-image reference path
+  (:meth:`SNNTrainer.predict_serial`) versus the batched grid engine
+  (:meth:`SNNTrainer.predict`).  The predictions must be bit-identical
+  and the batched path must clear ``min_speedup`` for the scale.
+* MLP and quantized-MLP whole-dataset inference throughput.
+* An end-to-end ``full_report`` cold/warm pair exercising the
+  content-addressed model cache: the warm run must record zero cache
+  misses (no retraining) and finish faster than the cold run.
+
+Results are appended to ``BENCH_PR2.json`` at the repository root,
+keyed by scale, so the committed file carries both the full-scale
+numbers and the CI smoke-scale numbers.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    ``full`` (default) or ``ci``.  The CI scale shrinks datasets and
+    networks so the whole module runs in well under a minute on a
+    shared runner, and relaxes the speedup floor (small batches
+    amortize the per-step overhead less).
+``REPRO_BENCH_OUTPUT``
+    Override the JSON output path (CI uploads it as an artifact).
+
+Regression guard: each throughput benchmark must achieve at least
+``1/3`` of the committed baseline rate for its scale.  The 3x slack
+absorbs hardware differences between the machine that recorded the
+baselines and whatever runner executes the guard; a real regression
+(e.g. losing the batched fast path) is an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.core import artifacts
+from repro.core.config import MLPConfig, SNNConfig
+from repro.datasets.digits import load_digits
+from repro.mlp.network import MLP
+from repro.mlp.quantized import QuantizedMLP
+from repro.mlp.trainer import BackPropTrainer
+from repro.snn.network import SNNTrainer, SpikingNetwork
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / "BENCH_PR2.json")
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+
+#: Workload sizes and acceptance floors per scale.
+PARAMS: Dict[str, dict] = {
+    "full": {
+        "n_train": 300,
+        "n_test": 500,
+        "snn_neurons": 50,
+        "mlp_hidden": 20,
+        "mlp_epochs": 5,
+        "min_speedup": 5.0,
+        "report_ids": ["table3"],
+    },
+    "ci": {
+        "n_train": 120,
+        "n_test": 150,
+        "snn_neurons": 20,
+        "mlp_hidden": 10,
+        "mlp_epochs": 2,
+        "min_speedup": 2.0,
+        "report_ids": ["table3"],
+    },
+}
+
+#: Committed baseline throughput (images/second) per scale, recorded
+#: on the machine that produced BENCH_PR2.json.  The guard requires
+#: measured >= baseline / 3.
+BASELINE_RATES: Dict[str, Dict[str, float]] = {
+    "full": {
+        "snn_eval_serial": 126.0,
+        "snn_eval_batched": 736.0,
+        "mlp_eval": 300_000.0,
+        "quantized_mlp_eval": 78_000.0,
+    },
+    "ci": {
+        "snn_eval_serial": 130.0,
+        "snn_eval_batched": 700.0,
+        "mlp_eval": 400_000.0,
+        "quantized_mlp_eval": 110_000.0,
+    },
+}
+
+if SCALE not in PARAMS:  # pragma: no cover - config error guard
+    raise RuntimeError(f"unknown REPRO_BENCH_SCALE {SCALE!r}")
+
+P = PARAMS[SCALE]
+
+#: Results accumulated across the module, dumped to JSON at teardown.
+RECORDS: Dict[str, dict] = {}
+
+
+def _record(name: str, **fields) -> None:
+    RECORDS[name] = fields
+
+
+def _rate(n_images: int, seconds: float) -> float:
+    return n_images / max(seconds, 1e-9)
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _guard(name: str, rate: float) -> None:
+    baseline = BASELINE_RATES[SCALE][name]
+    floor = baseline / 3.0
+    assert rate >= floor, (
+        f"{name}: {rate:.1f} img/s is below the regression floor "
+        f"{floor:.1f} img/s (baseline {baseline:.1f} / 3)"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_json():
+    yield
+    if not RECORDS:
+        return
+    existing: Dict[str, dict] = {}
+    if OUTPUT_PATH.exists():
+        try:
+            existing = json.loads(OUTPUT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.setdefault("scales", {})[SCALE] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "params": P,
+        "baseline_rates": BASELINE_RATES[SCALE],
+        "benchmarks": RECORDS,
+    }
+    existing["note"] = (
+        "Wall-clock numbers from benchmarks/test_perf_regression.py. "
+        "Rates are images/second; speedups are serial/batched wall-clock "
+        "ratios on bit-identical predictions."
+    )
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def digits_pair():
+    return load_digits(n_train=P["n_train"], n_test=P["n_test"], seed=7)
+
+
+@pytest.fixture(scope="module")
+def trained_snn(digits_pair):
+    train_set, _ = digits_pair
+    config = (
+        SNNConfig(epochs=1, seed=11).with_neurons(P["snn_neurons"]).validate()
+    )
+    trainer = SNNTrainer(SpikingNetwork(config))
+    trainer.train(train_set)
+    trainer.label(train_set)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def trained_mlp(digits_pair):
+    train_set, _ = digits_pair
+    config = MLPConfig(
+        n_inputs=train_set.n_inputs,
+        n_hidden=P["mlp_hidden"],
+        n_output=train_set.n_classes,
+    ).validate()
+    network = MLP(config)
+    BackPropTrainer(network, batch_size=16).train(
+        train_set, epochs=P["mlp_epochs"]
+    )
+    return network
+
+
+class TestSNNEvaluation:
+    def test_batched_speedup_with_identical_predictions(
+        self, trained_snn, digits_pair
+    ):
+        _, test_set = digits_pair
+        n = len(test_set.images)
+
+        # Warm both paths once (first call pays lazy imports and
+        # allocator warmup), then keep the best of two timed runs —
+        # standard practice for wall-clock benchmarks.
+        serial = trained_snn.predict_serial(test_set)
+        batched = trained_snn.predict(test_set)
+
+        serial_s = min(
+            _timed(lambda: trained_snn.predict_serial(test_set))
+            for _ in range(2)
+        )
+        batched_s = min(
+            _timed(lambda: trained_snn.predict(test_set)) for _ in range(2)
+        )
+
+        assert np.array_equal(serial, batched), (
+            "batched SNN evaluation diverged from the per-image oracle"
+        )
+        speedup = serial_s / batched_s
+        _record(
+            "snn_eval_serial",
+            images=n,
+            seconds=round(serial_s, 4),
+            images_per_second=round(_rate(n, serial_s), 1),
+        )
+        _record(
+            "snn_eval_batched",
+            images=n,
+            seconds=round(batched_s, 4),
+            images_per_second=round(_rate(n, batched_s), 1),
+            speedup_vs_serial=round(speedup, 2),
+            identical_predictions=True,
+        )
+        _guard("snn_eval_serial", _rate(n, serial_s))
+        _guard("snn_eval_batched", _rate(n, batched_s))
+        assert speedup >= P["min_speedup"], (
+            f"batched SNN eval speedup {speedup:.2f}x is below the "
+            f"{P['min_speedup']}x floor for scale {SCALE!r}"
+        )
+
+
+class TestMLPEvaluation:
+    def test_float_mlp_throughput(self, trained_mlp, digits_pair):
+        _, test_set = digits_pair
+        n = len(test_set.images)
+        trained_mlp.predict_dataset(test_set)  # warm the BLAS path
+        t0 = time.perf_counter()
+        for _ in range(10):
+            trained_mlp.predict_dataset(test_set)
+        seconds = (time.perf_counter() - t0) / 10
+        rate = _rate(n, seconds)
+        _record(
+            "mlp_eval",
+            images=n,
+            seconds=round(seconds, 6),
+            images_per_second=round(rate, 1),
+        )
+        _guard("mlp_eval", rate)
+
+    def test_quantized_mlp_throughput(self, trained_mlp, digits_pair):
+        _, test_set = digits_pair
+        n = len(test_set.images)
+        quantized = QuantizedMLP(trained_mlp)
+        quantized.predict_dataset(test_set)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            quantized.predict_dataset(test_set)
+        seconds = (time.perf_counter() - t0) / 10
+        rate = _rate(n, seconds)
+        _record(
+            "quantized_mlp_eval",
+            images=n,
+            seconds=round(seconds, 6),
+            images_per_second=round(rate, 1),
+        )
+        _guard("quantized_mlp_eval", rate)
+
+
+class TestReportCache:
+    def test_cold_then_warm_report(self):
+        """A warm report retrains nothing and runs faster.
+
+        The session-scoped conftest fixture points REPRO_CACHE_DIR at a
+        fresh temporary directory, so the first run here is genuinely
+        cold for this process.
+        """
+        from repro.analysis.report import full_report
+
+        ids = P["report_ids"]
+        artifacts.cache_stats()  # touch the default cache
+        artifacts.default_cache().stats.reset()
+
+        t0 = time.perf_counter()
+        cold = full_report(ids)
+        cold_s = time.perf_counter() - t0
+        cold_stats = dict(artifacts.cache_stats())
+
+        artifacts.default_cache().stats.reset()
+        t0 = time.perf_counter()
+        warm = full_report(ids)
+        warm_s = time.perf_counter() - t0
+        warm_stats = dict(artifacts.cache_stats())
+
+        def _strip_timing(text: str) -> str:
+            return "\n".join(
+                line
+                for line in text.splitlines()
+                if not line.startswith("elapsed:")
+            )
+
+        assert _strip_timing(cold) == _strip_timing(warm)
+        assert warm_stats["misses"] == 0, "warm report retrained a model"
+        assert warm_stats["hits"] >= 1
+        assert warm_s < cold_s
+        _record(
+            "report_cold",
+            experiment_ids=ids,
+            seconds=round(cold_s, 3),
+            cache_stats=cold_stats,
+        )
+        _record(
+            "report_warm",
+            experiment_ids=ids,
+            seconds=round(warm_s, 3),
+            cache_stats=warm_stats,
+            speedup_vs_cold=round(cold_s / max(warm_s, 1e-9), 2),
+        )

@@ -18,6 +18,7 @@ import os
 from functools import lru_cache
 from typing import Tuple
 
+from ..core.artifacts import cached_train, coder_signature
 from ..core.config import MLPConfig, SNNConfig
 from ..datasets.base import Dataset
 from ..datasets.digits import load_digits
@@ -69,10 +70,25 @@ def train_mlp_model(
     epochs give BP ~1,900 updates per epoch, while a 1-2k-image
     synthetic set at batch 32 gives ~50 — so we train with batch 16
     and more epochs to land in the same update-count regime.
+
+    Memoized through the content-addressed model cache
+    (:mod:`repro.core.artifacts`): the ~10 experiments sharing this
+    exact (config, dataset, epochs) train it once — per process pool,
+    per repeated ``report`` invocation.  ``REPRO_NO_CACHE=1`` bypasses.
     """
-    network = MLP(config)
-    BackPropTrainer(network, batch_size=16).train(train_set, epochs=epochs)
-    return network
+
+    def _train() -> MLP:
+        network = MLP(config)
+        BackPropTrainer(network, batch_size=16).train(train_set, epochs=epochs)
+        return network
+
+    return cached_train(
+        "mlp",
+        config,
+        train_set,
+        _train,
+        train_params={"epochs": epochs, "batch_size": 16, "recipe": "bp-v1"},
+    )
 
 
 def train_snn_model(
@@ -81,19 +97,54 @@ def train_snn_model(
     epochs: int = 3,
     coder=None,
 ) -> SpikingNetwork:
-    """The standard SNN+STDP training recipe used by all experiments."""
-    network = SpikingNetwork(config, coder=coder)
-    SNNTrainer(network).fit(train_set, epochs=epochs)
+    """The standard SNN+STDP training recipe used by all experiments.
+
+    Cached like :func:`train_mlp_model`; the coder participates in the
+    cache key (it changes the training spike streams) and is re-attached
+    after a cache hit, since the NPZ format stores only weights /
+    thresholds / labels.
+    """
+
+    def _train() -> SpikingNetwork:
+        network = SpikingNetwork(config, coder=coder)
+        SNNTrainer(network).fit(train_set, epochs=epochs)
+        return network
+
+    network = cached_train(
+        "snn",
+        config,
+        train_set,
+        _train,
+        train_params={
+            "epochs": epochs,
+            "coder": coder_signature(coder),
+            "recipe": "stdp-v1",
+        },
+    )
+    if coder is not None:
+        network.coder = coder
     return network
 
 
 def train_snn_bp_model(
     config: SNNConfig, train_set: Dataset, epochs: int = 15
 ) -> BackPropSNN:
-    """The standard SNN+BP training recipe used by all experiments."""
-    model = BackPropSNN(config)
-    model.train(train_set, epochs=epochs)
-    return model
+    """The standard SNN+BP training recipe used by all experiments.
+
+    Cached like :func:`train_mlp_model` (kind ``snnbp``)."""
+
+    def _train() -> BackPropSNN:
+        model = BackPropSNN(config)
+        model.train(train_set, epochs=epochs)
+        return model
+
+    return cached_train(
+        "snnbp",
+        config,
+        train_set,
+        _train,
+        train_params={"epochs": epochs, "recipe": "snnbp-v1"},
+    )
 
 
 def accuracy_percent(model_eval) -> float:

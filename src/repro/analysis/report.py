@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..core import registry
-from ..core.experiment import ExperimentResult, ResilientRunner, RunPolicy
+from ..core.experiment import (
+    ExperimentResult,
+    ResilientRunner,
+    RunPolicy,
+    run_experiments,
+)
 
 
 def _format_value(value: Any) -> str:
@@ -92,11 +97,16 @@ def run_and_render(
 def full_report(
     experiment_ids: Optional[Iterable[str]] = None,
     policy: Optional[RunPolicy] = None,
+    jobs: int = 1,
     **kwargs: Any,
 ) -> str:
-    """Run every (or the selected) registered experiment and render all."""
+    """Run every (or the selected) registered experiment and render all.
+
+    ``jobs > 1`` executes independent experiments across a process
+    pool (:func:`repro.core.experiment.run_experiments`); rendering
+    always happens here, in id order, so the report text is the same
+    as a serial run's (modulo the wall-clock ``elapsed:`` lines).
+    """
     ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
-    return "\n".join(
-        run_and_render(experiment_id, policy=policy, **kwargs)
-        for experiment_id in ids
-    )
+    results = run_experiments(ids, policy=policy, jobs=jobs, **kwargs)
+    return "\n".join(render_result(result) for result in results)

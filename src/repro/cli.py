@@ -21,7 +21,7 @@ import sys
 from typing import List, Optional
 
 from . import analysis  # noqa: F401  (registers experiments)
-from .analysis.report import run_and_render
+from .analysis.report import render_result, run_and_render
 from .analysis.visualize import ascii_image, dataset_contact_sheet
 from .core import registry
 from .core.config import mnist_mlp_config, mnist_snn_config
@@ -77,9 +77,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ExperimentError as error:
         print(error, file=sys.stderr)
         return EXIT_USAGE
+    _apply_cache_flags(args)
+    if args.jobs > 1:
+        from .core.experiment import run_experiments
+
+        results = run_experiments(list(ids), policy=policy, jobs=args.jobs)
+        for result in results:
+            print(render_result(result))
+        return 0
     for experiment_id in ids:
         print(run_and_render(experiment_id, policy=policy))
     return 0
+
+
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Propagate --no-cache / --cache-dir to the artifact-cache env.
+
+    Environment variables (rather than plumbed parameters) so worker
+    processes of a ``--jobs N`` run inherit the same cache settings.
+    """
+    import os
+
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if getattr(args, "cache_dir", None):
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
@@ -173,6 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="S1,S2,...",
         help="comma-separated fallback scales tried after retries are exhausted",
+    )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiments across N worker processes "
+        "(deterministic id-ordered output; 1 = serial)",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed trained-model cache",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="override the trained-model cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     report.set_defaults(fn=_cmd_report)
 

@@ -1,0 +1,264 @@
+"""Content-addressed cache of trained models.
+
+About ten registered experiments retrain the *same* scaled-down
+MLP / SNN on the *same* synthetic dataset — the dominant cost of a
+full ``report`` run.  Training here is deterministic (every stochastic
+draw goes through :mod:`repro.core.rng`), so a trained model is a pure
+function of (model kind, config, dataset, training recipe, code
+version).  This module memoizes that function on disk:
+
+* **Key**: SHA-256 over a canonical JSON payload of the config
+  dataclass, a content hash of the dataset arrays, the training
+  parameters, and a code-version salt (bump
+  :data:`CODE_VERSION` whenever a change alters what training
+  produces; stale entries then miss instead of poisoning results).
+* **Value**: the PR-1 NPZ serialization
+  (:mod:`repro.core.serialization`), written atomically
+  (tmp file + ``os.replace``) so a crashed writer can never leave a
+  half-written entry under a valid key.
+* **Scope**: keyed by content, not by call site — the cache is shared
+  across experiments, across ``--jobs N`` worker processes and across
+  repeated ``report`` invocations.
+
+Controls: ``REPRO_CACHE_DIR`` (or the ``--cache-dir`` CLI flag) moves
+the store; ``REPRO_NO_CACHE=1`` (or ``--no-cache``) bypasses it
+entirely.  A corrupt or unreadable entry is treated as a miss: the
+model is retrained and the entry overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from .errors import ReproError
+
+#: Salt mixed into every cache key.  Bump when a code change alters
+#: the outcome of training (STDP rule, RNG streams, recipes, ...) so
+#: previously cached models are invalidated instead of silently reused.
+CODE_VERSION = "pr2-batched-1"
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a truthy value."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def cache_directory() -> pathlib.Path:
+    """The active cache directory (``REPRO_CACHE_DIR`` or default)."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def dataset_signature(dataset) -> str:
+    """Content hash of a dataset (images + labels + identity).
+
+    Hashes the raw array bytes, shapes and dtypes, so *any* change to
+    the data — size, noise draw, normalization — changes the key.
+    """
+    digest = hashlib.sha256()
+    images = np.ascontiguousarray(dataset.images)
+    labels = np.ascontiguousarray(dataset.labels)
+    digest.update(getattr(dataset, "name", "").encode())
+    digest.update(str(images.shape).encode() + str(images.dtype).encode())
+    digest.update(images.tobytes())
+    digest.update(str(labels.shape).encode() + str(labels.dtype).encode())
+    digest.update(labels.tobytes())
+    return digest.hexdigest()[:24]
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonicalize a value for the key payload (stable across runs)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def coder_signature(coder) -> Dict[str, Any]:
+    """Stable description of a spike coder (class + scalar attributes)."""
+    if coder is None:
+        return {"class": None}
+    attrs = {
+        key: _jsonable(value)
+        for key, value in sorted(vars(coder).items())
+        if isinstance(value, (int, float, str, bool, np.integer, np.floating))
+    }
+    return {"class": type(coder).__name__, **attrs}
+
+
+def cache_key(
+    kind: str,
+    config,
+    dataset,
+    train_params: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Content-addressed key for a trained model.
+
+    A stable SHA-256 over (kind, config fields, dataset content hash,
+    training parameters, code-version salt); any difference in any
+    component yields a different key.
+    """
+    payload = {
+        "kind": kind,
+        "config": _jsonable(config),
+        "dataset": dataset_signature(dataset),
+        "train": _jsonable(train_params or {}),
+        "code_version": CODE_VERSION,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """In-process cache counters (asserted by the tests / bench)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0  # corrupt entries that fell back to retraining
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.errors = 0
+
+
+class ModelCache:
+    """Content-addressed on-disk store of trained models.
+
+    ``get_or_train(kind, config, dataset, train_fn, ...)`` returns the
+    cached model when a valid entry exists, otherwise runs ``train_fn``
+    and stores its result.  Writes are atomic; corrupt entries fall
+    back to retraining and are overwritten.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else cache_directory()
+        )
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.npz"
+
+    def get_or_train(
+        self,
+        kind: str,
+        config,
+        dataset,
+        train_fn: Callable[[], Any],
+        train_params: Optional[Dict[str, Any]] = None,
+        loader: Optional[Callable[[os.PathLike], Any]] = None,
+        saver: Optional[Callable[[Any, os.PathLike], Any]] = None,
+    ):
+        """Memoized training: load on hit, train + store on miss."""
+        from .serialization import load_model, save_model
+
+        loader = loader or load_model
+        saver = saver or save_model
+        key = cache_key(kind, config, dataset, train_params)
+        path = self.path_for(key)
+        if path.exists():
+            try:
+                model = loader(path)
+            except (ReproError, OSError, ValueError) as _exc:
+                # Corrupt / truncated / stale entry: retrain + overwrite.
+                self.stats.errors += 1
+            else:
+                self.stats.hits += 1
+                return model
+        self.stats.misses += 1
+        model = train_fn()
+        try:
+            self._atomic_store(model, path, saver)
+            self.stats.stores += 1
+        except OSError:
+            pass  # read-only cache dir: training still succeeded
+        return model
+
+    def _atomic_store(self, model, path: pathlib.Path, saver) -> None:
+        """Write-to-tmp + rename so readers never see partial entries."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp.npz"
+        )
+        os.close(handle)
+        try:
+            written = saver(model, tmp_name)
+            os.replace(written, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number deleted."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+#: Process-wide cache instance (lazy — respects env overrides made
+#: before first use; tests reset it via :func:`reset_default_cache`).
+_DEFAULT_CACHE: Optional[ModelCache] = None
+
+
+def default_cache() -> ModelCache:
+    """The process-wide :class:`ModelCache` (created on first use)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None or _DEFAULT_CACHE.directory != cache_directory():
+        _DEFAULT_CACHE = ModelCache()
+    return _DEFAULT_CACHE
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide instance (tests / env-var changes)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None
+
+
+def cache_stats() -> Dict[str, int]:
+    """Counters of the process-wide cache (zeros when unused)."""
+    if _DEFAULT_CACHE is None:
+        return CacheStats().as_dict()
+    return _DEFAULT_CACHE.stats.as_dict()
+
+
+def cached_train(
+    kind: str,
+    config,
+    dataset,
+    train_fn: Callable[[], Any],
+    train_params: Optional[Dict[str, Any]] = None,
+    **cache_kwargs: Any,
+):
+    """Train through the process-wide cache (or directly when disabled)."""
+    if not cache_enabled():
+        return train_fn()
+    return default_cache().get_or_train(
+        kind, config, dataset, train_fn, train_params=train_params, **cache_kwargs
+    )

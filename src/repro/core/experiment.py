@@ -357,3 +357,75 @@ class ResilientRunner:
     def run_spec(self, spec: ExperimentSpec, **kwargs: Any) -> ExperimentResult:
         """Run a registry entry under the policy."""
         return self.run(spec.fn, experiment_id=spec.experiment_id, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+
+
+def run_experiment_by_id(
+    experiment_id: str,
+    policy: Optional[RunPolicy] = None,
+    kwargs: Optional[Dict[str, Any]] = None,
+) -> ExperimentResult:
+    """Run one registered experiment (module-level, so it pickles).
+
+    This is the unit of work of :func:`run_experiments` — executed
+    either inline (serial) or inside a worker process.  The worker
+    re-imports the analysis package so the registry is populated
+    regardless of the multiprocessing start method, then applies the
+    PR-1 :class:`RunPolicy` semantics (timeout / retries / checkpoints
+    / degradation) exactly as a serial run would: resilience is
+    *per experiment*, unchanged by where the experiment executes.
+    """
+    from . import registry  # local import: registry imports this module
+
+    registry.ensure_default_registrations()
+    spec = registry.get(experiment_id)
+    call_kwargs = dict(kwargs or {})
+    if policy is None:
+        return spec.run(**call_kwargs)
+    return ResilientRunner(policy).run_spec(spec, **call_kwargs)
+
+
+def run_experiments(
+    experiment_ids: List[str],
+    policy: Optional[RunPolicy] = None,
+    jobs: int = 1,
+    **kwargs: Any,
+) -> List[ExperimentResult]:
+    """Run registered experiments, optionally across worker processes.
+
+    Results come back **in the order of ``experiment_ids``** no matter
+    which worker finishes first, so parallel reports are deterministic.
+    ``jobs <= 1`` (or a single experiment) runs serially in-process.
+    If the process pool cannot be created or breaks (sandboxed
+    environments, missing semaphores, unpicklable payloads), the run
+    falls back to the serial path instead of failing — parallelism is
+    an optimization, never a requirement.  Experiment errors are *not*
+    swallowed by the fallback: they propagate just as a serial run's
+    would.
+    """
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    ids = list(experiment_ids)
+    if jobs in (0, 1) or len(ids) <= 1:
+        return [run_experiment_by_id(i, policy, kwargs) for i in ids]
+    try:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+            futures = {
+                experiment_id: pool.submit(
+                    run_experiment_by_id, experiment_id, policy, kwargs
+                )
+                for experiment_id in ids
+            }
+            return [futures[experiment_id].result() for experiment_id in ids]
+    except (OSError, ImportError, BrokenExecutor, RuntimeError) as pool_error:
+        # Pool infrastructure failure (not an experiment failure):
+        # degrade gracefully to the serial path.
+        if isinstance(pool_error, ExperimentError):
+            raise
+        return [run_experiment_by_id(i, policy, kwargs) for i in ids]

@@ -59,3 +59,14 @@ def iter_specs() -> Iterator[ExperimentSpec]:
 def clear() -> None:
     """Remove all registrations (test helper)."""
     _REGISTRY.clear()
+
+
+def ensure_default_registrations() -> None:
+    """Import :mod:`repro.analysis` so its experiments are registered.
+
+    Idempotent (module imports are cached).  Needed by parallel worker
+    processes: a ``spawn``-started worker begins with an empty registry,
+    and even a forked one may import this module before the analysis
+    package has run its registration decorators.
+    """
+    import repro.analysis  # noqa: F401  (registers experiments)

@@ -39,13 +39,21 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def child_rng(parent: SeedLike, stream: str) -> np.random.Generator:
+def child_rng(
+    parent: SeedLike, stream: str, index: Optional[int] = None
+) -> np.random.Generator:
     """Derive an independent generator for a named ``stream``.
 
     Uses :class:`numpy.random.SeedSequence` spawning keyed by a stable
     hash of the stream name, so ``child_rng(seed, "weights")`` and
     ``child_rng(seed, "spikes")`` are decorrelated and each is stable
     across runs.
+
+    ``index`` derives a further per-item child (e.g. one generator per
+    test image): ``child_rng(seed, "snn-test-spikes", i)`` depends only
+    on ``(seed, stream, i)`` — *not* on evaluation order, batch size or
+    worker count — which is what makes the batched inference engine
+    (:mod:`repro.snn.batched`) bit-identical to the per-image path.
     """
     if isinstance(parent, np.random.Generator):
         # Derive from the parent's bit generator state deterministically.
@@ -58,7 +66,8 @@ def child_rng(parent: SeedLike, stream: str) -> np.random.Generator:
     tag = 0
     for ch in stream:
         tag = (tag * 131 + ord(ch)) % (2**31 - 1)
-    seq = np.random.SeedSequence(entropy=base, spawn_key=(tag,))
+    spawn_key = (tag,) if index is None else (tag, int(index))
+    seq = np.random.SeedSequence(entropy=base, spawn_key=spawn_key)
     return np.random.default_rng(seq)
 
 

@@ -150,14 +150,47 @@ def load_snn(path: PathLike):
     return network
 
 
+def save_snn_bp(model, path: PathLike) -> pathlib.Path:
+    """Serialize a trained :class:`~repro.snn.snn_bp.BackPropSNN`.
+
+    Weights, config and learning rate are the whole state: the neuron
+    label groups are a deterministic function of the config (round-
+    robin ``arange % n_labels``), so they are rebuilt on load.
+    """
+    path = _resolve_npz_path(path)
+    np.savez(
+        path,
+        kind=np.array("snnbp"),
+        version=np.array(FORMAT_VERSION),
+        config=np.array(_config_to_json(model.config)),
+        weights=model.weights,
+        learning_rate=np.array(model.learning_rate),
+    )
+    return path
+
+
+def load_snn_bp(path: PathLike):
+    """Load a BackPropSNN saved by :func:`save_snn_bp`."""
+    from ..snn.snn_bp import BackPropSNN
+
+    data = _open(path, expected_kind="snnbp")
+    config = _config_from_json(str(data["config"]), SNNConfig)
+    model = BackPropSNN(config, learning_rate=float(data["learning_rate"]))
+    model.weights = data["weights"]
+    _check_shape(model.weights, (config.n_neurons, config.n_inputs), "weights")
+    return model
+
+
 def load_model(path: PathLike):
-    """Load either model kind by inspecting the file."""
+    """Load any model kind by inspecting the file."""
     with np.load(pathlib.Path(path), allow_pickle=False) as data:
         kind = str(data["kind"])
     if kind == "mlp":
         return load_mlp(path)
     if kind == "snn":
         return load_snn(path)
+    if kind == "snnbp":
+        return load_snn_bp(path)
     raise ReproError(f"unknown model kind {kind!r} in {path}")
 
 
@@ -188,14 +221,16 @@ def _check_shape(array: np.ndarray, expected: tuple, name: str) -> None:
 
 
 def save_model(model, path: PathLike) -> pathlib.Path:
-    """Serialize either model kind, dispatching on its structure."""
+    """Serialize any model kind, dispatching on its structure."""
     if hasattr(model, "w_hidden"):
         return save_mlp(model, path)
     if hasattr(model, "population"):
         return save_snn(model, path)
+    if hasattr(model, "learning_rate") and hasattr(model, "weights"):
+        return save_snn_bp(model, path)
     raise SerializationError(
-        f"cannot serialize {type(model).__name__}: expected an MLP or a "
-        "SpikingNetwork"
+        f"cannot serialize {type(model).__name__}: expected an MLP, a "
+        "SpikingNetwork or a BackPropSNN"
     )
 
 

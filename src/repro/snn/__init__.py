@@ -12,6 +12,18 @@ from .coding import (
     make_coder,
     mean_interval,
 )
+from .batched import (
+    DEFAULT_BATCH_SIZE,
+    TEST_SPIKE_STREAM,
+    BatchPresentationResult,
+    SpikeTrainBatch,
+    batch_winners,
+    encode_indexed,
+    encode_shared,
+    gather_contribution,
+    predict_batch,
+    present_batch,
+)
 from .conversion import ConvertedSNN, conversion_sweep, convert_mlp
 from .event_driven import (
     grid_agreement,
@@ -49,6 +61,16 @@ __all__ = [
     "make_coder",
     "mean_interval",
     "deterministic_counts",
+    "SpikeTrainBatch",
+    "BatchPresentationResult",
+    "present_batch",
+    "predict_batch",
+    "batch_winners",
+    "encode_indexed",
+    "encode_shared",
+    "gather_contribution",
+    "DEFAULT_BATCH_SIZE",
+    "TEST_SPIKE_STREAM",
     "LIFParameters",
     "LIFPopulation",
     "STDPRule",

@@ -28,7 +28,7 @@ implemented; the paper finds them significantly less accurate:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -96,33 +96,66 @@ class SpikeTrain:
         np.add.at(result, self.inputs, self.modulation)
         return result
 
+    def step_indices(self, step_ms: float = 1.0) -> Tuple[int, np.ndarray]:
+        """(n_steps, per-spike step index) for a 1-ms-like grid."""
+        n_steps = int(np.ceil(self.duration / step_ms))
+        step_idx = np.minimum((self.times / step_ms).astype(np.int64), n_steps - 1)
+        return n_steps, step_idx
+
+    def step_slices(self, step_ms: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """(order, boundaries) partitioning spikes by grid step.
+
+        ``order`` permutes the spike arrays into step-major order while
+        preserving the original (time-sorted) order *within* each step;
+        ``boundaries[t]:boundaries[t+1]`` slices step ``t``'s spikes out
+        of the permuted arrays.  ``times`` is already sorted ascending
+        (enforced by ``__post_init__``), so step indices are already
+        non-decreasing and no re-sort is needed — ``order`` is the
+        identity and only the ``searchsorted`` boundaries are computed.
+        This is the precomputed-slices fast path shared by
+        :meth:`steps`, :meth:`steps_weighted` and the batched engine.
+        """
+        n_steps, step_idx = self.step_indices(step_ms)
+        if step_idx.size and np.any(np.diff(step_idx) < 0):
+            # Defensive: only reachable if times were mutated post-init.
+            order = np.argsort(step_idx, kind="stable")
+            step_idx = step_idx[order]
+        else:
+            order = np.arange(step_idx.size)
+        boundaries = np.searchsorted(step_idx, np.arange(n_steps + 1))
+        return order, boundaries
+
     def steps(self, step_ms: float = 1.0) -> List[np.ndarray]:
         """Bucket spikes into integer time steps of ``step_ms``.
 
         Returns a list of length ceil(duration/step_ms); element t is
         the array of input indices spiking during step t.  This is the
         representation the 1-ms-per-cycle hardware (and our simulator)
-        consumes.
+        consumes.  Implemented with the argsort/searchsorted pattern
+        (no per-spike Python loop).
         """
-        n_steps = int(np.ceil(self.duration / step_ms))
-        buckets: List[List[int]] = [[] for _ in range(n_steps)]
-        step_idx = np.minimum((self.times / step_ms).astype(np.int64), n_steps - 1)
-        for idx, inp in zip(step_idx, self.inputs):
-            buckets[idx].append(int(inp))
-        return [np.asarray(b, dtype=np.int64) for b in buckets]
+        order, boundaries = self.step_slices(step_ms)
+        inputs = self.inputs[order]
+        return [
+            inputs[boundaries[t] : boundaries[t + 1]]
+            for t in range(boundaries.size - 1)
+        ]
 
     def steps_weighted(self, step_ms: float = 1.0) -> List[tuple]:
-        """Like :meth:`steps`, but each bucket is (inputs, modulations)."""
-        n_steps = int(np.ceil(self.duration / step_ms))
-        step_idx = np.minimum((self.times / step_ms).astype(np.int64), n_steps - 1)
-        order = np.argsort(step_idx, kind="stable")
-        sorted_steps = step_idx[order]
-        boundaries = np.searchsorted(sorted_steps, np.arange(n_steps + 1))
-        buckets = []
-        for t in range(n_steps):
-            sel = order[boundaries[t] : boundaries[t + 1]]
-            buckets.append((self.inputs[sel], self.modulation[sel]))
-        return buckets
+        """Like :meth:`steps`, but each bucket is (inputs, modulations).
+
+        Uses the precomputed :meth:`step_slices` boundaries; when the
+        spike times are already step-ordered (always, after
+        ``__post_init__``) no re-sort happens.
+        """
+        order, boundaries = self.step_slices(step_ms)
+        inputs = self.inputs[order]
+        modulation = self.modulation[order]
+        return [
+            (inputs[boundaries[t] : boundaries[t + 1]],
+             modulation[boundaries[t] : boundaries[t + 1]])
+            for t in range(boundaries.size - 1)
+        ]
 
 
 def mean_interval(luminance: np.ndarray, max_rate_interval: float = 50.0) -> np.ndarray:
@@ -322,8 +355,26 @@ def deterministic_counts(
     (Figure 7): a 4-bit count derived directly from the pixel value by
     comparing against nine luminance break-points, i.e. the expected
     number of spikes ``duration / mean_interval`` rounded down.
+
+    A 1-D image gives a 1-D count vector; use
+    :func:`deterministic_counts_batch` for whole test sets.
     """
     image = np.asarray(image).ravel()
     expected = duration / mean_interval(image, max_rate_interval)
+    cap = int(duration // max_rate_interval)
+    return np.clip(expected.astype(np.int64), 0, cap)
+
+
+def deterministic_counts_batch(
+    images: np.ndarray, duration: float = 500.0, max_rate_interval: float = 50.0
+) -> np.ndarray:
+    """Vectorized :func:`deterministic_counts` over a (B, n_pixels) batch.
+
+    One elementwise pass over the whole batch instead of B Python-level
+    converter calls; the arithmetic is elementwise, so each row is
+    bit-identical to the per-image converter's output.
+    """
+    images = np.atleast_2d(np.asarray(images))
+    expected = duration / mean_interval(images, max_rate_interval)
     cap = int(duration // max_rate_interval)
     return np.clip(expected.astype(np.int64), 0, cap)

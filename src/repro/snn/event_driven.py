@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import SimulationError
+from .batched import SpikeTrainBatch, gather_contribution, present_batch
 from .coding import SpikeTrain
 from .network import PresentationResult, SpikingNetwork
 
@@ -96,10 +97,12 @@ def present_event_driven(
 
         active = (now >= refractory_until) & (now >= inhibited_until)
         if group_inputs.size:
-            if np.all(group_modulation == 1.0):
-                contribution = network.weights[:, group_inputs].sum(axis=1)
-            else:
-                contribution = network.weights[:, group_inputs] @ group_modulation
+            # Same sequential-accumulation primitive as the grid and
+            # batched simulators, so all three add spike contributions
+            # in an identical order.
+            contribution = gather_contribution(
+                network.weights, group_inputs, group_modulation
+            )
             potentials[active] += contribution[active]
 
         # Fire every eligible neuron in sequence (each fire inhibits
@@ -158,21 +161,31 @@ def grid_agreement(
     network: SpikingNetwork,
     images: np.ndarray,
     seed: int = 0,
+    use_batched: bool = False,
 ) -> float:
     """Fraction of images where grid and event-driven winners agree.
 
     Both simulators consume the *same* encoded spike trains, so the
     only difference is time quantization.  Used by tests and by the
-    validation bench.
+    validation bench.  ``use_batched=True`` runs the grid side through
+    the batched engine (:func:`repro.snn.batched.present_batch`), which
+    is bit-identical to the per-image grid and simulates every image
+    simultaneously.
     """
     from ..core.rng import make_rng
 
     images = np.atleast_2d(images)
     rng = make_rng(seed)
-    agree = 0
-    for image in images:
-        train = network.coder.encode(image, rng=rng)
-        grid_winner = network.present(train).readout()
-        event_winner = present_event_driven(network, train).readout()
-        agree += int(grid_winner == event_winner)
+    trains = [network.coder.encode(image, rng=rng) for image in images]
+    event_winners = [
+        present_event_driven(network, train).readout() for train in trains
+    ]
+    if use_batched:
+        result = present_batch(network, SpikeTrainBatch.from_trains(trains))
+        grid_winners = result.readouts()
+    else:
+        grid_winners = [network.present(train).readout() for train in trains]
+    agree = sum(
+        int(int(g) == int(e)) for g, e in zip(grid_winners, event_winners)
+    )
     return agree / max(images.shape[0], 1)

@@ -25,6 +25,14 @@ from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..core.rng import SeedLike, child_rng, make_rng
 from ..datasets.base import Dataset
+from .batched import (
+    DEFAULT_BATCH_SIZE,
+    TEST_SPIKE_STREAM,
+    batch_winners,
+    encode_shared,
+    gather_contribution,
+    predict_batch,
+)
 from .coding import PoissonCoder, SpikeCoder, SpikeTrain
 from .homeostasis import HomeostasisController
 from .labeling import NeuronLabeler
@@ -148,10 +156,10 @@ class SpikingNetwork:
             population.potentials[active] *= decay
             if inputs.size:
                 last_pre[inputs] = float(t)
-                if np.all(modulation == 1.0):
-                    contribution = self.weights[:, inputs].sum(axis=1)
-                else:
-                    contribution = self.weights[:, inputs] @ modulation
+                # Shared sequential-accumulation primitive: guarantees
+                # the batched engine (repro.snn.batched) adds the same
+                # spike contributions in the same order, bit for bit.
+                contribution = gather_contribution(self.weights, inputs, modulation)
                 population.potentials[active] += contribution[active]
             fired = population.fired(active)
             if fired.size:
@@ -410,14 +418,23 @@ class SNNTrainer:
                     stop_after_first_spike=True,
                 )
 
-    def label(self, dataset: Dataset) -> NeuronLabeler:
-        """Self-labeling pass (Section 2.2): tag neurons by win counts."""
+    def label(
+        self, dataset: Dataset, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> NeuronLabeler:
+        """Self-labeling pass (Section 2.2): tag neurons by win counts.
+
+        Spike trains are drawn from the same shared
+        ``child_rng(seed, "snn-label-spikes")`` stream, consumed in
+        dataset order, as the historical per-image loop — so batching
+        the *simulation* leaves the labeling outcome bit-identical.
+        """
         config = self.network.config
         labeler = NeuronLabeler(config.n_neurons, config.n_labels)
         rng = child_rng(config.seed, "snn-label-spikes")
-        for image, label in zip(dataset.images, dataset.labels):
-            winner = self.network.present_image(image, learn=False, rng=rng).readout()
-            labeler.record(winner, int(label))
+        trains = encode_shared(self.network, dataset.images, rng)
+        winners = batch_winners(self.network, trains, batch_size=batch_size)
+        for winner, label in zip(winners, dataset.labels):
+            labeler.record(int(winner), int(label))
         self.network.neuron_labels = labeler.labels()
         return labeler
 
@@ -432,17 +449,49 @@ class SNNTrainer:
         self.network.equalize_thresholds()
         return self.label(dataset)
 
-    def predict(self, dataset: Dataset) -> np.ndarray:
-        """Predictions for every sample of a dataset."""
-        config = self.network.config
-        rng = child_rng(config.seed, "snn-test-spikes")
-        return np.array(
-            [self.network.predict_image(image, rng=rng) for image in dataset.images]
+    def predict(
+        self, dataset: Dataset, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> np.ndarray:
+        """Predictions for every sample of a dataset (batched engine).
+
+        Each image ``i`` is encoded with the per-image generator
+        ``child_rng(seed, "snn-test-spikes", i)``, so predictions
+        depend only on ``(seed, i)`` — not on evaluation order, batch
+        size or worker count — and are bit-identical to
+        :meth:`predict_serial` at every ``batch_size``.
+
+        .. note:: Before the batched engine, this method consumed one
+           shared generator sequentially, which coupled every
+           prediction to evaluation order.  The per-image scheme is an
+           intentional one-time change to the expected spike streams
+           (accuracy fixtures are tolerance-based and unaffected).
+        """
+        return predict_batch(
+            self.network, dataset.images, batch_size=batch_size
         )
 
-    def evaluate(self, dataset: Dataset) -> EvaluationResult:
+    def predict_serial(self, dataset: Dataset) -> np.ndarray:
+        """Per-image reference oracle for :meth:`predict`.
+
+        Simulates one image at a time with the same per-image RNG
+        scheme; kept as the ground truth the batched engine is tested
+        against (``tests/snn/test_batched.py``).
+        """
+        config = self.network.config
+        return np.array(
+            [
+                self.network.predict_image(
+                    image, rng=child_rng(config.seed, TEST_SPIKE_STREAM, index)
+                )
+                for index, image in enumerate(dataset.images)
+            ]
+        )
+
+    def evaluate(
+        self, dataset: Dataset, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> EvaluationResult:
         """Accuracy bundle on a test set."""
-        predictions = self.predict(dataset)
+        predictions = self.predict(dataset, batch_size=batch_size)
         return evaluate(predictions, dataset.labels, dataset.n_classes)
 
 

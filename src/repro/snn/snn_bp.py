@@ -30,7 +30,7 @@ from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..core.rng import child_rng
 from ..datasets.base import Dataset
-from .coding import deterministic_counts
+from .coding import deterministic_counts_batch
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
@@ -68,17 +68,16 @@ class BackPropSNN:
         )
 
     def spike_counts(self, images: np.ndarray) -> np.ndarray:
-        """(B, n_inputs) deterministic spike counts (SNNwot front end)."""
+        """(B, n_inputs) deterministic spike counts (SNNwot front end).
+
+        Vectorized over the whole batch; bit-identical per row to the
+        per-image converter (the conversion is elementwise).
+        """
         images = np.atleast_2d(images)
-        counts = np.stack(
-            [
-                deterministic_counts(
-                    image,
-                    duration=self.config.t_period,
-                    max_rate_interval=self.config.min_spike_interval,
-                )
-                for image in images
-            ]
+        counts = deterministic_counts_batch(
+            images,
+            duration=self.config.t_period,
+            max_rate_interval=self.config.min_spike_interval,
         )
         return counts.astype(np.float64) * self._count_scale
 

@@ -23,7 +23,7 @@ import numpy as np
 from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..datasets.base import Dataset
-from .coding import deterministic_counts
+from .coding import deterministic_counts_batch
 from .network import SpikingNetwork
 
 
@@ -64,17 +64,18 @@ class SNNWithoutTime:
             self.fault_injector = injector
 
     def spike_counts(self, images: np.ndarray) -> np.ndarray:
-        """(B, n_inputs) 4-bit spike counts from the hardware converter."""
+        """(B, n_inputs) 4-bit spike counts from the hardware converter.
+
+        Computed for the whole batch in one vectorized pass
+        (:func:`repro.snn.coding.deterministic_counts_batch`); the
+        conversion is elementwise, so each row is bit-identical to the
+        per-image :func:`~repro.snn.coding.deterministic_counts`.
+        """
         images = np.atleast_2d(images)
-        counts = np.stack(
-            [
-                deterministic_counts(
-                    image,
-                    duration=self.config.t_period,
-                    max_rate_interval=self.config.min_spike_interval,
-                )
-                for image in images
-            ]
+        counts = deterministic_counts_batch(
+            images,
+            duration=self.config.t_period,
+            max_rate_interval=self.config.min_spike_interval,
         )
         if self.fault_injector is not None:
             counts = self.fault_injector.corrupt_counts(

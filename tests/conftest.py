@@ -7,6 +7,8 @@ anything that trains or mutates builds its own instance.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,26 @@ from repro.datasets.digits import load_digits
 from repro.mlp.network import MLP
 from repro.mlp.trainer import BackPropTrainer
 from repro.snn.network import SNNTrainer, SpikingNetwork
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_model_cache(tmp_path_factory):
+    """Point the content-addressed model cache at a per-run tmp dir.
+
+    Keeps test runs from writing ``.repro-cache`` into the repository
+    and from reusing models cached by earlier runs of different code.
+    """
+    from repro.core.artifacts import reset_default_cache
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("model-cache"))
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_cache()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,235 @@
+"""Tests for the content-addressed trained-model cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import artifacts
+from repro.core.artifacts import (
+    CacheStats,
+    ModelCache,
+    cache_enabled,
+    cache_key,
+    cached_train,
+    coder_signature,
+    dataset_signature,
+)
+from repro.core.config import MLPConfig, SNNConfig
+from repro.datasets.base import Dataset
+from repro.datasets.digits import load_digits
+from repro.mlp.network import MLP
+from repro.snn.coding import GaussianCoder, PoissonCoder
+
+
+@pytest.fixture()
+def tiny_pair():
+    return load_digits(n_train=60, n_test=20, seed=2, side=10)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ModelCache(tmp_path / "cache")
+
+
+def _mlp_factory(config, calls):
+    def factory():
+        calls.append(1)
+        return MLP(config)
+
+    return factory
+
+
+class TestKeys:
+    def test_key_is_stable(self, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        assert cache_key("mlp", config, train_set) == cache_key(
+            "mlp", config, train_set
+        )
+
+    def test_key_changes_with_config(self, tiny_pair):
+        train_set, _ = tiny_pair
+        a = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        b = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=9)
+        assert cache_key("mlp", a, train_set) != cache_key("mlp", b, train_set)
+
+    def test_key_changes_with_dataset_content(self, tiny_pair):
+        train_set, _ = tiny_pair
+        images = np.array(train_set.images, copy=True)
+        images[0, 0] ^= 1  # single-bit content change
+        altered = Dataset(
+            images=images,
+            labels=train_set.labels,
+            n_classes=train_set.n_classes,
+            name=train_set.name,
+        )
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        assert cache_key("mlp", config, train_set) != cache_key(
+            "mlp", config, altered
+        )
+
+    def test_key_changes_with_train_params_and_kind(self, tiny_pair):
+        train_set, _ = tiny_pair
+        config = SNNConfig(n_inputs=train_set.n_inputs, n_neurons=8)
+        base = cache_key("snn", config, train_set, {"epochs": 3})
+        assert base != cache_key("snn", config, train_set, {"epochs": 4})
+        assert base != cache_key("snnbp", config, train_set, {"epochs": 3})
+
+    def test_dataset_signature_includes_labels(self, tiny_pair):
+        train_set, _ = tiny_pair
+        labels = np.array(train_set.labels, copy=True)
+        labels[0] = (labels[0] + 1) % train_set.n_classes
+        relabeled = Dataset(
+            images=train_set.images,
+            labels=labels,
+            n_classes=train_set.n_classes,
+            name=train_set.name,
+        )
+        assert dataset_signature(train_set) != dataset_signature(relabeled)
+
+    def test_coder_signature_distinguishes_coders(self):
+        poisson = PoissonCoder(duration=100.0, max_rate_interval=50.0)
+        gaussian = GaussianCoder(duration=100.0, max_rate_interval=50.0)
+        shorter = PoissonCoder(duration=50.0, max_rate_interval=50.0)
+        assert coder_signature(poisson) != coder_signature(gaussian)
+        assert coder_signature(poisson) != coder_signature(shorter)
+        assert coder_signature(None) == {"class": None}
+
+
+class TestModelCache:
+    def test_miss_then_hit(self, cache, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        calls = []
+        first = cache.get_or_train(
+            "mlp", config, train_set, _mlp_factory(config, calls)
+        )
+        second = cache.get_or_train(
+            "mlp", config, train_set, _mlp_factory(config, calls)
+        )
+        assert len(calls) == 1  # second call trained nothing
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "errors": 0,
+        }
+        np.testing.assert_array_equal(first.w_hidden, second.w_hidden)
+
+    def test_corrupt_entry_falls_back_to_retraining(self, cache, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        calls = []
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        key = cache_key("mlp", config, train_set)
+        cache.path_for(key).write_bytes(b"not an npz archive")
+        model = cache.get_or_train(
+            "mlp", config, train_set, _mlp_factory(config, calls)
+        )
+        assert len(calls) == 2
+        assert cache.stats.errors == 1
+        assert isinstance(model, MLP)
+        # The corrupt entry was overwritten with a valid one.
+        calls_before = len(calls)
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        assert len(calls) == calls_before
+
+    def test_clear_removes_entries(self, cache, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, []))
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+    def test_stats_reset(self):
+        stats = CacheStats(hits=2, misses=3, stores=3, errors=1)
+        stats.reset()
+        assert stats.as_dict() == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+
+class TestEnvControls:
+    def test_no_cache_env_bypasses(self, monkeypatch, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        calls = []
+        cached_train("mlp", config, train_set, _mlp_factory(config, calls))
+        cached_train("mlp", config, train_set, _mlp_factory(config, calls))
+        assert len(calls) == 2  # trained every time, nothing cached
+
+    def test_cache_dir_env_respected(self, monkeypatch, tmp_path, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        artifacts.reset_default_cache()
+        try:
+            cached_train("mlp", config, train_set, _mlp_factory(config, []))
+            assert list((tmp_path / "elsewhere").glob("*.npz"))
+        finally:
+            artifacts.reset_default_cache()
+
+
+class TestTrainingHelpersAreMemoized:
+    def test_warm_helper_calls_train_zero_times(
+        self, monkeypatch, tmp_path, tiny_pair
+    ):
+        """The acceptance criterion: a warm run skips all training."""
+        from repro.analysis import common
+
+        train_set, test_set = tiny_pair
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        artifacts.reset_default_cache()
+        try:
+            config = MLPConfig(
+                n_inputs=train_set.n_inputs, n_hidden=6, epochs=2
+            ).validate()
+            cold = common.train_mlp_model(config, train_set, epochs=2)
+            stats_after_cold = artifacts.cache_stats()
+            assert stats_after_cold["misses"] == 1
+            warm = common.train_mlp_model(config, train_set, epochs=2)
+            stats_after_warm = artifacts.cache_stats()
+            assert stats_after_warm["hits"] == 1
+            assert stats_after_warm["misses"] == 1  # no new training
+            np.testing.assert_array_equal(cold.w_hidden, warm.w_hidden)
+            np.testing.assert_array_equal(
+                cold.predict(test_set.normalized()),
+                warm.predict(test_set.normalized()),
+            )
+        finally:
+            artifacts.reset_default_cache()
+
+    def test_snn_helper_restores_coder_on_hit(
+        self, monkeypatch, tmp_path, tiny_pair
+    ):
+        from repro.analysis import common
+
+        train_set, _ = tiny_pair
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "snncache"))
+        artifacts.reset_default_cache()
+        try:
+            config = SNNConfig(
+                n_inputs=train_set.n_inputs,
+                n_neurons=10,
+                n_labels=train_set.n_classes,
+                epochs=1,
+            ).validate()
+            coder = GaussianCoder(
+                duration=config.t_period,
+                max_rate_interval=config.min_spike_interval,
+            )
+            cold = common.train_snn_model(config, train_set, epochs=1, coder=coder)
+            warm = common.train_snn_model(config, train_set, epochs=1, coder=coder)
+            assert artifacts.cache_stats()["hits"] == 1
+            assert isinstance(warm.coder, GaussianCoder)
+            np.testing.assert_array_equal(cold.weights, warm.weights)
+            np.testing.assert_array_equal(
+                cold.population.thresholds, warm.population.thresholds
+            )
+            np.testing.assert_array_equal(cold.neuron_labels, warm.neuron_labels)
+        finally:
+            artifacts.reset_default_cache()

@@ -153,6 +153,35 @@ class TestCorruptConfigJSON:
         assert issubclass(SerializationError, ReproError)
 
 
+class TestBackPropSNNRoundTrip:
+    def test_round_trip_preserves_predictions(self, tmp_path, digits_small):
+        from repro.core.config import SNNConfig
+        from repro.core.serialization import load_snn_bp, save_snn_bp
+        from repro.snn.snn_bp import BackPropSNN
+
+        train_set, test_set = digits_small
+        config = SNNConfig(
+            n_inputs=train_set.n_inputs,
+            n_neurons=20,
+            n_labels=train_set.n_classes,
+        ).validate()
+        model = BackPropSNN(config, learning_rate=0.3)
+        model.train(train_set, epochs=1)
+        path = save_snn_bp(model, tmp_path / "bp")
+        loaded = load_snn_bp(path)
+        assert loaded.learning_rate == model.learning_rate
+        np.testing.assert_array_equal(loaded.weights, model.weights)
+        np.testing.assert_array_equal(
+            loaded.neuron_labels, model.neuron_labels
+        )
+        np.testing.assert_array_equal(
+            loaded.predict(test_set.images), model.predict(test_set.images)
+        )
+        # kind-dispatching loader and saver both recognize it
+        assert load_model(path).learning_rate == model.learning_rate
+        assert save_model(model, tmp_path / "bp2").name == "bp2.npz"
+
+
 class TestSaveModelDispatch:
     def test_dispatches_both_kinds(self, trained_mlp, trained_snn, tmp_path):
         assert save_model(trained_mlp, tmp_path / "a").name == "a.npz"

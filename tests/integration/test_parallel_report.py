@@ -1,0 +1,105 @@
+"""Parallel report must be byte-identical to serial (modulo timing).
+
+Exercises the ``--jobs N`` path end to end on fast (hardware-model)
+experiments: deterministic id-ordered output, graceful serial fallback
+on pool failure, and the CLI flag plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.analysis as analysis
+from repro.cli import build_parser, main
+from repro.core.errors import ExperimentError
+from repro.core.experiment import run_experiment_by_id, run_experiments
+
+#: Fast, training-free experiments (hardware models / static tables).
+FAST_IDS = ["table4", "table6", "fig5"]
+
+
+def _strip_timing(text: str) -> str:
+    """Drop the wall-clock lines (the only legitimately varying part)."""
+    return "\n".join(
+        line for line in text.splitlines() if not line.startswith("elapsed:")
+    )
+
+
+class TestParallelEquivalence:
+    def test_jobs2_report_identical_to_serial(self):
+        serial = analysis.full_report(FAST_IDS)
+        parallel = analysis.full_report(FAST_IDS, jobs=2)
+        assert _strip_timing(parallel) == _strip_timing(serial)
+
+    def test_results_come_back_in_requested_order(self):
+        ids = ["table6", "table4"]  # deliberately not sorted
+        results = run_experiments(ids, jobs=2)
+        assert [r.experiment_id for r in results] == ids
+
+    def test_serial_and_parallel_rows_equal(self):
+        serial = run_experiments(FAST_IDS, jobs=1)
+        parallel = run_experiments(FAST_IDS, jobs=3)
+        for a, b in zip(serial, parallel):
+            assert a.rows == b.rows
+            assert a.paper_rows == b.paper_rows
+            assert a.notes == b.notes
+
+    def test_unknown_id_propagates_not_swallowed(self):
+        with pytest.raises(ExperimentError):
+            run_experiments(["no-such-experiment"], jobs=2)
+
+    def test_worker_entry_point_is_self_registering(self):
+        result = run_experiment_by_id("table6")
+        assert result.experiment_id == "table6"
+        assert result.rows
+
+
+class TestPoolFallback:
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", broken_pool
+        )
+        results = run_experiments(["table6", "table4"], jobs=2)
+        assert [r.experiment_id for r in results] == ["table6", "table4"]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiments(["table6"], jobs=-1)
+
+    def test_jobs_zero_and_one_run_serial(self):
+        for jobs in (0, 1):
+            results = run_experiments(["table6"], jobs=jobs)
+            assert results[0].experiment_id == "table6"
+
+
+class TestCLIPlumbing:
+    def test_report_accepts_jobs_and_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["report", "table6", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
+    def test_report_jobs_runs_end_to_end(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        exit_code = main(["report", "table6", "fig5", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.index("table6") < captured.out.index("fig5")
+
+    def test_no_cache_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        exit_code = main(["report", "table6", "--no-cache"])
+        capsys.readouterr()
+        assert exit_code == 0
+        import os
+
+        assert os.environ.get("REPRO_NO_CACHE") == "1"
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)

@@ -1,0 +1,347 @@
+"""Equivalence tests for the batched SNN inference engine.
+
+The contract under test (see :mod:`repro.snn.batched`): batched
+predictions are **bit-identical** to the per-image reference path at
+every batch size, for every coder, with and without fault injectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import SimulationError, TrainingError
+from repro.core.rng import child_rng
+from repro.datasets.base import Dataset
+from repro.datasets.digits import load_digits
+from repro.faults import FaultConfig, FaultInjector
+from repro.faults.apply import corrupt_spiking_network
+from repro.snn.batched import (
+    TEST_SPIKE_STREAM,
+    SpikeTrainBatch,
+    batch_winners,
+    encode_shared,
+    gather_contribution,
+    predict_batch,
+    present_batch,
+)
+from repro.snn.coding import (
+    SpikeTrain,
+    deterministic_counts,
+    deterministic_counts_batch,
+    make_coder,
+)
+from repro.snn.network import SNNTrainer, SpikingNetwork, train_snn
+
+BATCH_SIZES = (1, 7, 64)
+
+
+# ----------------------------------------------------------------------
+# Fixtures: one tiny trained network per coder (module-scoped)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_digits():
+    return load_digits(n_train=100, n_test=40, seed=5, side=12)
+
+
+def _train_tiny(coder_name: str, tiny_digits):
+    train_set, _ = tiny_digits
+    config = SNNConfig(
+        n_inputs=train_set.n_inputs,
+        n_neurons=20,
+        n_labels=train_set.n_classes,
+        epochs=1,
+        seed=13,
+    )
+    coder = make_coder(
+        coder_name,
+        duration=config.t_period,
+        max_rate_interval=config.min_spike_interval,
+    )
+    return train_snn(config, train_set, coder=coder)
+
+
+@pytest.fixture(scope="module", params=["poisson", "gaussian", "rank-order"])
+def tiny_network(request, tiny_digits):
+    return _train_tiny(request.param, tiny_digits)
+
+
+# ----------------------------------------------------------------------
+# The shared accumulation primitive
+# ----------------------------------------------------------------------
+
+
+class TestGatherContribution:
+    def test_strictly_sequential_accumulation(self):
+        """np.add.reduce over axis 0 must equal a left-to-right Python
+        sum bit for bit — the property both simulators rely on."""
+        rng = np.random.default_rng(0)
+        for k in (2, 3, 5, 8, 17, 40):
+            weights = rng.uniform(0, 255, size=(30, 50))
+            weights *= 10.0 ** rng.integers(-6, 7, size=weights.shape)
+            inputs = rng.integers(0, 50, size=k)
+            expected = np.zeros(30)
+            for j in inputs:
+                expected = expected + weights[:, j]
+            got = gather_contribution(weights, inputs)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_modulation_applied_per_spike(self):
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0, 9, size=(6, 10))
+        inputs = np.array([3, 3, 7])
+        modulation = np.array([1.0, 0.5, 0.25])
+        expected = np.zeros(6)
+        for j, m in zip(inputs, modulation):
+            expected = expected + weights[:, j] * m
+        np.testing.assert_array_equal(
+            gather_contribution(weights, inputs, modulation), expected
+        )
+
+    def test_uniform_modulation_fast_path_is_exact(self):
+        rng = np.random.default_rng(2)
+        weights = rng.uniform(0, 9, size=(6, 10))
+        inputs = np.array([1, 2, 2, 9])
+        ones = np.ones(4)
+        np.testing.assert_array_equal(
+            gather_contribution(weights, inputs, ones),
+            gather_contribution(weights, inputs, None),
+        )
+
+
+# ----------------------------------------------------------------------
+# The CSR-by-(step, rank) batch representation
+# ----------------------------------------------------------------------
+
+
+def _random_trains(rng, n_trains=5, n_inputs=12, duration=30.0):
+    trains = []
+    for _ in range(n_trains):
+        n = int(rng.integers(0, 60))
+        trains.append(
+            SpikeTrain(
+                times=rng.uniform(0, duration, size=n),
+                inputs=rng.integers(0, n_inputs, size=n),
+                n_inputs=n_inputs,
+                duration=duration,
+            )
+        )
+    return trains
+
+
+class TestSpikeTrainBatch:
+    def test_segments_hold_at_most_one_spike_per_row(self):
+        rng = np.random.default_rng(3)
+        batch = SpikeTrainBatch.from_trains(_random_trains(rng))
+        for t in range(batch.n_steps):
+            for k in range(batch.n_ranks):
+                s0 = batch.boundaries[t * batch.n_ranks + k]
+                s1 = batch.boundaries[t * batch.n_ranks + k + 1]
+                rows = batch.rows[s0:s1]
+                assert len(np.unique(rows)) == len(rows)
+
+    def test_rank_order_reproduces_per_image_step_order(self):
+        """Walking ranks in order must reproduce each train's per-step
+        spike order (what makes the scatter accumulation sequential)."""
+        rng = np.random.default_rng(4)
+        trains = _random_trains(rng)
+        batch = SpikeTrainBatch.from_trains(trains)
+        for row, train in enumerate(trains):
+            for t, (inputs, modulation) in enumerate(train.steps_weighted(1.0)):
+                rebuilt, rebuilt_mod = [], []
+                for k in range(batch.n_ranks):
+                    s0 = batch.boundaries[t * batch.n_ranks + k]
+                    s1 = batch.boundaries[t * batch.n_ranks + k + 1]
+                    mask = batch.rows[s0:s1] == row
+                    rebuilt.extend(batch.inputs[s0:s1][mask])
+                    rebuilt_mod.extend(batch.modulation[s0:s1][mask])
+                np.testing.assert_array_equal(np.asarray(rebuilt), inputs)
+                np.testing.assert_array_equal(np.asarray(rebuilt_mod), modulation)
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(SimulationError):
+            SpikeTrainBatch.from_trains([])
+        a = SpikeTrain(times=[1.0], inputs=[0], n_inputs=4, duration=10.0)
+        b = SpikeTrain(times=[1.0], inputs=[0], n_inputs=5, duration=10.0)
+        with pytest.raises(SimulationError):
+            SpikeTrainBatch.from_trains([a, b])
+
+    def test_all_empty_trains(self):
+        trains = [
+            SpikeTrain(times=[], inputs=[], n_inputs=4, duration=5.0)
+            for _ in range(3)
+        ]
+        batch = SpikeTrainBatch.from_trains(trains)
+        assert batch.batch == 3
+        assert batch.boundaries[-1] == 0
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: batched vs per-image simulation
+# ----------------------------------------------------------------------
+
+
+class TestPresentBatchBitIdentity:
+    def test_full_run_matches_present_exactly(self, tiny_network, tiny_digits):
+        """Winners, times, spike counts AND final potentials must match
+        the per-image grid simulator bit for bit (no early exit)."""
+        _, test_set = tiny_digits
+        rng = child_rng(99, "test-batch-vs-present")
+        trains = encode_shared(tiny_network, test_set.images[:16], rng)
+        result = present_batch(tiny_network, SpikeTrainBatch.from_trains(trains))
+        for row, train in enumerate(trains):
+            reference = tiny_network.present(train)
+            assert result.winners[row] == reference.winner
+            if reference.winner >= 0:
+                assert result.winner_times[row] == reference.winner_time
+            assert result.n_output_spikes[row] == reference.n_output_spikes
+            np.testing.assert_array_equal(
+                result.final_potentials[row], reference.final_potentials
+            )
+
+    def test_readout_matches_at_all_batch_sizes(self, tiny_network, tiny_digits):
+        _, test_set = tiny_digits
+        rng = child_rng(7, "test-batch-winners")
+        trains = encode_shared(tiny_network, test_set.images, rng)
+        reference = np.array(
+            [tiny_network.present(train).readout() for train in trains]
+        )
+        for batch_size in BATCH_SIZES:
+            winners = batch_winners(tiny_network, trains, batch_size=batch_size)
+            np.testing.assert_array_equal(winners, reference)
+
+
+class TestPredictEquivalence:
+    def test_predict_matches_serial_oracle(self, tiny_network, tiny_digits):
+        _, test_set = tiny_digits
+        trainer = SNNTrainer(tiny_network)
+        serial = trainer.predict_serial(test_set)
+        for batch_size in BATCH_SIZES:
+            batched = trainer.predict(test_set, batch_size=batch_size)
+            np.testing.assert_array_equal(batched, serial)
+
+    def test_predictions_independent_of_shard(self, tiny_network, tiny_digits):
+        """A shard evaluated with explicit indices must reproduce the
+        whole-set predictions at those positions (worker-count and
+        evaluation-order independence)."""
+        _, test_set = tiny_digits
+        whole = predict_batch(tiny_network, test_set.images)
+        indices = [31, 2, 17]
+        shard = predict_batch(
+            tiny_network, test_set.images[indices], indices=indices
+        )
+        np.testing.assert_array_equal(shard, whole[indices])
+
+    def test_predict_requires_labels(self, tiny_digits):
+        train_set, test_set = tiny_digits
+        config = SNNConfig(
+            n_inputs=train_set.n_inputs,
+            n_neurons=8,
+            n_labels=train_set.n_classes,
+        )
+        network = SpikingNetwork(config)
+        with pytest.raises(TrainingError):
+            predict_batch(network, test_set.images)
+
+    def test_batch_size_validated(self, tiny_network):
+        with pytest.raises(SimulationError):
+            batch_winners(tiny_network, [], batch_size=0)
+
+    def test_evaluate_uses_batched_path(self, tiny_network, tiny_digits):
+        _, test_set = tiny_digits
+        trainer = SNNTrainer(tiny_network)
+        result = trainer.evaluate(test_set)
+        serial = trainer.predict_serial(test_set)
+        assert result.accuracy == pytest.approx(
+            float(np.mean(serial == test_set.labels))
+        )
+
+
+class TestFaultInjectorEquivalence:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batched_equals_serial_under_spike_faults(
+        self, tiny_digits, batch_size
+    ):
+        """The injector's advancing spike-fault stream is consumed in
+        dataset order by both paths, so predictions stay identical."""
+        network = _train_tiny("poisson", tiny_digits)
+        _, test_set = tiny_digits
+        fault_config = FaultConfig(
+            spike_drop_rate=0.1, spike_spurious_rate=0.05, seed=21
+        )
+        serial_clone = corrupt_spiking_network(
+            network, FaultInjector(fault_config)
+        )
+        assert serial_clone.fault_injector is not None
+        serial = SNNTrainer(serial_clone).predict_serial(test_set)
+        batched_clone = corrupt_spiking_network(
+            network, FaultInjector(fault_config)
+        )
+        batched = SNNTrainer(batched_clone).predict(
+            test_set, batch_size=batch_size
+        )
+        np.testing.assert_array_equal(batched, serial)
+
+
+# ----------------------------------------------------------------------
+# Labeling pass and stop-after-first-spike semantics
+# ----------------------------------------------------------------------
+
+
+class TestLabelingBatched:
+    def test_label_matches_legacy_shared_rng_loop(self, tiny_network, tiny_digits):
+        train_set, _ = tiny_digits
+        subset = Dataset(
+            images=train_set.images[:30],
+            labels=train_set.labels[:30],
+            n_classes=train_set.n_classes,
+            name=train_set.name,
+        )
+        # Legacy semantics: one shared rng consumed in dataset order.
+        config = tiny_network.config
+        legacy_rng = child_rng(config.seed, "snn-label-spikes")
+        legacy = []
+        for image in subset.images:
+            train = tiny_network.coder.encode(image, rng=legacy_rng)
+            legacy.append(tiny_network.present(train).readout())
+        trainer = SNNTrainer(tiny_network)
+        saved_labels = tiny_network.neuron_labels
+        try:
+            labeler = trainer.label(subset)
+            batched_rng = child_rng(config.seed, "snn-label-spikes")
+            trains = encode_shared(tiny_network, subset.images, batched_rng)
+            winners = batch_winners(tiny_network, trains)
+            np.testing.assert_array_equal(winners, np.asarray(legacy))
+            assert labeler.labels().shape == (config.n_neurons,)
+        finally:
+            tiny_network.neuron_labels = saved_labels
+
+    def test_stop_after_first_spike_retires_rows(self, tiny_network, tiny_digits):
+        _, test_set = tiny_digits
+        rng = child_rng(5, "test-stop-first")
+        trains = encode_shared(tiny_network, test_set.images[:8], rng)
+        batch = SpikeTrainBatch.from_trains(trains)
+        stopped = present_batch(tiny_network, batch, stop_after_first_spike=True)
+        fired = stopped.winners >= 0
+        assert np.all(stopped.n_output_spikes[fired] == 1)
+        for row, train in enumerate(trains):
+            reference = tiny_network.present(train, stop_after_first_spike=True)
+            assert stopped.winners[row] == reference.winner
+
+
+# ----------------------------------------------------------------------
+# Vectorized converters
+# ----------------------------------------------------------------------
+
+
+class TestDeterministicCountsBatch:
+    def test_rows_match_per_image_converter(self):
+        rng = np.random.default_rng(8)
+        images = rng.integers(0, 256, size=(9, 36), dtype=np.uint8)
+        batched = deterministic_counts_batch(images)
+        assert batched.shape == (9, 36)
+        for row, image in enumerate(images):
+            np.testing.assert_array_equal(batched[row], deterministic_counts(image))
