@@ -1,11 +1,11 @@
-"""Wall-clock regression harness for the batched-evaluation work.
+"""Wall-clock regression harness for the vectorized cold paths.
 
 Not part of the tier-1 suite (pytest ``testpaths`` excludes
 ``benchmarks/``).  Run it directly::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
 
-Three things are measured with a plain ``time.perf_counter`` clock
+Five things are measured with a plain ``time.perf_counter`` clock
 (pytest-benchmark's statistics are overkill for end-to-end runs that
 take seconds):
 
@@ -13,12 +13,21 @@ take seconds):
   (:meth:`SNNTrainer.predict_serial`) versus the batched grid engine
   (:meth:`SNNTrainer.predict`).  The predictions must be bit-identical
   and the batched path must clear ``min_speedup`` for the scale.
+* STDP **training** through the serial oracle
+  (:meth:`SNNTrainer.train_serial`) versus the fused engine
+  (:meth:`SNNTrainer.train`); trained weights must be bit-identical
+  and the fused path must clear ``min_train_speedup``.
+* The folded SNNwt **cycle simulator**: the pre-vectorization walk
+  (scalar LFSR RNG + per-pixel schedule + cycle-by-cycle scan,
+  reconstructed via ``run_image_serial``) versus the fast kernel
+  (bulk LFSR leaps + closed-form trace), with identical winners; the
+  fast path must clear ``min_cyclesim_speedup``.
 * MLP and quantized-MLP whole-dataset inference throughput.
 * An end-to-end ``full_report`` cold/warm pair exercising the
   content-addressed model cache: the warm run must record zero cache
   misses (no retraining) and finish faster than the cold run.
 
-Results are appended to ``BENCH_PR2.json`` at the repository root,
+Results are appended to ``BENCH_PR3.json`` at the repository root,
 keyed by scale, so the committed file carries both the full-scale
 numbers and the CI smoke-scale numbers.
 
@@ -61,7 +70,7 @@ from repro.snn.network import SNNTrainer, SpikingNetwork
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = pathlib.Path(
-    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / "BENCH_PR2.json")
+    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / "BENCH_PR3.json")
 )
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
@@ -75,6 +84,11 @@ PARAMS: Dict[str, dict] = {
         "mlp_hidden": 20,
         "mlp_epochs": 5,
         "min_speedup": 5.0,
+        "train_epochs": 2,
+        "min_train_speedup": 3.0,
+        "cyclesim_images": 6,
+        "cyclesim_ni": 16,
+        "min_cyclesim_speedup": 2.0,
         "report_ids": ["table3"],
     },
     "ci": {
@@ -84,6 +98,11 @@ PARAMS: Dict[str, dict] = {
         "mlp_hidden": 10,
         "mlp_epochs": 2,
         "min_speedup": 2.0,
+        "train_epochs": 1,
+        "min_train_speedup": 1.5,
+        "cyclesim_images": 3,
+        "cyclesim_ni": 16,
+        "min_cyclesim_speedup": 1.5,
         "report_ids": ["table3"],
     },
 }
@@ -97,12 +116,20 @@ BASELINE_RATES: Dict[str, Dict[str, float]] = {
         "snn_eval_batched": 736.0,
         "mlp_eval": 300_000.0,
         "quantized_mlp_eval": 78_000.0,
+        "stdp_train_serial": 185.0,
+        "stdp_train_fused": 616.0,
+        "cyclesim_snnwt_serial": 9.9,
+        "cyclesim_snnwt_fast": 387.0,
     },
     "ci": {
         "snn_eval_serial": 130.0,
         "snn_eval_batched": 700.0,
         "mlp_eval": 400_000.0,
         "quantized_mlp_eval": 110_000.0,
+        "stdp_train_serial": 160.0,
+        "stdp_train_fused": 505.0,
+        "cyclesim_snnwt_serial": 8.0,
+        "cyclesim_snnwt_fast": 334.0,
     },
 }
 
@@ -242,6 +269,131 @@ class TestSNNEvaluation:
         assert speedup >= P["min_speedup"], (
             f"batched SNN eval speedup {speedup:.2f}x is below the "
             f"{P['min_speedup']}x floor for scale {SCALE!r}"
+        )
+
+
+class TestSTDPTraining:
+    def test_fused_speedup_with_identical_weights(self, digits_pair):
+        """Serial-oracle vs fused STDP training at the reference
+        multi-epoch schedule; trained weights must be bit-identical."""
+        import repro.snn.training  # noqa: F401  pre-pay the lazy SciPy import
+
+        train_set, _ = digits_pair
+        epochs = P["train_epochs"]
+        n = len(train_set.images) * epochs
+        config = (
+            SNNConfig(epochs=epochs, seed=11)
+            .with_neurons(P["snn_neurons"])
+            .validate()
+        )
+
+        def _train(engine: str):
+            trainer = SNNTrainer(SpikingNetwork(config))
+            t0 = time.perf_counter()
+            trainer.train(train_set, engine=engine)
+            return time.perf_counter() - t0, trainer.network
+
+        # Warm allocators / import paths on a throwaway single-epoch run.
+        SNNTrainer(SpikingNetwork(config)).train(train_set, epochs=1)
+
+        serial_s, serial_net = _train("serial")
+        fused_s, fused_net = _train("fused")
+
+        assert np.array_equal(fused_net.weights, serial_net.weights), (
+            "fused STDP training diverged from the serial oracle"
+        )
+        assert np.array_equal(
+            fused_net.population.thresholds, serial_net.population.thresholds
+        )
+        speedup = serial_s / fused_s
+        _record(
+            "stdp_train_serial",
+            images=n,
+            epochs=epochs,
+            seconds=round(serial_s, 4),
+            images_per_second=round(_rate(n, serial_s), 1),
+        )
+        _record(
+            "stdp_train_fused",
+            images=n,
+            epochs=epochs,
+            seconds=round(fused_s, 4),
+            images_per_second=round(_rate(n, fused_s), 1),
+            speedup_vs_serial=round(speedup, 2),
+            identical_weights=True,
+        )
+        _guard("stdp_train_serial", _rate(n, serial_s))
+        _guard("stdp_train_fused", _rate(n, fused_s))
+        assert speedup >= P["min_train_speedup"], (
+            f"fused STDP training speedup {speedup:.2f}x is below the "
+            f"{P['min_train_speedup']}x floor for scale {SCALE!r}"
+        )
+
+
+class TestCycleSimThroughput:
+    def test_fast_snnwt_speedup_with_identical_winners(
+        self, trained_snn, digits_pair
+    ):
+        """The fast folded-SNNwt kernel vs the pre-vectorization walk.
+
+        The baseline reconstructs the historical simulator: scalar
+        4-LFSR RNG, per-pixel interval schedule, cycle-by-cycle scan
+        (``run_image_serial`` with the serial schedule and a serial
+        ``HardwareGaussian``).  Both consume bit-identical RNG streams,
+        so winners must agree exactly.
+        """
+        from repro.hardware.cyclesim import FoldedSNNwtSimulator
+        from repro.hardware.rng_hw import HardwareGaussian
+
+        _, test_set = digits_pair
+        network = trained_snn.network
+        ni = P["cyclesim_ni"]
+        images = test_set.images[: P["cyclesim_images"]]
+        n = len(images)
+
+        fast = FoldedSNNwtSimulator(network, ni, seed=1)
+        fast.run_image(images[0])  # warm
+        fast = FoldedSNNwtSimulator(network, ni, seed=1)
+        t0 = time.perf_counter()
+        fast_winners = [fast.run_image(image)[0] for image in images]
+        fast_s = time.perf_counter() - t0
+
+        serial = FoldedSNNwtSimulator(network, ni, seed=1)
+        serial.rng = HardwareGaussian(
+            seeds=[1, 1 * 7 + 3, 1 * 131 + 17, 1 * 8191 + 5]
+        )
+        serial._spike_schedule = serial._spike_schedule_serial
+        t0 = time.perf_counter()
+        serial_winners = [
+            serial.run_image_serial(image)[0] for image in images
+        ]
+        serial_s = time.perf_counter() - t0
+
+        assert fast_winners == serial_winners, (
+            "fast SNNwt kernel diverged from the cycle-by-cycle walk"
+        )
+        speedup = serial_s / fast_s
+        _record(
+            "cyclesim_snnwt_serial",
+            images=n,
+            ni=ni,
+            seconds=round(serial_s, 4),
+            images_per_second=round(_rate(n, serial_s), 2),
+        )
+        _record(
+            "cyclesim_snnwt_fast",
+            images=n,
+            ni=ni,
+            seconds=round(fast_s, 4),
+            images_per_second=round(_rate(n, fast_s), 2),
+            speedup_vs_serial=round(speedup, 2),
+            identical_winners=True,
+        )
+        _guard("cyclesim_snnwt_serial", _rate(n, serial_s))
+        _guard("cyclesim_snnwt_fast", _rate(n, fast_s))
+        assert speedup >= P["min_cyclesim_speedup"], (
+            f"fast SNNwt cycle-sim speedup {speedup:.2f}x is below the "
+            f"{P['min_cyclesim_speedup']}x floor for scale {SCALE!r}"
         )
 
 

@@ -20,6 +20,7 @@ from typing import Tuple
 
 from ..core.artifacts import cached_train, coder_signature
 from ..core.config import MLPConfig, SNNConfig
+from ..core.timing import phase
 from ..datasets.base import Dataset
 from ..datasets.digits import load_digits
 from ..datasets.shapes import load_shapes
@@ -78,9 +79,10 @@ def train_mlp_model(
     """
 
     def _train() -> MLP:
-        network = MLP(config)
-        BackPropTrainer(network, batch_size=16).train(train_set, epochs=epochs)
-        return network
+        with phase("train"):
+            network = MLP(config)
+            BackPropTrainer(network, batch_size=16).train(train_set, epochs=epochs)
+            return network
 
     return cached_train(
         "mlp",
@@ -106,9 +108,10 @@ def train_snn_model(
     """
 
     def _train() -> SpikingNetwork:
-        network = SpikingNetwork(config, coder=coder)
-        SNNTrainer(network).fit(train_set, epochs=epochs)
-        return network
+        with phase("train"):
+            network = SpikingNetwork(config, coder=coder)
+            SNNTrainer(network).fit(train_set, epochs=epochs)
+            return network
 
     network = cached_train(
         "snn",
@@ -134,9 +137,10 @@ def train_snn_bp_model(
     Cached like :func:`train_mlp_model` (kind ``snnbp``)."""
 
     def _train() -> BackPropSNN:
-        model = BackPropSNN(config)
-        model.train(train_set, epochs=epochs)
-        return model
+        with phase("train"):
+            model = BackPropSNN(config)
+            model.train(train_set, epochs=epochs)
+            return model
 
     return cached_train(
         "snnbp",

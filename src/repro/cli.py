@@ -78,16 +78,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return EXIT_USAGE
     _apply_cache_flags(args)
+    timings = getattr(args, "timings", False)
+    if timings:
+        import time
+
+        from .core import timing
+
+        timing.reset()
+        wall_start = time.perf_counter()
+    status = 0
     if args.jobs > 1:
         from .core.experiment import run_experiments
 
         results = run_experiments(list(ids), policy=policy, jobs=args.jobs)
         for result in results:
             print(render_result(result))
-        return 0
-    for experiment_id in ids:
-        print(run_and_render(experiment_id, policy=policy))
-    return 0
+    else:
+        for experiment_id in ids:
+            print(run_and_render(experiment_id, policy=policy))
+    if timings:
+        wall = time.perf_counter() - wall_start
+        print(timing.report(wall=wall))
+        if args.jobs > 1:
+            print(
+                "  note: --jobs > 1 runs experiments in worker processes; "
+                "their per-phase timers are not aggregated here."
+            )
+    return status
 
 
 def _apply_cache_flags(args: argparse.Namespace) -> None:
@@ -203,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run independent experiments across N worker processes "
         "(deterministic id-ordered output; 1 = serial)",
+    )
+    report.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-phase (train / eval / hardware-sim) wall-clock "
+        "breakdown after the report",
     )
     report.add_argument(
         "--no-cache",

@@ -1,0 +1,91 @@
+"""Lightweight wall-clock phase timers for ``repro report --timings``.
+
+The experiment pipeline has three dominant cost centres — model
+training, model evaluation, and hardware cycle simulation.  This
+module provides a process-global, stack-based phase timer so the CLI
+can print a per-phase breakdown without threading a timer object
+through every call site:
+
+* :func:`phase` is a re-entrant context manager.  Time spent inside a
+  nested phase is attributed to the *inner* phase only (exclusive
+  attribution), so the totals are additive and never double count.
+* :func:`reset` clears the accumulated totals (the CLI calls it at the
+  start of a timed run).
+* :func:`report` renders the totals as a small aligned table, with an
+  "other" row when a wall-clock reference is supplied.
+
+The timers are deliberately cheap (two ``perf_counter`` calls and a
+dict update per phase entry) so leaving the instrumentation on
+permanently costs nothing measurable next to training or simulation.
+
+Limitations: the registry is per-process.  ``repro report --jobs N``
+with ``N > 1`` runs experiments in worker processes whose timers are
+not aggregated back; the CLI notes this when both flags are combined.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Accumulated exclusive seconds per phase name.
+_totals: Dict[str, float] = {}
+
+#: Stack of (name, started_at, child_seconds) for active phases.
+_stack: List[list] = []
+
+
+def reset() -> None:
+    """Clear all accumulated phase totals (active phases keep running)."""
+    _totals.clear()
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the enclosed wall-clock time to ``name`` (exclusive).
+
+    Nested phases subtract their time from the enclosing phase, so a
+    ``phase("eval")`` inside ``phase("train")`` bills only "eval" for
+    the inner span.  Re-entrant and exception safe.
+    """
+    frame = [name, time.perf_counter(), 0.0]
+    _stack.append(frame)
+    try:
+        yield
+    finally:
+        _stack.pop()
+        elapsed = time.perf_counter() - frame[1]
+        _totals[name] = _totals.get(name, 0.0) + elapsed - frame[2]
+        if _stack:
+            _stack[-1][2] += elapsed
+
+
+def totals() -> Dict[str, float]:
+    """A copy of the accumulated exclusive seconds per phase."""
+    return dict(_totals)
+
+
+def report(wall: Optional[float] = None) -> str:
+    """Render the phase totals as an aligned text table.
+
+    When ``wall`` (total wall-clock seconds for the run) is given, a
+    percentage column and an "other" row for unattributed time are
+    included.
+    """
+    rows = sorted(_totals.items(), key=lambda item: -item[1])
+    if wall is not None:
+        attributed = sum(_totals.values())
+        rows.append(("other", max(wall - attributed, 0.0)))
+    if not rows:
+        return "timings: no instrumented phases ran"
+    width = max(len(name) for name, _ in rows)
+    lines = ["timings (wall-clock seconds):"]
+    for name, seconds in rows:
+        line = f"  {name.ljust(width)}  {seconds:8.3f}s"
+        if wall is not None and wall > 0:
+            line += f"  {100.0 * seconds / wall:5.1f}%"
+        lines.append(line)
+    if wall is not None:
+        lines.append(f"  {'total'.ljust(width)}  {wall:8.3f}s  100.0%")
+    return "\n".join(lines)

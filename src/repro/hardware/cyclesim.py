@@ -18,6 +18,7 @@ from typing import List
 import numpy as np
 
 from ..core.errors import SimulationError
+from ..core.timing import phase
 from ..mlp.quantized import QuantizedMLP
 from ..snn.network import SpikingNetwork
 from ..snn.snn_wot import SNNWithoutTime
@@ -85,17 +86,29 @@ class FoldedMLPSimulator:
             raise SimulationError(
                 f"layer expects {n_inputs} activations, got {activations.shape[0]}"
             )
-        accumulators = np.zeros(n_neurons, dtype=np.int64)
-        for start in range(0, n_inputs, self.ni):
-            chunk = slice(start, min(start + self.ni, n_inputs))
-            # One cycle: every hardware neuron reads its SRAM row slice
-            # and performs an ni-wide multiply-accumulate.
-            accumulators += weight_codes[:, chunk] @ activations[chunk]
-            if self.injector is not None:
+        n_chunks = math.ceil(n_inputs / self.ni)
+        if self.injector is None:
+            # Clean datapath: the chunked int64 accumulation equals one
+            # integer GEMV exactly (integer addition is associative and
+            # int64 wraps modularly in any order), and the trace is the
+            # closed-form folded schedule.
+            accumulators = weight_codes.astype(np.int64) @ activations.astype(
+                np.int64
+            )
+            trace.cycles += n_chunks
+            trace.sram_reads += n_neurons * n_chunks
+            trace.mac_operations += n_neurons * n_inputs
+        else:
+            accumulators = np.zeros(n_neurons, dtype=np.int64)
+            for start in range(0, n_inputs, self.ni):
+                chunk = slice(start, min(start + self.ni, n_inputs))
+                # One cycle: every hardware neuron reads its SRAM row
+                # slice and performs an ni-wide multiply-accumulate.
+                accumulators += weight_codes[:, chunk] @ activations[chunk]
                 self.injector.maybe_upset(accumulators, "folded-mlp")
-            trace.cycles += 1
-            trace.sram_reads += n_neurons
-            trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
+                trace.cycles += 1
+                trace.sram_reads += n_neurons
+                trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
         # Activation cycle: rescale, interpolated sigmoid, requantize —
         # identical arithmetic to QuantizedMLP._layer.
         q = self.quantized
@@ -120,14 +133,27 @@ class FoldedMLPSimulator:
         magnitude faster.  An injector forces the cycle-by-cycle walk
         (upsets strike specific accumulation cycles).
         """
-        images = np.atleast_2d(images)
-        if self.injector is None:
-            return self.quantized.predict(images)
-        winners = []
-        for image in images:
-            self.run_image(image)
-            winners.append(int(np.argmax(self.last_output_pre)))
-        return np.array(winners)
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            if self.injector is None:
+                return self.quantized.predict(images)
+            winners = []
+            for image in images:
+                self.run_image(image)
+                winners.append(int(np.argmax(self.last_output_pre)))
+            return np.array(winners)
+
+    def predict_with_cycles(self, images: np.ndarray) -> tuple:
+        """``(predictions, per-image cycle counts)`` in one pass."""
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            winners = np.empty(images.shape[0], dtype=np.int64)
+            cycles = np.empty(images.shape[0], dtype=np.int64)
+            for index, image in enumerate(images):
+                _codes, trace = self.run_image(image)
+                winners[index] = int(np.argmax(self.last_output_pre))
+                cycles[index] = trace.cycles
+            return winners, cycles
 
     def cycles_per_image(self) -> int:
         """Cycle count of one classification (matches Table 7's formula)."""
@@ -167,7 +193,7 @@ class FoldedSNNwtSimulator:
         if network.neuron_labels is None:
             raise SimulationError("needs a trained, labeled network")
         from .leak_lut import apply_fixed_point_leak, leak_factor_fixed_point
-        from .rng_hw import HardwareGaussian
+        from .rng_vec import VectorizedHardwareGaussian
 
         self.network = network
         self.ni = ni
@@ -180,16 +206,69 @@ class FoldedSNNwtSimulator:
         self.leak_code = leak_factor_fixed_point(config.t_leak, dt=1.0)
         self._apply_leak = apply_fixed_point_leak
         base = max(int(seed), 1)
-        self.rng = HardwareGaussian(
+        # Bit-identical to the serial HardwareGaussian stream, bulk
+        # generated (tests/hardware/test_cyclesim_fast.py asserts the
+        # stream equality).
+        self.rng = VectorizedHardwareGaussian(
             seeds=[base, base * 7 + 3, base * 131 + 17, base * 8191 + 5]
         )
+        # Hardware-constant lookups built once (the thresholds and
+        # weight transpose do not change between presentations).
+        self.threshold_codes = np.round(network.thresholds).astype(np.int64)
+        self._wt = np.ascontiguousarray(self.weight_codes.T)
+        self._potentials = np.zeros(config.n_neurons, dtype=np.int64)
+        self._duration = int(config.t_period)
+        self._walk = math.ceil(config.n_inputs / self.ni)
+        self._fast_ok = bool(np.all(self.threshold_codes > 0))
 
-    def _spike_schedule(self, image: np.ndarray) -> list:
-        """Per-millisecond spiking-input lists from the hardware RNG."""
+    def _spike_events(self, image: np.ndarray) -> tuple:
+        """Step-sorted spike events: ``(pixels, steps, bucket bounds)``.
+
+        One bulk RNG draw replaces the per-pixel interval loop; the
+        draw order (``cap`` samples per pixel, pixels ascending) and
+        the per-element arithmetic (scale by ``mean / raw_mean``, clamp
+        at 1 ms, cumulative sum, floor) match the serial schedule
+        exactly.  Intervals are >= 1 ms, so each pixel's spike times are
+        strictly increasing — the ``< duration`` cut is a per-pixel
+        prefix, floors are distinct steps, and the stable sort by step
+        reproduces the serial buckets' ascending-pixel order.
+        """
         from ..snn.coding import mean_interval
 
         config = self.network.config
-        duration = int(config.t_period)
+        duration = self._duration
+        image = np.asarray(image).ravel()
+        means = mean_interval(image, config.min_spike_interval)
+        cap = int(config.max_spikes_per_pixel)
+        raw = self.rng.samples(means.size * cap).astype(np.float64)
+        intervals = np.maximum(
+            raw.reshape(means.size, cap)
+            * (means / self.rng.raw_mean)[:, None],
+            1.0,
+        )
+        times = np.cumsum(intervals, axis=1)
+        keep = times < duration
+        pixels, _ = np.nonzero(keep)
+        steps = times[keep].astype(np.int64)
+        order = np.argsort(steps, kind="stable")
+        pixels = pixels[order].astype(np.int64)
+        steps = steps[order]
+        bounds = np.searchsorted(steps, np.arange(duration + 1))
+        return pixels, steps, bounds
+
+    def _spike_schedule(self, image: np.ndarray) -> list:
+        """Per-millisecond spiking-input lists from the hardware RNG."""
+        pixels, _steps, bounds = self._spike_events(image)
+        return [
+            pixels[bounds[t] : bounds[t + 1]] for t in range(self._duration)
+        ]
+
+    def _spike_schedule_serial(self, image: np.ndarray) -> list:
+        """Reference per-pixel schedule loop (oracle for the tests)."""
+        from ..snn.coding import mean_interval
+
+        config = self.network.config
+        duration = self._duration
         image = np.asarray(image).ravel()
         means = mean_interval(image, config.min_spike_interval)
         buckets = [[] for _ in range(duration)]
@@ -205,7 +284,62 @@ class FoldedSNNwtSimulator:
         return [np.asarray(b, dtype=np.int64) for b in buckets]
 
     def run_image(self, image: np.ndarray) -> tuple:
-        """Simulate one presentation; returns (winner index, trace)."""
+        """Simulate one presentation; returns (winner index, trace).
+
+        Clean datapath (no transient injector, positive thresholds):
+        per-step contributions come from one int64 ``reduceat`` over the
+        step-sorted spike rows (integer addition is associative, so any
+        summation order is exact), the leak/integrate scan runs on a
+        preallocated buffer with whole-array in-place ops (every neuron
+        is active until the first output spike), and the scan stops at
+        the first threshold crossing — later dynamics cannot change the
+        returned winner, and the trace is the closed-form folded
+        schedule.  Otherwise :meth:`run_image_serial` executes the
+        cycle-by-cycle walk.
+        """
+        if self.injector is not None or not self._fast_ok:
+            return self.run_image_serial(image)
+        config = self.network.config
+        n_neurons = config.n_neurons
+        duration = self._duration
+        pixels, steps, bounds = self._spike_events(image)
+        trace = CycleTrace(
+            cycles=self._walk * duration,
+            sram_reads=n_neurons * self._walk * duration,
+            mac_operations=n_neurons * pixels.size,
+        )
+        contributions = np.zeros((duration, n_neurons), dtype=np.int64)
+        nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
+        if nonempty.size:
+            contributions[nonempty] = np.add.reduceat(
+                self._wt[pixels], bounds[:-1][nonempty], axis=0
+            )
+        has_spike = (bounds[1:] > bounds[:-1]).tolist()
+        potentials = self._potentials
+        potentials.fill(0)
+        leak = self.leak_code
+        thresholds = self.threshold_codes
+        winner = -1
+        # Zero potentials stay exactly zero under (v * leak) >> 15 and
+        # cannot cross a positive threshold, so the scan starts at the
+        # first spike step.
+        start = int(steps[0]) if steps.size else duration
+        for t in range(start, duration):
+            np.multiply(potentials, leak, out=potentials)
+            np.right_shift(potentials, 15, out=potentials)
+            if has_spike[t]:
+                potentials += contributions[t]
+            if (potentials >= thresholds).any():
+                fired = np.flatnonzero(potentials >= thresholds)
+                overshoot = potentials[fired] - thresholds[fired]
+                winner = int(fired[int(np.argmax(overshoot))])
+                break
+        if winner < 0:
+            winner = int(np.argmax(potentials))
+        return winner, trace
+
+    def run_image_serial(self, image: np.ndarray) -> tuple:
+        """Cycle-by-cycle oracle walk (also serves the injector path)."""
         config = self.network.config
         n_neurons = config.n_neurons
         potentials = np.zeros(n_neurons, dtype=np.int64)
@@ -215,7 +349,7 @@ class FoldedSNNwtSimulator:
         winner = -1
         trace = CycleTrace(cycles=0, sram_reads=0, mac_operations=0)
         schedule = self._spike_schedule(image)
-        walk = math.ceil(config.n_inputs / self.ni)
+        walk = self._walk
         for spiking in schedule:
             active = (refractory == 0) & (inhibited == 0)
             potentials[active] = self._apply_leak(
@@ -249,9 +383,27 @@ class FoldedSNNwtSimulator:
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Label predictions through the network's neuron labels."""
-        images = np.atleast_2d(images)
-        winners = np.array([self.run_image(image)[0] for image in images])
-        return self.network.neuron_labels[winners]
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            winners = np.array([self.run_image(image)[0] for image in images])
+            return self.network.neuron_labels[winners]
+
+    def predict_with_cycles(self, images: np.ndarray) -> tuple:
+        """``(labels, per-image cycle counts)`` in one pass.
+
+        Reuses the simulator's preallocated state between images (no
+        per-image threshold/LUT rebuilds) and reports each image's
+        simulated cycle count alongside its label.
+        """
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            labels = np.empty(images.shape[0], dtype=np.int64)
+            cycles = np.empty(images.shape[0], dtype=np.int64)
+            for index, image in enumerate(images):
+                winner, trace = self.run_image(image)
+                labels[index] = self.network.neuron_labels[winner]
+                cycles[index] = trace.cycles
+            return labels, cycles
 
     def cycles_per_image(self) -> int:
         """Folded cycle count: (ceil(n_inputs/ni) per ms) x t_period."""
@@ -284,18 +436,36 @@ class FoldedSNNwotSimulator:
         # are already on (or clipped to) the 8-bit grid.  ``model.weights``
         # carries any SRAM corruption injected into this substrate.
         self.weight_codes = np.round(model.weights).astype(np.int64)
+        self._n_chunks = math.ceil(self.weight_codes.shape[1] / self.ni)
+        self._potentials = np.zeros(self.weight_codes.shape[0], dtype=np.int64)
 
     def run_image(self, image: np.ndarray) -> tuple:
-        """Classify one 8-bit image; returns (winner index, trace)."""
+        """Classify one 8-bit image; returns (winner index, trace).
+
+        Clean datapath (no transient injector): the folded chunked
+        int64 accumulation equals one integer GEMV exactly (integer
+        addition is associative), and the trace is the closed-form
+        folded schedule.  An injector forces the cycle-by-cycle walk
+        (upsets strike specific accumulation cycles), reusing one
+        preallocated potential buffer across calls.
+        """
         counts = self.model.spike_counts(image.reshape(1, -1))[0].astype(np.int64)
         n_neurons, n_inputs = self.weight_codes.shape
-        potentials = np.zeros(n_neurons, dtype=np.int64)
+        if self.injector is None:
+            potentials = self.weight_codes @ counts
+            trace = CycleTrace(
+                cycles=self._n_chunks + self.FLUSH_CYCLES,
+                sram_reads=n_neurons * self._n_chunks,
+                mac_operations=n_neurons * n_inputs,
+            )
+            return int(np.argmax(potentials)), trace
+        potentials = self._potentials
+        potentials.fill(0)
         trace = CycleTrace(cycles=0, sram_reads=0, mac_operations=0)
         for start in range(0, n_inputs, self.ni):
             chunk = slice(start, min(start + self.ni, n_inputs))
             potentials += self.weight_codes[:, chunk] @ counts[chunk]
-            if self.injector is not None:
-                self.injector.maybe_upset(potentials, "folded-snnwot")
+            self.injector.maybe_upset(potentials, "folded-snnwot")
             trace.cycles += 1
             trace.sram_reads += n_neurons
             trace.mac_operations += n_neurons * (chunk.stop - chunk.start)
@@ -309,14 +479,27 @@ class FoldedSNNwotSimulator:
         int64 accumulation equals a single whole-batch integer GEMM
         exactly, so predictions come from ``counts @ W.T`` in one shot.
         """
-        images = np.atleast_2d(images)
-        if self.injector is None:
-            counts = self.model.spike_counts(images).astype(np.int64)
-            potentials = counts @ self.weight_codes.T
-            winners = np.argmax(potentials, axis=1)
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            if self.injector is None:
+                counts = self.model.spike_counts(images).astype(np.int64)
+                potentials = counts @ self.weight_codes.T
+                winners = np.argmax(potentials, axis=1)
+                return self.model.network.neuron_labels[winners]
+            winners = np.array([self.run_image(image)[0] for image in images])
             return self.model.network.neuron_labels[winners]
-        winners = np.array([self.run_image(image)[0] for image in images])
-        return self.model.network.neuron_labels[winners]
+
+    def predict_with_cycles(self, images: np.ndarray) -> tuple:
+        """``(labels, per-image cycle counts)`` in one pass."""
+        with phase("hardware-sim"):
+            images = np.atleast_2d(images)
+            labels = np.empty(images.shape[0], dtype=np.int64)
+            cycles = np.empty(images.shape[0], dtype=np.int64)
+            for index, image in enumerate(images):
+                winner, trace = self.run_image(image)
+                labels[index] = self.model.network.neuron_labels[winner]
+                cycles[index] = trace.cycles
+            return labels, cycles
 
     def cycles_per_image(self) -> int:
         config = self.model.config

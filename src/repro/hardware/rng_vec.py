@@ -1,0 +1,141 @@
+"""Vectorized bit-exact hardware Gaussian RNG (leaps the LFSR in bulk).
+
+:mod:`repro.hardware.rng_hw` steps its four 31-bit LFSRs one bit at a
+time through Python integers — fine for unit tests, but the folded
+SNNwt cycle simulator consumes ``pixels x max_spikes x resolution``
+bits per image, and the per-bit loop dominates its runtime.  This
+module produces the *identical* bit stream with NumPy:
+
+The Fibonacci LFSR with primitive polynomial ``x^31 + x^3 + 1`` emits
+output bits satisfying the GF(2)-linear recurrence
+
+    b[t] = b[t-31] XOR b[t-3]
+
+and, because squaring is a field homomorphism in characteristic 2,
+every power-of-two dilation of it:
+
+    b[t] = b[t - 31*2^k] XOR b[t - 3*2^k]        for all k >= 0.
+
+So after bootstrapping the first 31 bits with the scalar
+:class:`~repro.hardware.rng_hw.LFSR31`, whole blocks of up to
+``3 * 2^k`` future bits are one vectorized XOR of two shifted slices of
+the history, with ``k`` chosen as large as the available history
+allows.  The stream is identical bit for bit to the serial generator
+(asserted by ``tests/hardware/test_cyclesim_fast.py``), so spike
+schedules — and therefore hardware winners and cycle counts — are
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.errors import HardwareModelError
+from .rng_hw import CLT_TERMS, LFSR_BITS, HardwareGaussian, LFSR31
+
+#: History kept after compaction: bounds the ladder's look-back (the
+#: largest usable dilation becomes ``31 * 2^k <= _HISTORY_BITS``) while
+#: keeping the rolling buffer small.
+_HISTORY_BITS = 1 << 17
+
+
+class _VectorLFSR31:
+    """Bulk bit generator for one ``x^31 + x^3 + 1`` Fibonacci LFSR.
+
+    Maintains the full output-bit history (compacted to a bounded
+    tail) and a consumption cursor; :meth:`take` hands out the next
+    ``n`` output bits exactly as ``n`` successive ``LFSR31.step()``
+    calls would.
+    """
+
+    def __init__(self, seed: int):
+        scalar = LFSR31(seed)  # validates the seed
+        bits = np.empty(LFSR_BITS, dtype=np.uint8)
+        for i in range(LFSR_BITS):
+            bits[i] = scalar.step()
+        self._bits = bits
+        self._pos = 0  # index of the first unconsumed bit
+
+    def _grow(self, target: int) -> None:
+        """Extend the history to at least ``target`` bits via the ladder."""
+        have = self._bits.size
+        out = np.empty(target, dtype=np.uint8)
+        out[:have] = self._bits
+        while have < target:
+            k = 0
+            while (LFSR_BITS << (k + 1)) <= have:
+                k += 1
+            lag_hi = LFSR_BITS << k  # 31 * 2^k
+            lag_lo = 3 << k  # 3 * 2^k: max block before self-reference
+            m = min(lag_lo, target - have)
+            np.bitwise_xor(
+                out[have - lag_hi : have - lag_hi + m],
+                out[have - lag_lo : have - lag_lo + m],
+                out=out[have : have + m],
+            )
+            have += m
+        self._bits = out
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` output bits (uint8 view; do not mutate)."""
+        end = self._pos + n
+        if end > self._bits.size:
+            self._grow(max(end, 2 * self._bits.size))
+        out = self._bits[self._pos : end]
+        self._pos = end
+        if self._pos > _HISTORY_BITS and self._bits.size > 2 * _HISTORY_BITS:
+            # Compact: the ladder only looks back 31 * 2^k <= history
+            # bits, and k re-adapts to the shorter buffer.
+            keep = self._bits.size - (self._pos - _HISTORY_BITS)
+            self._bits = self._bits[-keep:].copy()
+            self._pos = _HISTORY_BITS
+        return out
+
+    def next_bits(self, n_bits: int) -> int:
+        """Scalar-compatible ``LFSR31.next_bits`` (MSB-first assembly)."""
+        if n_bits < 1:
+            raise HardwareModelError(f"n_bits must be >= 1, got {n_bits}")
+        bits = self.take(n_bits)
+        value = 0
+        for bit in bits:
+            value = (value << 1) | int(bit)
+        return value
+
+
+class VectorizedHardwareGaussian(HardwareGaussian):
+    """Drop-in :class:`HardwareGaussian` with bulk sample generation.
+
+    Consumes the four LFSR streams in exactly the serial order (every
+    sample reads ``resolution`` bits from each register in turn, but
+    the four registers' streams are independent, so batching each
+    register's reads preserves all four streams), making
+    ``samples(n)`` bitwise equal to ``n`` serial :meth:`sample` calls.
+    """
+
+    def __init__(self, seeds: List[int], resolution: int = 8):
+        super().__init__(seeds=seeds, resolution=resolution)
+        # Replace the scalar registers with bulk generators seeded the
+        # same way; the base class's sample()/next_bits() protocol
+        # keeps working through _VectorLFSR31.next_bits.
+        self.lfsrs = [_VectorLFSR31(seed) for seed in seeds]
+        self._weights = (
+            1 << np.arange(self.resolution - 1, -1, -1, dtype=np.int64)
+        ).astype(np.int64)
+
+    def samples(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise HardwareModelError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        total = np.zeros(n, dtype=np.int64)
+        res = self.resolution
+        for lfsr in self.lfsrs:
+            bits = lfsr.take(n * res).reshape(n, res)
+            # MSB-first assembly, the vectorized next_bits(resolution).
+            total += bits.astype(np.int64) @ self._weights
+        return total
+
+    def sample(self) -> int:
+        return int(self.samples(1)[0])

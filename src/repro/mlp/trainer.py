@@ -25,6 +25,7 @@ from ..core.config import MLPConfig
 from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..core.rng import child_rng
+from ..core.timing import phase
 from ..datasets.base import Dataset
 from .network import MLP
 
@@ -141,5 +142,6 @@ def train_mlp(
 
 def evaluate_mlp(network: MLP, test_set: Dataset) -> EvaluationResult:
     """Evaluate a trained MLP on a test set."""
-    predictions = network.predict_dataset(test_set)
-    return evaluate(predictions, test_set.labels, test_set.n_classes)
+    with phase("eval"):
+        predictions = network.predict_dataset(test_set)
+        return evaluate(predictions, test_set.labels, test_set.n_classes)

@@ -35,6 +35,12 @@ import numpy as np
 from ..core.errors import ConfigError
 from ..core.rng import SeedLike, make_rng
 
+#: Images encoded per batched RNG draw by :meth:`SpikeCoder.encode_batch`
+#: subclasses that support it.  Bounds the temporary interval tensor
+#: (worst case, the Gaussian coder's ``(B, pixels, cap, 4)`` uniforms)
+#: to a few tens of megabytes at MNIST scale.
+ENCODE_BATCH_CHUNK = 64
+
 #: Interval multiplier at zero luminance relative to full luminance,
 #: from the paper's expression (3*U - 2*U*p/255).
 _DARK_FACTOR = 3.0
@@ -196,6 +202,24 @@ class SpikeCoder:
     def encode(self, image: np.ndarray, rng: SeedLike = None) -> SpikeTrain:
         raise NotImplementedError
 
+    def encode_batch(
+        self, images: np.ndarray, rng: SeedLike = None
+    ) -> List[SpikeTrain]:
+        """Encode a ``(B, n_pixels)`` batch of images.
+
+        Contract: consumes ``rng`` exactly as ``B`` sequential
+        :meth:`encode` calls would and returns bit-identical trains —
+        callers (the fused STDP trainer) rely on this to interchange
+        the batched and per-image paths freely.  The base
+        implementation *is* the sequential loop; rate coders override
+        :meth:`_draw_intervals_batch` to fold all ``B`` RNG draws into
+        one vectorized draw (bit-identical because a single
+        ``(B, ...)``-shaped draw from a NumPy generator fills rows in
+        the same stream order as ``B`` successive per-image draws).
+        """
+        rng = make_rng(rng)
+        return [self.encode(image, rng=rng) for image in np.atleast_2d(images)]
+
     @property
     def max_spikes_per_pixel(self) -> int:
         """Hard cap on per-pixel spikes (duration / fastest interval)."""
@@ -217,6 +241,58 @@ class _IntervalRateCoder(SpikeCoder):
     ) -> np.ndarray:
         """(n_pixels, n_max) inter-spike intervals with row means ``means``."""
         raise NotImplementedError
+
+    def _draw_intervals_batch(
+        self, means: np.ndarray, n_max: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """(B, n_pixels, n_max) intervals, stream-identical to B serial draws.
+
+        Must consume ``rng`` exactly as ``B`` successive
+        :meth:`_draw_intervals` calls and return bit-identical slices;
+        subclasses that cannot guarantee that should not override (the
+        base raises, and :meth:`encode_batch` falls back to the
+        sequential loop).
+        """
+        raise NotImplementedError
+
+    def encode_batch(
+        self, images: np.ndarray, rng: SeedLike = None
+    ) -> List[SpikeTrain]:
+        """Vectorized :meth:`SpikeCoder.encode_batch` for interval coders.
+
+        One batched RNG draw replaces ``B`` per-image draws (the single
+        stream-order-preserving call); spike-time assembly (cumulative
+        sums, window clipping) is elementwise per image, so every
+        returned train is bit-identical to the sequential path.
+        Chunked by :data:`ENCODE_BATCH_CHUNK` to bound the temporary
+        interval tensor.
+        """
+        rng = make_rng(rng)
+        images = np.atleast_2d(np.asarray(images))
+        trains: List[SpikeTrain] = []
+        n_max = max(self.max_spikes_per_pixel, 1)
+        for start in range(0, images.shape[0], ENCODE_BATCH_CHUNK):
+            chunk = images[start : start + ENCODE_BATCH_CHUNK]
+            means = mean_interval(chunk, self.max_rate_interval)
+            try:
+                intervals = self._draw_intervals_batch(means, n_max, rng)
+            except NotImplementedError:
+                trains.extend(self.encode(image, rng=rng) for image in chunk)
+                continue
+            for i in range(chunk.shape[0]):
+                spike_times = np.cumsum(intervals[i], axis=1)
+                keep = spike_times < self.duration
+                pixels, _ranks = np.nonzero(keep)
+                times = spike_times[keep]
+                trains.append(
+                    SpikeTrain(
+                        times,
+                        pixels.astype(np.int64),
+                        n_inputs=chunk.shape[1],
+                        duration=self.duration,
+                    )
+                )
+        return trains
 
     def encode(self, image: np.ndarray, rng: SeedLike = None) -> SpikeTrain:
         rng = make_rng(rng)
@@ -245,6 +321,12 @@ class PoissonCoder(_IntervalRateCoder):
         draws = rng.exponential(1.0, size=(means.size, n_max)) * means[:, None]
         return np.maximum(draws, 1.0)
 
+    def _draw_intervals_batch(self, means, n_max, rng):
+        # One (B, P, n_max) draw fills rows in the same stream order as
+        # B successive (P, n_max) draws; the scale/clamp is elementwise.
+        draws = rng.exponential(1.0, size=means.shape + (n_max,))
+        return np.maximum(draws * means[:, :, None], 1.0)
+
 
 class GaussianCoder(_IntervalRateCoder):
     """Rate coding with Gaussian intervals via the central limit theorem.
@@ -263,6 +345,12 @@ class GaussianCoder(_IntervalRateCoder):
         # variance 4 * (mean/2)^2 / 12 -> sigma = mean / sqrt(12).
         uniform = rng.uniform(0.0, 0.5, size=(means.size, n_max, 4)).sum(axis=2)
         return np.maximum(uniform * means[:, None], 1.0)
+
+    def _draw_intervals_batch(self, means, n_max, rng):
+        # Same stream-order argument as the Poisson coder; the
+        # four-uniform sum reduces the same four values per interval.
+        uniform = rng.uniform(0.0, 0.5, size=means.shape + (n_max, 4)).sum(axis=3)
+        return np.maximum(uniform * means[:, :, None], 1.0)
 
 
 class TimeToFirstSpikeCoder(SpikeCoder):

@@ -24,6 +24,7 @@ from ..core.config import SNNConfig
 from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..core.rng import SeedLike, child_rng, make_rng
+from ..core.timing import phase
 from ..datasets.base import Dataset
 from .batched import (
     DEFAULT_BATCH_SIZE,
@@ -286,10 +287,13 @@ class SpikingNetwork:
         """
         images = np.atleast_2d(images)
         rng = child_rng(self.config.seed, "snn-calibrate")
+        # encode_batch consumes the calibration stream exactly like the
+        # historical per-image encode loop (its documented contract),
+        # so thresholds are unchanged by the batching.
         counts = np.stack(
             [
-                self.coder.encode(image, rng=rng).weighted_counts()
-                for image in images
+                train.weighted_counts()
+                for train in self.coder.encode_batch(images, rng=rng)
             ]
         ).astype(np.float64)
         # Spikes arrive spread over the presentation; a spike at time t
@@ -388,13 +392,28 @@ class SNNTrainer:
         epochs: Optional[int] = None,
         initialize: bool = True,
         calibrate: bool = True,
+        engine: str = "fused",
     ) -> None:
         """Unsupervised STDP pass(es) over the training images.
 
         ``initialize``/``calibrate`` control the prototype weight
         initialization and threshold calibration pre-steps (see
         :class:`SNNTrainer`); both use only unlabeled images.
+
+        ``engine`` selects the presentation kernel: ``"fused"`` (the
+        default) runs the vectorized
+        :class:`~repro.snn.training.FusedSTDPEngine`, ``"serial"``
+        runs the historical per-image / per-timestep loop.  Both
+        consume the same shared ``child_rng(seed, "snn-train-spikes")``
+        stream and produce **bit-identical** weights, thresholds and
+        homeostasis state (``tests/snn/test_training_fused.py``); the
+        serial path is kept as the oracle, reachable directly through
+        :meth:`train_serial`.
         """
+        if engine not in ("fused", "serial"):
+            raise TrainingError(
+                f"unknown training engine {engine!r}; use 'fused' or 'serial'"
+            )
         config = self.network.config
         if epochs is None:
             epochs = config.epochs
@@ -406,10 +425,18 @@ class SNNTrainer:
         if calibrate:
             self.network.calibrate_thresholds(sample[:200])
         rng = child_rng(config.seed, "snn-train-spikes")
+        fused = None
+        if engine == "fused":
+            from .training import FusedSTDPEngine  # local: avoids eager import
+
+            fused = FusedSTDPEngine(self.network)
         for epoch in range(epochs):
             order = child_rng(config.seed, f"snn-train-order-{epoch}").permutation(
                 len(dataset)
             )
+            if fused is not None:
+                fused.learn_images(dataset.images[order], rng)
+                continue
             for index in order:
                 self.network.present_image(
                     dataset.images[index],
@@ -417,6 +444,28 @@ class SNNTrainer:
                     rng=rng,
                     stop_after_first_spike=True,
                 )
+
+    def train_serial(
+        self,
+        dataset: Dataset,
+        epochs: Optional[int] = None,
+        initialize: bool = True,
+        calibrate: bool = True,
+    ) -> None:
+        """Per-image reference oracle for :meth:`train`.
+
+        Runs the historical presentation loop one image and one
+        millisecond at a time; kept as the ground truth the fused
+        engine is tested against (``tests/snn/test_training_fused.py``),
+        mirroring the :meth:`predict_serial` precedent.
+        """
+        self.train(
+            dataset,
+            epochs=epochs,
+            initialize=initialize,
+            calibrate=calibrate,
+            engine="serial",
+        )
 
     def label(
         self, dataset: Dataset, batch_size: int = DEFAULT_BATCH_SIZE
@@ -491,8 +540,9 @@ class SNNTrainer:
         self, dataset: Dataset, batch_size: int = DEFAULT_BATCH_SIZE
     ) -> EvaluationResult:
         """Accuracy bundle on a test set."""
-        predictions = self.predict(dataset, batch_size=batch_size)
-        return evaluate(predictions, dataset.labels, dataset.n_classes)
+        with phase("eval"):
+            predictions = self.predict(dataset, batch_size=batch_size)
+            return evaluate(predictions, dataset.labels, dataset.n_classes)
 
 
 def train_snn(

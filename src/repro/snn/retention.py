@@ -30,6 +30,7 @@ from ..core.rng import child_rng
 from ..datasets.base import Dataset
 from .labeling import NeuronLabeler
 from .network import SNNTrainer, SpikingNetwork
+from .training import FusedSTDPEngine
 
 
 @dataclass
@@ -136,30 +137,33 @@ def retention_curve(
     stream_rng = child_rng(network.config.seed, "retention-stream")
     spikes_rng = child_rng(network.config.seed, "retention-spikes")
     order = stream_rng.choice(len(task_b_train), size=task_b_images, replace=True)
-    for index, image_index in enumerate(order, start=1):
-        network.present_image(
-            task_b_train.images[image_index],
-            learn=True,
-            rng=spikes_rng,
-            stop_after_first_spike=True,
+    # Present task B through the fused engine in windows that end
+    # exactly at the probe points; the engine's learning presentations
+    # and spike-stream consumption are bit-identical to the per-image
+    # present_image loop, so probed accuracies and drifts are unchanged.
+    engine = FusedSTDPEngine(network)
+    seen = 0
+    while seen < task_b_images:
+        upto = min(seen + probe_every, task_b_images)
+        window = order[seen:upto]
+        engine.learn_images(task_b_train.images[window], rng=spikes_rng)
+        seen = upto
+        _relabel(
+            network,
+            _merge_for_labeling(task_a_train, task_b_train, seen),
+            label_rng,
         )
-        if index % probe_every == 0 or index == task_b_images:
-            _relabel(
-                network,
-                _merge_for_labeling(task_a_train, task_b_train, index),
-                label_rng,
+        drift = float(
+            np.linalg.norm(network.weights - baseline_weights) / baseline_scale
+        )
+        study.points.append(
+            RetentionPoint(
+                images_seen=seen,
+                task_a_accuracy=_accuracy_on(network, task_a_test, probe_rng),
+                task_b_accuracy=_accuracy_on(network, task_b_test, probe_rng),
+                field_drift=drift,
             )
-            drift = float(
-                np.linalg.norm(network.weights - baseline_weights) / baseline_scale
-            )
-            study.points.append(
-                RetentionPoint(
-                    images_seen=index,
-                    task_a_accuracy=_accuracy_on(network, task_a_test, probe_rng),
-                    task_b_accuracy=_accuracy_on(network, task_b_test, probe_rng),
-                    field_drift=drift,
-                )
-            )
+        )
     return study
 
 
@@ -187,13 +191,12 @@ def receptive_field_drift(
     order_rng = child_rng(network.config.seed, "drift-order")
     order = order_rng.choice(len(dataset), size=n_presentations, replace=True)
     drifts = []
-    for index, image_index in enumerate(order, start=1):
-        network.present_image(
-            dataset.images[image_index],
-            learn=True,
-            rng=rng,
-            stop_after_first_spike=True,
-        )
-        if index % 20 == 0:
+    engine = FusedSTDPEngine(network)
+    seen = 0
+    while seen < n_presentations:
+        upto = min(seen + 20, n_presentations)
+        engine.learn_images(dataset.images[order[seen:upto]], rng=rng)
+        seen = upto
+        if seen % 20 == 0:
             drifts.append(float(np.linalg.norm(network.weights - baseline) / scale))
     return drifts

@@ -29,6 +29,7 @@ from ..core.config import SNNConfig
 from ..core.errors import TrainingError
 from ..core.metrics import EvaluationResult, evaluate
 from ..core.rng import child_rng
+from ..core.timing import phase
 from ..datasets.base import Dataset
 from .coding import deterministic_counts_batch
 
@@ -131,8 +132,9 @@ class BackPropSNN:
         return self.predict(dataset.images)
 
     def evaluate(self, dataset: Dataset) -> EvaluationResult:
-        predictions = self.predict_dataset(dataset)
-        return evaluate(predictions, dataset.labels, dataset.n_classes)
+        with phase("eval"):
+            predictions = self.predict_dataset(dataset)
+            return evaluate(predictions, dataset.labels, dataset.n_classes)
 
 
 def train_snn_bp(

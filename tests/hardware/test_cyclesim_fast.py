@@ -1,0 +1,292 @@
+"""Equivalence tests for the fast hardware-simulator kernels.
+
+Three contracts (see :mod:`repro.hardware.rng_vec` and the fast paths
+in :mod:`repro.hardware.cyclesim`):
+
+* the vectorized LFSR/Gaussian RNG emits the **identical bit stream**
+  as the serial :class:`repro.hardware.rng_hw.HardwareGaussian`, for
+  any interleaving of draw sizes;
+* the bulk spike schedule equals the per-pixel serial schedule;
+* the closed-form/scan ``run_image`` equals the cycle-by-cycle
+  ``run_image_serial`` — winners *and* full traces — and the clean
+  GEMV/GEMM paths of the MLP / SNNwot simulators equal their
+  rate-zero-injector chunk walks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPConfig, SNNConfig
+from repro.core.errors import HardwareModelError
+from repro.datasets.digits import load_digits
+from repro.faults import FaultConfig, FaultInjector
+from repro.hardware.cyclesim import (
+    FoldedMLPSimulator,
+    FoldedSNNwotSimulator,
+    FoldedSNNwtSimulator,
+)
+from repro.hardware.rng_hw import HardwareGaussian, LFSR31
+from repro.hardware.rng_vec import (
+    _HISTORY_BITS,
+    VectorizedHardwareGaussian,
+    _VectorLFSR31,
+)
+from repro.mlp.network import MLP
+from repro.mlp.quantized import QuantizedMLP
+from repro.mlp.trainer import BackPropTrainer
+from repro.snn.network import SNNTrainer, SpikingNetwork
+from repro.snn.snn_wot import SNNWithoutTime
+
+SEEDS = [9, 9 * 7 + 3, 9 * 131 + 17, 9 * 8191 + 5]
+
+
+# ----------------------------------------------------------------------
+# Shared trained models
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def trained_snn():
+    train_set, test_set = load_digits(n_train=160, n_test=60)
+    network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+    SNNTrainer(network).fit(train_set)
+    return network, test_set
+
+
+@pytest.fixture(scope="module")
+def quantized_mlp():
+    train_set, _ = load_digits(n_train=150, n_test=40)
+    network = MLP(MLPConfig(n_hidden=12, epochs=5).validate())
+    BackPropTrainer(network).train(train_set, epochs=5)
+    return QuantizedMLP(network)
+
+
+# ----------------------------------------------------------------------
+# The vectorized hardware RNG
+# ----------------------------------------------------------------------
+
+
+class TestVectorLFSR:
+    def test_bit_stream_identical_across_compaction(self):
+        """take() must reproduce serial LFSR31.step() bit for bit, well
+        past the ladder's growth doublings and the history compaction
+        threshold."""
+        serial = LFSR31(12345)
+        vector = _VectorLFSR31(12345)
+        total = 2 * _HISTORY_BITS + 12_345
+        expected = np.fromiter(
+            (serial.step() for _ in range(total)), dtype=np.uint8, count=total
+        )
+        got = []
+        taken = 0
+        rng = np.random.default_rng(0)
+        while taken < total:
+            n = min(int(rng.integers(1, 70_000)), total - taken)
+            got.append(np.array(vector.take(n), copy=True))
+            taken += n
+        np.testing.assert_array_equal(np.concatenate(got), expected)
+
+    def test_scalar_next_bits_protocol(self):
+        serial = LFSR31(77)
+        vector = _VectorLFSR31(77)
+        for width in (1, 3, 8, 13, 31):
+            assert vector.next_bits(width) == serial.next_bits(width)
+        with pytest.raises(HardwareModelError):
+            vector.next_bits(0)
+
+
+class TestVectorizedGaussian:
+    @pytest.mark.parametrize("resolution", [5, 8])
+    def test_samples_bitwise_equal_serial(self, resolution):
+        serial = HardwareGaussian(seeds=SEEDS, resolution=resolution)
+        vector = VectorizedHardwareGaussian(seeds=SEEDS, resolution=resolution)
+        expected = serial.samples(4_000)
+        got = vector.samples(4_000)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_interleaved_draw_sizes_preserve_stream(self):
+        serial = HardwareGaussian(seeds=SEEDS)
+        vector = VectorizedHardwareGaussian(seeds=SEEDS)
+        chunks_serial, chunks_vector = [], []
+        for n in (1, 17, 256, 3, 1000, 1):
+            chunks_serial.append(serial.samples(n))
+            chunks_vector.append(vector.samples(n))
+        np.testing.assert_array_equal(
+            np.concatenate(chunks_vector), np.concatenate(chunks_serial)
+        )
+
+    def test_single_sample_and_intervals_match(self):
+        serial = HardwareGaussian(seeds=SEEDS)
+        vector = VectorizedHardwareGaussian(seeds=SEEDS)
+        assert vector.sample() == serial.sample()
+        np.testing.assert_array_equal(
+            vector.intervals(30.0, 10), serial.intervals(30.0, 10)
+        )
+
+    def test_rejects_negative_count(self):
+        vector = VectorizedHardwareGaussian(seeds=SEEDS)
+        with pytest.raises(HardwareModelError):
+            vector.samples(-1)
+        assert vector.samples(0).size == 0
+
+
+# ----------------------------------------------------------------------
+# The folded SNNwt fast paths
+# ----------------------------------------------------------------------
+
+
+class TestSpikeScheduleEquivalence:
+    def test_bulk_schedule_equals_serial(self, trained_snn):
+        network, test_set = trained_snn
+        fast = FoldedSNNwtSimulator(network, 16, seed=3)
+        serial = FoldedSNNwtSimulator(network, 16, seed=3)
+        for image in test_set.images[:4]:
+            bulk = fast._spike_schedule(image)
+            reference = serial._spike_schedule_serial(image)
+            assert len(bulk) == len(reference)
+            for t, (a, b) in enumerate(zip(bulk, reference)):
+                np.testing.assert_array_equal(
+                    np.asarray(a), np.asarray(b), err_msg=f"step {t}"
+                )
+
+
+class TestRunImageEquivalence:
+    def test_fast_run_image_equals_serial_walk(self, trained_snn):
+        """Winners and full traces must match the cycle-by-cycle oracle
+        (both simulators consume identical RNG streams by the schedule
+        equivalence above)."""
+        network, test_set = trained_snn
+        fast = FoldedSNNwtSimulator(network, 8, seed=5)
+        serial = FoldedSNNwtSimulator(network, 8, seed=5)
+        for image in test_set.images[:8]:
+            w_fast, t_fast = fast.run_image(image)
+            w_serial, t_serial = serial.run_image_serial(image)
+            assert w_fast == w_serial
+            assert t_fast == t_serial
+
+    def test_injector_routes_to_serial_walk(self, trained_snn):
+        network, test_set = trained_snn
+        injector = FaultInjector(FaultConfig(seed=2))  # all rates zero
+        faulted = FoldedSNNwtSimulator(network, 8, seed=5, injector=injector)
+        clean = FoldedSNNwtSimulator(network, 8, seed=5)
+        w_faulted, t_faulted = faulted.run_image(test_set.images[0])
+        w_clean, t_clean = clean.run_image(test_set.images[0])
+        assert w_faulted == w_clean
+        assert t_faulted == t_clean
+
+    def test_predict_with_cycles_matches_predict(self, trained_snn):
+        network, test_set = trained_snn
+        images = test_set.images[:6]
+        labels, cycles = FoldedSNNwtSimulator(network, 16, seed=7).predict_with_cycles(
+            images
+        )
+        expected = FoldedSNNwtSimulator(network, 16, seed=7).predict(images)
+        np.testing.assert_array_equal(labels, expected)
+        sim = FoldedSNNwtSimulator(network, 16, seed=7)
+        assert np.all(cycles == sim.cycles_per_image())
+
+
+# ----------------------------------------------------------------------
+# The folded MLP / SNNwot clean paths
+# ----------------------------------------------------------------------
+
+
+class TestMLPCleanPath:
+    @pytest.mark.parametrize("ni", [4, 16])
+    def test_gemv_equals_rate_zero_chunk_walk(self, quantized_mlp, ni):
+        rng = np.random.default_rng(3)
+        images = rng.random((5, 784))
+        clean = FoldedMLPSimulator(quantized_mlp, ni)
+        walked = FoldedMLPSimulator(
+            quantized_mlp, ni, injector=FaultInjector(FaultConfig(seed=4))
+        )
+        for image in images:
+            codes_clean, trace_clean = clean.run_image(image)
+            codes_walk, trace_walk = walked.run_image(image)
+            np.testing.assert_array_equal(codes_clean, codes_walk)
+            assert trace_clean == trace_walk
+
+    def test_predict_with_cycles(self, quantized_mlp):
+        rng = np.random.default_rng(4)
+        images = rng.random((6, 784))
+        sim = FoldedMLPSimulator(quantized_mlp, 8)
+        winners, cycles = sim.predict_with_cycles(images)
+        np.testing.assert_array_equal(winners, sim.predict(images))
+        assert np.all(cycles == sim.cycles_per_image())
+
+
+class TestSNNwotCleanPath:
+    def test_gemv_equals_rate_zero_chunk_walk(self, trained_snn):
+        network, test_set = trained_snn
+        wot = SNNWithoutTime(network)
+        clean = FoldedSNNwotSimulator(wot, 16)
+        walked = FoldedSNNwotSimulator(
+            wot, 16, injector=FaultInjector(FaultConfig(seed=6))
+        )
+        for image in test_set.images[:5]:
+            w_clean, t_clean = clean.run_image(image)
+            w_walk, t_walk = walked.run_image(image)
+            assert w_clean == w_walk
+            assert t_clean == t_walk
+
+    def test_predict_with_cycles(self, trained_snn):
+        network, test_set = trained_snn
+        wot = SNNWithoutTime(network)
+        sim = FoldedSNNwotSimulator(wot, 16)
+        labels, cycles = sim.predict_with_cycles(test_set.images[:6])
+        np.testing.assert_array_equal(labels, sim.predict(test_set.images[:6]))
+        assert np.all(cycles == sim.cycles_per_image())
+
+
+# ----------------------------------------------------------------------
+# Numerical properties the fast paths rest on
+# ----------------------------------------------------------------------
+
+
+class TestNumericalProperties:
+    def test_int64_reduceat_equals_serial_segment_sums(self):
+        """Integer addition is associative (int64 wraps modularly), so
+        reduceat segments equal left-to-right sums exactly."""
+        rng = np.random.default_rng(5)
+        rows = rng.integers(-(2**40), 2**40, size=(500, 20), dtype=np.int64)
+        bounds = np.sort(rng.choice(500, size=30, replace=False))
+        bounds[0] = 0
+        got = np.add.reduceat(rows, bounds, axis=0)
+        for i, start in enumerate(bounds):
+            stop = bounds[i + 1] if i + 1 < bounds.size else rows.shape[0]
+            expected = np.zeros(20, dtype=np.int64)
+            for r in range(start, stop):
+                expected = expected + rows[r]
+            np.testing.assert_array_equal(got[i], expected)
+
+    def test_cumsum_is_sequential_left_fold(self):
+        """np.cumsum along axis 1 must equal the serial running total —
+        the property the bulk spike-time accumulation relies on."""
+        rng = np.random.default_rng(6)
+        intervals = rng.uniform(1.0, 60.0, size=(50, 40))
+        intervals *= 10.0 ** rng.integers(-2, 3, size=intervals.shape)
+        got = np.cumsum(intervals, axis=1)
+        expected = np.empty_like(intervals)
+        for p in range(intervals.shape[0]):
+            t = 0.0
+            for k in range(intervals.shape[1]):
+                t += intervals[p, k]
+                expected[p, k] = t
+        np.testing.assert_array_equal(got, expected)
+
+    def test_inplace_leak_matches_lut_helper(self):
+        from repro.hardware.leak_lut import (
+            apply_fixed_point_leak,
+            leak_factor_fixed_point,
+        )
+
+        code = leak_factor_fixed_point(500.0)
+        rng = np.random.default_rng(7)
+        potentials = rng.integers(-(2**20), 2**20, size=200, dtype=np.int64)
+        expected = apply_fixed_point_leak(potentials.copy(), code)
+        inplace = potentials.copy()
+        np.multiply(inplace, code, out=inplace)
+        np.right_shift(inplace, 15, out=inplace)
+        np.testing.assert_array_equal(inplace, expected)
