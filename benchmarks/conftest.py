@@ -10,6 +10,7 @@ rows.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -19,6 +20,49 @@ from repro.analysis.report import render_result
 from repro.core import registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Host-metadata keys every BENCH_*.json record carries as of PR 4
+#: (see :func:`repro.core.hostinfo.host_metadata`).
+HOST_KEYS = ("cpu_count", "platform", "machine", "python", "numpy", "git_sha")
+
+
+def _backfill_host(record: dict) -> None:
+    """Ensure ``record["host"]`` exists with every HOST_KEYS entry.
+
+    Pre-PR4 payloads carried no ``host`` block (at best loose
+    ``python`` / ``numpy`` / ``machine`` fields); readers written
+    against the new shape can rely on the keys existing, with ``None``
+    marking genuinely unrecorded values.
+    """
+    host = record.get("host")
+    if not isinstance(host, dict):
+        host = {}
+    for key in HOST_KEYS:
+        host.setdefault(key, record.get(key))
+    record["host"] = host
+
+
+def load_bench(path) -> dict:
+    """Backfill-safe reader for any committed ``BENCH_*.json``.
+
+    Returns ``{}`` for a missing/corrupt file.  Otherwise guarantees a
+    ``host`` block (see :func:`_backfill_host`) on the top level *and*
+    on every per-scale record under ``"scales"``, so comparisons
+    between old and new payloads never KeyError on host metadata.
+    """
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    _backfill_host(payload)
+    scales = payload.get("scales")
+    if isinstance(scales, dict):
+        for record in scales.values():
+            if isinstance(record, dict):
+                _backfill_host(record)
+    return payload
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -176,8 +176,12 @@ def _dump_json():
             existing = json.loads(OUTPUT_PATH.read_text())
         except (ValueError, OSError):
             existing = {}
+    from repro.core.hostinfo import host_metadata
+
     existing.setdefault("scales", {})[SCALE] = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": host_metadata(REPO_ROOT),
+        # Kept alongside host metadata for readers of older payloads.
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),

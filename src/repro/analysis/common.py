@@ -14,9 +14,10 @@ variable (e.g. ``REPRO_SCALE=2.0``) to scale all dataset sizes.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from functools import lru_cache
-from typing import Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.artifacts import cached_train, coder_signature
 from ..core.config import MLPConfig, SNNConfig
@@ -44,22 +45,138 @@ def _scaled(n: int) -> int:
     return max(int(round(n * scale_factor())), 50)
 
 
+#: Worker-side table of datasets attached from shared memory, primed
+#: by :func:`_attach_shared_datasets` (the ``report --jobs`` pool
+#: initializer).  Keyed by (loader name, n_train, n_test) *call*
+#: arguments, so only the exact default invocations the parent
+#: published resolve against the segment; any other size regenerates
+#: locally.  Dataset generation is deterministic, so the shared path
+#: is byte-identical to regeneration — sharing only saves the work and
+#: the per-process memory.
+_SHARED_DATASETS: Dict[Tuple[str, int, int], Tuple[Dataset, Dataset]] = {}
+
+#: The attached bundle (kept referenced so the mapping stays alive for
+#: the worker's lifetime).
+_SHARED_BUNDLE = None
+
+#: Published (n_train, n_test) defaults per loader — must match the
+#: function signatures below.
+_DATASET_DEFAULTS = {
+    "digits": (2000, 500),
+    "shapes": (1200, 300),
+    "spoken": (1200, 300),
+}
+
+
 @lru_cache(maxsize=4)
 def digits(n_train: int = 2000, n_test: int = 500) -> Tuple[Dataset, Dataset]:
     """The MNIST-substitute train/test pair (cached)."""
+    shared = _SHARED_DATASETS.get(("digits", n_train, n_test))
+    if shared is not None:
+        return shared
     return load_digits(n_train=_scaled(n_train), n_test=_scaled(n_test))
 
 
 @lru_cache(maxsize=2)
 def shapes(n_train: int = 1200, n_test: int = 300) -> Tuple[Dataset, Dataset]:
     """The MPEG-7-substitute train/test pair (cached)."""
+    shared = _SHARED_DATASETS.get(("shapes", n_train, n_test))
+    if shared is not None:
+        return shared
     return load_shapes(n_train=_scaled(n_train), n_test=_scaled(n_test))
 
 
 @lru_cache(maxsize=2)
 def spoken(n_train: int = 1200, n_test: int = 300) -> Tuple[Dataset, Dataset]:
     """The Spoken-Arabic-Digits-substitute train/test pair (cached)."""
+    shared = _SHARED_DATASETS.get(("spoken", n_train, n_test))
+    if shared is not None:
+        return shared
     return load_spoken(n_train=_scaled(n_train), n_test=_scaled(n_test))
+
+
+@contextlib.contextmanager
+def shared_dataset_export(which: Tuple[str, ...] = ("digits", "shapes", "spoken")):
+    """Publish the standard dataset pairs into shared memory.
+
+    Yields ``(initializer, initargs)`` for a process pool: every worker
+    runs ``initializer(*initargs)`` once at startup and thereafter
+    resolves the default :func:`digits` / :func:`shapes` /
+    :func:`spoken` calls against read-only views of the parent's one
+    shared segment instead of regenerating its own copies.  When shared
+    memory is unavailable (sandboxes without ``/dev/shm``), yields
+    ``(None, ())`` — the pool then runs exactly as before; sharing is
+    an optimization, never a requirement.
+
+    The parent's own ``lru_cache`` is warmed as a side effect (the
+    datasets must exist to be published), so serial portions of the
+    run also skip regeneration.
+    """
+    from ..core.errors import ServingError
+    from ..serve.shm import SharedArrayBundle
+
+    loaders = {"digits": digits, "shapes": shapes, "spoken": spoken}
+    arrays: Dict[str, Any] = {}
+    meta: List[Dict[str, Any]] = []
+    for name in which:
+        train_set, test_set = loaders[name]()
+        for split, dataset in (("train", train_set), ("test", test_set)):
+            arrays[f"{name}/{split}/images"] = dataset.images
+            arrays[f"{name}/{split}/labels"] = dataset.labels
+        meta.append(
+            {
+                "loader": name,
+                "key": _DATASET_DEFAULTS[name],
+                "n_classes": train_set.n_classes,
+                "dataset_name": train_set.name,
+            }
+        )
+    try:
+        bundle = SharedArrayBundle.create(arrays)
+    except ServingError:
+        yield None, ()
+        return
+    try:
+        yield _attach_shared_datasets, (bundle.spec(), meta)
+    finally:
+        bundle.close(unlink=True)
+
+
+def _attach_shared_datasets(bundle_spec, meta) -> None:
+    """Pool initializer: attach the segment and prime the dataset table.
+
+    Any failure falls back silently to local regeneration — the worker
+    still produces byte-identical results, just without the sharing.
+    """
+    global _SHARED_BUNDLE
+    import multiprocessing
+
+    from ..core.errors import ServingError
+    from ..serve.shm import SharedArrayBundle
+
+    try:
+        start_method = multiprocessing.get_start_method(allow_none=False)
+    except Exception:  # pragma: no cover - platform quirk
+        start_method = "spawn"
+    try:
+        bundle = SharedArrayBundle.attach(
+            *bundle_spec, untrack=(start_method != "fork")
+        )
+    except ServingError:
+        return
+    _SHARED_BUNDLE = bundle
+    for entry in meta:
+        name = entry["loader"]
+        pair = tuple(
+            Dataset(
+                images=bundle[f"{name}/{split}/images"],
+                labels=bundle[f"{name}/{split}/labels"],
+                n_classes=entry["n_classes"],
+                name=entry["dataset_name"],
+            )
+            for split in ("train", "test")
+        )
+        _SHARED_DATASETS[(name, *entry["key"])] = pair
 
 
 def train_mlp_model(

@@ -106,7 +106,25 @@ def full_report(
     pool (:func:`repro.core.experiment.run_experiments`); rendering
     always happens here, in id order, so the report text is the same
     as a serial run's (modulo the wall-clock ``elapsed:`` lines).
+    Pool workers resolve the standard datasets against one
+    shared-memory segment published by this process
+    (:func:`repro.analysis.common.shared_dataset_export`) instead of
+    regenerating per-process copies; generation is deterministic, so
+    the report text is byte-identical either way.
     """
     ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
-    results = run_experiments(ids, policy=policy, jobs=jobs, **kwargs)
+    if jobs > 1 and len(ids) > 1:
+        from .common import shared_dataset_export
+
+        with shared_dataset_export() as (initializer, initargs):
+            results = run_experiments(
+                ids,
+                policy=policy,
+                jobs=jobs,
+                initializer=initializer,
+                initargs=initargs,
+                **kwargs,
+            )
+    else:
+        results = run_experiments(ids, policy=policy, jobs=jobs, **kwargs)
     return "\n".join(render_result(result) for result in results)

@@ -8,7 +8,12 @@ Commands:
 * ``recommend [options]``       — the Section 7 designer guidance;
 * ``sample <dataset>``          — ASCII contact sheet of a workload;
 * ``fields``                    — train a small SNN and show its
-                                  receptive fields as ASCII art.
+                                  receptive fields as ASCII art;
+* ``loadtest [options]``        — drive the inference serving layer
+                                  with generated load and report
+                                  throughput / latency / batching;
+* ``serve-stats <file>``        — pretty-print a stats JSON written by
+                                  ``loadtest --output``.
 
 The CLI is a thin shell over :mod:`repro.analysis`; everything it does
 is available programmatically.
@@ -88,21 +93,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
         wall_start = time.perf_counter()
     status = 0
     if args.jobs > 1:
+        from .analysis.common import shared_dataset_export
         from .core.experiment import run_experiments
 
-        results = run_experiments(list(ids), policy=policy, jobs=args.jobs)
+        # Publish the standard datasets once; workers attach read-only
+        # shared-memory views instead of regenerating per-process
+        # copies (falls back to regeneration when shm is unavailable).
+        with shared_dataset_export() as (initializer, initargs):
+            results = run_experiments(
+                list(ids),
+                policy=policy,
+                jobs=args.jobs,
+                initializer=initializer,
+                initargs=initargs,
+            )
         for result in results:
             print(render_result(result))
     else:
         for experiment_id in ids:
             print(run_and_render(experiment_id, policy=policy))
     if timings:
+        from .core.artifacts import CacheStats, cache_stats
+
         wall = time.perf_counter() - wall_start
         print(timing.report(wall=wall))
+        print(f"  model cache: {CacheStats(**cache_stats()).summary()}")
         if args.jobs > 1:
             print(
                 "  note: --jobs > 1 runs experiments in worker processes; "
-                "their per-phase timers are not aggregated here."
+                "their per-phase timers and cache counters are not "
+                "aggregated here."
             )
     return status
 
@@ -165,6 +185,67 @@ def _cmd_fields(args: argparse.Namespace) -> int:
     SNNTrainer(network).fit(train)
     sheet = receptive_field_sheet(network.weights, side=28, columns=args.columns)
     print(ascii_image(sheet))
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .core.errors import ServingError
+    from .serve.loadgen import KNOWN_MODELS, run_loadtest
+    from .serve.metrics import dump_stats, render_stats
+
+    _apply_cache_flags(args)
+    models = [s.strip() for s in args.model.split(",") if s.strip()]
+    unknown = sorted(set(models) - set(KNOWN_MODELS))
+    if not models or unknown:
+        print(
+            f"unknown model(s) {unknown or models}; "
+            f"pick from {list(KNOWN_MODELS)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        payload = run_loadtest(
+            models=models,
+            dataset=args.dataset,
+            jobs=args.jobs,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            max_queue=args.max_queue,
+            duration_seconds=args.duration,
+            concurrency=args.concurrency,
+            mode=args.mode,
+            offered_rps=args.rps,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    except ServingError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(render_stats(payload))
+    verified = payload.get("bit_identical")
+    if verified is not None:
+        ok = all(verified.values())
+        print(
+            "bit-identical to direct predictions: "
+            + (", ".join(f"{k}={'yes' if v else 'NO'}" for k, v in sorted(verified.items())))
+        )
+        if not ok:
+            return 1
+    if args.output:
+        dump_stats(payload, args.output)
+        print(f"stats written to {args.output}")
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    from .serve.metrics import load_stats, render_stats
+
+    try:
+        payload = load_stats(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {args.file!r}: {error}", file=sys.stderr)
+        return 1
+    print(render_stats(payload))
     return 0
 
 
@@ -266,6 +347,94 @@ def build_parser() -> argparse.ArgumentParser:
     fields.add_argument("--epochs", type=int, default=1)
     fields.add_argument("--columns", type=int, default=5)
     fields.set_defaults(fn=_cmd_fields)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive the serving layer with generated load"
+    )
+    loadtest.add_argument(
+        "--model",
+        default="snnwot",
+        help="comma-separated served models: mlp, mlp-q, snnwt, snnwot, snnbp",
+    )
+    loadtest.add_argument(
+        "--dataset", default="digits", help="digits | shapes | spoken"
+    )
+    loadtest.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker shard processes (0 = serve in-process)",
+    )
+    loadtest.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="largest coalesced batch per engine call",
+    )
+    loadtest.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="batching window opened by the first queued request",
+    )
+    loadtest.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="admission-control queue bound (beyond it requests shed)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0, help="seconds of load per model"
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop client threads",
+    )
+    loadtest.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed = fixed concurrency; open = fixed arrival rate",
+    )
+    loadtest.add_argument(
+        "--rps",
+        type=float,
+        default=200.0,
+        help="offered requests/second (open mode)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the served-vs-direct bit-identity check",
+    )
+    loadtest.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the full stats payload as JSON",
+    )
+    loadtest.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed trained-model cache",
+    )
+    loadtest.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="override the trained-model cache directory",
+    )
+    loadtest.set_defaults(fn=_cmd_loadtest)
+
+    serve_stats = subparsers.add_parser(
+        "serve-stats", help="pretty-print a serving stats JSON file"
+    )
+    serve_stats.add_argument("file", help="stats JSON written by loadtest --output")
+    serve_stats.set_defaults(fn=_cmd_serve_stats)
     return parser
 
 

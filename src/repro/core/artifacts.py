@@ -141,6 +141,13 @@ class CacheStats:
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
 
+    def summary(self) -> str:
+        """One-line human-readable rendering (``repro report --timings``)."""
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s), {self.errors} corrupt-entry error(s)"
+        )
+
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.errors = 0
 

@@ -42,3 +42,17 @@ class SerializationError(ReproError):
 
 class ExperimentTimeoutError(ExperimentError):
     """An experiment attempt exceeded its wall-clock budget."""
+
+
+class ServingError(ReproError):
+    """The inference serving layer could not accept or complete a request."""
+
+
+class Overloaded(ServingError):
+    """Admission control shed the request (bounded queue at capacity).
+
+    Raised *instead of* blocking: under overload the serving layer
+    fails fast so callers can back off, rather than letting latency
+    grow without bound.  Carries no partial result — the request was
+    never enqueued.
+    """

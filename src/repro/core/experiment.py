@@ -393,6 +393,8 @@ def run_experiments(
     experiment_ids: List[str],
     policy: Optional[RunPolicy] = None,
     jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
     **kwargs: Any,
 ) -> List[ExperimentResult]:
     """Run registered experiments, optionally across worker processes.
@@ -400,6 +402,9 @@ def run_experiments(
     Results come back **in the order of ``experiment_ids``** no matter
     which worker finishes first, so parallel reports are deterministic.
     ``jobs <= 1`` (or a single experiment) runs serially in-process.
+    ``initializer(*initargs)`` runs once in every worker at startup
+    (e.g. :func:`repro.analysis.common._attach_shared_datasets`, which
+    points the dataset caches at the parent's shared-memory segment).
     If the process pool cannot be created or breaks (sandboxed
     environments, missing semaphores, unpicklable payloads), the run
     falls back to the serial path instead of failing — parallelism is
@@ -415,7 +420,11 @@ def run_experiments(
     try:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
             futures = {
                 experiment_id: pool.submit(
                     run_experiment_by_id, experiment_id, policy, kwargs

@@ -1,0 +1,59 @@
+"""Host metadata for benchmark payloads.
+
+Every ``BENCH_*.json`` file the perf harnesses write carries a
+``host`` block describing the machine that produced the numbers
+(CPU count, platform, Python / NumPy versions, git SHA).  Without it
+the committed bench trajectory mixes results from different machines
+with no way to tell them apart; with it, regressions can be separated
+from hardware changes.
+
+The collector never fails: anything it cannot determine (e.g. the git
+SHA outside a checkout) is reported as ``None`` rather than raising,
+so benchmark teardown cannot be broken by an exotic host.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current checkout's commit SHA, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def host_metadata(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """A JSON-serializable description of the benchmarking host.
+
+    Keys are stable (readers may rely on them); values are best-effort
+    and ``None`` when undeterminable.  ``cwd`` locates the git
+    checkout whose SHA is recorded (default: the process CWD).
+    """
+    try:
+        import numpy as np
+
+        numpy_version: Optional[str] = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "git_sha": git_sha(cwd),
+    }

@@ -18,6 +18,13 @@ The timers are deliberately cheap (two ``perf_counter`` calls and a
 dict update per phase entry) so leaving the instrumentation on
 permanently costs nothing measurable next to training or simulation.
 
+Thread safety: the phase *stack* is thread-local (each thread's
+nesting is attributed independently — required by the serving layer,
+whose micro-batcher threads time ``serve-batch`` phases while the
+main thread times the load generator), and the accumulated totals are
+guarded by a lock, so concurrent phases from different threads sum
+correctly instead of corrupting a shared stack.
+
 Limitations: the registry is per-process.  ``repro report --jobs N``
 with ``N > 1`` runs experiments in worker processes whose timers are
 not aggregated back; the CLI notes this when both flags are combined.
@@ -25,20 +32,30 @@ not aggregated back; the CLI notes this when both flags are combined.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-#: Accumulated exclusive seconds per phase name.
+#: Accumulated exclusive seconds per phase name (lock-guarded).
 _totals: Dict[str, float] = {}
+_totals_lock = threading.Lock()
 
-#: Stack of (name, started_at, child_seconds) for active phases.
-_stack: List[list] = []
+#: Per-thread stack of (name, started_at, child_seconds) frames.
+_local = threading.local()
+
+
+def _stack() -> List[list]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 def reset() -> None:
     """Clear all accumulated phase totals (active phases keep running)."""
-    _totals.clear()
+    with _totals_lock:
+        _totals.clear()
 
 
 @contextmanager
@@ -47,23 +64,27 @@ def phase(name: str) -> Iterator[None]:
 
     Nested phases subtract their time from the enclosing phase, so a
     ``phase("eval")`` inside ``phase("train")`` bills only "eval" for
-    the inner span.  Re-entrant and exception safe.
+    the inner span.  Re-entrant, exception safe, and safe to use from
+    multiple threads at once (nesting is tracked per thread).
     """
+    stack = _stack()
     frame = [name, time.perf_counter(), 0.0]
-    _stack.append(frame)
+    stack.append(frame)
     try:
         yield
     finally:
-        _stack.pop()
+        stack.pop()
         elapsed = time.perf_counter() - frame[1]
-        _totals[name] = _totals.get(name, 0.0) + elapsed - frame[2]
-        if _stack:
-            _stack[-1][2] += elapsed
+        with _totals_lock:
+            _totals[name] = _totals.get(name, 0.0) + elapsed - frame[2]
+        if stack:
+            stack[-1][2] += elapsed
 
 
 def totals() -> Dict[str, float]:
     """A copy of the accumulated exclusive seconds per phase."""
-    return dict(_totals)
+    with _totals_lock:
+        return dict(_totals)
 
 
 def report(wall: Optional[float] = None) -> str:
@@ -73,9 +94,10 @@ def report(wall: Optional[float] = None) -> str:
     percentage column and an "other" row for unattributed time are
     included.
     """
-    rows = sorted(_totals.items(), key=lambda item: -item[1])
+    snapshot = totals()
+    rows = sorted(snapshot.items(), key=lambda item: -item[1])
     if wall is not None:
-        attributed = sum(_totals.values())
+        attributed = sum(snapshot.values())
         rows.append(("other", max(wall - attributed, 0.0)))
     if not rows:
         return "timings: no instrumented phases ran"

@@ -87,6 +87,16 @@ class MLP:
         """Predictions for every sample of a :class:`Dataset`."""
         return self.predict(dataset.normalized())
 
+    def predict_images(self, images: np.ndarray) -> np.ndarray:
+        """Predictions for raw 8-bit luminance rows (the serving format).
+
+        Applies the same [0, 1] normalization as
+        :meth:`~repro.datasets.base.Dataset.normalized`, so serving a
+        request row by row is bit-identical to dataset evaluation.
+        """
+        images = np.atleast_2d(np.asarray(images))
+        return self.predict(images.astype(np.float64) / 255.0)
+
     def copy_weights_from(self, other: "MLP") -> None:
         """Copy all parameters from another MLP of identical topology."""
         if other.w_hidden.shape != self.w_hidden.shape or other.w_output.shape != self.w_output.shape:

@@ -214,3 +214,13 @@ class QuantizedMLP:
 
     def predict_dataset(self, dataset) -> np.ndarray:
         return self.predict(dataset.normalized())
+
+    def predict_images(self, images: np.ndarray) -> np.ndarray:
+        """Predictions for raw 8-bit luminance rows (the serving format).
+
+        Mirrors :meth:`repro.mlp.network.MLP.predict_images`: the same
+        [0, 1] normalization as dataset evaluation, so a served request
+        is bit-identical to the corresponding ``predict_dataset`` row.
+        """
+        images = np.atleast_2d(np.asarray(images))
+        return self.predict(images.astype(np.float64) / 255.0)

@@ -1,0 +1,48 @@
+"""High-throughput inference serving over the reproduced models.
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.batcher` — dynamic micro-batching scheduler
+  (``max_batch`` / ``max_wait_us`` window, bounded queue, graceful
+  drain).
+* :mod:`repro.serve.engine` — model runners + the routing
+  :class:`~repro.serve.engine.InferenceServer`.
+* :mod:`repro.serve.workers` — sharded worker pool over zero-copy
+  shared-memory weights (kill-tolerant).
+* :mod:`repro.serve.shm` — the shared-memory array bundle (also used
+  by ``repro report --jobs``).
+* :mod:`repro.serve.metrics` — queue / batch / latency accounting and
+  the ``serve-stats`` rendering.
+* :mod:`repro.serve.loadgen` — closed/open-loop load generation and
+  the ``repro loadtest`` driver.
+
+The load-bearing invariant, asserted across the test suite: serving is
+a *latency* transformation, never a *value* one — every served label
+is bit-identical to the corresponding direct ``predict`` call, at any
+batch size, concurrency, or backend.
+"""
+
+from ..core.errors import Overloaded, ServingError
+from .batcher import BatchPolicy, MicroBatcher
+from .engine import ArrayRunner, InferenceServer, ModelRunner, SNNwtRunner, build_runners
+from .metrics import ServingMetrics, dump_stats, load_stats, render_stats
+from .shm import SharedArrayBundle
+from .workers import ShardedPool
+
+__all__ = [
+    "ArrayRunner",
+    "BatchPolicy",
+    "InferenceServer",
+    "MicroBatcher",
+    "ModelRunner",
+    "Overloaded",
+    "ServingError",
+    "ServingMetrics",
+    "SharedArrayBundle",
+    "ShardedPool",
+    "SNNwtRunner",
+    "build_runners",
+    "dump_stats",
+    "load_stats",
+    "render_stats",
+]

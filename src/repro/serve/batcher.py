@@ -1,0 +1,238 @@
+"""Dynamic micro-batching scheduler.
+
+Single-image requests arrive one at a time; the batched engines
+(:mod:`repro.snn.batched`, the GEMM clean paths) are fastest when fed
+many images at once.  :class:`MicroBatcher` bridges the two: callers
+``submit()`` individual payloads and immediately receive a
+:class:`concurrent.futures.Future`; a dedicated scheduler thread
+coalesces queued payloads into batches under a
+``max_batch`` / ``max_wait_us`` policy and runs them through one
+batched-engine call, then routes each result back to its future
+positionally.
+
+Correctness guarantees:
+
+* **Deterministic, bit-identical routing.**  Result ``i`` of the
+  batch call answers request ``i`` of the batch — and because every
+  model runner derives per-request randomness from the request's own
+  ``index`` (``child_rng(seed, stream, index)``, the PR2 scheme), the
+  *value* of each result is independent of which requests happened to
+  be coalesced together.  Dynamic batching can change latency, never
+  answers.  (Asserted by ``tests/serve/test_engine.py`` and the PR4
+  bench.)
+* **Bounded memory.**  The queue holds at most ``max_queue`` pending
+  requests; beyond that, ``submit`` sheds with
+  :class:`~repro.core.errors.Overloaded` instead of buffering without
+  bound.
+* **Graceful drain.**  ``close(drain=True)`` (the default) stops
+  admissions, lets the scheduler finish every queued request, then
+  joins the thread.  ``close(drain=False)`` cancels queued requests
+  with :class:`~repro.core.errors.ServingError`.
+
+The latency policy mirrors what GPU inference servers call *dynamic
+batching*: the first queued request opens a batching window of
+``max_wait_us``; the batch is dispatched as soon as it is full
+(``max_batch``) or the window expires, whichever comes first.  Under
+load the window never expires — the queue refills faster than the
+engine drains it, so batches run full and the wait cost vanishes.
+At low load the worst-case added latency is exactly ``max_wait_us``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..core.errors import Overloaded, ServingError
+from .metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic micro-batching scheduler.
+
+    Attributes:
+        max_batch: largest coalesced batch handed to the engine.
+        max_wait_us: batching window opened by the first queued
+            request, in microseconds.  0 dispatches immediately with
+            whatever is queued (latency-optimal, throughput-pessimal).
+        max_queue: admission-control bound on queued requests;
+            ``submit`` beyond it raises ``Overloaded``.
+    """
+
+    max_batch: int = 16
+    max_wait_us: float = 2000.0
+    max_queue: int = 1024
+
+    def validate(self) -> "BatchPolicy":
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_us < 0:
+            raise ServingError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {self.max_queue}")
+        return self
+
+
+class _Pending:
+    """One queued request: payload + future + enqueue timestamp."""
+
+    __slots__ = ("payload", "future", "enqueued_at")
+
+    def __init__(self, payload: Any, enqueued_at: float):
+        self.payload = payload
+        self.future: Future = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesces submitted payloads into batched ``run_batch`` calls.
+
+    Args:
+        run_batch: ``fn(payloads: list) -> sequence`` returning one
+            result per payload, positionally aligned.  Runs on the
+            scheduler thread; exceptions fail that batch's futures.
+        policy: the :class:`BatchPolicy`.
+        metrics: optional :class:`ServingMetrics` receiving queue /
+            batch / latency observations.
+        name: thread-name suffix for diagnostics.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[List[Any]], Sequence[Any]],
+        policy: Optional[BatchPolicy] = None,
+        metrics: Optional[ServingMetrics] = None,
+        name: str = "model",
+    ):
+        self.policy = (policy or BatchPolicy()).validate()
+        self.metrics = metrics if metrics is not None else ServingMetrics(
+            self.policy.max_batch
+        )
+        self._run_batch = run_batch
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-batcher-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side ----------------------------------------------------
+
+    def submit(self, payload: Any) -> Future:
+        """Enqueue one payload; returns its future.
+
+        Raises :class:`Overloaded` when the queue is at ``max_queue``
+        (the request is *not* enqueued) and :class:`ServingError`
+        after :meth:`close`.
+        """
+        with self._wake:
+            if self._closed:
+                raise ServingError("batcher is closed; no new requests accepted")
+            depth = len(self._queue)
+            if depth >= self.policy.max_queue:
+                self.metrics.record_shed()
+                raise Overloaded(
+                    f"queue full ({depth}/{self.policy.max_queue} pending); "
+                    "request shed"
+                )
+            pending = _Pending(payload, time.perf_counter())
+            self._queue.append(pending)
+            self.metrics.record_submit(depth)
+            self._wake.notify()
+            return pending.future
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- scheduler thread ----------------------------------------------
+
+    def _collect(self) -> Optional[List[_Pending]]:
+        """Block for the first request, then fill the batching window.
+
+        Returns ``None`` when the batcher is closed and the queue has
+        drained (``close(drain=False)`` empties the queue itself).
+        """
+        policy = self.policy
+        with self._wake:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wake.wait()
+            batch = [self._queue.popleft()]
+            if policy.max_batch == 1:
+                return batch
+            deadline = batch[0].enqueued_at + policy.max_wait_us * 1e-6
+            while len(batch) < policy.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._closed:
+                    break  # drain what we have; don't wait for more
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._wake.wait(remaining)
+            return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            try:
+                results = self._run_batch([p.payload for p in batch])
+            except Exception as exc:  # noqa: BLE001 — fail this batch only
+                self.metrics.record_failed(len(batch))
+                for pending in batch:
+                    pending.future.set_exception(exc)
+                continue
+            if len(results) != len(batch):
+                error = ServingError(
+                    f"runner returned {len(results)} results for a batch of "
+                    f"{len(batch)}"
+                )
+                self.metrics.record_failed(len(batch))
+                for pending in batch:
+                    pending.future.set_exception(error)
+                continue
+            done = time.perf_counter()
+            self.metrics.record_batch([done - p.enqueued_at for p in batch])
+            for pending, result in zip(batch, results):
+                pending.future.set_result(result)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop admissions; finish (or cancel) queued work; join.
+
+        ``drain=True`` completes every already-admitted request before
+        returning.  ``drain=False`` fails queued requests with
+        :class:`ServingError` (the batch in flight still completes).
+        Idempotent.
+        """
+        cancelled: List[_Pending] = []
+        with self._wake:
+            self._closed = True
+            if not drain:
+                cancelled = list(self._queue)
+                self._queue.clear()
+            self._wake.notify_all()
+        for pending in cancelled:
+            pending.future.set_exception(
+                ServingError("batcher closed before the request ran")
+            )
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,394 @@
+"""Inference serving engine: model runners + the routing server.
+
+The pieces:
+
+* **Runners** adapt each trained model family to one uniform call —
+  ``run(indices, images) -> labels`` — so the batcher and the worker
+  shards never special-case model kinds.  :class:`SNNwtRunner` is the
+  interesting one: the timed SNN's forward pass is stochastic, so the
+  runner derives every request's spike train from the request's own
+  dataset index (``child_rng(seed, "snn-test-spikes", index)``, the
+  PR2 scheme) and caches encoded trains per index — encoding is a flat
+  ~0.6 ms/image cost that served traffic pays once, not per request.
+* :class:`InferenceServer` owns one :class:`MicroBatcher` (and one
+  :class:`ServingMetrics`) per served model, routes submissions by
+  model name, resolves index-only requests against an attached image
+  table, and times every coalesced batch under the ``serve-batch``
+  phase.  Backends: in-process runners (default) or a
+  :class:`~repro.serve.workers.ShardedPool` of warm worker processes.
+
+Bit-identity: a served prediction equals the corresponding direct
+``predict`` / ``predict_batch`` call for the same index, independent
+of batch composition, concurrency, or backend — the per-index RNG
+scheme plus the PR2 batched-engine contract guarantee it, and
+``tests/serve/test_engine.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ServingError
+from ..core.rng import SeedLike
+from ..core.timing import phase
+from ..snn.batched import TEST_SPIKE_STREAM, batch_winners, encode_indexed
+from .batcher import BatchPolicy, MicroBatcher
+from .metrics import ServingMetrics
+
+#: A request payload as it sits in the batcher queue.
+Payload = Tuple[int, Optional[np.ndarray]]
+
+
+class ModelRunner:
+    """Uniform interface over one trained model: ``run(indices, images)``."""
+
+    def run(self, indices: Sequence[int], images: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def precode(self, indices: Sequence[int], images: np.ndarray) -> int:
+        """Warm any per-index caches; returns entries added (default 0)."""
+        return 0
+
+
+class ArrayRunner(ModelRunner):
+    """Deterministic models: one vectorized ``predict_fn(images)`` call.
+
+    Fits SNNwot, SNN+BP (both take raw luminance rows) and the float /
+    quantized MLPs (via their ``predict_images``).  ``indices`` are
+    ignored — these forward paths draw no randomness, so the index-
+    keyed RNG scheme is moot and bit-identity is free.
+    """
+
+    def __init__(self, predict_fn):
+        self._predict = predict_fn
+
+    def run(self, indices: Sequence[int], images: np.ndarray) -> np.ndarray:
+        return np.asarray(self._predict(np.atleast_2d(images)))
+
+
+class SNNwtRunner(ModelRunner):
+    """Timed-SNN serving: per-index spike-train cache + batched grid sim.
+
+    Args:
+        network: a trained, labeled :class:`~repro.snn.network.SpikingNetwork`.
+        seed: RNG root for test-time encoding (defaults to the
+            network's config seed, matching ``predict_batch``).
+        stream: RNG stream name (the PR2 test-spike stream).
+        max_cache: bound on cached trains (FIFO eviction); None keeps
+            every index ever served (fine at dataset scale).
+    """
+
+    def __init__(
+        self,
+        network,
+        seed: SeedLike = None,
+        stream: str = TEST_SPIKE_STREAM,
+        max_cache: Optional[int] = None,
+    ):
+        if network.neuron_labels is None:
+            raise ServingError(
+                "cannot serve an unlabeled SNN; run the labeling pass first"
+            )
+        self.network = network
+        self.seed = network.config.seed if seed is None else seed
+        self.stream = stream
+        self.max_cache = max_cache
+        self._trains: Dict[int, Any] = {}
+
+    def _encode_missing(
+        self, indices: Sequence[int], images: np.ndarray
+    ) -> None:
+        missing = [
+            (j, int(index))
+            for j, index in enumerate(indices)
+            if int(index) not in self._trains
+        ]
+        if not missing:
+            return
+        rows = np.atleast_2d(images)[[j for j, _ in missing]]
+        trains = encode_indexed(
+            self.network,
+            rows,
+            [index for _, index in missing],
+            seed=self.seed,
+            stream=self.stream,
+        )
+        for (_, index), train in zip(missing, trains):
+            self._trains[index] = train
+        if self.max_cache is not None:
+            while len(self._trains) > self.max_cache:
+                self._trains.pop(next(iter(self._trains)))
+
+    def precode(self, indices: Sequence[int], images: np.ndarray) -> int:
+        """Encode (and cache) the given rows ahead of traffic."""
+        before = len(self._trains)
+        self._encode_missing(indices, images)
+        return len(self._trains) - before
+
+    def run(self, indices: Sequence[int], images: np.ndarray) -> np.ndarray:
+        for index in indices:
+            if int(index) < 0:
+                raise ServingError(
+                    "snnwt serving needs a dataset index per request; the "
+                    "per-request RNG stream is keyed by index"
+                )
+        self._encode_missing(indices, images)
+        trains = [self._trains[int(index)] for index in indices]
+        winners = batch_winners(self.network, trains, batch_size=len(trains))
+        return np.asarray(self.network.neuron_labels)[winners]
+
+
+def build_runners(
+    models: Dict[str, Any], seed: SeedLike = None
+) -> Dict[str, ModelRunner]:
+    """Wrap a ``name -> trained model`` mapping into runners.
+
+    Dispatches on model type: :class:`~repro.snn.network.SpikingNetwork`
+    gets the caching :class:`SNNwtRunner`; everything else that exposes
+    ``predict_images`` (the MLPs) or ``predict`` (SNNwot, SNN+BP) gets
+    an :class:`ArrayRunner`.
+    """
+    from ..snn.network import SpikingNetwork
+
+    runners: Dict[str, ModelRunner] = {}
+    for name, model in models.items():
+        if isinstance(model, SpikingNetwork):
+            runners[name] = SNNwtRunner(model, seed=seed)
+        elif hasattr(model, "predict_images"):
+            runners[name] = ArrayRunner(model.predict_images)
+        elif hasattr(model, "predict"):
+            runners[name] = ArrayRunner(model.predict)
+        else:
+            raise ServingError(
+                f"model {name!r} ({type(model).__name__}) has no predict API"
+            )
+    return runners
+
+
+class InferenceServer:
+    """Routes single-image requests to per-model micro-batched engines.
+
+    Exactly one backend:
+
+    * ``runners`` — in-process :class:`ModelRunner` instances (the
+      default; what ``build_runners`` produces);
+    * ``pool`` — a :class:`~repro.serve.workers.ShardedPool` whose
+      worker processes hold the models (rebuilt zero-copy from shared
+      memory); the server still owns batching, admission control and
+      metrics, and the pool owns execution.
+
+    ``images`` optionally attaches a read-only ``(N, n_inputs)`` image
+    table so clients can submit *just an index* — the serving-bench
+    shape, where request payloads stay tiny.  With a pool backend and
+    index-only traffic, only indices cross the process boundary; the
+    workers resolve rows against their shared-memory dataset view.
+
+    Args:
+        runners: ``name -> ModelRunner`` (exclusive with ``pool``).
+        policy: shared :class:`BatchPolicy` for every model's batcher.
+        images: optional image table for index-only submissions.
+        pool: optional sharded worker-pool backend.
+    """
+
+    def __init__(
+        self,
+        runners: Optional[Dict[str, ModelRunner]] = None,
+        policy: Optional[BatchPolicy] = None,
+        images: Optional[np.ndarray] = None,
+        pool=None,
+    ):
+        if (runners is None) == (pool is None):
+            raise ServingError("pass exactly one of runners= or pool=")
+        self.runners = dict(runners) if runners is not None else {}
+        self.pool = pool
+        self.policy = (policy or BatchPolicy()).validate()
+        self.images = None if images is None else np.asarray(images)
+        names = sorted(self.runners) if pool is None else sorted(pool.models)
+        if not names:
+            raise ServingError("no models to serve")
+        self.metrics: Dict[str, ServingMetrics] = {}
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._closed = False
+        for name in names:
+            metrics = ServingMetrics(self.policy.max_batch)
+            self.metrics[name] = metrics
+            self._batchers[name] = MicroBatcher(
+                run_batch=self._bind(name),
+                policy=self.policy,
+                metrics=metrics,
+                name=name,
+            )
+
+    @classmethod
+    def from_models(
+        cls,
+        models: Dict[str, Any],
+        policy: Optional[BatchPolicy] = None,
+        images: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+    ) -> "InferenceServer":
+        """In-process server over trained models (see :func:`build_runners`)."""
+        return cls(
+            runners=build_runners(models, seed=seed),
+            policy=policy,
+            images=images,
+        )
+
+    @property
+    def models(self) -> List[str]:
+        return sorted(self._batchers)
+
+    # -- request path ---------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        image: Optional[np.ndarray] = None,
+        index: int = -1,
+    ) -> Future:
+        """Enqueue one request; returns a future resolving to its label.
+
+        Give ``image`` (a raw luminance row), or just ``index`` when an
+        image table is attached.  Raises
+        :class:`~repro.core.errors.Overloaded` when the model's queue
+        is full and :class:`~repro.core.errors.ServingError` for an
+        unknown model or after :meth:`close`.
+        """
+        batcher = self._batchers.get(model)
+        if batcher is None:
+            raise ServingError(
+                f"unknown model {model!r}; serving {self.models}"
+            )
+        if image is None and not self._has_row(index):
+            raise ServingError(
+                f"request for model {model!r} has no image and index "
+                f"{index} is not in the attached table"
+            )
+        return batcher.submit((int(index), image))
+
+    def predict(
+        self,
+        model: str,
+        image: Optional[np.ndarray] = None,
+        index: int = -1,
+        timeout: Optional[float] = 60.0,
+    ) -> int:
+        """Blocking single prediction (``submit().result()``)."""
+        return int(self.submit(model, image=image, index=index).result(timeout))
+
+    def predict_many(
+        self,
+        model: str,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> np.ndarray:
+        """Submit many requests concurrently; gather labels in order."""
+        if images is None and indices is None:
+            raise ServingError("predict_many needs images and/or indices")
+        count = len(images) if images is not None else len(indices)
+        futures = []
+        for j in range(count):
+            image = images[j] if images is not None else None
+            index = int(indices[j]) if indices is not None else j
+            futures.append(self.submit(model, image=image, index=index))
+        return np.array([int(f.result(timeout)) for f in futures], dtype=np.int64)
+
+    # -- warmup / introspection ----------------------------------------
+
+    def warm(
+        self, model: Optional[str] = None, indices: Optional[Sequence[int]] = None
+    ) -> int:
+        """Pre-encode per-index caches against the attached image table.
+
+        Returns the number of cache entries added.  A no-op for
+        deterministic runners and for pool backends (pool workers warm
+        themselves at startup).
+        """
+        if self.images is None or self.pool is not None:
+            return 0
+        if indices is None:
+            indices = range(len(self.images))
+        indices = [int(i) for i in indices]
+        rows = self.images[indices]
+        names = [model] if model is not None else list(self.runners)
+        added = 0
+        for name in names:
+            runner = self.runners.get(name)
+            if runner is None:
+                raise ServingError(f"unknown model {name!r}")
+            added += runner.precode(indices, rows)
+        return added
+
+    def queue_depth(self, model: str) -> int:
+        return self._batchers[model].queue_depth()
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-model metric snapshots (the ``serve-stats`` payload)."""
+        return {
+            "models": {
+                name: {"model": name, **metrics.snapshot()}
+                for name, metrics in self.metrics.items()
+            }
+        }
+
+    # -- batch execution (scheduler threads land here) ------------------
+
+    def _bind(self, name: str):
+        def run_batch(payloads: List[Payload]) -> Sequence[Any]:
+            return self._run_batch(name, payloads)
+
+        return run_batch
+
+    def _has_row(self, index: int) -> bool:
+        if 0 <= index:
+            if self.images is not None and index < len(self.images):
+                return True
+            if self.pool is not None and self.pool.has_row(index):
+                return True
+        return False
+
+    def _resolve_images(self, payloads: List[Payload]) -> np.ndarray:
+        rows = []
+        for index, image in payloads:
+            if image is not None:
+                rows.append(np.asarray(image))
+            elif self.images is not None and 0 <= index < len(self.images):
+                rows.append(self.images[index])
+            else:
+                raise ServingError(
+                    f"no image for request index {index} and no attached table"
+                )
+        return np.stack(rows)
+
+    def _run_batch(self, name: str, payloads: List[Payload]) -> Sequence[Any]:
+        indices = [index for index, _ in payloads]
+        with phase("serve-batch"):
+            if self.pool is not None:
+                if all(image is None for _, image in payloads) and self.pool.has_dataset:
+                    images = None  # workers resolve rows from shared memory
+                else:
+                    images = self._resolve_images(payloads)
+                return self.pool.run_batch(name, indices, images)
+            return self.runners[name].run(indices, self._resolve_images(payloads))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Close every batcher (draining by default) and the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for batcher in self._batchers.values():
+            batcher.close(drain=drain)
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

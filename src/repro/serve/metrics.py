@@ -1,0 +1,225 @@
+"""Serving metrics: queue depth, batch sizes, latency percentiles.
+
+One :class:`ServingMetrics` instance per served model accumulates,
+under a single lock, everything the closed-loop load harness and the
+``repro serve-stats`` view report:
+
+* request counters — submitted / completed / shed (admission control)
+  / failed (runner exception);
+* queue depth at submission time (mean and peak);
+* a batch-size histogram and the derived *occupancy* (mean coalesced
+  batch size over ``max_batch`` — how full the dynamic batches run);
+* request latency (enqueue -> result routed), recorded per request
+  and summarized as p50 / p95 / p99 / mean / max in milliseconds;
+* achieved requests/second over the observation window (first
+  submission to last completion).
+
+Wall-clock sourcing matches :mod:`repro.core.timing`
+(``time.perf_counter``), so serving phase totals and request
+latencies are directly comparable in one report.
+
+Latencies are kept exactly (a float per completed request).  At the
+load-harness scale — tens of thousands of requests per run — that is
+a few hundred kilobytes, and exact percentiles beat a quantized
+histogram for the tail assertions CI makes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Percentiles reported for request latency, in order.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ServingMetrics:
+    """Thread-safe accumulator for one served model's statistics."""
+
+    def __init__(self, max_batch: int = 1, clock=time.perf_counter):
+        self.max_batch = int(max_batch)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.submitted = 0
+            self.completed = 0
+            self.shed = 0
+            self.failed = 0
+            self.queue_depth_peak = 0
+            self._queue_depth_sum = 0
+            self.batch_histogram: Dict[int, int] = {}
+            self._latencies: List[float] = []
+            self._first_submit: Optional[float] = None
+            self._last_complete: Optional[float] = None
+
+    # -- recording hooks (called by the batcher) ------------------------
+
+    def record_submit(self, queue_depth: int) -> None:
+        """One request admitted with ``queue_depth`` requests ahead."""
+        now = self._clock()
+        with self._lock:
+            self.submitted += 1
+            self._queue_depth_sum += queue_depth
+            if queue_depth > self.queue_depth_peak:
+                self.queue_depth_peak = queue_depth
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_shed(self) -> None:
+        """One request rejected by admission control."""
+        with self._lock:
+            self.shed += 1
+
+    def record_batch(self, latencies_seconds: Sequence[float]) -> None:
+        """One coalesced batch completed; per-request latencies in s."""
+        size = len(latencies_seconds)
+        now = self._clock()
+        with self._lock:
+            self.completed += size
+            self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+            self._latencies.extend(float(v) for v in latencies_seconds)
+            self._last_complete = now
+
+    def record_failed(self, count: int) -> None:
+        """``count`` requests failed inside the model runner."""
+        with self._lock:
+            self.failed += int(count)
+
+    # -- summaries ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable summary of everything recorded so far."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            histogram = dict(sorted(self.batch_histogram.items()))
+            batches = sum(histogram.values())
+            occupancy = (
+                self.completed / (batches * self.max_batch) if batches else 0.0
+            )
+            window = None
+            if self._first_submit is not None and self._last_complete is not None:
+                window = max(self._last_complete - self._first_submit, 1e-9)
+            summary: Dict[str, Any] = {
+                "max_batch": self.max_batch,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "failed": self.failed,
+                "batches": batches,
+                "batch_size_histogram": {str(k): v for k, v in histogram.items()},
+                "mean_batch_size": round(self.completed / batches, 3) if batches else 0.0,
+                "batch_occupancy": round(occupancy, 4),
+                "queue_depth_peak": self.queue_depth_peak,
+                "queue_depth_mean": (
+                    round(self._queue_depth_sum / self.submitted, 3)
+                    if self.submitted
+                    else 0.0
+                ),
+                "window_seconds": round(window, 6) if window else 0.0,
+                "requests_per_second": (
+                    round(self.completed / window, 2) if window else 0.0
+                ),
+            }
+        summary["latency_ms"] = latency_summary_ms(latencies)
+        return summary
+
+    def latencies_seconds(self) -> np.ndarray:
+        with self._lock:
+            return np.asarray(self._latencies, dtype=np.float64)
+
+
+def latency_summary_ms(latencies_seconds: np.ndarray) -> Dict[str, float]:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    sample = np.asarray(latencies_seconds, dtype=np.float64)
+    if sample.size == 0:
+        return {"count": 0}
+    ms = sample * 1e3
+    summary: Dict[str, float] = {"count": int(ms.size)}
+    for pct in LATENCY_PERCENTILES:
+        summary[f"p{pct:g}"] = round(float(np.percentile(ms, pct)), 3)
+    summary["mean"] = round(float(ms.mean()), 3)
+    summary["max"] = round(float(ms.max()), 3)
+    return summary
+
+
+def dump_stats(payload: Dict[str, Any], path) -> None:
+    """Write a stats payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_stats(path) -> Dict[str, Any]:
+    """Read a stats payload written by :func:`dump_stats`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def render_stats(payload: Dict[str, Any]) -> str:
+    """ASCII rendering of a stats payload (``repro serve-stats``).
+
+    Accepts either one model summary (a :meth:`ServingMetrics.snapshot`
+    dict) or a loadtest payload with a ``"models"`` mapping; unknown
+    shapes fall back to pretty-printed JSON so the view never fails on
+    older files.
+    """
+    models = payload.get("models")
+    if models is None and "completed" in payload:
+        models = {payload.get("model", "model"): payload}
+    if not isinstance(models, dict) or not models:
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines: List[str] = []
+    header = payload.get("loadtest")
+    if isinstance(header, dict):
+        described = ", ".join(
+            f"{key}={header[key]}"
+            for key in ("mode", "duration_seconds", "concurrency", "offered_rps")
+            if key in header
+        )
+        lines.append(f"loadtest: {described}")
+    for name, stats in sorted(models.items()):
+        latency = stats.get("latency_ms", {})
+        lines.append(f"model {name} (max_batch={stats.get('max_batch', '?')}):")
+        lines.append(
+            "  requests:  "
+            f"{stats.get('completed', 0)} completed, "
+            f"{stats.get('shed', 0)} shed, "
+            f"{stats.get('failed', 0)} failed "
+            f"({stats.get('requests_per_second', 0.0)} req/s)"
+        )
+        lines.append(
+            "  batching:  "
+            f"{stats.get('batches', 0)} batches, "
+            f"mean size {stats.get('mean_batch_size', 0.0)}, "
+            f"occupancy {stats.get('batch_occupancy', 0.0)}"
+        )
+        lines.append(
+            "  queue:     "
+            f"depth mean {stats.get('queue_depth_mean', 0.0)}, "
+            f"peak {stats.get('queue_depth_peak', 0)}"
+        )
+        if latency.get("count"):
+            lines.append(
+                "  latency:   "
+                + ", ".join(
+                    f"{key} {latency[key]}ms"
+                    for key in ("p50", "p95", "p99", "mean", "max")
+                    if key in latency
+                )
+            )
+        histogram = stats.get("batch_size_histogram", {})
+        if histogram:
+            rendered = "  ".join(
+                f"{size}:{count}" for size, count in sorted(
+                    histogram.items(), key=lambda kv: int(kv[0])
+                )
+            )
+            lines.append(f"  batch hist (size:count):  {rendered}")
+    return "\n".join(lines)

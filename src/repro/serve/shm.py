@@ -1,0 +1,194 @@
+"""Zero-copy shared-memory array bundles.
+
+The serving layer's worker shards and the ``repro report --jobs``
+process pool both need the same large, read-only numpy arrays in every
+process: trained model weights, encoded datasets, test images.  The
+naive route — pickling them into each worker — copies the bytes once
+per worker and once more on every job submission.  This module packs a
+named set of arrays into **one** ``multiprocessing.shared_memory``
+segment so that:
+
+* the parent publishes the arrays once (one copy into the segment);
+* every worker *attaches* and gets numpy views backed directly by the
+  segment — zero copies, zero pickling, shared page cache;
+* views are marked read-only on attach, so a worker bug cannot
+  corrupt another worker's model.
+
+The bundle's :meth:`~SharedArrayBundle.spec` is a small picklable
+``(segment_name, layout)`` pair — that is all that crosses the process
+boundary.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`~SharedArrayBundle.close` with ``unlink=True`` when done (the
+pool / report runner does this in a ``finally``).  Attaching processes
+call plain ``close()``.  Platforms without working shared memory (or
+sandboxes without ``/dev/shm``) raise :class:`ServingError` from
+:meth:`~SharedArrayBundle.create`; callers treat that as "fall back to
+the copying path" — sharing is an optimization, never a requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ServingError
+
+#: Segment offsets are aligned so every array view starts on a cache
+#: line; keeps vectorized loads on attached views as fast as on
+#: locally-allocated arrays.
+_ALIGN = 64
+
+#: layout: array name -> (byte offset, shape, dtype string)
+Layout = Dict[str, Tuple[int, Tuple[int, ...], str]]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayBundle:
+    """A named set of numpy arrays living in one shared-memory segment.
+
+    Create in the publishing process with :meth:`create`, ship
+    :meth:`spec` to workers, attach with :meth:`attach`.  ``arrays``
+    maps names to numpy views over the segment (writable only in the
+    creator before :meth:`freeze`; always read-only for attachers).
+    """
+
+    def __init__(self, shm, layout: Layout, owner: bool):
+        self._shm = shm
+        self.layout = dict(layout)
+        self.owner = owner
+        self._closed = False
+        self.arrays: Dict[str, np.ndarray] = {}
+        for name, (offset, shape, dtype) in self.layout.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            if not owner:
+                view.flags.writeable = False
+            self.arrays[name] = view
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray], name: Optional[str] = None) -> "SharedArrayBundle":
+        """Publish ``arrays`` into a fresh segment (copies each once)."""
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - stdlib always has it
+            raise ServingError(f"shared memory unavailable: {exc}") from exc
+        layout: Layout = {}
+        offset = 0
+        for key in sorted(arrays):
+            value = np.ascontiguousarray(arrays[key])
+            offset = _aligned(offset)
+            layout[key] = (offset, tuple(value.shape), value.dtype.str)
+            offset += value.nbytes
+        total = max(offset, 1)
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        except OSError as exc:
+            raise ServingError(f"cannot create shared-memory segment: {exc}") from exc
+        bundle = cls(shm, layout, owner=True)
+        for key in layout:
+            source = np.ascontiguousarray(arrays[key])
+            if source.size:
+                bundle.arrays[key][...] = source
+        bundle.freeze()
+        return bundle
+
+    @classmethod
+    def attach(
+        cls, segment_name: str, layout: Layout, untrack: bool = True
+    ) -> "SharedArrayBundle":
+        """Attach to a published segment; views are read-only.
+
+        ``untrack`` handles bpo-38119: Python's resource tracker
+        registers *every* attach as if the attacher owned the segment,
+        and a spawn-started worker's private tracker would unlink it at
+        worker exit, yanking the segment from under the creator —
+        attachers must unregister.  Pass ``untrack=False`` in
+        **fork**-started workers: they share the parent's tracker
+        process, where the duplicate registration collapses into the
+        creator's own entry — unregistering there would delete the
+        creator's registration and make its eventual ``unlink`` warn.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover
+            raise ServingError(f"shared memory unavailable: {exc}") from exc
+        try:
+            shm = shared_memory.SharedMemory(name=segment_name)
+        except (OSError, ValueError) as exc:
+            raise ServingError(
+                f"cannot attach shared-memory segment {segment_name!r}: {exc}"
+            ) from exc
+        if untrack:
+            try:  # pragma: no cover - defensive; API is semi-private
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, layout, owner=False)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def spec(self) -> Tuple[str, Layout]:
+        """The picklable ``(segment_name, layout)`` workers attach with."""
+        return self._shm.name, dict(self.layout)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.arrays
+
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def freeze(self) -> None:
+        """Mark every view read-only (creator side, after the copy-in)."""
+        for view in self.arrays.values():
+            view.flags.writeable = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Release the mapping; the owner also unlinks by default.
+
+        Safe to call twice.  Drops the numpy views first — the segment
+        cannot be unmapped while views hold buffer references.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if unlink is None:
+            unlink = self.owner
+        self.arrays.clear()
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirk
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # already gone
+                pass
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close(unlink=False)
+        except Exception:
+            pass

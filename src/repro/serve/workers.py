@@ -1,0 +1,538 @@
+"""Sharded worker pool: warm model processes over zero-copy weights.
+
+One :class:`ShardedPool` owns N worker processes ("shards").  The
+parent publishes every served model's weight arrays — plus, optionally,
+the dataset image table — into a single
+:class:`~repro.serve.shm.SharedArrayBundle`; each shard *attaches* and
+rebuilds its models around read-only numpy views of the segment, so N
+shards share one copy of the weights and the dataset (zero pickling,
+shared page cache).  Only small things cross the process boundary:
+model configs / coders / label maps at spawn, and per-task
+``(task_id, model, indices, images-or-None)`` tuples afterwards — with
+index-only traffic against a shared dataset, a task is just a list of
+ints.
+
+Fault tolerance (asserted by ``tests/serve/test_workers.py``):
+
+* each shard has a dedicated collector thread that polls the shard's
+  result queue with a short timeout and checks ``process.is_alive()``
+  between polls;
+* when a shard dies mid-task, its in-flight tasks are **requeued** on
+  the surviving shards (results are keyed by ``task_id``, so a
+  duplicate completion is a no-op);
+* when the *last* shard dies, pending tasks fail with
+  :class:`~repro.core.errors.ServingError` instead of hanging.
+
+Rebuild-from-views is exact: every model family's forward pass reads
+its arrays without writing (inference only), so handing it read-only
+views of the published weights yields bit-identical predictions to the
+parent's own models — the pool changes *where* inference runs, never
+its result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ServingError
+from ..core.rng import SeedLike
+from .shm import Layout, SharedArrayBundle
+
+#: Seconds a collector waits on the result queue before re-checking
+#: that its shard process is still alive.
+_POLL_SECONDS = 0.2
+
+#: Key under which the dataset image table is published in the bundle.
+_DATASET_KEY = "dataset/images"
+
+
+# ---------------------------------------------------------------------------
+# Model publish / rebuild
+# ---------------------------------------------------------------------------
+
+
+def _publish_model(name: str, model, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Describe ``model`` as (small picklable meta, big arrays in shm).
+
+    Returns the picklable *spec* shipped to workers; mutates ``arrays``
+    with the model's weight tensors under ``{name}/...`` keys.
+    """
+    from ..mlp.network import MLP
+    from ..mlp.quantized import QuantizedMLP
+    from ..snn.network import SpikingNetwork
+    from ..snn.snn_bp import BackPropSNN
+    from ..snn.snn_wot import SNNWithoutTime
+
+    def put(key: str, value: np.ndarray) -> None:
+        arrays[f"{name}/{key}"] = np.asarray(value)
+
+    if isinstance(model, SpikingNetwork):
+        put("weights", model.weights)
+        put("thresholds", model.thresholds)
+        return {
+            "kind": "snnwt",
+            "config": model.config,
+            "coder": model.coder,
+            "labels": np.asarray(model.neuron_labels),
+        }
+    if isinstance(model, SNNWithoutTime):
+        network = model.network
+        put("weights", model.weights)
+        put("thresholds", network.thresholds)
+        return {
+            "kind": "snnwot",
+            "config": network.config,
+            "coder": network.coder,
+            "labels": np.asarray(network.neuron_labels),
+        }
+    if isinstance(model, BackPropSNN):
+        put("weights", model.weights)
+        return {
+            "kind": "snnbp",
+            "config": model.config,
+            "learning_rate": model.learning_rate,
+            "labels": np.asarray(model.neuron_labels),
+        }
+    if isinstance(model, QuantizedMLP):
+        put("w_hidden_codes", model.w_hidden_codes)
+        put("b_hidden_codes", model.b_hidden_codes)
+        put("w_output_codes", model.w_output_codes)
+        put("b_output_codes", model.b_output_codes)
+        return {
+            "kind": "mlp-q",
+            "config": model.config,
+            "weight_format": model.weight_format,
+            "activation_format": model.activation_format,
+        }
+    if isinstance(model, MLP):
+        put("w_hidden", model.w_hidden)
+        put("b_hidden", model.b_hidden)
+        put("w_output", model.w_output)
+        put("b_output", model.b_output)
+        return {"kind": "mlp", "config": model.config}
+    raise ServingError(
+        f"cannot publish model {name!r} of type {type(model).__name__}"
+    )
+
+
+def rebuild_model(name: str, spec: Dict[str, Any], bundle: SharedArrayBundle):
+    """Reconstruct a served model around the bundle's read-only views."""
+    kind = spec["kind"]
+
+    def view(key: str) -> np.ndarray:
+        return bundle[f"{name}/{key}"]
+
+    if kind in ("snnwt", "snnwot"):
+        from ..snn.network import SpikingNetwork
+
+        network = SpikingNetwork(spec["config"], coder=spec["coder"])
+        network.weights = view("weights")
+        # Inference never adjusts thresholds (homeostasis is a training
+        # mechanism), so the read-only view is safe — and any stray
+        # write would raise instead of silently diverging the shard.
+        network.population.thresholds = view("thresholds")
+        network.neuron_labels = spec["labels"]
+        if kind == "snnwt":
+            return network
+        from ..snn.snn_wot import SNNWithoutTime
+
+        return SNNWithoutTime(network)
+    if kind == "snnbp":
+        from ..snn.snn_bp import BackPropSNN
+
+        model = BackPropSNN(spec["config"], learning_rate=spec["learning_rate"])
+        model.weights = view("weights")
+        model.neuron_labels = spec["labels"]
+        return model
+    if kind == "mlp-q":
+        from ..mlp.quantized import QuantizedMLP, SigmoidLUT
+
+        model = object.__new__(QuantizedMLP)
+        model.config = spec["config"]
+        model.weight_format = spec["weight_format"]
+        model.activation_format = spec["activation_format"]
+        model.lut = SigmoidLUT.build(slope=spec["config"].sigmoid_slope)
+        model.output_lut = SigmoidLUT.build(slope=1.0)
+        model.w_hidden_codes = view("w_hidden_codes")
+        model.b_hidden_codes = view("b_hidden_codes")
+        model.w_output_codes = view("w_output_codes")
+        model.b_output_codes = view("b_output_codes")
+        return model
+    if kind == "mlp":
+        from ..mlp.network import MLP
+
+        model = MLP(spec["config"])
+        model.w_hidden = view("w_hidden")
+        model.b_hidden = view("b_hidden")
+        model.w_output = view("w_output")
+        model.b_output = view("b_output")
+        return model
+    raise ServingError(f"unknown model kind {kind!r} for {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _shard_main(
+    shard_id: int,
+    bundle_spec: Tuple[str, Layout],
+    model_specs: Dict[str, Dict[str, Any]],
+    seed: SeedLike,
+    warm: bool,
+    start_method: str,
+    in_q,
+    out_q,
+) -> None:
+    """Worker entry point: attach, rebuild, serve tasks until sentinel."""
+    from .engine import build_runners
+
+    # Fork-started shards share the parent's resource tracker; see
+    # SharedArrayBundle.attach for why untrack must follow the method.
+    bundle = SharedArrayBundle.attach(
+        *bundle_spec, untrack=(start_method != "fork")
+    )
+    try:
+        models = {
+            name: rebuild_model(name, spec, bundle)
+            for name, spec in model_specs.items()
+        }
+        runners = build_runners(models, seed=seed)
+        images = bundle[_DATASET_KEY] if _DATASET_KEY in bundle else None
+        if warm and images is not None:
+            for runner in runners.values():
+                runner.precode(range(len(images)), images)
+        out_q.put(("ready", shard_id, None, None))
+        while True:
+            task = in_q.get()
+            if task is None:
+                return
+            task_id, model, indices, rows = task
+            try:
+                if rows is None:
+                    if images is None:
+                        raise ServingError(
+                            "index-only task but no shared dataset published"
+                        )
+                    rows = images[list(indices)]
+                labels = runners[model].run(indices, rows)
+                out_q.put(("result", shard_id, task_id, np.asarray(labels)))
+            except Exception as exc:  # noqa: BLE001 — report, keep serving
+                out_q.put(("error", shard_id, task_id, repr(exc)))
+    finally:
+        bundle.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side pool
+# ---------------------------------------------------------------------------
+
+
+class _Shard:
+    """Parent-side handle: process + queues + collector thread."""
+
+    __slots__ = ("shard_id", "process", "in_q", "out_q", "collector", "alive")
+
+    def __init__(self, shard_id: int, process, in_q, out_q):
+        self.shard_id = shard_id
+        self.process = process
+        self.in_q = in_q
+        self.out_q = out_q
+        self.collector: Optional[threading.Thread] = None
+        self.alive = True
+
+
+class _Task:
+    """One in-flight batch: its future, payload and current shard."""
+
+    __slots__ = ("task_id", "payload", "shard_id", "future")
+
+    def __init__(self, task_id: int, payload: tuple, shard_id: int):
+        self.task_id = task_id
+        self.payload = payload
+        self.shard_id = shard_id
+        self.future: Future = Future()
+
+
+class ShardedPool:
+    """N warm worker processes sharing one weights+dataset segment.
+
+    Args:
+        models: ``name -> trained model`` (the publishable families:
+            SpikingNetwork, SNNwot, SNN+BP, MLP, QuantizedMLP).
+        jobs: number of shard processes.
+        images: optional dataset table published into shared memory so
+            tasks can reference rows by index only.
+        seed: RNG root for the shards' SNNwt runners.
+        warm: pre-encode SNNwt spike-train caches in every shard at
+            startup (against the published dataset).
+        start_method: multiprocessing start method (default: ``fork``
+            where available — the shards attach the segment either way).
+        task_timeout: seconds :meth:`run_batch` waits before declaring
+            a task lost.
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, Any],
+        jobs: int = 2,
+        images: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+        warm: bool = True,
+        start_method: Optional[str] = None,
+        task_timeout: float = 120.0,
+    ):
+        if jobs < 1:
+            raise ServingError(f"jobs must be >= 1, got {jobs}")
+        if not models:
+            raise ServingError("no models to serve")
+        self.models = sorted(models)
+        self.task_timeout = task_timeout
+        self._n_rows = 0 if images is None else len(images)
+        self._lock = threading.Lock()
+        self._tasks: Dict[int, _Task] = {}
+        self._task_ids = itertools.count()
+        self._rr = itertools.count()
+        self._closing = False
+
+        arrays: Dict[str, np.ndarray] = {}
+        specs = {
+            name: _publish_model(name, model, arrays)
+            for name, model in models.items()
+        }
+        if images is not None:
+            arrays[_DATASET_KEY] = np.asarray(images)
+        self._bundle = SharedArrayBundle.create(arrays)
+
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        self._shards: List[_Shard] = []
+        try:
+            for shard_id in range(jobs):
+                in_q = ctx.Queue()
+                out_q = ctx.Queue()
+                process = ctx.Process(
+                    target=_shard_main,
+                    args=(
+                        shard_id,
+                        self._bundle.spec(),
+                        specs,
+                        seed,
+                        warm,
+                        start_method,
+                        in_q,
+                        out_q,
+                    ),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._shards.append(_Shard(shard_id, process, in_q, out_q))
+            self._await_ready()
+        except Exception:
+            self.close()
+            raise
+        for shard in self._shards:
+            shard.collector = threading.Thread(
+                target=self._collect,
+                args=(shard,),
+                name=f"repro-collector-{shard.shard_id}",
+                daemon=True,
+            )
+            shard.collector.start()
+
+    # -- startup --------------------------------------------------------
+
+    def _await_ready(self, timeout: float = 120.0) -> None:
+        for shard in self._shards:
+            try:
+                kind, *_rest = shard.out_q.get(timeout=timeout)
+            except queue_module.Empty:
+                raise ServingError(
+                    f"shard {shard.shard_id} did not come up within {timeout}s"
+                ) from None
+            if kind != "ready":  # pragma: no cover - defensive
+                raise ServingError(
+                    f"shard {shard.shard_id} sent {kind!r} before ready"
+                )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def has_dataset(self) -> bool:
+        return self._n_rows > 0
+
+    def has_row(self, index: int) -> bool:
+        return 0 <= index < self._n_rows
+
+    def alive_shards(self) -> List[int]:
+        with self._lock:
+            return [s.shard_id for s in self._shards if s.alive]
+
+    def nbytes_shared(self) -> int:
+        return self._bundle.nbytes()
+
+    # -- task path -------------------------------------------------------
+
+    def run_batch(
+        self,
+        model: str,
+        indices: Sequence[int],
+        images: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Run one coalesced batch on some shard; blocks for the result.
+
+        ``images=None`` sends an index-only task (requires a published
+        dataset).  Raises :class:`ServingError` when every shard is
+        dead or the task fails in the worker.
+        """
+        if model not in self.models:
+            raise ServingError(f"unknown model {model!r}; pool serves {self.models}")
+        indices = [int(i) for i in indices]
+        with self._lock:
+            task = _Task(
+                next(self._task_ids),
+                (model, indices, images),
+                shard_id=-1,
+            )
+            self._tasks[task.task_id] = task
+            shard = self._pick_shard_locked()
+            if shard is None:
+                del self._tasks[task.task_id]
+                raise ServingError("all worker shards are dead")
+            task.shard_id = shard.shard_id
+        shard.in_q.put((task.task_id, model, indices, images))
+        result = task.future.result(timeout=self.task_timeout)
+        return result
+
+    def _pick_shard_locked(self) -> Optional[_Shard]:
+        alive = [s for s in self._shards if s.alive]
+        if not alive:
+            return None
+        return alive[next(self._rr) % len(alive)]
+
+    # -- collector threads ----------------------------------------------
+
+    def _collect(self, shard: _Shard) -> None:
+        while True:
+            try:
+                message = shard.out_q.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if self._closing:
+                    # close() fails any stranded tasks itself; don't
+                    # requeue onto shards that are also shutting down.
+                    return
+                if not shard.process.is_alive():
+                    self._drain_queue(shard)
+                    self._on_shard_death(shard)
+                    return
+                continue
+            self._handle(message)
+
+    def _drain_queue(self, shard: _Shard) -> None:
+        """Consume results the shard managed to emit before dying."""
+        while True:
+            try:
+                self._handle(shard.out_q.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def _handle(self, message) -> None:
+        kind, _shard_id, task_id, payload = message
+        with self._lock:
+            task = self._tasks.pop(task_id, None)
+        if task is None:  # duplicate after a requeue raced completion
+            return
+        if kind == "result":
+            task.future.set_result(payload)
+        else:
+            task.future.set_exception(
+                ServingError(f"worker task failed: {payload}")
+            )
+
+    def _on_shard_death(self, shard: _Shard) -> None:
+        """Requeue the dead shard's in-flight tasks on survivors."""
+        with self._lock:
+            shard.alive = False
+            orphans = [
+                t for t in self._tasks.values() if t.shard_id == shard.shard_id
+            ]
+            assignments = []
+            for task in orphans:
+                target = self._pick_shard_locked()
+                if target is None:
+                    del self._tasks[task.task_id]
+                task.shard_id = target.shard_id if target else -1
+                assignments.append((task, target))
+        for task, target in assignments:
+            if target is None:
+                task.future.set_exception(
+                    ServingError(
+                        "all worker shards died with the request in flight"
+                    )
+                )
+            else:
+                model, indices, images = task.payload
+                target.in_q.put((task.task_id, model, indices, images))
+
+    # -- fault injection (tests) ----------------------------------------
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one shard process (the kill-a-shard test hook)."""
+        for shard in self._shards:
+            if shard.shard_id == shard_id and shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=10.0)
+                return
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop shards, fail any stranded tasks, release shared memory."""
+        self._closing = True
+        for shard in self._shards:
+            if shard.process.is_alive():
+                try:
+                    shard.in_q.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for shard in self._shards:
+            shard.process.join(timeout=timeout)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+        for shard in self._shards:
+            if shard.collector is not None and shard.collector.is_alive():
+                shard.collector.join(timeout=timeout)
+        with self._lock:
+            stranded = list(self._tasks.values())
+            self._tasks.clear()
+        for task in stranded:
+            if not task.future.done():
+                task.future.set_exception(
+                    ServingError("pool closed with the request in flight")
+                )
+        for shard in self._shards:
+            for q in (shard.in_q, shard.out_q):
+                try:
+                    q.close()
+                    q.join_thread()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        self._bundle.close(unlink=True)
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

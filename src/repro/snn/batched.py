@@ -263,16 +263,30 @@ def present_batch(
     winner_times = np.full(n_images, np.inf)
     n_output_spikes = np.zeros(n_images, dtype=np.int64)
     alive = np.ones(n_images, dtype=bool)
+    alive_rows = alive[:, None]
     retire = stop_after_first_spike or early_exit
     row_index = np.arange(n_images)
     contributions = np.empty((n_images, n_neurons))
+    # Preallocated mask buffers.  The step loop is overhead-bound at
+    # serving batch sizes (B <= 64 on ~50 neurons), so per-step boolean
+    # temporaries and `potentials[mask] op= x` gather/scatter copies
+    # cost more than the arithmetic itself.  Masked in-place ufuncs
+    # (`out=potentials, where=active`) perform *the same elementwise
+    # operation on the same operand values* — bit-identity with the
+    # per-image path is unaffected (pinned by tests/snn/test_batched.py
+    # and the serving equivalence suite).
+    active = np.empty((n_images, n_neurons), dtype=bool)
+    scratch = np.empty((n_images, n_neurons), dtype=bool)
+    eligible = np.empty((n_images, n_neurons), dtype=bool)
 
     for t in range(batch.n_steps):
         now = float(t)
-        active = (now >= refractory_until) & (now >= inhibited_until)
+        np.greater_equal(now, refractory_until, out=active)
+        np.greater_equal(now, inhibited_until, out=scratch)
+        np.logical_and(active, scratch, out=active)
         if retire:
-            active &= alive[:, None]
-        potentials[active] *= decay
+            np.logical_and(active, alive_rows, out=active)
+        np.multiply(potentials, decay, out=potentials, where=active)
 
         base = t * n_ranks
         if boundaries[base + n_ranks] > boundaries[base]:
@@ -292,9 +306,10 @@ def present_batch(
                 # plain fancy-index add is a correct (and sequential-
                 # order-preserving) scatter.
                 contributions[segment_rows] += block
-            potentials[active] += contributions[active]
+            np.add(potentials, contributions, out=potentials, where=active)
 
-        eligible = active & (potentials >= thresholds)
+        np.greater_equal(potentials, thresholds, out=eligible)
+        np.logical_and(eligible, active, out=eligible)
         if not eligible.any():
             continue
         overshoot = np.where(eligible, potentials - thresholds, -np.inf)

@@ -1,0 +1,97 @@
+"""SharedArrayBundle: zero-copy publish / attach round trips."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServingError
+from repro.serve.shm import SharedArrayBundle
+
+
+@pytest.fixture()
+def arrays(rng):
+    return {
+        "weights": rng.normal(size=(40, 144)),
+        "thresholds": rng.uniform(1, 30, size=40).astype(np.float32),
+        "labels": rng.integers(0, 10, size=40).astype(np.int64),
+        "images": rng.integers(0, 256, size=(12, 144)).astype(np.uint8),
+    }
+
+
+class TestRoundTrip:
+    def test_create_then_attach_is_bit_identical(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            attached = SharedArrayBundle.attach(*bundle.spec(), untrack=False)
+            try:
+                for name, source in arrays.items():
+                    view = attached[name]
+                    assert view.dtype == source.dtype
+                    assert view.shape == source.shape
+                    np.testing.assert_array_equal(view, source)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            # Creator views freeze after the copy-in...
+            with pytest.raises(ValueError):
+                bundle["weights"][0, 0] = 1.0
+            # ...and attacher views are born read-only.
+            attached = SharedArrayBundle.attach(*bundle.spec(), untrack=False)
+            try:
+                with pytest.raises(ValueError):
+                    attached["labels"][0] = 99
+            finally:
+                attached.close()
+
+    def test_views_share_one_segment_zero_copy(self, arrays):
+        """All views alias the segment buffer — no private copies."""
+        with SharedArrayBundle.create(arrays) as bundle:
+            total = sum(np.ascontiguousarray(a).nbytes for a in arrays.values())
+            assert bundle.nbytes() >= total
+            for view in bundle.arrays.values():
+                assert not view.flags.owndata
+
+    def test_offsets_are_cache_line_aligned(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            for offset, _shape, _dtype in bundle.layout.values():
+                assert offset % 64 == 0
+
+    def test_spec_is_small_and_picklable(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            blob = pickle.dumps(bundle.spec())
+            # The spec must stay tiny: it crosses the process boundary
+            # on every worker spawn.
+            assert len(blob) < 4096
+            name, layout = pickle.loads(blob)
+            assert name == bundle.name
+            assert layout == bundle.layout
+
+
+class TestLifecycle:
+    def test_attach_unknown_segment_raises(self):
+        with pytest.raises(ServingError):
+            SharedArrayBundle.attach("repro-no-such-segment", {}, untrack=False)
+
+    def test_close_is_idempotent(self, arrays):
+        bundle = SharedArrayBundle.create(arrays)
+        bundle.close()
+        bundle.close()  # second close is a no-op, not an error
+        assert bundle.arrays == {}
+
+    def test_owner_unlink_invalidates_future_attaches(self, arrays):
+        bundle = SharedArrayBundle.create(arrays)
+        spec = bundle.spec()
+        bundle.close()  # owner default: unlink
+        with pytest.raises(ServingError):
+            SharedArrayBundle.attach(*spec, untrack=False)
+
+    def test_membership_and_getitem(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            assert "weights" in bundle
+            assert "nope" not in bundle
+            with pytest.raises(KeyError):
+                bundle["nope"]

@@ -1,0 +1,190 @@
+"""Edge-case tests for the batched engine feeding the serving layer.
+
+The serving layer (:mod:`repro.serve`) coalesces arbitrary request
+mixes into micro-batches, so the batched kernel must stay bit-identical
+to the serial reference even at degenerate shapes: empty request sets,
+single-row batches, batches larger than the dataset, duplicated
+indices (requeue-after-shard-death re-encodes the same request), and
+batches mixing spike trains from different coders (uniform and
+non-uniform modulation in one kernel invocation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import SimulationError
+from repro.datasets.digits import load_digits
+from repro.snn.batched import (
+    SpikeTrainBatch,
+    batch_winners,
+    encode_indexed,
+    predict_batch,
+    present_batch,
+)
+from repro.snn.coding import make_coder
+from repro.snn.network import SNNTrainer, train_snn
+
+
+@pytest.fixture(scope="module")
+def tiny_digits():
+    return load_digits(n_train=90, n_test=24, seed=11, side=12)
+
+
+def _train_tiny(coder_name: str, tiny_digits):
+    train_set, _ = tiny_digits
+    config = SNNConfig(
+        n_inputs=train_set.n_inputs,
+        n_neurons=16,
+        n_labels=train_set.n_classes,
+        epochs=1,
+        seed=17,
+    )
+    coder = make_coder(
+        coder_name,
+        duration=config.t_period,
+        max_rate_interval=config.min_spike_interval,
+    )
+    return train_snn(config, train_set, coder=coder)
+
+
+@pytest.fixture(scope="module")
+def network(tiny_digits):
+    return _train_tiny("poisson", tiny_digits)
+
+
+class TestEmptyBatch:
+    """Zero requests is a routing no-op, not an error."""
+
+    def test_predict_batch_on_zero_images(self, network, tiny_digits):
+        _, test_set = tiny_digits
+        labels = predict_batch(network, test_set.images[:0])
+        assert labels.shape == (0,)
+
+    def test_batch_winners_on_zero_trains(self, network):
+        winners = batch_winners(network, [])
+        assert winners.shape == (0,)
+        assert winners.dtype == np.int64
+
+    def test_kernel_itself_rejects_empty(self):
+        """Only the *kernel* refuses B=0; callers return early instead
+        of constructing a degenerate CSR batch."""
+        with pytest.raises(SimulationError):
+            SpikeTrainBatch.from_trains([])
+
+
+class TestSingleRowBatch:
+    def test_batch_size_one_equals_serial(self, network, tiny_digits):
+        _, test_set = tiny_digits
+        serial = SNNTrainer(network).predict_serial(test_set)
+        batched = predict_batch(network, test_set.images, batch_size=1)
+        np.testing.assert_array_equal(batched, serial)
+
+    def test_single_image_request_matches_whole_set_row(
+        self, network, tiny_digits
+    ):
+        """A one-image micro-batch with an explicit dataset index must
+        reproduce the whole-set prediction at that position — the
+        invariant that lets the server coalesce requests freely."""
+        _, test_set = tiny_digits
+        whole = predict_batch(network, test_set.images)
+        for index in (0, 5, len(test_set.images) - 1):
+            single = predict_batch(
+                network, test_set.images[index : index + 1], indices=[index]
+            )
+            assert single.shape == (1,)
+            assert single[0] == whole[index]
+
+
+class TestOversizedBatch:
+    def test_batch_size_larger_than_dataset(self, network, tiny_digits):
+        """batch_size > B runs as one partial chunk, bit-identical to
+        the serial oracle (no padding rows leak into the readout)."""
+        _, test_set = tiny_digits
+        serial = SNNTrainer(network).predict_serial(test_set)
+        batched = predict_batch(
+            network, test_set.images, batch_size=4 * len(test_set.images)
+        )
+        np.testing.assert_array_equal(batched, serial)
+
+
+class TestDuplicateIndices:
+    def test_repeated_index_is_idempotent(self, network, tiny_digits):
+        """Serving requeues a request when its shard dies; re-encoding
+        the same index must draw the same per-image RNG stream and so
+        the same prediction, wherever it lands in the batch."""
+        _, test_set = tiny_digits
+        indices = [7, 3, 7, 7, 12, 3]
+        rows = test_set.images[indices]
+        labels = predict_batch(network, rows, indices=indices)
+        whole = predict_batch(network, test_set.images)
+        np.testing.assert_array_equal(labels, whole[indices])
+        assert labels[0] == labels[2] == labels[3]
+        assert labels[1] == labels[5]
+
+
+class TestMixedCoderBatch:
+    def test_mixed_modulation_batch_matches_per_image(self, tiny_digits):
+        """One kernel invocation over trains from different coders —
+        uniform (poisson) and attenuated (rank-order) modulation
+        interleaved — matches the per-image simulator row by row.
+        Guards the uniform-modulation fast path against misfiring on a
+        mixed batch."""
+        network = _train_tiny("poisson", tiny_digits)
+        _, test_set = tiny_digits
+        config = network.config
+        rank_coder = make_coder(
+            "rank-order",
+            duration=config.t_period,
+            max_rate_interval=config.min_spike_interval,
+        )
+        images = test_set.images[:12]
+        poisson_trains = encode_indexed(network, images, range(len(images)))
+        saved_coder = network.coder
+        try:
+            network.coder = rank_coder
+            rank_trains = encode_indexed(network, images, range(len(images)))
+        finally:
+            network.coder = saved_coder
+        # Interleave: even rows poisson (modulation == 1), odd rows
+        # rank-order (modulation < 1).
+        mixed = []
+        for j in range(len(images)):
+            mixed.append(poisson_trains[j] if j % 2 == 0 else rank_trains[j])
+        batch = SpikeTrainBatch.from_trains(mixed)
+        assert not batch.uniform_modulation
+        result = present_batch(network, batch)
+        for row, train in enumerate(mixed):
+            reference = network.present(train)
+            assert result.winners[row] == reference.winner
+            np.testing.assert_array_equal(
+                result.final_potentials[row], reference.final_potentials
+            )
+
+    def test_mixed_batch_readout_matches_batch_winners(self, tiny_digits):
+        """batch_winners over a mixed-coder train list (as the serving
+        path produces when coalescing) equals per-train readouts."""
+        network = _train_tiny("gaussian", tiny_digits)
+        _, test_set = tiny_digits
+        config = network.config
+        images = test_set.images[:10]
+        gaussian = encode_indexed(network, images, range(len(images)))
+        saved = network.coder
+        try:
+            network.coder = make_coder(
+                "rank-order",
+                duration=config.t_period,
+                max_rate_interval=config.min_spike_interval,
+            )
+            ranked = encode_indexed(network, images, range(len(images)))
+        finally:
+            network.coder = saved
+        mixed = gaussian[:5] + ranked[5:]
+        reference = np.array(
+            [network.present(train).readout() for train in mixed]
+        )
+        for batch_size in (1, 3, 64):
+            winners = batch_winners(network, mixed, batch_size=batch_size)
+            np.testing.assert_array_equal(winners, reference)
