@@ -12,8 +12,12 @@ Commands:
 * ``loadtest [options]``        — drive the inference serving layer
                                   with generated load and report
                                   throughput / latency / batching;
+                                  ``--chaos <scenario>`` runs the
+                                  deterministic chaos harness instead;
 * ``serve-stats <file>``        — pretty-print a stats JSON written by
-                                  ``loadtest --output``.
+                                  ``loadtest --output``;
+* ``serve-health <file>``       — readiness / liveness view of a stats
+                                  JSON (exit 0 only when ready).
 
 The CLI is a thin shell over :mod:`repro.analysis`; everything it does
 is available programmatically.
@@ -203,6 +207,46 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.chaos is not None:
+        from .serve.chaos import SCENARIOS, chaos_passed, run_chaos
+
+        if args.chaos not in SCENARIOS:
+            print(
+                f"unknown chaos scenario {args.chaos!r}; "
+                f"pick one of {sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        try:
+            payload = run_chaos(
+                scenario=args.chaos,
+                models=models,
+                dataset=args.dataset,
+                seed=args.seed,
+                max_batch=args.max_batch,
+                max_wait_us=args.max_wait_us,
+                max_queue=args.max_queue,
+                duration_seconds=args.duration if args.duration else None,
+                concurrency=args.concurrency if args.concurrency else None,
+                deadline_ms=args.deadline_ms,
+                max_task_retries=args.max_retries,
+            )
+        except ServingError as error:
+            print(error, file=sys.stderr)
+            return 1
+        print(render_stats(payload))
+        passed = chaos_passed(payload)
+        invariants = payload.get("chaos", {}).get("invariants", {})
+        print(
+            "chaos invariants: "
+            + ", ".join(
+                f"{k}={'yes' if v else 'NO'}" for k, v in sorted(invariants.items())
+            )
+        )
+        if args.output:
+            dump_stats(payload, args.output)
+            print(f"stats written to {args.output}")
+        return 0 if passed else 1
     try:
         payload = run_loadtest(
             models=models,
@@ -211,12 +255,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_us=args.max_wait_us,
             max_queue=args.max_queue,
-            duration_seconds=args.duration,
-            concurrency=args.concurrency,
+            duration_seconds=args.duration if args.duration is not None else 5.0,
+            concurrency=args.concurrency if args.concurrency is not None else 8,
             mode=args.mode,
             offered_rps=args.rps,
             seed=args.seed,
             verify=not args.no_verify,
+            deadline_ms=args.deadline_ms,
+            max_retries=args.max_retries,
         )
     except ServingError as error:
         print(error, file=sys.stderr)
@@ -247,6 +293,21 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         return 1
     print(render_stats(payload))
     return 0
+
+
+def _cmd_serve_health(args: argparse.Namespace) -> int:
+    """Readiness probe over a stats payload: exit 0 only when ready."""
+    from .serve.metrics import load_stats, render_health
+
+    try:
+        payload = load_stats(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {args.file!r}: {error}", file=sys.stderr)
+        return 1
+    print(render_health(payload))
+    health = payload.get("health", payload)
+    ready = isinstance(health, dict) and bool(health.get("ready"))
+    return 0 if ready else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,13 +446,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-control queue bound (beyond it requests shed)",
     )
     loadtest.add_argument(
-        "--duration", type=float, default=5.0, help="seconds of load per model"
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds of load per model (default 5; chaos scenarios "
+        "bring their own)",
     )
     loadtest.add_argument(
         "--concurrency",
         type=int,
-        default=8,
-        help="closed-loop client threads",
+        default=None,
+        help="closed-loop client threads (default 8; chaos scenarios "
+        "bring their own)",
     )
     loadtest.add_argument(
         "--mode",
@@ -406,6 +472,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered requests/second (open mode)",
     )
     loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SCENARIO",
+        help="run a deterministic chaos scenario instead of a plain "
+        "load run (see repro.serve.chaos.SCENARIOS; exit 2 on unknown)",
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request latency budget; doomed work sheds with a "
+        "typed DeadlineExceeded instead of queueing",
+    )
+    loadtest.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="shard deaths one task may survive before it is "
+        "quarantined as poisonous",
+    )
     loadtest.add_argument(
         "--no-verify",
         action="store_true",
@@ -435,6 +522,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_stats.add_argument("file", help="stats JSON written by loadtest --output")
     serve_stats.set_defaults(fn=_cmd_serve_stats)
+
+    serve_health = subparsers.add_parser(
+        "serve-health",
+        help="readiness/liveness view of a stats JSON (exit 0 only "
+        "when ready)",
+    )
+    serve_health.add_argument(
+        "file", help="stats JSON written by loadtest --output"
+    )
+    serve_health.set_defaults(fn=_cmd_serve_health)
     return parser
 
 

@@ -137,6 +137,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     errors: int = 0  # corrupt entries that fell back to retraining
+    corrupt_evictions: int = 0  # sha256 mismatches evicted before load
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -145,11 +146,63 @@ class CacheStats:
         """One-line human-readable rendering (``repro report --timings``)."""
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.stores} store(s), {self.errors} corrupt-entry error(s)"
+            f"{self.stores} store(s), {self.errors} corrupt-entry error(s), "
+            f"{self.corrupt_evictions} integrity eviction(s)"
         )
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.errors = 0
+        self.corrupt_evictions = 0
+
+
+def file_digest(path: os.PathLike, chunk_size: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's contents (hex)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def digest_sidecar(path: os.PathLike) -> pathlib.Path:
+    """The ``<entry>.sha256`` integrity sidecar path for an artifact."""
+    path = pathlib.Path(path)
+    return path.parent / (path.name + ".sha256")
+
+
+def write_digest_sidecar(path: os.PathLike) -> pathlib.Path:
+    """Atomically record ``path``'s SHA-256 next to it; returns the sidecar."""
+    path = pathlib.Path(path)
+    sidecar = digest_sidecar(path)
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp.sha256")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(file_digest(path) + "\n")
+        os.replace(tmp_name, sidecar)
+    finally:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+    return sidecar
+
+
+def verify_digest_sidecar(path: os.PathLike) -> Optional[bool]:
+    """Check an artifact against its integrity sidecar.
+
+    Returns ``True`` (digest matches), ``False`` (mismatch — the entry
+    is corrupt), or ``None`` when no sidecar exists (a legacy entry,
+    tolerated: PR-2 caches predate integrity sidecars).
+    """
+    sidecar = digest_sidecar(path)
+    if not sidecar.exists():
+        return None
+    try:
+        expected = sidecar.read_text(encoding="utf-8").strip()
+    except OSError:
+        return False
+    return bool(expected) and file_digest(path) == expected
 
 
 class ModelCache:
@@ -188,14 +241,22 @@ class ModelCache:
         key = cache_key(kind, config, dataset, train_params)
         path = self.path_for(key)
         if path.exists():
-            try:
-                model = loader(path)
-            except (ReproError, OSError, ValueError) as _exc:
-                # Corrupt / truncated / stale entry: retrain + overwrite.
-                self.stats.errors += 1
+            verdict = verify_digest_sidecar(path)
+            if verdict is False:
+                # Bit rot / tampering caught by the integrity sidecar:
+                # evict the entry *before* deserializing it, retrain,
+                # and overwrite with a fresh (re-digested) entry.
+                self.stats.corrupt_evictions += 1
+                self._evict(path)
             else:
-                self.stats.hits += 1
-                return model
+                try:
+                    model = loader(path)
+                except (ReproError, OSError, ValueError) as _exc:
+                    # Corrupt / truncated / stale entry: retrain + overwrite.
+                    self.stats.errors += 1
+                else:
+                    self.stats.hits += 1
+                    return model
         self.stats.misses += 1
         model = train_fn()
         try:
@@ -215,17 +276,29 @@ class ModelCache:
         try:
             written = saver(model, tmp_name)
             os.replace(written, path)
+            write_digest_sidecar(path)
         finally:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
 
+    @staticmethod
+    def _evict(path: pathlib.Path) -> None:
+        """Remove a corrupt entry and its sidecar (best effort)."""
+        for victim in (path, digest_sidecar(path)):
+            try:
+                victim.unlink()
+            except OSError:  # pragma: no cover - already gone / read-only
+                pass
+
     def clear(self) -> int:
-        """Remove every entry; returns the number deleted."""
+        """Remove every entry (and sidecars); returns entries deleted."""
         removed = 0
         if self.directory.exists():
             for path in self.directory.glob("*.npz"):
                 path.unlink()
                 removed += 1
+            for sidecar in self.directory.glob("*.npz.sha256"):
+                sidecar.unlink()
         return removed
 
 

@@ -56,3 +56,46 @@ class Overloaded(ServingError):
     grow without bound.  Carries no partial result — the request was
     never enqueued.
     """
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline expired before it could be served.
+
+    Raised (or set on the request's future) whenever expired work is
+    *shed* instead of executed: at submission when the deadline has
+    already passed, at batch formation when the request cannot make
+    its deadline, and at requeue after a shard death.  Expired work is
+    never silently dropped — the caller always observes this typed
+    error — and never admitted into a batch it can't make.
+    """
+
+
+class CircuitOpen(ServingError):
+    """A per-model circuit breaker is open; the request was rejected.
+
+    The serving layer observed a high error rate (or pathological
+    latency) for this model and is failing fast instead of queueing
+    more work onto a broken path.  After a cooldown the breaker
+    half-opens and lets probe requests through; callers should back
+    off and retry later.
+    """
+
+
+class PoisonedRequest(ServingError):
+    """A request was quarantined after repeatedly killing worker shards.
+
+    When the same task is in flight across ``K`` shard deaths it is
+    presumed to be the *cause* (a poison request) and is quarantined:
+    its future fails with this error, its signature is remembered, and
+    resubmissions are rejected immediately instead of being requeued
+    forever and taking the whole pool down.
+    """
+
+
+class ShardCrashLoop(ServingError):
+    """A shard slot is crash-looping; the supervisor stopped respawning.
+
+    Raised/reported when a shard dies more than ``max_respawns`` times
+    within ``respawn_window`` seconds: the crash-loop breaker for that
+    slot opens and respawn attempts pause until the cooldown elapses
+    (half-open: one probe respawn is allowed)."""

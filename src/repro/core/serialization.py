@@ -247,11 +247,20 @@ class CheckpointStore:
     mismatch) is treated as absent: :meth:`load_or_train` falls back
     to retraining and overwrites it, so a bad checkpoint can never
     wedge a sweep.
+
+    Integrity: :meth:`save` records a SHA-256 sidecar next to every
+    checkpoint; :meth:`load` verifies it first and raises (after
+    evicting the corrupt pair) on mismatch, so bit rot is caught
+    *before* deserialization.  Checkpoints written by older builds
+    (no sidecar) still load.  :attr:`corrupt_evictions` counts the
+    mismatches caught.
     """
 
     def __init__(self, directory: PathLike):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: sha256-mismatch checkpoints evicted by :meth:`load`.
+        self.corrupt_evictions = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         """The on-disk path backing ``key``."""
@@ -264,19 +273,39 @@ class CheckpointStore:
         return self.path_for(key).exists()
 
     def save(self, key: str, model) -> pathlib.Path:
-        """Checkpoint ``model`` under ``key`` (overwrites)."""
-        return save_model(model, self.path_for(key))
+        """Checkpoint ``model`` under ``key`` (overwrites) + sidecar."""
+        from .artifacts import write_digest_sidecar
+
+        path = save_model(model, self.path_for(key))
+        write_digest_sidecar(path)
+        return path
 
     def load(self, key: str):
         """Load the model checkpointed under ``key``.
 
-        Any failure to read the file (truncated/garbage archive, wrong
-        kind or version, bad config JSON) surfaces as a
+        Verifies the SHA-256 integrity sidecar first (when present):
+        a mismatch evicts the corrupt checkpoint and raises
+        :class:`SerializationError`.  Any other failure to read the
+        file (truncated/garbage archive, wrong kind or version, bad
+        config JSON) surfaces as a
         :class:`~repro.core.errors.ReproError` subclass.
         """
+        from .artifacts import digest_sidecar, verify_digest_sidecar
+
         path = self.path_for(key)
         if not path.exists():
             raise SerializationError(f"no checkpoint for key {key!r} at {path}")
+        if verify_digest_sidecar(path) is False:
+            self.corrupt_evictions += 1
+            for victim in (path, digest_sidecar(path)):
+                try:
+                    victim.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            raise SerializationError(
+                f"checkpoint for key {key!r} at {path} failed its sha256 "
+                "integrity check; evicted"
+            )
         try:
             return load_model(path)
         except ReproError:
@@ -303,9 +332,11 @@ class CheckpointStore:
         return model
 
     def clear(self) -> int:
-        """Delete every checkpoint; returns the number removed."""
+        """Delete every checkpoint (and sidecars); returns checkpoints removed."""
         removed = 0
         for path in self.directory.glob("*.npz"):
             path.unlink()
             removed += 1
+        for sidecar in self.directory.glob("*.npz.sha256"):
+            sidecar.unlink()
         return removed

@@ -24,6 +24,16 @@ Correctness guarantees:
   requests; beyond that, ``submit`` sheds with
   :class:`~repro.core.errors.Overloaded` instead of buffering without
   bound.
+* **Deadline propagation.**  ``submit(payload, deadline=...)`` attaches
+  an absolute deadline (``time.perf_counter`` seconds).  Expired work
+  is *shed* with a typed
+  :class:`~repro.core.errors.DeadlineExceeded` — at submission when
+  already expired, and at batch formation when the request's deadline
+  has passed *or* cannot be met by the next batch (estimated from an
+  EWMA of recent batch service times).  A doomed request therefore
+  never consumes engine or shard work, and is never silently dropped:
+  its future always carries the typed error.  Sheds are counted as
+  ``deadline_shed`` in :class:`~repro.serve.metrics.ServingMetrics`.
 * **Graceful drain.**  ``close(drain=True)`` (the default) stops
   admissions, lets the scheduler finish every queued request, then
   joins the thread.  ``close(drain=False)`` cancels queued requests
@@ -45,10 +55,14 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..core.errors import Overloaded, ServingError
+from ..core.errors import DeadlineExceeded, Overloaded, ServingError
 from .metrics import ServingMetrics
+
+#: EWMA smoothing factor for the batch service-time estimate used by
+#: the can't-make-its-deadline shed (higher = faster adaptation).
+_SERVICE_EWMA_ALPHA = 0.3
 
 
 @dataclass(frozen=True)
@@ -79,14 +93,17 @@ class BatchPolicy:
 
 
 class _Pending:
-    """One queued request: payload + future + enqueue timestamp."""
+    """One queued request: payload + future + timestamps + deadline."""
 
-    __slots__ = ("payload", "future", "enqueued_at")
+    __slots__ = ("payload", "future", "enqueued_at", "deadline")
 
-    def __init__(self, payload: Any, enqueued_at: float):
+    def __init__(
+        self, payload: Any, enqueued_at: float, deadline: Optional[float] = None
+    ):
         self.payload = payload
         self.future: Future = Future()
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
 
 
 class MicroBatcher:
@@ -114,6 +131,7 @@ class MicroBatcher:
             self.policy.max_batch
         )
         self._run_batch = run_batch
+        self._service_ewma = 0.0
         self._queue: deque = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -125,16 +143,26 @@ class MicroBatcher:
 
     # -- client side ----------------------------------------------------
 
-    def submit(self, payload: Any) -> Future:
+    def submit(self, payload: Any, deadline: Optional[float] = None) -> Future:
         """Enqueue one payload; returns its future.
 
+        ``deadline`` is an absolute ``time.perf_counter`` timestamp;
+        an already-expired deadline sheds immediately with
+        :class:`DeadlineExceeded` (the request is not enqueued).
         Raises :class:`Overloaded` when the queue is at ``max_queue``
         (the request is *not* enqueued) and :class:`ServingError`
         after :meth:`close`.
         """
+        now = time.perf_counter()
         with self._wake:
             if self._closed:
                 raise ServingError("batcher is closed; no new requests accepted")
+            if deadline is not None and now >= deadline:
+                self.metrics.record_deadline_shed()
+                raise DeadlineExceeded(
+                    f"deadline expired {(now - deadline) * 1e3:.1f}ms before "
+                    "submission; request shed"
+                )
             depth = len(self._queue)
             if depth >= self.policy.max_queue:
                 self.metrics.record_shed()
@@ -142,7 +170,7 @@ class MicroBatcher:
                     f"queue full ({depth}/{self.policy.max_queue} pending); "
                     "request shed"
                 )
-            pending = _Pending(payload, time.perf_counter())
+            pending = _Pending(payload, now, deadline)
             self._queue.append(pending)
             self.metrics.record_submit(depth)
             self._wake.notify()
@@ -154,39 +182,94 @@ class MicroBatcher:
 
     # -- scheduler thread ----------------------------------------------
 
-    def _collect(self) -> Optional[List[_Pending]]:
-        """Block for the first request, then fill the batching window.
+    def service_estimate(self) -> float:
+        """EWMA of recent batch service times, in seconds (0.0 cold)."""
+        return self._service_ewma
 
-        Returns ``None`` when the batcher is closed and the queue has
-        drained (``close(drain=False)`` empties the queue itself).
+    def _doomed(self, pending: _Pending, now: float) -> bool:
+        """True when ``pending`` is expired or can't make the next batch."""
+        if pending.deadline is None:
+            return False
+        if now >= pending.deadline:
+            return True
+        estimate = self._service_ewma
+        return estimate > 0.0 and now + estimate > pending.deadline
+
+    def _collect(self) -> Tuple[Optional[List[_Pending]], List[_Pending]]:
+        """Block for the first live request, then fill the window.
+
+        Returns ``(batch, shed)`` where ``shed`` holds requests whose
+        deadline expired (or provably cannot be met) while queued —
+        the caller fails them with :class:`DeadlineExceeded` outside
+        the lock.  ``batch`` is ``None`` when the batcher is closed
+        and the queue has drained (``close(drain=False)`` empties the
+        queue itself); it may be empty when only sheds were found.
         """
         policy = self.policy
+        shed: List[_Pending] = []
         with self._wake:
-            while not self._queue:
-                if self._closed:
-                    return None
-                self._wake.wait()
-            batch = [self._queue.popleft()]
+            while True:
+                while not self._queue:
+                    if self._closed:
+                        return None, shed
+                    if shed:
+                        return [], shed  # fail sheds promptly
+                    self._wake.wait()
+                first = self._queue.popleft()
+                if self._doomed(first, time.perf_counter()):
+                    shed.append(first)
+                    continue
+                batch = [first]
+                break
             if policy.max_batch == 1:
-                return batch
-            deadline = batch[0].enqueued_at + policy.max_wait_us * 1e-6
+                return batch, shed
+            window_ends = first.enqueued_at + policy.max_wait_us * 1e-6
             while len(batch) < policy.max_batch:
                 if self._queue:
-                    batch.append(self._queue.popleft())
+                    candidate = self._queue.popleft()
+                    if self._doomed(candidate, time.perf_counter()):
+                        shed.append(candidate)
+                        continue
+                    batch.append(candidate)
                     continue
                 if self._closed:
                     break  # drain what we have; don't wait for more
-                remaining = deadline - time.perf_counter()
+                remaining = window_ends - time.perf_counter()
                 if remaining <= 0:
                     break
                 self._wake.wait(remaining)
-            return batch
+            return batch, shed
+
+    def _fail_shed(self, shed: List[_Pending]) -> None:
+        if not shed:
+            return
+        self.metrics.record_deadline_shed(len(shed))
+        now = time.perf_counter()
+        for pending in shed:
+            overdue = (
+                (now - pending.deadline) * 1e3
+                if pending.deadline is not None and now >= pending.deadline
+                else None
+            )
+            detail = (
+                f"expired {overdue:.1f}ms ago while queued"
+                if overdue is not None
+                else "cannot be met by the next batch "
+                f"(service estimate {self._service_ewma * 1e3:.1f}ms)"
+            )
+            pending.future.set_exception(
+                DeadlineExceeded(f"request deadline {detail}; shed unexecuted")
+            )
 
     def _loop(self) -> None:
         while True:
-            batch = self._collect()
+            batch, shed = self._collect()
+            self._fail_shed(shed)
             if batch is None:
                 return
+            if not batch:
+                continue
+            started = time.perf_counter()
             try:
                 results = self._run_batch([p.payload for p in batch])
             except Exception as exc:  # noqa: BLE001 — fail this batch only
@@ -204,6 +287,13 @@ class MicroBatcher:
                     pending.future.set_exception(error)
                 continue
             done = time.perf_counter()
+            service = done - started
+            self._service_ewma = (
+                service
+                if self._service_ewma == 0.0
+                else _SERVICE_EWMA_ALPHA * service
+                + (1.0 - _SERVICE_EWMA_ALPHA) * self._service_ewma
+            )
             self.metrics.record_batch([done - p.enqueued_at for p in batch])
             for pending, result in zip(batch, results):
                 pending.future.set_result(result)

@@ -1,0 +1,275 @@
+"""Per-model circuit breakers for the inference serving layer.
+
+A :class:`CircuitBreaker` guards one served model with the classic
+three-state machine:
+
+* **closed** — requests flow; outcomes are recorded into a sliding
+  count window.  When, with at least ``min_volume`` observations, the
+  window's error rate reaches ``error_threshold`` *or* its mean
+  latency reaches ``latency_threshold_ms``, the breaker trips open.
+* **open** — requests are rejected immediately with
+  :class:`~repro.core.errors.CircuitOpen` (fail fast; no queueing onto
+  a broken path).  After ``reset_timeout`` seconds the breaker moves
+  to half-open.
+* **half-open** — up to ``half_open_max`` probe requests are admitted.
+  ``half_open_successes`` consecutive probe successes close the
+  breaker (window cleared — old failures don't immediately re-trip
+  it); any probe failure reopens it and restarts the cooldown.
+
+Everything is deterministic given the injected ``clock`` (tests drive
+a fake clock; production uses ``time.perf_counter``), and every
+transition is recorded with its wall-clock time and reason so
+``serve-stats`` / ``serve-health`` can render the breaker's history.
+
+Thread safety: all public methods take the internal lock; the breaker
+is shared between many client threads and the batcher's scheduler
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.errors import ServingError
+
+#: The three breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip / recovery knobs of one circuit breaker.
+
+    Attributes:
+        error_threshold: error-rate in [0, 1] over the sliding window
+            at (or above) which the breaker trips.
+        latency_threshold_ms: mean request latency over the window at
+            (or above) which the breaker trips; ``None`` disables the
+            latency trigger.
+        window: number of most-recent request outcomes kept.
+        min_volume: minimum outcomes in the window before either
+            trigger is evaluated (avoid tripping on one cold failure).
+        reset_timeout: seconds an open breaker waits before admitting
+            half-open probes.
+        half_open_max: probe requests admitted while half-open.
+        half_open_successes: consecutive probe successes required to
+            close again.
+    """
+
+    error_threshold: float = 0.5
+    latency_threshold_ms: Optional[float] = None
+    window: int = 32
+    min_volume: int = 8
+    reset_timeout: float = 5.0
+    half_open_max: int = 2
+    half_open_successes: int = 2
+
+    def validate(self) -> "BreakerPolicy":
+        if not 0.0 < self.error_threshold <= 1.0:
+            raise ServingError(
+                f"error_threshold must be in (0, 1], got {self.error_threshold}"
+            )
+        if self.latency_threshold_ms is not None and self.latency_threshold_ms <= 0:
+            raise ServingError(
+                f"latency_threshold_ms must be positive, got "
+                f"{self.latency_threshold_ms}"
+            )
+        if self.window < 1:
+            raise ServingError(f"window must be >= 1, got {self.window}")
+        if self.min_volume < 1:
+            raise ServingError(f"min_volume must be >= 1, got {self.min_volume}")
+        if self.reset_timeout < 0:
+            raise ServingError(
+                f"reset_timeout must be >= 0, got {self.reset_timeout}"
+            )
+        if self.half_open_max < 1:
+            raise ServingError(
+                f"half_open_max must be >= 1, got {self.half_open_max}"
+            )
+        if self.half_open_successes < 1:
+            raise ServingError(
+                "half_open_successes must be >= 1, got "
+                f"{self.half_open_successes}"
+            )
+        return self
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a sliding outcome window."""
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        name: str = "model",
+        clock=time.perf_counter,
+    ):
+        self.policy = (policy or BreakerPolicy()).validate()
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        #: (ok: bool, latency_ms: float) per recorded outcome.
+        self._window: Deque[Tuple[bool, float]] = deque(
+            maxlen=self.policy.window
+        )
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._rejections = 0
+        self._trips = 0
+        #: (time, from_state, to_state, reason) transition log.
+        self._transitions: List[Tuple[float, str, str, str]] = []
+
+    # -- state machine ---------------------------------------------------
+
+    def _transition_locked(self, to_state: str, reason: str) -> None:
+        if to_state == self._state:
+            return
+        self._transitions.append((self._clock(), self._state, to_state, reason))
+        if to_state == OPEN:
+            self._trips += 1
+            self._opened_at = self._clock()
+        if to_state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if to_state == CLOSED:
+            self._window.clear()
+            self._opened_at = None
+        self._state = to_state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.policy.reset_timeout
+        ):
+            self._transition_locked(HALF_OPEN, "reset timeout elapsed")
+
+    def _evaluate_locked(self) -> None:
+        """Closed-state trigger check over the sliding window."""
+        if self._state != CLOSED or len(self._window) < self.policy.min_volume:
+            return
+        outcomes = list(self._window)
+        errors = sum(1 for ok, _ in outcomes if not ok)
+        error_rate = errors / len(outcomes)
+        if error_rate >= self.policy.error_threshold:
+            self._transition_locked(
+                OPEN,
+                f"error rate {error_rate:.2f} >= "
+                f"{self.policy.error_threshold:.2f} over {len(outcomes)}",
+            )
+            return
+        if self.policy.latency_threshold_ms is not None:
+            mean_ms = sum(lat for _, lat in outcomes) / len(outcomes)
+            if mean_ms >= self.policy.latency_threshold_ms:
+                self._transition_locked(
+                    OPEN,
+                    f"mean latency {mean_ms:.1f}ms >= "
+                    f"{self.policy.latency_threshold_ms:.1f}ms "
+                    f"over {len(outcomes)}",
+                )
+
+    # -- request path ----------------------------------------------------
+
+    def allow(self) -> bool:
+        """Admission check; False means reject with ``CircuitOpen``.
+
+        Half-open admits up to ``half_open_max`` in-flight probes; the
+        caller must report the probe's outcome via :meth:`record_success`
+        / :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.policy.half_open_max:
+                    self._probes_in_flight += 1
+                    return True
+                self._rejections += 1
+                return False
+            self._rejections += 1
+            return False
+
+    def record_success(self, latency_seconds: float = 0.0) -> None:
+        with self._lock:
+            latency_ms = float(latency_seconds) * 1e3
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.half_open_successes:
+                    self._transition_locked(
+                        CLOSED,
+                        f"{self._probe_successes} probe successes",
+                    )
+                return
+            self._window.append((True, latency_ms))
+            self._evaluate_locked()
+
+    def record_failure(self, latency_seconds: float = 0.0) -> None:
+        with self._lock:
+            latency_ms = float(latency_seconds) * 1e3
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                self._transition_locked(OPEN, "probe request failed")
+                return
+            self._window.append((False, latency_ms))
+            self._evaluate_locked()
+
+    def cancel(self) -> None:
+        """An admitted request was shed before reaching the model.
+
+        Undoes the half-open probe reservation made by :meth:`allow`
+        without recording an outcome (sheds say nothing about the
+        model path's health).
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def force_open(self, reason: str = "forced") -> None:
+        """Trip the breaker manually (operational kill switch / tests)."""
+        with self._lock:
+            self._transition_locked(OPEN, reason)
+
+    def force_close(self, reason: str = "forced") -> None:
+        with self._lock:
+            self._transition_locked(CLOSED, reason)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready summary for ``serve-stats`` / ``serve-health``."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            outcomes = list(self._window)
+            errors = sum(1 for ok, _ in outcomes if not ok)
+            return {
+                "state": self._state,
+                "trips": self._trips,
+                "rejections": self._rejections,
+                "window_size": len(outcomes),
+                "window_errors": errors,
+                "window_error_rate": (
+                    round(errors / len(outcomes), 4) if outcomes else 0.0
+                ),
+                "transitions": [
+                    {
+                        "at": round(at, 6),
+                        "from": from_state,
+                        "to": to_state,
+                        "reason": reason,
+                    }
+                    for at, from_state, to_state, reason in self._transitions
+                ],
+            }

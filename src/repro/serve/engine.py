@@ -26,20 +26,34 @@ scheme plus the PR2 batched-engine contract guarantee it, and
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.errors import ServingError
+from ..core.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    Overloaded,
+    PoisonedRequest,
+    ServingError,
+)
 from ..core.rng import SeedLike
 from ..core.timing import phase
 from ..snn.batched import TEST_SPIKE_STREAM, batch_winners, encode_indexed
 from .batcher import BatchPolicy, MicroBatcher
+from .breaker import BreakerPolicy, CircuitBreaker
 from .metrics import ServingMetrics
 
-#: A request payload as it sits in the batcher queue.
-Payload = Tuple[int, Optional[np.ndarray]]
+#: A request payload as it sits in the batcher queue:
+#: ``(index, image-or-None, absolute-deadline-or-None)``.
+Payload = Tuple[int, Optional[np.ndarray], Optional[float]]
+
+#: Errors that are *not* evidence of a broken model path and must not
+#: feed a model's circuit breaker: typed sheds and the breaker's own
+#: rejections.
+_NON_BREAKER_ERRORS = (Overloaded, DeadlineExceeded, CircuitOpen, PoisonedRequest)
 
 
 class ModelRunner:
@@ -191,6 +205,12 @@ class InferenceServer:
         policy: shared :class:`BatchPolicy` for every model's batcher.
         images: optional image table for index-only submissions.
         pool: optional sharded worker-pool backend.
+        breaker: shared :class:`~repro.serve.breaker.BreakerPolicy` for
+            every model's circuit breaker (default: the stock policy).
+        interceptor: optional chaos/diagnostics hook; its
+            ``before_batch(model, payloads)`` runs ahead of every
+            coalesced batch (the seam the chaos harness uses for
+            latency spikes and transient-error bursts).
     """
 
     def __init__(
@@ -199,22 +219,28 @@ class InferenceServer:
         policy: Optional[BatchPolicy] = None,
         images: Optional[np.ndarray] = None,
         pool=None,
+        breaker: Optional[BreakerPolicy] = None,
+        interceptor=None,
     ):
         if (runners is None) == (pool is None):
             raise ServingError("pass exactly one of runners= or pool=")
         self.runners = dict(runners) if runners is not None else {}
         self.pool = pool
         self.policy = (policy or BatchPolicy()).validate()
+        self.breaker_policy = (breaker or BreakerPolicy()).validate()
+        self.interceptor = interceptor
         self.images = None if images is None else np.asarray(images)
         names = sorted(self.runners) if pool is None else sorted(pool.models)
         if not names:
             raise ServingError("no models to serve")
         self.metrics: Dict[str, ServingMetrics] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
         self._batchers: Dict[str, MicroBatcher] = {}
         self._closed = False
         for name in names:
             metrics = ServingMetrics(self.policy.max_batch)
             self.metrics[name] = metrics
+            self.breakers[name] = CircuitBreaker(self.breaker_policy, name=name)
             self._batchers[name] = MicroBatcher(
                 run_batch=self._bind(name),
                 policy=self.policy,
@@ -248,11 +274,17 @@ class InferenceServer:
         model: str,
         image: Optional[np.ndarray] = None,
         index: int = -1,
+        deadline_ms: Optional[float] = None,
     ) -> Future:
         """Enqueue one request; returns a future resolving to its label.
 
         Give ``image`` (a raw luminance row), or just ``index`` when an
-        image table is attached.  Raises
+        image table is attached.  ``deadline_ms`` is a per-request
+        latency budget: work that cannot complete inside it is shed
+        with :class:`~repro.core.errors.DeadlineExceeded` wherever it
+        happens to be queued (never silently dropped).  Raises
+        :class:`~repro.core.errors.CircuitOpen` while the model's
+        circuit breaker is open,
         :class:`~repro.core.errors.Overloaded` when the model's queue
         is full and :class:`~repro.core.errors.ServingError` for an
         unknown model or after :meth:`close`.
@@ -267,7 +299,46 @@ class InferenceServer:
                 f"request for model {model!r} has no image and index "
                 f"{index} is not in the attached table"
             )
-        return batcher.submit((int(index), image))
+        metrics = self.metrics[model]
+        breaker = self.breakers[model]
+        if not breaker.allow():
+            metrics.record_breaker_rejection()
+            raise CircuitOpen(
+                f"circuit breaker for model {model!r} is {breaker.state}; "
+                "request rejected"
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            breaker.cancel()
+            raise ServingError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        submitted_at = time.perf_counter()
+        deadline = (
+            None if deadline_ms is None else submitted_at + deadline_ms * 1e-3
+        )
+        try:
+            future = batcher.submit((int(index), image, deadline), deadline=deadline)
+        except ServingError:
+            breaker.cancel()  # shed before reaching the model path
+            raise
+        future.add_done_callback(
+            self._breaker_recorder(breaker, submitted_at)
+        )
+        return future
+
+    @staticmethod
+    def _breaker_recorder(breaker: CircuitBreaker, submitted_at: float):
+        def record(future: Future) -> None:
+            latency = time.perf_counter() - submitted_at
+            error = future.exception()
+            if error is None:
+                breaker.record_success(latency)
+            elif isinstance(error, _NON_BREAKER_ERRORS):
+                breaker.cancel()  # typed shed, not a model-path failure
+            else:
+                breaker.record_failure(latency)
+
+        return record
 
     def predict(
         self,
@@ -275,9 +346,14 @@ class InferenceServer:
         image: Optional[np.ndarray] = None,
         index: int = -1,
         timeout: Optional[float] = 60.0,
+        deadline_ms: Optional[float] = None,
     ) -> int:
         """Blocking single prediction (``submit().result()``)."""
-        return int(self.submit(model, image=image, index=index).result(timeout))
+        return int(
+            self.submit(
+                model, image=image, index=index, deadline_ms=deadline_ms
+            ).result(timeout)
+        )
 
     def predict_many(
         self,
@@ -285,6 +361,7 @@ class InferenceServer:
         images: Optional[np.ndarray] = None,
         indices: Optional[Sequence[int]] = None,
         timeout: Optional[float] = 60.0,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Submit many requests concurrently; gather labels in order."""
         if images is None and indices is None:
@@ -294,7 +371,11 @@ class InferenceServer:
         for j in range(count):
             image = images[j] if images is not None else None
             index = int(indices[j]) if indices is not None else j
-            futures.append(self.submit(model, image=image, index=index))
+            futures.append(
+                self.submit(
+                    model, image=image, index=index, deadline_ms=deadline_ms
+                )
+            )
         return np.array([int(f.result(timeout)) for f in futures], dtype=np.int64)
 
     # -- warmup / introspection ----------------------------------------
@@ -328,12 +409,56 @@ class InferenceServer:
 
     def stats(self) -> Dict[str, Any]:
         """Per-model metric snapshots (the ``serve-stats`` payload)."""
-        return {
+        payload: Dict[str, Any] = {
             "models": {
-                name: {"model": name, **metrics.snapshot()}
-                for name, metrics in self.metrics.items()
+                name: {
+                    "model": name,
+                    **self.metrics[name].snapshot(),
+                    "breaker": self.breakers[name].snapshot(),
+                }
+                for name in self.models
             }
         }
+        if self.pool is not None:
+            payload["pool"] = self.pool.stats()
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness / liveness probe payload (``serve-health``).
+
+        * **live** — the server object exists and is not closed (a
+          process-level liveness signal).
+        * **ready** — every model's breaker admits traffic (not open)
+          *and*, with a pool backend, at least one shard is alive.
+
+        Per-model detail carries the breaker state and current queue
+        depth so an operator can see *why* readiness flipped.
+        """
+        live = not self._closed
+        models: Dict[str, Any] = {}
+        ready = live
+        for name in self.models:
+            snapshot = self.breakers[name].snapshot()
+            models[name] = {
+                "breaker": snapshot,
+                "queue_depth": self._batchers[name].queue_depth(),
+            }
+            if snapshot["state"] == "open":
+                ready = False
+        payload: Dict[str, Any] = {
+            "live": live,
+            "models": models,
+        }
+        if self.pool is not None:
+            alive = self.pool.alive_shards()
+            payload["pool"] = {
+                "alive_shards": alive,
+                "jobs": self.pool.jobs,
+            }
+            if not alive:
+                ready = False
+        payload["ready"] = ready
+        return payload
 
     # -- batch execution (scheduler threads land here) ------------------
 
@@ -353,7 +478,7 @@ class InferenceServer:
 
     def _resolve_images(self, payloads: List[Payload]) -> np.ndarray:
         rows = []
-        for index, image in payloads:
+        for index, image, _deadline in payloads:
             if image is not None:
                 rows.append(np.asarray(image))
             elif self.images is not None and 0 <= index < len(self.images):
@@ -365,14 +490,25 @@ class InferenceServer:
         return np.stack(rows)
 
     def _run_batch(self, name: str, payloads: List[Payload]) -> Sequence[Any]:
-        indices = [index for index, _ in payloads]
+        if self.interceptor is not None:
+            # Chaos / diagnostics seam: may sleep (latency spike) or
+            # raise (transient error burst) ahead of the model call.
+            self.interceptor.before_batch(name, payloads)
+        indices = [index for index, _, _ in payloads]
+        deadlines = [d for _, _, d in payloads if d is not None]
+        deadline = min(deadlines) if deadlines else None
         with phase("serve-batch"):
             if self.pool is not None:
-                if all(image is None for _, image in payloads) and self.pool.has_dataset:
+                if (
+                    all(image is None for _, image, _ in payloads)
+                    and self.pool.has_dataset
+                ):
                     images = None  # workers resolve rows from shared memory
                 else:
                     images = self._resolve_images(payloads)
-                return self.pool.run_batch(name, indices, images)
+                return self.pool.run_batch(
+                    name, indices, images, deadline=deadline
+                )
             return self.runners[name].run(indices, self._resolve_images(payloads))
 
     # -- lifecycle ------------------------------------------------------

@@ -28,13 +28,14 @@ and returns one JSON-ready payload (host metadata included).
 
 from __future__ import annotations
 
+import signal
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.errors import Overloaded, ServingError
+from ..core.errors import DeadlineExceeded, Overloaded, ServingError
 from ..core.hostinfo import host_metadata
 from ..core.rng import child_rng
 from .batcher import BatchPolicy
@@ -42,6 +43,50 @@ from .engine import InferenceServer
 
 #: Model names the driver knows how to build.
 KNOWN_MODELS = ("mlp", "mlp-q", "snnwt", "snnwot", "snnbp")
+
+
+class GracefulDrain:
+    """SIGTERM/SIGINT-driven graceful shutdown for load runs.
+
+    Entering the context installs handlers that *set an event* instead
+    of raising ``KeyboardInterrupt`` mid-batch: load loops poll
+    :attr:`stop` and exit cleanly, the server drains its queues, and
+    the already-collected metrics are still checkpointed to the output
+    payload.  Exiting restores the previous handlers.  ``triggered``
+    reports whether a signal arrived (the payload's ``drained`` flag).
+
+    Installation is a no-op off the main thread (Python only allows
+    signal handlers there), so library callers and tests can use the
+    same code path unconditionally.
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self) -> None:
+        self.stop = threading.Event()
+        self._previous: Dict[int, Any] = {}
+        self._installed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self.stop.is_set()
+
+    def _handle(self, _signum, _frame) -> None:
+        self.stop.set()
+
+    def __enter__(self) -> "GracefulDrain":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self.SIGNALS:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)
+            self._previous.clear()
+            self._installed = False
 
 
 def closed_loop(
@@ -52,23 +97,38 @@ def closed_loop(
     duration_seconds: float = 5.0,
     seed: int = 0,
     timeout: float = 60.0,
+    deadline_ms: Optional[float] = None,
+    stop_event: Optional[threading.Event] = None,
 ) -> Dict[str, Any]:
-    """Drive ``concurrency`` synchronous clients for ``duration_seconds``."""
+    """Drive ``concurrency`` synchronous clients for ``duration_seconds``.
+
+    ``deadline_ms`` attaches a per-request latency budget (deadline
+    sheds are tallied separately from hard errors).  ``stop_event``
+    ends the run early — the :class:`GracefulDrain` hook.
+    """
     if concurrency < 1:
         raise ServingError(f"concurrency must be >= 1, got {concurrency}")
     if n_indices < 1:
         raise ServingError(f"need a non-empty index space, got {n_indices}")
     stop = time.perf_counter() + duration_seconds
     counts = [0] * concurrency
+    deadline_sheds = [0] * concurrency
     errors: List[str] = []
     errors_lock = threading.Lock()
 
     def client(client_id: int) -> None:
         rng = child_rng(seed, "loadgen", client_id)
         while time.perf_counter() < stop:
+            if stop_event is not None and stop_event.is_set():
+                return
             index = int(rng.integers(n_indices))
             try:
-                server.predict(model, index=index, timeout=timeout)
+                server.predict(
+                    model, index=index, timeout=timeout, deadline_ms=deadline_ms
+                )
+            except DeadlineExceeded:
+                deadline_sheds[client_id] += 1
+                continue
             except Exception as exc:  # noqa: BLE001 — tally, keep driving
                 with errors_lock:
                     errors.append(repr(exc))
@@ -93,6 +153,7 @@ def closed_loop(
         "wall_seconds": round(wall, 3),
         "client_requests": total,
         "client_errors": len(errors),
+        "client_deadline_shed": int(sum(deadline_sheds)),
         "error_samples": errors[:3],
         "client_rps": round(total / wall, 2) if wall > 0 else 0.0,
     }
@@ -106,6 +167,8 @@ def open_loop(
     duration_seconds: float = 5.0,
     seed: int = 0,
     timeout: float = 60.0,
+    deadline_ms: Optional[float] = None,
+    stop_event: Optional[threading.Event] = None,
 ) -> Dict[str, Any]:
     """Offer a fixed arrival rate; count sheds instead of slowing down."""
     if offered_rps <= 0:
@@ -117,18 +180,25 @@ def open_loop(
     interval = 1.0 / offered_rps
     futures = []
     shed = 0
+    deadline_shed = 0
     errors: List[str] = []
     start = time.perf_counter()
     for j in range(n_requests):
+        if stop_event is not None and stop_event.is_set():
+            break
         target = start + j * interval
         delay = target - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
         index = int(rng.integers(n_indices))
         try:
-            futures.append(server.submit(model, index=index))
+            futures.append(
+                server.submit(model, index=index, deadline_ms=deadline_ms)
+            )
         except Overloaded:
             shed += 1
+        except DeadlineExceeded:
+            deadline_shed += 1
         except Exception as exc:  # noqa: BLE001
             errors.append(repr(exc))
     completed = 0
@@ -136,6 +206,8 @@ def open_loop(
         try:
             future.result(timeout)
             completed += 1
+        except DeadlineExceeded:
+            deadline_shed += 1
         except Exception as exc:  # noqa: BLE001
             errors.append(repr(exc))
     wall = time.perf_counter() - start
@@ -146,6 +218,7 @@ def open_loop(
         "wall_seconds": round(wall, 3),
         "client_requests": completed,
         "client_shed": shed,
+        "client_deadline_shed": deadline_shed,
         "client_errors": len(errors),
         "error_samples": errors[:3],
         "client_rps": round(completed / wall, 2) if wall > 0 else 0.0,
@@ -271,13 +344,21 @@ def run_loadtest(
     seed: int = 0,
     warm: bool = True,
     verify: bool = True,
+    deadline_ms: Optional[float] = None,
+    max_retries: int = 2,
+    supervise: bool = True,
 ) -> Dict[str, Any]:
     """Train, serve, load, measure; returns the JSON-ready payload.
 
     ``jobs=0`` serves in-process; ``jobs>=1`` serves through a
     :class:`~repro.serve.workers.ShardedPool` of that many worker
     processes sharing weights and the test-image table via shared
-    memory.
+    memory — supervised (dead shards respawn) unless ``supervise``
+    is off.  ``deadline_ms`` attaches a per-request latency budget;
+    ``max_retries`` bounds per-task shard-death requeues before
+    quarantine.  SIGTERM/SIGINT drain gracefully: load stops, queues
+    flush, and the metrics collected so far are still returned (the
+    payload's ``drained`` flag records the interruption).
     """
     if mode not in ("closed", "open"):
         raise ServingError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -289,10 +370,17 @@ def run_loadtest(
     )
     pool = None
     if jobs >= 1:
+        from .supervisor import SupervisorPolicy
         from .workers import ShardedPool
 
         pool = ShardedPool(
-            built["models"], jobs=jobs, images=test_images, seed=seed, warm=warm
+            built["models"],
+            jobs=jobs,
+            images=test_images,
+            seed=seed,
+            warm=warm,
+            max_task_retries=max_retries,
+            supervisor=SupervisorPolicy(seed=seed) if supervise else None,
         )
         server = InferenceServer(pool=pool, policy=policy, images=test_images)
     else:
@@ -310,6 +398,8 @@ def run_loadtest(
             "duration_seconds": duration_seconds,
             "concurrency": concurrency,
             "offered_rps": offered_rps if mode == "open" else None,
+            "deadline_ms": deadline_ms,
+            "max_retries": max_retries,
             "seed": seed,
             "n_test_images": int(len(test_images)),
         },
@@ -317,35 +407,50 @@ def run_loadtest(
         "models": {},
     }
     try:
-        if warm and jobs == 0:
-            server.warm()
-        if verify:
-            payload["bit_identical"] = verify_bit_identity(
-                server, built["models"], test_images, seed=seed
-            )
-        for name in names:
-            for metrics in server.metrics.values():
-                metrics.reset()
-            if mode == "closed":
-                client = closed_loop(
-                    server,
-                    name,
-                    len(test_images),
-                    concurrency=concurrency,
-                    duration_seconds=duration_seconds,
-                    seed=seed,
+        with GracefulDrain() as drain:
+            if warm and jobs == 0:
+                server.warm()
+            if verify:
+                payload["bit_identical"] = verify_bit_identity(
+                    server, built["models"], test_images, seed=seed
                 )
-            else:
-                client = open_loop(
-                    server,
-                    name,
-                    len(test_images),
-                    offered_rps=offered_rps,
-                    duration_seconds=duration_seconds,
-                    seed=seed,
-                )
-            snapshot = server.metrics[name].snapshot()
-            payload["models"][name] = {"model": name, **snapshot, "client": client}
+            for name in names:
+                if drain.triggered:
+                    break
+                for metrics in server.metrics.values():
+                    metrics.reset()
+                if mode == "closed":
+                    client = closed_loop(
+                        server,
+                        name,
+                        len(test_images),
+                        concurrency=concurrency,
+                        duration_seconds=duration_seconds,
+                        seed=seed,
+                        deadline_ms=deadline_ms,
+                        stop_event=drain.stop,
+                    )
+                else:
+                    client = open_loop(
+                        server,
+                        name,
+                        len(test_images),
+                        offered_rps=offered_rps,
+                        duration_seconds=duration_seconds,
+                        seed=seed,
+                        deadline_ms=deadline_ms,
+                        stop_event=drain.stop,
+                    )
+                payload["models"][name] = {
+                    "model": name,
+                    **server.metrics[name].snapshot(),
+                    "breaker": server.breakers[name].snapshot(),
+                    "client": client,
+                }
+            payload["drained"] = drain.triggered
+            if pool is not None:
+                payload["pool"] = pool.stats()
+            payload["health"] = server.health()
     finally:
         server.close()
     return payload

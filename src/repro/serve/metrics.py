@@ -52,6 +52,8 @@ class ServingMetrics:
             self.completed = 0
             self.shed = 0
             self.failed = 0
+            self.deadline_shed = 0
+            self.breaker_rejections = 0
             self.queue_depth_peak = 0
             self._queue_depth_sum = 0
             self.batch_histogram: Dict[int, int] = {}
@@ -76,6 +78,16 @@ class ServingMetrics:
         """One request rejected by admission control."""
         with self._lock:
             self.shed += 1
+
+    def record_deadline_shed(self, count: int = 1) -> None:
+        """``count`` requests shed because their deadline expired."""
+        with self._lock:
+            self.deadline_shed += int(count)
+
+    def record_breaker_rejection(self) -> None:
+        """One request rejected by an open circuit breaker."""
+        with self._lock:
+            self.breaker_rejections += 1
 
     def record_batch(self, latencies_seconds: Sequence[float]) -> None:
         """One coalesced batch completed; per-request latencies in s."""
@@ -112,6 +124,8 @@ class ServingMetrics:
                 "completed": self.completed,
                 "shed": self.shed,
                 "failed": self.failed,
+                "deadline_shed": self.deadline_shed,
+                "breaker_rejections": self.breaker_rejections,
                 "batches": batches,
                 "batch_size_histogram": {str(k): v for k, v in histogram.items()},
                 "mean_batch_size": round(self.completed / batches, 3) if batches else 0.0,
@@ -194,6 +208,20 @@ def render_stats(payload: Dict[str, Any]) -> str:
             f"{stats.get('failed', 0)} failed "
             f"({stats.get('requests_per_second', 0.0)} req/s)"
         )
+        if stats.get("deadline_shed") or stats.get("breaker_rejections"):
+            lines.append(
+                "  reliability: "
+                f"{stats.get('deadline_shed', 0)} deadline shed, "
+                f"{stats.get('breaker_rejections', 0)} breaker rejections"
+            )
+        breaker = stats.get("breaker")
+        if isinstance(breaker, dict):
+            lines.append(
+                "  breaker:   "
+                f"state {breaker.get('state', '?')}, "
+                f"{breaker.get('trips', 0)} trip(s), "
+                f"{breaker.get('rejections', 0)} rejection(s)"
+            )
         lines.append(
             "  batching:  "
             f"{stats.get('batches', 0)} batches, "
@@ -222,4 +250,84 @@ def render_stats(payload: Dict[str, Any]) -> str:
                 )
             )
             lines.append(f"  batch hist (size:count):  {rendered}")
+    pool = payload.get("pool")
+    if isinstance(pool, dict):
+        lines.append("pool:")
+        lines.append(
+            "  shards:    "
+            f"{len(pool.get('alive_shards', []))} alive of "
+            f"{pool.get('jobs', '?')}  "
+            f"(respawns {pool.get('respawns', 0)}, "
+            f"wedge kills {pool.get('wedge_kills', 0)})"
+        )
+        lines.append(
+            "  tasks:     "
+            f"{pool.get('requeues', 0)} requeued, "
+            f"{pool.get('duplicate_completions', 0)} duplicate completions "
+            f"(no-ops), {pool.get('quarantined', 0)} quarantined, "
+            f"{pool.get('quarantine_rejections', 0)} quarantine rejections, "
+            f"{pool.get('deadline_shed', 0)} deadline shed"
+        )
+        supervisor = pool.get("supervisor")
+        if isinstance(supervisor, dict):
+            slots = supervisor.get("slots", {})
+            described = "  ".join(
+                f"{slot}:{info.get('breaker', '?')}"
+                f"({info.get('respawns', 0)})"
+                for slot, info in sorted(slots.items())
+            )
+            lines.append(
+                "  supervisor: "
+                f"{supervisor.get('respawns', 0)} respawn(s), "
+                f"{supervisor.get('crash_loop_trips', 0)} crash-loop trip(s)"
+                + (f"  slots {described}" if described else "")
+            )
+    chaos = payload.get("chaos")
+    if isinstance(chaos, dict):
+        lines.append("chaos:")
+        lines.append(
+            f"  scenario:  {chaos.get('scenario', '?')} "
+            f"(seed {chaos.get('seed', '?')})"
+        )
+        outcomes = chaos.get("outcomes", {})
+        if outcomes:
+            lines.append(
+                "  outcomes:  "
+                + ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+            )
+        lines.append(
+            "  invariants: "
+            f"lost {chaos.get('lost', '?')}, "
+            f"duplicates {chaos.get('duplicates', '?')}, "
+            f"bit mismatches {chaos.get('bit_mismatches', '?')}"
+        )
+    return "\n".join(lines)
+
+
+def render_health(payload: Dict[str, Any]) -> str:
+    """ASCII rendering of a health payload (``repro serve-health``).
+
+    Accepts either a bare :meth:`InferenceServer.health` payload or a
+    full loadtest stats payload carrying one under ``"health"``.
+    """
+    health = payload.get("health", payload)
+    if not isinstance(health, dict) or "ready" not in health:
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines = [
+        f"ready: {'yes' if health.get('ready') else 'NO'}",
+        f"live:  {'yes' if health.get('live', True) else 'NO'}",
+    ]
+    for name, info in sorted(health.get("models", {}).items()):
+        breaker = info.get("breaker", {})
+        lines.append(
+            f"model {name}: breaker {breaker.get('state', '?')} "
+            f"({breaker.get('trips', 0)} trip(s)), "
+            f"queue depth {info.get('queue_depth', 0)}"
+        )
+    pool = health.get("pool")
+    if isinstance(pool, dict):
+        lines.append(
+            f"pool: {len(pool.get('alive_shards', []))} of "
+            f"{pool.get('jobs', '?')} shard(s) alive"
+        )
     return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Shard supervision: respawn dead/wedged shards under a crash-loop breaker.
+
+PR 4's :class:`~repro.serve.workers.ShardedPool` tolerated shard death
+by degrading capacity — a killed shard stayed dead.  The
+:class:`ShardSupervisor` closes the loop:
+
+* **death detection** — the pool's collector threads flag dead shards
+  (``process.is_alive()``) and wake the supervisor via the pool's
+  ``death_event``;
+* **wedge detection** — every shard emits heartbeats while idle and
+  results while busy, so a shard whose last message is older than
+  ``wedge_timeout`` is *wedged* (alive but stuck); the supervisor
+  hard-kills it (counted as ``wedge_kills``) and lets the normal
+  death path requeue its work;
+* **respawn with exponential backoff + deterministic jitter** — a dead
+  slot is respawned after ``backoff_base * factor^crashes`` seconds
+  (capped at ``backoff_max``), plus a jitter fraction drawn from a
+  seeded child RNG (:func:`repro.core.rng.child_rng` keyed by slot),
+  so restart stampedes are avoided *and* reproducible;
+* **crash-loop breaker** — more than ``max_respawns`` deaths within
+  ``respawn_window`` seconds trips the slot's breaker **open**
+  (respawns stop; the condition is reported as
+  :class:`~repro.core.errors.ShardCrashLoop` in the snapshot); after
+  ``cooldown`` seconds the breaker goes **half-open** and one probe
+  respawn is allowed — a crash re-opens it, while outliving the
+  window closes it again.
+
+The supervisor never touches request routing: surviving shards keep
+serving while a slot is down, and a respawned shard rebuilds its
+models from the same shared-memory weights, so recovery cannot change
+answers — only capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from ..core.errors import ServingError
+from ..core.rng import child_rng
+
+#: Crash-loop breaker states (mirrors :mod:`repro.serve.breaker`).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the shard supervisor.
+
+    Attributes:
+        poll_interval: seconds between health sweeps (the supervisor
+            also wakes immediately on a collector-reported death).
+        wedge_timeout: seconds of shard silence (no heartbeat, no
+            result) before an *alive* shard is declared wedged and
+            hard-killed; ``None`` disables wedge detection.  Must
+            exceed the longest legitimate batch.
+        backoff_base: delay before the first respawn attempt.
+        backoff_factor: multiplier per consecutive crash.
+        backoff_max: cap on the respawn delay.
+        jitter: fraction of the delay added as seeded jitter in
+            ``[0, jitter)``.
+        max_respawns: deaths tolerated within ``respawn_window``
+            before the slot's crash-loop breaker trips open.
+        respawn_window: sliding window (seconds) for the crash count.
+        cooldown: seconds an open crash-loop breaker waits before
+            allowing one half-open probe respawn.
+        ready_timeout: seconds to wait for a respawned shard's ready
+            message before counting the attempt as another crash.
+        seed: RNG root for the per-slot jitter streams.
+    """
+
+    poll_interval: float = 0.2
+    wedge_timeout: Optional[float] = 30.0
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter: float = 0.25
+    max_respawns: int = 3
+    respawn_window: float = 30.0
+    cooldown: float = 10.0
+    ready_timeout: float = 120.0
+    seed: int = 0
+
+    def validate(self) -> "SupervisorPolicy":
+        if self.poll_interval <= 0:
+            raise ServingError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.wedge_timeout is not None and self.wedge_timeout <= 0:
+            raise ServingError(
+                f"wedge_timeout must be positive or None, got {self.wedge_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ServingError(
+                "need 0 <= backoff_base <= backoff_max, got "
+                f"{self.backoff_base}/{self.backoff_max}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ServingError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_respawns < 1:
+            raise ServingError(
+                f"max_respawns must be >= 1, got {self.max_respawns}"
+            )
+        if self.respawn_window <= 0 or self.cooldown < 0:
+            raise ServingError(
+                "respawn_window must be positive and cooldown >= 0, got "
+                f"{self.respawn_window}/{self.cooldown}"
+            )
+        return self
+
+
+class _SlotState:
+    """Supervisor-side bookkeeping for one shard slot."""
+
+    __slots__ = (
+        "slot",
+        "death_times",
+        "consecutive_crashes",
+        "respawns",
+        "breaker",
+        "opened_at",
+        "next_attempt_at",
+        "awaiting_respawn",
+        "rng",
+    )
+
+    def __init__(self, slot: int, seed: int):
+        self.slot = slot
+        self.death_times: Deque[float] = deque()
+        self.consecutive_crashes = 0
+        self.respawns = 0
+        self.breaker = CLOSED
+        self.opened_at: Optional[float] = None
+        self.next_attempt_at: Optional[float] = None
+        self.awaiting_respawn = False
+        self.rng = child_rng(seed, "shard-supervisor", slot)
+
+
+class ShardSupervisor:
+    """Background thread healing one :class:`ShardedPool`."""
+
+    def __init__(self, pool, policy: Optional[SupervisorPolicy] = None):
+        self.pool = pool
+        self.policy = (policy or SupervisorPolicy()).validate()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._slots: Dict[int, _SlotState] = {
+            slot: _SlotState(slot, self.policy.seed)
+            for slot in range(pool.jobs)
+        }
+        self._crash_loop_trips = 0
+        self._total_respawns = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-shard-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        self.pool.death_event.set()  # wake a waiting supervisor promptly
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # -- the supervision loop -------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.pool.death_event.wait(self.policy.poll_interval)
+            self.pool.death_event.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self._sweep()
+            except ServingError:
+                # Pool closing underneath us or a respawn refused —
+                # the next sweep (or stop()) sorts it out.
+                continue
+
+    def _sweep(self) -> None:
+        now = time.perf_counter()
+        self._detect_wedges(now)
+        alive = set(self.pool.alive_shards())
+        for slot, state in self._slots.items():
+            if slot in alive:
+                self._note_alive(state, now)
+                continue
+            self._heal_slot(state, now)
+
+    def _detect_wedges(self, now: float) -> None:
+        if self.policy.wedge_timeout is None:
+            return
+        for slot, age in self.pool.message_ages().items():
+            if age > self.policy.wedge_timeout:
+                self.pool._bump("wedge_kills")
+                self.pool.kill_shard(slot)
+                # The slot's collector notices the death and requeues;
+                # the next sweep schedules the respawn.
+
+    def _note_alive(self, state: _SlotState, now: float) -> None:
+        """Alive slot housekeeping: probe outcomes + breaker closing."""
+        state.awaiting_respawn = False
+        state.next_attempt_at = None
+        self._prune(state, now)
+        if state.breaker == HALF_OPEN and not state.death_times:
+            # The probe respawn outlived the crash window: close.
+            state.breaker = CLOSED
+            state.consecutive_crashes = 0
+        elif state.breaker == CLOSED and not state.death_times:
+            state.consecutive_crashes = 0
+
+    def _prune(self, state: _SlotState, now: float) -> None:
+        while (
+            state.death_times
+            and now - state.death_times[0] > self.policy.respawn_window
+        ):
+            state.death_times.popleft()
+
+    def _heal_slot(self, state: _SlotState, now: float) -> None:
+        policy = self.policy
+        if not state.awaiting_respawn:
+            # Newly observed death: record it, maybe trip the breaker,
+            # and schedule the (backed-off, jittered) respawn attempt.
+            state.awaiting_respawn = True
+            state.death_times.append(now)
+            state.consecutive_crashes += 1
+            self._prune(state, now)
+            if state.breaker == HALF_OPEN:
+                # The probe shard crashed: straight back to open.
+                state.breaker = OPEN
+                state.opened_at = now
+            elif (
+                state.breaker == CLOSED
+                and len(state.death_times) > policy.max_respawns
+            ):
+                state.breaker = OPEN
+                state.opened_at = now
+                self._crash_loop_trips += 1
+            state.next_attempt_at = now + self._backoff(state)
+        if state.breaker == OPEN:
+            if (
+                state.opened_at is not None
+                and now - state.opened_at >= policy.cooldown
+            ):
+                state.breaker = HALF_OPEN  # allow one probe respawn
+            else:
+                return  # crash-looping: sit out the cooldown
+        if state.next_attempt_at is not None and now < state.next_attempt_at:
+            return
+        try:
+            self.pool.respawn_shard(state.slot, ready_timeout=policy.ready_timeout)
+        except ServingError:
+            # The replacement failed to come up: count it as another
+            # crash and back off further.
+            state.death_times.append(time.perf_counter())
+            state.consecutive_crashes += 1
+            if state.breaker == HALF_OPEN:
+                state.breaker = OPEN
+                state.opened_at = time.perf_counter()
+            elif (
+                state.breaker == CLOSED
+                and len(state.death_times) > policy.max_respawns
+            ):
+                state.breaker = OPEN
+                state.opened_at = time.perf_counter()
+                self._crash_loop_trips += 1
+            state.next_attempt_at = time.perf_counter() + self._backoff(state)
+            return
+        state.respawns += 1
+        state.awaiting_respawn = False
+        state.next_attempt_at = None
+        with self._lock:
+            self._total_respawns += 1
+
+    def _backoff(self, state: _SlotState) -> float:
+        """Exponential backoff with deterministic per-slot jitter."""
+        policy = self.policy
+        exponent = max(state.consecutive_crashes - 1, 0)
+        delay = min(
+            policy.backoff_base * (policy.backoff_factor ** exponent),
+            policy.backoff_max,
+        )
+        if policy.jitter > 0:
+            delay *= 1.0 + policy.jitter * float(state.rng.random())
+        return delay
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready supervisor state for ``serve-stats`` / health."""
+        with self._lock:
+            total = self._total_respawns
+        slots = {}
+        for slot, state in sorted(self._slots.items()):
+            slots[str(slot)] = {
+                "breaker": state.breaker,
+                "respawns": state.respawns,
+                "consecutive_crashes": state.consecutive_crashes,
+                "recent_deaths": len(state.death_times),
+                "awaiting_respawn": state.awaiting_respawn,
+            }
+        return {
+            "respawns": total,
+            "crash_loop_trips": self._crash_loop_trips,
+            "slots": slots,
+        }
+
+    def crash_looping_slots(self) -> list:
+        """Slots whose crash-loop breaker is currently open."""
+        return [
+            slot
+            for slot, state in sorted(self._slots.items())
+            if state.breaker == OPEN
+        ]

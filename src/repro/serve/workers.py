@@ -12,16 +12,31 @@ model configs / coders / label maps at spawn, and per-task
 index-only traffic against a shared dataset, a task is just a list of
 ints.
 
-Fault tolerance (asserted by ``tests/serve/test_workers.py``):
+Fault tolerance (asserted by ``tests/serve/test_workers.py`` and
+``tests/serve/test_supervisor.py``):
 
 * each shard has a dedicated collector thread that polls the shard's
   result queue with a short timeout and checks ``process.is_alive()``
-  between polls;
+  between polls; idle shards emit **heartbeats** so a wedged (alive
+  but stuck) shard is distinguishable from a busy one;
 * when a shard dies mid-task, its in-flight tasks are **requeued** on
-  the surviving shards (results are keyed by ``task_id``, so a
-  duplicate completion is a no-op);
+  the surviving shards — but only up to ``max_task_retries`` shard
+  deaths per task: a task that keeps killing shards is **quarantined**
+  with a typed :class:`~repro.core.errors.PoisonedRequest` (its
+  signature is remembered and resubmissions fail fast) instead of
+  being requeued forever;
+* results are keyed by ``task_id``, so a duplicate completion after a
+  requeue raced the original is an explicit no-op (counted as
+  ``duplicate_completions`` in :meth:`ShardedPool.stats`);
+* a task whose **deadline** expired while its shard died is shed with
+  :class:`~repro.core.errors.DeadlineExceeded` instead of consuming a
+  survivor's capacity;
 * when the *last* shard dies, pending tasks fail with
-  :class:`~repro.core.errors.ServingError` instead of hanging.
+  :class:`~repro.core.errors.ServingError` instead of hanging;
+* with a :class:`~repro.serve.supervisor.SupervisorPolicy` attached,
+  dead or wedged shards are **respawned** (exponential backoff +
+  deterministic jitter) under a per-slot crash-loop breaker — see
+  :mod:`repro.serve.supervisor`.
 
 Rebuild-from-views is exact: every model family's forward pass reads
 its arrays without writing (inference only), so handing it read-only
@@ -36,12 +51,13 @@ import itertools
 import multiprocessing
 import queue as queue_module
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.errors import ServingError
+from ..core.errors import DeadlineExceeded, PoisonedRequest, ServingError
 from ..core.rng import SeedLike
 from .shm import Layout, SharedArrayBundle
 
@@ -51,6 +67,23 @@ _POLL_SECONDS = 0.2
 
 #: Key under which the dataset image table is published in the bundle.
 _DATASET_KEY = "dataset/images"
+
+#: Seconds an *idle* worker waits for a task before emitting a
+#: heartbeat message on its result queue.  Wedge detection compares
+#: the parent-side age of the last message against the supervisor's
+#: ``wedge_timeout`` — a busy shard goes quiet too, so the timeout
+#: must exceed the longest legitimate batch.
+HEARTBEAT_SECONDS = 0.5
+
+#: Chaos-hook pseudo-model: a task with this name hard-kills the
+#: worker process mid-task (``os._exit``), modelling a poison request
+#: that reliably crashes whatever shard picks it up.  Only honoured
+#: when the pool was built with ``chaos_hooks=True``.
+POISON_MODEL = "__poison__"
+
+#: Chaos-hook control message: ``(_WEDGE, seconds)`` makes the worker
+#: sleep without heartbeating — an alive-but-stuck shard.
+_WEDGE = "__wedge__"
 
 
 # ---------------------------------------------------------------------------
@@ -191,8 +224,17 @@ def _shard_main(
     start_method: str,
     in_q,
     out_q,
+    chaos_hooks: bool = False,
 ) -> None:
-    """Worker entry point: attach, rebuild, serve tasks until sentinel."""
+    """Worker entry point: attach, rebuild, serve tasks until sentinel.
+
+    Idle workers emit a heartbeat message every
+    :data:`HEARTBEAT_SECONDS` so the supervisor can distinguish a
+    wedged shard (no messages at all) from an idle one.
+    """
+    import os
+    import time as time_module
+
     from .engine import build_runners
 
     # Fork-started shards share the parent's resource tracker; see
@@ -212,10 +254,21 @@ def _shard_main(
                 runner.precode(range(len(images)), images)
         out_q.put(("ready", shard_id, None, None))
         while True:
-            task = in_q.get()
+            try:
+                task = in_q.get(timeout=HEARTBEAT_SECONDS)
+            except queue_module.Empty:
+                out_q.put(("heartbeat", shard_id, None, time_module.time()))
+                continue
             if task is None:
                 return
+            if chaos_hooks and isinstance(task, tuple) and task[0] == _WEDGE:
+                # Alive-but-stuck: sleep without heartbeating so the
+                # supervisor's wedge detector has something to find.
+                time_module.sleep(float(task[1]))
+                continue
             task_id, model, indices, rows = task
+            if chaos_hooks and model == POISON_MODEL:
+                os._exit(13)  # poison request: crash the shard mid-task
             try:
                 if rows is None:
                     if images is None:
@@ -239,27 +292,49 @@ def _shard_main(
 class _Shard:
     """Parent-side handle: process + queues + collector thread."""
 
-    __slots__ = ("shard_id", "process", "in_q", "out_q", "collector", "alive")
+    __slots__ = (
+        "shard_id",
+        "generation",
+        "process",
+        "in_q",
+        "out_q",
+        "collector",
+        "alive",
+        "last_message_at",
+    )
 
-    def __init__(self, shard_id: int, process, in_q, out_q):
+    def __init__(self, shard_id: int, process, in_q, out_q, generation: int = 0):
         self.shard_id = shard_id
+        self.generation = generation
         self.process = process
         self.in_q = in_q
         self.out_q = out_q
         self.collector: Optional[threading.Thread] = None
         self.alive = True
+        #: Parent-clock time of the last message (ready / heartbeat /
+        #: result / error) received from this shard — the wedge signal.
+        self.last_message_at = time.perf_counter()
 
 
 class _Task:
-    """One in-flight batch: its future, payload and current shard."""
+    """One in-flight batch: future, payload, shard, deaths, deadline."""
 
-    __slots__ = ("task_id", "payload", "shard_id", "future")
+    __slots__ = ("task_id", "payload", "shard_id", "future", "deaths", "deadline")
 
-    def __init__(self, task_id: int, payload: tuple, shard_id: int):
+    def __init__(
+        self,
+        task_id: int,
+        payload: tuple,
+        shard_id: int,
+        deadline: Optional[float] = None,
+    ):
         self.task_id = task_id
         self.payload = payload
         self.shard_id = shard_id
         self.future: Future = Future()
+        #: Number of shard deaths this task has been in flight across.
+        self.deaths = 0
+        self.deadline = deadline
 
 
 class ShardedPool:
@@ -278,6 +353,16 @@ class ShardedPool:
             where available — the shards attach the segment either way).
         task_timeout: seconds :meth:`run_batch` waits before declaring
             a task lost.
+        max_task_retries: shard deaths a single task may survive (being
+            requeued each time) before it is quarantined with
+            :class:`~repro.core.errors.PoisonedRequest`.
+        supervisor: optional
+            :class:`~repro.serve.supervisor.SupervisorPolicy`; when
+            given, a :class:`~repro.serve.supervisor.ShardSupervisor`
+            respawns dead/wedged shards under a crash-loop breaker.
+        chaos_hooks: enable the in-worker chaos hooks
+            (:data:`POISON_MODEL` tasks and :meth:`wedge_shard`) used
+            by the chaos harness and the fault-tolerance tests.
     """
 
     def __init__(
@@ -289,22 +374,48 @@ class ShardedPool:
         warm: bool = True,
         start_method: Optional[str] = None,
         task_timeout: float = 120.0,
+        max_task_retries: int = 2,
+        supervisor=None,
+        chaos_hooks: bool = False,
     ):
         if jobs < 1:
             raise ServingError(f"jobs must be >= 1, got {jobs}")
         if not models:
             raise ServingError("no models to serve")
+        if max_task_retries < 0:
+            raise ServingError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
         self.models = sorted(models)
+        self.jobs = jobs
         self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self._chaos_hooks = chaos_hooks
         self._n_rows = 0 if images is None else len(images)
         self._lock = threading.Lock()
         self._tasks: Dict[int, _Task] = {}
         self._task_ids = itertools.count()
         self._rr = itertools.count()
         self._closing = False
+        #: quarantined task signature -> shard deaths it caused.
+        self._quarantine: Dict[tuple, int] = {}
+        #: reliability counters (under self._lock; see stats()).
+        self._counters: Dict[str, int] = {
+            "requeues": 0,
+            "duplicate_completions": 0,
+            "quarantined": 0,
+            "quarantine_rejections": 0,
+            "deadline_shed": 0,
+            "respawns": 0,
+            "wedge_kills": 0,
+            "shard_deaths": 0,
+        }
+        #: set by the collector on every shard death; the supervisor
+        #: waits on it instead of busy-polling.
+        self.death_event = threading.Event()
 
         arrays: Dict[str, np.ndarray] = {}
-        specs = {
+        self._specs = {
             name: _publish_model(name, model, arrays)
             for name, model in models.items()
         }
@@ -315,56 +426,120 @@ class ShardedPool:
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else methods[0]
-        ctx = multiprocessing.get_context(start_method)
+        self._start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        self._seed = seed
+        self._warm = warm
+        self._supervisor = None
         self._shards: List[_Shard] = []
         try:
             for shard_id in range(jobs):
-                in_q = ctx.Queue()
-                out_q = ctx.Queue()
-                process = ctx.Process(
-                    target=_shard_main,
-                    args=(
-                        shard_id,
-                        self._bundle.spec(),
-                        specs,
-                        seed,
-                        warm,
-                        start_method,
-                        in_q,
-                        out_q,
-                    ),
-                    name=f"repro-shard-{shard_id}",
-                    daemon=True,
-                )
-                process.start()
-                self._shards.append(_Shard(shard_id, process, in_q, out_q))
-            self._await_ready()
+                self._shards.append(self._spawn_shard(shard_id, generation=0))
+            for shard in self._shards:
+                self._await_ready(shard)
         except Exception:
             self.close()
             raise
         for shard in self._shards:
-            shard.collector = threading.Thread(
-                target=self._collect,
-                args=(shard,),
-                name=f"repro-collector-{shard.shard_id}",
-                daemon=True,
-            )
-            shard.collector.start()
+            self._start_collector(shard)
+        if supervisor is not None:
+            from .supervisor import ShardSupervisor, SupervisorPolicy
 
-    # -- startup --------------------------------------------------------
-
-    def _await_ready(self, timeout: float = 120.0) -> None:
-        for shard in self._shards:
-            try:
-                kind, *_rest = shard.out_q.get(timeout=timeout)
-            except queue_module.Empty:
+            if not isinstance(supervisor, SupervisorPolicy):
                 raise ServingError(
-                    f"shard {shard.shard_id} did not come up within {timeout}s"
-                ) from None
-            if kind != "ready":  # pragma: no cover - defensive
-                raise ServingError(
-                    f"shard {shard.shard_id} sent {kind!r} before ready"
+                    "supervisor= expects a SupervisorPolicy, got "
+                    f"{type(supervisor).__name__}"
                 )
+            self._supervisor = ShardSupervisor(self, supervisor)
+            self._supervisor.start()
+
+    # -- startup / (re)spawn --------------------------------------------
+
+    def _spawn_shard(self, shard_id: int, generation: int) -> _Shard:
+        """Start one worker process for ``shard_id`` (not yet ready)."""
+        in_q = self._ctx.Queue()
+        out_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(
+                shard_id,
+                self._bundle.spec(),
+                self._specs,
+                self._seed,
+                self._warm,
+                self._start_method,
+                in_q,
+                out_q,
+                self._chaos_hooks,
+            ),
+            name=f"repro-shard-{shard_id}g{generation}",
+            daemon=True,
+        )
+        process.start()
+        return _Shard(shard_id, process, in_q, out_q, generation=generation)
+
+    def _await_ready(self, shard: _Shard, timeout: float = 120.0) -> None:
+        try:
+            kind, *_rest = shard.out_q.get(timeout=timeout)
+        except queue_module.Empty:
+            raise ServingError(
+                f"shard {shard.shard_id} did not come up within {timeout}s"
+            ) from None
+        if kind != "ready":  # pragma: no cover - defensive
+            raise ServingError(
+                f"shard {shard.shard_id} sent {kind!r} before ready"
+            )
+        shard.last_message_at = time.perf_counter()
+
+    def _start_collector(self, shard: _Shard) -> None:
+        shard.collector = threading.Thread(
+            target=self._collect,
+            args=(shard,),
+            name=f"repro-collector-{shard.shard_id}g{shard.generation}",
+            daemon=True,
+        )
+        shard.collector.start()
+
+    def respawn_shard(self, shard_id: int, ready_timeout: float = 120.0) -> None:
+        """Replace a dead shard slot with a fresh worker process.
+
+        Called by the :class:`~repro.serve.supervisor.ShardSupervisor`
+        (or tests).  Raises :class:`ServingError` when the replacement
+        fails to come up — the supervisor counts that as another crash.
+        """
+        with self._lock:
+            if self._closing:
+                raise ServingError("pool is closing; not respawning")
+            old = self._shards[shard_id]
+            if old.alive and old.process.is_alive():
+                raise ServingError(
+                    f"shard {shard_id} is still alive; refusing to respawn"
+                )
+            generation = old.generation + 1
+        replacement = self._spawn_shard(shard_id, generation=generation)
+        try:
+            self._await_ready(replacement, timeout=ready_timeout)
+        except ServingError:
+            if replacement.process.is_alive():  # pragma: no cover - defensive
+                replacement.process.terminate()
+            raise
+        with self._lock:
+            if self._closing:
+                replacement.process.terminate()
+                raise ServingError("pool closed while respawning")
+            self._close_shard_queues(old)
+            self._shards[shard_id] = replacement
+            self._counters["respawns"] += 1
+        self._start_collector(replacement)
+
+    @staticmethod
+    def _close_shard_queues(shard: _Shard) -> None:
+        for q in (shard.in_q, shard.out_q):
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
 
     # -- introspection ---------------------------------------------------
 
@@ -382,6 +557,49 @@ class ShardedPool:
     def nbytes_shared(self) -> int:
         return self._bundle.nbytes()
 
+    def message_ages(self) -> Dict[int, float]:
+        """Seconds since each *alive* shard's last message (wedge signal)."""
+        now = time.perf_counter()
+        with self._lock:
+            return {
+                s.shard_id: now - s.last_message_at
+                for s in self._shards
+                if s.alive
+            }
+
+    def quarantined_signatures(self) -> List[tuple]:
+        with self._lock:
+            return sorted(self._quarantine)
+
+    def clear_quarantine(self) -> int:
+        """Forget every quarantined signature; returns how many."""
+        with self._lock:
+            count = len(self._quarantine)
+            self._quarantine.clear()
+            return count
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += by
+
+    def stats(self) -> Dict[str, Any]:
+        """Reliability counters + topology (the ``serve-stats`` pool view)."""
+        with self._lock:
+            payload: Dict[str, Any] = dict(self._counters)
+            payload["jobs"] = self.jobs
+            payload["alive_shards"] = [
+                s.shard_id for s in self._shards if s.alive
+            ]
+            payload["generations"] = {
+                str(s.shard_id): s.generation for s in self._shards
+            }
+            payload["quarantined_signatures"] = [
+                list(map(str, sig)) for sig in sorted(self._quarantine)
+            ]
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.snapshot()
+        return payload
+
     # -- task path -------------------------------------------------------
 
     def run_batch(
@@ -389,21 +607,43 @@ class ShardedPool:
         model: str,
         indices: Sequence[int],
         images: Optional[np.ndarray],
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Run one coalesced batch on some shard; blocks for the result.
 
         ``images=None`` sends an index-only task (requires a published
-        dataset).  Raises :class:`ServingError` when every shard is
-        dead or the task fails in the worker.
+        dataset).  ``deadline`` is an absolute ``time.perf_counter``
+        timestamp: expired work is shed with :class:`DeadlineExceeded`
+        *before* it consumes any shard — at dispatch and again if a
+        shard death would otherwise requeue it.  A task signature that
+        was previously quarantined fails fast with
+        :class:`PoisonedRequest`.  Raises :class:`ServingError` when
+        every shard is dead or the task fails in the worker.
         """
-        if model not in self.models:
+        if model not in self.models and not (
+            self._chaos_hooks and model == POISON_MODEL
+        ):
             raise ServingError(f"unknown model {model!r}; pool serves {self.models}")
         indices = [int(i) for i in indices]
+        signature = (model, tuple(indices))
         with self._lock:
+            if signature in self._quarantine:
+                self._counters["quarantine_rejections"] += 1
+                raise PoisonedRequest(
+                    f"task {signature!r} is quarantined after killing "
+                    f"{self._quarantine[signature]} shard(s); rejected"
+                )
+            if deadline is not None and time.perf_counter() >= deadline:
+                self._counters["deadline_shed"] += 1
+                raise DeadlineExceeded(
+                    "batch deadline expired before dispatch; shed without "
+                    "consuming shard work"
+                )
             task = _Task(
                 next(self._task_ids),
                 (model, indices, images),
                 shard_id=-1,
+                deadline=deadline,
             )
             self._tasks[task.task_id] = task
             shard = self._pick_shard_locked()
@@ -437,22 +677,29 @@ class ShardedPool:
                     self._on_shard_death(shard)
                     return
                 continue
-            self._handle(message)
+            self._handle(shard, message)
 
     def _drain_queue(self, shard: _Shard) -> None:
         """Consume results the shard managed to emit before dying."""
         while True:
             try:
-                self._handle(shard.out_q.get_nowait())
+                self._handle(shard, shard.out_q.get_nowait())
             except queue_module.Empty:
                 return
 
-    def _handle(self, message) -> None:
+    def _handle(self, shard: _Shard, message) -> None:
         kind, _shard_id, task_id, payload = message
+        shard.last_message_at = time.perf_counter()
+        if kind == "heartbeat":
+            return
         with self._lock:
             task = self._tasks.pop(task_id, None)
-        if task is None:  # duplicate after a requeue raced completion
-            return
+            if task is None:
+                # Duplicate after a requeue raced the original
+                # completion: by design an explicit, counted no-op —
+                # the future was already resolved exactly once.
+                self._counters["duplicate_completions"] += 1
+                return
         if kind == "result":
             task.future.set_result(payload)
         else:
@@ -461,19 +708,63 @@ class ShardedPool:
             )
 
     def _on_shard_death(self, shard: _Shard) -> None:
-        """Requeue the dead shard's in-flight tasks on survivors."""
+        """Triage the dead shard's in-flight tasks.
+
+        Per orphaned task, in order: shed with
+        :class:`DeadlineExceeded` when its deadline has passed (a dead
+        shard must not hand doomed work to a survivor), quarantine
+        with :class:`PoisonedRequest` when it has now been in flight
+        across more than ``max_task_retries`` shard deaths, otherwise
+        requeue on a surviving shard.  Finally wakes the supervisor.
+        """
+        now = time.perf_counter()
         with self._lock:
             shard.alive = False
+            self._counters["shard_deaths"] += 1
             orphans = [
                 t for t in self._tasks.values() if t.shard_id == shard.shard_id
             ]
             assignments = []
+            expired: List[_Task] = []
+            poisoned: List[_Task] = []
             for task in orphans:
+                task.deaths += 1
+                if task.deadline is not None and now >= task.deadline:
+                    del self._tasks[task.task_id]
+                    self._counters["deadline_shed"] += 1
+                    expired.append(task)
+                    continue
+                if task.deaths > self.max_task_retries:
+                    del self._tasks[task.task_id]
+                    model, indices, _images = task.payload
+                    signature = (model, tuple(indices))
+                    self._quarantine[signature] = task.deaths
+                    self._counters["quarantined"] += 1
+                    poisoned.append(task)
+                    continue
                 target = self._pick_shard_locked()
                 if target is None:
                     del self._tasks[task.task_id]
+                else:
+                    self._counters["requeues"] += 1
                 task.shard_id = target.shard_id if target else -1
                 assignments.append((task, target))
+        for task in expired:
+            task.future.set_exception(
+                DeadlineExceeded(
+                    "deadline expired while the request was in flight on a "
+                    "dead shard; shed instead of requeued"
+                )
+            )
+        for task in poisoned:
+            model, indices, _images = task.payload
+            task.future.set_exception(
+                PoisonedRequest(
+                    f"task {(model, tuple(indices))!r} was in flight across "
+                    f"{task.deaths} shard deaths (> max_task_retries="
+                    f"{self.max_task_retries}); quarantined"
+                )
+            )
         for task, target in assignments:
             if target is None:
                 task.future.set_exception(
@@ -484,22 +775,47 @@ class ShardedPool:
             else:
                 model, indices, images = task.payload
                 target.in_q.put((task.task_id, model, indices, images))
+        self.death_event.set()
 
-    # -- fault injection (tests) ----------------------------------------
+    # -- fault injection (tests / chaos harness) -------------------------
 
     def kill_shard(self, shard_id: int) -> None:
         """Hard-kill one shard process (the kill-a-shard test hook)."""
-        for shard in self._shards:
+        with self._lock:
+            shards = list(self._shards)
+        for shard in shards:
             if shard.shard_id == shard_id and shard.process.is_alive():
                 shard.process.terminate()
                 shard.process.join(timeout=10.0)
                 return
+
+    def wedge_shard(self, shard_id: int, seconds: float) -> None:
+        """Make one shard sleep without heartbeating (chaos hook).
+
+        Requires ``chaos_hooks=True``.  The shard stays alive but goes
+        silent for ``seconds``; a supervisor with ``wedge_timeout``
+        shorter than that will declare it wedged, kill it, and respawn.
+        """
+        if not self._chaos_hooks:
+            raise ServingError("wedge_shard requires chaos_hooks=True")
+        with self._lock:
+            shard = self._shards[shard_id]
+            if not shard.alive:
+                raise ServingError(f"shard {shard_id} is not alive to wedge")
+        shard.in_q.put((_WEDGE, float(seconds)))
+
+    @property
+    def supervisor(self):
+        """The attached :class:`ShardSupervisor` (None when unsupervised)."""
+        return self._supervisor
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop shards, fail any stranded tasks, release shared memory."""
         self._closing = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for shard in self._shards:
             if shard.process.is_alive():
                 try:

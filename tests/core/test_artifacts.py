@@ -114,6 +114,7 @@ class TestModelCache:
             "misses": 1,
             "stores": 1,
             "errors": 0,
+            "corrupt_evictions": 0,
         }
         np.testing.assert_array_equal(first.w_hidden, second.w_hidden)
 
@@ -128,12 +129,72 @@ class TestModelCache:
             "mlp", config, train_set, _mlp_factory(config, calls)
         )
         assert len(calls) == 2
-        assert cache.stats.errors == 1
+        # The sha256 sidecar catches the corruption *before* the loader
+        # even runs: counted as an integrity eviction, not a load error.
+        assert cache.stats.corrupt_evictions == 1
+        assert cache.stats.errors == 0
         assert isinstance(model, MLP)
         # The corrupt entry was overwritten with a valid one.
         calls_before = len(calls)
         cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
         assert len(calls) == calls_before
+
+    def test_legacy_entry_without_sidecar_still_loads(self, cache, tiny_pair):
+        """Pre-integrity entries (no .sha256) are tolerated as hits."""
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        calls = []
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        key = cache_key("mlp", config, train_set)
+        artifacts.digest_sidecar(cache.path_for(key)).unlink()
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.corrupt_evictions == 0
+
+    def test_corrupt_legacy_entry_falls_back_via_loader(self, cache, tiny_pair):
+        """No sidecar + garbage bytes: the loader-level fallback fires."""
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        calls = []
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        key = cache_key("mlp", config, train_set)
+        path = cache.path_for(key)
+        artifacts.digest_sidecar(path).unlink()
+        path.write_bytes(b"not an npz archive")
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        assert len(calls) == 2
+        assert cache.stats.errors == 1
+        assert cache.stats.corrupt_evictions == 0
+
+    def test_sidecar_written_and_verifies(self, cache, tiny_pair):
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, []))
+        path = cache.path_for(cache_key("mlp", config, train_set))
+        sidecar = artifacts.digest_sidecar(path)
+        assert sidecar.exists()
+        assert artifacts.verify_digest_sidecar(path) is True
+        assert (
+            sidecar.read_text().strip() == artifacts.file_digest(path)
+        )
+
+    def test_single_bit_flip_is_caught(self, cache, tiny_pair):
+        """Integrity acceptance: one flipped bit evicts + retrains."""
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        calls = []
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        path = cache.path_for(cache_key("mlp", config, train_set))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert artifacts.verify_digest_sidecar(path) is False
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, calls))
+        assert len(calls) == 2
+        assert cache.stats.corrupt_evictions == 1
+        # Fresh entry is valid again.
+        assert artifacts.verify_digest_sidecar(path) is True
 
     def test_clear_removes_entries(self, cache, tiny_pair):
         train_set, _ = tiny_pair
@@ -143,9 +204,17 @@ class TestModelCache:
         assert cache.clear() == 0
 
     def test_stats_reset(self):
-        stats = CacheStats(hits=2, misses=3, stores=3, errors=1)
+        stats = CacheStats(
+            hits=2, misses=3, stores=3, errors=1, corrupt_evictions=4
+        )
         stats.reset()
-        assert stats.as_dict() == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        assert stats.as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "errors": 0,
+            "corrupt_evictions": 0,
+        }
 
 
 class TestEnvControls:

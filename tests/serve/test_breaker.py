@@ -1,0 +1,219 @@
+"""Circuit breaker state machine: trips, cooldown, half-open probes.
+
+Driven entirely by a fake clock, so every transition is deterministic
+and instant — no sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ServingError
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerPolicy, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**overrides) -> tuple:
+    clock = FakeClock()
+    policy = BreakerPolicy(
+        error_threshold=0.5,
+        window=8,
+        min_volume=4,
+        reset_timeout=5.0,
+        half_open_max=2,
+        half_open_successes=2,
+        **overrides,
+    )
+    return CircuitBreaker(policy, name="m", clock=clock), clock
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"error_threshold": 0.0},
+            {"error_threshold": 1.5},
+            {"latency_threshold_ms": 0.0},
+            {"window": 0},
+            {"min_volume": 0},
+            {"reset_timeout": -1.0},
+            {"half_open_max": 0},
+            {"half_open_successes": 0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ServingError):
+            BreakerPolicy(**kwargs).validate()
+
+    def test_stock_policy_is_valid(self):
+        assert BreakerPolicy().validate().error_threshold == 0.5
+
+
+class TestClosedState:
+    def test_starts_closed_and_admits(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_no_trip_below_min_volume(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):  # min_volume is 4
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_error_rate_trip(self):
+        breaker, _ = make_breaker()
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        # 2/4 = 0.5 >= threshold: open.
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        snapshot = breaker.snapshot()
+        assert snapshot["trips"] == 1
+        assert snapshot["rejections"] >= 1
+        assert "error rate" in snapshot["transitions"][0]["reason"]
+
+    def test_successes_keep_it_closed(self):
+        breaker, _ = make_breaker()
+        for _ in range(50):
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_window_slides(self):
+        """Old failures age out of the count window."""
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        for _ in range(8):  # window is 8: the failure is displaced
+            breaker.record_success()
+        assert breaker.snapshot()["window_errors"] == 0
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 1/8 < 0.5
+
+    def test_latency_trip(self):
+        breaker, _ = make_breaker(latency_threshold_ms=100.0)
+        for _ in range(4):
+            breaker.record_success(latency_seconds=0.2)  # 200ms each
+        assert breaker.state == OPEN
+        reason = breaker.snapshot()["transitions"][0]["reason"]
+        assert "latency" in reason
+
+    def test_latency_trigger_disabled_by_default(self):
+        breaker, _ = make_breaker()
+        for _ in range(20):
+            breaker.record_success(latency_seconds=10.0)
+        assert breaker.state == CLOSED
+
+
+class TestOpenAndHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_rejects_until_reset_timeout(self):
+        breaker, clock = make_breaker()
+        self._trip(breaker)
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)  # past reset_timeout=5.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # first probe admitted
+
+    def test_half_open_caps_probes(self):
+        breaker, clock = make_breaker()
+        self._trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        assert breaker.allow()  # half_open_max = 2
+        assert not breaker.allow()  # third probe rejected
+
+    def test_probe_successes_close(self):
+        breaker, clock = make_breaker()
+        self._trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # needs 2 consecutive
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Window was cleared: the old failures cannot re-trip it.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker()
+        self._trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["trips"] == 2
+        clock.advance(4.0)  # cooldown restarted: not yet half-open
+        assert breaker.state == OPEN
+        clock.advance(1.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_cancel_releases_probe_slot(self):
+        """A shed request must hand its probe slot back."""
+        breaker, clock = make_breaker()
+        self._trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.cancel()  # one probe shed before reaching the model
+        assert breaker.allow()  # slot is available again
+
+    def test_force_open_and_close(self):
+        breaker, _ = make_breaker()
+        breaker.force_open("kill switch")
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        breaker.force_close("operator")
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        breaker, _ = make_breaker()
+        breaker.record_success(0.001)
+        breaker.record_failure(0.002)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == CLOSED
+        assert snapshot["window_size"] == 2
+        assert snapshot["window_errors"] == 1
+        assert snapshot["window_error_rate"] == 0.5
+        assert snapshot["transitions"] == []
+
+    def test_transitions_recorded_in_order(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.allow()
+        breaker.record_success()
+        states = [
+            (t["from"], t["to"]) for t in breaker.snapshot()["transitions"]
+        ]
+        assert states == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]

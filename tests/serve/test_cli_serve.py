@@ -1,0 +1,90 @@
+"""CLI plumbing for the reliability surface: --chaos and serve-health.
+
+These are argument-validation and exit-code tests only — the heavy
+end-to-end chaos path is covered by ``tests/serve/test_chaos.py`` and
+the CI ``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_USAGE, main
+
+
+def _health_payload(ready: bool) -> dict:
+    return {
+        "health": {
+            "ready": ready,
+            "live": True,
+            "models": {
+                "mlp": {
+                    "breaker": {"state": "closed" if ready else "open", "trips": 0},
+                    "queue_depth": 0,
+                }
+            },
+            "pool": {"alive_shards": [0, 1], "jobs": 2},
+        }
+    }
+
+
+class TestLoadtestChaosFlags:
+    def test_unknown_scenario_exits_usage(self, capsys):
+        exit_code = main(["loadtest", "--model", "mlp", "--chaos", "meteor"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_USAGE
+        assert "unknown chaos scenario" in captured.err
+        assert "smoke" in captured.err  # lists the valid ids
+
+    def test_unknown_model_exits_usage_before_chaos(self, capsys):
+        exit_code = main(["loadtest", "--model", "resnet", "--chaos", "smoke"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_USAGE
+        assert "unknown model" in captured.err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--deadline-ms", "50", "--chaos", "meteor"],
+            ["--max-retries", "1", "--chaos", "meteor"],
+        ],
+    )
+    def test_new_flags_parse(self, capsys, flags):
+        """--deadline-ms / --max-retries are accepted by the parser (the
+        unknown scenario still short-circuits before any training)."""
+        exit_code = main(["loadtest", "--model", "mlp", *flags])
+        assert exit_code == EXIT_USAGE
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+
+class TestServeHealth:
+    def test_ready_payload_exits_zero(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(_health_payload(ready=True)))
+        exit_code = main(["serve-health", str(stats)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ready: yes" in captured.out
+        assert "pool: 2 of 2 shard(s) alive" in captured.out
+
+    def test_unready_payload_exits_one(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(_health_payload(ready=False)))
+        exit_code = main(["serve-health", str(stats)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "ready: NO" in captured.out
+
+    def test_missing_file_exits_one_with_message(self, capsys, tmp_path):
+        exit_code = main(["serve-health", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot read" in captured.err
+
+    def test_payload_without_health_section_exits_one(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps({"models": {}}))
+        exit_code = main(["serve-health", str(stats)])
+        assert exit_code == 1

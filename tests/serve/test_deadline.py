@@ -1,0 +1,168 @@
+"""Deadline propagation: typed sheds at submit, in queue, and in the pool.
+
+The guarantee under test: a request whose deadline cannot be met is
+*shed* with :class:`DeadlineExceeded` — a typed error on its future —
+never silently dropped, and never allowed to consume engine or shard
+work it provably cannot finish in time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DeadlineExceeded, ServingError
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.engine import InferenceServer, ModelRunner
+
+
+class EchoRunner(ModelRunner):
+    """Returns each request's index; optional fixed service delay."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls = 0
+
+    def run(self, indices, images):
+        self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return np.asarray(list(indices))
+
+
+class TestBatcherDeadlines:
+    def test_expired_at_submit_is_shed_immediately(self):
+        with MicroBatcher(lambda batch: batch) as batcher:
+            with pytest.raises(DeadlineExceeded):
+                batcher.submit("x", deadline=time.perf_counter() - 0.01)
+            assert batcher.metrics.deadline_shed == 1
+            assert batcher.metrics.submitted == 0  # never enqueued
+
+    def test_expired_while_queued_fails_future_with_typed_error(self):
+        release = threading.Event()
+
+        def slow_batch(batch):
+            release.wait(5.0)
+            return batch
+
+        batcher = MicroBatcher(
+            slow_batch, BatchPolicy(max_batch=1, max_wait_us=0.0)
+        )
+        try:
+            # First request occupies the scheduler thread...
+            blocker = batcher.submit("a")
+            time.sleep(0.05)  # let the scheduler pick it up
+            # ...second request's deadline expires while it waits.
+            doomed = batcher.submit(
+                "b", deadline=time.perf_counter() + 0.05
+            )
+            time.sleep(0.15)
+            release.set()
+            assert blocker.result(5.0) == "a"
+            with pytest.raises(DeadlineExceeded, match="shed unexecuted"):
+                doomed.result(5.0)
+            assert batcher.metrics.deadline_shed == 1
+        finally:
+            batcher.close()
+
+    def test_ewma_predicts_cant_make_deadline(self):
+        """A request whose deadline is inside the EWMA service estimate
+        is shed at batch formation instead of running doomed."""
+        service = 0.08
+
+        def slow_batch(batch):
+            time.sleep(service)
+            return batch
+
+        batcher = MicroBatcher(
+            slow_batch, BatchPolicy(max_batch=1, max_wait_us=0.0)
+        )
+        try:
+            # Warm the service-time estimate.
+            assert batcher.submit("warm").result(5.0) == "warm"
+            assert batcher.service_estimate() > 0.05
+            # Deadline further out than "now" but inside the estimate;
+            # queue a blocker first so the doomed request waits.
+            blocker = batcher.submit("a")
+            doomed = batcher.submit(
+                "b", deadline=time.perf_counter() + 0.02
+            )
+            assert blocker.result(5.0) == "a"
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(5.0)
+        finally:
+            batcher.close()
+
+    def test_no_deadline_requests_are_untouched(self):
+        with MicroBatcher(lambda batch: batch) as batcher:
+            assert batcher.submit("x").result(5.0) == "x"
+            assert batcher.metrics.deadline_shed == 0
+
+
+class TestServerDeadlines:
+    def _server(self, delay: float = 0.0, **policy):
+        runner = EchoRunner(delay=delay)
+        server = InferenceServer(
+            runners={"echo": runner},
+            policy=BatchPolicy(**{"max_batch": 4, "max_wait_us": 0.0, **policy}),
+            images=np.zeros((128, 4)),  # index-only submissions allowed
+        )
+        return server, runner
+
+    def test_generous_deadline_completes(self):
+        server, _ = self._server()
+        try:
+            assert (
+                server.predict("echo", index=7, deadline_ms=5000.0) == 7
+            )
+        finally:
+            server.close()
+
+    def test_non_positive_deadline_rejected(self):
+        server, _ = self._server()
+        try:
+            with pytest.raises(ServingError, match="deadline_ms"):
+                server.submit("echo", index=0, deadline_ms=0.0)
+        finally:
+            server.close()
+
+    def test_shed_is_counted_and_typed(self):
+        server, runner = self._server(delay=0.05)
+        try:
+            # Saturate the scheduler, then submit a request that can't
+            # make it.
+            futures = [server.submit("echo", index=i) for i in range(8)]
+            with pytest.raises(DeadlineExceeded):
+                server.predict("echo", index=99, deadline_ms=0.0001)
+            for future in futures:
+                future.result(10.0)
+            assert server.metrics["echo"].deadline_shed >= 1
+        finally:
+            server.close()
+
+    def test_deadline_shed_does_not_feed_breaker(self):
+        """Typed sheds say nothing about model health: no breaker trip."""
+        server, _ = self._server(delay=0.05)
+        try:
+            for _ in range(12):
+                try:
+                    server.predict("echo", index=0, deadline_ms=0.0001)
+                except DeadlineExceeded:
+                    pass
+            assert server.breakers["echo"].state == "closed"
+            assert server.breakers["echo"].snapshot()["window_errors"] == 0
+        finally:
+            server.close()
+
+    def test_successes_feed_breaker_window(self):
+        server, _ = self._server()
+        try:
+            for index in range(5):
+                server.predict("echo", index=index)
+            time.sleep(0.05)  # done-callbacks run on the scheduler side
+            assert server.breakers["echo"].snapshot()["window_size"] == 5
+        finally:
+            server.close()

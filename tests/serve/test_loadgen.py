@@ -158,3 +158,74 @@ class TestDriverValidation:
     def test_run_loadtest_rejects_unknown_mode(self):
         with pytest.raises(ServingError):
             run_loadtest(models=("mlp",), mode="sinusoidal")
+
+
+class TestGracefulDrain:
+    def test_installs_and_restores_handlers_on_main_thread(self):
+        import signal
+
+        from repro.serve.loadgen import GracefulDrain
+
+        before = {s: signal.getsignal(s) for s in GracefulDrain.SIGNALS}
+        drain = GracefulDrain()
+        with drain:
+            for signum in GracefulDrain.SIGNALS:
+                assert signal.getsignal(signum) == drain._handle
+            assert not drain.triggered
+        for signum, previous in before.items():
+            assert signal.getsignal(signum) == previous
+
+    def test_signal_sets_stop_event_instead_of_raising(self):
+        import os
+        import signal
+        import time as time_module
+
+        from repro.serve.loadgen import GracefulDrain
+
+        with GracefulDrain() as drain:
+            os.kill(os.getpid(), signal.SIGTERM)
+            deadline = time_module.perf_counter() + 5.0
+            while not drain.triggered:
+                assert time_module.perf_counter() < deadline
+                time_module.sleep(0.01)
+            assert drain.triggered  # no KeyboardInterrupt, just the flag
+
+    def test_noop_off_main_thread(self):
+        import signal
+        import threading
+
+        from repro.serve.loadgen import GracefulDrain
+
+        before = {s: signal.getsignal(s) for s in GracefulDrain.SIGNALS}
+        outcome = {}
+
+        def enter():
+            drain = GracefulDrain()
+            with drain:
+                outcome["installed"] = drain._installed
+
+        thread = threading.Thread(target=enter)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert outcome["installed"] is False
+        for signum, previous in before.items():
+            assert signal.getsignal(signum) == previous
+
+    def test_closed_loop_honours_stop_event(self, toy_server):
+        import threading
+        import time as time_module
+
+        server, _ = toy_server
+        stop = threading.Event()
+        stop.set()  # already drained before the run begins
+        begin = time_module.perf_counter()
+        stats = closed_loop(
+            server,
+            "toy",
+            64,
+            concurrency=2,
+            duration_seconds=10.0,
+            stop_event=stop,
+        )
+        assert time_module.perf_counter() - begin < 5.0  # ended early
+        assert stats["client_errors"] == 0

@@ -114,3 +114,112 @@ class TestStatsIO:
     def test_render_unknown_shape_falls_back_to_json(self):
         text = render_stats({"something": "else"})
         assert '"something"' in text
+
+
+class TestReliabilityCounters:
+    def test_deadline_and_breaker_counters_snapshot(self):
+        metrics = ServingMetrics(max_batch=4)
+        metrics.record_deadline_shed()
+        metrics.record_deadline_shed(2)
+        metrics.record_breaker_rejection()
+        snapshot = metrics.snapshot()
+        assert snapshot["deadline_shed"] == 3
+        assert snapshot["breaker_rejections"] == 1
+        metrics.reset()
+        snapshot = metrics.snapshot()
+        assert snapshot["deadline_shed"] == 0
+        assert snapshot["breaker_rejections"] == 0
+
+
+class TestRenderReliability:
+    def _payload(self):
+        return {
+            "loadtest": {"mode": "chaos", "dataset": "digits"},
+            "models": {
+                "mlp": {
+                    "model": "mlp",
+                    "submitted": 10,
+                    "completed": 8,
+                    "deadline_shed": 2,
+                    "breaker_rejections": 1,
+                    "breaker": {"state": "open", "trips": 1, "rejections": 1},
+                }
+            },
+            "pool": {
+                "alive_shards": [0, 1],
+                "jobs": 2,
+                "respawns": 1,
+                "wedge_kills": 1,
+                "requeues": 3,
+                "duplicate_completions": 1,
+                "quarantined": 1,
+                "quarantine_rejections": 2,
+                "deadline_shed": 1,
+                "supervisor": {
+                    "respawns": 1,
+                    "crash_loop_trips": 0,
+                    "slots": {"0": {"breaker": "closed", "respawns": 1}},
+                },
+            },
+            "chaos": {
+                "scenario": "smoke",
+                "seed": 0,
+                "outcomes": {"ok": 8, "DeadlineExceeded": 2},
+                "lost": 0,
+                "duplicates": 0,
+                "bit_mismatches": 0,
+            },
+        }
+
+    def test_render_stats_shows_every_reliability_section(self):
+        text = render_stats(self._payload())
+        assert "reliability: 2 deadline shed, 1 breaker rejections" in text
+        assert "breaker:   state open, 1 trip(s), 1 rejection(s)" in text
+        assert "2 alive of 2" in text
+        assert "3 requeued" in text
+        assert "supervisor: 1 respawn(s), 0 crash-loop trip(s)" in text
+        assert "scenario:  smoke (seed 0)" in text
+        assert "DeadlineExceeded=2" in text
+        assert "lost 0, duplicates 0, bit mismatches 0" in text
+
+
+class TestRenderHealth:
+    def _health(self, ready=True, state="closed"):
+        return {
+            "ready": ready,
+            "live": True,
+            "models": {
+                "mlp": {
+                    "breaker": {"state": state, "trips": 0},
+                    "queue_depth": 0,
+                }
+            },
+            "pool": {"alive_shards": [0, 1], "jobs": 2},
+        }
+
+    def test_ready_payload_renders(self):
+        from repro.serve.metrics import render_health
+
+        text = render_health(self._health())
+        assert "ready: yes" in text
+        assert "model mlp: breaker closed (0 trip(s))" in text
+        assert "pool: 2 of 2 shard(s) alive" in text
+
+    def test_not_ready_is_loud(self):
+        from repro.serve.metrics import render_health
+
+        text = render_health(self._health(ready=False, state="open"))
+        assert "ready: NO" in text
+        assert "breaker open" in text
+
+    def test_accepts_wrapped_stats_payload(self):
+        from repro.serve.metrics import render_health
+
+        text = render_health({"health": self._health()})
+        assert "ready: yes" in text
+
+    def test_unknown_shape_falls_back_to_json(self):
+        from repro.serve.metrics import render_health
+
+        text = render_health({"something": "else"})
+        assert '"something"' in text

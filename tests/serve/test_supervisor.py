@@ -1,0 +1,293 @@
+"""Shard supervision: respawn, wedge detection, crash-loop breaker.
+
+Process-level tests run against small real pools (chaos hooks on);
+the crash-loop state machine is additionally unit-tested against a
+fake pool so breaker transitions don't depend on real process timing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServingError
+from repro.serve.supervisor import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    ShardSupervisor,
+    SupervisorPolicy,
+)
+from repro.serve.workers import POISON_MODEL, ShardedPool
+from repro.snn.batched import predict_batch
+
+#: Fast knobs so supervised recovery happens inside test timeouts.
+FAST = dict(
+    poll_interval=0.05,
+    backoff_base=0.05,
+    backoff_max=0.3,
+    cooldown=0.5,
+    ready_timeout=60.0,
+)
+
+
+def wait_until(predicate, timeout: float = 15.0, interval: float = 0.05):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"poll_interval": 0.0},
+            {"wedge_timeout": 0.0},
+            {"backoff_base": -1.0},
+            {"backoff_base": 2.0, "backoff_max": 1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"max_respawns": 0},
+            {"respawn_window": 0.0},
+            {"cooldown": -1.0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ServingError):
+            SupervisorPolicy(**kwargs).validate()
+
+    def test_wedge_detection_can_be_disabled(self):
+        assert SupervisorPolicy(wedge_timeout=None).validate().wedge_timeout is None
+
+
+class TestBackoffDeterminism:
+    def test_backoff_sequence_is_seeded_and_capped(self):
+        class _Pool:
+            jobs = 2
+            death_event = threading.Event()
+
+        policy = SupervisorPolicy(seed=7, **FAST).validate()
+        a = ShardSupervisor(_Pool(), policy)
+        b = ShardSupervisor(_Pool(), policy)
+
+        def sequence(supervisor):
+            state = supervisor._slots[0]
+            delays = []
+            for crashes in range(1, 8):
+                state.consecutive_crashes = crashes
+                delays.append(supervisor._backoff(state))
+            return delays
+
+        seq_a, seq_b = sequence(a), sequence(b)
+        assert seq_a == seq_b  # same seed -> same jitter stream
+        base = policy.backoff_base
+        for crashes, delay in enumerate(seq_a, start=1):
+            raw = min(
+                base * policy.backoff_factor ** (crashes - 1),
+                policy.backoff_max,
+            )
+            assert raw <= delay <= raw * (1.0 + policy.jitter)
+
+    def test_different_slots_draw_different_jitter(self):
+        class _Pool:
+            jobs = 2
+            death_event = threading.Event()
+
+        supervisor = ShardSupervisor(
+            _Pool(), SupervisorPolicy(seed=7, jitter=0.5, **FAST)
+        )
+        s0, s1 = supervisor._slots[0], supervisor._slots[1]
+        s0.consecutive_crashes = s1.consecutive_crashes = 3
+        assert supervisor._backoff(s0) != supervisor._backoff(s1)
+
+
+class TestRespawn:
+    def test_killed_shard_is_respawned_and_serves_identically(
+        self, trained_snn, digits_small
+    ):
+        _, test_set = digits_small
+        reference = predict_batch(trained_snn, test_set.images)
+        with ShardedPool(
+            {"snnwt": trained_snn},
+            jobs=2,
+            images=test_set.images,
+            supervisor=SupervisorPolicy(wedge_timeout=None, **FAST),
+        ) as pool:
+            assert pool.supervisor is not None
+            pool.kill_shard(0)
+            # SIGKILL is asynchronous: wait for the supervisor to have
+            # observed the death and respawned, then for full capacity.
+            assert wait_until(lambda: pool.stats()["respawns"] >= 1)
+            assert wait_until(lambda: pool.alive_shards() == [0, 1])
+            stats = pool.stats()
+            assert stats["generations"]["0"] >= 1
+            # The respawned shard serves bit-identical answers.
+            for index in (0, 3, 9):
+                got = pool.run_batch("snnwt", [index], None)
+                np.testing.assert_array_equal(got, reference[[index]])
+            assert pool.supervisor.snapshot()["respawns"] >= 1
+
+    def test_wedged_shard_is_killed_and_respawned(
+        self, trained_mlp, digits_small
+    ):
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp},
+            jobs=2,
+            images=test_set.images,
+            warm=False,
+            chaos_hooks=True,
+            supervisor=SupervisorPolicy(wedge_timeout=0.6, **FAST),
+        ) as pool:
+            pool.wedge_shard(0, seconds=5.0)
+            assert wait_until(lambda: pool.stats()["wedge_kills"] >= 1)
+            assert wait_until(lambda: pool.stats()["respawns"] >= 1)
+            assert wait_until(lambda: pool.alive_shards() == [0, 1])
+            # Still serving correctly afterwards.
+            got = pool.run_batch("mlp", [0, 1], None)
+            expected = np.asarray(
+                trained_mlp.predict_images(test_set.images[[0, 1]])
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_respawn_refused_while_shard_alive(self, trained_mlp, digits_small):
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp}, jobs=1, images=test_set.images, warm=False
+        ) as pool:
+            with pytest.raises(ServingError, match="still alive"):
+                pool.respawn_shard(0)
+
+    def test_unsupervised_pool_stays_degraded(self, trained_mlp, digits_small):
+        """Without a supervisor the PR4 behaviour is preserved: a dead
+        shard stays dead (capacity degrades, no self-healing)."""
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp}, jobs=2, images=test_set.images, warm=False
+        ) as pool:
+            assert pool.supervisor is None
+            pool.kill_shard(0)
+            assert wait_until(lambda: pool.alive_shards() == [1], timeout=5.0)
+            time.sleep(0.5)
+            assert pool.alive_shards() == [1]  # nobody respawned it
+
+
+class TestCrashLoopBreaker:
+    def test_poison_requests_trip_the_crash_loop_breaker(
+        self, trained_mlp, digits_small
+    ):
+        """Hammering the pool with shard-killing tasks must stop
+        burning respawns: the slot's breaker opens after max_respawns
+        deaths inside the window."""
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp},
+            jobs=1,
+            images=test_set.images,
+            warm=False,
+            chaos_hooks=True,
+            max_task_retries=0,
+            supervisor=SupervisorPolicy(
+                **{
+                    **FAST,
+                    "wedge_timeout": None,
+                    "max_respawns": 2,
+                    "respawn_window": 30.0,
+                    # long cooldown: breaker must still be open below
+                    "cooldown": 30.0,
+                }
+            ),
+        ) as pool:
+            supervisor = pool.supervisor
+
+            def crash_once(index):
+                try:
+                    # Distinct indices: distinct task signatures, so the
+                    # poison *quarantine* (which fast-fails repeats of
+                    # the same request) does not mask the crash loop.
+                    pool.run_batch(POISON_MODEL, [index], None)
+                except ServingError:
+                    pass  # the task dies with the shard
+
+            # Each poison task kills the (single) shard; the supervisor
+            # respawns until the crash-loop breaker trips.
+            for attempt in range(6):
+                wait_until(lambda: pool.alive_shards() == [0])
+                if supervisor.crash_looping_slots():
+                    break
+                threading.Thread(
+                    target=crash_once, args=(attempt,), daemon=True
+                ).start()
+                wait_until(lambda: pool.alive_shards() == [])
+            assert wait_until(
+                lambda: supervisor.crash_looping_slots() == [0], timeout=20.0
+            )
+            snapshot = supervisor.snapshot()
+            assert snapshot["crash_loop_trips"] >= 1
+            assert snapshot["slots"]["0"]["breaker"] == OPEN
+
+    def test_half_open_probe_closes_after_surviving(self):
+        """Unit-level: open -> (cooldown) -> half-open -> probe survives
+        the crash window -> closed."""
+
+        class _FakePool:
+            jobs = 1
+            death_event = threading.Event()
+
+            def __init__(self):
+                self.respawned = []
+
+            def alive_shards(self):
+                return []
+
+            def message_ages(self):
+                return {}
+
+            def respawn_shard(self, slot, ready_timeout=None):
+                self.respawned.append(slot)
+
+            def _bump(self, counter, by=1):
+                pass
+
+            def kill_shard(self, slot):
+                pass
+
+        pool = _FakePool()
+        policy = SupervisorPolicy(
+            wedge_timeout=None,
+            max_respawns=1,
+            respawn_window=0.4,
+            cooldown=0.1,
+            backoff_base=0.0,
+            backoff_max=0.0,
+            jitter=0.0,
+            poll_interval=0.05,
+        ).validate()
+        supervisor = ShardSupervisor(pool, policy)
+        state = supervisor._slots[0]
+        # Two deaths inside the window: second one trips the breaker.
+        supervisor._heal_slot(state, time.perf_counter())
+        assert state.breaker == CLOSED
+        state.awaiting_respawn = False  # death observed again
+        supervisor._heal_slot(state, time.perf_counter())
+        assert state.breaker == OPEN
+        before = len(pool.respawned)
+        supervisor._heal_slot(state, time.perf_counter())
+        assert len(pool.respawned) == before  # open: no respawn
+        time.sleep(policy.cooldown + 0.05)
+        state.awaiting_respawn = True
+        state.next_attempt_at = None
+        supervisor._heal_slot(state, time.perf_counter())
+        assert state.breaker == HALF_OPEN
+        assert len(pool.respawned) == before + 1  # the probe respawn
+        # Probe outlives the crash window: _note_alive closes it.
+        time.sleep(policy.respawn_window + 0.05)
+        supervisor._note_alive(state, time.perf_counter())
+        assert state.breaker == CLOSED
+        assert state.consecutive_crashes == 0

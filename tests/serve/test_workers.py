@@ -202,3 +202,161 @@ class TestShardDeath:
             np.testing.assert_array_equal(after, reference[[1, 5, 9, 2, 6]])
         finally:
             server.close()
+
+
+class TestReliability:
+    """PR5 hardening: quarantine, deadline triage, counted no-ops."""
+
+    def test_poison_task_quarantined_then_fast_fails(
+        self, trained_mlp, digits_small
+    ):
+        from repro.core.errors import PoisonedRequest
+        from repro.serve.workers import POISON_MODEL
+
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp},
+            jobs=2,
+            images=test_set.images,
+            warm=False,
+            chaos_hooks=True,
+            max_task_retries=0,
+        ) as pool:
+            with pytest.raises(PoisonedRequest, match="quarantined"):
+                pool.run_batch(POISON_MODEL, [0], None)
+            stats = pool.stats()
+            assert stats["quarantined"] == 1
+            deaths_after_first = stats["shard_deaths"]
+            assert deaths_after_first >= 1
+            # The identical signature now fast-fails without being
+            # dispatched: no additional shard dies for it.
+            with pytest.raises(PoisonedRequest, match="rejected"):
+                pool.run_batch(POISON_MODEL, [0], None)
+            stats = pool.stats()
+            assert stats["quarantine_rejections"] == 1
+            assert stats["shard_deaths"] == deaths_after_first
+            # Ordinary work still serves on the survivor.
+            got = pool.run_batch("mlp", [3], None)
+            expected = np.asarray(
+                trained_mlp.predict_images(test_set.images[[3]])
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_expired_deadline_shed_before_dispatch(
+        self, trained_mlp, digits_small
+    ):
+        from repro.core.errors import DeadlineExceeded
+
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp}, jobs=1, images=test_set.images, warm=False
+        ) as pool:
+            with pytest.raises(DeadlineExceeded, match="before dispatch"):
+                pool.run_batch(
+                    "mlp", [0], None, deadline=time.perf_counter() - 0.01
+                )
+            stats = pool.stats()
+            assert stats["deadline_shed"] == 1
+            assert stats["shard_deaths"] == 0  # no shard consumed work
+
+    def test_in_flight_deadline_shed_on_shard_death(
+        self, trained_mlp, digits_small
+    ):
+        """A task queued behind a wedged shard whose deadline passes
+        must be shed with DeadlineExceeded when the shard dies — not
+        handed doomed to a survivor."""
+        import threading
+
+        from repro.core.errors import DeadlineExceeded
+
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp},
+            jobs=1,
+            images=test_set.images,
+            warm=False,
+            chaos_hooks=True,
+        ) as pool:
+            pool.wedge_shard(0, seconds=3.0)
+            time.sleep(0.1)  # let the worker enter its wedge sleep
+            outcome = {}
+
+            def doomed():
+                try:
+                    pool.run_batch(
+                        "mlp", [0], None,
+                        deadline=time.perf_counter() + 0.2,
+                    )
+                    outcome["result"] = "completed"
+                except BaseException as exc:  # noqa: BLE001
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=doomed, daemon=True)
+            thread.start()
+            time.sleep(0.5)  # deadline passes while the shard is wedged
+            pool.kill_shard(0)
+            thread.join(timeout=10.0)
+            assert isinstance(outcome.get("error"), DeadlineExceeded)
+            assert "in flight" in str(outcome["error"])
+            assert pool.stats()["deadline_shed"] >= 1
+
+    def test_requeued_tasks_complete_and_are_counted(
+        self, trained_mlp, digits_small
+    ):
+        """Kill one of two shards while tasks queue behind a wedge on
+        it: every future still resolves with the right answer and the
+        requeue counter records the handoffs."""
+        import threading
+
+        _, test_set = digits_small
+        reference = np.asarray(trained_mlp.predict_images(test_set.images))
+        with ShardedPool(
+            {"mlp": trained_mlp},
+            jobs=2,
+            images=test_set.images,
+            warm=False,
+            chaos_hooks=True,
+            max_task_retries=2,
+        ) as pool:
+            pool.wedge_shard(0, seconds=3.0)
+            time.sleep(0.1)
+            results = {}
+
+            def client(index):
+                results[index] = pool.run_batch("mlp", [index], None)
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            pool.kill_shard(0)  # tasks stuck behind the wedge requeue
+            for thread in threads:
+                thread.join(timeout=15.0)
+            assert sorted(results) == list(range(6))
+            for index, got in results.items():
+                np.testing.assert_array_equal(got, reference[[index]])
+            assert pool.stats()["requeues"] >= 1
+
+    def test_duplicate_completion_is_a_counted_no_op(
+        self, trained_mlp, digits_small
+    ):
+        """A result message for an already-resolved task must not
+        raise or double-resolve anything — it is counted and dropped."""
+        _, test_set = digits_small
+        with ShardedPool(
+            {"mlp": trained_mlp}, jobs=1, images=test_set.images, warm=False
+        ) as pool:
+            shard = pool._shards[0]
+            pool._handle(
+                shard, ("result", 0, 999_999, np.asarray([1]))
+            )  # unknown task id: the duplicate-after-requeue shape
+            assert pool.stats()["duplicate_completions"] == 1
+            # The pool still serves normally afterwards.
+            got = pool.run_batch("mlp", [0], None)
+            expected = np.asarray(
+                trained_mlp.predict_images(test_set.images[[0]])
+            )
+            np.testing.assert_array_equal(got, expected)
