@@ -13,11 +13,21 @@ Commands:
                                   with generated load and report
                                   throughput / latency / batching;
                                   ``--chaos <scenario>`` runs the
-                                  deterministic chaos harness instead;
+                                  deterministic chaos harness instead
+                                  (``--chaos list`` enumerates every
+                                  registered scenario);
+* ``learn-serve [options]``     — live continual learning under load:
+                                  windowed STDP on a serving tenant
+                                  with shadow-gated promotion, guarded
+                                  hot-swaps and automatic rollback
+                                  (exit 0 only when every learning
+                                  invariant holds);
 * ``serve-stats <file>``        — pretty-print a stats JSON written by
                                   ``loadtest --output``;
 * ``serve-health <file>``       — readiness / liveness view of a stats
-                                  JSON (exit 0 only when ready).
+                                  JSON (exit 0 only when ready;
+                                  ``--json`` for machine-readable
+                                  output with stable keys).
 
 The CLI is a thin shell over :mod:`repro.analysis`; everything it does
 is available programmatically.
@@ -26,6 +36,7 @@ is available programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -192,6 +203,24 @@ def _cmd_fields(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_chaos(payload, args: argparse.Namespace, chaos_passed) -> int:
+    """Shared tail of every chaos run: render, verdict, optional dump."""
+    from .serve.metrics import dump_stats, render_stats
+
+    print(render_stats(payload))
+    invariants = payload.get("chaos", {}).get("invariants", {})
+    print(
+        "chaos invariants: "
+        + ", ".join(
+            f"{k}={'yes' if v else 'NO'}" for k, v in sorted(invariants.items())
+        )
+    )
+    if args.output:
+        dump_stats(payload, args.output)
+        print(f"stats written to {args.output}")
+    return 0 if chaos_passed(payload) else 1
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from .core.errors import ServingError
     from .serve.loadgen import KNOWN_MODELS, run_loadtest
@@ -208,12 +237,44 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         )
         return EXIT_USAGE
     if args.chaos is not None:
-        from .serve.chaos import SCENARIOS, chaos_passed, run_chaos
+        from .serve.chaos import (
+            LEARNING_SCENARIOS,
+            SCENARIOS,
+            chaos_passed,
+            run_chaos,
+            run_learning_chaos,
+        )
 
+        if args.chaos == "list":
+            print("chaos scenarios (loadtest --chaos <id>):")
+            for sid, scenario in sorted(SCENARIOS.items()):
+                print(f"  {sid:<18} {scenario.description}")
+            print("learning scenarios (learn-serve --chaos <id>):")
+            for sid, scenario in sorted(LEARNING_SCENARIOS.items()):
+                print(f"  {sid:<18} {scenario.description}")
+            return 0
+        if args.chaos in LEARNING_SCENARIOS:
+            # Learning scenarios run the learn-serve driver; shape
+            # knobs the scenario owns (jobs, windows) stay its own.
+            try:
+                payload = run_learning_chaos(
+                    args.chaos,
+                    dataset=args.dataset,
+                    seed=args.seed,
+                    concurrency=args.concurrency if args.concurrency else None,
+                    max_batch=args.max_batch,
+                    max_wait_us=args.max_wait_us,
+                    max_queue=args.max_queue,
+                )
+            except ServingError as error:
+                print(error, file=sys.stderr)
+                return 1
+            return _finish_chaos(payload, args, chaos_passed)
         if args.chaos not in SCENARIOS:
             print(
                 f"unknown chaos scenario {args.chaos!r}; "
-                f"pick one of {sorted(SCENARIOS)}",
+                f"pick one of {sorted(SCENARIOS) + sorted(LEARNING_SCENARIOS)} "
+                "(or 'list')",
                 file=sys.stderr,
             )
             return EXIT_USAGE
@@ -234,19 +295,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         except ServingError as error:
             print(error, file=sys.stderr)
             return 1
-        print(render_stats(payload))
-        passed = chaos_passed(payload)
-        invariants = payload.get("chaos", {}).get("invariants", {})
-        print(
-            "chaos invariants: "
-            + ", ".join(
-                f"{k}={'yes' if v else 'NO'}" for k, v in sorted(invariants.items())
-            )
-        )
-        if args.output:
-            dump_stats(payload, args.output)
-            print(f"stats written to {args.output}")
-        return 0 if passed else 1
+        return _finish_chaos(payload, args, chaos_passed)
     try:
         payload = run_loadtest(
             models=models,
@@ -283,6 +332,42 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_learn_serve(args: argparse.Namespace) -> int:
+    """Live continual learning under load (``repro learn-serve``)."""
+    from .core.errors import ServingError
+    from .serve.chaos import LEARNING_SCENARIOS, chaos_passed
+    from .serve.learner import run_learn_serve
+
+    _apply_cache_flags(args)
+    if args.chaos == "list":
+        print("learning scenarios (learn-serve --chaos <id>):")
+        for sid, scenario in sorted(LEARNING_SCENARIOS.items()):
+            print(f"  {sid:<18} {scenario.description}")
+        return 0
+    if args.chaos not in LEARNING_SCENARIOS:
+        print(
+            f"unknown learning scenario {args.chaos!r}; "
+            f"pick one of {sorted(LEARNING_SCENARIOS)} (or 'list')",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        payload = run_learn_serve(
+            args.chaos,
+            dataset=args.dataset,
+            seed=args.seed,
+            jobs=args.jobs,
+            windows=args.windows,
+            window_size=args.window_size,
+            concurrency=args.concurrency,
+            snapshot_dir=args.snapshot_dir,
+        )
+    except ServingError as error:
+        print(error, file=sys.stderr)
+        return 1
+    return _finish_chaos(payload, args, chaos_passed)
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     from .serve.metrics import load_stats, render_stats
 
@@ -304,9 +389,20 @@ def _cmd_serve_health(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"cannot read {args.file!r}: {error}", file=sys.stderr)
         return 1
-    print(render_health(payload))
     health = payload.get("health", payload)
     ready = isinstance(health, dict) and bool(health.get("ready"))
+    if getattr(args, "json", False):
+        view = health if isinstance(health, dict) else {}
+        doc = {
+            "ready": ready,
+            "live": bool(view.get("live", ready)),
+            "models": view.get("models", {}),
+            "pool": view.get("pool"),
+            "learner": view.get("learner"),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_health(payload))
     return 0 if ready else 1
 
 
@@ -517,6 +613,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.set_defaults(fn=_cmd_loadtest)
 
+    learn_serve = subparsers.add_parser(
+        "learn-serve",
+        help="live continual learning under load (exit 0 only when every "
+        "learning invariant holds)",
+    )
+    learn_serve.add_argument(
+        "--chaos",
+        default="steady",
+        metavar="SCENARIO",
+        help="learning scenario id, or 'list' to enumerate (default: steady)",
+    )
+    learn_serve.add_argument(
+        "--dataset",
+        default="digits",
+        choices=("digits", "shapes", "spoken"),
+        help="labeled stream + probe dataset (default: digits)",
+    )
+    learn_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker shards per model (0 = in-process; default: scenario)",
+    )
+    learn_serve.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's learning-window count",
+    )
+    learn_serve.add_argument(
+        "--window-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's images per window",
+    )
+    learn_serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="closed-loop clients per tenant (default: scenario)",
+    )
+    learn_serve.add_argument("--seed", type=int, default=0)
+    learn_serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for versioned learner snapshots "
+        "(default: <cache>/live-snapshots)",
+    )
+    learn_serve.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the stats payload as JSON",
+    )
+    learn_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trained-model cache for this run",
+    )
+    learn_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="override the trained-model cache directory",
+    )
+    learn_serve.set_defaults(fn=_cmd_learn_serve)
+
     serve_stats = subparsers.add_parser(
         "serve-stats", help="pretty-print a serving stats JSON file"
     )
@@ -530,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_health.add_argument(
         "file", help="stats JSON written by loadtest --output"
+    )
+    serve_health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable health JSON with stable keys",
     )
     serve_health.set_defaults(fn=_cmd_serve_health)
     return parser

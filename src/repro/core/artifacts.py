@@ -22,8 +22,12 @@ version).  This module memoizes that function on disk:
 
 Controls: ``REPRO_CACHE_DIR`` (or the ``--cache-dir`` CLI flag) moves
 the store; ``REPRO_NO_CACHE=1`` (or ``--no-cache``) bypasses it
-entirely.  A corrupt or unreadable entry is treated as a miss: the
-model is retrained and the entry overwritten.
+entirely; ``REPRO_CACHE_MAX_BYTES`` (or ``ModelCache(max_bytes=...)``)
+bounds the on-disk footprint with least-recently-used eviction — the
+continual-learning service versions every promoted snapshot through
+this cache, so an unbounded store would grow forever.  A corrupt or
+unreadable entry is treated as a miss: the model is retrained and the
+entry overwritten.
 """
 
 from __future__ import annotations
@@ -58,6 +62,22 @@ def cache_enabled() -> bool:
 def cache_directory() -> pathlib.Path:
     """The active cache directory (``REPRO_CACHE_DIR`` or default)."""
     return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def cache_max_bytes() -> Optional[int]:
+    """Capacity bound from ``REPRO_CACHE_MAX_BYTES`` (None = unbounded).
+
+    Unset, empty, non-numeric and non-positive values all mean
+    "unbounded" — a malformed limit must never make caching fail.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def dataset_signature(dataset) -> str:
@@ -138,6 +158,7 @@ class CacheStats:
     stores: int = 0
     errors: int = 0  # corrupt entries that fell back to retraining
     corrupt_evictions: int = 0  # sha256 mismatches evicted before load
+    capacity_evictions: int = 0  # LRU entries evicted by the size bound
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -147,12 +168,13 @@ class CacheStats:
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.stores} store(s), {self.errors} corrupt-entry error(s), "
-            f"{self.corrupt_evictions} integrity eviction(s)"
+            f"{self.corrupt_evictions} integrity eviction(s), "
+            f"{self.capacity_evictions} capacity eviction(s)"
         )
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.errors = 0
-        self.corrupt_evictions = 0
+        self.corrupt_evictions = self.capacity_evictions = 0
 
 
 def file_digest(path: os.PathLike, chunk_size: int = 1 << 20) -> str:
@@ -212,12 +234,25 @@ class ModelCache:
     cached model when a valid entry exists, otherwise runs ``train_fn``
     and stores its result.  Writes are atomic; corrupt entries fall
     back to retraining and are overwritten.
+
+    ``max_bytes`` (default: :func:`cache_max_bytes`) bounds the total
+    on-disk size of entries plus sidecars; after every store the
+    least-recently-used entries are evicted until the store fits.
+    Recency is the entry file's mtime, which a cache hit refreshes —
+    coarse, but it survives process restarts without an index file.
     """
 
-    def __init__(self, directory: Optional[os.PathLike] = None):
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.directory = (
             pathlib.Path(directory) if directory is not None else cache_directory()
         )
+        self.max_bytes = max_bytes if max_bytes is not None else cache_max_bytes()
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            self.max_bytes = None
         self.stats = CacheStats()
 
     def path_for(self, key: str) -> pathlib.Path:
@@ -256,6 +291,7 @@ class ModelCache:
                     self.stats.errors += 1
                 else:
                     self.stats.hits += 1
+                    self._touch(path)
                     return model
         self.stats.misses += 1
         model = train_fn()
@@ -264,6 +300,7 @@ class ModelCache:
             self.stats.stores += 1
         except OSError:
             pass  # read-only cache dir: training still succeeded
+        self._enforce_capacity(keep=path)
         return model
 
     def _atomic_store(self, model, path: pathlib.Path, saver) -> None:
@@ -290,6 +327,59 @@ class ModelCache:
             except OSError:  # pragma: no cover - already gone / read-only
                 pass
 
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        """Refresh an entry's mtime — the LRU recency signal."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+
+    def _entry_size(self, path: pathlib.Path) -> Optional[int]:
+        """Bytes of an entry plus its sidecar (None when it vanished)."""
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return None
+        try:
+            size += digest_sidecar(path).stat().st_size
+        except OSError:
+            pass
+        return size
+
+    def _enforce_capacity(self, keep: Optional[pathlib.Path] = None) -> int:
+        """Evict least-recently-used entries until the store fits.
+
+        ``keep`` shields the entry just written — evicting it would
+        turn the store into a cache that forgets what it was told one
+        call ago.  Returns the number of entries evicted.
+        """
+        if self.max_bytes is None or not self.directory.exists():
+            return 0
+        entries = []
+        for path in self.directory.glob("*.npz"):
+            size = self._entry_size(path)
+            if size is None:
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, path, size))
+        total = sum(size for _, _, size in entries)
+        entries.sort(key=lambda item: (item[0], item[1].name))
+        evicted = 0
+        for _, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            self._evict(path)
+            self.stats.capacity_evictions += 1
+            evicted += 1
+            total -= size
+        return evicted
+
     def clear(self) -> int:
         """Remove every entry (and sidecars); returns entries deleted."""
         removed = 0
@@ -310,7 +400,11 @@ _DEFAULT_CACHE: Optional[ModelCache] = None
 def default_cache() -> ModelCache:
     """The process-wide :class:`ModelCache` (created on first use)."""
     global _DEFAULT_CACHE
-    if _DEFAULT_CACHE is None or _DEFAULT_CACHE.directory != cache_directory():
+    if (
+        _DEFAULT_CACHE is None
+        or _DEFAULT_CACHE.directory != cache_directory()
+        or _DEFAULT_CACHE.max_bytes != cache_max_bytes()
+    ):
         _DEFAULT_CACHE = ModelCache()
     return _DEFAULT_CACHE
 

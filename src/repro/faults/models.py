@@ -119,6 +119,17 @@ class FaultConfig:
         """Copy with a different base seed (per-trial reseeding)."""
         return replace(self, seed=int(seed))
 
+    @classmethod
+    def sram_ber(cls, ber: float, seed: int = 0) -> "FaultConfig":
+        """A pure SRAM soft-error profile: weight bit-flips only.
+
+        The shape used by the learning-time chaos scenarios, where the
+        bit-error rate hits the 8-bit weight codes of a candidate
+        snapshot *between* STDP windows — storage corruption, not a
+        change to the learning rule itself.
+        """
+        return cls(weight_bit_flip_ber=float(ber), seed=int(seed)).validate()
+
     def scaled(self, severity: float) -> "FaultConfig":
         """Copy with every rate multiplied by ``severity`` (clipped to 1)."""
         if severity < 0:

@@ -33,6 +33,12 @@ The chaos seams are intentionally narrow and explicit: the
 (latency spikes sleep, error bursts raise, both ahead of the model
 call), and shard kills / wedges go through the pool's
 ``chaos_hooks=True`` surface — no monkeypatching anywhere.
+
+Learning-time chaos lives in :data:`LEARNING_SCENARIOS`: drift storms,
+label-flip bursts and SRAM bit errors over the live continual learner
+(:mod:`repro.serve.learner`), with the learning-time invariant set —
+zero lost / duplicated requests across hot-swaps, rollback restores
+the baseline within one window, untouched tenants stay bit-identical.
 """
 
 from __future__ import annotations
@@ -655,3 +661,105 @@ def chaos_passed(payload: Dict[str, Any]) -> bool:
     """True when every invariant of a chaos payload holds."""
     invariants = payload.get("chaos", {}).get("invariants", {})
     return bool(invariants) and all(invariants.values())
+
+
+# ---------------------------------------------------------------------------
+# Learning-time chaos: scenarios over the live continual learner
+# ---------------------------------------------------------------------------
+
+from .learner import LearnerSLO, LearningScenario  # noqa: E402
+
+#: Learning-time scenario registry (``repro learn-serve --chaos <id>``).
+#: Kept separate from :data:`SCENARIOS` — these drive
+#: :func:`repro.serve.learner.run_learn_serve`, not :func:`run_chaos`,
+#: and their invariants are the learning-time set (zero lost/duplicate
+#: requests across hot-swaps, rollback restores the baseline,
+#: untouched tenants stay bit-identical).
+LEARNING_SCENARIOS: Dict[str, LearningScenario] = {
+    scenario.scenario_id: scenario.validate()
+    for scenario in (
+        LearningScenario(
+            scenario_id="steady",
+            description=(
+                "clean stream: windows learn, gate, promote; at least "
+                "one guarded hot-swap with zero dropped requests"
+            ),
+            windows=4,
+            window_size=32,
+            slo=LearnerSLO(
+                gate_retention=0.6, gate_tolerance=0.05, rollback_retention=0.6
+            ),
+            min_hot_swaps=1,
+        ),
+        LearningScenario(
+            scenario_id="drift-storm",
+            description=(
+                "covariate shift on the middle windows: lenient SLOs "
+                "keep promotions flowing — >= 3 hot-swaps, zero lost "
+                "or duplicated requests across every swap"
+            ),
+            windows=6,
+            window_size=32,
+            drift_windows=(2, 3, 4),
+            drift_magnitude=0.3,
+            slo=LearnerSLO(
+                gate_retention=0.4, gate_tolerance=0.1, rollback_retention=0.4
+            ),
+            min_hot_swaps=3,
+        ),
+        LearningScenario(
+            scenario_id="label-flip-burst",
+            description=(
+                "label poisoning on window 1: the shadow gate (flipped "
+                "labels on both sides) waves the bad candidate through, "
+                "the fixed-probe guard catches it — automatic rollback "
+                "restores the baseline within the same window"
+            ),
+            windows=4,
+            window_size=32,
+            flip_windows=(1,),
+            slo=LearnerSLO(
+                gate_retention=0.6, gate_tolerance=0.05, rollback_retention=0.8
+            ),
+            min_hot_swaps=2,
+            expect_rollback=True,
+        ),
+        LearningScenario(
+            scenario_id="sram-ber-learning",
+            description=(
+                "SRAM bit errors hit candidate weights between STDP "
+                "windows: gate and guard contain the damage; requests "
+                "are never lost and untouched tenants never change"
+            ),
+            windows=4,
+            window_size=32,
+            ber_windows=(1, 2),
+            weight_ber=0.02,
+            slo=LearnerSLO(
+                gate_retention=0.6, gate_tolerance=0.05, rollback_retention=0.6
+            ),
+        ),
+    )
+}
+
+
+def get_learning_scenario(scenario_id: str) -> LearningScenario:
+    """Look up a learning scenario; :class:`ServingError` on unknown."""
+    scenario = LEARNING_SCENARIOS.get(scenario_id)
+    if scenario is None:
+        raise ServingError(
+            f"unknown learning scenario {scenario_id!r}; "
+            f"pick one of {sorted(LEARNING_SCENARIOS)}"
+        )
+    return scenario
+
+
+def run_learning_chaos(
+    scenario: "str | LearningScenario" = "steady", **kwargs: Any
+) -> Dict[str, Any]:
+    """Run one learning-time scenario (see :func:`run_learn_serve`)."""
+    from .learner import run_learn_serve
+
+    if isinstance(scenario, str):
+        scenario = get_learning_scenario(scenario)
+    return run_learn_serve(scenario, **kwargs)

@@ -378,6 +378,33 @@ class InferenceServer:
             )
         return np.array([int(f.result(timeout)) for f in futures], dtype=np.int64)
 
+    # -- model lifecycle ------------------------------------------------
+
+    def swap_model(self, name: str, model, seed: SeedLike = None) -> Dict[str, Any]:
+        """Replace one served model's weights without dropping requests.
+
+        The batcher, metrics and breaker for ``name`` stay in place —
+        only the execution target changes.  In-process backend: a
+        fresh runner is built and the reference swapped atomically
+        (``_run_batch`` dereferences ``self.runners[name]`` per batch,
+        so queued requests drain to whichever model is current — none
+        are shed).  Pool backend: delegates to
+        :meth:`~repro.serve.workers.ShardedPool.hot_swap`, which rolls
+        the shard slots onto the new weights one at a time.
+        """
+        if name not in self._batchers:
+            raise ServingError(
+                f"unknown model {name!r}; serving {self.models}"
+            )
+        if self._closed:
+            raise ServingError("server is closed; cannot swap models")
+        if self.pool is not None:
+            result = self.pool.hot_swap({name: model})
+            return {"model": name, "backend": "pool", **result}
+        runner = build_runners({name: model}, seed=seed)[name]
+        self.runners[name] = runner
+        return {"model": name, "backend": "runners"}
+
     # -- warmup / introspection ----------------------------------------
 
     def warm(

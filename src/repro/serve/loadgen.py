@@ -288,6 +288,49 @@ def build_models(
     return {"models": models, "train": train_set, "test": test_set}
 
 
+def build_live_learner_model(
+    dataset: str = "digits",
+    n_neurons: int = 30,
+    epochs: int = 2,
+    train_images: int = 400,
+    seed: int = 0,
+):
+    """Train (cache-warm) the small SNN tenant the live learner grows.
+
+    The continual-learning tenant deliberately starts *small* — a few
+    dozen neurons over a few hundred images — so each STDP window is
+    cheap enough to run inside a serving loop, and the offline
+    baseline leaves headroom for the stream to move accuracy in either
+    direction.  Cached under the standard ``stdp-v1`` recipe, so the
+    expensive part of a live-learning run amortizes across sessions.
+    """
+    import dataclasses
+
+    from ..analysis import common
+    from ..core.config import (
+        mnist_snn_config,
+        mpeg7_snn_config,
+        sad_snn_config,
+    )
+
+    loaders = {
+        "digits": (common.digits, mnist_snn_config),
+        "shapes": (common.shapes, mpeg7_snn_config),
+        "spoken": (common.spoken, sad_snn_config),
+    }
+    if dataset not in loaders:
+        raise ServingError(
+            f"unknown dataset {dataset!r}; pick one of {sorted(loaders)}"
+        )
+    loader, snn_config = loaders[dataset]
+    config = dataclasses.replace(
+        snn_config().with_neurons(int(n_neurons)), seed=int(seed)
+    )
+    train_set, _ = loader()
+    subset = train_set.take(min(int(train_images), len(train_set)))
+    return common.train_snn_model(config, subset, epochs=int(epochs))
+
+
 def direct_predictions(
     model, images: np.ndarray, indices: Sequence[int], seed=None
 ) -> np.ndarray:

@@ -282,6 +282,42 @@ def render_stats(payload: Dict[str, Any]) -> str:
                 f"{supervisor.get('crash_loop_trips', 0)} crash-loop trip(s)"
                 + (f"  slots {described}" if described else "")
             )
+    learner = payload.get("learner")
+    if isinstance(learner, dict):
+        lines.append("learner:")
+        lines.append(
+            "  epochs:    "
+            f"serving {learner.get('serving_epoch', '?')} "
+            f"(latest {learner.get('epoch', '?')}, "
+            f"last good {learner.get('last_good_epoch', '?')}), "
+            f"staleness {learner.get('staleness', 0)} window(s)"
+        )
+        lines.append(
+            "  windows:   "
+            f"{learner.get('windows', 0)} run, "
+            f"{learner.get('promotions', 0)} promoted, "
+            f"{learner.get('rejections', 0)} gate-rejected, "
+            f"{learner.get('rollbacks', 0)} rolled back "
+            f"({learner.get('hot_swaps', 0)} hot-swap(s))"
+        )
+        slo = learner.get("slo", {})
+        lines.append(
+            "  slo:       "
+            f"gate retention {slo.get('gate_retention', '?')}, "
+            f"rollback retention {slo.get('rollback_retention', '?')}, "
+            f"probe accuracy {learner.get('probe_accuracy', '?')}"
+        )
+        rollback = learner.get("last_rollback")
+        if isinstance(rollback, dict):
+            lines.append(
+                "  rollback:  "
+                f"epoch {rollback.get('from_epoch', '?')} -> "
+                f"{rollback.get('to_epoch', '?')} "
+                f"(breach {rollback.get('breach_accuracy', '?')}, "
+                f"restored {rollback.get('restored_accuracy', '?')}, "
+                f"baseline restored: "
+                f"{'yes' if rollback.get('baseline_restored') else 'NO'})"
+            )
     chaos = payload.get("chaos")
     if isinstance(chaos, dict):
         lines.append("chaos:")
@@ -329,5 +365,14 @@ def render_health(payload: Dict[str, Any]) -> str:
         lines.append(
             f"pool: {len(pool.get('alive_shards', []))} of "
             f"{pool.get('jobs', '?')} shard(s) alive"
+        )
+    learner = health.get("learner")
+    if isinstance(learner, dict):
+        lines.append(
+            f"learner: epoch {learner.get('serving_epoch', '?')} serving "
+            f"(staleness {learner.get('staleness', 0)}, "
+            f"rollbacks {learner.get('rollbacks', 0)}, "
+            f"retention SLO "
+            f"{'ok' if learner.get('retention_slo_ok', True) else 'BREACHED'})"
         )
     return "\n".join(lines)

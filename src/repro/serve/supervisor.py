@@ -23,7 +23,11 @@ by degrading capacity — a killed shard stayed dead.  The
   :class:`~repro.core.errors.ShardCrashLoop` in the snapshot); after
   ``cooldown`` seconds the breaker goes **half-open** and one probe
   respawn is allowed — a crash re-opens it, while outliving the
-  window closes it again.
+  window closes it again;
+* **planned retirement** — a death flagged by
+  :meth:`~repro.serve.workers.ShardedPool.retire_shard` (the hot-swap
+  rollover) is respawned immediately, with no crash bookkeeping, so
+  routine snapshot promotions never trip the crash-loop breaker.
 
 The supervisor never touches request routing: surviving shards keep
 serving while a slot is down, and a respawned shard rebuilds its
@@ -231,6 +235,26 @@ class ShardSupervisor:
 
     def _heal_slot(self, state: _SlotState, now: float) -> None:
         policy = self.policy
+        if self.pool.consume_planned_retire(state.slot):
+            # Planned retirement (hot-swap rollover): respawn right
+            # away — no death bookkeeping, no backoff, no breaker
+            # pressure.  A learner promoting snapshots every few
+            # seconds must not read as a crash loop.
+            try:
+                self.pool.respawn_shard(
+                    state.slot, ready_timeout=policy.ready_timeout
+                )
+            except ServingError:
+                # Replacement failed to come up; fall through and let
+                # the ordinary crash path handle the slot.
+                pass
+            else:
+                state.respawns += 1
+                state.awaiting_respawn = False
+                state.next_attempt_at = None
+                with self._lock:
+                    self._total_respawns += 1
+                return
         if not state.awaiting_respawn:
             # Newly observed death: record it, maybe trip the breaker,
             # and schedule the (backed-off, jittered) respawn attempt.

@@ -36,7 +36,17 @@ Fault tolerance (asserted by ``tests/serve/test_workers.py`` and
 * with a :class:`~repro.serve.supervisor.SupervisorPolicy` attached,
   dead or wedged shards are **respawned** (exponential backoff +
   deterministic jitter) under a per-slot crash-loop breaker — see
-  :mod:`repro.serve.supervisor`.
+  :mod:`repro.serve.supervisor`;
+* :meth:`ShardedPool.hot_swap` replaces served models' weights
+  **without dropping requests**: it publishes a fresh shared-memory
+  bundle (updated arrays for the swapped models, byte-identical copies
+  for the rest), flips the spawn-time references, then retires shard
+  slots one at a time through :meth:`retire_shard` — a *planned*
+  retirement that the supervisor respawns immediately, without crash
+  bookkeeping, backoff, or breaker pressure, so a learner promoting
+  snapshots every few seconds cannot trip the crash-loop breaker.
+  In-flight tasks on a retiring shard requeue on the survivors via the
+  ordinary death path; capacity never reaches zero.
 
 Rebuild-from-views is exact: every model family's forward pass reads
 its arrays without writing (inference only), so handing it read-only
@@ -409,7 +419,15 @@ class ShardedPool:
             "respawns": 0,
             "wedge_kills": 0,
             "shard_deaths": 0,
+            "hot_swaps": 0,
+            "planned_retires": 0,
         }
+        #: slots whose next death is a planned retirement (hot-swap
+        #: rollover), not a crash; the supervisor consumes the flag.
+        self._planned_retires: set = set()
+        #: bundles superseded by hot_swap but possibly still mapped by
+        #: retiring workers; unlinked when the swap (or close) finishes.
+        self._retired_bundles: List[SharedArrayBundle] = []
         #: set by the collector on every shard death; the supervisor
         #: waits on it instead of busy-polling.
         self.death_event = threading.Event()
@@ -531,6 +549,122 @@ class ShardedPool:
             self._shards[shard_id] = replacement
             self._counters["respawns"] += 1
         self._start_collector(replacement)
+
+    def consume_planned_retire(self, shard_id: int) -> bool:
+        """Claim (and clear) the planned-retire flag for one slot.
+
+        The supervisor calls this when healing a dead slot: True means
+        the death was a deliberate :meth:`retire_shard` and must not
+        count toward the crash-loop breaker.
+        """
+        with self._lock:
+            if shard_id in self._planned_retires:
+                self._planned_retires.discard(shard_id)
+                return True
+            return False
+
+    def retire_shard(self, shard_id: int, ready_timeout: float = 120.0) -> None:
+        """Planned retirement: kill one shard so it respawns fresh.
+
+        Used by :meth:`hot_swap` to roll a slot onto the current
+        bundle/specs.  With a supervisor attached the respawn happens
+        on its next sweep (immediately — no backoff, no crash
+        bookkeeping); without one the pool respawns the slot inline
+        after the collector has triaged the dead shard's tasks.
+        """
+        with self._lock:
+            if self._closing:
+                raise ServingError("pool is closing; not retiring shards")
+            self._counters["planned_retires"] += 1
+            self._planned_retires.add(shard_id)
+            shard = self._shards[shard_id]
+            supervised = self._supervisor is not None
+        self.kill_shard(shard_id)
+        if not supervised:
+            # Let the collector requeue the dead shard's in-flight
+            # tasks before the slot is replaced under it.
+            if shard.collector is not None:
+                shard.collector.join(timeout=30.0)
+            try:
+                self.respawn_shard(shard_id, ready_timeout=ready_timeout)
+            finally:
+                with self._lock:
+                    self._planned_retires.discard(shard_id)
+
+    def _await_generation(
+        self, shard_id: int, above: int, timeout: float
+    ) -> None:
+        """Block until a slot serves at a generation newer than ``above``."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._lock:
+                shard = self._shards[shard_id]
+                if shard.alive and shard.generation > above:
+                    return
+            time.sleep(0.02)
+        raise ServingError(
+            f"shard {shard_id} did not roll over past generation {above} "
+            f"within {timeout}s"
+        )
+
+    def hot_swap(
+        self, updates: Dict[str, Any], ready_timeout: float = 120.0
+    ) -> Dict[str, Any]:
+        """Replace served models' weights with zero dropped requests.
+
+        Publishes a fresh bundle holding the updated arrays for every
+        model in ``updates`` and byte-identical copies of everything
+        else (untouched tenants and the dataset table), flips the
+        references new spawns read, then rolls the shard slots over
+        one at a time — at every instant all but one slot is serving,
+        and a retiring shard's in-flight tasks requeue on survivors.
+        Requests racing the rollover may be answered by either
+        generation; untouched models answer bit-identically from both.
+        """
+        unknown = sorted(set(updates) - set(self.models))
+        if unknown:
+            raise ServingError(
+                f"cannot hot-swap unknown model(s) {unknown}; "
+                f"pool serves {self.models}"
+            )
+        if not updates:
+            raise ServingError("hot_swap needs at least one model update")
+        with self._lock:
+            if self._closing:
+                raise ServingError("pool is closing; not hot-swapping")
+            old_bundle = self._bundle
+            new_specs = dict(self._specs)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, model in updates.items():
+            new_specs[name] = _publish_model(name, model, arrays)
+        swapped_prefixes = tuple(f"{name}/" for name in updates)
+        for key in old_bundle.layout:
+            if key.startswith(swapped_prefixes):
+                continue
+            arrays[key] = np.array(old_bundle[key])
+        new_bundle = SharedArrayBundle.create(arrays)
+        with self._lock:
+            if self._closing:
+                new_bundle.close(unlink=True)
+                raise ServingError("pool closed while hot-swapping")
+            self._bundle = new_bundle
+            self._specs = new_specs
+            self._retired_bundles.append(old_bundle)
+            plan = [(s.shard_id, s.generation) for s in self._shards]
+        for shard_id, generation in plan:
+            self.retire_shard(shard_id, ready_timeout=ready_timeout)
+            self._await_generation(shard_id, above=generation, timeout=ready_timeout)
+        with self._lock:
+            self._counters["hot_swaps"] += 1
+            if old_bundle in self._retired_bundles:
+                self._retired_bundles.remove(old_bundle)
+            generations = {
+                str(s.shard_id): s.generation for s in self._shards
+            }
+        # Every slot now serves from the new bundle; dropping the old
+        # segment cannot yank views from under a live worker.
+        old_bundle.close(unlink=True)
+        return {"swapped": sorted(updates), "generations": generations}
 
     @staticmethod
     def _close_shard_queues(shard: _Shard) -> None:
@@ -845,6 +979,9 @@ class ShardedPool:
                     q.join_thread()
                 except (OSError, ValueError):  # pragma: no cover
                     pass
+        for bundle in self._retired_bundles:
+            bundle.close(unlink=True)
+        self._retired_bundles.clear()
         self._bundle.close(unlink=True)
 
     def __enter__(self) -> "ShardedPool":

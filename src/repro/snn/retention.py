@@ -63,8 +63,46 @@ class RetentionStudy:
 
     @property
     def forgetting(self) -> float:
-        """Accuracy on task A lost over the continued-learning phase."""
+        """Accuracy on task A lost over the continued-learning phase.
+
+        Negative values mean task-A accuracy *improved* while task B
+        was learned.  Well-defined even when the initial accuracy is
+        zero (forgetting is then ``-final_accuracy``).
+        """
         return self.initial_accuracy - self.final_accuracy
+
+    @property
+    def relative_forgetting(self) -> float:
+        """Forgetting as a fraction of the initial accuracy.
+
+        ``0.0`` when the initial accuracy is zero: a network that knew
+        nothing had nothing to forget, and dividing by zero would turn
+        that degenerate-but-legal study into a crash.
+        """
+        initial = self.initial_accuracy
+        if initial == 0.0:
+            return 0.0
+        return self.forgetting / initial
+
+
+def window_bounds(total: int, window: int):
+    """Yield ``(start, stop)`` learning-window slices covering ``total``.
+
+    The bounded-window schedule shared by :func:`retention_curve` and
+    the live continual learner (:mod:`repro.serve.learner`): full
+    ``window``-sized slices, with a short final slice when ``window``
+    does not divide ``total``.  ``total == 0`` yields nothing — an
+    empty stream is a valid (if boring) learning phase.
+    """
+    if window < 1:
+        raise TrainingError(f"window must be >= 1, got {window}")
+    if total < 0:
+        raise TrainingError(f"total must be >= 0, got {total}")
+    seen = 0
+    while seen < total:
+        upto = min(seen + window, total)
+        yield seen, upto
+        seen = upto
 
 
 def _split_by_classes(dataset: Dataset, classes: Sequence[int]) -> Dataset:
@@ -142,10 +180,8 @@ def retention_curve(
     # and spike-stream consumption are bit-identical to the per-image
     # present_image loop, so probed accuracies and drifts are unchanged.
     engine = FusedSTDPEngine(network)
-    seen = 0
-    while seen < task_b_images:
-        upto = min(seen + probe_every, task_b_images)
-        window = order[seen:upto]
+    for start, upto in window_bounds(task_b_images, probe_every):
+        window = order[start:upto]
         engine.learn_images(task_b_train.images[window], rng=spikes_rng)
         seen = upto
         _relabel(
@@ -192,11 +228,8 @@ def receptive_field_drift(
     order = order_rng.choice(len(dataset), size=n_presentations, replace=True)
     drifts = []
     engine = FusedSTDPEngine(network)
-    seen = 0
-    while seen < n_presentations:
-        upto = min(seen + 20, n_presentations)
-        engine.learn_images(dataset.images[order[seen:upto]], rng=rng)
-        seen = upto
-        if seen % 20 == 0:
+    for start, upto in window_bounds(n_presentations, 20):
+        engine.learn_images(dataset.images[order[start:upto]], rng=rng)
+        if upto % 20 == 0:
             drifts.append(float(np.linalg.norm(network.weights - baseline) / scale))
     return drifts

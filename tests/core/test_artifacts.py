@@ -115,6 +115,7 @@ class TestModelCache:
             "stores": 1,
             "errors": 0,
             "corrupt_evictions": 0,
+            "capacity_evictions": 0,
         }
         np.testing.assert_array_equal(first.w_hidden, second.w_hidden)
 
@@ -205,7 +206,12 @@ class TestModelCache:
 
     def test_stats_reset(self):
         stats = CacheStats(
-            hits=2, misses=3, stores=3, errors=1, corrupt_evictions=4
+            hits=2,
+            misses=3,
+            stores=3,
+            errors=1,
+            corrupt_evictions=4,
+            capacity_evictions=5,
         )
         stats.reset()
         assert stats.as_dict() == {
@@ -214,6 +220,7 @@ class TestModelCache:
             "stores": 0,
             "errors": 0,
             "corrupt_evictions": 0,
+            "capacity_evictions": 0,
         }
 
 
@@ -302,3 +309,76 @@ class TestTrainingHelpersAreMemoized:
             np.testing.assert_array_equal(cold.neuron_labels, warm.neuron_labels)
         finally:
             artifacts.reset_default_cache()
+
+
+class TestCapacityBound:
+    """Size-limited LRU eviction (``max_bytes`` / REPRO_CACHE_MAX_BYTES)."""
+
+    @staticmethod
+    def _store(cache, train_set, n_hidden):
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=n_hidden)
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, []))
+        return cache.path_for(cache_key("mlp", config, train_set))
+
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert ModelCache(tmp_path / "c").max_bytes is None
+
+    @pytest.mark.parametrize("raw", ["", "not-a-number", "0", "-5"])
+    def test_malformed_env_limit_means_unbounded(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", raw)
+        assert artifacts.cache_max_bytes() is None
+
+    def test_env_limit_is_picked_up(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert artifacts.cache_max_bytes() == 12345
+        assert ModelCache(tmp_path / "c").max_bytes == 12345
+
+    def test_oldest_entry_is_evicted_first(self, tmp_path, tiny_pair):
+        import os as _os
+
+        train_set, _ = tiny_pair
+        probe = ModelCache(tmp_path / "cache")
+        first = self._store(probe, train_set, 4)
+        entry_bytes = probe._entry_size(first)
+        # Room for two entries (plus slack), not three.
+        cache = ModelCache(
+            tmp_path / "cache", max_bytes=int(entry_bytes * 2.5)
+        )
+        second = self._store(cache, train_set, 5)
+        # Age the entries deterministically: second is the stalest.
+        for age, path in ((100, first), (300, second)):
+            stat = path.stat()
+            _os.utime(path, (stat.st_atime, stat.st_mtime - age))
+        third = self._store(cache, train_set, 6)
+        assert not second.exists(), "the least-recently-used entry goes"
+        assert first.exists()
+        assert third.exists(), "the entry just written is shielded"
+        assert cache.stats.capacity_evictions >= 1
+
+    def test_hit_refreshes_recency(self, tmp_path, tiny_pair):
+        import os as _os
+
+        train_set, _ = tiny_pair
+        probe = ModelCache(tmp_path / "cache")
+        first = self._store(probe, train_set, 4)
+        entry_bytes = probe._entry_size(first)
+        cache = ModelCache(
+            tmp_path / "cache", max_bytes=int(entry_bytes * 2.5)
+        )
+        second = self._store(cache, train_set, 5)
+        # Make `first` stale, then hit it — the hit must refresh it.
+        for age, path in ((300, first), (100, second)):
+            stat = path.stat()
+            _os.utime(path, (stat.st_atime, stat.st_mtime - age))
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=4)
+        cache.get_or_train("mlp", config, train_set, _mlp_factory(config, []))
+        assert cache.stats.hits == 1
+        third = self._store(cache, train_set, 6)
+        assert first.exists(), "a fresh hit saves the entry from eviction"
+        assert not second.exists(), "recency, not insertion order, decides"
+        assert third.exists()
+
+    def test_non_positive_constructor_limit_means_unbounded(self, tmp_path):
+        assert ModelCache(tmp_path / "c", max_bytes=0).max_bytes is None
+        assert ModelCache(tmp_path / "c", max_bytes=-1).max_bytes is None

@@ -88,3 +88,67 @@ class TestServeHealth:
         stats.write_text(json.dumps({"models": {}}))
         exit_code = main(["serve-health", str(stats)])
         assert exit_code == 1
+
+
+class TestChaosList:
+    def test_loadtest_chaos_list_enumerates_both_registries(self, capsys):
+        exit_code = main(["loadtest", "--model", "mlp", "--chaos", "list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "smoke" in captured.out
+        assert "deadline-storm" in captured.out
+        assert "drift-storm" in captured.out
+        assert "label-flip-burst" in captured.out
+
+    def test_learn_serve_chaos_list_exits_zero(self, capsys):
+        exit_code = main(["learn-serve", "--chaos", "list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "steady" in captured.out
+        assert "sram-ber-learning" in captured.out
+
+    def test_learn_serve_unknown_scenario_exits_usage(self, capsys):
+        exit_code = main(["learn-serve", "--chaos", "meteor"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_USAGE
+        assert "unknown learning scenario" in captured.err
+        assert "steady" in captured.err
+
+
+class TestServeHealthJson:
+    def test_json_output_has_stable_keys(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        payload = _health_payload(ready=True)
+        payload["health"]["learner"] = {
+            "epoch": 3,
+            "serving_epoch": 3,
+            "staleness": 0,
+            "rollbacks": 1,
+            "last_rollback_epoch": 2,
+            "retention_slo_ok": True,
+        }
+        stats.write_text(json.dumps(payload))
+        exit_code = main(["serve-health", "--json", str(stats)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        doc = json.loads(captured.out)
+        assert sorted(doc) == ["learner", "live", "models", "pool", "ready"]
+        assert doc["ready"] is True
+        assert doc["learner"]["serving_epoch"] == 3
+        assert doc["pool"]["jobs"] == 2
+
+    def test_json_without_learner_is_null_not_missing(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(_health_payload(ready=True)))
+        exit_code = main(["serve-health", "--json", str(stats)])
+        doc = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert doc["learner"] is None
+
+    def test_json_unready_still_exits_one(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(_health_payload(ready=False)))
+        exit_code = main(["serve-health", "--json", str(stats)])
+        doc = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert doc["ready"] is False

@@ -252,6 +252,9 @@ class TestCrashLoopBreaker:
             def respawn_shard(self, slot, ready_timeout=None):
                 self.respawned.append(slot)
 
+            def consume_planned_retire(self, slot):
+                return False
+
             def _bump(self, counter, by=1):
                 pass
 

@@ -1,0 +1,135 @@
+"""Edge cases of the retention study and its bounded-window schedule.
+
+The happy-path forgetting curve lives in ``test_retention.py``; these
+pin down the degenerate-but-legal corners the live continual learner
+now leans on: empty learning phases, single-class tasks, zero initial
+accuracy, and the bit-exactness of windowed vs. one-shot training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNNConfig
+from repro.core.errors import TrainingError
+from repro.core.rng import child_rng
+from repro.snn.network import SpikingNetwork
+from repro.snn.retention import (
+    RetentionPoint,
+    RetentionStudy,
+    retention_curve,
+    window_bounds,
+)
+from repro.snn.training import FusedSTDPEngine
+
+
+@pytest.fixture(scope="module")
+def digits_tiny():
+    from repro.datasets.digits import load_digits
+
+    return load_digits(n_train=120, n_test=60)
+
+
+class TestWindowBounds:
+    def test_exact_cover_without_overlap(self):
+        assert list(window_bounds(6, 2)) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_short_final_window(self):
+        assert list(window_bounds(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_window_larger_than_total(self):
+        assert list(window_bounds(3, 10)) == [(0, 3)]
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(window_bounds(0, 5)) == []
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(TrainingError, match="window"):
+            list(window_bounds(5, 0))
+        with pytest.raises(TrainingError, match="total"):
+            list(window_bounds(-1, 5))
+
+
+class TestDegenerateStudies:
+    def test_zero_initial_accuracy_is_legal(self):
+        """A network that knew nothing had nothing to forget."""
+        study = RetentionStudy(
+            points=[
+                RetentionPoint(0, 0.0, 0.1, 0.0),
+                RetentionPoint(50, 0.25, 0.3, 0.1),
+            ]
+        )
+        assert study.forgetting == -0.25
+        assert study.relative_forgetting == 0.0
+
+    def test_empty_task_b_phase(self, digits_tiny):
+        """``task_b_images=0`` is an empty learning phase: one baseline
+        probe, zero forgetting — not a crash."""
+        train_set, test_set = digits_tiny
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        study = retention_curve(
+            network,
+            train_set,
+            test_set,
+            probe_every=50,
+            task_b_images=0,
+        )
+        assert [p.images_seen for p in study.points] == [0]
+        assert study.forgetting == 0.0
+        assert study.relative_forgetting == 0.0
+        assert study.points[0].field_drift == 0.0
+
+    def test_single_class_tasks(self, digits_tiny):
+        """One class per task is the smallest legal split; accuracies
+        stay within [0, 1] and the probe schedule still holds."""
+        train_set, test_set = digits_tiny
+        network = SpikingNetwork(SNNConfig(epochs=1).with_neurons(20))
+        study = retention_curve(
+            network,
+            train_set,
+            test_set,
+            task_a_classes=(0,),
+            task_b_classes=(1,),
+            probe_every=30,
+            task_b_images=60,
+        )
+        assert [p.images_seen for p in study.points] == [0, 30, 60]
+        for point in study.points:
+            assert 0.0 <= point.task_a_accuracy <= 1.0
+            assert 0.0 <= point.task_b_accuracy <= 1.0
+
+    def test_empty_probe_points_raise(self):
+        study = RetentionStudy()
+        with pytest.raises(TrainingError):
+            study.initial_accuracy
+        with pytest.raises(TrainingError):
+            study.forgetting
+
+
+class TestWindowedTrainingEquivalence:
+    def test_windowed_learning_matches_one_shot(self, digits_tiny):
+        """The bounded-window schedule is pure bookkeeping: slicing one
+        presentation stream into windows (with a shared spike RNG)
+        leaves weights and thresholds bit-identical to a single
+        ``learn_images`` call — the property that lets the continual
+        learner and the retention study share one schedule."""
+        train_set, _ = digits_tiny
+        config = SNNConfig(epochs=1).with_neurons(20)
+        images = np.asarray(train_set.images[:40])
+
+        whole = SpikingNetwork(config)
+        FusedSTDPEngine(whole).learn_images(
+            images, rng=child_rng(config.seed, "edge-equivalence")
+        )
+
+        windowed = SpikingNetwork(config)
+        engine = FusedSTDPEngine(windowed)
+        rng = child_rng(config.seed, "edge-equivalence")
+        for start, upto in window_bounds(len(images), 9):
+            engine.learn_images(images[start:upto], rng=rng)
+
+        np.testing.assert_array_equal(windowed.weights, whole.weights)
+        np.testing.assert_array_equal(
+            np.asarray(windowed.thresholds), np.asarray(whole.thresholds)
+        )
