@@ -1,0 +1,280 @@
+"""PR-7 benchmark: vectorized sweep engine vs the scalar oracle walk.
+
+Not part of the tier-1 suite (pytest ``testpaths`` excludes
+``benchmarks/``).  Run it directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_sweep.py -q -s
+
+Measured with a plain ``time.perf_counter`` clock:
+
+* **Vectorized throughput** — :func:`repro.hardware.sweep.run_sweep`
+  over the full (family x fold x hidden x bits x node) grid; at the
+  ``full`` scale the grid covers the paper's entire Table 1 parameter
+  ranges at four technology nodes (>= 1e6 design points).
+* **Scalar throughput** — the same cost model through
+  :func:`scalar_walk` (one :class:`DesignReport` per point), timed on
+  a sampled combo subset and extrapolated; walking the full grid
+  serially would take minutes for no extra information.
+* **Speedup** — vectorized / scalar points-per-second; must clear
+  ``min_speedup`` (50x at full scale — the acceptance bar).
+* **Equivalence** — random rows of the vectorized result must equal
+  the scalar oracle *bit for bit* (no tolerances), and the fast
+  Pareto mask must match the O(n^2) pairwise oracle on a subsample.
+
+Results are appended to ``BENCH_PR7.json`` at the repository root,
+keyed by scale (``REPRO_BENCH_SCALE``: ``full`` default, ``ci`` for
+the explore-smoke job; ``REPRO_BENCH_OUTPUT`` overrides the path).
+
+Regression guard: measured rates must reach at least ``1/3`` of the
+committed baseline for the scale — slack for runner variance; a real
+regression (losing the vectorized path) is orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.hardware.sweep import (
+    DEFAULT_FOLD_FACTORS,
+    DEFAULT_WEIGHT_BITS,
+    SweepGrid,
+    pareto_mask,
+    run_sweep,
+    scalar_design_report,
+    scalar_walk,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / "BENCH_PR7.json")
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+
+PARAMS: Dict[str, dict] = {
+    "full": {
+        "hidden_step": 1,          # every width in Table 1's ranges
+        "nodes": ("90nm", "65nm", "45nm", "28nm"),
+        "jobs": 1,
+        "min_points": 1_000_000,   # the acceptance floor
+        "min_speedup": 50.0,
+        "scalar_sample_combos": 6,
+        "equivalence_samples": 60,
+        "pareto_sample": 400,
+    },
+    "ci": {
+        "hidden_step": 5,
+        "nodes": ("65nm", "28nm"),
+        "jobs": 2,
+        "min_points": 100_000,
+        "min_speedup": 10.0,
+        "scalar_sample_combos": 4,
+        "equivalence_samples": 30,
+        "pareto_sample": 250,
+    },
+}
+
+#: Committed baseline rates (design points / second) per scale; the
+#: guard requires measured >= baseline / 3.
+BASELINE_RATES: Dict[str, Dict[str, float]] = {
+    "full": {"sweep_vectorized": 1_500_000.0, "sweep_scalar": 22_000.0},
+    "ci": {"sweep_vectorized": 1_300_000.0, "sweep_scalar": 24_000.0},
+}
+
+if SCALE not in PARAMS:  # pragma: no cover - config error guard
+    raise RuntimeError(f"unknown REPRO_BENCH_SCALE {SCALE!r}")
+
+P = PARAMS[SCALE]
+
+RECORDS: Dict[str, dict] = {}
+
+
+def _guard(name: str, rate: float) -> None:
+    baseline = BASELINE_RATES[SCALE][name]
+    floor = baseline / 3.0
+    assert rate >= floor, (
+        f"{name}: {rate:.0f} points/s is below the regression floor "
+        f"{floor:.0f} points/s (baseline {baseline:.0f} / 3)"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_json():
+    yield
+    if not RECORDS:
+        return
+    existing: Dict[str, dict] = {}
+    if OUTPUT_PATH.exists():
+        try:
+            existing = json.loads(OUTPUT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    from repro.core.hostinfo import host_metadata
+
+    existing.setdefault("scales", {})[SCALE] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": host_metadata(REPO_ROOT),
+        "params": {k: list(v) if isinstance(v, tuple) else v for k, v in P.items()},
+        "baseline_rates": BASELINE_RATES[SCALE],
+        "benchmarks": RECORDS,
+    }
+    existing["note"] = (
+        "Wall-clock numbers from benchmarks/test_sweep.py. Rates are "
+        "design points/second through the full analytical cost model; "
+        "the speedup is vectorized/scalar on bit-identical outputs "
+        "(the scalar rate is measured on a sampled combo subset)."
+    )
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def grid() -> SweepGrid:
+    return SweepGrid(
+        hidden_sizes=tuple(range(1, 1601, P["hidden_step"])),
+        fold_factors=DEFAULT_FOLD_FACTORS,
+        weight_bits=DEFAULT_WEIGHT_BITS,
+        nodes=P["nodes"],
+        mlp_config=mnist_mlp_config(),
+        snn_config=mnist_snn_config(),
+    ).validate()
+
+
+@pytest.fixture(scope="module")
+def swept(grid):
+    # Warm-up on a thin slice so first-touch costs (imports, numpy
+    # buffer pools, thread-pool spin-up) don't land in the timed run.
+    warmup = SweepGrid(
+        hidden_sizes=(10, 100),
+        mlp_config=grid.mlp_config,
+        snn_config=grid.snn_config,
+    ).validate()
+    run_sweep(warmup, jobs=P["jobs"], use_cache=False)
+    # Best of three with GC paused: shared runners are noisy and a
+    # single outlier run shouldn't fail the 50x bar.
+    elapsed = float("inf")
+    gc.disable()
+    try:
+        for _ in range(3):
+            gc.collect()
+            t0 = time.perf_counter()
+            result = run_sweep(grid, jobs=P["jobs"], use_cache=False)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    return result, elapsed
+
+
+class TestSweepThroughput:
+    def test_vectorized_vs_scalar_speedup(self, grid, swept):
+        result, vec_seconds = swept
+        assert result.n_points >= P["min_points"], (
+            f"grid has {result.n_points:,} points; the acceptance bar "
+            f"is {P['min_points']:,}"
+        )
+        vec_rate = result.n_points / max(vec_seconds, 1e-9)
+
+        combos = grid.combos()
+        stride = max(len(combos) // P["scalar_sample_combos"], 1)
+        sample = combos[::stride][: P["scalar_sample_combos"]]
+        n_scalar = sum(c.n_points for c in sample)
+        scalar_seconds = float("inf")
+        gc.disable()
+        try:
+            for _ in range(2):
+                gc.collect()
+                t0 = time.perf_counter()
+                for _ in scalar_walk(grid, sample):
+                    pass
+                scalar_seconds = min(
+                    scalar_seconds, time.perf_counter() - t0
+                )
+        finally:
+            gc.enable()
+        scalar_rate = n_scalar / max(scalar_seconds, 1e-9)
+
+        speedup = vec_rate / scalar_rate
+        RECORDS["sweep"] = {
+            "n_points": result.n_points,
+            "vectorized_seconds": round(vec_seconds, 4),
+            "vectorized_points_per_s": round(vec_rate, 1),
+            "scalar_sample_points": n_scalar,
+            "scalar_points_per_s": round(scalar_rate, 1),
+            "speedup": round(speedup, 1),
+            "jobs": P["jobs"],
+        }
+        print(
+            f"\n[{SCALE}] {result.n_points:,} points: vectorized "
+            f"{vec_rate:,.0f} pts/s vs scalar {scalar_rate:,.0f} pts/s "
+            f"-> {speedup:.1f}x"
+        )
+        _guard("sweep_vectorized", vec_rate)
+        _guard("sweep_scalar", scalar_rate)
+        assert speedup >= P["min_speedup"], (
+            f"speedup {speedup:.1f}x is below the {P['min_speedup']}x bar"
+        )
+
+
+class TestSweepCorrectness:
+    def test_sampled_rows_bit_identical(self, grid, swept):
+        result, _ = swept
+        rng = np.random.default_rng(2015)
+        mismatches = 0
+        for i in rng.choice(
+            result.n_points, size=P["equivalence_samples"], replace=False
+        ):
+            i = int(i)
+            report = scalar_design_report(
+                result.family_of(i),
+                int(result.ni[i]),
+                int(result.hidden[i]),
+                int(result.weight_bits[i]),
+                result.nodes[int(result.node_code[i])],
+                grid.mlp_config,
+                grid.snn_config,
+            )
+            same = (
+                float(result.logic_area_mm2[i]) == report.logic_area_mm2
+                and float(result.sram_area_mm2[i]) == report.sram_area_mm2
+                and float(result.delay_ns[i]) == report.delay_ns
+                and int(result.cycles_per_image[i]) == report.cycles_per_image
+                and float(result.energy_per_image_uj[i])
+                == report.energy_per_image_uj
+            )
+            mismatches += 0 if same else 1
+        RECORDS["equivalence"] = {
+            "sampled_rows": P["equivalence_samples"],
+            "mismatches": mismatches,
+        }
+        assert mismatches == 0
+
+    def test_pareto_matches_pairwise_oracle(self, swept):
+        result, _ = swept
+        rng = np.random.default_rng(7)
+        idx = rng.choice(result.n_points, size=P["pareto_sample"], replace=False)
+        values = np.column_stack(
+            [result.metric("area")[idx], result.metric("latency")[idx]]
+        )
+        oracle = np.ones(len(idx), dtype=bool)
+        for i in range(len(idx)):
+            for j in range(len(idx)):
+                if i != j and (values[j] <= values[i]).all() and (
+                    values[j] < values[i]
+                ).any():
+                    oracle[i] = False
+                    break
+        fast = pareto_mask(values)
+        RECORDS["pareto"] = {
+            "sampled_rows": int(len(idx)),
+            "frontier_size": int(fast.sum()),
+            "identical_to_oracle": bool(np.array_equal(fast, oracle)),
+        }
+        assert np.array_equal(fast, oracle)

@@ -12,6 +12,7 @@ from . import (  # noqa: F401
     figures,
     scale_study,
     sensitivity,
+    sweeps,
     tables_accuracy,
     tables_hardware,
     workloads,

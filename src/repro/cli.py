@@ -5,7 +5,16 @@ Commands:
 * ``list``                      — list every registered experiment;
 * ``report [ids...]``           — run experiments (default: all) and
                                   print paper-vs-measured tables;
-* ``recommend [options]``       — the Section 7 designer guidance;
+* ``recommend [options]``       — the Section 7 designer guidance
+                                  (``--json`` for machine-readable
+                                  output with stable keys);
+* ``explore [options]``         — vectorized design-space sweeps over
+                                  (family x fold x hidden x bits x
+                                  node) grids: best-point queries
+                                  under constraints, Pareto
+                                  frontiers, and the SNN-vs-ANN
+                                  comparison axis (exit 2 on unknown
+                                  metric / family / node);
 * ``sample <dataset>``          — ASCII contact sheet of a workload;
 * ``fields``                    — train a small SNN and show its
                                   receptive fields as ASCII art;
@@ -156,6 +165,22 @@ def _apply_cache_flags(args: argparse.Namespace) -> None:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
 
+def _design_point_doc(point) -> dict:
+    """Stable machine-readable rendering of an explorer DesignPoint."""
+    return {
+        "family": point.family,
+        "variant": point.variant,
+        "name": point.report.name,
+        "topology": point.report.topology,
+        "area_mm2": point.area_mm2,
+        "energy_uj": point.energy_uj,
+        "latency_us": point.latency_us,
+        "power_w": point.report.power_w,
+        "edp_uj_us": point.edp_uj_us,
+        "supports_online_learning": point.supports_online_learning,
+    }
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     from .hardware.explorer import Requirements, recommend
 
@@ -169,8 +194,196 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     result = recommend(
         requirements, mnist_mlp_config(), mnist_snn_config(), prefer=args.prefer
     )
-    print(result.summary())
+    if getattr(args, "json", False):
+        # Stable keys, matching the serve-health --json convention.
+        doc = {
+            "chosen": (
+                _design_point_doc(result.chosen)
+                if result.chosen is not None
+                else None
+            ),
+            "feasible_count": len(result.feasible),
+            "prefer": args.prefer,
+            "reasons": list(result.reasons),
+            "requirements": {
+                "max_area_mm2": requirements.max_area_mm2,
+                "max_latency_us": requirements.max_latency_us,
+                "max_energy_uj": requirements.max_energy_uj,
+                "needs_online_learning": requirements.needs_online_learning,
+                "accuracy_critical": requirements.accuracy_critical,
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
     return 0 if result.chosen is not None else 1
+
+
+def _parse_int_axis(spec: str) -> tuple:
+    """Parse a grid axis: comma list and/or ``start:stop[:step]`` ranges."""
+    values: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            pieces = part.split(":")
+            if len(pieces) not in (2, 3):
+                raise ValueError(f"bad range {part!r}; use start:stop[:step]")
+            start, stop = int(pieces[0]), int(pieces[1])
+            step = int(pieces[2]) if len(pieces) == 3 else 1
+            if step < 1:
+                raise ValueError(f"range step must be >= 1 in {part!r}")
+            values.extend(range(start, stop + 1, step))
+        else:
+            values.append(int(part))
+    return tuple(dict.fromkeys(values))
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .core.errors import HardwareModelError
+    from .hardware import sweep as sweep_mod
+
+    _apply_cache_flags(args)
+    try:
+        hidden = _parse_int_axis(args.hidden)
+        fold = _parse_int_axis(args.fold)
+        bits = _parse_int_axis(args.bits)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return EXIT_USAGE
+    families = tuple(
+        s.strip() for s in args.families.split(",") if s.strip()
+    )
+    nodes = tuple(s.strip() for s in args.nodes.split(",") if s.strip())
+    try:
+        grid = sweep_mod.SweepGrid(
+            hidden_sizes=hidden,
+            families=families,
+            fold_factors=fold,
+            weight_bits=bits,
+            nodes=nodes,
+            mlp_config=mnist_mlp_config(),
+            snn_config=mnist_snn_config(),
+        ).validate()
+        constraints = sweep_mod.Constraints(
+            max_area_mm2=args.max_area,
+            max_energy_uj=args.max_energy,
+            max_latency_us=args.max_latency,
+            max_power_w=args.max_power,
+            needs_online_learning=args.online_learning,
+        )
+        result = sweep_mod.run_sweep(grid, jobs=args.jobs)
+        doc: dict = {
+            "grid": {
+                "points": result.n_points,
+                "families": sorted(set(families), key=sweep_mod.FAMILIES.index),
+                "fold_factors": sorted(set(fold)),
+                "weight_bits": sorted(set(bits)),
+                "nodes": list(nodes),
+                "hidden_sizes": len(hidden),
+            },
+            "constraints": {
+                "max_area_mm2": args.max_area,
+                "max_energy_uj": args.max_energy,
+                "max_latency_us": args.max_latency,
+                "max_power_w": args.max_power,
+                "needs_online_learning": args.online_learning,
+            },
+            "metric": args.metric,
+        }
+        best = sweep_mod.best_index(result, args.metric, constraints)
+        doc["best"] = result.point(best) if best is not None else None
+        if args.top > 1:
+            top = sweep_mod.top_indices(result, args.metric, args.top, constraints)
+            doc["top"] = [result.point(int(i)) for i in top]
+        if args.pareto:
+            objectives = tuple(
+                s.strip() for s in args.pareto.split(",") if s.strip()
+            )
+            idx = sweep_mod.pareto_indices(result, objectives)
+            doc["pareto"] = {
+                "objectives": list(objectives),
+                "count": int(idx.shape[0]),
+                "points": [
+                    result.point(int(i)) for i in idx[: args.pareto_limit]
+                ],
+            }
+        if args.compare:
+            doc["compare"] = sweep_mod.snn_vs_ann(
+                result, args.metric, constraints
+            )
+    except HardwareModelError as error:
+        print(error, file=sys.stderr)
+        return EXIT_USAGE
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"exploration written to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        _render_explore(doc)
+    return 0 if doc["best"] is not None else 1
+
+
+def _format_point(point: dict) -> str:
+    return (
+        f"{point['family']} {point['variant']} h={point['hidden']} "
+        f"w{point['weight_bits']} @{point['node']}: "
+        f"area {point['total_area_mm2']:.3g} mm^2, "
+        f"energy {point['energy_per_image_uj']:.3g} uJ, "
+        f"latency {point['latency_us']:.3g} us, "
+        f"edp {point['edp_uj_us']:.3g} uJ.us"
+    )
+
+
+def _render_explore(doc: dict) -> None:
+    grid = doc["grid"]
+    print(
+        f"explored {grid['points']:,} design points "
+        f"({'/'.join(grid['families'])}; fold {grid['fold_factors']}; "
+        f"bits {grid['weight_bits']}; nodes {', '.join(grid['nodes'])})"
+    )
+    active = {
+        k: v for k, v in doc["constraints"].items() if v not in (None, False)
+    }
+    if active:
+        print("constraints: " + ", ".join(f"{k}={v}" for k, v in sorted(active.items())))
+    if doc["best"] is None:
+        print(f"no feasible design point for metric {doc['metric']!r}")
+    else:
+        print(f"best {doc['metric']}: {_format_point(doc['best'])}")
+    for point in doc.get("top", [])[1:]:
+        print(f"  next: {_format_point(point)}")
+    if "pareto" in doc:
+        pareto = doc["pareto"]
+        print(
+            f"pareto frontier ({' x '.join(pareto['objectives'])}): "
+            f"{pareto['count']} point(s)"
+        )
+        for point in pareto["points"]:
+            print(f"  {_format_point(point)}")
+        if pareto["count"] > len(pareto["points"]):
+            print(f"  ... {pareto['count'] - len(pareto['points'])} more")
+    if "compare" in doc:
+        comparison = doc["compare"]
+        print(f"SNN vs ANN on {comparison['metric']}:")
+        for side in ("ann", "snn"):
+            point = comparison[side]
+            label = side.upper()
+            if point is None:
+                print(f"  {label}: no feasible point")
+            else:
+                print(f"  {label}: {_format_point(point)}")
+        if comparison["snn_over_ann"] is not None:
+            print(
+                f"  winner: {comparison['winner']} "
+                f"(snn/ann = {comparison['snn_over_ann']:.3g})"
+            )
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
@@ -488,9 +701,123 @@ def build_parser() -> argparse.ArgumentParser:
     recommend_parser.add_argument("--online-learning", action="store_true")
     recommend_parser.add_argument("--accuracy-critical", action="store_true")
     recommend_parser.add_argument(
-        "--prefer", choices=("area", "energy", "latency", "power"), default="energy"
+        "--prefer",
+        choices=("area", "energy", "latency", "power", "edp"),
+        default="energy",
+    )
+    recommend_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recommendation as a stable-keys JSON document",
     )
     recommend_parser.set_defaults(fn=_cmd_recommend)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="vectorized design-space sweep: best point, Pareto, SNN vs ANN",
+    )
+    explore.add_argument(
+        "--hidden",
+        default="10:300:10",
+        metavar="SPEC",
+        help="hidden-layer axis: comma list and/or start:stop[:step] ranges "
+        "(default: 10:300:10)",
+    )
+    explore.add_argument(
+        "--families",
+        default="MLP,SNNwot,SNNwt,SNN-online",
+        metavar="F1,F2,...",
+        help="accelerator families to sweep (default: all four)",
+    )
+    explore.add_argument(
+        "--fold",
+        default="0,1,2,4,8,16",
+        metavar="SPEC",
+        help="fold factors ni; 0 = fully expanded (default: 0,1,2,4,8,16)",
+    )
+    explore.add_argument(
+        "--bits",
+        default="8",
+        metavar="SPEC",
+        help="weight bit widths (default: 8)",
+    )
+    explore.add_argument(
+        "--nodes",
+        default="65nm",
+        metavar="N1,N2,...",
+        help="technology nodes, e.g. 90nm,65nm,45nm,28nm (default: 65nm)",
+    )
+    explore.add_argument(
+        "--metric",
+        default="edp",
+        help="ranking metric for --top/--compare: "
+        "area | energy | latency | power | edp (default: edp)",
+    )
+    explore.add_argument("--max-area", type=float, default=None, metavar="MM2")
+    explore.add_argument("--max-energy", type=float, default=None, metavar="UJ")
+    explore.add_argument("--max-latency", type=float, default=None, metavar="US")
+    explore.add_argument("--max-power", type=float, default=None, metavar="W")
+    explore.add_argument(
+        "--online-learning",
+        action="store_true",
+        help="restrict to designs with on-chip learning (SNN-online)",
+    )
+    explore.add_argument(
+        "--top",
+        type=int,
+        default=1,
+        metavar="K",
+        help="also list the K best feasible points (default: 1)",
+    )
+    explore.add_argument(
+        "--pareto",
+        default=None,
+        metavar="OBJ1,OBJ2[,...]",
+        help="extract the Pareto frontier over these objectives",
+    )
+    explore.add_argument(
+        "--pareto-limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="max frontier points to print / embed in JSON (default: 10)",
+    )
+    explore.add_argument(
+        "--compare",
+        action="store_true",
+        help="report the best SNN vs best ANN design on --metric",
+    )
+    explore.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate sweep shards across N threads (1 = serial)",
+    )
+    explore.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full result document as stable-keys JSON on stdout",
+    )
+    explore.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON document to FILE",
+    )
+    explore.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed sweep-shard cache",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="override the cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    explore.set_defaults(fn=_cmd_explore)
 
     sample = subparsers.add_parser("sample", help="ASCII contact sheet of a dataset")
     sample.add_argument("dataset", help="digits | shapes | spoken")

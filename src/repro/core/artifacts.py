@@ -436,3 +436,84 @@ def cached_train(
     return default_cache().get_or_train(
         kind, config, dataset, train_fn, train_params=train_params, **cache_kwargs
     )
+
+
+class ArrayBundleCache:
+    """Content-addressed on-disk store of named NumPy array bundles.
+
+    The design-space sweep (:mod:`repro.hardware.sweep`) memoizes each
+    evaluated shard — a dict of equal-length columnar arrays — under a
+    SHA-256 key of its exact combo payload.  Entries are plain ``.npz``
+    files written atomically (tmp + ``os.replace``) with the same
+    integrity sidecars as :class:`ModelCache`; a corrupt or unreadable
+    entry falls back to recomputation and is overwritten.  The store
+    lives in a ``sweeps/`` subdirectory of the model cache so
+    ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` govern both.
+    """
+
+    SUBDIR = "sweeps"
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        base = (
+            pathlib.Path(directory) if directory is not None else cache_directory()
+        )
+        self.directory = base / self.SUBDIR
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.npz"
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Dict[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        """Load the bundle for ``key``, or compute + store it."""
+        path = self.path_for(key)
+        if path.exists():
+            verdict = verify_digest_sidecar(path)
+            if verdict is False:
+                self.stats.corrupt_evictions += 1
+                ModelCache._evict(path)
+            else:
+                try:
+                    with np.load(path) as payload:
+                        bundle = {name: payload[name] for name in payload.files}
+                except (OSError, ValueError, KeyError):
+                    self.stats.errors += 1
+                else:
+                    self.stats.hits += 1
+                    ModelCache._touch(path)
+                    return bundle
+        self.stats.misses += 1
+        bundle = compute()
+        try:
+            self._atomic_store(bundle, path)
+            self.stats.stores += 1
+        except OSError:
+            pass  # read-only cache dir: the computation still succeeded
+        return bundle
+
+    def _atomic_store(
+        self, bundle: Dict[str, np.ndarray], path: pathlib.Path
+    ) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp.npz")
+        os.close(handle)
+        try:
+            with open(tmp_name, "wb") as tmp:
+                np.savez(tmp, **bundle)
+            os.replace(tmp_name, path)
+            write_digest_sidecar(path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    def clear(self) -> int:
+        """Remove every bundle (and sidecars); returns entries deleted."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+            for sidecar in self.directory.glob("*.npz.sha256"):
+                sidecar.unlink()
+        return removed

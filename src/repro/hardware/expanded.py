@@ -52,31 +52,45 @@ def _tree_depth(n: int) -> int:
     return max(1, math.ceil(math.log2(max(n, 2))))
 
 
-def expanded_mlp(config: MLPConfig) -> DesignReport:
+def _name_suffix(weight_bits: int) -> str:
+    return "" if weight_bits == 8 else f" w{weight_bits}"
+
+
+def expanded_mlp(config: MLPConfig, weight_bits: int = 8) -> DesignReport:
     """The fully expanded MLP (Table 4's MLP rows).
 
     One multiplier per synapse (plus one per neuron inside the sigmoid
     interpolator, which is how Table 4's multiplier count of 79,510 =
     784x100 + 100x10 + 110 decomposes), one adder tree per neuron.
+
+    ``weight_bits`` generalizes the paper's 8-bit precision for the
+    design-space sweeps: datapath widths and storage scale with the
+    precision, and the calibrated per-weight energy scales linearly in
+    the bit width (the default reproduces the paper exactly).
     """
     config.validate()
+    if weight_bits < 1:
+        raise HardwareModelError(f"weight_bits must be >= 1, got {weight_bits}")
     n_neurons = config.n_hidden + config.n_output
     netlist = Netlist()
-    netlist.add(adder_tree(config.n_inputs, 8), config.n_hidden)
-    netlist.add(adder_tree(config.n_hidden, 8), config.n_output)
+    netlist.add(adder_tree(config.n_inputs, weight_bits), config.n_hidden)
+    netlist.add(adder_tree(config.n_hidden, weight_bits), config.n_output)
     n_multipliers = config.n_weights + n_neurons
-    netlist.add(multiplier(8, 8), n_multipliers)
+    netlist.add(multiplier(weight_bits, weight_bits), n_multipliers)
     delay = (
         tech.MULTIPLIER_DELAY
         + _tree_depth(config.n_inputs) * tech.ADDER_STAGE_DELAY
         + tech.REGISTER_DELAY
     )
-    energy_uj = config.n_weights * tech.EXPANDED_MLP_ENERGY_PER_WEIGHT / 1e6
+    energy_uj = (
+        config.n_weights * tech.EXPANDED_MLP_ENERGY_PER_WEIGHT / 1e6
+    ) * (weight_bits / 8.0)
     return DesignReport(
-        name="MLP expanded",
+        name=f"MLP expanded{_name_suffix(weight_bits)}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2,
-        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights, weight_bits)
+        / 1e6,
         delay_ns=delay,
         cycles_per_image=4,
         energy_per_image_uj=energy_uj,
@@ -96,7 +110,7 @@ def _max_tree(n_neurons: int) -> Netlist:
     return netlist
 
 
-def expanded_snn_wot(config: SNNConfig) -> DesignReport:
+def expanded_snn_wot(config: SNNConfig, weight_bits: int = 8) -> DesignReport:
     """The fully expanded timing-free SNN (Table 4's SNNwot rows).
 
     Per neuron: one shift-and-add unit per input (the 4-bit count x
@@ -105,9 +119,12 @@ def expanded_snn_wot(config: SNNConfig) -> DesignReport:
     two-level max tree for the readout.  Three pipeline stages.
     """
     config.validate()
+    if weight_bits < 1:
+        raise HardwareModelError(f"weight_bits must be >= 1, got {weight_bits}")
+    tree_width = weight_bits + 4
     netlist = Netlist()
-    netlist.add(adder_tree(config.n_inputs, SNN_TREE_WIDTH), config.n_neurons)
-    netlist.add(shift_add_unit(SNN_TREE_WIDTH), config.n_neurons * config.n_inputs)
+    netlist.add(adder_tree(config.n_inputs, tree_width), config.n_neurons)
+    netlist.add(shift_add_unit(tree_width), config.n_neurons * config.n_inputs)
     netlist.add(spike_converter(), config.n_inputs)
     for component, count in _max_tree(config.n_neurons).entries:
         netlist.add(component, count)
@@ -116,12 +133,15 @@ def expanded_snn_wot(config: SNNConfig) -> DesignReport:
         + _tree_depth(config.n_inputs) * tech.ADDER_STAGE_DELAY
         + tech.REGISTER_DELAY
     )
-    energy_uj = config.n_weights * tech.EXPANDED_SNNWOT_ENERGY_PER_WEIGHT / 1e6
+    energy_uj = (
+        config.n_weights * tech.EXPANDED_SNNWOT_ENERGY_PER_WEIGHT / 1e6
+    ) * (weight_bits / 8.0)
     return DesignReport(
-        name="SNNwot expanded",
+        name=f"SNNwot expanded{_name_suffix(weight_bits)}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2,
-        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights, weight_bits)
+        / 1e6,
         delay_ns=delay,
         cycles_per_image=3,
         energy_per_image_uj=energy_uj,
@@ -129,7 +149,7 @@ def expanded_snn_wot(config: SNNConfig) -> DesignReport:
     )
 
 
-def expanded_snn_wt(config: SNNConfig) -> DesignReport:
+def expanded_snn_wt(config: SNNConfig, weight_bits: int = 8) -> DesignReport:
     """The fully expanded with-time SNN (Table 4's SNNwt rows).
 
     Per neuron: a 12-bit adder tree accumulating the weights of the
@@ -139,8 +159,11 @@ def expanded_snn_wt(config: SNNConfig) -> DesignReport:
     takes t_period cycles.
     """
     config.validate()
+    if weight_bits < 1:
+        raise HardwareModelError(f"weight_bits must be >= 1, got {weight_bits}")
+    tree_width = weight_bits + 4
     netlist = Netlist()
-    netlist.add(adder_tree(config.n_inputs, SNN_TREE_WIDTH), config.n_neurons)
+    netlist.add(adder_tree(config.n_inputs, tree_width), config.n_neurons)
     netlist.add(gaussian_rng(), config.n_inputs)
     netlist.add(interpolation_unit(), config.n_neurons)
     cycles = int(config.t_period)
@@ -153,12 +176,13 @@ def expanded_snn_wt(config: SNNConfig) -> DesignReport:
     )
     energy_uj = (
         config.n_weights * tech.EXPANDED_SNNWT_ENERGY_PER_WEIGHT_CYCLE * cycles / 1e6
-    )
+    ) * (weight_bits / 8.0)
     return DesignReport(
-        name="SNNwt expanded",
+        name=f"SNNwt expanded{_name_suffix(weight_bits)}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2,
-        sram_area_mm2=expanded_storage_area_um2(config.n_weights) / 1e6,
+        sram_area_mm2=expanded_storage_area_um2(config.n_weights, weight_bits)
+        / 1e6,
         delay_ns=delay,
         cycles_per_image=cycles,
         energy_per_image_uj=energy_uj,

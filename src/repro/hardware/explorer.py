@@ -32,6 +32,10 @@ from .folded import FOLD_FACTORS, folded_mlp, folded_snn_wot, folded_snn_wt
 from .online import online_snn
 
 
+#: Metrics a :class:`DesignPoint` can be ranked on (all minimized).
+METRIC_NAMES = ("area", "energy", "latency", "power", "edp")
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One explored accelerator design."""
@@ -53,6 +57,11 @@ class DesignPoint:
     def latency_us(self) -> float:
         return self.report.time_per_image_us
 
+    @property
+    def edp_uj_us(self) -> float:
+        """Energy-delay product (uJ x us per image)."""
+        return self.energy_uj * self.latency_us
+
     def metric(self, name: str) -> float:
         try:
             return {
@@ -60,10 +69,11 @@ class DesignPoint:
                 "energy": self.energy_uj,
                 "latency": self.latency_us,
                 "power": self.report.power_w,
+                "edp": self.edp_uj_us,
             }[name]
         except KeyError:
             raise HardwareModelError(
-                f"unknown metric {name!r}; choose area/energy/latency/power"
+                f"unknown metric {name!r}; choose " + "/".join(METRIC_NAMES)
             ) from None
 
 
@@ -107,18 +117,40 @@ def pareto_frontier(
     """Non-dominated points under the given minimize-all objectives.
 
     A point is dominated if another point is no worse on every
-    objective and strictly better on at least one.
+    objective and strictly better on at least one.  This O(n^2)
+    pairwise scan is the *documented oracle* for the vectorized
+    O(n log n) frontier in :mod:`repro.hardware.sweep`
+    (:func:`~repro.hardware.sweep.pareto_frontier_fast` must return an
+    identical list on every input); keep its semantics frozen:
+
+    * **duplicates** — points with identical objective vectors never
+      dominate each other (domination needs a strict improvement), so
+      every copy of a frontier point is returned;
+    * **ties on one objective** — a point tied on one objective but
+      strictly worse on another *is* dominated and dropped;
+    * **single point / empty input** — a lone point is its own
+      frontier; an empty sequence yields an empty frontier (unknown
+      objective names still raise, even then);
+    * **ordering** — the frontier is sorted by the first objective,
+      stably, so equal-valued points keep their input order.
     """
     if not objectives:
         raise HardwareModelError("need at least one objective")
+    for objective in objectives:
+        if objective not in METRIC_NAMES:
+            raise HardwareModelError(
+                f"unknown metric {objective!r}; choose " + "/".join(METRIC_NAMES)
+            )
+    points = list(points)
+    values = [[p.metric(o) for o in objectives] for p in points]
     frontier: List[DesignPoint] = []
-    for candidate in points:
-        candidate_values = [candidate.metric(o) for o in objectives]
+    for i, candidate in enumerate(points):
+        candidate_values = values[i]
         dominated = False
-        for other in points:
+        for j, other in enumerate(points):
             if other is candidate:
                 continue
-            other_values = [other.metric(o) for o in objectives]
+            other_values = values[j]
             if all(ov <= cv for ov, cv in zip(other_values, candidate_values)) and any(
                 ov < cv for ov, cv in zip(other_values, candidate_values)
             ):

@@ -47,12 +47,30 @@ SNN_ACC_WIDTH = 20
 FOLD_FACTORS = (1, 4, 8, 16)
 
 
-def _check_ni(ni: int) -> None:
+def mlp_acc_width(weight_bits: int = 8) -> int:
+    """MLP accumulator width for a given weight precision (16 at 8b)."""
+    return 2 * weight_bits
+
+
+def snn_tree_width(weight_bits: int = 8) -> int:
+    """SNN adder-tree input width: weight x 4-bit count (12 at 8b)."""
+    return weight_bits + 4
+
+
+def snn_acc_width(weight_bits: int = 8) -> int:
+    """SNN potential accumulator width (20 at the paper's 8 bits)."""
+    return weight_bits + 12
+
+
+def _check_ni(ni: int, weight_bits: int = 8) -> None:
     if ni < 1:
         raise HardwareModelError(f"ni must be >= 1, got {ni}")
-    if ni > 16:
+    if weight_bits < 1:
+        raise HardwareModelError(f"weight_bits must be >= 1, got {weight_bits}")
+    if ni * weight_bits > 128:
         raise HardwareModelError(
-            f"ni={ni}: a 128-bit SRAM row feeds at most 16 8-bit weights"
+            f"ni={ni}: a 128-bit SRAM row feeds at most "
+            f"{128 // weight_bits} {weight_bits}-bit weights"
         )
 
 
@@ -80,17 +98,17 @@ def snn_wt_cycles(config: SNNConfig, ni: int) -> int:
     return snn_wot_cycles(config, ni) * int(config.t_period)
 
 
-def mlp_sram_plans(config: MLPConfig, ni: int) -> list:
+def mlp_sram_plans(config: MLPConfig, ni: int, weight_bits: int = 8) -> list:
     """Table 6 bank plans for the MLP's two layers."""
     return [
-        plan_layer(config.n_hidden, config.n_inputs, ni),
-        plan_layer(config.n_output, config.n_hidden, ni),
+        plan_layer(config.n_hidden, config.n_inputs, ni, weight_bits),
+        plan_layer(config.n_output, config.n_hidden, ni, weight_bits),
     ]
 
 
-def snn_sram_plans(config: SNNConfig, ni: int) -> list:
+def snn_sram_plans(config: SNNConfig, ni: int, weight_bits: int = 8) -> list:
     """Table 6 bank plan for the SNN's single layer."""
-    return [plan_layer(config.n_neurons, config.n_inputs, ni)]
+    return [plan_layer(config.n_neurons, config.n_inputs, ni, weight_bits)]
 
 
 def _sram_area_mm2(plans: list) -> float:
@@ -101,7 +119,7 @@ def _sram_energy_per_cycle_pj(plans: list) -> float:
     return sum(p.read_energy_per_cycle_pj for p in plans)
 
 
-def folded_mlp(config: MLPConfig, ni: int) -> DesignReport:
+def folded_mlp(config: MLPConfig, ni: int, weight_bits: int = 8) -> DesignReport:
     """The folded MLP design point (Table 7, MLP rows).
 
     Hardware neuron (Figure 11): ni multipliers, an adder tree over the
@@ -109,26 +127,32 @@ def folded_mlp(config: MLPConfig, ni: int) -> DesignReport:
     registers, and the piecewise-linear sigmoid unit.  The multiplier
     dominates the critical path, so the cycle time is essentially flat
     in ni — exactly what Table 7 shows (2.24-2.25 ns at every ni).
+
+    ``weight_bits`` generalizes the paper's 8-bit weights for the
+    design-space sweeps (:mod:`repro.hardware.sweep`): multiplier,
+    buffer and accumulator widths and the SRAM packing all follow the
+    precision; the default reproduces the paper exactly.
     """
     config.validate()
-    _check_ni(ni)
+    _check_ni(ni, weight_bits)
+    acc_width = mlp_acc_width(weight_bits)
     n_neurons = config.n_hidden + config.n_output
     per_neuron = Netlist()
-    per_neuron.add(multiplier(8, 8), ni)
+    per_neuron.add(multiplier(weight_bits, weight_bits), ni)
     if ni > 1:
-        per_neuron.add(adder_tree(ni, MLP_ACC_WIDTH))
-    per_neuron.add(adder(MLP_ACC_WIDTH))
+        per_neuron.add(adder_tree(ni, acc_width))
+    per_neuron.add(adder(acc_width))
     per_neuron.add(interpolation_unit())
-    per_neuron.add(register(8 * ni), 2)   # input + weight buffers
-    per_neuron.add(register(MLP_ACC_WIDTH))  # accumulator
-    per_neuron.add(register(8))           # output buffer
+    per_neuron.add(register(weight_bits * ni), 2)   # input + weight buffers
+    per_neuron.add(register(acc_width))  # accumulator
+    per_neuron.add(register(weight_bits))           # output buffer
 
     netlist = Netlist()
     for component, count in per_neuron.entries:
         netlist.add(component, count * n_neurons)
     overhead_mm2 = n_neurons * tech.MLP_NEURON_OVERHEAD_AREA / 1e6
 
-    plans = mlp_sram_plans(config, ni)
+    plans = mlp_sram_plans(config, ni, weight_bits)
     cycles = mlp_cycles(config, ni)
     delay = (
         tech.SRAM_READ_DELAY
@@ -144,8 +168,9 @@ def folded_mlp(config: MLPConfig, ni: int) -> DesignReport:
         + netlist.energy_pj()
         - n_neurons * interpolation_unit().energy_pj
     )
+    suffix = "" if weight_bits == 8 else f" w{weight_bits}"
     return DesignReport(
-        name=f"MLP folded ni={ni}",
+        name=f"MLP folded ni={ni}{suffix}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2 + overhead_mm2,
         sram_area_mm2=_sram_area_mm2(plans),
@@ -156,7 +181,9 @@ def folded_mlp(config: MLPConfig, ni: int) -> DesignReport:
     )
 
 
-def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
+def folded_snn_wot(
+    config: SNNConfig, ni: int, weight_bits: int = 8
+) -> DesignReport:
     """The folded timing-free SNN design point (Table 7, SNNwot rows).
 
     Each hardware neuron multiplies ni 8-bit weights by their 4-bit
@@ -167,15 +194,17 @@ def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
     converters feed the input buffers.
     """
     config.validate()
-    _check_ni(ni)
+    _check_ni(ni, weight_bits)
+    tree_width = snn_tree_width(weight_bits)
+    acc_width = snn_acc_width(weight_bits)
     per_neuron = Netlist()
-    per_neuron.add(multiplier(8, 4), ni)
+    per_neuron.add(multiplier(weight_bits, 4), ni)
     if ni > 1:
-        per_neuron.add(adder_tree(ni, SNN_TREE_WIDTH))
-    per_neuron.add(adder(SNN_ACC_WIDTH))
-    per_neuron.add(register(12 * ni))       # weighted-count buffer
+        per_neuron.add(adder_tree(ni, tree_width))
+    per_neuron.add(adder(acc_width))
+    per_neuron.add(register(tree_width * ni))  # weighted-count buffer
     per_neuron.add(register(4 * ni))        # count buffer
-    per_neuron.add(register(SNN_ACC_WIDTH))  # potential
+    per_neuron.add(register(acc_width))  # potential
 
     netlist = Netlist()
     for component, count in per_neuron.entries:
@@ -185,7 +214,7 @@ def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
         netlist.add(component, count)
     overhead_mm2 = config.n_neurons * tech.SNNWOT_NEURON_OVERHEAD_AREA / 1e6
 
-    plans = snn_sram_plans(config, ni)
+    plans = snn_sram_plans(config, ni, weight_bits)
     cycles = snn_wot_cycles(config, ni)
     delay = (
         tech.SRAM_READ_DELAY
@@ -194,8 +223,9 @@ def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
         + tech.REGISTER_DELAY
     )
     energy_per_cycle_pj = _sram_energy_per_cycle_pj(plans) + netlist.energy_pj()
+    suffix = "" if weight_bits == 8 else f" w{weight_bits}"
     return DesignReport(
-        name=f"SNNwot folded ni={ni}",
+        name=f"SNNwot folded ni={ni}{suffix}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2 + overhead_mm2,
         sram_area_mm2=_sram_area_mm2(plans),
@@ -206,7 +236,9 @@ def folded_snn_wot(config: SNNConfig, ni: int) -> DesignReport:
     )
 
 
-def folded_snn_wt(config: SNNConfig, ni: int) -> DesignReport:
+def folded_snn_wt(
+    config: SNNConfig, ni: int, weight_bits: int = 8
+) -> DesignReport:
     """The folded with-time SNN design point (Table 7, SNNwt rows).
 
     Each hardware neuron accumulates ni spiking weights per cycle and
@@ -216,16 +248,18 @@ def folded_snn_wt(config: SNNConfig, ni: int) -> DesignReport:
     so the whole presentation is replayed: cycles = SNNwot x t_period.
     """
     config.validate()
-    _check_ni(ni)
+    _check_ni(ni, weight_bits)
+    tree_width = snn_tree_width(weight_bits)
+    acc_width = snn_acc_width(weight_bits)
     per_neuron = Netlist()
     if ni > 1:
-        per_neuron.add(adder_tree(ni, SNN_TREE_WIDTH))
-    per_neuron.add(adder(SNN_ACC_WIDTH))
+        per_neuron.add(adder_tree(ni, tree_width))
+    per_neuron.add(adder(acc_width))
     per_neuron.add(interpolation_unit())     # leak evaluation
     per_neuron.add(comparator(MAX_WIDTH))    # threshold check
-    per_neuron.add(register(8 * ni), 2)      # weight + spike-mask buffers
-    per_neuron.add(register(12 * ni))        # masked-weight pipeline
-    per_neuron.add(register(SNN_ACC_WIDTH))  # potential
+    per_neuron.add(register(weight_bits * ni), 2)  # weight + spike-mask buffers
+    per_neuron.add(register(tree_width * ni))  # masked-weight pipeline
+    per_neuron.add(register(acc_width))  # potential
 
     netlist = Netlist()
     for component, count in per_neuron.entries:
@@ -234,7 +268,7 @@ def folded_snn_wt(config: SNNConfig, ni: int) -> DesignReport:
     netlist.add(register(8), config.n_inputs)  # spike interval counters
     overhead_mm2 = config.n_neurons * tech.SNNWT_NEURON_OVERHEAD_AREA / 1e6
 
-    plans = snn_sram_plans(config, ni)
+    plans = snn_sram_plans(config, ni, weight_bits)
     cycles = snn_wt_cycles(config, ni)
     delay = (
         tech.SRAM_READ_DELAY
@@ -251,8 +285,9 @@ def folded_snn_wt(config: SNNConfig, ni: int) -> DesignReport:
         + netlist.energy_pj()
         - config.n_neurons * interpolation_unit().energy_pj
     )
+    suffix = "" if weight_bits == 8 else f" w{weight_bits}"
     return DesignReport(
-        name=f"SNNwt folded ni={ni}",
+        name=f"SNNwt folded ni={ni}{suffix}",
         topology=config.topology,
         logic_area_mm2=netlist.area_mm2 + overhead_mm2,
         sram_area_mm2=_sram_area_mm2(plans),

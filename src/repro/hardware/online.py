@@ -33,14 +33,14 @@ SRAM_WRITE_PORT_FACTOR = 1.15
 DELAY_FACTOR = 1.07
 
 
-def online_snn(config: SNNConfig, ni: int) -> DesignReport:
+def online_snn(config: SNNConfig, ni: int, weight_bits: int = 8) -> DesignReport:
     """The folded SNNwt design with the STDP learning circuit attached.
 
     Returns the Table 9 design point: the folded SNNwt of Table 7 plus
     one STDP unit per neuron, a write-ported weight SRAM, the muxed
     write-back delay, and the learning-event energy.
     """
-    base = folded_snn_wt(config, ni)
+    base = folded_snn_wt(config, ni, weight_bits)
     stdp = Netlist()
     stdp.add(stdp_unit(ni), config.n_neurons)
 
@@ -52,7 +52,7 @@ def online_snn(config: SNNConfig, ni: int) -> DesignReport:
 
     counter_energy_per_cycle = config.n_neurons * 1.6  # pJ: STDP counters/FSM
     row_walk_cycles = math.ceil(config.n_inputs / ni)
-    write_energy = row_walk_cycles * ni * 8 * 0.05  # pJ: SRAM write per bit
+    write_energy = row_walk_cycles * ni * weight_bits * 0.05  # pJ: SRAM write/bit
     learning_energy_uj = (
         base.cycles_per_image * counter_energy_per_cycle + write_energy
     ) / 1e6
@@ -60,8 +60,9 @@ def online_snn(config: SNNConfig, ni: int) -> DesignReport:
     breakdown = dict(base.area_breakdown)
     for name, (count, area) in stdp.breakdown().items():
         breakdown[name] = (count, area)
+    suffix = "" if weight_bits == 8 else f" w{weight_bits}"
     return DesignReport(
-        name=f"SNN online (STDP) ni={ni}",
+        name=f"SNN online (STDP) ni={ni}{suffix}",
         topology=config.topology,
         logic_area_mm2=base.logic_area_mm2 + stdp.area_mm2,
         sram_area_mm2=base.sram_area_mm2 * SRAM_WRITE_PORT_FACTOR,

@@ -1,0 +1,1199 @@
+"""Vectorized design-space sweeps over the analytical cost model.
+
+ROADMAP item 3 asks for design-space exploration far beyond the
+paper's ~13 points: millions of (family x fold factor x hidden width x
+bit width x technology node) candidates, in the spirit of "To Spike or
+Not to Spike?" (arXiv 2306.12742) and its digital-hardware companion
+(arXiv 2306.15749), which show SNN-vs-ANN conclusions flip depending
+on where you sit in exactly this space.  Walking the scalar
+constructors (:mod:`repro.hardware.folded` / ``expanded`` /
+``online``) one point at a time is orders of magnitude too slow, so
+this module lowers the cost model into NumPy array form:
+
+* **Grid** — :class:`SweepGrid` enumerates the cross product and
+  filters invalid corners (``ni * weight_bits > 128``, hidden sizes
+  outside Table 1's explored ranges, no expanded SNN-online design).
+* **Blocks** — the grid factors into (family, ni, weight_bits, node)
+  *combos*; within a combo every per-component cost is a plain Python
+  float (identical to the scalar path, we call the same component
+  factories) and only the hidden-size axis is vectorized.
+* **Equivalence** — the array code mirrors the scalar code's exact
+  floating-point operation order (``sum()`` is a sequential
+  left-to-right fold; branch disagreements are resolved by computing
+  both branch tails and ``np.where``-selecting), so sampled slices are
+  *bit-identical* to the scalar oracle — asserted by
+  ``tests/hardware/test_sweep.py`` and the PR-7 benchmark.  Integer
+  ``ceil(a / b)`` via floats equals exact integer ceiling for every
+  value this model produces (quotient gaps are >= 1/128, far above
+  one ulp), so cycle counts and SRAM geometry use exact int arrays.
+* **Frontier** — :func:`pareto_mask` extracts the multi-objective
+  Pareto frontier in O(n log n) for two objectives (sort + prefix-min
+  sweep) and by a vectorized lex-ordered cull for three or more;
+  ``explorer.pareto_frontier`` remains the documented small-n oracle
+  and :func:`pareto_frontier_fast` is its drop-in replacement.
+* **Sharding** — :func:`run_sweep` chunks combos into shards, runs
+  them through a thread pool (``jobs``), and memoizes each shard in
+  the content-addressed :class:`~repro.core.artifacts.ArrayBundleCache`.
+  Results are canonically ordered (lexicographic in the grid axes) so
+  any shard split or job count produces the same rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import timing
+from ..core.artifacts import ArrayBundleCache, _jsonable, cache_enabled
+from ..core.config import MLP_RANGES, SNN_RANGES, MLPConfig, SNNConfig
+from ..core.errors import HardwareModelError
+from . import technology as tech
+from .components import (
+    adder,
+    adder_tree,
+    comparator,
+    gaussian_rng,
+    interpolation_unit,
+    max_unit,
+    multiplier,
+    register,
+    shift_add_unit,
+    spike_converter,
+    stdp_unit,
+)
+from .designs import DesignReport
+from .expanded import (
+    MAX_FANIN,
+    MAX_WIDTH,
+    _tree_depth,
+    expanded_mlp,
+    expanded_snn_wot,
+    expanded_snn_wt,
+)
+from .folded import (
+    FOLD_FACTORS,
+    _tree_levels,
+    folded_mlp,
+    folded_snn_wot,
+    folded_snn_wt,
+    mlp_acc_width,
+    snn_acc_width,
+    snn_tree_width,
+)
+from .online import DELAY_FACTOR, SRAM_WRITE_PORT_FACTOR, online_snn
+from .scaling import get_node, scale_report, scaling_factors
+from .sram import _PUBLISHED_BANKS, BANK_WIDTH_BITS, MIN_BANK_DEPTH
+
+#: Families the sweep knows, in canonical order (codes index this).
+FAMILIES = ("MLP", "SNNwot", "SNNwt", "SNN-online")
+
+#: ``ni`` sentinel for the spatially expanded variants.
+EXPANDED = 0
+
+#: Metrics a sweep can rank / constrain on.
+METRICS = ("area", "energy", "latency", "power", "edp")
+
+#: Salt mixed into shard cache keys; bump on any cost-model change.
+SWEEP_CODE_VERSION = "sweep-pr7-1"
+
+#: Shard granularity of :func:`run_sweep` — independent of ``jobs`` so
+#: shard cache keys are stable across job counts.
+SHARD_COUNT = 16
+
+#: Default bit widths explored (the paper's 8 bits plus the
+#: reduced/extended precisions the arXiv 2306.15749 comparison spans).
+DEFAULT_WEIGHT_BITS = (2, 3, 4, 6, 8, 10, 12, 16)
+
+#: Default fold factors: the paper's {1,4,8,16} plus intermediate
+#: points, and 0 for the expanded variants.
+DEFAULT_FOLD_FACTORS = (EXPANDED, 1, 2, 4, 8, 12, 16)
+
+
+def _ceil_div(a, b):
+    """Exact integer ceiling division (works on ints and int arrays)."""
+    return -(-a // b)
+
+
+def _seq_sum(terms):
+    """Left-to-right fold mirroring Python's ``sum()`` start-at-0."""
+    total = 0.0
+    for term in terms:
+        total = total + term
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Grid definition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCombo:
+    """One (family, ni, weight_bits, node) block of a sweep grid.
+
+    The hidden-size axis is carried as a tuple and vectorized inside
+    the block evaluator; everything else is scalar per combo.
+    """
+
+    family: str
+    ni: int  # 0 = expanded
+    weight_bits: int
+    node: str
+    hidden: Tuple[int, ...]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.hidden)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A structured design-space grid.
+
+    ``fold_factors`` may include :data:`EXPANDED` (0) for the spatially
+    expanded variants; ``hidden_sizes`` is the MLP hidden width / SNN
+    neuron count axis, filtered per family against Table 1's explored
+    ranges.  Invalid corners (``ni * weight_bits > 128``, expanded
+    SNN-online) are silently dropped, exactly as the scalar
+    constructors would reject them.
+    """
+
+    hidden_sizes: Tuple[int, ...]
+    families: Tuple[str, ...] = FAMILIES
+    fold_factors: Tuple[int, ...] = FOLD_FACTORS
+    weight_bits: Tuple[int, ...] = (8,)
+    nodes: Tuple[str, ...] = ("65nm",)
+    mlp_config: MLPConfig = field(default_factory=MLPConfig)
+    snn_config: SNNConfig = field(default_factory=SNNConfig)
+
+    def validate(self) -> "SweepGrid":
+        if not self.hidden_sizes:
+            raise HardwareModelError("grid needs at least one hidden size")
+        for fam in self.families:
+            if fam not in FAMILIES:
+                raise HardwareModelError(
+                    f"unknown family {fam!r}; known: {', '.join(FAMILIES)}"
+                )
+        for ni in self.fold_factors:
+            if ni < 0:
+                raise HardwareModelError(f"fold factor must be >= 0, got {ni}")
+        for wb in self.weight_bits:
+            if wb < 1:
+                raise HardwareModelError(f"weight_bits must be >= 1, got {wb}")
+        for node in self.nodes:
+            get_node(node)  # raises on unknown
+        return self
+
+    def _family_hidden(self, family: str) -> Tuple[int, ...]:
+        if family == "MLP":
+            lo, hi = MLP_RANGES["n_hidden"]
+        else:
+            lo, hi = SNN_RANGES["n_neurons"]
+        return tuple(h for h in self.hidden_sizes if lo <= h <= hi)
+
+    def combos(self) -> List[SweepCombo]:
+        """The valid (family, ni, weight_bits, node) blocks, in
+        canonical (family, ni, weight_bits, node) order."""
+        self.validate()
+        out: List[SweepCombo] = []
+        for fam in sorted(set(self.families), key=FAMILIES.index):
+            hidden = self._family_hidden(fam)
+            if not hidden:
+                continue
+            for ni in sorted(set(self.fold_factors)):
+                if ni == EXPANDED and fam == "SNN-online":
+                    continue  # no expanded online design exists
+                for wb in sorted(set(self.weight_bits)):
+                    if ni != EXPANDED and ni * wb > BANK_WIDTH_BITS:
+                        continue  # SRAM row cannot feed ni weights/cycle
+                    for node in self.nodes:
+                        out.append(SweepCombo(fam, ni, wb, node, hidden))
+        return out
+
+    @property
+    def n_points(self) -> int:
+        return sum(c.n_points for c in self.combos())
+
+
+# ---------------------------------------------------------------------------
+# Columnar result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Columnar cost-model outputs over a sweep grid.
+
+    One row per design point; grid coordinates are coded columns
+    (``family_code`` / ``node_code`` index :attr:`families` /
+    :attr:`nodes`), cost outputs are float64 columns bit-identical to
+    the corresponding scalar :class:`DesignReport` fields.
+    """
+
+    families: Tuple[str, ...]
+    nodes: Tuple[str, ...]
+    family_code: np.ndarray
+    ni: np.ndarray
+    hidden: np.ndarray
+    weight_bits: np.ndarray
+    node_code: np.ndarray
+    logic_area_mm2: np.ndarray
+    sram_area_mm2: np.ndarray
+    delay_ns: np.ndarray
+    cycles_per_image: np.ndarray
+    energy_per_image_uj: np.ndarray
+
+    _COLUMNS = (
+        "family_code",
+        "ni",
+        "hidden",
+        "weight_bits",
+        "node_code",
+        "logic_area_mm2",
+        "sram_area_mm2",
+        "delay_ns",
+        "cycles_per_image",
+        "energy_per_image_uj",
+    )
+
+    @property
+    def n_points(self) -> int:
+        return int(self.family_code.shape[0])
+
+    # Derived metrics mirror DesignReport's property arithmetic exactly.
+
+    @property
+    def total_area_mm2(self) -> np.ndarray:
+        return self.logic_area_mm2 + self.sram_area_mm2
+
+    @property
+    def time_per_image_ns(self) -> np.ndarray:
+        return self.delay_ns * self.cycles_per_image
+
+    @property
+    def latency_us(self) -> np.ndarray:
+        return self.time_per_image_ns / 1e3
+
+    @property
+    def power_w(self) -> np.ndarray:
+        return self.energy_per_image_uj * 1e-6 / (self.time_per_image_ns * 1e-9)
+
+    @property
+    def edp_uj_us(self) -> np.ndarray:
+        """Energy-delay product (uJ x us per image)."""
+        return self.energy_per_image_uj * self.latency_us
+
+    @property
+    def supports_online_learning(self) -> np.ndarray:
+        code = self.families.index("SNN-online") if "SNN-online" in self.families else -1
+        return self.family_code == code
+
+    def metric(self, name: str) -> np.ndarray:
+        try:
+            return {
+                "area": self.total_area_mm2,
+                "energy": self.energy_per_image_uj,
+                "latency": self.latency_us,
+                "power": self.power_w,
+                "edp": self.edp_uj_us,
+            }[name]
+        except KeyError:
+            raise HardwareModelError(
+                f"unknown metric {name!r}; choose " + "/".join(METRICS)
+            ) from None
+
+    def family_of(self, i: int) -> str:
+        return self.families[int(self.family_code[i])]
+
+    def variant_of(self, i: int) -> str:
+        ni = int(self.ni[i])
+        return "expanded" if ni == EXPANDED else f"ni={ni}"
+
+    def point(self, i: int) -> Dict[str, object]:
+        """Full record of row ``i`` with stable, machine-readable keys."""
+        return {
+            "family": self.family_of(i),
+            "variant": self.variant_of(i),
+            "hidden": int(self.hidden[i]),
+            "weight_bits": int(self.weight_bits[i]),
+            "node": self.nodes[int(self.node_code[i])],
+            "logic_area_mm2": float(self.logic_area_mm2[i]),
+            "sram_area_mm2": float(self.sram_area_mm2[i]),
+            "total_area_mm2": float(self.total_area_mm2[i]),
+            "delay_ns": float(self.delay_ns[i]),
+            "cycles_per_image": int(self.cycles_per_image[i]),
+            "energy_per_image_uj": float(self.energy_per_image_uj[i]),
+            "latency_us": float(self.latency_us[i]),
+            "power_w": float(self.power_w[i]),
+            "edp_uj_us": float(self.edp_uj_us[i]),
+            "supports_online_learning": bool(self.supports_online_learning[i]),
+        }
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in self._COLUMNS}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Dict[str, np.ndarray],
+        families: Tuple[str, ...] = FAMILIES,
+        nodes: Tuple[str, ...] = ("65nm",),
+    ) -> "SweepResult":
+        return cls(
+            families=tuple(families),
+            nodes=tuple(nodes),
+            **{name: np.asarray(arrays[name]) for name in cls._COLUMNS},
+        )
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["SweepResult"]) -> "SweepResult":
+        if not parts:
+            raise HardwareModelError("cannot concatenate zero sweep shards")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.families != first.families or part.nodes != first.nodes:
+                raise HardwareModelError("sweep shards use different code tables")
+        return cls(
+            families=first.families,
+            nodes=first.nodes,
+            **{
+                name: np.concatenate([getattr(p, name) for p in parts])
+                for name in cls._COLUMNS
+            },
+        )
+
+    def canonical(self) -> "SweepResult":
+        """Rows sorted by (family, ni, weight_bits, node, hidden).
+
+        Every grid coordinate appears at most once per sweep, so this
+        order is unique — serial and sharded runs produce identical
+        row sequences.
+        """
+        order = np.lexsort(
+            (self.hidden, self.node_code, self.weight_bits, self.ni, self.family_code)
+        )
+        return SweepResult(
+            families=self.families,
+            nodes=self.nodes,
+            **{name: getattr(self, name)[order] for name in self._COLUMNS},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized cost-model blocks.
+#
+# Each block mirrors its scalar constructor's floating-point operation
+# order *exactly* (the sequential Netlist sums, the branch structure,
+# the parenthesization), with per-component costs taken from the very
+# same component factories.  Only the hidden axis is an array.
+# ---------------------------------------------------------------------------
+
+
+def _bank_area_um2(depth: np.ndarray) -> np.ndarray:
+    """Vector mirror of :func:`repro.hardware.sram.bank_area_um2`."""
+    bits = depth * BANK_WIDTH_BITS
+    out = 0.1244 * bits + 302.6 * np.sqrt(bits)
+    for published_depth, (area, _energy) in _PUBLISHED_BANKS.items():
+        out = np.where(depth == published_depth, area, out)
+    return out
+
+
+def _bank_read_energy_pj(depth: np.ndarray) -> np.ndarray:
+    """Vector mirror of :func:`repro.hardware.sram.bank_read_energy_pj`."""
+    bits = depth * BANK_WIDTH_BITS
+    out = 1.4231e-4 * bits + 30.13
+    for published_depth, (_area, energy) in _PUBLISHED_BANKS.items():
+        out = np.where(depth == published_depth, energy, out)
+    return out
+
+
+def _plan_arrays(n_neurons, n_inputs, ni: int, wb: int):
+    """Vector mirror of :func:`repro.hardware.sram.plan_layer` geometry.
+
+    Returns (area_mm2, read_energy_per_cycle_pj) of the layer's bank
+    plan; either of ``n_neurons`` / ``n_inputs`` may be an array.
+    """
+    npb0 = max(1, BANK_WIDTH_BITS // (ni * wb))
+    neurons_per_bank = np.minimum(npb0, n_neurons)
+    neuron_bits = n_inputs * wb
+    needed_rows = _ceil_div(neurons_per_bank * neuron_bits, BANK_WIDTH_BITS)
+    depth = np.maximum(MIN_BANK_DEPTH, 8 * _ceil_div(needed_rows, 8))
+    n_banks = _ceil_div(n_neurons, neurons_per_bank)
+    area_mm2 = n_banks * _bank_area_um2(depth) / 1e6
+    energy_pj = n_banks * _bank_read_energy_pj(depth)
+    return area_mm2, energy_pj
+
+
+def _tree_slices_vec(n: np.ndarray, width: int) -> np.ndarray:
+    """Vector mirror of :func:`components.adder_tree_slices` (int exact)."""
+    remaining = np.asarray(n, dtype=np.int64).copy()
+    slices = np.zeros_like(remaining)
+    level = 0
+    while bool((remaining > 1).any()):
+        level += 1
+        pairs = remaining // 2
+        slices += pairs * (width + level)
+        remaining = remaining - pairs
+    return slices
+
+
+def _max_tree_terms(n_neurons: np.ndarray):
+    """Area/energy term pairs of :func:`expanded._max_tree`, per branch.
+
+    Returns ``(fl, [(area, energy) one-level], [(area, energy),
+    (area, energy) two-level])`` where the caller selects the branch
+    with ``np.where(fl > 1, ...)`` on the accumulated tails.
+    """
+    fl = _ceil_div(np.asarray(n_neurons, dtype=np.int64), MAX_FANIN)
+    first = max_unit(MAX_FANIN, MAX_WIDTH)
+    # two-level branch: (max_unit(20,16), fl) then (max_unit(fl,16), 1)
+    fl_stages = fl - 1  # fl >= 2 on this branch, so max(fl-1,1) == fl-1
+    two_level = [
+        (first.area_um2 * fl, first.energy_pj * fl),
+        (
+            (fl_stages * MAX_WIDTH) * tech.COMPARE_SELECT_AREA,
+            (fl_stages * MAX_WIDTH) * tech.COMPARE_SELECT_ENERGY,
+        ),
+    ]
+    # one-level branch: (max_unit(n,16), 1)
+    stages = np.maximum(np.asarray(n_neurons, dtype=np.int64) - 1, 1)
+    one_level = [
+        (
+            (stages * MAX_WIDTH) * tech.COMPARE_SELECT_AREA,
+            (stages * MAX_WIDTH) * tech.COMPARE_SELECT_ENERGY,
+        )
+    ]
+    return fl, one_level, two_level
+
+
+def _with_max_tree(fl, area_prefix, energy_prefix, one_level, two_level):
+    """Append the max-tree terms to running netlist sums, branch-exact."""
+    area_two = area_prefix
+    energy_two = energy_prefix
+    for area_term, energy_term in two_level:
+        area_two = area_two + area_term
+        energy_two = energy_two + energy_term
+    area_one = area_prefix
+    energy_one = energy_prefix
+    for area_term, energy_term in one_level:
+        area_one = area_one + area_term
+        energy_one = energy_one + energy_term
+    area = np.where(fl > 1, area_two, area_one)
+    energy = np.where(fl > 1, energy_two, energy_one)
+    return area, energy
+
+
+def _folded_mlp_block(hidden: np.ndarray, ni: int, wb: int, cfg: MLPConfig):
+    n_in, n_out = cfg.n_inputs, cfg.n_output
+    n_neurons = hidden + n_out
+    acc = mlp_acc_width(wb)
+    entries = [(multiplier(wb, wb), ni)]
+    if ni > 1:
+        entries.append((adder_tree(ni, acc), 1))
+    entries += [
+        (adder(acc), 1),
+        (interpolation_unit(), 1),
+        (register(wb * ni), 2),
+        (register(acc), 1),
+        (register(wb), 1),
+    ]
+    area_um2 = _seq_sum(c.area_um2 * (n * n_neurons) for c, n in entries)
+    net_energy = _seq_sum(c.energy_pj * (n * n_neurons) for c, n in entries)
+    overhead_mm2 = n_neurons * tech.MLP_NEURON_OVERHEAD_AREA / 1e6
+
+    area1, energy1 = _plan_arrays(hidden, n_in, ni, wb)
+    area2, energy2 = _plan_arrays(n_out, hidden, ni, wb)
+    sram_mm2 = _seq_sum([area1, area2])
+    sram_energy = _seq_sum([energy1, energy2])
+
+    cycles = _ceil_div(n_in, ni) + _ceil_div(hidden, ni) + 2
+    delay = (
+        tech.SRAM_READ_DELAY
+        + tech.MULTIPLIER_DELAY
+        + tech.ADDER_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_per_cycle = (
+        sram_energy + net_energy - n_neurons * interpolation_unit().energy_pj
+    )
+    return {
+        "logic_area_mm2": area_um2 / 1e6 + overhead_mm2,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": cycles,
+        "energy_per_image_uj": energy_per_cycle * cycles / 1e6,
+    }
+
+
+def _folded_snn_wot_block(hidden: np.ndarray, ni: int, wb: int, cfg: SNNConfig):
+    n_in = cfg.n_inputs
+    tw, aw = snn_tree_width(wb), snn_acc_width(wb)
+    entries = [(multiplier(wb, 4), ni)]
+    if ni > 1:
+        entries.append((adder_tree(ni, tw), 1))
+    entries += [
+        (adder(aw), 1),
+        (register(tw * ni), 1),
+        (register(4 * ni), 1),
+        (register(aw), 1),
+    ]
+    area_um2 = _seq_sum(c.area_um2 * (n * hidden) for c, n in entries)
+    net_energy = _seq_sum(c.energy_pj * (n * hidden) for c, n in entries)
+    conv = spike_converter()
+    area_um2 = area_um2 + conv.area_um2 * n_in
+    net_energy = net_energy + conv.energy_pj * n_in
+    fl, one_level, two_level = _max_tree_terms(hidden)
+    area_um2, net_energy = _with_max_tree(
+        fl, area_um2, net_energy, one_level, two_level
+    )
+    overhead_mm2 = hidden * tech.SNNWOT_NEURON_OVERHEAD_AREA / 1e6
+
+    sram_mm2, sram_energy = _plan_arrays(hidden, n_in, ni, wb)
+    sram_mm2 = _seq_sum([sram_mm2])
+    sram_energy = _seq_sum([sram_energy])
+
+    cycles = _ceil_div(n_in, ni) + 7
+    delay = (
+        tech.SRAM_READ_DELAY
+        + tech.SHIFT_ADD_DELAY
+        + _tree_levels(ni) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_per_cycle = sram_energy + net_energy
+    return {
+        "logic_area_mm2": area_um2 / 1e6 + overhead_mm2,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": np.full(hidden.shape, cycles, dtype=np.int64),
+        "energy_per_image_uj": energy_per_cycle * cycles / 1e6,
+    }
+
+
+def _folded_snn_wt_block(hidden: np.ndarray, ni: int, wb: int, cfg: SNNConfig):
+    n_in = cfg.n_inputs
+    tw, aw = snn_tree_width(wb), snn_acc_width(wb)
+    entries = []
+    if ni > 1:
+        entries.append((adder_tree(ni, tw), 1))
+    entries += [
+        (adder(aw), 1),
+        (interpolation_unit(), 1),
+        (comparator(MAX_WIDTH), 1),
+        (register(wb * ni), 2),
+        (register(tw * ni), 1),
+        (register(aw), 1),
+    ]
+    area_um2 = _seq_sum(c.area_um2 * (n * hidden) for c, n in entries)
+    net_energy = _seq_sum(c.energy_pj * (n * hidden) for c, n in entries)
+    rng, counters = gaussian_rng(), register(8)
+    area_um2 = area_um2 + rng.area_um2 * ni
+    net_energy = net_energy + rng.energy_pj * ni
+    area_um2 = area_um2 + counters.area_um2 * n_in
+    net_energy = net_energy + counters.energy_pj * n_in
+    overhead_mm2 = hidden * tech.SNNWT_NEURON_OVERHEAD_AREA / 1e6
+
+    sram_mm2, sram_energy = _plan_arrays(hidden, n_in, ni, wb)
+    sram_mm2 = _seq_sum([sram_mm2])
+    sram_energy = _seq_sum([sram_energy])
+
+    cycles = (_ceil_div(n_in, ni) + 7) * int(cfg.t_period)
+    delay = (
+        tech.SRAM_READ_DELAY
+        + _tree_levels(ni) * tech.ADDER_STAGE_DELAY
+        + tech.MAX_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_per_cycle = (
+        sram_energy + net_energy - hidden * interpolation_unit().energy_pj
+    )
+    return {
+        "logic_area_mm2": area_um2 / 1e6 + overhead_mm2,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": np.full(hidden.shape, cycles, dtype=np.int64),
+        "energy_per_image_uj": energy_per_cycle * cycles / 1e6,
+    }
+
+
+def _online_block(hidden: np.ndarray, ni: int, wb: int, cfg: SNNConfig):
+    base = _folded_snn_wt_block(hidden, ni, wb, cfg)
+    stdp = stdp_unit(ni)
+    stdp_mm2 = stdp.area_um2 * hidden / 1e6
+    counter_energy = hidden * 1.6
+    row_walk = _ceil_div(cfg.n_inputs, ni)
+    write_energy = row_walk * ni * wb * 0.05
+    cycles = base["cycles_per_image"]
+    learning_uj = (cycles * counter_energy + write_energy) / 1e6
+    return {
+        "logic_area_mm2": base["logic_area_mm2"] + stdp_mm2,
+        "sram_area_mm2": base["sram_area_mm2"] * SRAM_WRITE_PORT_FACTOR,
+        "delay_ns": base["delay_ns"] * DELAY_FACTOR,
+        "cycles_per_image": cycles,
+        "energy_per_image_uj": base["energy_per_image_uj"] * 1.02 + learning_uj,
+    }
+
+
+def _expanded_mlp_block(hidden: np.ndarray, wb: int, cfg: MLPConfig):
+    n_in, n_out = cfg.n_inputs, cfg.n_output
+    n_neurons = hidden + n_out
+    n_weights = n_in * hidden + hidden * n_out
+    input_tree = adder_tree(n_in, wb)
+    hidden_tree_area = _tree_slices_vec(hidden, wb) * tech.FULL_ADDER_AREA
+    mult = multiplier(wb, wb)
+    n_multipliers = n_weights + n_neurons
+    area_um2 = _seq_sum(
+        [
+            input_tree.area_um2 * hidden,
+            hidden_tree_area * n_out,
+            mult.area_um2 * n_multipliers,
+        ]
+    )
+    delay = (
+        tech.MULTIPLIER_DELAY
+        + _tree_depth(n_in) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = (n_weights * tech.EXPANDED_MLP_ENERGY_PER_WEIGHT / 1e6) * (
+        wb / 8.0
+    )
+    sram_mm2 = (n_weights * wb * tech.EXPANDED_SRAM_AREA_PER_BIT) / 1e6
+    return {
+        "logic_area_mm2": area_um2 / 1e6,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": np.full(hidden.shape, 4, dtype=np.int64),
+        "energy_per_image_uj": energy_uj,
+    }
+
+
+def _expanded_snn_wot_block(hidden: np.ndarray, wb: int, cfg: SNNConfig):
+    n_in = cfg.n_inputs
+    tw = wb + 4
+    n_weights = n_in * hidden
+    tree = adder_tree(n_in, tw)
+    shifter = shift_add_unit(tw)
+    conv = spike_converter()
+    area_um2 = _seq_sum(
+        [
+            tree.area_um2 * hidden,
+            shifter.area_um2 * (hidden * n_in),
+            conv.area_um2 * n_in,
+        ]
+    )
+    fl, one_level, two_level = _max_tree_terms(hidden)
+    area_um2, _unused = _with_max_tree(fl, area_um2, area_um2, one_level, two_level)
+    delay = (
+        tech.SHIFT_ADD_DELAY
+        + _tree_depth(n_in) * tech.ADDER_STAGE_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = (n_weights * tech.EXPANDED_SNNWOT_ENERGY_PER_WEIGHT / 1e6) * (
+        wb / 8.0
+    )
+    sram_mm2 = (n_weights * wb * tech.EXPANDED_SRAM_AREA_PER_BIT) / 1e6
+    return {
+        "logic_area_mm2": area_um2 / 1e6,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": np.full(hidden.shape, 3, dtype=np.int64),
+        "energy_per_image_uj": energy_uj,
+    }
+
+
+def _expanded_snn_wt_block(hidden: np.ndarray, wb: int, cfg: SNNConfig):
+    n_in = cfg.n_inputs
+    tw = wb + 4
+    n_weights = n_in * hidden
+    tree = adder_tree(n_in, tw)
+    rng, interp = gaussian_rng(), interpolation_unit()
+    area_um2 = _seq_sum(
+        [tree.area_um2 * hidden, rng.area_um2 * n_in, interp.area_um2 * hidden]
+    )
+    cycles = int(cfg.t_period)
+    delay = (
+        _tree_depth(n_in) * tech.ADDER_STAGE_DELAY
+        + tech.INTERPOLATION_DELAY
+        + tech.REGISTER_DELAY
+    )
+    energy_uj = (
+        n_weights * tech.EXPANDED_SNNWT_ENERGY_PER_WEIGHT_CYCLE * cycles / 1e6
+    ) * (wb / 8.0)
+    sram_mm2 = (n_weights * wb * tech.EXPANDED_SRAM_AREA_PER_BIT) / 1e6
+    return {
+        "logic_area_mm2": area_um2 / 1e6,
+        "sram_area_mm2": sram_mm2,
+        "delay_ns": np.full(hidden.shape, delay),
+        "cycles_per_image": np.full(hidden.shape, cycles, dtype=np.int64),
+        "energy_per_image_uj": energy_uj,
+    }
+
+
+_FOLDED_BLOCKS = {
+    "MLP": _folded_mlp_block,
+    "SNNwot": _folded_snn_wot_block,
+    "SNNwt": _folded_snn_wt_block,
+    "SNN-online": _online_block,
+}
+
+_EXPANDED_BLOCKS = {
+    "MLP": _expanded_mlp_block,
+    "SNNwot": _expanded_snn_wot_block,
+    "SNNwt": _expanded_snn_wt_block,
+}
+
+
+def _evaluate_combo(combo: SweepCombo, grid: SweepGrid) -> Dict[str, np.ndarray]:
+    hidden = np.asarray(combo.hidden, dtype=np.int64)
+    cfg = grid.mlp_config if combo.family == "MLP" else grid.snn_config
+    if combo.ni == EXPANDED:
+        block = _EXPANDED_BLOCKS[combo.family](hidden, combo.weight_bits, cfg)
+    else:
+        block = _FOLDED_BLOCKS[combo.family](
+            hidden, combo.ni, combo.weight_bits, cfg
+        )
+    if combo.node != "65nm":
+        # scale_report's factor arithmetic, applied columnwise.
+        factors = scaling_factors(get_node("65nm"), get_node(combo.node))
+        block["logic_area_mm2"] = block["logic_area_mm2"] * factors.area
+        block["sram_area_mm2"] = block["sram_area_mm2"] * factors.area
+        block["delay_ns"] = block["delay_ns"] * factors.delay
+        block["energy_per_image_uj"] = (
+            block["energy_per_image_uj"] * factors.energy
+        )
+    n = hidden.shape[0]
+    block["family_code"] = np.full(n, FAMILIES.index(combo.family), dtype=np.int16)
+    block["ni"] = np.full(n, combo.ni, dtype=np.int32)
+    block["hidden"] = hidden
+    block["weight_bits"] = np.full(n, combo.weight_bits, dtype=np.int32)
+    block["node_code"] = np.full(
+        n, _node_code(grid.nodes, combo.node), dtype=np.int16
+    )
+    block["cycles_per_image"] = np.asarray(
+        block["cycles_per_image"], dtype=np.int64
+    )
+    return block
+
+
+def _node_code(nodes: Tuple[str, ...], node: str) -> int:
+    return tuple(nodes).index(node)
+
+
+def evaluate_grid(
+    grid: SweepGrid, combos: Optional[Sequence[SweepCombo]] = None
+) -> SweepResult:
+    """Evaluate (a subset of) a grid serially into a canonical result."""
+    if combos is None:
+        combos = grid.combos()
+    if not combos:
+        raise HardwareModelError("sweep grid is empty after validity filtering")
+    blocks = [_evaluate_combo(c, grid) for c in combos]
+    parts = [
+        SweepResult.from_arrays(b, families=FAMILIES, nodes=tuple(grid.nodes))
+        for b in blocks
+    ]
+    return SweepResult.concatenate(parts).canonical()
+
+
+# ---------------------------------------------------------------------------
+# Sharded, cached execution
+# ---------------------------------------------------------------------------
+
+
+def _shard_key(grid: SweepGrid, combos: Sequence[SweepCombo]) -> str:
+    payload = {
+        "mlp_config": _jsonable(grid.mlp_config),
+        "snn_config": _jsonable(grid.snn_config),
+        "nodes": list(grid.nodes),
+        "combos": [
+            [c.family, c.ni, c.weight_bits, c.node, list(c.hidden)]
+            for c in combos
+        ],
+        "code_version": SWEEP_CODE_VERSION,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _chunk(items: Sequence, n_chunks: int) -> List[List]:
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size = math.ceil(len(items) / n_chunks)
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def run_sweep(
+    grid: SweepGrid,
+    jobs: int = 1,
+    cache: Optional[ArrayBundleCache] = None,
+    use_cache: Optional[bool] = None,
+) -> SweepResult:
+    """Evaluate a grid in combo shards, optionally parallel and cached.
+
+    ``jobs > 1`` fans shards out over a thread pool (the block
+    evaluators are NumPy-bound, so threads parallelize the array work
+    without pickling the grid).  Each shard is memoized in the
+    content-addressed sweep cache keyed by its exact combo payload and
+    :data:`SWEEP_CODE_VERSION`; ``use_cache=False`` (or
+    ``REPRO_NO_CACHE=1``) bypasses it.  The returned rows are in
+    canonical order regardless of the shard split or job count.
+    """
+    if jobs < 1:
+        raise HardwareModelError(f"jobs must be >= 1, got {jobs}")
+    combos = grid.combos()
+    if not combos:
+        raise HardwareModelError("sweep grid is empty after validity filtering")
+    if use_cache is None:
+        use_cache = cache_enabled()
+    if use_cache and cache is None:
+        cache = ArrayBundleCache()
+
+    shards = _chunk(combos, SHARD_COUNT)
+
+    def _run_shard(shard: List[SweepCombo]) -> SweepResult:
+        def compute() -> Dict[str, np.ndarray]:
+            return evaluate_grid(grid, shard).as_arrays()
+
+        if use_cache and cache is not None:
+            arrays = cache.get_or_compute(_shard_key(grid, shard), compute)
+        else:
+            arrays = compute()
+        return SweepResult.from_arrays(
+            arrays, families=FAMILIES, nodes=tuple(grid.nodes)
+        )
+
+    with timing.phase("hw-sweep"):
+        if jobs == 1 or len(shards) == 1:
+            parts = [_run_shard(s) for s in shards]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                parts = list(pool.map(_run_shard, shards))
+    return SweepResult.concatenate(parts).canonical()
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle
+# ---------------------------------------------------------------------------
+
+
+def scalar_design_report(
+    family: str,
+    ni: int,
+    hidden: int,
+    weight_bits: int = 8,
+    node: str = "65nm",
+    mlp_config: Optional[MLPConfig] = None,
+    snn_config: Optional[SNNConfig] = None,
+) -> DesignReport:
+    """One sweep point through the scalar constructors (the oracle).
+
+    The vectorized sweep must agree with this bit for bit; the sweep
+    tests and the PR-7 benchmark sample random rows and assert exact
+    equality.
+    """
+    if family not in FAMILIES:
+        raise HardwareModelError(
+            f"unknown family {family!r}; known: {', '.join(FAMILIES)}"
+        )
+    if family == "MLP":
+        cfg = (mlp_config or MLPConfig()).with_hidden(int(hidden))
+        if ni == EXPANDED:
+            report = expanded_mlp(cfg, weight_bits)
+        else:
+            report = folded_mlp(cfg, ni, weight_bits)
+    else:
+        cfg = (snn_config or SNNConfig()).with_neurons(int(hidden))
+        if family == "SNNwot":
+            if ni == EXPANDED:
+                report = expanded_snn_wot(cfg, weight_bits)
+            else:
+                report = folded_snn_wot(cfg, ni, weight_bits)
+        elif family == "SNNwt":
+            if ni == EXPANDED:
+                report = expanded_snn_wt(cfg, weight_bits)
+            else:
+                report = folded_snn_wt(cfg, ni, weight_bits)
+        else:  # SNN-online
+            if ni == EXPANDED:
+                raise HardwareModelError("no expanded SNN-online design exists")
+            report = online_snn(cfg, ni, weight_bits)
+    if node != "65nm":
+        report = scale_report(report, "65nm", node)
+    return report
+
+
+def scalar_walk(grid: SweepGrid, combos: Optional[Sequence[SweepCombo]] = None):
+    """Yield every grid point through the scalar oracle (the slow path
+    the benchmark compares against)."""
+    if combos is None:
+        combos = grid.combos()
+    for combo in combos:
+        for h in combo.hidden:
+            yield scalar_design_report(
+                combo.family,
+                combo.ni,
+                h,
+                combo.weight_bits,
+                combo.node,
+                grid.mlp_config,
+                grid.snn_config,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fast Pareto frontier
+# ---------------------------------------------------------------------------
+
+
+def pareto_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (minimize every column).
+
+    Semantics match :func:`repro.hardware.explorer.pareto_frontier`
+    exactly: row i is dominated iff some row j is <= on every column
+    and < on at least one; duplicate rows never dominate each other,
+    so all copies of a frontier point are kept.
+
+    Two columns run in O(n log n) (lexsort + prefix-min sweep); one
+    column is a min scan; three or more use a vectorized cull over the
+    lexicographic order (only lex-smaller rows can dominate).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise HardwareModelError(
+            f"objective matrix must be 2-D, got shape {values.shape}"
+        )
+    n, k = values.shape
+    if k < 1:
+        raise HardwareModelError("need at least one objective")
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if k == 1:
+        return values[:, 0] == values[:, 0].min()
+    if k == 2:
+        return _pareto_mask_2d(values[:, 0], values[:, 1])
+    return _pareto_mask_nd(values)
+
+
+def _pareto_mask_2d(o0: np.ndarray, o1: np.ndarray) -> np.ndarray:
+    n = o0.shape[0]
+    order = np.lexsort((o1, o0))
+    s0, s1 = o0[order], o1[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = s0[1:] != s0[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, np.arange(n), 0))
+    group_min = s1[group_start]  # sorted by o1 within the group
+    prefix_min = np.minimum.accumulate(s1)
+    prev_best = np.full(n, np.inf)
+    has_prev = group_start > 0
+    prev_best[has_prev] = prefix_min[group_start[has_prev] - 1]
+    # Dominated by a strictly-smaller-o0 row with o1 <= ours, or by a
+    # same-o0 row with strictly smaller o1.
+    dominated = (prev_best <= s1) | (s1 > group_min)
+    mask = np.empty(n, dtype=bool)
+    mask[order] = ~dominated
+    return mask
+
+
+def _pareto_mask_nd(values: np.ndarray) -> np.ndarray:
+    n, k = values.shape
+    order = np.lexsort(tuple(values[:, col] for col in range(k - 1, -1, -1)))
+    pts = values[order]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        rest = pts[i + 1 :]
+        if rest.size == 0:
+            break
+        worse_eq = (rest >= pts[i]).all(axis=1)
+        strictly = (rest > pts[i]).any(axis=1)
+        keep[i + 1 :] &= ~(worse_eq & strictly)
+    mask = np.empty(n, dtype=bool)
+    mask[order] = keep
+    return mask
+
+
+def pareto_frontier_fast(points, objectives=("area", "latency")):
+    """Drop-in fast replacement for ``explorer.pareto_frontier``.
+
+    Same inputs, same outputs (including ordering and duplicate
+    handling) — the pairwise oracle and this function return identical
+    lists on every grid; only the complexity differs.
+    """
+    if not objectives:
+        raise HardwareModelError("need at least one objective")
+    from .explorer import METRIC_NAMES
+
+    for objective in objectives:
+        if objective not in METRIC_NAMES:
+            raise HardwareModelError(
+                f"unknown metric {objective!r}; choose " + "/".join(METRIC_NAMES)
+            )
+    pts = list(points)
+    if not pts:
+        return []
+    values = np.array(
+        [[p.metric(o) for o in objectives] for p in pts], dtype=np.float64
+    )
+    mask = pareto_mask(values)
+    frontier = [p for p, keep in zip(pts, mask) if keep]
+    return sorted(frontier, key=lambda p: p.metric(objectives[0]))
+
+
+def pareto_indices(
+    result: SweepResult, objectives: Sequence[str] = ("area", "latency")
+) -> np.ndarray:
+    """Row indices of ``result``'s Pareto frontier, sorted by the first
+    objective (stable, mirroring the oracle's output order)."""
+    if not objectives:
+        raise HardwareModelError("need at least one objective")
+    values = np.column_stack([result.metric(o) for o in objectives])
+    mask = pareto_mask(values)
+    idx = np.flatnonzero(mask)
+    order = np.argsort(values[idx, 0], kind="stable")
+    return idx[order]
+
+
+# ---------------------------------------------------------------------------
+# Query layer (the `repro explore` backend)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Feasibility constraints over a sweep result."""
+
+    max_area_mm2: Optional[float] = None
+    max_energy_uj: Optional[float] = None
+    max_latency_us: Optional[float] = None
+    max_power_w: Optional[float] = None
+    needs_online_learning: bool = False
+    families: Optional[Tuple[str, ...]] = None
+
+
+def feasible_mask(result: SweepResult, constraints: Constraints) -> np.ndarray:
+    """Boolean mask of rows satisfying every constraint."""
+    mask = np.ones(result.n_points, dtype=bool)
+    bounds = (
+        ("area", constraints.max_area_mm2),
+        ("energy", constraints.max_energy_uj),
+        ("latency", constraints.max_latency_us),
+        ("power", constraints.max_power_w),
+    )
+    for metric_name, bound in bounds:
+        if bound is not None:
+            mask &= result.metric(metric_name) <= bound
+    if constraints.needs_online_learning:
+        mask &= result.supports_online_learning
+    if constraints.families is not None:
+        allowed = np.zeros(result.n_points, dtype=bool)
+        for fam in constraints.families:
+            if fam not in FAMILIES:
+                raise HardwareModelError(
+                    f"unknown family {fam!r}; known: {', '.join(FAMILIES)}"
+                )
+            allowed |= result.family_code == FAMILIES.index(fam)
+        mask &= allowed
+    return mask
+
+
+def best_index(
+    result: SweepResult,
+    metric: str,
+    constraints: Optional[Constraints] = None,
+) -> Optional[int]:
+    """Index of the feasible row minimizing ``metric`` (None if none)."""
+    values = result.metric(metric)
+    mask = (
+        feasible_mask(result, constraints)
+        if constraints is not None
+        else np.ones(result.n_points, dtype=bool)
+    )
+    if not mask.any():
+        return None
+    idx = np.flatnonzero(mask)
+    return int(idx[np.argmin(values[idx])])
+
+
+def top_indices(
+    result: SweepResult,
+    metric: str,
+    k: int,
+    constraints: Optional[Constraints] = None,
+) -> np.ndarray:
+    """Indices of the k best feasible rows by ``metric``, ascending."""
+    values = result.metric(metric)
+    mask = (
+        feasible_mask(result, constraints)
+        if constraints is not None
+        else np.ones(result.n_points, dtype=bool)
+    )
+    idx = np.flatnonzero(mask)
+    order = np.argsort(values[idx], kind="stable")
+    return idx[order[: max(k, 0)]]
+
+
+def snn_vs_ann(
+    result: SweepResult,
+    metric: str = "edp",
+    constraints: Optional[Constraints] = None,
+) -> Dict[str, object]:
+    """Best ANN (MLP) vs best SNN point under shared constraints.
+
+    The comparison axis of arXiv 2306.12742 / 2306.15749: at a given
+    operating point (area budget, latency deadline, ...), which camp
+    wins on the chosen metric, and by how much?  ``ratio`` is
+    snn / ann (values < 1 mean the SNN camp wins).
+    """
+    base = constraints or Constraints()
+    snn_families = tuple(f for f in FAMILIES if f != "MLP")
+    ann_best = best_index(
+        result,
+        metric,
+        Constraints(
+            max_area_mm2=base.max_area_mm2,
+            max_energy_uj=base.max_energy_uj,
+            max_latency_us=base.max_latency_us,
+            max_power_w=base.max_power_w,
+            needs_online_learning=False,
+            families=("MLP",),
+        ),
+    )
+    snn_best = best_index(
+        result,
+        metric,
+        Constraints(
+            max_area_mm2=base.max_area_mm2,
+            max_energy_uj=base.max_energy_uj,
+            max_latency_us=base.max_latency_us,
+            max_power_w=base.max_power_w,
+            needs_online_learning=base.needs_online_learning,
+            families=snn_families,
+        ),
+    )
+    ann = result.point(ann_best) if ann_best is not None else None
+    snn = result.point(snn_best) if snn_best is not None else None
+    ratio = None
+    winner = "none"
+    if ann is not None and snn is not None:
+        ann_value = float(result.metric(metric)[ann_best])
+        snn_value = float(result.metric(metric)[snn_best])
+        ratio = snn_value / ann_value if ann_value > 0 else None
+        winner = "SNN" if snn_value < ann_value else "ANN"
+    elif ann is not None:
+        winner = "ANN"
+    elif snn is not None:
+        winner = "SNN"
+    return {
+        "metric": metric,
+        "ann": ann,
+        "snn": snn,
+        "snn_over_ann": ratio,
+        "winner": winner,
+    }

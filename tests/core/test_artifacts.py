@@ -382,3 +382,67 @@ class TestCapacityBound:
     def test_non_positive_constructor_limit_means_unbounded(self, tmp_path):
         assert ModelCache(tmp_path / "c", max_bytes=0).max_bytes is None
         assert ModelCache(tmp_path / "c", max_bytes=-1).max_bytes is None
+
+
+class TestArrayBundleCache:
+    """The sweep-shard store: npz bundles under ``<cache>/sweeps/``."""
+
+    @staticmethod
+    def _bundle():
+        return {
+            "a": np.arange(6, dtype=np.float64),
+            "b": np.array([1, 2, 3], dtype=np.int64),
+        }
+
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        from repro.core.artifacts import ArrayBundleCache
+
+        cache = ArrayBundleCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return self._bundle()
+
+        first = cache.get_or_compute("k1", compute)
+        second = cache.get_or_compute("k1", compute)
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        for name in ("a", "b"):
+            assert np.array_equal(first[name], second[name])
+        assert cache.path_for("k1").parent.name == "sweeps"
+
+    def test_corrupt_entry_evicted_and_recomputed(self, tmp_path):
+        from repro.core.artifacts import ArrayBundleCache
+
+        cache = ArrayBundleCache(tmp_path)
+        cache.get_or_compute("k1", self._bundle)
+        cache.path_for("k1").write_bytes(b"not an npz")
+        again = cache.get_or_compute("k1", self._bundle)
+        assert cache.stats.corrupt_evictions == 1
+        assert np.array_equal(again["a"], self._bundle()["a"])
+        # The recompute restored a loadable entry.
+        cache2 = ArrayBundleCache(tmp_path)
+        cache2.get_or_compute("k1", self._bundle)
+        assert cache2.stats.hits == 1
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        from repro.core.artifacts import ArrayBundleCache
+
+        cache = ArrayBundleCache(tmp_path)
+        cache.get_or_compute("k1", self._bundle)
+        cache.get_or_compute("k2", lambda: {"a": np.zeros(2)})
+        assert cache.stats.misses == 2
+        assert np.array_equal(
+            cache.get_or_compute("k2", self._bundle)["a"], np.zeros(2)
+        )
+
+    def test_clear_removes_entries(self, tmp_path):
+        from repro.core.artifacts import ArrayBundleCache
+
+        cache = ArrayBundleCache(tmp_path)
+        cache.get_or_compute("k1", self._bundle)
+        cache.get_or_compute("k2", self._bundle)
+        assert cache.clear() == 2
+        cache.get_or_compute("k1", self._bundle)
+        assert cache.stats.misses == 3

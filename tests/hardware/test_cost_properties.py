@@ -1,0 +1,123 @@
+"""Property tests for the scalar cost model (the sweep oracle).
+
+These pin the qualitative physics the paper's Section 4-5 analysis
+relies on — properties every calibration re-fit must preserve:
+
+* spending fold factor (ni lanes) buys latency with area;
+* wider weights cost energy (wider datapaths, more SRAM bits read);
+* the spatially expanded design is the latency floor of its family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.hardware.sweep import scalar_design_report
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+FOLD_LADDER = (1, 2, 4, 8, 16)
+BIT_LADDER = (2, 4, 6, 8, 12, 16)
+FOLDED_FAMILIES = ("MLP", "SNNwot", "SNNwt", "SNN-online")
+HIDDEN = {"MLP": (24, 100, 500), "default": (40, 300, 1000)}
+
+
+def _hidden_for(family):
+    return HIDDEN.get(family, HIDDEN["default"])
+
+
+def _report(family, ni, hidden, weight_bits=8):
+    return scalar_design_report(family, ni, hidden, weight_bits, "65nm", MLP, SNN)
+
+
+class TestFoldExpansion:
+    """More lanes: latency falls, area rises (the fold trade-off)."""
+
+    @pytest.mark.parametrize("family", FOLDED_FAMILIES)
+    def test_latency_non_increasing_in_ni(self, family):
+        for hidden in _hidden_for(family):
+            latencies = [
+                _report(family, ni, hidden).time_per_image_us
+                for ni in FOLD_LADDER
+            ]
+            assert all(a >= b for a, b in zip(latencies, latencies[1:])), (
+                family,
+                hidden,
+                latencies,
+            )
+
+    @pytest.mark.parametrize("family", FOLDED_FAMILIES)
+    def test_area_non_decreasing_in_ni(self, family):
+        for hidden in _hidden_for(family):
+            areas = [
+                _report(family, ni, hidden).total_area_mm2 for ni in FOLD_LADDER
+            ]
+            assert all(a <= b for a, b in zip(areas, areas[1:])), (
+                family,
+                hidden,
+                areas,
+            )
+
+    @pytest.mark.parametrize("family", ("MLP", "SNNwot", "SNNwt"))
+    def test_expanded_is_latency_floor(self, family):
+        for hidden in _hidden_for(family):
+            expanded = _report(family, 0, hidden).time_per_image_us
+            folded = [
+                _report(family, ni, hidden).time_per_image_us
+                for ni in FOLD_LADDER
+            ]
+            assert expanded < min(folded), (family, hidden)
+
+
+class TestBitWidthGrowth:
+    """Wider weights: energy and area never get cheaper."""
+
+    @pytest.mark.parametrize("family", FOLDED_FAMILIES)
+    @pytest.mark.parametrize("ni", (1, 8))
+    def test_energy_non_decreasing_in_bits(self, family, ni):
+        for hidden in _hidden_for(family):
+            energies = [
+                _report(family, ni, hidden, wb).energy_per_image_uj
+                for wb in BIT_LADDER
+            ]
+            assert all(a <= b for a, b in zip(energies, energies[1:])), (
+                family,
+                ni,
+                hidden,
+                energies,
+            )
+
+    @pytest.mark.parametrize("family", ("MLP", "SNNwot", "SNNwt"))
+    def test_expanded_energy_non_decreasing_in_bits(self, family):
+        for hidden in _hidden_for(family):
+            energies = [
+                _report(family, 0, hidden, wb).energy_per_image_uj
+                for wb in BIT_LADDER
+            ]
+            assert all(a <= b for a, b in zip(energies, energies[1:]))
+
+    @pytest.mark.parametrize("family", FOLDED_FAMILIES)
+    def test_logic_area_non_decreasing_in_bits(self, family):
+        # SRAM area is deliberately excluded: the banking geometry
+        # (rows of 128/(ni*wb) neurons, sqrt term in the bank fit) makes
+        # it non-monotone in wb; the datapath is the monotone part.
+        for hidden in _hidden_for(family):
+            areas = [
+                _report(family, 1, hidden, wb).logic_area_mm2 for wb in BIT_LADDER
+            ]
+            assert all(a <= b for a, b in zip(areas, areas[1:]))
+
+
+class TestTopologyGrowth:
+    """Bigger layers never shrink the design."""
+
+    @pytest.mark.parametrize("family", FOLDED_FAMILIES)
+    def test_area_and_energy_grow_with_hidden(self, family):
+        sizes = _hidden_for(family)
+        reports = [_report(family, 4, h) for h in sizes]
+        areas = [r.total_area_mm2 for r in reports]
+        energies = [r.energy_per_image_uj for r in reports]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+        assert all(a < b for a, b in zip(energies, energies[1:]))

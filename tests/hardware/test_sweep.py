@@ -1,0 +1,383 @@
+"""Tests for the vectorized design-space sweep engine.
+
+The load-bearing property is *bit-identical equivalence*: every row of
+the vectorized sweep must match the scalar constructor oracle exactly
+(no tolerances), and the fast Pareto extraction must return the same
+frontier as the documented pairwise oracle on every input.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.artifacts import ArrayBundleCache
+from repro.core.config import mnist_mlp_config, mnist_snn_config
+from repro.core.errors import HardwareModelError
+from repro.hardware.explorer import (
+    DesignPoint,
+    enumerate_design_space,
+    pareto_frontier,
+)
+from repro.hardware.designs import DesignReport
+from repro.hardware.sweep import (
+    EXPANDED,
+    FAMILIES,
+    Constraints,
+    SweepGrid,
+    best_index,
+    evaluate_grid,
+    feasible_mask,
+    pareto_frontier_fast,
+    pareto_indices,
+    pareto_mask,
+    run_sweep,
+    scalar_design_report,
+    snn_vs_ann,
+    top_indices,
+)
+
+MLP = mnist_mlp_config()
+SNN = mnist_snn_config()
+
+
+def small_grid(**overrides) -> SweepGrid:
+    params = dict(
+        hidden_sizes=(2, 10, 37, 100, 300, 1000, 1600),
+        fold_factors=(EXPANDED, 1, 2, 4, 8, 16),
+        weight_bits=(2, 4, 8, 16),
+        nodes=("65nm", "28nm"),
+        mlp_config=MLP,
+        snn_config=SNN,
+    )
+    params.update(overrides)
+    return SweepGrid(**params).validate()
+
+
+class TestGrid:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(HardwareModelError):
+            small_grid(families=("MLP", "Banana"))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(HardwareModelError):
+            small_grid(nodes=("12nm",))
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(HardwareModelError):
+            small_grid(hidden_sizes=())
+
+    def test_invalid_corners_dropped(self):
+        grid = small_grid()
+        combos = grid.combos()
+        # ni * weight_bits must fit one 128-bit SRAM row.
+        assert all(c.ni * c.weight_bits <= 128 for c in combos if c.ni != EXPANDED)
+        # There is no expanded SNN-online design.
+        assert not any(
+            c.family == "SNN-online" and c.ni == EXPANDED for c in combos
+        )
+
+    def test_family_ranges_respected(self):
+        grid = small_grid()
+        result = evaluate_grid(grid)
+        mlp_hidden = result.hidden[result.family_code == FAMILIES.index("MLP")]
+        snn_hidden = result.hidden[result.family_code != FAMILIES.index("MLP")]
+        # MLP hidden range tops out at 1000, SNN neurons at 1600 (Table 1).
+        assert mlp_hidden.max() == 1000 and snn_hidden.max() == 1600
+        assert mlp_hidden.min() >= 1 and snn_hidden.min() >= 2
+
+
+class TestEquivalence:
+    """Vectorized rows == scalar oracle, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def swept(self):
+        grid = small_grid()
+        return grid, evaluate_grid(grid)
+
+    def test_sampled_rows_bit_identical(self, swept):
+        grid, result = swept
+        rng = np.random.default_rng(7)
+        for i in rng.choice(result.n_points, size=120, replace=False):
+            i = int(i)
+            report = scalar_design_report(
+                result.family_of(i),
+                int(result.ni[i]),
+                int(result.hidden[i]),
+                int(result.weight_bits[i]),
+                result.nodes[int(result.node_code[i])],
+                grid.mlp_config,
+                grid.snn_config,
+            )
+            assert float(result.logic_area_mm2[i]) == report.logic_area_mm2
+            assert float(result.sram_area_mm2[i]) == report.sram_area_mm2
+            assert float(result.delay_ns[i]) == report.delay_ns
+            assert int(result.cycles_per_image[i]) == report.cycles_per_image
+            assert float(result.energy_per_image_uj[i]) == report.energy_per_image_uj
+            assert float(result.total_area_mm2[i]) == report.total_area_mm2
+            assert float(result.latency_us[i]) == report.time_per_image_us
+            assert float(result.power_w[i]) == report.power_w
+
+    def test_canonical_order_is_deterministic(self, swept):
+        grid, result = swept
+        again = evaluate_grid(grid)
+        for name in result._COLUMNS:
+            assert np.array_equal(getattr(result, name), getattr(again, name))
+
+    def test_jobs_match_serial(self, swept):
+        grid, serial = swept
+        parallel = run_sweep(grid, jobs=4, use_cache=False)
+        for name in serial._COLUMNS:
+            assert np.array_equal(getattr(serial, name), getattr(parallel, name))
+
+    def test_metric_unknown_raises(self, swept):
+        _, result = swept
+        with pytest.raises(HardwareModelError):
+            result.metric("bogus")
+
+    def test_scalar_oracle_rejects_bad_points(self):
+        with pytest.raises(HardwareModelError):
+            scalar_design_report("Banana", 1, 10)
+        with pytest.raises(HardwareModelError):
+            scalar_design_report("SNN-online", EXPANDED, 10)
+
+
+class TestShardCache:
+    def test_round_trip_hits(self, tmp_path):
+        grid = small_grid(
+            hidden_sizes=(10, 20), weight_bits=(8,), nodes=("65nm",)
+        )
+        cache = ArrayBundleCache(tmp_path / "cache")
+        cold = run_sweep(grid, cache=cache, use_cache=True)
+        assert cache.stats.misses > 0 and cache.stats.hits == 0
+        warm = run_sweep(grid, cache=cache, use_cache=True)
+        assert cache.stats.hits == cache.stats.misses
+        for name in cold._COLUMNS:
+            assert np.array_equal(getattr(cold, name), getattr(warm, name))
+
+    def test_corrupt_shard_recomputed(self, tmp_path):
+        grid = small_grid(
+            hidden_sizes=(10,), weight_bits=(8,), nodes=("65nm",)
+        )
+        cache = ArrayBundleCache(tmp_path / "cache")
+        baseline = run_sweep(grid, cache=cache, use_cache=True)
+        for bundle in cache.directory.glob("*.npz"):
+            bundle.write_bytes(b"garbage")
+        again = run_sweep(grid, cache=cache, use_cache=True)
+        assert cache.stats.corrupt_evictions > 0
+        for name in baseline._COLUMNS:
+            assert np.array_equal(getattr(baseline, name), getattr(again, name))
+
+
+def _oracle_mask(values: np.ndarray) -> np.ndarray:
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if (values[j] <= values[i]).all() and (values[j] < values[i]).any():
+                mask[i] = False
+                break
+    return mask
+
+
+class TestParetoMask:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_pairwise_oracle_on_random_grids(self, k):
+        rng = np.random.default_rng(100 + k)
+        for trial in range(8):
+            n = int(rng.integers(1, 200))
+            # Small-integer grids force heavy ties and duplicates.
+            values = rng.integers(0, 5, size=(n, k)).astype(float)
+            assert np.array_equal(pareto_mask(values), _oracle_mask(values))
+
+    def test_duplicates_all_kept(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert pareto_mask(values).tolist() == [True, True, False]
+
+    def test_tie_one_axis_worse_other_dominated(self):
+        values = np.array([[1.0, 1.0], [1.0, 2.0]])
+        assert pareto_mask(values).tolist() == [True, False]
+
+    def test_single_and_empty(self):
+        assert pareto_mask(np.zeros((1, 3))).tolist() == [True]
+        assert pareto_mask(np.zeros((0, 2))).tolist() == []
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(HardwareModelError):
+            pareto_mask(np.zeros(4))
+
+
+def _point(family, variant, area, latency) -> DesignPoint:
+    cycles = max(int(round(latency * 100.0)), 1)
+    return DesignPoint(
+        family,
+        variant,
+        DesignReport(
+            name=f"{family} {variant}",
+            topology="t",
+            logic_area_mm2=area,
+            sram_area_mm2=0.0,
+            delay_ns=10.0,
+            cycles_per_image=cycles,
+            energy_per_image_uj=1.0,
+        ),
+    )
+
+
+class TestParetoOracle:
+    """Satellite: explorer.pareto_frontier edge cases, frozen semantics."""
+
+    def test_duplicates_both_returned(self):
+        a = _point("MLP", "a", 1.0, 1.0)
+        b = _point("MLP", "b", 1.0, 1.0)
+        frontier = pareto_frontier([a, b])
+        assert frontier == [a, b]
+
+    def test_tied_point_dominated(self):
+        a = _point("MLP", "a", 1.0, 1.0)
+        b = _point("MLP", "b", 1.0, 2.0)
+        assert pareto_frontier([a, b]) == [a]
+
+    def test_single_point_is_frontier(self):
+        a = _point("MLP", "a", 1.0, 1.0)
+        assert pareto_frontier([a]) == [a]
+
+    def test_empty_input_empty_frontier(self):
+        assert pareto_frontier([]) == []
+
+    def test_unknown_objective_raises_even_when_empty(self):
+        with pytest.raises(HardwareModelError):
+            pareto_frontier([], objectives=("bogus",))
+        with pytest.raises(HardwareModelError):
+            pareto_frontier([], objectives=())
+
+    def test_fast_matches_oracle_on_design_space(self):
+        points = enumerate_design_space(MLP, SNN)
+        for objectives in (
+            ("area", "latency"),
+            ("energy", "area"),
+            ("area", "latency", "energy"),
+            ("power",),
+        ):
+            oracle = pareto_frontier(points, objectives)
+            fast = pareto_frontier_fast(points, objectives)
+            assert [id(p) for p in fast] == [id(p) for p in oracle]
+
+    def test_fast_matches_oracle_on_ties(self):
+        rng = np.random.default_rng(11)
+        points = [
+            _point("MLP", str(i), float(rng.integers(0, 4)), float(rng.integers(0, 4)))
+            for i in range(60)
+        ]
+        oracle = pareto_frontier(points)
+        fast = pareto_frontier_fast(points)
+        assert [id(p) for p in fast] == [id(p) for p in oracle]
+
+    def test_fast_validates_like_oracle(self):
+        with pytest.raises(HardwareModelError):
+            pareto_frontier_fast([], objectives=("bogus",))
+        assert pareto_frontier_fast([]) == []
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return evaluate_grid(
+            small_grid(
+                hidden_sizes=(10, 50, 100), weight_bits=(4, 8), nodes=("65nm",)
+            )
+        )
+
+    def test_best_index_minimizes(self, result):
+        best = best_index(result, "area")
+        assert best is not None
+        assert result.metric("area")[best] == result.metric("area").min()
+
+    def test_constraints_respected(self, result):
+        constraints = Constraints(max_area_mm2=1.0, needs_online_learning=True)
+        mask = feasible_mask(result, constraints)
+        assert mask.any()
+        assert bool(result.supports_online_learning[mask].all())
+        assert float(result.metric("area")[mask].max()) <= 1.0
+
+    def test_infeasible_returns_none(self, result):
+        assert best_index(result, "area", Constraints(max_area_mm2=1e-9)) is None
+
+    def test_top_indices_sorted(self, result):
+        top = top_indices(result, "edp", 5)
+        values = result.metric("edp")[top]
+        assert len(top) == 5 and np.all(np.diff(values) >= 0)
+
+    def test_pareto_indices_subset(self, result):
+        idx = pareto_indices(result, ("area", "latency"))
+        assert 0 < idx.shape[0] < result.n_points
+
+    def test_snn_vs_ann_shape(self, result):
+        doc = snn_vs_ann(result, "edp", Constraints(max_area_mm2=2.0))
+        assert set(doc) == {"metric", "ann", "snn", "snn_over_ann", "winner"}
+        assert doc["ann"]["family"] == "MLP"
+        assert doc["snn"]["family"] != "MLP"
+        assert doc["winner"] in ("SNN", "ANN")
+
+
+class TestExploreCLI:
+    def test_happy_path_json(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--hidden",
+                "10,50",
+                "--bits",
+                "8",
+                "--pareto",
+                "area,latency",
+                "--compare",
+                "--json",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["best"] is not None
+        assert doc["pareto"]["count"] >= 1
+        assert doc["compare"]["winner"] in ("SNN", "ANN", "none")
+
+    def test_unknown_metric_exits_2(self, capsys):
+        assert main(["explore", "--hidden", "10", "--metric", "bogus"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_unknown_family_exits_2(self, capsys):
+        assert main(["explore", "--hidden", "10", "--families", "Banana"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_bad_range_exits_2(self, capsys):
+        assert main(["explore", "--hidden", "10:20:0"]) == 2
+
+    def test_infeasible_exits_1(self, capsys):
+        code = main(
+            ["explore", "--hidden", "10", "--max-area", "1e-9", "--no-cache"]
+        )
+        assert code == 1
+
+    def test_recommend_json_stable_keys(self, capsys):
+        assert main(["recommend", "--max-area", "10", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {
+            "chosen",
+            "feasible_count",
+            "prefer",
+            "reasons",
+            "requirements",
+        }
+        assert doc["chosen"]["family"] == "MLP"
+        assert doc["feasible_count"] > 0
+
+    def test_recommend_json_infeasible(self, capsys):
+        assert main(["recommend", "--max-area", "1e-9", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["chosen"] is None
