@@ -31,6 +31,14 @@ Commands:
                                   hot-swaps and automatic rollback
                                   (exit 0 only when every learning
                                   invariant holds);
+* ``ir-dump <kind>``            — compile a small model of one kind
+                                  (mlp, mlp-q, snnwt, snnwot, snnbp)
+                                  to the unified execution IR and
+                                  print the instruction listing and
+                                  buffer table (``--json`` for the
+                                  machine-readable plan document with
+                                  stable keys; exit 2 on unknown
+                                  kind);
 * ``serve-stats <file>``        — pretty-print a stats JSON written by
                                   ``loadtest --output``;
 * ``serve-health <file>``       — readiness / liveness view of a stats
@@ -525,6 +533,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             deadline_ms=args.deadline_ms,
             max_retries=args.max_retries,
+            engine=args.engine,
         )
     except ServingError as error:
         print(error, file=sys.stderr)
@@ -542,6 +551,56 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     if args.output:
         dump_stats(payload, args.output)
         print(f"stats written to {args.output}")
+    return 0
+
+
+def _tiny_model_for_kind(kind: str):
+    """A small untrained model of one kind (ir-dump needs shapes only)."""
+    import numpy as np
+
+    from .core.config import MLPConfig, SNNConfig
+
+    if kind in ("mlp", "mlp-q"):
+        from .mlp.network import MLP
+
+        mlp = MLP(MLPConfig(n_hidden=8).validate())
+        if kind == "mlp":
+            return mlp
+        from .mlp.quantized import QuantizedMLP
+
+        return QuantizedMLP(mlp)
+    snn_config = SNNConfig().with_neurons(10).validate()
+    if kind == "snnbp":
+        from .snn.snn_bp import BackPropSNN
+
+        return BackPropSNN(snn_config)
+    from .snn.network import SpikingNetwork
+
+    network = SpikingNetwork(snn_config)
+    # ir-dump shows structure, not accuracy: a fabricated labeling
+    # pass is enough to satisfy the compiler's labeled-model guard.
+    network.neuron_labels = np.arange(snn_config.n_neurons) % snn_config.n_labels
+    if kind == "snnwt":
+        return network
+    from .snn.snn_wot import SNNWithoutTime
+
+    return SNNWithoutTime(network)
+
+
+def _cmd_ir_dump(args: argparse.Namespace) -> int:
+    from .ir import PLAN_KINDS, compile_model
+
+    if args.kind not in PLAN_KINDS:
+        print(
+            f"unknown model kind {args.kind!r}; pick from {list(PLAN_KINDS)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    plan = compile_model(_tiny_model_for_kind(args.kind), kind=args.kind)
+    if args.json:
+        print(json.dumps(plan.to_doc(), indent=2, sort_keys=True))
+    else:
+        print(plan.listing())
     return 0
 
 
@@ -917,6 +976,13 @@ def build_parser() -> argparse.ArgumentParser:
         "quarantined as poisonous",
     )
     loadtest.add_argument(
+        "--engine",
+        choices=("plan", "legacy"),
+        default="plan",
+        help="execution backend: compiled IR plans (default) or the "
+        "historical per-model runners",
+    )
+    loadtest.add_argument(
         "--no-verify",
         action="store_true",
         help="skip the served-vs-direct bit-identity check",
@@ -1011,6 +1077,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the trained-model cache directory",
     )
     learn_serve.set_defaults(fn=_cmd_learn_serve)
+
+    ir_dump = subparsers.add_parser(
+        "ir-dump",
+        help="print a model kind's compiled execution-IR plan "
+        "(exit 2 on unknown kind)",
+    )
+    ir_dump.add_argument(
+        "kind", help="model kind: mlp | mlp-q | snnwt | snnwot | snnbp"
+    )
+    ir_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan document as stable-keys JSON",
+    )
+    ir_dump.set_defaults(fn=_cmd_ir_dump)
 
     serve_stats = subparsers.add_parser(
         "serve-stats", help="pretty-print a serving stats JSON file"

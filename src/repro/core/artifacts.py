@@ -276,23 +276,9 @@ class ModelCache:
         key = cache_key(kind, config, dataset, train_params)
         path = self.path_for(key)
         if path.exists():
-            verdict = verify_digest_sidecar(path)
-            if verdict is False:
-                # Bit rot / tampering caught by the integrity sidecar:
-                # evict the entry *before* deserializing it, retrain,
-                # and overwrite with a fresh (re-digested) entry.
-                self.stats.corrupt_evictions += 1
-                self._evict(path)
-            else:
-                try:
-                    model = loader(path)
-                except (ReproError, OSError, ValueError) as _exc:
-                    # Corrupt / truncated / stale entry: retrain + overwrite.
-                    self.stats.errors += 1
-                else:
-                    self.stats.hits += 1
-                    self._touch(path)
-                    return model
+            model = load_verified(path, self.stats, loader)
+            if model is not None:
+                return model
         self.stats.misses += 1
         model = train_fn()
         try:
@@ -392,6 +378,36 @@ class ModelCache:
         return removed
 
 
+def load_verified(path: pathlib.Path, stats: CacheStats, load_fn: Callable):
+    """Sidecar-verified cache read shared by every on-disk store here.
+
+    One implementation of the hit protocol :class:`ModelCache` and
+    :class:`ArrayBundleCache` both follow: check the integrity sidecar
+    (a failed check evicts the entry *before* deserializing it), load
+    through ``load_fn``, count the hit and refresh LRU recency.
+    Returns the loaded value, or ``None`` when the caller must
+    recompute — cache-shaped failures (corruption, truncation, missing
+    members) are recorded in ``stats``, never raised.
+    """
+    verdict = verify_digest_sidecar(path)
+    if verdict is False:
+        # Bit rot / tampering caught by the integrity sidecar: evict
+        # the entry *before* deserializing it so the caller recomputes
+        # and overwrites with a fresh (re-digested) entry.
+        stats.corrupt_evictions += 1
+        ModelCache._evict(path)
+        return None
+    try:
+        value = load_fn(path)
+    except (ReproError, OSError, ValueError, KeyError):
+        # Corrupt / truncated / stale entry: recompute + overwrite.
+        stats.errors += 1
+        return None
+    stats.hits += 1
+    ModelCache._touch(path)
+    return value
+
+
 #: Process-wide cache instance (lazy — respects env overrides made
 #: before first use; tests reset it via :func:`reset_default_cache`).
 _DEFAULT_CACHE: Optional[ModelCache] = None
@@ -469,20 +485,14 @@ class ArrayBundleCache:
         """Load the bundle for ``key``, or compute + store it."""
         path = self.path_for(key)
         if path.exists():
-            verdict = verify_digest_sidecar(path)
-            if verdict is False:
-                self.stats.corrupt_evictions += 1
-                ModelCache._evict(path)
-            else:
-                try:
-                    with np.load(path) as payload:
-                        bundle = {name: payload[name] for name in payload.files}
-                except (OSError, ValueError, KeyError):
-                    self.stats.errors += 1
-                else:
-                    self.stats.hits += 1
-                    ModelCache._touch(path)
-                    return bundle
+
+            def load_bundle(entry) -> Dict[str, np.ndarray]:
+                with np.load(entry) as payload:
+                    return {name: payload[name] for name in payload.files}
+
+            bundle = load_verified(path, self.stats, load_bundle)
+            if bundle is not None:
+                return bundle
         self.stats.misses += 1
         bundle = compute()
         try:

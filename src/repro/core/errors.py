@@ -44,6 +44,17 @@ class ExperimentTimeoutError(ExperimentError):
     """An experiment attempt exceeded its wall-clock budget."""
 
 
+class CompileError(ReproError):
+    """A model cannot be lowered onto the execution IR.
+
+    Raised by :mod:`repro.ir.compile` for unknown model kinds and for
+    models whose forward pass cannot be expressed as a pure plan (e.g.
+    an attached fault injector that corrupts spikes at run time).
+    Callers that can fall back to the legacy engines catch this and do
+    so; the model itself is never left in a modified state.
+    """
+
+
 class ServingError(ReproError):
     """The inference serving layer could not accept or complete a request."""
 

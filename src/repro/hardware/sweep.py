@@ -945,6 +945,23 @@ def scalar_walk(grid: SweepGrid, combos: Optional[Sequence[SweepCombo]] = None):
             )
 
 
+def sample_with_cyclesim(result, models, images, **kwargs):
+    """Price a sampled sub-grid of ``result`` with cycle-accurate numbers.
+
+    The analytic sweep answers "what does this design cost?"; this
+    hook answers "what does the cycle-accurate simulator say?" for a
+    reproducible sample of the grid, cheaply enough to use inside a
+    sweep: one fold-invariant label pass per model family plus
+    closed-form clean-path cycle counts per point, instead of a
+    per-point per-image simulator walk.  Delegates to
+    :func:`repro.ir.cyclesim.sample_with_cyclesim` (see its docstring
+    for arguments and payload shape).
+    """
+    from ..ir.cyclesim import sample_with_cyclesim as _sample
+
+    return _sample(result, models, images, **kwargs)
+
+
 # ---------------------------------------------------------------------------
 # Fast Pareto frontier
 # ---------------------------------------------------------------------------

@@ -1,0 +1,243 @@
+"""IR-driven cycle-accurate pricing of sampled design points.
+
+The folded cycle-accurate simulators (:mod:`repro.hardware.cyclesim`)
+walk one image at a time, which priced a single design point honestly
+but made cycle-accurate *sweep* numbers unaffordable.  Two clean-path
+facts make a fast path possible without losing bit-accuracy:
+
+* **Labels are fold-invariant.**  A clean folded datapath computes the
+  same arithmetic at every ``ni`` (integer accumulation is
+  associative; the timed SNN's behavioural simulation never consults
+  ``ni``), so one label pass per *family* covers every sampled fold
+  factor and node.
+* **Cycles are closed-form.**  Every clean per-image trace is the
+  constant the simulator's ``cycles_per_image()`` formula gives —
+  Table 7's expressions — so per-point cycle counts are arithmetic,
+  not simulation.
+
+The label pass itself is IR-driven where a plan expresses the
+datapath exactly: the quantized MLP reuses the standard ``mlp-q``
+lowering (the clean folded pipeline *is* ``QuantizedMLP.predict``),
+the no-time SNN lowers to a small counts->integer-GEMV->argmax plan
+over the simulator's rounded weight codes, and the timed SNN — whose
+hardware LFSR stream is inherently sequential — runs its behavioural
+simulator once per family.
+
+:func:`sample_with_cyclesim` is the sweep hook
+(:func:`repro.hardware.sweep.sample_with_cyclesim` re-exports it):
+given an analytic :class:`~repro.hardware.sweep.SweepResult` and
+trained models, it samples matching design points and attaches
+cycle-accurate cycles / latency / accuracy to each.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import HardwareModelError
+from . import ops
+from .compile import _Builder, compile_model
+from .execute import run_plan
+from .ops import CompiledPlan
+
+#: Sweep families this module can price (``SNN-online`` has no
+#: cycle-accurate simulator; analytic numbers stand alone there).
+CYCLESIM_FAMILIES = ("MLP", "SNNwot", "SNNwt")
+
+
+def _lower_snnwot_codes(model) -> CompiledPlan:
+    """The no-time SNN's *hardware* readout as an IR plan.
+
+    Unlike the software ``snnwot`` lowering (float weights), the
+    folded datapath accumulates the rounded int64 weight codes — the
+    exact clean-path arithmetic of
+    :class:`~repro.hardware.cyclesim.FoldedSNNwotSimulator`.  Counts
+    and codes are small integers, so the float64 GEMV is exact and the
+    argmax matches the integer accumulate bit-for-bit.
+    """
+    config = model.network.config
+    b = _Builder("snnwot-codes")
+    b.buffer("x", "input")
+    b.emit(ops.LOAD_V, "x", transform="raw")
+    b.const("weight_codes", np.round(model.weights).astype(np.int64))
+    b.const("neuron_labels", np.asarray(model.network.neuron_labels))
+    c = b.buffer("c", "temp")
+    b.emit(
+        ops.COUNTS, c, ("x",),
+        duration=float(config.t_period),
+        max_rate_interval=float(config.min_spike_interval),
+    )
+    p = b.buffer("p", "temp")
+    b.emit(ops.GEMV, p, (c, "weight_codes"), cast="int64")
+    b.buffer("winner", "temp", "int64")
+    b.emit(ops.THRESH, "winner", ("p",))
+    b.buffer("y", "temp", "int64")
+    b.emit(ops.TAKE, "y", ("winner", "neuron_labels"))
+    b.store("labels", "y")
+    return b.finish()
+
+
+def cycle_plan(family: str, model) -> Optional[CompiledPlan]:
+    """The IR plan of one family's clean folded readout.
+
+    ``None`` for the timed SNN: its hardware LFSR stream is stateful
+    across images, so the label pass runs the behavioural simulator
+    (once per family) instead of a plan.
+    """
+    if family == "MLP":
+        return compile_model(model, kind="mlp-q")
+    if family == "SNNwot":
+        return _lower_snnwot_codes(model)
+    if family == "SNNwt":
+        return None
+    raise HardwareModelError(
+        f"no cycle-accurate path for family {family!r}; "
+        f"known: {', '.join(CYCLESIM_FAMILIES)}"
+    )
+
+
+def family_labels(
+    family: str, model, images: np.ndarray, seed: int = 1
+) -> np.ndarray:
+    """One fold-invariant label pass for a family's trained model."""
+    images = np.atleast_2d(np.asarray(images))
+    plan = cycle_plan(family, model)
+    if plan is not None:
+        return run_plan(plan, images)
+    from ..hardware.cyclesim import FoldedSNNwtSimulator
+
+    # ni only shapes the reported cycle count, never the behaviour;
+    # any legal fold factor yields the same label sequence.
+    return FoldedSNNwtSimulator(model, ni=1, seed=seed).predict(images)
+
+
+def closed_form_cycles(family: str, model, ni: int) -> int:
+    """Clean-path cycles per image at fold factor ``ni`` (Table 7)."""
+    if ni < 1:
+        raise HardwareModelError(f"folded datapaths need ni >= 1, got {ni}")
+    if family == "MLP":
+        config = model.config
+        return (
+            math.ceil(config.n_inputs / ni) + 1
+            + math.ceil(config.n_hidden / ni) + 1
+        )
+    if family == "SNNwot":
+        from ..hardware.cyclesim import FoldedSNNwotSimulator
+
+        config = model.config
+        return math.ceil(config.n_inputs / ni) + FoldedSNNwotSimulator.FLUSH_CYCLES
+    if family == "SNNwt":
+        config = model.config
+        return math.ceil(config.n_inputs / ni) * int(config.t_period)
+    raise HardwareModelError(
+        f"no cycle-accurate path for family {family!r}; "
+        f"known: {', '.join(CYCLESIM_FAMILIES)}"
+    )
+
+
+def _model_hidden(family: str, model) -> int:
+    if family == "MLP":
+        return int(model.config.n_hidden)
+    return int(model.config.n_neurons)
+
+
+def sample_with_cyclesim(
+    result,
+    models: Dict[str, Any],
+    images: np.ndarray,
+    labels: Optional[Sequence[int]] = None,
+    n_samples: int = 16,
+    seed: int = 0,
+    sim_seed: int = 1,
+) -> Dict[str, Any]:
+    """Price a sampled sub-grid of ``result`` with cycle-accurate numbers.
+
+    Args:
+        result: an analytic :class:`~repro.hardware.sweep.SweepResult`.
+        models: ``family -> trained model`` (``MLP`` expects the
+            :class:`~repro.mlp.quantized.QuantizedMLP`, ``SNNwot`` the
+            :class:`~repro.snn.snn_wot.SNNWithoutTime`, ``SNNwt`` the
+            :class:`~repro.snn.network.SpikingNetwork`).
+        images: evaluation batch the label passes run over.
+        labels: optional ground truth; adds per-family accuracy.
+        n_samples: design points to sample (without replacement) from
+            the rows whose family has a model, whose topology matches
+            it, and whose datapath is folded (``ni >= 1``).
+        seed: sampling RNG root (reproducible sub-grids).
+        sim_seed: the timed SNN simulator's LFSR seed.
+
+    Returns a JSON-ready document: sampled points (each the analytic
+    record plus ``sim_cycles_per_image`` / ``sim_latency_us``), one
+    label-pass summary per family, and the families skipped because no
+    grid row matched their trained topology.
+    """
+    from ..core.rng import child_rng
+
+    unknown = sorted(set(models) - set(CYCLESIM_FAMILIES))
+    if unknown:
+        raise HardwareModelError(
+            f"no cycle-accurate path for family(ies) {unknown}; "
+            f"known: {', '.join(CYCLESIM_FAMILIES)}"
+        )
+    if n_samples < 1:
+        raise HardwareModelError(f"n_samples must be >= 1, got {n_samples}")
+    images = np.atleast_2d(np.asarray(images))
+    candidates: list = []
+    skipped: list = []
+    for family in sorted(models, key=CYCLESIM_FAMILIES.index):
+        code = result.families.index(family)
+        rows = np.flatnonzero(
+            (result.family_code == code)
+            & (result.ni >= 1)
+            & (result.hidden == _model_hidden(family, models[family]))
+        )
+        if rows.size:
+            candidates.extend(int(i) for i in rows)
+        else:
+            skipped.append(family)
+    if not candidates:
+        raise HardwareModelError(
+            "no sampleable design points: no folded grid row matches any "
+            "trained model's topology"
+        )
+    rng = child_rng(seed, "cyclesim-sample")
+    take = min(n_samples, len(candidates))
+    chosen = sorted(
+        int(i)
+        for i in rng.choice(len(candidates), size=take, replace=False)
+    )
+    label_passes: Dict[str, np.ndarray] = {}
+    families_doc: Dict[str, Any] = {}
+    points = []
+    for slot in chosen:
+        i = candidates[slot]
+        family = result.family_of(i)
+        model = models[family]
+        if family not in label_passes:
+            predicted = family_labels(family, model, images, seed=sim_seed)
+            label_passes[family] = predicted
+            families_doc[family] = {
+                "n_images": int(len(images)),
+                "accuracy": (
+                    round(float(np.mean(predicted == np.asarray(labels))), 4)
+                    if labels is not None
+                    else None
+                ),
+            }
+        cycles = closed_form_cycles(family, model, int(result.ni[i]))
+        point = result.point(i)
+        point["ni"] = int(result.ni[i])
+        point["sim_cycles_per_image"] = int(cycles)
+        point["sim_latency_us"] = float(cycles * result.delay_ns[i] * 1e-3)
+        points.append(point)
+    return {
+        "n_sampled": len(points),
+        "seed": seed,
+        "sim_seed": sim_seed,
+        "families": families_doc,
+        "skipped_families": skipped,
+        "points": points,
+    }

@@ -1,0 +1,72 @@
+"""The NumPy-serial plan interpreter — the single golden model.
+
+Feeds one ``(1, n)`` row block at a time through the shared instruction
+walk, so every matrix product is a one-row GEMM and the timed SNN runs
+one image through the grid per step.  This is the reference the
+per-model-kind golden tests pin to the retained legacy oracles, and the
+reference the vectorized executor is asserted bitwise-equal to — the
+two assertions that replace the old per-pair equivalence suites.
+
+Row blocks stay 2-D on purpose: float64 ``X @ W.T`` rows are bitwise
+independent of the batch they ride in (the dgemm row-independence the
+PR 4 serving oracles already rely on), so per-row results concatenate
+into exactly the batch result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import ops
+from .ops import CompiledPlan
+from .runtime import (
+    ExecutionContext,
+    execute_instructions,
+    gather_outputs,
+    resolve_indices,
+)
+
+
+def run_plan_serial(
+    plan: CompiledPlan,
+    images: Optional[np.ndarray] = None,
+    indices: Optional[Sequence[int]] = None,
+    ctx: Optional[ExecutionContext] = None,
+):
+    """Execute a plan one input row at a time (the golden model).
+
+    Returns the plan's output array (or a tuple for multi-output
+    programs), identical in shape to the vectorized executor's result.
+    Plans with no LOAD_V (pure generator programs, e.g. LFSR_FILL
+    property tests) execute once — their dataflow has no batch axis.
+    """
+    if ctx is None:
+        ctx = ExecutionContext(plan)
+    has_input = any(inst.op == ops.LOAD_V for inst in plan.instructions)
+    if not has_input:
+        env = execute_instructions(plan, None, [], ctx, vectorized=False)
+        return gather_outputs(plan, env)
+    block = np.atleast_2d(np.asarray(images))
+    row_indices = resolve_indices(plan, block, indices)
+    per_row = []
+    for i in range(len(block)):
+        env = execute_instructions(
+            plan,
+            block[i : i + 1],
+            row_indices[i : i + 1],
+            ctx,
+            vectorized=False,
+        )
+        per_row.append(env)
+    outputs = []
+    for name in plan.outputs:
+        outputs.append(
+            np.concatenate([env[name] for env in per_row], axis=0)
+            if per_row
+            else np.empty((0,), dtype=np.int64)
+        )
+    if len(outputs) == 1:
+        return outputs[0]
+    return tuple(outputs)

@@ -1,0 +1,238 @@
+"""Shared plan-execution machinery for the two IR executors.
+
+Both executors walk the same instruction stream with the same kernels;
+they differ only in *shape discipline* — the serial interpreter (the
+golden model) feeds one ``(1, n)`` row block at a time, the vectorized
+executor feeds the whole ``(B, n)`` batch — and in which variant of the
+two stateful ops they run (LIF_STEP per-image vs batched grid,
+LFSR_FILL scalar bit-walk vs bulk leap).  Everything else is the same
+code path, which is what makes the bit-identity contract a property of
+this module instead of a per-pair test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import CompileError
+from . import kernels, ops
+from .ops import CompiledPlan, Instruction
+
+
+class ExecutionContext:
+    """Mutable per-executor state for one plan: shim network + trains.
+
+    Plans are immutable; everything that must persist *across* calls —
+    the rebuilt timed-SNN shim and its per-index encoded-spike-train
+    cache — lives here.  Serving runners hold one context for the life
+    of the runner, so served traffic pays the ~0.6 ms/image encoding
+    cost once per index, exactly like the legacy ``SNNwtRunner``.
+    """
+
+    def __init__(self, plan: CompiledPlan):
+        self.plan = plan
+        self._network = None
+        self._trains: Dict[int, Any] = {}
+
+    # -- timed-SNN support ----------------------------------------------
+
+    @property
+    def network(self):
+        """The LIF grid rebuilt around the plan's read-only consts."""
+        if self._network is None:
+            meta = self.plan.meta
+            if "config" not in meta:
+                raise CompileError(
+                    f"plan {self.plan.kind!r} has LIF_STEP but no config "
+                    "metadata"
+                )
+            from ..snn.network import SpikingNetwork
+
+            network = SpikingNetwork(meta["config"], coder=meta.get("coder"))
+            network.weights = self.plan.consts["weights"]
+            # Inference never adjusts thresholds; the read-only view
+            # turns any stray write into a hard error instead of a
+            # silent divergence (same contract as the worker shards).
+            network.population.thresholds = self.plan.consts["thresholds"]
+            network.neuron_labels = self.plan.consts["neuron_labels"]
+            self._network = network
+        return self._network
+
+    def preload_trains(self, trains: Dict[int, Any]) -> int:
+        """Seed the per-index train cache (shipped/warmed trains)."""
+        self._trains.update(trains)
+        return len(self._trains)
+
+    def cached_train_count(self) -> int:
+        return len(self._trains)
+
+    def trains_for(
+        self, rows: np.ndarray, indices: Sequence[int]
+    ) -> List[Any]:
+        """Per-index spike trains, encoding (and caching) the missing ones.
+
+        Encoding uses ``child_rng(seed, stream, index)`` — the PR 2
+        per-image scheme — so a train depends only on ``(seed, index)``
+        and caching is sound.
+        """
+        from ..snn.batched import encode_indexed
+
+        meta = self.plan.meta
+        missing = [
+            (j, int(index))
+            for j, index in enumerate(indices)
+            if int(index) not in self._trains
+        ]
+        if missing:
+            fresh = encode_indexed(
+                self.network,
+                np.atleast_2d(rows)[[j for j, _ in missing]],
+                [index for _, index in missing],
+                seed=meta.get("seed"),
+                stream=meta.get("stream"),
+            )
+            for (_, index), train in zip(missing, fresh):
+                self._trains[index] = train
+        return [self._trains[int(index)] for index in indices]
+
+
+def _act(inst: Instruction, env: Dict[str, np.ndarray]) -> np.ndarray:
+    x = env[inst.srcs[0]]
+    kernel = inst.param("kernel")
+    if kernel == "sigmoid":
+        return kernels.sigmoid(x, float(inst.param("slope")))
+    if kernel == "step":
+        return kernels.step(x)
+    if kernel == "lut":
+        return kernels.lut_evaluate(
+            x,
+            env[inst.srcs[1]],
+            env[inst.srcs[2]],
+            float(inst.param("x_min")),
+            float(inst.param("x_max")),
+            int(inst.param("segments")),
+        )
+    raise CompileError(f"unknown ACT kernel {kernel!r}")
+
+
+def _lif_step(
+    inst: Instruction,
+    env: Dict[str, np.ndarray],
+    indices: Sequence[int],
+    ctx: ExecutionContext,
+    vectorized: bool,
+) -> np.ndarray:
+    from ..snn.batched import DEFAULT_BATCH_SIZE, batch_winners
+
+    rows = env[inst.srcs[0]]
+    for index in indices:
+        if int(index) < 0:
+            raise CompileError(
+                "LIF_STEP needs a dataset index per row; the per-image "
+                "RNG stream is keyed by index"
+            )
+    trains = ctx.trains_for(rows, indices)
+    if vectorized:
+        winners = batch_winners(
+            ctx.network, trains, batch_size=DEFAULT_BATCH_SIZE
+        )
+        return np.asarray(winners, dtype=np.int64)
+    # Golden model: one image through the grid at a time.
+    winners = [
+        int(batch_winners(ctx.network, [train], batch_size=1)[0])
+        for train in trains
+    ]
+    return np.asarray(winners, dtype=np.int64)
+
+
+def execute_instructions(
+    plan: CompiledPlan,
+    inputs: Optional[np.ndarray],
+    indices: Sequence[int],
+    ctx: ExecutionContext,
+    vectorized: bool,
+) -> Dict[str, np.ndarray]:
+    """Walk one plan over one input block; returns the final env."""
+    env: Dict[str, np.ndarray] = {}
+    for inst in plan.instructions:
+        if inst.op == ops.LOAD_V:
+            if inputs is None:
+                raise CompileError(
+                    f"plan {plan.kind!r} expects an input batch"
+                )
+            block = np.atleast_2d(np.asarray(inputs))
+            if inst.param("transform") == "norm01":
+                block = block.astype(np.float64) / 255.0
+            env[inst.dst] = block
+        elif inst.op == ops.LOAD_M:
+            env[inst.dst] = plan.consts[inst.dst]
+        elif inst.op == ops.GEMV:
+            env[inst.dst] = kernels.gemv(
+                env[inst.srcs[0]], env[inst.srcs[1]],
+                cast=inst.param("cast", ""),
+            )
+        elif inst.op == ops.ADD:
+            env[inst.dst] = env[inst.srcs[0]] + env[inst.srcs[1]]
+        elif inst.op == ops.SCALE:
+            env[inst.dst] = kernels.scale(
+                env[inst.srcs[0]], float(inst.param("scale"))
+            )
+        elif inst.op == ops.RELU:
+            env[inst.dst] = kernels.relu(env[inst.srcs[0]])
+        elif inst.op == ops.ACT:
+            env[inst.dst] = _act(inst, env)
+        elif inst.op == ops.QUANT:
+            env[inst.dst] = kernels.quantize(
+                env[inst.srcs[0]],
+                float(inst.param("scale")),
+                int(inst.param("min_code")),
+                int(inst.param("max_code")),
+            )
+        elif inst.op == ops.COUNTS:
+            env[inst.dst] = kernels.counts(
+                env[inst.srcs[0]],
+                float(inst.param("duration")),
+                float(inst.param("max_rate_interval")),
+            )
+        elif inst.op == ops.LIF_STEP:
+            env[inst.dst] = _lif_step(inst, env, indices, ctx, vectorized)
+        elif inst.op == ops.THRESH:
+            env[inst.dst] = kernels.argmax_rows(env[inst.srcs[0]])
+        elif inst.op == ops.TAKE:
+            env[inst.dst] = np.asarray(env[inst.srcs[1]])[env[inst.srcs[0]]]
+        elif inst.op == ops.LFSR_FILL:
+            env[inst.dst] = kernels.lfsr_gaussian(
+                tuple(inst.param("seeds")),
+                int(inst.param("resolution")),
+                int(inst.param("count")),
+                vectorized=vectorized,
+            )
+        elif inst.op == ops.STORE:
+            env[inst.dst] = env[inst.srcs[0]]
+        else:  # pragma: no cover - OPCODES is closed
+            raise CompileError(f"unhandled opcode {inst.op!r}")
+    return env
+
+
+def resolve_indices(
+    plan: CompiledPlan,
+    images: Optional[np.ndarray],
+    indices: Optional[Sequence[int]],
+) -> List[int]:
+    """Default per-row dataset indices (``range(B)``, like predict_batch)."""
+    if indices is not None:
+        return [int(i) for i in indices]
+    if images is None:
+        return []
+    return list(range(len(np.atleast_2d(np.asarray(images)))))
+
+
+def gather_outputs(
+    plan: CompiledPlan, env: Dict[str, np.ndarray]
+):
+    results = tuple(env[name] for name in plan.outputs)
+    if len(results) == 1:
+        return results[0]
+    return results

@@ -155,30 +155,113 @@ class SNNwtRunner(ModelRunner):
         return np.asarray(self.network.neuron_labels)[winners]
 
 
+class PlanRunner(ModelRunner):
+    """Serve a :class:`~repro.ir.ops.CompiledPlan` (the default engine).
+
+    One long-lived :class:`~repro.ir.runtime.ExecutionContext` carries
+    the timed SNN's per-index spike-train cache across requests, so a
+    plan runner has exactly the :class:`SNNwtRunner` warm-cache
+    behaviour — and deterministic plans simply ignore the context.
+    Bit-identity to the legacy runners is the IR's per-kind golden
+    contract (``tests/ir/test_golden.py``).
+    """
+
+    def __init__(self, plan, seed: SeedLike = None):
+        from ..ir.runtime import ExecutionContext
+
+        if seed is not None and plan.requires_indices:
+            # The legacy SNNwtRunner lets callers re-root the RNG; the
+            # plan carries its seed in metadata, so rebind a copy (the
+            # fresh plan computes its own — different — signature).
+            plan = plan.__class__(
+                plan.kind,
+                plan.instructions,
+                plan.buffers,
+                plan.consts,
+                meta={**plan.meta, "seed": seed},
+                outputs=plan.outputs,
+            )
+        self.plan = plan
+        self._ctx = ExecutionContext(plan)
+
+    def precode(self, indices: Sequence[int], images: np.ndarray) -> int:
+        if not self.plan.requires_indices:
+            return 0
+        before = self._ctx.cached_train_count()
+        self._ctx.trains_for(np.atleast_2d(images), indices)
+        return self._ctx.cached_train_count() - before
+
+    def preload_trains(self, trains: Dict[int, Any]) -> int:
+        """Seed the context with shipped/cached trains (shard spawn)."""
+        return self._ctx.preload_trains(trains)
+
+    def run(self, indices: Sequence[int], images: np.ndarray) -> np.ndarray:
+        from ..ir.execute import run_plan
+
+        if self.plan.requires_indices:
+            for index in indices:
+                if int(index) < 0:
+                    raise ServingError(
+                        "snnwt serving needs a dataset index per request; "
+                        "the per-request RNG stream is keyed by index"
+                    )
+        return np.asarray(
+            run_plan(
+                self.plan,
+                np.atleast_2d(images),
+                indices=indices,
+                ctx=self._ctx,
+            )
+        )
+
+
+#: Engines ``build_runners`` / the pool / the CLI accept.
+ENGINES = ("plan", "legacy")
+
+
+def _legacy_runner(name: str, model, seed: SeedLike) -> ModelRunner:
+    from ..snn.network import SpikingNetwork
+
+    if isinstance(model, SpikingNetwork):
+        return SNNwtRunner(model, seed=seed)
+    if hasattr(model, "predict_images"):
+        return ArrayRunner(model.predict_images)
+    if hasattr(model, "predict"):
+        return ArrayRunner(model.predict)
+    raise ServingError(
+        f"model {name!r} ({type(model).__name__}) has no predict API"
+    )
+
+
 def build_runners(
-    models: Dict[str, Any], seed: SeedLike = None
+    models: Dict[str, Any], seed: SeedLike = None, engine: str = "plan"
 ) -> Dict[str, ModelRunner]:
     """Wrap a ``name -> trained model`` mapping into runners.
 
-    Dispatches on model type: :class:`~repro.snn.network.SpikingNetwork`
-    gets the caching :class:`SNNwtRunner`; everything else that exposes
-    ``predict_images`` (the MLPs) or ``predict`` (SNNwot, SNN+BP) gets
-    an :class:`ArrayRunner`.
+    ``engine="plan"`` (the default) compiles each model onto the
+    execution IR and serves its :class:`CompiledPlan`; models that
+    refuse to compile (live fault injectors) fall back to their legacy
+    runner per model, so a partially-faulted fleet still serves.
+    ``engine="legacy"`` is the escape hatch: the pre-IR dispatch —
+    :class:`SNNwtRunner` for :class:`~repro.snn.network.SpikingNetwork`,
+    :class:`ArrayRunner` over ``predict_images``/``predict`` otherwise.
     """
-    from ..snn.network import SpikingNetwork
-
+    if engine not in ENGINES:
+        raise ServingError(
+            f"unknown serving engine {engine!r}; use one of {ENGINES}"
+        )
     runners: Dict[str, ModelRunner] = {}
     for name, model in models.items():
-        if isinstance(model, SpikingNetwork):
-            runners[name] = SNNwtRunner(model, seed=seed)
-        elif hasattr(model, "predict_images"):
-            runners[name] = ArrayRunner(model.predict_images)
-        elif hasattr(model, "predict"):
-            runners[name] = ArrayRunner(model.predict)
-        else:
-            raise ServingError(
-                f"model {name!r} ({type(model).__name__}) has no predict API"
-            )
+        if engine == "plan":
+            from ..core.errors import CompileError
+            from ..ir.plan_cache import get_plan
+
+            try:
+                runners[name] = PlanRunner(get_plan(model), seed=seed)
+                continue
+            except CompileError:
+                pass  # fall back to the legacy runner for this model
+        runners[name] = _legacy_runner(name, model, seed)
     return runners
 
 
@@ -255,10 +338,11 @@ class InferenceServer:
         policy: Optional[BatchPolicy] = None,
         images: Optional[np.ndarray] = None,
         seed: SeedLike = None,
+        engine: str = "plan",
     ) -> "InferenceServer":
         """In-process server over trained models (see :func:`build_runners`)."""
         return cls(
-            runners=build_runners(models, seed=seed),
+            runners=build_runners(models, seed=seed, engine=engine),
             policy=policy,
             images=images,
         )
@@ -380,7 +464,9 @@ class InferenceServer:
 
     # -- model lifecycle ------------------------------------------------
 
-    def swap_model(self, name: str, model, seed: SeedLike = None) -> Dict[str, Any]:
+    def swap_model(
+        self, name: str, model, seed: SeedLike = None, engine: str = "plan"
+    ) -> Dict[str, Any]:
         """Replace one served model's weights without dropping requests.
 
         The batcher, metrics and breaker for ``name`` stay in place —
@@ -401,7 +487,7 @@ class InferenceServer:
         if self.pool is not None:
             result = self.pool.hot_swap({name: model})
             return {"model": name, "backend": "pool", **result}
-        runner = build_runners({name: model}, seed=seed)[name]
+        runner = build_runners({name: model}, seed=seed, engine=engine)[name]
         self.runners[name] = runner
         return {"model": name, "backend": "runners"}
 
@@ -436,6 +522,8 @@ class InferenceServer:
 
     def stats(self) -> Dict[str, Any]:
         """Per-model metric snapshots (the ``serve-stats`` payload)."""
+        from ..ir.plan_cache import plan_cache_stats
+
         payload: Dict[str, Any] = {
             "models": {
                 name: {
@@ -444,8 +532,16 @@ class InferenceServer:
                     "breaker": self.breakers[name].snapshot(),
                 }
                 for name in self.models
-            }
+            },
+            "plan_cache": plan_cache_stats(),
         }
+        if self.runners:
+            payload["engines"] = {
+                name: (
+                    "plan" if isinstance(runner, PlanRunner) else "legacy"
+                )
+                for name, runner in sorted(self.runners.items())
+            }
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
         return payload

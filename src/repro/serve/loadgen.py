@@ -390,6 +390,7 @@ def run_loadtest(
     deadline_ms: Optional[float] = None,
     max_retries: int = 2,
     supervise: bool = True,
+    engine: str = "plan",
 ) -> Dict[str, Any]:
     """Train, serve, load, measure; returns the JSON-ready payload.
 
@@ -399,9 +400,13 @@ def run_loadtest(
     memory — supervised (dead shards respawn) unless ``supervise``
     is off.  ``deadline_ms`` attaches a per-request latency budget;
     ``max_retries`` bounds per-task shard-death requeues before
-    quarantine.  SIGTERM/SIGINT drain gracefully: load stops, queues
-    flush, and the metrics collected so far are still returned (the
-    payload's ``drained`` flag records the interruption).
+    quarantine.  ``engine`` selects the execution backend: ``"plan"``
+    (default) serves compiled IR plans, ``"legacy"`` the historical
+    per-model runners; both are verified bit-identical against direct
+    predictions when ``verify`` is on.  SIGTERM/SIGINT drain
+    gracefully: load stops, queues flush, and the metrics collected so
+    far are still returned (the payload's ``drained`` flag records the
+    interruption).
     """
     if mode not in ("closed", "open"):
         raise ServingError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -424,11 +429,16 @@ def run_loadtest(
             warm=warm,
             max_task_retries=max_retries,
             supervisor=SupervisorPolicy(seed=seed) if supervise else None,
+            engine=engine,
         )
         server = InferenceServer(pool=pool, policy=policy, images=test_images)
     else:
         server = InferenceServer.from_models(
-            built["models"], policy=policy, images=test_images, seed=seed
+            built["models"],
+            policy=policy,
+            images=test_images,
+            seed=seed,
+            engine=engine,
         )
     payload: Dict[str, Any] = {
         "loadtest": {
@@ -444,6 +454,7 @@ def run_loadtest(
             "deadline_ms": deadline_ms,
             "max_retries": max_retries,
             "seed": seed,
+            "engine": engine,
             "n_test_images": int(len(test_images)),
         },
         "host": host_metadata(),
@@ -493,6 +504,9 @@ def run_loadtest(
             payload["drained"] = drain.triggered
             if pool is not None:
                 payload["pool"] = pool.stats()
+            from ..ir import plan_cache_stats
+
+            payload["plan_cache"] = plan_cache_stats()
             payload["health"] = server.health()
     finally:
         server.close()

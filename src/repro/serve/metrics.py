@@ -250,9 +250,26 @@ def render_stats(payload: Dict[str, Any]) -> str:
                 )
             )
             lines.append(f"  batch hist (size:count):  {rendered}")
+    plan_cache = payload.get("plan_cache")
+    if isinstance(plan_cache, dict):
+        lines.append("plan cache:")
+        lines.append(
+            "  plans:     "
+            f"{plan_cache.get('plan_hits', 0)} hit(s), "
+            f"{plan_cache.get('plan_misses', 0)} miss(es), "
+            f"{plan_cache.get('plan_compiles', 0)} compile(s)"
+        )
+        lines.append(
+            "  trains:    "
+            f"{plan_cache.get('trains_hits', 0)} hit(s), "
+            f"{plan_cache.get('trains_misses', 0)} miss(es)"
+        )
     pool = payload.get("pool")
     if isinstance(pool, dict):
         lines.append("pool:")
+        engine = pool.get("engine")
+        if engine:
+            lines.append(f"  engine:    {engine}")
         lines.append(
             "  shards:    "
             f"{len(pool.get('alive_shards', []))} alive of "
@@ -260,6 +277,14 @@ def render_stats(payload: Dict[str, Any]) -> str:
             f"(respawns {pool.get('respawns', 0)}, "
             f"wedge kills {pool.get('wedge_kills', 0)})"
         )
+        spawn = pool.get("spawn_ready_seconds")
+        if isinstance(spawn, dict) and spawn.get("count"):
+            lines.append(
+                "  spawn:     "
+                f"{spawn.get('count', 0)} come-up(s), "
+                f"mean {round(spawn.get('mean', 0.0) * 1e3, 1)}ms, "
+                f"max {round(spawn.get('max', 0.0) * 1e3, 1)}ms"
+            )
         lines.append(
             "  tasks:     "
             f"{pool.get('requeues', 0)} requeued, "

@@ -101,6 +101,88 @@ _WEDGE = "__wedge__"
 # ---------------------------------------------------------------------------
 
 
+def _publish_plan(
+    name: str,
+    model,
+    arrays: Dict[str, np.ndarray],
+    seed: SeedLike,
+    images: Optional[np.ndarray],
+    warm: bool,
+) -> Dict[str, Any]:
+    """Describe ``model`` as a compiled plan (consts + trains in shm).
+
+    The spec ships the small plan *skeleton* (instructions, buffers,
+    metadata, signature); the const arrays travel through the bundle
+    under ``{name}/plan/consts/...``.  For the timed SNN with a
+    published dataset and ``warm=True``, the parent also ships the
+    whole encoded spike-train set (CSR arrays, from the content-
+    addressed trains cache) under ``{name}/plan/trains/...`` — shards
+    preload it instead of re-encoding the dataset each, which is where
+    the faster spawn->ready comes from.
+
+    Raises :class:`~repro.core.errors.CompileError` for models that
+    cannot lower (live fault injectors); the caller falls back to the
+    legacy publish for that model.
+    """
+    from ..ir.plan_cache import get_plan, trains_arrays_for_shipping
+
+    plan = get_plan(model)
+    if seed is not None and plan.requires_indices:
+        # Bake the pool's RNG root into the shipped plan so shards and
+        # shipped trains agree (mirrors SNNwtRunner's seed override).
+        plan = plan.__class__(
+            plan.kind,
+            plan.instructions,
+            plan.buffers,
+            plan.consts,
+            meta={**plan.meta, "seed": seed},
+            outputs=plan.outputs,
+        )
+    for cname, value in plan.consts.items():
+        arrays[f"{name}/plan/consts/{cname}"] = np.asarray(value)
+    spec: Dict[str, Any] = {
+        "kind": "plan",
+        "skeleton": plan.skeleton(),
+        "trains": False,
+    }
+    if warm and images is not None and plan.requires_indices:
+        for key, value in trains_arrays_for_shipping(plan, images).items():
+            arrays[f"{name}/plan/trains/{key}"] = value
+        spec["trains"] = True
+    return spec
+
+
+def _rebuild_plan_runner(name: str, spec: Dict[str, Any], bundle):
+    """Worker-side: rebind the shipped plan and preload its trains."""
+    from ..ir.ops import CompiledPlan
+    from ..ir.plan_cache import unpack_trains
+    from .engine import PlanRunner
+
+    skeleton = spec["skeleton"]
+    consts = {
+        cname: bundle[f"{name}/plan/consts/{cname}"]
+        for cname in skeleton["const_names"]
+    }
+    plan = CompiledPlan.from_skeleton(skeleton, consts)
+    runner = PlanRunner(plan)
+    if spec.get("trains"):
+        keys = (
+            "indices",
+            "offsets",
+            "times",
+            "inputs",
+            "modulation",
+            "n_inputs",
+            "durations",
+        )
+        runner.preload_trains(
+            unpack_trains(
+                {key: bundle[f"{name}/plan/trains/{key}"] for key in keys}
+            )
+        )
+    return runner
+
+
 def _publish_model(name: str, model, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
     """Describe ``model`` as (small picklable meta, big arrays in shm).
 
@@ -253,13 +335,22 @@ def _shard_main(
         *bundle_spec, untrack=(start_method != "fork")
     )
     try:
-        models = {
-            name: rebuild_model(name, spec, bundle)
-            for name, spec in model_specs.items()
-        }
-        runners = build_runners(models, seed=seed)
+        runners = {}
+        legacy_models = {}
+        for name, spec in model_specs.items():
+            if spec.get("kind") == "plan":
+                runners[name] = _rebuild_plan_runner(name, spec, bundle)
+            else:
+                legacy_models[name] = rebuild_model(name, spec, bundle)
+        if legacy_models:
+            runners.update(
+                build_runners(legacy_models, seed=seed, engine="legacy")
+            )
         images = bundle[_DATASET_KEY] if _DATASET_KEY in bundle else None
         if warm and images is not None:
+            # Plan runners with shipped trains find every index already
+            # cached — this loop is then a no-op instead of the
+            # dominant (re-encode-the-dataset) cold-start cost.
             for runner in runners.values():
                 runner.precode(range(len(images)), images)
         out_q.put(("ready", shard_id, None, None))
@@ -311,6 +402,7 @@ class _Shard:
         "collector",
         "alive",
         "last_message_at",
+        "spawned_at",
     )
 
     def __init__(self, shard_id: int, process, in_q, out_q, generation: int = 0):
@@ -324,6 +416,9 @@ class _Shard:
         #: Parent-clock time of the last message (ready / heartbeat /
         #: result / error) received from this shard — the wedge signal.
         self.last_message_at = time.perf_counter()
+        #: Parent-clock time just before ``process.start()`` — the
+        #: start of the spawn->ready window ``stats()`` reports.
+        self.spawned_at = self.last_message_at
 
 
 class _Task:
@@ -387,7 +482,14 @@ class ShardedPool:
         max_task_retries: int = 2,
         supervisor=None,
         chaos_hooks: bool = False,
+        engine: str = "plan",
     ):
+        from .engine import ENGINES
+
+        if engine not in ENGINES:
+            raise ServingError(
+                f"unknown pool engine {engine!r}; use one of {ENGINES}"
+            )
         if jobs < 1:
             raise ServingError(f"jobs must be >= 1, got {jobs}")
         if not models:
@@ -432,13 +534,19 @@ class ShardedPool:
         #: waits on it instead of busy-polling.
         self.death_event = threading.Event()
 
+        self.engine = engine
+        self._seed = seed
+        self._warm = warm
+        self._images = None if images is None else np.asarray(images)
+        #: spawn->ready wall-clock per shard come-up (cold-start metric).
+        self._spawn_seconds: List[float] = []
         arrays: Dict[str, np.ndarray] = {}
         self._specs = {
-            name: _publish_model(name, model, arrays)
+            name: self._publish_spec(name, model, arrays)
             for name, model in models.items()
         }
-        if images is not None:
-            arrays[_DATASET_KEY] = np.asarray(images)
+        if self._images is not None:
+            arrays[_DATASET_KEY] = self._images
         self._bundle = SharedArrayBundle.create(arrays)
 
         methods = multiprocessing.get_all_start_methods()
@@ -446,8 +554,6 @@ class ShardedPool:
             start_method = "fork" if "fork" in methods else methods[0]
         self._start_method = start_method
         self._ctx = multiprocessing.get_context(start_method)
-        self._seed = seed
-        self._warm = warm
         self._supervisor = None
         self._shards: List[_Shard] = []
         try:
@@ -473,6 +579,21 @@ class ShardedPool:
 
     # -- startup / (re)spawn --------------------------------------------
 
+    def _publish_spec(
+        self, name: str, model, arrays: Dict[str, np.ndarray]
+    ) -> Dict[str, Any]:
+        """Publish one model per the pool's engine (plan with fallback)."""
+        if self.engine == "plan":
+            from ..core.errors import CompileError
+
+            try:
+                return _publish_plan(
+                    name, model, arrays, self._seed, self._images, self._warm
+                )
+            except CompileError:
+                pass  # e.g. live fault injector: ship the legacy form
+        return _publish_model(name, model, arrays)
+
     def _spawn_shard(self, shard_id: int, generation: int) -> _Shard:
         """Start one worker process for ``shard_id`` (not yet ready)."""
         in_q = self._ctx.Queue()
@@ -493,8 +614,11 @@ class ShardedPool:
             name=f"repro-shard-{shard_id}g{generation}",
             daemon=True,
         )
+        spawned_at = time.perf_counter()
         process.start()
-        return _Shard(shard_id, process, in_q, out_q, generation=generation)
+        shard = _Shard(shard_id, process, in_q, out_q, generation=generation)
+        shard.spawned_at = spawned_at
+        return shard
 
     def _await_ready(self, shard: _Shard, timeout: float = 120.0) -> None:
         try:
@@ -508,6 +632,10 @@ class ShardedPool:
                 f"shard {shard.shard_id} sent {kind!r} before ready"
             )
         shard.last_message_at = time.perf_counter()
+        with self._lock:
+            self._spawn_seconds.append(
+                shard.last_message_at - shard.spawned_at
+            )
 
     def _start_collector(self, shard: _Shard) -> None:
         shard.collector = threading.Thread(
@@ -636,7 +764,7 @@ class ShardedPool:
             new_specs = dict(self._specs)
         arrays: Dict[str, np.ndarray] = {}
         for name, model in updates.items():
-            new_specs[name] = _publish_model(name, model, arrays)
+            new_specs[name] = self._publish_spec(name, model, arrays)
         swapped_prefixes = tuple(f"{name}/" for name in updates)
         for key in old_bundle.layout:
             if key.startswith(swapped_prefixes):
@@ -730,6 +858,14 @@ class ShardedPool:
             payload["quarantined_signatures"] = [
                 list(map(str, sig)) for sig in sorted(self._quarantine)
             ]
+            payload["engine"] = self.engine
+            spawns = list(self._spawn_seconds)
+        payload["spawn_ready_seconds"] = {
+            "count": len(spawns),
+            "mean": float(np.mean(spawns)) if spawns else 0.0,
+            "last": spawns[-1] if spawns else 0.0,
+            "max": max(spawns) if spawns else 0.0,
+        }
         if self._supervisor is not None:
             payload["supervisor"] = self._supervisor.snapshot()
         return payload

@@ -1,0 +1,187 @@
+"""IR-driven cyclesim fast path vs the folded per-image simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import HardwareModelError
+from repro.hardware.cyclesim import (
+    FoldedMLPSimulator,
+    FoldedSNNwotSimulator,
+    FoldedSNNwtSimulator,
+)
+from repro.hardware.sweep import SweepGrid, run_sweep, sample_with_cyclesim
+from repro.ir.cyclesim import closed_form_cycles, family_labels
+
+
+@pytest.fixture(scope="module")
+def cyclesim_images(digits_small):
+    _, test_set = digits_small
+    return np.asarray(test_set.images[:12])
+
+
+class TestFamilyLabels:
+    def test_mlp_matches_folded_simulator(
+        self, quantized_mlp, cyclesim_images
+    ):
+        fast = family_labels("MLP", quantized_mlp, cyclesim_images)
+        for ni in (1, 4):
+            sim = FoldedMLPSimulator(quantized_mlp, ni=ni)
+            # The folded simulator takes normalized pixels; the IR
+            # label pass takes the raw serving-format batch.
+            slow, cycles = sim.predict_with_cycles(
+                cyclesim_images.astype(np.float64) / 255.0
+            )
+            np.testing.assert_array_equal(fast, slow)
+            assert all(c == sim.cycles_per_image() for c in cycles)
+
+    def test_snnwot_matches_folded_simulator(
+        self, snnwot_model, cyclesim_images
+    ):
+        fast = family_labels("SNNwot", snnwot_model, cyclesim_images)
+        for ni in (1, 4):
+            sim = FoldedSNNwotSimulator(snnwot_model, ni=ni)
+            slow, cycles = sim.predict_with_cycles(cyclesim_images)
+            np.testing.assert_array_equal(fast, slow)
+            assert all(c == sim.cycles_per_image() for c in cycles)
+
+    def test_snnwt_matches_folded_simulator(
+        self, trained_snn, cyclesim_images
+    ):
+        images = cyclesim_images[:6]
+        fast = family_labels("SNNwt", trained_snn, images, seed=1)
+        for ni in (1, 4):
+            sim = FoldedSNNwtSimulator(trained_snn, ni=ni, seed=1)
+            slow, cycles = sim.predict_with_cycles(images)
+            np.testing.assert_array_equal(fast, slow)
+            assert all(c == sim.cycles_per_image() for c in cycles)
+
+    def test_unknown_family_rejected(self, quantized_mlp, cyclesim_images):
+        with pytest.raises(HardwareModelError):
+            family_labels("SNN-online", quantized_mlp, cyclesim_images)
+
+
+class TestClosedFormCycles:
+    def test_matches_simulator_formulas(
+        self, quantized_mlp, snnwot_model, trained_snn
+    ):
+        for ni in (1, 2, 8, 16):
+            assert closed_form_cycles("MLP", quantized_mlp, ni) == (
+                FoldedMLPSimulator(quantized_mlp, ni=ni).cycles_per_image()
+            )
+            assert closed_form_cycles("SNNwot", snnwot_model, ni) == (
+                FoldedSNNwotSimulator(
+                    snnwot_model, ni=ni
+                ).cycles_per_image()
+            )
+            assert closed_form_cycles("SNNwt", trained_snn, ni) == (
+                FoldedSNNwtSimulator(
+                    trained_snn, ni=ni
+                ).cycles_per_image()
+            )
+
+    def test_rejects_expanded(self, quantized_mlp):
+        with pytest.raises(HardwareModelError):
+            closed_form_cycles("MLP", quantized_mlp, 0)
+
+
+class TestSampleWithCyclesim:
+    def _result(self, mlp_config, snn_config):
+        grid = SweepGrid(
+            hidden_sizes=(
+                mlp_config.n_hidden,
+                snn_config.n_neurons,
+            ),
+            families=("MLP", "SNNwot", "SNNwt"),
+            fold_factors=(1, 4, 8),
+            mlp_config=mlp_config,
+            snn_config=snn_config,
+        ).validate()
+        return run_sweep(grid)
+
+    def test_document_shape(
+        self,
+        quantized_mlp,
+        snnwot_model,
+        trained_snn,
+        mlp_config_small,
+        snn_config_small,
+        digits_small,
+    ):
+        _, test_set = digits_small
+        images = np.asarray(test_set.images[:6])
+        labels = np.asarray(test_set.labels[:6])
+        result = self._result(mlp_config_small, snn_config_small)
+        doc = sample_with_cyclesim(
+            result,
+            {
+                "MLP": quantized_mlp,
+                "SNNwot": snnwot_model,
+                "SNNwt": trained_snn,
+            },
+            images,
+            labels=labels,
+            n_samples=9,
+            seed=7,
+        )
+        assert doc["n_sampled"] == 9
+        assert doc["skipped_families"] == []
+        assert set(doc["families"]) <= {"MLP", "SNNwot", "SNNwt"}
+        for summary in doc["families"].values():
+            assert summary["n_images"] == len(images)
+            assert 0.0 <= summary["accuracy"] <= 1.0
+        for point in doc["points"]:
+            family = point["family"]
+            assert point["ni"] >= 1
+            assert point["sim_cycles_per_image"] >= 1
+            assert point["sim_latency_us"] > 0.0
+            assert family in {"MLP", "SNNwot", "SNNwt"}
+        import json
+
+        json.dumps(doc)  # the document must be JSON-ready
+
+    def test_sampling_is_reproducible(
+        self,
+        quantized_mlp,
+        mlp_config_small,
+        snn_config_small,
+        cyclesim_images,
+    ):
+        result = self._result(mlp_config_small, snn_config_small)
+        kwargs = dict(n_samples=4, seed=3)
+        first = sample_with_cyclesim(
+            result, {"MLP": quantized_mlp}, cyclesim_images, **kwargs
+        )
+        second = sample_with_cyclesim(
+            result, {"MLP": quantized_mlp}, cyclesim_images, **kwargs
+        )
+        assert first["points"] == second["points"]
+        # Only MLP was supplied and its topology matches the grid, so
+        # nothing is skipped — the other families were never requested.
+        assert first["skipped_families"] == []
+
+    def test_unknown_family_rejected(
+        self, quantized_mlp, mlp_config_small, snn_config_small,
+        cyclesim_images,
+    ):
+        result = self._result(mlp_config_small, snn_config_small)
+        with pytest.raises(HardwareModelError):
+            sample_with_cyclesim(
+                result, {"SNN-online": quantized_mlp}, cyclesim_images
+            )
+
+    def test_no_matching_topology_raises(
+        self, quantized_mlp, mlp_config_small, snn_config_small,
+        cyclesim_images,
+    ):
+        grid = SweepGrid(
+            hidden_sizes=(mlp_config_small.n_hidden + 1,),
+            families=("MLP",),
+            fold_factors=(1,),
+            mlp_config=mlp_config_small,
+            snn_config=snn_config_small,
+        ).validate()
+        result = run_sweep(grid)
+        with pytest.raises(HardwareModelError):
+            sample_with_cyclesim(
+                result, {"MLP": quantized_mlp}, cyclesim_images
+            )

@@ -1,0 +1,87 @@
+"""Per-kind golden tests: one bit-identity assertion per model kind.
+
+These replace the retired pairwise engine-vs-oracle suites: the serial
+interpreter is asserted against each kind's retained legacy oracle
+once, and the vectorized executor against the interpreter once.  Any
+new backend only needs to match the interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import compile_model, run_plan, run_plan_serial
+from repro.snn.network import SNNTrainer
+
+
+@pytest.fixture(scope="module")
+def test_images(digits_small):
+    _, test_set = digits_small
+    return np.asarray(test_set.images[:48])
+
+
+def _assert_serial_and_vectorized(model, images, oracle, indices=None):
+    plan = compile_model(model)
+    serial = run_plan_serial(plan, images, indices=indices)
+    np.testing.assert_array_equal(serial, oracle)
+    vectorized = run_plan(plan, images, indices=indices)
+    np.testing.assert_array_equal(vectorized, serial)
+
+
+class TestGoldenPerKind:
+    def test_mlp(self, trained_mlp, test_images):
+        _assert_serial_and_vectorized(
+            trained_mlp, test_images, trained_mlp.predict_images(test_images)
+        )
+
+    def test_mlp_q(self, quantized_mlp, test_images):
+        _assert_serial_and_vectorized(
+            quantized_mlp,
+            test_images,
+            quantized_mlp.predict_images(test_images),
+        )
+
+    def test_snnwot(self, snnwot_model, test_images):
+        _assert_serial_and_vectorized(
+            snnwot_model, test_images, snnwot_model.predict(test_images)
+        )
+
+    def test_snnbp(self, snnbp_model, test_images):
+        _assert_serial_and_vectorized(
+            snnbp_model, test_images, snnbp_model.predict(test_images)
+        )
+
+    def test_snnwt(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        subset = test_set.take(24)
+        oracle = SNNTrainer(trained_snn).predict_serial(subset)
+        _assert_serial_and_vectorized(
+            trained_snn,
+            np.asarray(subset.images),
+            oracle,
+            indices=list(range(len(subset))),
+        )
+
+
+class TestTrainerPlanEngine:
+    def test_predict_engines_agree(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        subset = test_set.take(24)
+        trainer = SNNTrainer(trained_snn)
+        plan_labels = trainer.predict(subset)
+        legacy_labels = trainer.predict(subset, engine="legacy")
+        np.testing.assert_array_equal(plan_labels, legacy_labels)
+
+    def test_unknown_engine_rejected(self, trained_snn, digits_small):
+        from repro.core.errors import TrainingError
+
+        _, test_set = digits_small
+        with pytest.raises(TrainingError):
+            SNNTrainer(trained_snn).predict(test_set, engine="turbo")
+
+    def test_evaluate_routes_through_plan(self, trained_snn, digits_small):
+        _, test_set = digits_small
+        subset = test_set.take(24)
+        trainer = SNNTrainer(trained_snn)
+        plan_eval = trainer.evaluate(subset)
+        legacy_eval = trainer.evaluate(subset, engine="legacy")
+        assert plan_eval.accuracy == legacy_eval.accuracy

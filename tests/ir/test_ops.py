@@ -1,0 +1,145 @@
+"""Instruction-set and plan-structure invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CompileError
+from repro.ir import (
+    PLAN_KINDS,
+    BufferSpec,
+    CompiledPlan,
+    Instruction,
+    compile_model,
+    kind_of,
+)
+from repro.ir.ops import OPCODES
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CompileError):
+            Instruction("FROB", "x")
+
+    def test_params_normalized_to_sorted_pairs(self):
+        a = Instruction("GEMV", "y", ("x", "w"), (("cast", "int64"),))
+        b = Instruction("GEMV", "y", ("x", "w"), (("cast", "int64"),))
+        assert a == b
+        assert a.param("cast") == "int64"
+        assert a.param("missing", "fallback") == "fallback"
+
+    def test_render_mentions_op_and_buffers(self):
+        text = Instruction("ADD", "o", ("a", "b")).render()
+        assert "ADD" in text and "o" in text and "a" in text
+
+
+class TestCompiledPlan:
+    def _plan(self):
+        return CompiledPlan(
+            "mlp",
+            [
+                Instruction("LOAD_V", "x", (), (("transform", "raw"),)),
+                Instruction("LOAD_M", "w"),
+                Instruction("GEMV", "y", ("x", "w")),
+                Instruction("STORE", "labels", ("y",)),
+            ],
+            [
+                BufferSpec("x", "input"),
+                BufferSpec("w", "const"),
+                BufferSpec("y", "temp"),
+                BufferSpec("labels", "output", "int64"),
+            ],
+            {"w": np.eye(3)},
+        )
+
+    def test_valid_plan_builds(self):
+        plan = self._plan()
+        assert plan.outputs == ("labels",)
+        assert not plan.requires_indices
+
+    def test_undeclared_buffer_rejected(self):
+        with pytest.raises(CompileError):
+            CompiledPlan(
+                "mlp",
+                [Instruction("RELU", "ghost", ("ghost",))],
+                [BufferSpec("labels", "output", "int64")],
+                {},
+            )
+
+    def test_missing_const_rejected(self):
+        with pytest.raises(CompileError):
+            CompiledPlan(
+                "mlp",
+                [Instruction("LOAD_M", "w")],
+                [BufferSpec("w", "const"), BufferSpec("labels", "output")],
+                {},
+            )
+
+    def test_consts_frozen(self):
+        plan = self._plan()
+        with pytest.raises(ValueError):
+            plan.consts["w"][0, 0] = 5.0
+
+    def test_signature_stable_and_content_sensitive(self):
+        a, b = self._plan(), self._plan()
+        assert a.signature() == b.signature()
+        consts = {"w": np.eye(3) * 2.0}
+        c = CompiledPlan(
+            a.kind, a.instructions, a.buffers, consts, outputs=a.outputs
+        )
+        assert c.signature() != a.signature()
+
+    def test_skeleton_roundtrip(self):
+        plan = self._plan()
+        rebuilt = CompiledPlan.from_skeleton(
+            plan.skeleton(), {"w": plan.consts["w"]}
+        )
+        assert rebuilt.signature() == plan.signature()
+        assert rebuilt.instructions == plan.instructions
+        assert rebuilt.buffers == plan.buffers
+
+    def test_listing_covers_every_instruction(self):
+        plan = self._plan()
+        listing = plan.listing()
+        for inst in plan.instructions:
+            assert inst.op in listing
+        assert "labels" in listing
+
+    def test_to_doc_stable_keys(self):
+        doc = self._plan().to_doc()
+        assert set(doc) == {
+            "kind", "instructions", "buffers", "outputs", "signature",
+        }
+
+
+class TestKindDispatch:
+    def test_every_kind_compiles_and_reports_itself(
+        self, trained_mlp, quantized_mlp, trained_snn, snnwot_model,
+        snnbp_model,
+    ):
+        models = {
+            "mlp": trained_mlp,
+            "mlp-q": quantized_mlp,
+            "snnwt": trained_snn,
+            "snnwot": snnwot_model,
+            "snnbp": snnbp_model,
+        }
+        assert set(models) == set(PLAN_KINDS)
+        for kind, model in models.items():
+            assert kind_of(model) == kind
+            plan = compile_model(model)
+            assert plan.kind == kind
+            assert all(inst.op in OPCODES for inst in plan.instructions)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(CompileError):
+            compile_model(object())
+
+    def test_live_injector_refused(self, trained_snn):
+        class _Injector:
+            null = False
+
+        trained_snn_like = type(trained_snn).__new__(type(trained_snn))
+        trained_snn_like.__dict__.update(trained_snn.__dict__)
+        trained_snn_like.fault_injector = _Injector()
+        with pytest.raises(CompileError):
+            compile_model(trained_snn_like, kind="snnwt")

@@ -74,10 +74,17 @@ class TestConstruction:
             InferenceServer(runners={})
 
     def test_build_runners_dispatch(self, served_models):
+        from repro.serve.engine import PlanRunner
+
+        # The default engine compiles every kind onto the IR...
         runners = build_runners(served_models)
-        assert isinstance(runners["snnwt"], SNNwtRunner)
+        for name in served_models:
+            assert isinstance(runners[name], PlanRunner)
+        # ...and the legacy escape hatch keeps the pre-IR dispatch.
+        legacy = build_runners(served_models, engine="legacy")
+        assert isinstance(legacy["snnwt"], SNNwtRunner)
         for name in ("snnwot", "mlp", "mlp-q"):
-            assert isinstance(runners[name], ArrayRunner)
+            assert isinstance(legacy[name], ArrayRunner)
 
     def test_build_runners_rejects_modelless_object(self):
         with pytest.raises(ServingError):

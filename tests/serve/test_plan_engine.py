@@ -1,0 +1,198 @@
+"""Plan-engine serving: compiled plans behind server and pool.
+
+The acceptance surface of the PR 8 default engine:
+
+* ``build_runners(engine="plan")`` serves every compilable model from
+  its :class:`~repro.ir.ops.CompiledPlan`, bit-identically to the
+  legacy runners;
+* models that refuse to compile (live fault injectors) fall back to
+  their legacy runner per model, so a partially-faulted fleet serves;
+* the sharded pool ships plan skeletons + consts (+ encoded spike
+  trains) through shared memory, serves bit-identically on both
+  engines, and hot-swaps plan specs;
+* stats surface the engine routing (``engines``, ``engine``,
+  ``plan_cache``, ``spawn_ready_seconds``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServingError
+from repro.mlp.quantized import QuantizedMLP
+from repro.serve.engine import (
+    ArrayRunner,
+    InferenceServer,
+    PlanRunner,
+    SNNwtRunner,
+    build_runners,
+)
+from repro.serve.workers import ShardedPool
+from repro.snn.batched import predict_batch
+from repro.snn.network import SNNTrainer
+
+
+def _faulted_clone(network):
+    """A timed SNN whose live injector refuses IR compilation."""
+
+    class _Injector:
+        null = False
+
+    clone = type(network).__new__(type(network))
+    clone.__dict__.update(network.__dict__)
+    clone.fault_injector = _Injector()
+    return clone
+
+
+class TestBuildRunners:
+    def test_plan_engine_serves_compiled_plans(
+        self, trained_mlp, trained_snn
+    ):
+        runners = build_runners(
+            {"mlp": trained_mlp, "snnwt": trained_snn}, seed=7
+        )
+        assert isinstance(runners["mlp"], PlanRunner)
+        assert isinstance(runners["snnwt"], PlanRunner)
+        assert runners["snnwt"].plan.meta["seed"] == 7
+
+    def test_legacy_engine_is_the_escape_hatch(
+        self, trained_mlp, trained_snn
+    ):
+        runners = build_runners(
+            {"mlp": trained_mlp, "snnwt": trained_snn}, engine="legacy"
+        )
+        assert isinstance(runners["mlp"], ArrayRunner)
+        assert isinstance(runners["snnwt"], SNNwtRunner)
+
+    def test_uncompilable_model_falls_back_per_model(
+        self, trained_mlp, trained_snn
+    ):
+        runners = build_runners(
+            {"mlp": trained_mlp, "snnwt": _faulted_clone(trained_snn)}
+        )
+        assert isinstance(runners["mlp"], PlanRunner)
+        assert isinstance(runners["snnwt"], SNNwtRunner)
+
+    def test_unknown_engine_rejected(self, trained_mlp):
+        with pytest.raises(ServingError):
+            build_runners({"mlp": trained_mlp}, engine="turbo")
+
+
+class TestServerBitIdentity:
+    def test_both_engines_answer_identically(
+        self, trained_mlp, trained_snn, digits_small
+    ):
+        _, test_set = digits_small
+        images = np.asarray(test_set.images)
+        models = {
+            "mlp": trained_mlp,
+            "mlp-q": QuantizedMLP(trained_mlp),
+            "snnwt": trained_snn,
+        }
+        indices = list(range(0, len(images), 7))
+        answers = {}
+        for engine in ("plan", "legacy"):
+            server = InferenceServer.from_models(
+                models, images=images, engine=engine
+            )
+            try:
+                answers[engine] = {
+                    name: server.predict_many(name, indices=indices)
+                    for name in models
+                }
+                stats = server.stats()
+            finally:
+                server.close()
+            assert set(stats["plan_cache"]) == {
+                "plan_hits", "plan_misses", "plan_compiles",
+                "trains_hits", "trains_misses",
+            }
+            assert stats["engines"] == {name: engine for name in models}
+        for name in models:
+            np.testing.assert_array_equal(
+                answers["plan"][name], answers["legacy"][name]
+            )
+
+    def test_plan_engine_matches_direct_predictions(
+        self, trained_snn, digits_small
+    ):
+        _, test_set = digits_small
+        images = np.asarray(test_set.images)
+        indices = list(range(0, len(images), 9))
+        server = InferenceServer.from_models(
+            {"snnwt": trained_snn}, images=images
+        )
+        try:
+            got = server.predict_many("snnwt", indices=indices)
+        finally:
+            server.close()
+        expected = predict_batch(
+            trained_snn, images[indices], indices=indices
+        )
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestPoolPlanEngine:
+    def test_plan_pool_is_bit_identical_and_faster_to_spawn(
+        self, trained_snn, trained_mlp, digits_small
+    ):
+        _, test_set = digits_small
+        images = np.asarray(test_set.images)
+        reference_snn = predict_batch(trained_snn, images)
+        reference_mlp = np.asarray(trained_mlp.predict_images(images))
+        indices = list(range(0, len(images), 5))
+        for engine in ("plan", "legacy"):
+            with ShardedPool(
+                {"snnwt": trained_snn, "mlp": trained_mlp},
+                jobs=2,
+                images=images,
+                engine=engine,
+            ) as pool:
+                got_snn = pool.run_batch("snnwt", indices, None)
+                got_mlp = pool.run_batch("mlp", indices, None)
+                stats = pool.stats()
+            np.testing.assert_array_equal(got_snn, reference_snn[indices])
+            np.testing.assert_array_equal(got_mlp, reference_mlp[indices])
+            assert stats["engine"] == engine
+            spawn = stats["spawn_ready_seconds"]
+            assert spawn["count"] >= 2
+            assert spawn["mean"] > 0.0
+
+    def test_unknown_engine_rejected(self, trained_mlp):
+        with pytest.raises(ServingError):
+            ShardedPool({"mlp": trained_mlp}, jobs=1, engine="turbo")
+
+    def test_faulted_model_falls_back_to_legacy_spec(
+        self, trained_snn, digits_small
+    ):
+        _, test_set = digits_small
+        images = np.asarray(test_set.images)
+        faulted = _faulted_clone(trained_snn)
+        with ShardedPool(
+            {"snnwt": faulted}, jobs=1, images=images, engine="plan"
+        ) as pool:
+            spec = pool._specs["snnwt"]
+            assert spec["kind"] == "snnwt"  # legacy publish, not "plan"
+            got = pool.run_batch("snnwt", [0, 3, 6], None)
+        expected = predict_batch(
+            trained_snn, images[[0, 3, 6]], indices=[0, 3, 6]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_hot_swap_ships_plan_specs(self, trained_snn, digits_small):
+        train_set, test_set = digits_small
+        images = np.asarray(test_set.images)
+        reference = predict_batch(trained_snn, images)
+        with ShardedPool(
+            {"snnwt": trained_snn}, jobs=2, images=images
+        ) as pool:
+            assert pool._specs["snnwt"]["kind"] == "plan"
+            before = pool.run_batch("snnwt", [0, 1, 2], None)
+            np.testing.assert_array_equal(before, reference[[0, 1, 2]])
+            trainer = SNNTrainer(trained_snn)
+            result = pool.hot_swap({"snnwt": trainer.network})
+            assert result["swapped"] == ["snnwt"]
+            assert pool._specs["snnwt"]["kind"] == "plan"
+            after = pool.run_batch("snnwt", [0, 1, 2], None)
+            np.testing.assert_array_equal(after, reference[[0, 1, 2]])
