@@ -1,0 +1,251 @@
+"""PR 9 acceptance benchmarks: execution backends vs the PR 8 executor.
+
+Not part of the tier-1 suite (pytest ``testpaths`` excludes
+``benchmarks/``).  Run it directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_backends.py -q -s
+
+Two throughput comparisons are measured and appended to
+``BENCH_PR9.json`` keyed by scale, each with a CI floor:
+
+* **snnwt plan eval** — the ``numpy-tiled`` backend (chunked LIF
+  first-spike scan) versus the PR 8 vectorized executor (``numpy``
+  backend) over the full warm-context test set; bit-identical labels,
+  floor ``min_tiled_speedup``.
+* **mlp-q plan eval** — the fused QUANT+GEMV dgemm path versus the
+  PR 8 executor's unfused int64 matmul walk; bit-identical labels,
+  same floor.  The ``int8-tiled`` backend is timed on the same plan
+  and recorded (no floor: on BLAS-heavy hosts int8 accumulation is
+  about parity, it exists for integer-only targets).
+
+Timings interleave the two contenders rep by rep (median of
+``reps``) so slow drift in the host penalizes both equally.
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (``full``/``ci``) and
+``REPRO_BENCH_OUTPUT`` (JSON path override), as in the other
+benchmark modules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPConfig, SNNConfig
+from repro.datasets.digits import load_digits
+from repro.ir import compile_model, run_plan
+from repro.ir.plan_cache import context_for
+from repro.mlp.network import MLP
+from repro.mlp.quantized import QuantizedMLP
+from repro.mlp.trainer import BackPropTrainer
+from repro.snn.network import SNNTrainer, SpikingNetwork
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / "BENCH_PR9.json")
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+
+PARAMS: Dict[str, dict] = {
+    "full": {
+        "n_train": 300,
+        "n_test": 400,
+        "snn_neurons": 50,
+        "mlp_hidden": 20,
+        "mlp_epochs": 5,
+        "reps": 7,
+        "min_tiled_speedup": 2.0,
+    },
+    "ci": {
+        "n_train": 120,
+        "n_test": 150,
+        "snn_neurons": 20,
+        "mlp_hidden": 10,
+        "mlp_epochs": 2,
+        "reps": 5,
+        "min_tiled_speedup": 1.2,
+    },
+}
+
+if SCALE not in PARAMS:  # pragma: no cover - config error guard
+    raise RuntimeError(f"unknown REPRO_BENCH_SCALE {SCALE!r}")
+
+P = PARAMS[SCALE]
+
+RECORDS: Dict[str, dict] = {}
+
+
+def _record(name: str, **fields) -> None:
+    RECORDS[name] = fields
+
+
+def _interleaved_medians(contenders: Dict[str, callable], reps: int):
+    """Median seconds per contender, alternating rep by rep."""
+    samples = {name: [] for name in contenders}
+    for _ in range(reps):
+        for name, fn in contenders.items():
+            t0 = time.perf_counter()
+            fn()
+            samples[name].append(time.perf_counter() - t0)
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_json():
+    yield
+    if not RECORDS:
+        return
+    existing: Dict[str, dict] = {}
+    if OUTPUT_PATH.exists():
+        try:
+            existing = json.loads(OUTPUT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    from repro.core.hostinfo import host_metadata
+
+    existing.setdefault("scales", {})[SCALE] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": host_metadata(REPO_ROOT),
+        "params": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in P.items()
+        },
+        "benchmarks": RECORDS,
+    }
+    existing["note"] = (
+        "Wall-clock numbers from benchmarks/test_backends.py: warm "
+        "plan-eval throughput of the numpy-tiled backend (fused "
+        "kernels, LIF first-spike scan, threaded row blocks) versus "
+        "the PR 8 vectorized executor (numpy backend), bit-identical "
+        "labels, interleaved medians; int8-tiled recorded on the "
+        "quantized plan for reference."
+    )
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def digits_pair():
+    return load_digits(n_train=P["n_train"], n_test=P["n_test"], seed=7)
+
+
+@pytest.fixture(scope="module")
+def trained_snn(digits_pair):
+    train_set, _ = digits_pair
+    config = (
+        SNNConfig(epochs=1, seed=11).with_neurons(P["snn_neurons"]).validate()
+    )
+    trainer = SNNTrainer(SpikingNetwork(config))
+    trainer.train(train_set)
+    trainer.label(train_set)
+    return trainer.network
+
+
+@pytest.fixture(scope="module")
+def quantized_mlp(digits_pair):
+    train_set, _ = digits_pair
+    config = MLPConfig(
+        n_inputs=train_set.n_inputs,
+        n_hidden=P["mlp_hidden"],
+        n_output=train_set.n_classes,
+    ).validate()
+    network = MLP(config)
+    BackPropTrainer(network, batch_size=16).train(
+        train_set, epochs=P["mlp_epochs"]
+    )
+    return QuantizedMLP(network)
+
+
+class TestBackendThroughput:
+    def test_snnwt_tiled_vs_pr8_executor(self, trained_snn, digits_pair):
+        _, test_set = digits_pair
+        images = np.asarray(test_set.images)
+        indices = list(range(len(images)))
+        plan = compile_model(trained_snn)
+        ctx = context_for(plan, images)  # warm consts + encoded trains
+
+        baseline = run_plan(
+            plan, images, indices=indices, ctx=ctx, backend="numpy"
+        )
+        tiled = run_plan(
+            plan, images, indices=indices, ctx=ctx, backend="numpy-tiled"
+        )
+        np.testing.assert_array_equal(tiled, baseline)
+
+        medians = _interleaved_medians(
+            {
+                "numpy": lambda: run_plan(
+                    plan, images, indices=indices, ctx=ctx, backend="numpy"
+                ),
+                "numpy-tiled": lambda: run_plan(
+                    plan, images, indices=indices, ctx=ctx,
+                    backend="numpy-tiled",
+                ),
+            },
+            P["reps"],
+        )
+        speedup = medians["numpy"] / medians["numpy-tiled"]
+        n = len(images)
+        _record(
+            "snnwt_plan_eval",
+            images=n,
+            numpy_seconds=round(medians["numpy"], 4),
+            tiled_seconds=round(medians["numpy-tiled"], 4),
+            numpy_rate=round(n / medians["numpy"], 1),
+            tiled_rate=round(n / medians["numpy-tiled"], 1),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= P["min_tiled_speedup"], (
+            f"numpy-tiled snnwt eval ({medians['numpy-tiled']:.4f}s) must "
+            f"beat the PR 8 executor ({medians['numpy']:.4f}s) by at "
+            f"least {P['min_tiled_speedup']}x; got {speedup:.2f}x"
+        )
+
+    def test_mlp_q_tiled_vs_pr8_executor(self, quantized_mlp, digits_pair):
+        _, test_set = digits_pair
+        images = np.asarray(test_set.images)
+        plan = compile_model(quantized_mlp)
+        ctx = context_for(plan, images)
+
+        baseline = run_plan(plan, images, ctx=ctx, backend="numpy")
+        for backend in ("numpy-tiled", "int8-tiled"):
+            got = run_plan(plan, images, ctx=ctx, backend=backend)
+            np.testing.assert_array_equal(got, baseline)
+
+        medians = _interleaved_medians(
+            {
+                backend: (
+                    lambda b=backend: run_plan(
+                        plan, images, ctx=ctx, backend=b
+                    )
+                )
+                for backend in ("numpy", "numpy-tiled", "int8-tiled")
+            },
+            P["reps"],
+        )
+        speedup = medians["numpy"] / medians["numpy-tiled"]
+        n = len(images)
+        _record(
+            "mlp_q_plan_eval",
+            images=n,
+            numpy_seconds=round(medians["numpy"], 5),
+            tiled_seconds=round(medians["numpy-tiled"], 5),
+            int8_seconds=round(medians["int8-tiled"], 5),
+            numpy_rate=round(n / medians["numpy"], 1),
+            tiled_rate=round(n / medians["numpy-tiled"], 1),
+            int8_rate=round(n / medians["int8-tiled"], 1),
+            speedup=round(speedup, 2),
+            int8_speedup=round(medians["numpy"] / medians["int8-tiled"], 2),
+        )
+        assert speedup >= P["min_tiled_speedup"], (
+            f"numpy-tiled mlp-q eval ({medians['numpy-tiled']:.5f}s) must "
+            f"beat the PR 8 executor ({medians['numpy']:.5f}s) by at "
+            f"least {P['min_tiled_speedup']}x; got {speedup:.2f}x"
+        )

@@ -37,8 +37,14 @@ Commands:
                                   print the instruction listing and
                                   buffer table (``--json`` for the
                                   machine-readable plan document with
-                                  stable keys; exit 2 on unknown
-                                  kind);
+                                  stable keys; ``--backend NAME``
+                                  annotates availability and plan
+                                  support for one execution backend;
+                                  exit 2 on unknown kind or backend);
+* ``backends [--json]``         — list the registered plan-execution
+                                  backends with availability and the
+                                  selection precedence (flag >
+                                  ``REPRO_IR_BACKEND`` > default);
 * ``serve-stats <file>``        — pretty-print a stats JSON written by
                                   ``loadtest --output``;
 * ``serve-health <file>``       — readiness / liveness view of a stats
@@ -443,7 +449,7 @@ def _finish_chaos(payload, args: argparse.Namespace, chaos_passed) -> int:
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
-    from .core.errors import ServingError
+    from .core.errors import BackendError, ServingError
     from .serve.loadgen import KNOWN_MODELS, run_loadtest
     from .serve.metrics import dump_stats, render_stats
 
@@ -534,7 +540,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             max_retries=args.max_retries,
             engine=args.engine,
+            backend=args.backend,
         )
+    except BackendError as error:
+        print(error, file=sys.stderr)
+        return EXIT_USAGE
     except ServingError as error:
         print(error, file=sys.stderr)
         return 1
@@ -588,6 +598,7 @@ def _tiny_model_for_kind(kind: str):
 
 
 def _cmd_ir_dump(args: argparse.Namespace) -> int:
+    from .core.errors import BackendError
     from .ir import PLAN_KINDS, compile_model
 
     if args.kind not in PLAN_KINDS:
@@ -596,11 +607,67 @@ def _cmd_ir_dump(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    engine = None
+    if args.backend is not None:
+        from .ir.backends import get_backend
+
+        try:
+            engine = get_backend(args.backend, require_available=False)
+        except BackendError as error:
+            print(error, file=sys.stderr)
+            return EXIT_USAGE
     plan = compile_model(_tiny_model_for_kind(args.kind), kind=args.kind)
+    backend_doc = None
+    if engine is not None:
+        backend_doc = engine.describe()
+        backend_doc["supports_plan"] = engine.supports(plan) is None
+        backend_doc["refusal"] = engine.supports(plan)
     if args.json:
-        print(json.dumps(plan.to_doc(), indent=2, sort_keys=True))
+        doc = plan.to_doc()
+        if backend_doc is not None:
+            doc["backend"] = backend_doc
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(plan.listing())
+        if backend_doc is not None:
+            status = (
+                "available"
+                if backend_doc["available"]
+                else f"unavailable ({backend_doc['unavailable_reason']})"
+            )
+            verdict = (
+                "supports this plan"
+                if backend_doc["supports_plan"]
+                else f"refuses this plan: {backend_doc['refusal']}"
+            )
+            print(f"backend {backend_doc['name']}: {status}; {verdict}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from .ir.backends import DEFAULT_BACKEND, ENV_VAR, list_backends
+
+    entries = list_backends()
+    if args.json:
+        doc = {
+            "backends": entries,
+            "default": DEFAULT_BACKEND,
+            "env_var": ENV_VAR,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for entry in entries:
+        marker = "*" if entry["default"] else " "
+        status = (
+            "available"
+            if entry["available"]
+            else f"unavailable: {entry['unavailable_reason']}"
+        )
+        print(f"{marker} {entry['name']:<12} {status:<12} {entry['description']}")
+    print(
+        f"* = default; precedence: --backend flag > ${ENV_VAR} > "
+        f"{DEFAULT_BACKEND}"
+    )
     return 0
 
 
@@ -983,6 +1050,13 @@ def build_parser() -> argparse.ArgumentParser:
         "historical per-model runners",
     )
     loadtest.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="plan-execution backend (see 'repro backends'; default: "
+        "$REPRO_IR_BACKEND, then numpy-tiled; exit 2 on unknown)",
+    )
+    loadtest.add_argument(
         "--no-verify",
         action="store_true",
         help="skip the served-vs-direct bit-identity check",
@@ -1091,7 +1165,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the plan document as stable-keys JSON",
     )
+    ir_dump.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="annotate one execution backend's availability and whether "
+        "it supports the compiled plan (exit 2 on unknown backend)",
+    )
     ir_dump.set_defaults(fn=_cmd_ir_dump)
+
+    backends = subparsers.add_parser(
+        "backends",
+        help="list the registered plan-execution backends and their "
+        "availability",
+    )
+    backends.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the backend listing as stable-keys JSON",
+    )
+    backends.set_defaults(fn=_cmd_backends)
 
     serve_stats = subparsers.add_parser(
         "serve-stats", help="pretty-print a serving stats JSON file"

@@ -1,0 +1,98 @@
+"""The execution-backend contract.
+
+A backend is one interchangeable engine for :class:`CompiledPlan`
+execution.  The conformance bar is deliberately minimal and absolute:
+every backend must either produce output **bitwise identical** to the
+NumPy-serial golden interpreter (:func:`repro.ir.interpret.run_plan_serial`)
+for a plan, or refuse that plan up front with a typed
+:class:`~repro.core.errors.BackendUnsupported`.  There is no
+"approximately equal" tier — the golden/property suites assert raw
+array equality, dtypes included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ...core.errors import BackendError, BackendUnsupported
+from ..ops import CompiledPlan
+from ..runtime import ExecutionContext
+
+
+class ExecutionBackend:
+    """One pluggable plan-execution engine.
+
+    Subclasses override :meth:`run` (and usually :meth:`supports`); the
+    registry in :mod:`repro.ir.backends` owns discovery and name
+    resolution.  ``name`` is the registry key, ``description`` the one
+    line shown by ``repro backends``.
+    """
+
+    #: Registry key (``--backend`` / ``REPRO_IR_BACKEND`` value).
+    name: str = "abstract"
+    #: One-line summary for the ``repro backends`` listing.
+    description: str = ""
+
+    # -- availability -----------------------------------------------------
+
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        return self.unavailable_reason() is None
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why the backend cannot run here (``None`` when it can).
+
+        Optional-dependency plugins (torch/jax) report the missing
+        import; always-available backends return ``None``.
+        """
+        return None
+
+    def require_available(self) -> None:
+        reason = self.unavailable_reason()
+        if reason is not None:
+            raise BackendError(
+                f"backend {self.name!r} is unavailable: {reason}"
+            )
+
+    # -- plan coverage ----------------------------------------------------
+
+    def supports(self, plan: CompiledPlan) -> Optional[str]:
+        """Why this backend refuses ``plan`` (``None`` = supported).
+
+        The default covers every plan; restricted backends (int8-tiled)
+        override this and :meth:`run` raises
+        :class:`BackendUnsupported` with the same message.
+        """
+        return None
+
+    def require_supported(self, plan: CompiledPlan) -> None:
+        reason = self.supports(plan)
+        if reason is not None:
+            raise BackendUnsupported(
+                f"backend {self.name!r} cannot execute plan "
+                f"{plan.kind!r}: {reason}"
+            )
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        """Execute ``plan`` over a batch; same contract as ``run_plan``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Stable-key status document (the ``repro backends`` row)."""
+        reason = self.unavailable_reason()
+        return {
+            "name": self.name,
+            "description": self.description,
+            "available": reason is None,
+            "unavailable_reason": reason,
+        }

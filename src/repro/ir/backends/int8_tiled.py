@@ -1,0 +1,266 @@
+"""The ``int8-tiled`` backend — quantized plans on 8-bit storage.
+
+Mirrors the integer datapath of the paper's machine-learning
+accelerator (and the int8-friendly LIF-only design of arXiv
+2505.11252): activations and weights live in ``int8``/``uint8``,
+synaptic accumulates run in ``int32``, and only the requantization /
+activation boundary steps touch float64 — exactly the steps
+``fixedpoint/qformat.py`` defines, executed with the very same kernels,
+so the quantized MLP's labels (and any integer-weight count-coded plan)
+are bitwise those of the serial interpreter.
+
+Everything it cannot prove integer-exact it **refuses** with a typed
+:class:`~repro.core.errors.BackendUnsupported` naming the offending
+instruction: float GEMVs over normalized activations (the float MLP),
+scaled count activations (SNN+BP), non-integer synaptic weights (the
+STDP-trained SNNs), the timed LIF path, and LFSR Gaussian programs.
+Structural checks happen in :meth:`supports`; data-dependent range
+checks (actual spike counts vs the uint8 ceiling, int32 overflow
+bounds) re-run per batch and raise the same typed error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ...core.errors import BackendUnsupported, CompileError
+from .. import kernels, ops
+from ..ops import CompiledPlan
+from ..runtime import ExecutionContext, _act, gather_outputs, resolve_indices
+from .base import ExecutionBackend
+
+_INT32_BOUND = float(2**31 - 1)
+
+
+def _code_storage(min_code: int, max_code: int) -> Optional[np.dtype]:
+    """The 8-bit dtype covering ``[min_code, max_code]`` (or ``None``)."""
+    if 0 <= min_code and max_code <= 255:
+        return np.dtype(np.uint8)
+    if -128 <= min_code and max_code <= 127:
+        return np.dtype(np.int8)
+    return None
+
+
+def _weight_storage(w: np.ndarray) -> Optional[np.dtype]:
+    """8-bit storage for an integer-valued weight const (or ``None``)."""
+    if w.size == 0:
+        return np.dtype(np.int8)
+    if not np.all(w == np.round(w)):
+        return None
+    lo, hi = float(np.min(w)), float(np.max(w))
+    return _code_storage(int(lo), int(hi))
+
+
+class Int8TiledBackend(ExecutionBackend):
+    """int8 storage / int32 accumulate executor for quantized plans."""
+
+    name = "int8-tiled"
+    description = (
+        "int8/uint8 storage with int32 accumulators for quantized "
+        "plans; refuses float-only plans"
+    )
+
+    # -- static plan analysis ---------------------------------------------
+
+    def supports(self, plan: CompiledPlan) -> Optional[str]:
+        # Tags: "codes" = QUANT output with 8-bit range, "counts" =
+        # deterministic spike counts (integer-valued float64).
+        tags: Dict[str, str] = {}
+        for i, inst in enumerate(plan.instructions):
+            where = f"instruction {i} ({inst.op} -> {inst.dst!r})"
+            if inst.op == ops.LIF_STEP:
+                return f"{where}: timed LIF dynamics are a float-only path"
+            if inst.op == ops.LFSR_FILL:
+                return f"{where}: LFSR Gaussian samples are not integers"
+            if inst.op == ops.QUANT:
+                storage = _code_storage(
+                    int(inst.param("min_code")), int(inst.param("max_code"))
+                )
+                if storage is None:
+                    return (
+                        f"{where}: code range exceeds 8-bit storage"
+                    )
+                tags[inst.dst] = "codes"
+            elif inst.op == ops.COUNTS:
+                tags[inst.dst] = "counts"
+            elif inst.op == ops.GEMV:
+                if inst.dst in plan.outputs:
+                    return (
+                        f"{where}: raw accumulator outputs are not "
+                        "byte-exact in int32"
+                    )
+                src, weights_name = inst.srcs[0], inst.srcs[1]
+                if weights_name not in plan.consts:
+                    return (
+                        f"{where}: synaptic weights {weights_name!r} "
+                        "are not a plan constant"
+                    )
+                if _weight_storage(plan.consts[weights_name]) is None:
+                    return (
+                        f"{where}: weights {weights_name!r} are not "
+                        "integer-valued within 8-bit range"
+                    )
+                if inst.param("cast", "") == "int64":
+                    if tags.get(src) != "codes":
+                        return (
+                            f"{where}: integer accumulate over "
+                            f"{src!r}, which is not quantized codes"
+                        )
+                else:
+                    if tags.get(src) != "counts":
+                        return (
+                            f"{where}: float accumulate over {src!r}, "
+                            "which is not an integer spike-count batch"
+                        )
+        return None
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        self.require_supported(plan)
+        if ctx is None:
+            ctx = ExecutionContext(plan)
+        has_input = any(
+            inst.op == ops.LOAD_V for inst in plan.instructions
+        )
+        block = None
+        row_indices: Sequence[int] = []
+        if has_input:
+            block = np.atleast_2d(np.asarray(images))
+            row_indices = resolve_indices(plan, block, indices)
+        env = self._execute(plan, block, row_indices, ctx)
+        return gather_outputs(plan, env)
+
+    def _gemv_int32(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        x_bound: float,
+        where: str,
+    ) -> np.ndarray:
+        """int8-storage, int32-accumulate ``x @ w.T`` with overflow proof."""
+        w = np.asarray(w)
+        w_storage = _weight_storage(w)
+        w_bound = float(np.max(np.abs(w))) if w.size else 0.0
+        depth = max(1, x.shape[-1])
+        if x_bound * w_bound * depth > _INT32_BOUND:
+            raise BackendUnsupported(
+                f"backend {self.name!r}: {where}: int32 accumulator "
+                f"bound exceeded (|x|<={x_bound:g}, |w|<={w_bound:g}, "
+                f"depth {depth})"
+            )
+        w8 = w.astype(w_storage)
+        return x.astype(np.int32) @ w8.T.astype(np.int32)
+
+    def _execute(
+        self,
+        plan: CompiledPlan,
+        inputs: Optional[np.ndarray],
+        indices: Sequence[int],
+        ctx: ExecutionContext,
+    ) -> Dict[str, np.ndarray]:
+        env: Dict[str, np.ndarray] = {}
+        consumers: Dict[str, list] = {}
+        for inst in plan.instructions:
+            for src in inst.srcs:
+                consumers.setdefault(src, []).append(inst.op)
+        for i, inst in enumerate(plan.instructions):
+            where = f"instruction {i} ({inst.op} -> {inst.dst!r})"
+            if inst.op == ops.QUANT:
+                codes = kernels.quantize(
+                    env[inst.srcs[0]],
+                    float(inst.param("scale")),
+                    int(inst.param("min_code")),
+                    int(inst.param("max_code")),
+                )
+                storage = _code_storage(
+                    int(inst.param("min_code")), int(inst.param("max_code"))
+                )
+                # Downcast to 8-bit storage when codes only feed
+                # accumulates; a QUANT read by anything else keeps the
+                # reference int64 so mixed arithmetic can't repromote
+                # through a narrower type.
+                if all(
+                    op == ops.GEMV for op in consumers.get(inst.dst, [])
+                ):
+                    codes = codes.astype(storage)
+                env[inst.dst] = codes
+            elif inst.op == ops.GEMV:
+                x = env[inst.srcs[0]]
+                if inst.param("cast", "") == "int64":
+                    x_bound = float(
+                        max(abs(int(x.min())), abs(int(x.max())))
+                        if x.size
+                        else 0
+                    )
+                    env[inst.dst] = self._gemv_int32(
+                        x, env[inst.srcs[1]], x_bound, where
+                    )
+                else:
+                    # Integer-valued spike counts: check the uint8
+                    # storage ceiling on the actual data, then
+                    # accumulate in int32.
+                    max_count = float(x.max()) if x.size else 0.0
+                    if max_count > 255:
+                        raise BackendUnsupported(
+                            f"backend {self.name!r}: {where}: spike "
+                            f"counts up to {max_count:g} exceed uint8 "
+                            "storage"
+                        )
+                    x8 = x.astype(np.uint8)
+                    env[inst.dst] = self._gemv_int32(
+                        x8, env[inst.srcs[1]], max_count, where
+                    )
+            elif inst.op == ops.LOAD_V:
+                if inputs is None:
+                    raise CompileError(
+                        f"plan {plan.kind!r} expects an input batch"
+                    )
+                batch = np.atleast_2d(np.asarray(inputs))
+                if inst.param("transform") == "norm01":
+                    batch = batch.astype(np.float64) / 255.0
+                env[inst.dst] = batch
+            elif inst.op == ops.LOAD_M:
+                env[inst.dst] = plan.consts[inst.dst]
+            elif inst.op == ops.ADD:
+                env[inst.dst] = env[inst.srcs[0]] + env[inst.srcs[1]]
+            elif inst.op == ops.SCALE:
+                env[inst.dst] = kernels.scale(
+                    env[inst.srcs[0]], float(inst.param("scale"))
+                )
+            elif inst.op == ops.RELU:
+                env[inst.dst] = kernels.relu(env[inst.srcs[0]])
+            elif inst.op == ops.ACT:
+                env[inst.dst] = _act(inst, env)
+            elif inst.op == ops.COUNTS:
+                env[inst.dst] = kernels.counts(
+                    env[inst.srcs[0]],
+                    float(inst.param("duration")),
+                    float(inst.param("max_rate_interval")),
+                )
+            elif inst.op == ops.THRESH:
+                env[inst.dst] = kernels.argmax_rows(env[inst.srcs[0]])
+            elif inst.op == ops.TAKE:
+                env[inst.dst] = np.asarray(env[inst.srcs[1]])[
+                    env[inst.srcs[0]]
+                ]
+            elif inst.op == ops.STORE:
+                value = env[inst.srcs[0]]
+                # Narrow integer storage widens back to the reference
+                # int64 at the output boundary (value-exact).
+                if value.dtype in (np.int8, np.uint8, np.int32):
+                    value = value.astype(np.int64)
+                env[inst.dst] = value
+            else:  # pragma: no cover - supports() refuses the rest
+                raise BackendUnsupported(
+                    f"backend {self.name!r}: {where}: unsupported opcode"
+                )
+        return env

@@ -1,0 +1,155 @@
+"""Optional ``jax`` execution backend (import-guarded plugin).
+
+The graphax jit'd-LIF idiom (SNIPPETS.md §3) in plugin form: the dense
+ops run as ``jax.numpy`` float64/int64 array ops (``jax_enable_x64`` is
+switched on at first use), while the stateful and transcendental front
+ends — ACT, COUNTS, LIF_STEP, LFSR_FILL, the THRESH argmax — keep the
+reference NumPy kernels, exactly like the torch plugin and for the same
+reason: bit-identity with the serial interpreter is the conformance
+bar, and transcendental/tie-break semantics are only guaranteed by the
+reference kernels.
+
+Registers as unavailable (with the import error) when jax is not
+installed; the parametrized conformance suites pick it up wherever it
+is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ...core.errors import CompileError
+from .. import kernels, ops
+from ..ops import CompiledPlan
+from ..runtime import ExecutionContext, _act, _lif_step, resolve_indices
+from .base import ExecutionBackend
+
+
+def _import_jax():
+    try:
+        import jax
+        import jax.numpy as jnp
+
+        jax.config.update("jax_enable_x64", True)
+        return jnp, None
+    except Exception as exc:  # noqa: BLE001 - any import failure counts
+        return None, f"jax is not importable ({exc.__class__.__name__})"
+
+
+class JaxBackend(ExecutionBackend):
+    """jax.numpy executor (optional plugin)."""
+
+    name = "jax"
+    description = (
+        "jax.numpy kernels (x64) for the dense ops; NumPy reference "
+        "kernels for stateful/transcendental front ends (optional)"
+    )
+
+    def unavailable_reason(self) -> Optional[str]:
+        return _import_jax()[1]
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        self.require_available()
+        jnp, _ = _import_jax()
+        if ctx is None:
+            ctx = ExecutionContext(plan)
+        has_input = any(
+            inst.op == ops.LOAD_V for inst in plan.instructions
+        )
+        block = None
+        row_indices: Sequence[int] = []
+        if has_input:
+            block = np.atleast_2d(np.asarray(images))
+            row_indices = resolve_indices(plan, block, indices)
+
+        env: Dict[str, Any] = {}
+        np_env: Dict[str, np.ndarray] = {}
+
+        def np_view(name: str) -> np.ndarray:
+            np_env[name] = np.asarray(env[name])
+            return np_env[name]
+
+        for inst in plan.instructions:
+            if inst.op == ops.LOAD_V:
+                if block is None:
+                    raise CompileError(
+                        f"plan {plan.kind!r} expects an input batch"
+                    )
+                batch = jnp.asarray(block)
+                if inst.param("transform") == "norm01":
+                    batch = batch.astype(jnp.float64) / 255.0
+                env[inst.dst] = batch
+            elif inst.op == ops.LOAD_M:
+                env[inst.dst] = jnp.asarray(plan.consts[inst.dst])
+            elif inst.op == ops.GEMV:
+                x = env[inst.srcs[0]]
+                w = env[inst.srcs[1]]
+                if inst.param("cast", "") == "int64":
+                    env[inst.dst] = x @ w.T.astype(jnp.int64)
+                else:
+                    env[inst.dst] = x @ w.T
+            elif inst.op == ops.ADD:
+                env[inst.dst] = env[inst.srcs[0]] + env[inst.srcs[1]]
+            elif inst.op == ops.SCALE:
+                env[inst.dst] = env[inst.srcs[0]].astype(
+                    jnp.float64
+                ) * float(inst.param("scale"))
+            elif inst.op == ops.RELU:
+                env[inst.dst] = jnp.maximum(env[inst.srcs[0]], 0)
+            elif inst.op == ops.QUANT:
+                x = env[inst.srcs[0]].astype(jnp.float64)
+                env[inst.dst] = jnp.clip(
+                    jnp.round(x / float(inst.param("scale"))),
+                    float(inst.param("min_code")),
+                    float(inst.param("max_code")),
+                ).astype(jnp.int64)
+            elif inst.op == ops.ACT:
+                for src in inst.srcs:
+                    np_view(src)
+                env[inst.dst] = jnp.asarray(_act(inst, np_env))
+            elif inst.op == ops.COUNTS:
+                env[inst.dst] = jnp.asarray(
+                    kernels.counts(
+                        np_view(inst.srcs[0]),
+                        float(inst.param("duration")),
+                        float(inst.param("max_rate_interval")),
+                    )
+                )
+            elif inst.op == ops.LIF_STEP:
+                np_env[inst.srcs[0]] = np_view(inst.srcs[0])
+                env[inst.dst] = jnp.asarray(
+                    _lif_step(inst, np_env, row_indices, ctx, True)
+                )
+            elif inst.op == ops.THRESH:
+                env[inst.dst] = jnp.asarray(
+                    kernels.argmax_rows(np_view(inst.srcs[0]))
+                )
+            elif inst.op == ops.TAKE:
+                env[inst.dst] = jnp.asarray(
+                    np.asarray(np_view(inst.srcs[1]))[
+                        np_view(inst.srcs[0])
+                    ]
+                )
+            elif inst.op == ops.LFSR_FILL:
+                env[inst.dst] = jnp.asarray(
+                    kernels.lfsr_gaussian(
+                        tuple(inst.param("seeds")),
+                        int(inst.param("resolution")),
+                        int(inst.param("count")),
+                        vectorized=True,
+                    )
+                )
+            elif inst.op == ops.STORE:
+                env[inst.dst] = env[inst.srcs[0]]
+            else:  # pragma: no cover - OPCODES is closed
+                raise CompileError(f"unhandled opcode {inst.op!r}")
+        results = tuple(np.asarray(env[name]) for name in plan.outputs)
+        return results[0] if len(results) == 1 else results

@@ -1,0 +1,367 @@
+"""The ``numpy-tiled`` backend — the default plan executor.
+
+Three optimizations over the PR 8 single-walk executor, each gated on a
+*provable* bit-identity argument (never an empirical one):
+
+* **Peephole fusion.**  Adjacent QUANT+GEMV(int64) pairs collapse into
+  one exact dgemm over float64 codes (the quantized MLP's two hidden /
+  output accumulates), and the count-coded readout's GEMV+THRESH pair
+  collapses into a score-tile argmax that never materializes the wide
+  score matrix.  Fusion only fires when the intermediate buffer is
+  consumed exactly once and is not a plan output, so the skipped
+  materializations are unobservable.
+* **Tiled integer accumulates.**  Every int64 GEMV routes through the
+  exact-dgemm trick in :mod:`.tiles` (~3x the int64 matmul) with
+  L2-sized row tiles — integer sums are order-exact, so tiling cannot
+  change a bit.
+* **LIF scan + threaded row blocks.**  The timed SNN readout runs the
+  chunked linear-recurrence scan (:mod:`.lif_scan`) when its
+  preconditions hold, falling back to the batched grid wholesale
+  otherwise.  Plans whose every instruction is *rowwise-exact* — all
+  elementwise ops, integer GEMVs, and the LIF readout, but **not**
+  float GEMVs (BLAS float64 results depend on operand row count) nor
+  LFSR_FILL (no batch axis) — may additionally be split into
+  contiguous row blocks across a ``ThreadPoolExecutor``.  Blocks are
+  scheduled and concatenated in deterministic index order, and each
+  op's row independence makes the merged result bitwise the
+  single-block walk regardless of thread timing.
+
+``REPRO_IR_THREADS`` caps the worker count (default: the machine's
+cores); ``REPRO_IR_TILE_BYTES`` sets the L2 tile budget.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.errors import CompileError
+from .. import kernels, ops
+from ..ops import CompiledPlan, Instruction
+from ..runtime import (
+    ExecutionContext,
+    _act,
+    execute_instructions,
+    gather_outputs,
+    resolve_indices,
+)
+from . import lif_scan, tiles
+from .base import ExecutionBackend
+
+#: Ops that process batch rows independently and bitwise identically
+#: regardless of batch composition (see module docstring) — the
+#: admission set for the threaded row-block scheduler.
+_ROWWISE_OPS = frozenset(
+    {
+        ops.LOAD_V,
+        ops.LOAD_M,
+        ops.ADD,
+        ops.SCALE,
+        ops.RELU,
+        ops.ACT,
+        ops.QUANT,
+        ops.COUNTS,
+        ops.LIF_STEP,
+        ops.THRESH,
+        ops.TAKE,
+        ops.STORE,
+    }
+)
+
+#: Don't bother spinning threads below this many rows per worker.
+_MIN_ROWS_PER_WORKER = 32
+
+
+def worker_count() -> int:
+    """Thread budget (``REPRO_IR_THREADS`` overrides; >=1)."""
+    raw = os.environ.get("REPRO_IR_THREADS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value >= 1:
+        return value
+    return max(1, os.cpu_count() or 1)
+
+
+def rowwise_exact(plan: CompiledPlan) -> bool:
+    """True when every instruction is provably row-independent."""
+    for inst in plan.instructions:
+        if inst.op == ops.GEMV:
+            if inst.param("cast", "") != "int64":
+                return False
+        elif inst.op not in _ROWWISE_OPS:
+            return False
+    return True
+
+
+# -- peephole fusion --------------------------------------------------------
+
+#: One execution step: an unfused instruction or a fused pair.
+_Step = Tuple[str, Tuple[Instruction, ...]]
+
+
+def fusion_steps(plan: CompiledPlan) -> List[_Step]:
+    """The plan's instruction stream with safe peepholes collapsed.
+
+    A pair fuses only when the intermediate is consumed exactly once
+    (by the pair's second op) and is not a plan output; the fused
+    QUANT+GEMV additionally requires every consumer of the accumulate
+    to be SCALE, since the fused kernel leaves the exact integer
+    values in float64 rather than int64.
+    """
+    reads: Dict[str, int] = {}
+    consumers: Dict[str, List[str]] = {}
+    for inst in plan.instructions:
+        for src in inst.srcs:
+            reads[src] = reads.get(src, 0) + 1
+            consumers.setdefault(src, []).append(inst.op)
+    outputs = set(plan.outputs)
+
+    steps: List[_Step] = []
+    stream = plan.instructions
+    i = 0
+    while i < len(stream):
+        inst = stream[i]
+        nxt = stream[i + 1] if i + 1 < len(stream) else None
+        if (
+            nxt is not None
+            and inst.op == ops.QUANT
+            and nxt.op == ops.GEMV
+            and nxt.param("cast", "") == "int64"
+            and nxt.srcs[0] == inst.dst
+            and reads.get(inst.dst, 0) == 1
+            and inst.dst not in outputs
+            and nxt.dst not in outputs
+            and all(op == ops.SCALE for op in consumers.get(nxt.dst, []))
+        ):
+            steps.append(("quant_gemv", (inst, nxt)))
+            i += 2
+            continue
+        if (
+            nxt is not None
+            and inst.op == ops.GEMV
+            and inst.param("cast", "") == ""
+            and nxt.op == ops.THRESH
+            and nxt.srcs[0] == inst.dst
+            and reads.get(inst.dst, 0) == 1
+            and inst.dst not in outputs
+        ):
+            steps.append(("gemv_thresh", (inst, nxt)))
+            i += 2
+            continue
+        steps.append(("inst", (inst,)))
+        i += 1
+    return steps
+
+
+def _execute_steps(
+    plan: CompiledPlan,
+    steps: List[_Step],
+    inputs: Optional[np.ndarray],
+    indices: Sequence[int],
+    ctx: ExecutionContext,
+) -> Dict[str, np.ndarray]:
+    """One fused/tiled walk over one row block (vectorized semantics)."""
+    env: Dict[str, np.ndarray] = {}
+    for kind, group in steps:
+        if kind == "quant_gemv":
+            quant, gemv = group
+            acc = tiles.fused_quant_gemv(
+                env[quant.srcs[0]],
+                float(quant.param("scale")),
+                int(quant.param("min_code")),
+                int(quant.param("max_code")),
+                env[gemv.srcs[1]],
+            )
+            if acc is None:  # exactness bound not certifiable: unfuse
+                codes = kernels.quantize(
+                    env[quant.srcs[0]],
+                    float(quant.param("scale")),
+                    int(quant.param("min_code")),
+                    int(quant.param("max_code")),
+                )
+                env[quant.dst] = codes
+                acc = tiles.tiled_gemv(codes, env[gemv.srcs[1]], cast="int64")
+            env[gemv.dst] = acc
+            continue
+        if kind == "gemv_thresh":
+            gemv, thresh = group
+            env[thresh.dst] = tiles.fused_gemv_thresh(
+                env[gemv.srcs[0]], env[gemv.srcs[1]]
+            )
+            continue
+        inst = group[0]
+        if inst.op == ops.GEMV:
+            env[inst.dst] = tiles.tiled_gemv(
+                env[inst.srcs[0]],
+                env[inst.srcs[1]],
+                cast=inst.param("cast", ""),
+            )
+        elif inst.op == ops.LIF_STEP:
+            env[inst.dst] = _lif_readout(inst, env, indices, ctx)
+        elif inst.op == ops.LOAD_V:
+            if inputs is None:
+                raise CompileError(
+                    f"plan {plan.kind!r} expects an input batch"
+                )
+            block = np.atleast_2d(np.asarray(inputs))
+            if inst.param("transform") == "norm01":
+                block = block.astype(np.float64) / 255.0
+            env[inst.dst] = block
+        elif inst.op == ops.LOAD_M:
+            env[inst.dst] = plan.consts[inst.dst]
+        elif inst.op == ops.ADD:
+            env[inst.dst] = env[inst.srcs[0]] + env[inst.srcs[1]]
+        elif inst.op == ops.SCALE:
+            env[inst.dst] = kernels.scale(
+                env[inst.srcs[0]], float(inst.param("scale"))
+            )
+        elif inst.op == ops.RELU:
+            env[inst.dst] = kernels.relu(env[inst.srcs[0]])
+        elif inst.op == ops.ACT:
+            env[inst.dst] = _act(inst, env)
+        elif inst.op == ops.QUANT:
+            env[inst.dst] = kernels.quantize(
+                env[inst.srcs[0]],
+                float(inst.param("scale")),
+                int(inst.param("min_code")),
+                int(inst.param("max_code")),
+            )
+        elif inst.op == ops.COUNTS:
+            env[inst.dst] = kernels.counts(
+                env[inst.srcs[0]],
+                float(inst.param("duration")),
+                float(inst.param("max_rate_interval")),
+            )
+        elif inst.op == ops.THRESH:
+            env[inst.dst] = kernels.argmax_rows(env[inst.srcs[0]])
+        elif inst.op == ops.TAKE:
+            env[inst.dst] = np.asarray(env[inst.srcs[1]])[env[inst.srcs[0]]]
+        elif inst.op == ops.LFSR_FILL:
+            env[inst.dst] = kernels.lfsr_gaussian(
+                tuple(inst.param("seeds")),
+                int(inst.param("resolution")),
+                int(inst.param("count")),
+                vectorized=True,
+            )
+        elif inst.op == ops.STORE:
+            env[inst.dst] = env[inst.srcs[0]]
+        else:  # pragma: no cover - OPCODES is closed
+            raise CompileError(f"unhandled opcode {inst.op!r}")
+    return env
+
+
+def _lif_readout(
+    inst: Instruction,
+    env: Dict[str, np.ndarray],
+    indices: Sequence[int],
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    from ...snn.batched import DEFAULT_BATCH_SIZE, batch_winners
+
+    rows = env[inst.srcs[0]]
+    for index in indices:
+        if int(index) < 0:
+            raise CompileError(
+                "LIF_STEP needs a dataset index per row; the per-image "
+                "RNG stream is keyed by index"
+            )
+    trains = ctx.trains_for(rows, indices)
+    network = ctx.network
+    if lif_scan.scan_refusal(network, trains) is None:
+        winners = lif_scan.scan_winners(network, trains)
+    else:
+        winners = batch_winners(
+            network, trains, batch_size=DEFAULT_BATCH_SIZE
+        )
+    return np.asarray(winners, dtype=np.int64)
+
+
+class NumpyTiledBackend(ExecutionBackend):
+    """Cache-blocked, fused, optionally threaded NumPy executor."""
+
+    name = "numpy-tiled"
+    description = (
+        "fused/tiled NumPy kernels, LIF first-spike scan, threaded "
+        "row blocks (default)"
+    )
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        if ctx is None:
+            ctx = ExecutionContext(plan)
+        has_input = any(
+            inst.op == ops.LOAD_V for inst in plan.instructions
+        )
+        if not has_input:
+            env = execute_instructions(plan, None, [], ctx, vectorized=True)
+            return gather_outputs(plan, env)
+        block = np.atleast_2d(np.asarray(images))
+        row_indices = resolve_indices(plan, block, indices)
+        steps = fusion_steps(plan)
+        blocks = self._schedule(plan, block, row_indices, ctx)
+        if len(blocks) == 1:
+            start, stop = blocks[0]
+            env = _execute_steps(
+                plan, steps, block[start:stop],
+                row_indices[start:stop], ctx,
+            )
+            return gather_outputs(plan, env)
+        workers = min(worker_count(), len(blocks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _execute_steps,
+                    plan,
+                    steps,
+                    block[start:stop],
+                    row_indices[start:stop],
+                    ctx,
+                )
+                for start, stop in blocks
+            ]
+            envs = [future.result() for future in futures]
+        outputs = tuple(
+            np.concatenate([env[name] for env in envs], axis=0)
+            for name in plan.outputs
+        )
+        return outputs[0] if len(outputs) == 1 else outputs
+
+    def _schedule(
+        self,
+        plan: CompiledPlan,
+        block: np.ndarray,
+        row_indices: Sequence[int],
+        ctx: ExecutionContext,
+    ) -> List[Tuple[int, int]]:
+        """Contiguous row blocks, in deterministic index order."""
+        n_rows = len(block)
+        workers = worker_count()
+        if (
+            workers <= 1
+            or n_rows < 2 * _MIN_ROWS_PER_WORKER
+            or not rowwise_exact(plan)
+        ):
+            return [(0, n_rows)]
+        if plan.requires_indices:
+            # Encode every missing train (and build the shim network)
+            # on the calling thread: worker blocks then only read the
+            # context's caches.
+            ctx.network
+            ctx.trains_for(block, row_indices)
+        rows = max(
+            _MIN_ROWS_PER_WORKER, -(-n_rows // workers)
+        )
+        return [
+            (start, min(start + rows, n_rows))
+            for start in range(0, n_rows, rows)
+        ]

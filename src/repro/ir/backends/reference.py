@@ -1,0 +1,66 @@
+"""The two reference backends: the golden serial interpreter + PR 8 path.
+
+``serial`` wraps :func:`repro.ir.interpret.run_plan_serial` — the single
+conformance oracle every other backend must match bitwise.  ``numpy``
+is the PR 8 vectorized executor exactly as shipped (one whole-batch
+instruction walk through the shared runtime), kept addressable both as
+the baseline the BENCH_PR9 speedup floors measure against and as an
+escape hatch should a fused path ever need ruling out in production.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..interpret import run_plan_serial
+from ..ops import CompiledPlan
+from ..runtime import (
+    ExecutionContext,
+    execute_instructions,
+    gather_outputs,
+    resolve_indices,
+)
+from .base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """The NumPy-serial golden interpreter, one row block at a time."""
+
+    name = "serial"
+    description = "NumPy-serial golden interpreter (the conformance oracle)"
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        return run_plan_serial(plan, images, indices, ctx)
+
+
+class NumpyBackend(ExecutionBackend):
+    """The PR 8 vectorized executor: one whole-batch instruction walk."""
+
+    name = "numpy"
+    description = "single-walk vectorized NumPy executor (PR 8 baseline)"
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        if ctx is None:
+            ctx = ExecutionContext(plan)
+        block = None
+        if images is not None:
+            block = np.atleast_2d(np.asarray(images))
+        row_indices = resolve_indices(plan, block, indices)
+        env = execute_instructions(
+            plan, block, row_indices, ctx, vectorized=True
+        )
+        return gather_outputs(plan, env)

@@ -1,0 +1,172 @@
+"""Optional ``torch`` execution backend (import-guarded plugin).
+
+Maps the dense linear-algebra ops of the IR — GEMV (float64 matmul /
+int64 integer matmul), ADD, SCALE, RELU, QUANT (round-half-even +
+clamp, the same IEEE ops as NumPy) — onto torch CPU tensors, in the
+spirit of the bindsnet idiom (SNIPPETS.md §2).  The stateful and
+transcendental front ends keep the reference NumPy kernels, bridged at
+the boundary: ACT (``exp`` is not bitwise portable across math
+libraries), COUNTS, LIF_STEP, LFSR_FILL, and the THRESH argmax (NumPy's
+first-wins tie-break is the contract).
+
+When torch is not installed the backend registers as unavailable and
+reports why; the conformance suites (``tests/ir/test_golden.py`` /
+``test_property.py``) parametrize over it automatically wherever it
+*is* installed — that conformance run, not this module, is the
+bit-identity gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ...core.errors import CompileError
+from .. import kernels, ops
+from ..ops import CompiledPlan
+from ..runtime import ExecutionContext, _act, _lif_step, resolve_indices
+from .base import ExecutionBackend
+
+
+def _import_torch():
+    try:
+        import torch
+
+        return torch, None
+    except Exception as exc:  # noqa: BLE001 - any import failure counts
+        return None, f"torch is not importable ({exc.__class__.__name__})"
+
+
+class TorchBackend(ExecutionBackend):
+    """Torch CPU tensor executor (optional plugin)."""
+
+    name = "torch"
+    description = (
+        "torch tensor kernels for the dense ops; NumPy reference "
+        "kernels for stateful/transcendental front ends (optional)"
+    )
+
+    def unavailable_reason(self) -> Optional[str]:
+        return _import_torch()[1]
+
+    def run(
+        self,
+        plan: CompiledPlan,
+        images: Optional[np.ndarray] = None,
+        indices: Optional[Sequence[int]] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Any:
+        self.require_available()
+        torch, _ = _import_torch()
+        if ctx is None:
+            ctx = ExecutionContext(plan)
+        has_input = any(
+            inst.op == ops.LOAD_V for inst in plan.instructions
+        )
+        block = None
+        row_indices: Sequence[int] = []
+        if has_input:
+            block = np.atleast_2d(np.asarray(images))
+            row_indices = resolve_indices(plan, block, indices)
+
+        def to_numpy(value):
+            if isinstance(value, torch.Tensor):
+                return value.numpy()
+            return np.asarray(value)
+
+        env: Dict[str, Any] = {}
+        np_env: Dict[str, np.ndarray] = {}
+
+        def np_view(name: str) -> np.ndarray:
+            np_env[name] = to_numpy(env[name])
+            return np_env[name]
+
+        for inst in plan.instructions:
+            if inst.op == ops.LOAD_V:
+                if block is None:
+                    raise CompileError(
+                        f"plan {plan.kind!r} expects an input batch"
+                    )
+                batch = torch.from_numpy(
+                    np.ascontiguousarray(block)
+                )
+                if inst.param("transform") == "norm01":
+                    batch = batch.to(torch.float64) / 255.0
+                env[inst.dst] = batch
+            elif inst.op == ops.LOAD_M:
+                # Copy: plan consts are write-protected and
+                # ``torch.from_numpy`` wants writable memory.
+                env[inst.dst] = torch.from_numpy(
+                    np.array(plan.consts[inst.dst])
+                )
+            elif inst.op == ops.GEMV:
+                x = env[inst.srcs[0]]
+                w = env[inst.srcs[1]]
+                if inst.param("cast", "") == "int64":
+                    env[inst.dst] = torch.matmul(
+                        x.to(torch.int64), w.T.to(torch.int64)
+                    )
+                else:
+                    env[inst.dst] = torch.matmul(x, w.T)
+            elif inst.op == ops.ADD:
+                env[inst.dst] = env[inst.srcs[0]] + env[inst.srcs[1]]
+            elif inst.op == ops.SCALE:
+                env[inst.dst] = env[inst.srcs[0]].to(
+                    torch.float64
+                ) * float(inst.param("scale"))
+            elif inst.op == ops.RELU:
+                env[inst.dst] = torch.clamp_min(env[inst.srcs[0]], 0)
+            elif inst.op == ops.QUANT:
+                x = env[inst.srcs[0]].to(torch.float64)
+                env[inst.dst] = torch.clamp(
+                    torch.round(x / float(inst.param("scale"))),
+                    float(inst.param("min_code")),
+                    float(inst.param("max_code")),
+                ).to(torch.int64)
+            elif inst.op == ops.ACT:
+                for src in inst.srcs:
+                    np_view(src)
+                env[inst.dst] = torch.from_numpy(
+                    np.ascontiguousarray(_act(inst, np_env))
+                )
+            elif inst.op == ops.COUNTS:
+                env[inst.dst] = torch.from_numpy(
+                    kernels.counts(
+                        np_view(inst.srcs[0]),
+                        float(inst.param("duration")),
+                        float(inst.param("max_rate_interval")),
+                    )
+                )
+            elif inst.op == ops.LIF_STEP:
+                np_env[inst.srcs[0]] = np_view(inst.srcs[0])
+                env[inst.dst] = torch.from_numpy(
+                    _lif_step(inst, np_env, row_indices, ctx, True)
+                )
+            elif inst.op == ops.THRESH:
+                env[inst.dst] = torch.from_numpy(
+                    kernels.argmax_rows(np_view(inst.srcs[0]))
+                )
+            elif inst.op == ops.TAKE:
+                env[inst.dst] = torch.from_numpy(
+                    np.asarray(np_view(inst.srcs[1]))[
+                        np_view(inst.srcs[0])
+                    ]
+                )
+            elif inst.op == ops.LFSR_FILL:
+                env[inst.dst] = torch.from_numpy(
+                    kernels.lfsr_gaussian(
+                        tuple(inst.param("seeds")),
+                        int(inst.param("resolution")),
+                        int(inst.param("count")),
+                        vectorized=True,
+                    )
+                )
+            elif inst.op == ops.STORE:
+                env[inst.dst] = env[inst.srcs[0]]
+            else:  # pragma: no cover - OPCODES is closed
+                raise CompileError(f"unhandled opcode {inst.op!r}")
+        results = tuple(
+            np.array(to_numpy(env[name])) for name in plan.outputs
+        )
+        return results[0] if len(results) == 1 else results

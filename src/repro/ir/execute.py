@@ -1,11 +1,13 @@
-"""The NumPy-vectorized plan executor — the hot path.
+"""The plan executor entry point: backend dispatch over one batch.
 
-Runs one plan over the whole ``(B, n)`` batch in a single instruction
-walk under the ``ir-exec`` timing phase.  Bitwise-equal to the serial
-interpreter by construction (same kernels, and the batched variants of
-the two stateful ops carry their own PR 2/PR 3 bit-identity
-guarantees); the IR property tests and the per-kind golden tests
-re-assert it.
+``run_plan`` is the single execution front door.  It resolves a backend
+name through the registry precedence (explicit ``backend=`` argument >
+``REPRO_IR_BACKEND`` > the ``numpy-tiled`` default) and hands the batch
+to that engine under the ``ir-exec`` timing phase.  Every backend is
+bitwise-equal to the serial interpreter on the plans it accepts — the
+IR property tests and the per-kind golden tests assert it across all
+available backends — so callers select backends for *speed*, never for
+semantics.
 """
 
 from __future__ import annotations
@@ -16,12 +18,7 @@ import numpy as np
 
 from ..core.timing import phase
 from .ops import CompiledPlan
-from .runtime import (
-    ExecutionContext,
-    execute_instructions,
-    gather_outputs,
-    resolve_indices,
-)
+from .runtime import ExecutionContext
 
 
 def run_plan(
@@ -29,22 +26,25 @@ def run_plan(
     images: Optional[np.ndarray] = None,
     indices: Optional[Sequence[int]] = None,
     ctx: Optional[ExecutionContext] = None,
+    backend: Optional[str] = None,
 ):
     """Execute a plan over a batch; returns the output array(s).
 
     ``indices`` are per-row dataset indices (default ``range(B)``) —
     they key the timed SNN's per-image RNG streams and the executor
     context's train cache; deterministic plans ignore them.  Pass a
-    long-lived ``ctx`` to reuse encoded spike trains across calls.
+    long-lived ``ctx`` to reuse encoded spike trains across calls (the
+    context is backend-agnostic: trains and the shim network are
+    shared by every engine).
+
+    ``backend`` selects the execution engine by registry name; raises
+    :class:`~repro.core.errors.BackendError` for unknown/unavailable
+    names and :class:`~repro.core.errors.BackendUnsupported` when a
+    restricted backend (``int8-tiled``) refuses the plan.
     """
+    from . import backends
+
+    name = backends.resolve_backend_name(backend)
+    engine = backends.get_backend(name)
     with phase("ir-exec"):
-        if ctx is None:
-            ctx = ExecutionContext(plan)
-        block = None
-        if images is not None:
-            block = np.atleast_2d(np.asarray(images))
-        row_indices = resolve_indices(plan, block, indices)
-        env = execute_instructions(
-            plan, block, row_indices, ctx, vectorized=True
-        )
-        return gather_outputs(plan, env)
+        return engine.run(plan, images, indices, ctx)

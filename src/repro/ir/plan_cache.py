@@ -39,6 +39,12 @@ from .runtime import ExecutionContext
 _TRAINS_MEMO_LIMIT = 8
 
 _lock = threading.Lock()
+#: Single-flight locks: a cold ``get_plan``/``cached_trains`` holds one
+#: of these across its compile/encode so concurrent first callers block
+#: and then take the memo hit, instead of racing N duplicate compiles
+#: (and N spurious miss counts) under the threaded executor.
+_compile_lock = threading.Lock()
+_trains_flight_lock = threading.Lock()
 _plan_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _trains_memo: "OrderedDict[str, Dict[int, Any]]" = OrderedDict()
 _counters: Dict[str, int] = {
@@ -56,25 +62,47 @@ def get_plan(model, kind: Optional[str] = None) -> CompiledPlan:
     Raises :class:`~repro.core.errors.CompileError` exactly like
     :func:`~repro.ir.compile.compile_model`; failures are not cached
     (a model whose injector is later cleared can compile then).
+
+    Thread-safe and single-flight: when N threads request the same
+    uncompiled model concurrently, exactly one compiles (1 miss,
+    1 compile) and the rest block on the flight lock and take hits —
+    the counters never drift under the threaded executor.
     """
+    weakable = True
     with _lock:
         try:
             plan = _plan_memo.get(model)
         except TypeError:
             # Not weak-referenceable (e.g. a bare object()): let the
             # compiler produce its usual diagnostic, uncached.
+            weakable = False
             plan = None
         if plan is not None:
             _counters["plan_hits"] += 1
             return plan
-        _counters["plan_misses"] += 1
-    plan = compile_model(model, kind=kind)
-    with _lock:
-        _counters["plan_compiles"] += 1
-        try:
-            _plan_memo[model] = plan
-        except TypeError:
-            pass
+    if not weakable:
+        with _lock:
+            _counters["plan_misses"] += 1
+        plan = compile_model(model, kind=kind)
+        with _lock:
+            _counters["plan_compiles"] += 1
+        return plan
+    with _compile_lock:
+        with _lock:
+            # Double-check: a concurrent caller may have compiled this
+            # model while we waited on the flight lock.
+            plan = _plan_memo.get(model)
+            if plan is not None:
+                _counters["plan_hits"] += 1
+                return plan
+            _counters["plan_misses"] += 1
+        plan = compile_model(model, kind=kind)
+        with _lock:
+            _counters["plan_compiles"] += 1
+            try:
+                _plan_memo[model] = plan
+            except TypeError:
+                pass
     return plan
 
 
@@ -205,16 +233,37 @@ def cached_trains(
     :class:`ArrayBundleCache` bundle, and only then encodes — recording
     hits/misses either way.  ``persist=False`` skips the disk layer
     (callers holding throwaway datasets).
+
+    Single-flight like :func:`get_plan`: concurrent cold requests for
+    the same dataset block on one encode and take memo hits.
     """
     key = trains_key(plan, images)
-    with _lock:
+
+    def _memo_hit():
         cached = _trains_memo.get(key)
         if cached is not None:
             _trains_memo.move_to_end(key)
             _counters["trains_hits"] += 1
-            return cached
-        _counters["trains_misses"] += 1
+        return cached
 
+    with _lock:
+        cached = _memo_hit()
+        if cached is not None:
+            return cached
+    return _cached_trains_flight(key, plan, images, persist, _memo_hit)
+
+
+def _cached_trains_flight(key, plan, images, persist, _memo_hit):
+    with _trains_flight_lock:
+        with _lock:
+            cached = _memo_hit()
+            if cached is not None:
+                return cached
+            _counters["trains_misses"] += 1
+        return _encode_and_memo(key, plan, images, persist)
+
+
+def _encode_and_memo(key, plan, images, persist):
     indices = list(range(len(np.atleast_2d(np.asarray(images)))))
 
     def compute() -> Dict[str, np.ndarray]:

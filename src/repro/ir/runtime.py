@@ -12,6 +12,7 @@ this module instead of a per-pair test suite.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -35,12 +36,21 @@ class ExecutionContext:
         self.plan = plan
         self._network = None
         self._trains: Dict[int, Any] = {}
+        # Guards the lazy network build and the train-cache mutation:
+        # the threaded row-block scheduler shares one context across
+        # worker threads (blocks pre-encode on the calling thread, but
+        # the lock keeps direct concurrent use safe too).
+        self._lock = threading.Lock()
 
     # -- timed-SNN support ----------------------------------------------
 
     @property
     def network(self):
         """The LIF grid rebuilt around the plan's read-only consts."""
+        with self._lock:
+            return self._network_locked()
+
+    def _network_locked(self):
         if self._network is None:
             meta = self.plan.meta
             if "config" not in meta:
@@ -62,11 +72,13 @@ class ExecutionContext:
 
     def preload_trains(self, trains: Dict[int, Any]) -> int:
         """Seed the per-index train cache (shipped/warmed trains)."""
-        self._trains.update(trains)
-        return len(self._trains)
+        with self._lock:
+            self._trains.update(trains)
+            return len(self._trains)
 
     def cached_train_count(self) -> int:
-        return len(self._trains)
+        with self._lock:
+            return len(self._trains)
 
     def trains_for(
         self, rows: np.ndarray, indices: Sequence[int]
@@ -80,22 +92,24 @@ class ExecutionContext:
         from ..snn.batched import encode_indexed
 
         meta = self.plan.meta
-        missing = [
-            (j, int(index))
-            for j, index in enumerate(indices)
-            if int(index) not in self._trains
-        ]
-        if missing:
-            fresh = encode_indexed(
-                self.network,
-                np.atleast_2d(rows)[[j for j, _ in missing]],
-                [index for _, index in missing],
-                seed=meta.get("seed"),
-                stream=meta.get("stream"),
-            )
-            for (_, index), train in zip(missing, fresh):
-                self._trains[index] = train
-        return [self._trains[int(index)] for index in indices]
+        with self._lock:
+            network = self._network_locked()
+            missing = [
+                (j, int(index))
+                for j, index in enumerate(indices)
+                if int(index) not in self._trains
+            ]
+            if missing:
+                fresh = encode_indexed(
+                    network,
+                    np.atleast_2d(rows)[[j for j, _ in missing]],
+                    [index for _, index in missing],
+                    seed=meta.get("seed"),
+                    stream=meta.get("stream"),
+                )
+                for (_, index), train in zip(missing, fresh):
+                    self._trains[index] = train
+            return [self._trains[int(index)] for index in indices]
 
 
 def _act(inst: Instruction, env: Dict[str, np.ndarray]) -> np.ndarray:

@@ -164,11 +164,19 @@ class PlanRunner(ModelRunner):
     behaviour — and deterministic plans simply ignore the context.
     Bit-identity to the legacy runners is the IR's per-kind golden
     contract (``tests/ir/test_golden.py``).
+
+    ``backend`` pins the plan-execution backend for every request this
+    runner serves (resolved at construction so an unknown name fails
+    fast, not mid-traffic; ``None`` follows the registry precedence).
+    The context is backend-agnostic, so a runner's warm caches survive
+    a backend change across hot-swaps.
     """
 
-    def __init__(self, plan, seed: SeedLike = None):
+    def __init__(self, plan, seed: SeedLike = None, backend: Optional[str] = None):
+        from ..ir.backends import resolve_backend_name
         from ..ir.runtime import ExecutionContext
 
+        self.backend = resolve_backend_name(backend)
         if seed is not None and plan.requires_indices:
             # The legacy SNNwtRunner lets callers re-root the RNG; the
             # plan carries its seed in metadata, so rebind a copy (the
@@ -211,6 +219,7 @@ class PlanRunner(ModelRunner):
                 np.atleast_2d(images),
                 indices=indices,
                 ctx=self._ctx,
+                backend=self.backend,
             )
         )
 
@@ -234,7 +243,10 @@ def _legacy_runner(name: str, model, seed: SeedLike) -> ModelRunner:
 
 
 def build_runners(
-    models: Dict[str, Any], seed: SeedLike = None, engine: str = "plan"
+    models: Dict[str, Any],
+    seed: SeedLike = None,
+    engine: str = "plan",
+    backend: Optional[str] = None,
 ) -> Dict[str, ModelRunner]:
     """Wrap a ``name -> trained model`` mapping into runners.
 
@@ -245,11 +257,21 @@ def build_runners(
     ``engine="legacy"`` is the escape hatch: the pre-IR dispatch —
     :class:`SNNwtRunner` for :class:`~repro.snn.network.SpikingNetwork`,
     :class:`ArrayRunner` over ``predict_images``/``predict`` otherwise.
+
+    ``backend`` pins the plan-execution backend for every plan runner
+    (``None`` follows the registry precedence: ``REPRO_IR_BACKEND``,
+    then the default).  Validated up front so an unknown name fails the
+    whole build instead of the first request.  Ignored by legacy
+    runners.
     """
     if engine not in ENGINES:
         raise ServingError(
             f"unknown serving engine {engine!r}; use one of {ENGINES}"
         )
+    if engine == "plan":
+        from ..ir.backends import resolve_backend_name
+
+        backend = resolve_backend_name(backend)
     runners: Dict[str, ModelRunner] = {}
     for name, model in models.items():
         if engine == "plan":
@@ -257,7 +279,9 @@ def build_runners(
             from ..ir.plan_cache import get_plan
 
             try:
-                runners[name] = PlanRunner(get_plan(model), seed=seed)
+                runners[name] = PlanRunner(
+                    get_plan(model), seed=seed, backend=backend
+                )
                 continue
             except CompileError:
                 pass  # fall back to the legacy runner for this model
@@ -339,10 +363,13 @@ class InferenceServer:
         images: Optional[np.ndarray] = None,
         seed: SeedLike = None,
         engine: str = "plan",
+        backend: Optional[str] = None,
     ) -> "InferenceServer":
         """In-process server over trained models (see :func:`build_runners`)."""
         return cls(
-            runners=build_runners(models, seed=seed, engine=engine),
+            runners=build_runners(
+                models, seed=seed, engine=engine, backend=backend
+            ),
             policy=policy,
             images=images,
         )
@@ -465,7 +492,12 @@ class InferenceServer:
     # -- model lifecycle ------------------------------------------------
 
     def swap_model(
-        self, name: str, model, seed: SeedLike = None, engine: str = "plan"
+        self,
+        name: str,
+        model,
+        seed: SeedLike = None,
+        engine: str = "plan",
+        backend: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Replace one served model's weights without dropping requests.
 
@@ -487,7 +519,9 @@ class InferenceServer:
         if self.pool is not None:
             result = self.pool.hot_swap({name: model})
             return {"model": name, "backend": "pool", **result}
-        runner = build_runners({name: model}, seed=seed, engine=engine)[name]
+        runner = build_runners(
+            {name: model}, seed=seed, engine=engine, backend=backend
+        )[name]
         self.runners[name] = runner
         return {"model": name, "backend": "runners"}
 
@@ -539,6 +573,14 @@ class InferenceServer:
             payload["engines"] = {
                 name: (
                     "plan" if isinstance(runner, PlanRunner) else "legacy"
+                )
+                for name, runner in sorted(self.runners.items())
+            }
+            payload["backends"] = {
+                name: (
+                    runner.backend
+                    if isinstance(runner, PlanRunner)
+                    else None
                 )
                 for name, runner in sorted(self.runners.items())
             }

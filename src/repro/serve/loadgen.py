@@ -391,6 +391,7 @@ def run_loadtest(
     max_retries: int = 2,
     supervise: bool = True,
     engine: str = "plan",
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Train, serve, load, measure; returns the JSON-ready payload.
 
@@ -403,13 +404,23 @@ def run_loadtest(
     quarantine.  ``engine`` selects the execution backend: ``"plan"``
     (default) serves compiled IR plans, ``"legacy"`` the historical
     per-model runners; both are verified bit-identical against direct
-    predictions when ``verify`` is on.  SIGTERM/SIGINT drain
+    predictions when ``verify`` is on.  ``backend`` pins the plan
+    execution backend (flag > ``REPRO_IR_BACKEND`` > default; ignored
+    by the legacy engine).  SIGTERM/SIGINT drain
     gracefully: load stops, queues flush, and the metrics collected so
     far are still returned (the payload's ``drained`` flag records the
     interruption).
     """
     if mode not in ("closed", "open"):
         raise ServingError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if engine == "plan":
+        # Resolve here (flag > env > default) so the payload records
+        # the backend that actually ran and bad names fail pre-train.
+        from ..ir.backends import resolve_backend_name
+
+        backend = resolve_backend_name(backend)
+    else:
+        backend = None
     names = list(dict.fromkeys(models))  # dedupe, keep order
     built = build_models(names, dataset=dataset)
     test_images = np.asarray(built["test"].images)
@@ -430,6 +441,7 @@ def run_loadtest(
             max_task_retries=max_retries,
             supervisor=SupervisorPolicy(seed=seed) if supervise else None,
             engine=engine,
+            backend=backend,
         )
         server = InferenceServer(pool=pool, policy=policy, images=test_images)
     else:
@@ -439,6 +451,7 @@ def run_loadtest(
             images=test_images,
             seed=seed,
             engine=engine,
+            backend=backend,
         )
     payload: Dict[str, Any] = {
         "loadtest": {
@@ -455,6 +468,7 @@ def run_loadtest(
             "max_retries": max_retries,
             "seed": seed,
             "engine": engine,
+            "backend": backend,
             "n_test_images": int(len(test_images)),
         },
         "host": host_metadata(),

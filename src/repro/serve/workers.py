@@ -108,6 +108,7 @@ def _publish_plan(
     seed: SeedLike,
     images: Optional[np.ndarray],
     warm: bool,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Describe ``model`` as a compiled plan (consts + trains in shm).
 
@@ -144,6 +145,9 @@ def _publish_plan(
         "kind": "plan",
         "skeleton": plan.skeleton(),
         "trains": False,
+        # Resolved in the parent so every shard executes on the same
+        # backend regardless of the worker process's environment.
+        "backend": backend,
     }
     if warm and images is not None and plan.requires_indices:
         for key, value in trains_arrays_for_shipping(plan, images).items():
@@ -164,7 +168,7 @@ def _rebuild_plan_runner(name: str, spec: Dict[str, Any], bundle):
         for cname in skeleton["const_names"]
     }
     plan = CompiledPlan.from_skeleton(skeleton, consts)
-    runner = PlanRunner(plan)
+    runner = PlanRunner(plan, backend=spec.get("backend"))
     if spec.get("trains"):
         keys = (
             "indices",
@@ -483,6 +487,7 @@ class ShardedPool:
         supervisor=None,
         chaos_hooks: bool = False,
         engine: str = "plan",
+        backend: Optional[str] = None,
     ):
         from .engine import ENGINES
 
@@ -490,6 +495,14 @@ class ShardedPool:
             raise ServingError(
                 f"unknown pool engine {engine!r}; use one of {ENGINES}"
             )
+        if engine == "plan":
+            # Resolve once in the parent (flag > env > default) so the
+            # shipped plan specs pin every shard to the same backend —
+            # and an unknown name fails the pool build, not a worker.
+            from ..ir.backends import resolve_backend_name
+
+            backend = resolve_backend_name(backend)
+        self.backend = backend
         if jobs < 1:
             raise ServingError(f"jobs must be >= 1, got {jobs}")
         if not models:
@@ -588,7 +601,13 @@ class ShardedPool:
 
             try:
                 return _publish_plan(
-                    name, model, arrays, self._seed, self._images, self._warm
+                    name,
+                    model,
+                    arrays,
+                    self._seed,
+                    self._images,
+                    self._warm,
+                    backend=self.backend,
                 )
             except CompileError:
                 pass  # e.g. live fault injector: ship the legacy form
@@ -859,6 +878,7 @@ class ShardedPool:
                 list(map(str, sig)) for sig in sorted(self._quarantine)
             ]
             payload["engine"] = self.engine
+            payload["backend"] = self.backend
             spawns = list(self._spawn_seconds)
         payload["spawn_ready_seconds"] = {
             "count": len(spawns),

@@ -503,6 +503,7 @@ class SNNTrainer:
         dataset: Dataset,
         batch_size: int = DEFAULT_BATCH_SIZE,
         engine: str = "plan",
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Predictions for every sample of a dataset (batched engine).
 
@@ -520,6 +521,14 @@ class SNNTrainer:
         are bit-identical to :meth:`predict_serial`.  A network with a
         live fault injector falls back to legacy automatically (plans
         compile only clean models).
+
+        ``backend`` picks the plan-execution backend by registry name
+        (``repro.ir.backends``; ``None`` follows the
+        ``REPRO_IR_BACKEND``-then-default precedence).  Every backend
+        is bit-identical on this plan kind, so the choice only affects
+        speed.  Unknown names raise
+        :class:`~repro.core.errors.BackendError`; ``engine="legacy"``
+        ignores the backend (there is no plan to execute).
 
         .. note:: Before the batched engine, this method consumed one
            shared generator sequentially, which coupled every
@@ -552,6 +561,7 @@ class SNNTrainer:
                     dataset.images,
                     indices=list(range(len(dataset))),
                     ctx=ctx,
+                    backend=backend,
                 )
         return predict_batch(
             self.network, dataset.images, batch_size=batch_size
@@ -579,11 +589,13 @@ class SNNTrainer:
         dataset: Dataset,
         batch_size: int = DEFAULT_BATCH_SIZE,
         engine: str = "plan",
+        backend: Optional[str] = None,
     ) -> EvaluationResult:
         """Accuracy bundle on a test set."""
         with phase("eval"):
             predictions = self.predict(
-                dataset, batch_size=batch_size, engine=engine
+                dataset, batch_size=batch_size, engine=engine,
+                backend=backend,
             )
             return evaluate(predictions, dataset.labels, dataset.n_classes)
 

@@ -3,13 +3,18 @@
 These replace the retired pairwise engine-vs-oracle suites: the serial
 interpreter is asserted against each kind's retained legacy oracle
 once, and the vectorized executor against the interpreter once.  Any
-new backend only needs to match the interpreter.
+new backend only needs to match the interpreter — enforced here for
+every backend available in the environment (``backend_name`` rows):
+each either reproduces the serial result bitwise or refuses the plan
+with a typed ``BackendUnsupported``.
 """
 
 import numpy as np
 import pytest
 
+from repro.core.errors import BackendUnsupported
 from repro.ir import compile_model, run_plan, run_plan_serial
+from repro.ir.backends import get_backend
 from repro.snn.network import SNNTrainer
 
 
@@ -25,6 +30,21 @@ def _assert_serial_and_vectorized(model, images, oracle, indices=None):
     np.testing.assert_array_equal(serial, oracle)
     vectorized = run_plan(plan, images, indices=indices)
     np.testing.assert_array_equal(vectorized, serial)
+
+
+def _assert_backend_conforms(backend_name, model, images, indices=None):
+    """Bitwise-identical to the serial oracle, or a typed refusal."""
+    plan = compile_model(model)
+    engine = get_backend(backend_name)
+    refusal = engine.supports(plan)
+    if refusal is not None:
+        with pytest.raises(BackendUnsupported):
+            engine.run(plan, images, indices=indices)
+        return
+    serial = run_plan_serial(plan, images, indices=indices)
+    got = np.asarray(run_plan(plan, images, indices=indices, backend=backend_name))
+    assert got.dtype == np.asarray(serial).dtype
+    np.testing.assert_array_equal(got, serial)
 
 
 class TestGoldenPerKind:
@@ -60,6 +80,39 @@ class TestGoldenPerKind:
             oracle,
             indices=list(range(len(subset))),
         )
+
+
+class TestBackendConformance:
+    """Every available backend: bitwise-equal to serial, or typed refusal."""
+
+    @pytest.mark.parametrize(
+        "fixture",
+        ["trained_mlp", "quantized_mlp", "snnwot_model", "snnbp_model"],
+    )
+    def test_deterministic_kinds(
+        self, backend_name, fixture, request, test_images
+    ):
+        model = request.getfixturevalue(fixture)
+        _assert_backend_conforms(backend_name, model, test_images)
+
+    def test_snnwt(self, backend_name, trained_snn, digits_small):
+        _, test_set = digits_small
+        subset = test_set.take(24)
+        _assert_backend_conforms(
+            backend_name,
+            trained_snn,
+            np.asarray(subset.images),
+            indices=list(range(len(subset))),
+        )
+
+    def test_int8_accepts_quantized_kind(self, quantized_mlp):
+        plan = compile_model(quantized_mlp)
+        assert get_backend("int8-tiled").supports(plan) is None
+
+    def test_int8_refuses_float_kinds(self, trained_mlp, snnwot_model):
+        engine = get_backend("int8-tiled")
+        for model in (trained_mlp, snnwot_model):
+            assert engine.supports(compile_model(model)) is not None
 
 
 class TestTrainerPlanEngine:

@@ -12,9 +12,11 @@ vectorized walk the ``rng_vec`` bulk generator, and both must match.
 import numpy as np
 import pytest
 
+from repro.core.errors import BackendUnsupported
 from repro.hardware.rng_hw import HardwareGaussian
 from repro.ir import run_plan, run_plan_serial
 from repro.ir import ops
+from repro.ir.backends import get_backend
 from repro.ir.compile import _Builder
 
 N_RANDOM_PROGRAMS = 20
@@ -108,6 +110,34 @@ class TestRandomPrograms:
                 ]
             )
             np.testing.assert_array_equal(chunked, full)
+
+
+class TestBackendsOnRandomPrograms:
+    """Every available backend over random plans: bitwise or refuse."""
+
+    @pytest.mark.parametrize("seed", range(0, N_RANDOM_PROGRAMS, 3))
+    def test_matches_serial_or_refuses(self, backend_name, seed):
+        plan, batch = _random_program(seed)
+        engine = get_backend(backend_name)
+        if engine.supports(plan) is not None:
+            with pytest.raises(BackendUnsupported):
+                engine.run(plan, batch)
+            return
+        serial = run_plan_serial(plan, batch)
+        got = run_plan(plan, batch, backend=backend_name)
+        assert got.dtype == serial.dtype
+        np.testing.assert_array_equal(got, serial)
+
+    def test_lfsr_program(self, backend_name):
+        plan = _lfsr_program(TestLfsrFill.SEEDS, 8, 129)
+        engine = get_backend(backend_name)
+        if engine.supports(plan) is not None:
+            with pytest.raises(BackendUnsupported):
+                engine.run(plan)
+            return
+        np.testing.assert_array_equal(
+            run_plan(plan, backend=backend_name), run_plan_serial(plan)
+        )
 
 
 class TestLfsrFill:
