@@ -45,6 +45,11 @@ Commands:
                                   backends with availability and the
                                   selection precedence (flag >
                                   ``REPRO_IR_BACKEND`` > default);
+* ``cache verify [options]``    — audit every artifact-cache entry
+                                  against its SHA-256 sidecar (exit 1
+                                  when any entry is corrupt;
+                                  ``--evict`` deletes corrupt entries,
+                                  ``--json`` for stable keys);
 * ``serve-stats <file>``        — pretty-print a stats JSON written by
                                   ``loadtest --output``;
 * ``serve-health <file>``       — readiness / liveness view of a stats
@@ -463,6 +468,18 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if not 0.0 <= args.audit_rate <= 1.0:
+        print(
+            f"--audit-rate must be in [0, 1], got {args.audit_rate}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.scrub_period is not None and args.scrub_period <= 0:
+        print(
+            f"--scrub-period must be positive, got {args.scrub_period}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     if args.chaos is not None:
         from .serve.chaos import (
             LEARNING_SCENARIOS,
@@ -541,6 +558,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             engine=args.engine,
             backend=args.backend,
+            audit_rate=args.audit_rate,
+            scrub_period=args.scrub_period,
         )
     except BackendError as error:
         print(error, file=sys.stderr)
@@ -707,6 +726,35 @@ def _cmd_learn_serve(args: argparse.Namespace) -> int:
     return _finish_chaos(payload, args, chaos_passed)
 
 
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    """Offline cache audit: every entry against its SHA-256 sidecar.
+
+    Exit 0 when every entry verifies, 1 when any is corrupt (the CI
+    contract for the corruption-smoke job).  ``--evict`` deletes
+    corrupt entries so the next run recomputes them from scratch.
+    """
+    from .core.artifacts import verify_cache
+
+    _apply_cache_flags(args)
+    report = verify_cache(evict=args.evict)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"cache directory: {report['directory']}")
+        print(
+            f"checked {report['checked']} entry(ies): "
+            f"{report['verified']} verified, "
+            f"{report['corrupt']} corrupt, "
+            f"{report['missing_sidecar']} missing sidecar"
+            + (f", {report['evicted']} evicted" if args.evict else "")
+        )
+        for entry in report["entries"]:
+            if entry["status"] != "verified":
+                suffix = "  [evicted]" if entry.get("evicted") else ""
+                print(f"  {entry['status']:<16} {entry['path']}{suffix}")
+    return 1 if report["corrupt"] else 0
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     from .serve.metrics import load_stats, render_stats
 
@@ -738,6 +786,7 @@ def _cmd_serve_health(args: argparse.Namespace) -> int:
             "models": view.get("models", {}),
             "pool": view.get("pool"),
             "learner": view.get("learner"),
+            "integrity": view.get("integrity"),
         }
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
@@ -1057,6 +1106,23 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_IR_BACKEND, then numpy-tiled; exit 2 on unknown)",
     )
     loadtest.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of served batches re-executed on the serial "
+        "oracle and bit-compared (SDC audit lane; 0 disables and "
+        "keeps the request path bit-identical to an audit-free run)",
+    )
+    loadtest.add_argument(
+        "--scrub-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="background shared-memory integrity-scrub period "
+        "(pool backends; default off)",
+    )
+    loadtest.add_argument(
         "--no-verify",
         action="store_true",
         help="skip the served-vs-direct bit-identity check",
@@ -1185,6 +1251,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the backend listing as stable-keys JSON",
     )
     backends.set_defaults(fn=_cmd_backends)
+
+    cache = subparsers.add_parser(
+        "cache", help="artifact-cache maintenance (verify integrity)"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="audit every cache entry against its SHA-256 sidecar "
+        "(exit 1 when any entry is corrupt)",
+    )
+    cache_verify.add_argument(
+        "--evict",
+        action="store_true",
+        help="delete corrupt entries so the next run recomputes them",
+    )
+    cache_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the audit report as a stable-keys JSON document",
+    )
+    cache_verify.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="override the cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache_verify.set_defaults(fn=_cmd_cache_verify)
 
     serve_stats = subparsers.add_parser(
         "serve-stats", help="pretty-print a serving stats JSON file"

@@ -527,3 +527,90 @@ class ArrayBundleCache:
             for sidecar in self.directory.glob("*.npz.sha256"):
                 sidecar.unlink()
         return removed
+
+
+class ServingSnapshotCache(ArrayBundleCache):
+    """Verified pristine copies of the serving pool's shared arrays.
+
+    When :class:`~repro.serve.workers.ShardedPool` publishes its
+    shared-memory bundle it snapshots the exact published bytes here,
+    keyed by the content digest of the bundle.  The snapshot is what
+    the corruption-recovery path restores from: an on-disk copy whose
+    integrity sidecar is re-verified at load time, so a DRAM fault in
+    the live segment is repaired from bytes that are themselves
+    checked — never from another potentially-corrupt RAM copy.
+    """
+
+    SUBDIR = "serving"
+
+    def store(self, key: str, bundle: Dict[str, np.ndarray]) -> None:
+        """Persist a pristine copy under ``key`` (no-op if present)."""
+        self.get_or_compute(key, lambda: bundle)
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Sidecar-verified load; ``None`` when missing or corrupt."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+
+        def load_bundle(entry) -> Dict[str, np.ndarray]:
+            with np.load(entry) as payload:
+                return {name: payload[name] for name in payload.files}
+
+        return load_verified(path, self.stats, load_bundle)
+
+
+#: Cache subdirectories audited by :func:`verify_cache`, in walk order.
+_VERIFY_SUBDIRS: tuple = ("", ArrayBundleCache.SUBDIR, ServingSnapshotCache.SUBDIR)
+
+
+def verify_cache(
+    directory: Optional[os.PathLike] = None, evict: bool = False
+) -> Dict[str, Any]:
+    """Audit every cache entry against its SHA-256 integrity sidecar.
+
+    Walks the :class:`ModelCache` root plus the :class:`ArrayBundleCache`
+    (``sweeps/``) and :class:`ServingSnapshotCache` (``serving/``)
+    subdirectories, classifying each ``.npz`` entry as ``verified``
+    (digest matches), ``corrupt`` (mismatch), or ``missing_sidecar``
+    (legacy entry with no digest — tolerated, reported).  With
+    ``evict=True`` corrupt entries and their sidecars are deleted so
+    the next cache access recomputes them.
+
+    Returns a JSON-ready report with stable keys: ``directory``,
+    ``checked``, ``verified``, ``corrupt``, ``missing_sidecar``,
+    ``evicted``, and ``entries`` (one ``{path, status}`` dict per
+    entry, paths relative to the cache root).
+    """
+    base = pathlib.Path(directory) if directory is not None else cache_directory()
+    entries = []
+    evicted = 0
+    for subdir in _VERIFY_SUBDIRS:
+        root = base / subdir if subdir else base
+        if not root.is_dir():
+            continue
+        for path in sorted(root.glob("*.npz")):
+            verdict = verify_digest_sidecar(path)
+            if verdict is True:
+                status = "verified"
+            elif verdict is None:
+                status = "missing_sidecar"
+            else:
+                status = "corrupt"
+            entry = {"path": str(path.relative_to(base)), "status": status}
+            if status == "corrupt" and evict:
+                ModelCache._evict(path)
+                entry["evicted"] = True
+                evicted += 1
+            entries.append(entry)
+    return {
+        "directory": str(base),
+        "checked": len(entries),
+        "verified": sum(1 for e in entries if e["status"] == "verified"),
+        "corrupt": sum(1 for e in entries if e["status"] == "corrupt"),
+        "missing_sidecar": sum(
+            1 for e in entries if e["status"] == "missing_sidecar"
+        ),
+        "evicted": evicted,
+        "entries": entries,
+    }

@@ -123,6 +123,30 @@ class PoisonedRequest(ServingError):
     """
 
 
+class IntegrityError(ServingError):
+    """Stored or shared bytes failed a checksum verification.
+
+    Raised when a :class:`~repro.serve.shm.SharedArrayBundle` segment's
+    contents no longer match the per-array SHA-256 digests computed at
+    publish time — at shard attach, by the pool's background scrubber,
+    or by an explicit ``verify()`` — and when a corrupted segment
+    cannot be restored from its verified cache snapshot.  Silent data
+    corruption becomes a typed refusal instead of a wrong answer.
+    """
+
+
+class NumericSentinelError(ReproError):
+    """A numeric sentinel tripped at a plan-execution boundary.
+
+    Raised by :func:`repro.ir.execute.run_plan` when a plan's constant
+    arrays, float inputs, or float outputs contain NaN/Inf — the
+    signature of corrupted weights or a miscomputing kernel.  The
+    request is refused with this typed error; garbage is never returned
+    as a prediction.  Deliberately *not* a :class:`ServingError`: the
+    sentinel also guards direct (non-serving) plan execution.
+    """
+
+
 class ShardCrashLoop(ServingError):
     """A shard slot is crash-looping; the supervisor stopped respawning.
 

@@ -152,15 +152,22 @@ def flip_bits(
 
     Codes are treated as ``bits``-wide two's-complement (``signed``)
     or unsigned registers; the result stays inside the register range.
-    Returns ``codes`` itself (no copy) when ``ber`` is 0.
+    The exact endpoints are deterministic *without consuming any RNG
+    draws*: ``ber`` 0 returns ``codes`` itself (no copy), ``ber`` 1
+    inverts every bit of every code.  Keeping the endpoints draw-free
+    means a sweep over rates never shifts the RNG stream of the faults
+    that follow it.
     """
     if ber <= 0.0:
         return codes
     codes = np.asarray(codes)
+    register = _to_register(codes, bits)
+    if ber >= 1.0:
+        return _from_register(register ^ ((1 << bits) - 1), bits, signed)
     mask = np.zeros(codes.shape, dtype=np.int64)
     for bit in range(bits):
         mask |= (rng.random(codes.shape) < ber).astype(np.int64) << bit
-    return _from_register(_to_register(codes, bits) ^ mask, bits, signed)
+    return _from_register(register ^ mask, bits, signed)
 
 
 def stuck_at(
@@ -175,12 +182,21 @@ def stuck_at(
 
     A single uniform draw per synapse partitions the population into
     stuck-at-0 (``< zero_rate``), stuck-at-1 (next ``one_rate``), and
-    healthy, so the two defect sets never overlap.  Returns ``codes``
-    itself when both rates are 0.
+    healthy, so the two defect sets never overlap.  The endpoints are
+    draw-free: both rates 0 returns ``codes`` itself, and a rate of
+    exactly 1.0 forces *every* code without consuming RNG (uniform
+    draws are half-open in [0, 1), so ``draw < 1.0`` is all-True by
+    construction — we just skip the draw entirely).
     """
     if zero_rate <= 0.0 and one_rate <= 0.0:
         return codes
     codes = np.asarray(codes)
+    if zero_rate >= 1.0:
+        return _from_register(np.zeros(codes.shape, dtype=np.int64), bits, signed)
+    if one_rate >= 1.0:
+        return _from_register(
+            np.full(codes.shape, (1 << bits) - 1, dtype=np.int64), bits, signed
+        )
     draw = rng.random(codes.shape)
     register = _to_register(codes, bits)
     register = np.where(draw < zero_rate, 0, register)
@@ -194,9 +210,15 @@ def stuck_at(
 def sample_dead_mask(
     n_neurons: int, rate: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Boolean mask of dead neuron circuits (all-False at rate 0)."""
+    """Boolean mask of dead neuron circuits.
+
+    All-False at rate 0 and all-True at rate 1, both without consuming
+    RNG draws (see :func:`stuck_at` for why the endpoints are exact).
+    """
     if rate <= 0.0:
         return np.zeros(n_neurons, dtype=bool)
+    if rate >= 1.0:
+        return np.ones(n_neurons, dtype=bool)
     return rng.random(n_neurons) < rate
 
 
@@ -220,7 +242,11 @@ def perturb_counts(
         return counts
     counts = np.asarray(counts)
     kept = counts
-    if drop_rate > 0.0:
+    if drop_rate >= 1.0:
+        # Total fabric loss is deterministic — no binomial draw, so the
+        # RNG stream position matches the drop_rate=0 path exactly.
+        kept = np.zeros(counts.shape, dtype=np.int64)
+    elif drop_rate > 0.0:
         kept = rng.binomial(counts.astype(np.int64), 1.0 - drop_rate)
     if spurious_rate > 0.0:
         lam = spurious_rate * np.maximum(counts.astype(np.float64), 1.0)

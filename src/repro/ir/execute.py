@@ -8,6 +8,17 @@ bitwise-equal to the serial interpreter on the plans it accepts — the
 IR property tests and the per-kind golden tests assert it across all
 available backends — so callers select backends for *speed*, never for
 semantics.
+
+**Numeric sentinels.**  The front door also guards the execution
+boundary against silent data corruption: float constants and float
+inputs are checked for NaN/Inf before dispatch, and float outputs are
+checked after.  A corrupted weight matrix or a miscomputing kernel
+produces non-finite values long before it produces a plausible wrong
+label, so the sentinel converts silent garbage into the typed
+:class:`~repro.core.errors.NumericSentinelError` — a refusal the
+serving layer's audit machinery can count and escalate, instead of a
+wrong prediction nobody notices.  The checks run identically for every
+backend because they live *around* the dispatch, not inside any engine.
 """
 
 from __future__ import annotations
@@ -16,9 +27,43 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.errors import NumericSentinelError
 from ..core.timing import phase
 from .ops import CompiledPlan
 from .runtime import ExecutionContext
+
+
+def _check_finite(array: np.ndarray, what: str) -> None:
+    """Raise the typed sentinel when a float array holds NaN/Inf."""
+    array = np.asarray(array)
+    if array.dtype.kind != "f" or array.size == 0:
+        return
+    if not np.isfinite(array).all():
+        bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise NumericSentinelError(
+            f"numeric sentinel tripped: {what} contains {bad} non-finite "
+            f"value(s) (NaN/Inf) — refusing to produce a prediction"
+        )
+
+
+def check_plan_consts(plan: CompiledPlan) -> None:
+    """Verify every float constant of a plan is finite.
+
+    Constants carry the trained weights/thresholds — the payload a
+    memory fault corrupts.  Called by :func:`run_plan` on every batch;
+    also usable standalone by callers that want to vet a plan once.
+    """
+    for name, value in plan.consts.items():
+        _check_finite(value, f"plan const {name!r}")
+
+
+def _check_outputs(result, plan: CompiledPlan) -> None:
+    if isinstance(result, tuple):
+        for name, value in zip(plan.outputs, result):
+            _check_finite(value, f"plan output {name!r}")
+    else:
+        label = plan.outputs[0] if plan.outputs else "result"
+        _check_finite(result, f"plan output {label!r}")
 
 
 def run_plan(
@@ -41,10 +86,20 @@ def run_plan(
     :class:`~repro.core.errors.BackendError` for unknown/unavailable
     names and :class:`~repro.core.errors.BackendUnsupported` when a
     restricted backend (``int8-tiled``) refuses the plan.
+
+    Raises :class:`~repro.core.errors.NumericSentinelError` when the
+    plan's float constants, the float input batch, or the float outputs
+    contain NaN/Inf — the backend's answer is never returned in that
+    case.
     """
     from . import backends
 
     name = backends.resolve_backend_name(backend)
     engine = backends.get_backend(name)
+    check_plan_consts(plan)
+    if images is not None:
+        _check_finite(images, "input batch")
     with phase("ir-exec"):
-        return engine.run(plan, images, indices, ctx)
+        result = engine.run(plan, images, indices, ctx)
+    _check_outputs(result, plan)
+    return result

@@ -66,11 +66,12 @@ from .engine import InferenceServer
 from .supervisor import SupervisorPolicy
 
 #: Event kinds a scenario may schedule.
-KILL, WEDGE, LATENCY_SPIKE, ERROR_BURST = (
+KILL, WEDGE, LATENCY_SPIKE, ERROR_BURST, CORRUPT_WEIGHTS = (
     "kill_shard",
     "wedge_shard",
     "latency_spike",
     "error_burst",
+    "corrupt_weights",
 )
 
 #: RNG stream the error burst's failure lottery draws from (via the
@@ -90,8 +91,9 @@ class ChaosEvent:
         duration: window length as a duration fraction
             (``latency_spike`` / ``error_burst``), or the wedge sleep
             for ``wedge_shard`` as a duration fraction.
-        magnitude: latency-spike sleep in **milliseconds**, or the
-            error-burst per-batch failure probability in [0, 1].
+        magnitude: latency-spike sleep in **milliseconds**, the
+            error-burst per-batch failure probability in [0, 1], or
+            the ``corrupt_weights`` flip count (whole bits, >= 1).
     """
 
     kind: str
@@ -101,7 +103,9 @@ class ChaosEvent:
     magnitude: float = 0.0
 
     def validate(self) -> "ChaosEvent":
-        if self.kind not in (KILL, WEDGE, LATENCY_SPIKE, ERROR_BURST):
+        if self.kind not in (
+            KILL, WEDGE, LATENCY_SPIKE, ERROR_BURST, CORRUPT_WEIGHTS
+        ):
             raise ServingError(f"unknown chaos event kind {self.kind!r}")
         if not 0.0 <= self.at < 1.0:
             raise ServingError(f"event time must be in [0, 1), got {self.at}")
@@ -113,6 +117,11 @@ class ChaosEvent:
             )
         if self.kind in (KILL, WEDGE) and self.target < 0:
             raise ServingError(f"target must be >= 0, got {self.target}")
+        if self.kind == CORRUPT_WEIGHTS and self.magnitude < 1:
+            raise ServingError(
+                f"corrupt_weights magnitude is the flip count (>= 1), "
+                f"got {self.magnitude}"
+            )
         return self
 
 
@@ -132,6 +141,10 @@ class ChaosScenario:
         wedge_timeout: supervisor silence threshold, seconds (small so
             wedge scenarios recover inside the run).
         max_task_retries: pool quarantine threshold.
+        scrub_period: background integrity-scrub period, seconds
+            (``None`` leaves the scrubber off — the default for
+            scenarios that never corrupt shared memory).
+        audit_rate: audit-lane sampling rate handed to the server.
     """
 
     scenario_id: str
@@ -143,10 +156,20 @@ class ChaosScenario:
     events: Tuple[ChaosEvent, ...] = field(default_factory=tuple)
     wedge_timeout: float = 1.0
     max_task_retries: int = 2
+    scrub_period: Optional[float] = None
+    audit_rate: float = 0.0
 
     def validate(self) -> "ChaosScenario":
         if self.jobs < 1:
             raise ServingError(f"jobs must be >= 1, got {self.jobs}")
+        if self.scrub_period is not None and self.scrub_period <= 0:
+            raise ServingError(
+                f"scrub_period must be positive or None, got {self.scrub_period}"
+            )
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ServingError(
+                f"audit_rate must be in [0, 1], got {self.audit_rate}"
+            )
         if self.duration_seconds <= 0:
             raise ServingError(
                 f"duration_seconds must be positive, got {self.duration_seconds}"
@@ -228,6 +251,23 @@ SCENARIOS: Dict[str, ChaosScenario] = {
                 ChaosEvent(
                     kind=ERROR_BURST, at=0.33, duration=0.34, magnitude=0.4
                 ),
+            ),
+        ),
+        ChaosScenario(
+            scenario_id="weight-corruption",
+            description=(
+                "flip 8 seeded bits in the live shared weights at 25%; "
+                "the scrubber must detect within one period, restore "
+                "the segment bit-identically from the verified "
+                "snapshot, and serve nothing corrupt after detection"
+            ),
+            jobs=2,
+            duration_seconds=4.0,
+            concurrency=4,
+            scrub_period=0.4,
+            audit_rate=0.05,
+            events=(
+                ChaosEvent(kind=CORRUPT_WEIGHTS, at=0.25, magnitude=8.0),
             ),
         ),
         ChaosScenario(
@@ -359,6 +399,7 @@ class _Ledger:
         self.double_resolutions = 0
         self.ok = 0
         self.bit_mismatches = 0
+        self.mismatch_times: List[float] = []
         self.errors: Dict[str, int] = {}
 
     def open_request(self) -> None:
@@ -371,6 +412,9 @@ class _Ledger:
             self.ok += 1
             if not matched:
                 self.bit_mismatches += 1
+                # Absolute timestamp: corruption invariants check that
+                # no mismatch postdates the scrubber's detection.
+                self.mismatch_times.append(time.perf_counter())
 
     def resolve_error(self, error: BaseException, first: bool) -> None:
         key = type(error).__name__
@@ -454,11 +498,12 @@ def _run_schedule(
     stop_event: threading.Event,
     log: List[Dict[str, Any]],
     log_lock: threading.Lock,
+    seed: int = 0,
 ) -> None:
-    """Fire the scenario's kill / wedge events at their absolute times."""
+    """Fire the scenario's pool-side events at their absolute times."""
     duration = scenario.duration_seconds
     events = sorted(
-        (e for e in scenario.events if e.kind in (KILL, WEDGE)),
+        (e for e in scenario.events if e.kind in (KILL, WEDGE, CORRUPT_WEIGHTS)),
         key=lambda e: e.at,
     )
     for event in events:
@@ -478,9 +523,15 @@ def _run_schedule(
         try:
             if event.kind == KILL:
                 pool.kill_shard(event.target)
-            else:
+            elif event.kind == WEDGE:
                 pool.wedge_shard(
                     event.target, event.duration * duration
+                )
+            else:
+                entry.update(
+                    pool.chaos_corrupt(
+                        seed=seed, n_flips=int(event.magnitude)
+                    )
                 )
         except ServingError as exc:
             entry["error"] = repr(exc)
@@ -568,9 +619,15 @@ def run_chaos(
         max_task_retries=scenario.max_task_retries,
         supervisor=supervisor,
         chaos_hooks=True,
+        scrub_period=scenario.scrub_period,
     )
     server = InferenceServer(
-        pool=pool, policy=policy, images=test_images, interceptor=interceptor
+        pool=pool,
+        policy=policy,
+        images=test_images,
+        interceptor=interceptor,
+        audit_rate=scenario.audit_rate,
+        audit_seed=seed,
     )
     schedule_log: List[Dict[str, Any]] = []
     log_lock = threading.Lock()
@@ -600,7 +657,8 @@ def run_chaos(
             schedule = threading.Thread(
                 target=_run_schedule,
                 args=(
-                    pool, scenario, start, stop_event, schedule_log, log_lock
+                    pool, scenario, start, stop_event, schedule_log,
+                    log_lock, seed,
                 ),
                 name="repro-chaos-schedule",
                 daemon=True,
@@ -629,6 +687,58 @@ def run_chaos(
             duplicates += summary["duplicates"]
             mismatches += summary["bit_mismatches"]
         payload["pool"] = pool.stats()
+        invariants: Dict[str, Any] = {
+            "no_lost_requests": lost == 0,
+            "no_duplicate_responses": duplicates == 0,
+            "bit_identical_successes": mismatches == 0,
+            "supervisor_recovered": recovered,
+        }
+        has_corruption = any(
+            e.kind == CORRUPT_WEIGHTS for e in scenario.events
+        )
+        if has_corruption:
+            # Final sweep: anything still corrupt is restored (and
+            # counted) before the bit-identity check below.
+            leftovers = pool.scrub_now()
+            integrity = pool.integrity_stats()
+            last = integrity.get("last_corruption") or {}
+            detected_at = last.get("detected_at")
+            fired = [
+                e for e in schedule_log
+                if e.get("kind") == CORRUPT_WEIGHTS and "injected_at" in e
+            ]
+            injected_at = fired[0]["injected_at"] if fired else None
+            period = scenario.scrub_period or 0.0
+            # A mismatch served *before* the scrubber could notice is
+            # the attack window; one served after detection is a
+            # defense failure — the epoch gate must have discarded it.
+            late_mismatches = [
+                t
+                for ledger in ledgers.values()
+                for t in ledger.mismatch_times
+                if detected_at is None or t > detected_at
+            ]
+            invariants.update(
+                {
+                    "corruption_detected": integrity["scrub_failures"] >= 1
+                    and detected_at is not None,
+                    "detected_within_scrub_period": (
+                        detected_at is not None
+                        and injected_at is not None
+                        # 1s of slack for a loaded CI scheduler.
+                        and detected_at - injected_at <= period + 1.0
+                    ),
+                    "no_corrupt_responses_after_detection": not late_mismatches,
+                    "restored_bit_identical": (
+                        not leftovers
+                        and integrity["restores"] >= 1
+                        and not integrity["unrecoverable"]
+                    ),
+                    # Mismatches inside the pre-detection window are the
+                    # injected fault doing its job, not a serving bug.
+                    "bit_identical_successes": not late_mismatches,
+                }
+            )
         payload["chaos"] = {
             "scenario": scenario.scenario_id,
             "description": scenario.description,
@@ -643,13 +753,9 @@ def run_chaos(
             "duplicates": duplicates,
             "bit_mismatches": mismatches,
             "recovered": recovered,
-            "invariants": {
-                "no_lost_requests": lost == 0,
-                "no_duplicate_responses": duplicates == 0,
-                "bit_identical_successes": mismatches == 0,
-                "supervisor_recovered": recovered,
-            },
+            "invariants": invariants,
         }
+        payload["integrity"] = server.integrity()
         payload["health"] = server.health()
     finally:
         stop_event.set()

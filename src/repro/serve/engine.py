@@ -26,6 +26,7 @@ scheme plus the PR2 batched-engine contract guarantee it, and
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -35,11 +36,12 @@ import numpy as np
 from ..core.errors import (
     CircuitOpen,
     DeadlineExceeded,
+    NumericSentinelError,
     Overloaded,
     PoisonedRequest,
     ServingError,
 )
-from ..core.rng import SeedLike
+from ..core.rng import SeedLike, child_rng
 from ..core.timing import phase
 from ..snn.batched import TEST_SPIKE_STREAM, batch_winners, encode_indexed
 from .batcher import BatchPolicy, MicroBatcher
@@ -318,6 +320,13 @@ class InferenceServer:
             ``before_batch(model, payloads)`` runs ahead of every
             coalesced batch (the seam the chaos harness uses for
             latency spikes and transient-error bursts).
+        audit_rate: fraction of served batches re-executed on the
+            serial-interpreter oracle and bit-compared against the
+            served answer (the SDC audit lane).  ``0.0`` (the default)
+            disables auditing entirely — no RNG is created and the
+            request path is bit-identical to a server built without
+            the feature.
+        audit_seed: RNG root for the audit sampling stream.
     """
 
     def __init__(
@@ -328,6 +337,8 @@ class InferenceServer:
         pool=None,
         breaker: Optional[BreakerPolicy] = None,
         interceptor=None,
+        audit_rate: float = 0.0,
+        audit_seed: int = 0,
     ):
         if (runners is None) == (pool is None):
             raise ServingError("pass exactly one of runners= or pool=")
@@ -337,6 +348,23 @@ class InferenceServer:
         self.breaker_policy = (breaker or BreakerPolicy()).validate()
         self.interceptor = interceptor
         self.images = None if images is None else np.asarray(images)
+        self.audit_rate = float(audit_rate)
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ServingError(
+                f"audit_rate must be in [0, 1], got {audit_rate}"
+            )
+        self._audit_lock = threading.Lock()
+        self._audit_counters = {
+            "audit_checks": 0,
+            "audit_matches": 0,
+            "audit_mismatches": 0,
+            "audit_skipped": 0,
+        }
+        self._sentinel_trips = 0
+        self._audit_rng = (
+            child_rng(audit_seed, "audit-lane") if self.audit_rate > 0 else None
+        )
+        self._oracle_runners: Dict[str, tuple] = {}
         names = sorted(self.runners) if pool is None else sorted(pool.models)
         if not names:
             raise ServingError("no models to serve")
@@ -364,6 +392,8 @@ class InferenceServer:
         seed: SeedLike = None,
         engine: str = "plan",
         backend: Optional[str] = None,
+        audit_rate: float = 0.0,
+        audit_seed: int = 0,
     ) -> "InferenceServer":
         """In-process server over trained models (see :func:`build_runners`)."""
         return cls(
@@ -372,6 +402,8 @@ class InferenceServer:
             ),
             policy=policy,
             images=images,
+            audit_rate=audit_rate,
+            audit_seed=audit_seed,
         )
 
     @property
@@ -586,6 +618,7 @@ class InferenceServer:
             }
         if self.pool is not None:
             payload["pool"] = self.pool.stats()
+        payload["integrity"] = self.integrity()
         return payload
 
     def health(self) -> Dict[str, Any]:
@@ -622,6 +655,11 @@ class InferenceServer:
             }
             if not alive:
                 ready = False
+        integrity = self.integrity()
+        payload["integrity"] = integrity
+        if integrity.get("unrecoverable"):
+            # Corruption recovery failed: answers cannot be trusted.
+            ready = False
         payload["ready"] = ready
         return payload
 
@@ -662,6 +700,7 @@ class InferenceServer:
         indices = [index for index, _, _ in payloads]
         deadlines = [d for _, _, d in payloads if d is not None]
         deadline = min(deadlines) if deadlines else None
+        audit = self._should_audit()
         with phase("serve-batch"):
             if self.pool is not None:
                 if (
@@ -671,10 +710,115 @@ class InferenceServer:
                     images = None  # workers resolve rows from shared memory
                 else:
                     images = self._resolve_images(payloads)
+                if audit:
+                    result, shard_id = self.pool.run_batch(
+                        name, indices, images, deadline=deadline,
+                        return_shard=True,
+                    )
+                    self._audit_batch(name, indices, images, result, shard_id)
+                    return result
                 return self.pool.run_batch(
                     name, indices, images, deadline=deadline
                 )
-            return self.runners[name].run(indices, self._resolve_images(payloads))
+            rows = self._resolve_images(payloads)
+            try:
+                result = self.runners[name].run(indices, rows)
+            except NumericSentinelError:
+                with self._audit_lock:
+                    self._sentinel_trips += 1
+                raise
+            if audit:
+                self._audit_batch(name, indices, rows, result, None)
+            return result
+
+    # -- audit lane ------------------------------------------------------
+
+    def _should_audit(self) -> bool:
+        """Seeded coin flip per coalesced batch (rate 0: draw-free)."""
+        if self.audit_rate <= 0:
+            return False
+        with self._audit_lock:
+            return float(self._audit_rng.random()) < self.audit_rate
+
+    def _oracle_for(self, name: str) -> Optional[ModelRunner]:
+        """Serial-backend twin of an in-process plan runner (cached).
+
+        Legacy runners have no independent execution path to compare
+        against, so they return None (counted as ``audit_skipped``).
+        The cache is keyed by runner identity: :meth:`swap_model`
+        replaces the runner object, which invalidates the oracle.
+        """
+        runner = self.runners.get(name)
+        cached = self._oracle_runners.get(name)
+        if cached is not None and cached[0] is runner:
+            return cached[1]
+        if not isinstance(runner, PlanRunner):
+            return None
+        oracle = PlanRunner(runner.plan, backend="serial")
+        self._oracle_runners[name] = (runner, oracle)
+        return oracle
+
+    def _audit_batch(
+        self,
+        name: str,
+        indices: Sequence[int],
+        images: Optional[np.ndarray],
+        served,
+        shard_id: Optional[int],
+    ) -> None:
+        """Re-execute one served batch on the serial oracle and compare.
+
+        A mismatch is the audit lane's whole reason to exist: the fast
+        path returned an answer the independent serial interpreter
+        disagrees with — silent corruption.  Pool mode escalates via
+        :meth:`~repro.serve.workers.ShardedPool.report_audit_mismatch`
+        (quarantine + full scrub); either mode counts it.  Oracle
+        failures degrade to ``audit_skipped`` — the audit lane must
+        never fail a request the serving path already answered.
+        """
+        try:
+            if self.pool is not None:
+                oracle = self.pool.audit_oracle(name)
+                rows = (
+                    images if images is not None else self.pool.audit_rows(indices)
+                )
+            else:
+                oracle = self._oracle_for(name)
+                rows = images
+            if oracle is None:
+                with self._audit_lock:
+                    self._audit_counters["audit_skipped"] += 1
+                return
+            expected = np.asarray(oracle.run(indices, np.atleast_2d(rows)))
+        except Exception:
+            with self._audit_lock:
+                self._audit_counters["audit_skipped"] += 1
+            return
+        matched = np.array_equal(
+            np.asarray(served).reshape(-1), expected.reshape(-1)
+        )
+        with self._audit_lock:
+            self._audit_counters["audit_checks"] += 1
+            key = "audit_matches" if matched else "audit_mismatches"
+            self._audit_counters[key] += 1
+        if not matched and self.pool is not None and shard_id is not None:
+            self.pool.report_audit_mismatch(shard_id, name)
+
+    def integrity(self) -> Dict[str, Any]:
+        """Stable-keyed SDC-defense section for stats/health payloads."""
+        with self._audit_lock:
+            payload: Dict[str, Any] = {
+                "audit_rate": self.audit_rate,
+                **self._audit_counters,
+            }
+            sentinel_trips = self._sentinel_trips
+        if self.pool is not None:
+            # Pool counters include worker-side sentinel trips; the
+            # engine-side counter only matters for in-process runners.
+            payload.update(self.pool.integrity_stats())
+        else:
+            payload["sentinel_trips"] = sentinel_trips
+        return payload
 
     # -- lifecycle ------------------------------------------------------
 

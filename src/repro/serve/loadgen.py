@@ -392,6 +392,8 @@ def run_loadtest(
     supervise: bool = True,
     engine: str = "plan",
     backend: Optional[str] = None,
+    audit_rate: float = 0.0,
+    scrub_period: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Train, serve, load, measure; returns the JSON-ready payload.
 
@@ -406,7 +408,11 @@ def run_loadtest(
     per-model runners; both are verified bit-identical against direct
     predictions when ``verify`` is on.  ``backend`` pins the plan
     execution backend (flag > ``REPRO_IR_BACKEND`` > default; ignored
-    by the legacy engine).  SIGTERM/SIGINT drain
+    by the legacy engine).  ``audit_rate`` samples that fraction of
+    served batches onto the serial-oracle audit lane (``0.0`` keeps
+    the request path bit-identical to an audit-free server);
+    ``scrub_period`` enables the pool's background integrity scrubber
+    (pool backends only).  SIGTERM/SIGINT drain
     gracefully: load stops, queues flush, and the metrics collected so
     far are still returned (the payload's ``drained`` flag records the
     interruption).
@@ -442,8 +448,15 @@ def run_loadtest(
             supervisor=SupervisorPolicy(seed=seed) if supervise else None,
             engine=engine,
             backend=backend,
+            scrub_period=scrub_period,
         )
-        server = InferenceServer(pool=pool, policy=policy, images=test_images)
+        server = InferenceServer(
+            pool=pool,
+            policy=policy,
+            images=test_images,
+            audit_rate=audit_rate,
+            audit_seed=seed,
+        )
     else:
         server = InferenceServer.from_models(
             built["models"],
@@ -452,6 +465,8 @@ def run_loadtest(
             seed=seed,
             engine=engine,
             backend=backend,
+            audit_rate=audit_rate,
+            audit_seed=seed,
         )
     payload: Dict[str, Any] = {
         "loadtest": {
@@ -469,6 +484,8 @@ def run_loadtest(
             "seed": seed,
             "engine": engine,
             "backend": backend,
+            "audit_rate": audit_rate,
+            "scrub_period": scrub_period,
             "n_test_images": int(len(test_images)),
         },
         "host": host_metadata(),
@@ -521,6 +538,7 @@ def run_loadtest(
             from ..ir import plan_cache_stats
 
             payload["plan_cache"] = plan_cache_stats()
+            payload["integrity"] = server.integrity()
             payload["health"] = server.health()
     finally:
         server.close()

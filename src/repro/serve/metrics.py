@@ -343,6 +343,38 @@ def render_stats(payload: Dict[str, Any]) -> str:
                 f"baseline restored: "
                 f"{'yes' if rollback.get('baseline_restored') else 'NO'})"
             )
+    integrity = payload.get("integrity")
+    if isinstance(integrity, dict):
+        lines.append("integrity:")
+        lines.append(
+            "  audit:     "
+            f"rate {integrity.get('audit_rate', 0.0)}, "
+            f"{integrity.get('audit_checks', 0)} check(s), "
+            f"{integrity.get('audit_matches', 0)} match(es), "
+            f"{integrity.get('audit_mismatches', 0)} mismatch(es), "
+            f"{integrity.get('audit_skipped', 0)} skipped"
+        )
+        lines.append(
+            "  scrub:     "
+            f"period {integrity.get('scrub_period', None)}, "
+            f"{integrity.get('scrub_passes', 0)} clean pass(es), "
+            f"{integrity.get('scrub_failures', 0)} corruption(s) "
+            f"({integrity.get('corrupt_arrays_detected', 0)} array(s), "
+            f"{integrity.get('restores', 0)} restore(s))"
+        )
+        lines.append(
+            "  defense:   "
+            f"{integrity.get('corrupt_shard_respawns', 0)} corrupt-shard "
+            f"respawn(s), {integrity.get('stale_results_discarded', 0)} stale "
+            f"result(s) discarded, {integrity.get('sentinel_trips', 0)} "
+            f"sentinel trip(s)"
+        )
+        quarantined = integrity.get("audit_quarantined_pairs") or []
+        if quarantined:
+            described = "  ".join(f"{sid}:{backend}" for sid, backend in quarantined)
+            lines.append(f"  quarantined (shard:backend):  {described}")
+        if integrity.get("unrecoverable"):
+            lines.append("  UNRECOVERABLE: corruption restore failed")
     chaos = payload.get("chaos")
     if isinstance(chaos, dict):
         lines.append("chaos:")
@@ -390,6 +422,15 @@ def render_health(payload: Dict[str, Any]) -> str:
         lines.append(
             f"pool: {len(pool.get('alive_shards', []))} of "
             f"{pool.get('jobs', '?')} shard(s) alive"
+        )
+    integrity = health.get("integrity")
+    if isinstance(integrity, dict):
+        lines.append(
+            f"integrity: audit {integrity.get('audit_checks', 0)} check(s) "
+            f"({integrity.get('audit_mismatches', 0)} mismatch(es)), "
+            f"scrub {integrity.get('scrub_passes', 0)} pass(es) "
+            f"({integrity.get('scrub_failures', 0)} corruption(s)), "
+            f"{'UNRECOVERABLE' if integrity.get('unrecoverable') else 'recoverable'}"
         )
     learner = health.get("learner")
     if isinstance(learner, dict):

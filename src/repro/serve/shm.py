@@ -1,4 +1,4 @@
-"""Zero-copy shared-memory array bundles.
+"""Zero-copy shared-memory array bundles with integrity checksums.
 
 The serving layer's worker shards and the ``repro report --jobs``
 process pool both need the same large, read-only numpy arrays in every
@@ -14,9 +14,22 @@ segment so that:
 * views are marked read-only on attach, so a worker bug cannot
   corrupt another worker's model.
 
+**Integrity.**  Read-only flags stop *software* writes, but a DRAM bit
+flip (or any other silent-data-corruption source) changes the bytes
+under every attached view at once.  ``create`` therefore computes a
+SHA-256 digest per array at publish time; the digests travel in the
+:meth:`~SharedArrayBundle.spec`, ``attach`` re-verifies them before a
+worker builds models on the views, and :meth:`~SharedArrayBundle.verify`
+lets a background scrubber re-check the live segment on a period.  A
+mismatch raises the typed :class:`~repro.core.errors.IntegrityError`
+(attach) or returns the corrupt names (scrub) — silent corruption
+becomes a detectable, recoverable event.  :meth:`restore` writes
+verified bytes back into the segment in place, so recovery does not
+require republishing the whole bundle.
+
 The bundle's :meth:`~SharedArrayBundle.spec` is a small picklable
-``(segment_name, layout)`` pair — that is all that crosses the process
-boundary.
+``(segment_name, layout, digests)`` triple — that is all that crosses
+the process boundary.
 
 Lifecycle: the creating process owns the segment and must call
 :meth:`~SharedArrayBundle.close` with ``unlink=True`` when done (the
@@ -29,11 +42,12 @@ the copying path" — sharing is an optimization, never a requirement.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import hashlib
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.errors import ServingError
+from ..core.errors import IntegrityError, ServingError
 
 #: Segment offsets are aligned so every array view starts on a cache
 #: line; keeps vectorized loads on attached views as fast as on
@@ -43,9 +57,18 @@ _ALIGN = 64
 #: layout: array name -> (byte offset, shape, dtype string)
 Layout = Dict[str, Tuple[int, Tuple[int, ...], str]]
 
+#: digests: array name -> hex SHA-256 of the array's raw bytes.
+Digests = Dict[str, str]
+
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def array_digest(view: np.ndarray) -> str:
+    """Hex SHA-256 over an array's raw bytes (C-contiguous)."""
+    data = np.ascontiguousarray(view)
+    return hashlib.sha256(data.view(np.uint8).reshape(-1)).hexdigest()
 
 
 class SharedArrayBundle:
@@ -57,9 +80,12 @@ class SharedArrayBundle:
     creator before :meth:`freeze`; always read-only for attachers).
     """
 
-    def __init__(self, shm, layout: Layout, owner: bool):
+    def __init__(self, shm, layout: Layout, owner: bool, digests: Optional[Digests] = None):
         self._shm = shm
         self.layout = dict(layout)
+        #: publish-time per-array SHA-256 digests (empty for legacy
+        #: specs that shipped without them — then verify() is a no-op).
+        self.digests: Digests = dict(digests or {})
         self.owner = owner
         self._closed = False
         self.arrays: Dict[str, np.ndarray] = {}
@@ -73,7 +99,11 @@ class SharedArrayBundle:
 
     @classmethod
     def create(cls, arrays: Dict[str, np.ndarray], name: Optional[str] = None) -> "SharedArrayBundle":
-        """Publish ``arrays`` into a fresh segment (copies each once)."""
+        """Publish ``arrays`` into a fresh segment (copies each once).
+
+        Computes the per-array SHA-256 digests after the copy-in, so
+        the digests describe exactly the bytes attachers will map.
+        """
         try:
             from multiprocessing import shared_memory
         except ImportError as exc:  # pragma: no cover - stdlib always has it
@@ -95,14 +125,27 @@ class SharedArrayBundle:
             source = np.ascontiguousarray(arrays[key])
             if source.size:
                 bundle.arrays[key][...] = source
+        bundle.digests = {
+            key: array_digest(bundle.arrays[key]) for key in layout
+        }
         bundle.freeze()
         return bundle
 
     @classmethod
     def attach(
-        cls, segment_name: str, layout: Layout, untrack: bool = True
+        cls,
+        segment_name: str,
+        layout: Layout,
+        digests: Optional[Digests] = None,
+        untrack: bool = True,
     ) -> "SharedArrayBundle":
         """Attach to a published segment; views are read-only.
+
+        When ``digests`` are given (every spec since the integrity
+        layer ships them), the segment's bytes are verified against
+        them *before* the caller builds anything on the views; a
+        mismatch raises :class:`~repro.core.errors.IntegrityError`.
+        ``digests=None`` attaches a legacy spec unverified.
 
         ``untrack`` handles bpo-38119: Python's resource tracker
         registers *every* attach as if the attacher owned the segment,
@@ -131,7 +174,16 @@ class SharedArrayBundle:
                 resource_tracker.unregister(shm._name, "shared_memory")
             except Exception:
                 pass
-        return cls(shm, layout, owner=False)
+        bundle = cls(shm, layout, owner=False, digests=digests)
+        if digests:
+            corrupt = bundle.verify()
+            if corrupt:
+                bundle.close()
+                raise IntegrityError(
+                    f"shared-memory segment {segment_name!r} failed checksum "
+                    f"verification at attach: corrupt array(s) {corrupt}"
+                )
+        return bundle
 
     # -- accessors ------------------------------------------------------
 
@@ -139,9 +191,9 @@ class SharedArrayBundle:
     def name(self) -> str:
         return self._shm.name
 
-    def spec(self) -> Tuple[str, Layout]:
-        """The picklable ``(segment_name, layout)`` workers attach with."""
-        return self._shm.name, dict(self.layout)
+    def spec(self) -> Tuple[str, Layout, Digests]:
+        """The picklable ``(name, layout, digests)`` workers attach with."""
+        return self._shm.name, dict(self.layout), dict(self.digests)
 
     def __getitem__(self, key: str) -> np.ndarray:
         return self.arrays[key]
@@ -156,6 +208,59 @@ class SharedArrayBundle:
         """Mark every view read-only (creator side, after the copy-in)."""
         for view in self.arrays.values():
             view.flags.writeable = False
+
+    # -- integrity ------------------------------------------------------
+
+    def verify(self, keys: Optional[List[str]] = None) -> List[str]:
+        """Re-hash the live segment; returns the corrupt array names.
+
+        Compares the current bytes of each array (all of them, or just
+        ``keys``) against the publish-time digests.  Arrays without a
+        recorded digest (legacy specs) are skipped.  An empty list
+        means the segment is bit-identical to what was published.
+        """
+        corrupt: List[str] = []
+        for key in sorted(keys if keys is not None else self.arrays):
+            expected = self.digests.get(key)
+            if expected is None:
+                continue
+            if array_digest(self.arrays[key]) != expected:
+                corrupt.append(key)
+        return corrupt
+
+    def _writable(self, key: str) -> np.ndarray:
+        """A writable alias of one array's bytes in the live segment.
+
+        Deliberately private: the only legitimate writers are
+        :meth:`restore` (corruption recovery) and the chaos harness's
+        seeded bit-flipper.  Everyone else gets the frozen views.
+        """
+        offset, shape, dtype = self.layout[key]
+        return np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset
+        )
+
+    def restore(self, key: str, source: np.ndarray) -> None:
+        """Write verified bytes back over one (possibly corrupt) array.
+
+        ``source`` must match the publish-time digest — restoring
+        unverified bytes would just institutionalize the corruption.
+        Raises :class:`~repro.core.errors.IntegrityError` when it does
+        not, or when the write-back fails re-verification.
+        """
+        expected = self.digests.get(key)
+        source = np.ascontiguousarray(source)
+        if expected is not None and array_digest(source) != expected:
+            raise IntegrityError(
+                f"refusing to restore {key!r}: replacement bytes do not "
+                "match the publish-time digest"
+            )
+        self._writable(key)[...] = source
+        if expected is not None and array_digest(self.arrays[key]) != expected:
+            raise IntegrityError(
+                f"restore of {key!r} failed re-verification; the segment "
+                "may be actively corrupting"
+            )
 
     # -- lifecycle ------------------------------------------------------
 

@@ -162,6 +162,7 @@ class ShardSupervisor:
         }
         self._crash_loop_trips = 0
         self._total_respawns = 0
+        self._corrupt_heals = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -236,10 +237,13 @@ class ShardSupervisor:
     def _heal_slot(self, state: _SlotState, now: float) -> None:
         policy = self.policy
         if self.pool.consume_planned_retire(state.slot):
-            # Planned retirement (hot-swap rollover): respawn right
-            # away — no death bookkeeping, no backoff, no breaker
-            # pressure.  A learner promoting snapshots every few
-            # seconds must not read as a crash loop.
+            # Planned retirement (hot-swap rollover or corruption
+            # roll): respawn right away — no death bookkeeping, no
+            # backoff, no breaker pressure.  A learner promoting
+            # snapshots every few seconds must not read as a crash
+            # loop, and neither must a corruption recovery rolling
+            # every shard at once.
+            corrupt = self.pool.consume_corrupt_retire(state.slot)
             try:
                 self.pool.respawn_shard(
                     state.slot, ready_timeout=policy.ready_timeout
@@ -254,6 +258,8 @@ class ShardSupervisor:
                 state.next_attempt_at = None
                 with self._lock:
                     self._total_respawns += 1
+                    if corrupt:
+                        self._corrupt_heals += 1
                 return
         if not state.awaiting_respawn:
             # Newly observed death: record it, maybe trip the breaker,
@@ -327,6 +333,7 @@ class ShardSupervisor:
         """JSON-ready supervisor state for ``serve-stats`` / health."""
         with self._lock:
             total = self._total_respawns
+            corrupt_heals = self._corrupt_heals
         slots = {}
         for slot, state in sorted(self._slots.items()):
             slots[str(slot)] = {
@@ -339,6 +346,7 @@ class ShardSupervisor:
         return {
             "respawns": total,
             "crash_loop_trips": self._crash_loop_trips,
+            "corrupt_heals": corrupt_heals,
             "slots": slots,
         }
 

@@ -48,6 +48,31 @@ Fault tolerance (asserted by ``tests/serve/test_workers.py`` and
   In-flight tasks on a retiring shard requeue on the survivors via the
   ordinary death path; capacity never reaches zero.
 
+Silent-data-corruption defense (asserted by
+``tests/serve/test_integrity.py`` and the ``weight-corruption`` chaos
+scenario):
+
+* the published bundle carries per-array SHA-256 digests; shards
+  verify them at attach, and a **background scrubber** thread
+  (``scrub_period=`` seconds) re-hashes the live segment so a bit flip
+  in shared memory is *detected*, not served forever;
+* on detection the pool **recovers**: dispatch pauses, the corrupt
+  arrays are restored in place from the sidecar-verified snapshot the
+  pool wrote at publish time (:class:`ServingSnapshotCache`, with an
+  in-memory pristine fallback), results computed against the corrupt
+  bytes are discarded and transparently re-dispatched (never served),
+  and every shard slot is rolled onto a fresh, attach-verified worker;
+* a worker whose numeric sentinel trips
+  (:class:`~repro.core.errors.NumericSentinelError`) reports the typed
+  error instead of a prediction, and the pool counts the trip;
+* the audit lane (:class:`~repro.serve.engine.InferenceServer`
+  ``audit_rate=``) re-executes sampled requests on a parent-side
+  serial-oracle runner built from the *pristine* arrays
+  (:meth:`ShardedPool.audit_oracle`) and reports mismatches through
+  :meth:`ShardedPool.report_audit_mismatch`, which quarantines the
+  (shard, backend) pair, retires the shard, and escalates to a full
+  scrub.
+
 Rebuild-from-views is exact: every model family's forward pass reads
 its arrays without writing (inference only), so handing it read-only
 views of the published weights yields bit-identical predictions to the
@@ -57,6 +82,7 @@ its result.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
 import queue as queue_module
@@ -67,8 +93,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.errors import DeadlineExceeded, PoisonedRequest, ServingError
-from ..core.rng import SeedLike
+from ..core.artifacts import ServingSnapshotCache, cache_enabled
+from ..core.errors import (
+    DeadlineExceeded,
+    IntegrityError,
+    NumericSentinelError,
+    PoisonedRequest,
+    ServingError,
+)
+from ..core.rng import SeedLike, child_rng
 from .shm import Layout, SharedArrayBundle
 
 #: Seconds a collector waits on the result queue before re-checking
@@ -313,7 +346,7 @@ def rebuild_model(name: str, spec: Dict[str, Any], bundle: SharedArrayBundle):
 
 def _shard_main(
     shard_id: int,
-    bundle_spec: Tuple[str, Layout],
+    bundle_spec: Tuple[str, Layout, Dict[str, str]],
     model_specs: Dict[str, Dict[str, Any]],
     seed: SeedLike,
     warm: bool,
@@ -428,7 +461,15 @@ class _Shard:
 class _Task:
     """One in-flight batch: future, payload, shard, deaths, deadline."""
 
-    __slots__ = ("task_id", "payload", "shard_id", "future", "deaths", "deadline")
+    __slots__ = (
+        "task_id",
+        "payload",
+        "shard_id",
+        "future",
+        "deaths",
+        "deadline",
+        "epoch",
+    )
 
     def __init__(
         self,
@@ -436,6 +477,7 @@ class _Task:
         payload: tuple,
         shard_id: int,
         deadline: Optional[float] = None,
+        epoch: int = 0,
     ):
         self.task_id = task_id
         self.payload = payload
@@ -444,6 +486,11 @@ class _Task:
         #: Number of shard deaths this task has been in flight across.
         self.deaths = 0
         self.deadline = deadline
+        #: Integrity epoch at dispatch.  The pool bumps its epoch when
+        #: corruption is detected; a *result* stamped with an older
+        #: epoch was computed against bytes that failed verification
+        #: and is discarded + re-dispatched instead of served.
+        self.epoch = epoch
 
 
 class ShardedPool:
@@ -470,8 +517,13 @@ class ShardedPool:
             given, a :class:`~repro.serve.supervisor.ShardSupervisor`
             respawns dead/wedged shards under a crash-loop breaker.
         chaos_hooks: enable the in-worker chaos hooks
-            (:data:`POISON_MODEL` tasks and :meth:`wedge_shard`) used
-            by the chaos harness and the fault-tolerance tests.
+            (:data:`POISON_MODEL` tasks, :meth:`wedge_shard`, and
+            :meth:`chaos_corrupt`) used by the chaos harness and the
+            fault-tolerance tests.
+        scrub_period: seconds between background re-verifications of
+            the shared segment against its publish-time digests
+            (``None``/``0`` disables the scrubber; :meth:`scrub_now`
+            stays available either way).
     """
 
     def __init__(
@@ -488,6 +540,7 @@ class ShardedPool:
         chaos_hooks: bool = False,
         engine: str = "plan",
         backend: Optional[str] = None,
+        scrub_period: Optional[float] = None,
     ):
         from .engine import ENGINES
 
@@ -540,6 +593,41 @@ class ShardedPool:
         #: slots whose next death is a planned retirement (hot-swap
         #: rollover), not a crash; the supervisor consumes the flag.
         self._planned_retires: set = set()
+        #: subset of planned retires caused by corruption recovery /
+        #: audit quarantine; the supervisor consumes this flag too, to
+        #: count corrupt heals separately from swap rollovers.
+        self._corrupt_retires: set = set()
+        #: SDC-defense counters (under self._lock; see integrity_stats).
+        self._integrity: Dict[str, int] = {
+            "scrub_passes": 0,
+            "scrub_failures": 0,
+            "corrupt_arrays_detected": 0,
+            "restores": 0,
+            "corrupt_shard_respawns": 0,
+            "stale_results_discarded": 0,
+            "sentinel_trips": 0,
+            "audit_mismatch_reports": 0,
+        }
+        #: bumped on corruption detection; results stamped older are
+        #: discarded + re-dispatched instead of served.
+        self._integrity_epoch = 0
+        self._recovering = False
+        self._corrupt_unrecoverable = False
+        #: cleared for the (short) restore window so dispatch cannot
+        #: race corrupt bytes; set again once the segment re-verifies.
+        self._recovery_done = threading.Event()
+        self._recovery_done.set()
+        self._last_corruption: Optional[Dict[str, Any]] = None
+        #: (shard_id, backend) pairs quarantined by audit mismatches.
+        self._audit_quarantined: set = set()
+        #: per-model parent-side serial oracle runners, keyed on the
+        #: bundle they were built against (invalidated by hot_swap).
+        self._audit_runners: Dict[str, tuple] = {}
+        self.scrub_period = (
+            float(scrub_period) if scrub_period else None
+        )
+        self._scrub_stop = threading.Event()
+        self._scrub_thread: Optional[threading.Thread] = None
         #: bundles superseded by hot_swap but possibly still mapped by
         #: retiring workers; unlinked when the swap (or close) finishes.
         self._retired_bundles: List[SharedArrayBundle] = []
@@ -561,6 +649,10 @@ class ShardedPool:
         if self._images is not None:
             arrays[_DATASET_KEY] = self._images
         self._bundle = SharedArrayBundle.create(arrays)
+        self._snapshot_cache = ServingSnapshotCache() if cache_enabled() else None
+        self._pristine: Dict[str, np.ndarray] = {}
+        self._snapshot_key = ""
+        self._record_pristine(self._bundle)
 
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -589,6 +681,11 @@ class ShardedPool:
                 )
             self._supervisor = ShardSupervisor(self, supervisor)
             self._supervisor.start()
+        if self.scrub_period:
+            self._scrub_thread = threading.Thread(
+                target=self._scrub_loop, name="repro-scrubber", daemon=True
+            )
+            self._scrub_thread.start()
 
     # -- startup / (re)spawn --------------------------------------------
 
@@ -797,7 +894,11 @@ class ShardedPool:
             self._bundle = new_bundle
             self._specs = new_specs
             self._retired_bundles.append(old_bundle)
+            # Oracle runners hold views into the old bundle; rebuild
+            # them lazily against the new one.
+            self._audit_runners.clear()
             plan = [(s.shard_id, s.generation) for s in self._shards]
+        self._record_pristine(new_bundle)
         for shard_id, generation in plan:
             self.retire_shard(shard_id, ready_timeout=ready_timeout)
             self._await_generation(shard_id, above=generation, timeout=ready_timeout)
@@ -888,6 +989,319 @@ class ShardedPool:
         }
         if self._supervisor is not None:
             payload["supervisor"] = self._supervisor.snapshot()
+        payload["integrity"] = self.integrity_stats()
+        return payload
+
+    # -- integrity: scrub / recover / audit ------------------------------
+
+    def _record_pristine(self, bundle: SharedArrayBundle) -> None:
+        """Snapshot the just-published bytes as the recovery source.
+
+        Keeps an in-memory pristine copy and (cache permitting) writes
+        a sidecar-verified on-disk snapshot keyed by the bundle's
+        content digest — the copy corruption recovery restores from.
+        """
+        pristine = {key: np.array(bundle[key]) for key in bundle.layout}
+        digest = hashlib.sha256()
+        for key in sorted(bundle.digests):
+            digest.update(key.encode())
+            digest.update(bundle.digests[key].encode())
+        snapshot_key = digest.hexdigest()
+        with self._lock:
+            self._pristine = pristine
+            self._snapshot_key = snapshot_key
+        if self._snapshot_cache is not None:
+            try:
+                self._snapshot_cache.store(snapshot_key, pristine)
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
+
+    def _verified_snapshot(self) -> Dict[str, np.ndarray]:
+        """The restore source: sidecar-verified disk copy when available.
+
+        Falls back to the in-memory pristine copy (itself digest-checked
+        by :meth:`SharedArrayBundle.restore` at write-back time) when
+        the cache is disabled or the disk snapshot is itself corrupt.
+        """
+        with self._lock:
+            snapshot_key = self._snapshot_key
+            pristine = self._pristine
+        if self._snapshot_cache is not None:
+            stored = self._snapshot_cache.load(snapshot_key)
+            if stored is not None:
+                return stored
+        return pristine
+
+    def _scrub_loop(self) -> None:
+        while not self._scrub_stop.wait(self.scrub_period):
+            try:
+                self.scrub_now()
+            except IntegrityError:
+                # Unrecoverable corruption: the pool is already
+                # refusing requests; keep the scrubber alive so the
+                # counters keep telling the truth.
+                continue
+            except Exception:  # pragma: no cover - never kill the scrubber
+                continue
+
+    def scrub_now(self) -> List[str]:
+        """Re-hash the live segment; recover when corruption is found.
+
+        Returns the corrupt array names (empty for a clean pass).  On
+        corruption the recovery sequence runs synchronously: dispatch
+        pauses, the corrupt arrays are restored in place from the
+        verified snapshot, in-flight results computed against the bad
+        bytes are discarded, and every shard slot is rolled onto a
+        fresh attach-verified worker.  Raises
+        :class:`~repro.core.errors.IntegrityError` when no verified
+        restore source covers a corrupt array — the pool then refuses
+        all requests instead of serving unverifiable bytes.
+        """
+        with self._lock:
+            if self._closing or self._recovering:
+                return []
+            bundle = self._bundle
+        corrupt = bundle.verify()
+        if not corrupt:
+            with self._lock:
+                self._integrity["scrub_passes"] += 1
+            return []
+        self._recover(bundle, corrupt)
+        return corrupt
+
+    def _recover(self, bundle: SharedArrayBundle, corrupt: List[str]) -> None:
+        with self._lock:
+            if self._closing or self._recovering or bundle is not self._bundle:
+                return
+            self._recovering = True
+            self._recovery_done.clear()
+            self._integrity["scrub_failures"] += 1
+            self._integrity["corrupt_arrays_detected"] += len(corrupt)
+            # Results dispatched before this instant are now suspect:
+            # bump the epoch so _handle discards them instead of
+            # serving bytes that failed verification.
+            self._integrity_epoch += 1
+            self._last_corruption = {
+                "detected_at": time.perf_counter(),
+                "arrays": sorted(corrupt),
+                "recovered_at": None,
+            }
+            roll_plan = [
+                (s.shard_id, s.generation) for s in self._shards if s.alive
+            ]
+        restored = False
+        try:
+            verified = self._verified_snapshot()
+            for key in corrupt:
+                source = verified.get(key)
+                if source is None:
+                    raise IntegrityError(
+                        f"no verified snapshot covers corrupt array {key!r}; "
+                        "refusing to serve unverifiable bytes"
+                    )
+                bundle.restore(key, source)
+                with self._lock:
+                    self._integrity["restores"] += 1
+            leftover = bundle.verify()
+            if leftover:
+                raise IntegrityError(
+                    f"segment still corrupt after restore: {leftover}"
+                )
+            restored = True
+        finally:
+            with self._lock:
+                self._recovering = False
+                if restored:
+                    if self._last_corruption is not None:
+                        self._last_corruption["recovered_at"] = (
+                            time.perf_counter()
+                        )
+                else:
+                    self._corrupt_unrecoverable = True
+            self._recovery_done.set()
+        self._roll_shards(roll_plan)
+
+    def _roll_shards(self, plan: List[Tuple[int, int]]) -> None:
+        """Retire slots that attached the (now restored) segment.
+
+        The in-place restore already healed every attached view — the
+        segment is shared — but a worker may hold state *derived* from
+        the corrupt bytes (warm caches, lazily-built structures), so
+        each slot is rolled onto a fresh worker that re-verifies the
+        digests at attach.  One slot at a time: capacity never drops
+        by more than one, exactly like a hot swap.
+        """
+        for shard_id, generation in plan:
+            with self._lock:
+                if self._closing:
+                    return
+                self._corrupt_retires.add(shard_id)
+            try:
+                self.retire_shard(shard_id)
+                self._await_generation(shard_id, above=generation, timeout=120.0)
+            except ServingError:
+                continue  # the supervisor keeps healing the slot
+            with self._lock:
+                self._integrity["corrupt_shard_respawns"] += 1
+
+    def consume_corrupt_retire(self, shard_id: int) -> bool:
+        """Claim (and clear) the corrupt-retire flag for one slot.
+
+        The supervisor calls this alongside
+        :meth:`consume_planned_retire` to count corruption-driven
+        heals separately from hot-swap rollovers.
+        """
+        with self._lock:
+            if shard_id in self._corrupt_retires:
+                self._corrupt_retires.discard(shard_id)
+                return True
+            return False
+
+    def audit_oracle(self, name: str):
+        """Parent-side serial-oracle runner for one served model.
+
+        Built from the pool's *pristine* snapshot arrays — not the
+        live segment — and pinned to the serial interpreter backend,
+        so its answers are independent of both shared-memory
+        corruption and fast-backend bugs.  Cached per published
+        bundle; a hot swap invalidates the cache.
+        """
+        with self._lock:
+            bundle = self._bundle
+            spec = self._specs.get(name)
+            cached = self._audit_runners.get(name)
+            pristine = self._pristine
+        if spec is None:
+            raise ServingError(
+                f"unknown model {name!r}; pool serves {self.models}"
+            )
+        if cached is not None and cached[0] is bundle:
+            return cached[1]
+        if spec.get("kind") == "plan":
+            runner = _rebuild_plan_runner(
+                name, {**spec, "backend": "serial"}, pristine
+            )
+        else:
+            from .engine import build_runners
+
+            model = rebuild_model(name, spec, pristine)
+            runner = build_runners(
+                {name: model}, seed=self._seed, engine="legacy"
+            )[name]
+        with self._lock:
+            self._audit_runners[name] = (bundle, runner)
+        return runner
+
+    def audit_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Pristine dataset rows for the audit oracle.
+
+        Served from the in-memory pristine snapshot — never the live
+        segment — so the oracle's inputs cannot themselves be the
+        corrupted bytes under audit.
+        """
+        with self._lock:
+            dataset = self._pristine.get(_DATASET_KEY)
+        if dataset is None:
+            raise ServingError(
+                "pool has no shared dataset; audit requests must carry images"
+            )
+        return dataset[np.asarray(indices, dtype=np.int64)]
+
+    def report_audit_mismatch(self, shard_id: int, model: str) -> None:
+        """The audit lane caught a shard answer differing from the oracle.
+
+        Quarantines the (shard, backend) pair, escalates to a full
+        segment scrub (whose recovery rolls every shard when it also
+        finds corruption), and otherwise retires just the offending
+        shard so a fresh attach-verified worker replaces it.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._integrity["audit_mismatch_reports"] += 1
+            backend = self.backend if self.engine == "plan" else self.engine
+            self._audit_quarantined.add((int(shard_id), str(backend)))
+            alive = False
+            generation = 0
+            if 0 <= shard_id < len(self._shards):
+                shard = self._shards[shard_id]
+                alive = shard.alive
+                generation = shard.generation
+        if self.scrub_now():
+            return  # recovery already rolled every slot, this one included
+        if not alive:
+            return
+        with self._lock:
+            if self._closing:
+                return
+            self._corrupt_retires.add(shard_id)
+        try:
+            self.retire_shard(shard_id)
+            self._await_generation(shard_id, above=generation, timeout=120.0)
+        except ServingError:
+            return
+        with self._lock:
+            self._integrity["corrupt_shard_respawns"] += 1
+
+    def chaos_corrupt(
+        self,
+        seed: SeedLike = 0,
+        n_flips: int = 8,
+        key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Flip seeded bits in the live shared weights (chaos hook).
+
+        Requires ``chaos_hooks=True``.  Picks a weight-bearing array
+        (never the dataset table) unless ``key`` names one, flips
+        ``n_flips`` distinct bytes (one seeded bit each), and returns
+        what it did — the chaos harness asserts the scrubber detects
+        and repairs every flip.  This is the shared-memory equivalent
+        of the PR-1 SRAM bit-flip fault model.
+        """
+        if not self._chaos_hooks:
+            raise ServingError("chaos_corrupt requires chaos_hooks=True")
+        with self._lock:
+            bundle = self._bundle
+        if key is None:
+            names = [k for k in sorted(bundle.layout) if k != _DATASET_KEY]
+            weighty = [
+                k
+                for k in names
+                if "weight" in k.rsplit("/", 1)[-1]
+                or k.rsplit("/", 1)[-1].startswith("w_")
+            ]
+            candidates = weighty or names
+            if not candidates:
+                raise ServingError("no corruptible arrays are published")
+            key = candidates[0]
+        elif key not in bundle.layout:
+            raise ServingError(f"unknown shared array {key!r}")
+        raw = bundle._writable(key).view(np.uint8).reshape(-1)
+        rng = child_rng(seed, "chaos-weight-corruption")
+        count = int(min(int(n_flips), raw.size))
+        positions = rng.choice(raw.size, size=count, replace=False)
+        bits = rng.integers(0, 8, size=count)
+        for pos, bit in zip(positions, bits):
+            raw[int(pos)] ^= np.uint8(1 << int(bit))
+        return {
+            "key": key,
+            "n_flips": count,
+            "injected_at": time.perf_counter(),
+        }
+
+    def integrity_stats(self) -> Dict[str, Any]:
+        """Stable-keyed SDC-defense counters (serve-stats / health)."""
+        with self._lock:
+            payload: Dict[str, Any] = dict(self._integrity)
+            payload["scrub_period"] = self.scrub_period
+            payload["audit_quarantined_pairs"] = [
+                [sid, backend]
+                for sid, backend in sorted(self._audit_quarantined)
+            ]
+            payload["last_corruption"] = (
+                dict(self._last_corruption) if self._last_corruption else None
+            )
+            payload["unrecoverable"] = self._corrupt_unrecoverable
         return payload
 
     # -- task path -------------------------------------------------------
@@ -898,6 +1312,7 @@ class ShardedPool:
         indices: Sequence[int],
         images: Optional[np.ndarray],
         deadline: Optional[float] = None,
+        return_shard: bool = False,
     ) -> np.ndarray:
         """Run one coalesced batch on some shard; blocks for the result.
 
@@ -908,7 +1323,13 @@ class ShardedPool:
         shard death would otherwise requeue it.  A task signature that
         was previously quarantined fails fast with
         :class:`PoisonedRequest`.  Raises :class:`ServingError` when
-        every shard is dead or the task fails in the worker.
+        every shard is dead or the task fails in the worker, and
+        :class:`IntegrityError` when the shared segment is corrupt
+        beyond recovery (refusal, never a wrong answer).
+
+        ``return_shard=True`` returns ``(labels, shard_id)`` so the
+        audit lane can attribute a mismatching answer to the shard
+        that computed it.
         """
         if model not in self.models and not (
             self._chaos_hooks and model == POISON_MODEL
@@ -916,33 +1337,51 @@ class ShardedPool:
             raise ServingError(f"unknown model {model!r}; pool serves {self.models}")
         indices = [int(i) for i in indices]
         signature = (model, tuple(indices))
-        with self._lock:
-            if signature in self._quarantine:
-                self._counters["quarantine_rejections"] += 1
-                raise PoisonedRequest(
-                    f"task {signature!r} is quarantined after killing "
-                    f"{self._quarantine[signature]} shard(s); rejected"
+        while True:
+            with self._lock:
+                if self._corrupt_unrecoverable:
+                    raise IntegrityError(
+                        "shared segment failed verification and could not "
+                        "be restored; refusing to serve"
+                    )
+                if signature in self._quarantine:
+                    self._counters["quarantine_rejections"] += 1
+                    raise PoisonedRequest(
+                        f"task {signature!r} is quarantined after killing "
+                        f"{self._quarantine[signature]} shard(s); rejected"
+                    )
+                if deadline is not None and time.perf_counter() >= deadline:
+                    self._counters["deadline_shed"] += 1
+                    raise DeadlineExceeded(
+                        "batch deadline expired before dispatch; shed without "
+                        "consuming shard work"
+                    )
+                if not self._recovering:
+                    task = _Task(
+                        next(self._task_ids),
+                        (model, indices, images),
+                        shard_id=-1,
+                        deadline=deadline,
+                        epoch=self._integrity_epoch,
+                    )
+                    self._tasks[task.task_id] = task
+                    shard = self._pick_shard_locked()
+                    if shard is None:
+                        del self._tasks[task.task_id]
+                        raise ServingError("all worker shards are dead")
+                    task.shard_id = shard.shard_id
+                    break
+            # Corruption recovery is restoring the segment: hold
+            # dispatch until it re-verifies, then retry the admission
+            # checks (the window is a few milliseconds of memcpy+hash).
+            if not self._recovery_done.wait(timeout=self.task_timeout):
+                raise IntegrityError(
+                    "corruption recovery did not release dispatch in time"
                 )
-            if deadline is not None and time.perf_counter() >= deadline:
-                self._counters["deadline_shed"] += 1
-                raise DeadlineExceeded(
-                    "batch deadline expired before dispatch; shed without "
-                    "consuming shard work"
-                )
-            task = _Task(
-                next(self._task_ids),
-                (model, indices, images),
-                shard_id=-1,
-                deadline=deadline,
-            )
-            self._tasks[task.task_id] = task
-            shard = self._pick_shard_locked()
-            if shard is None:
-                del self._tasks[task.task_id]
-                raise ServingError("all worker shards are dead")
-            task.shard_id = shard.shard_id
         shard.in_q.put((task.task_id, model, indices, images))
         result = task.future.result(timeout=self.task_timeout)
+        if return_shard:
+            return result, task.shard_id
         return result
 
     def _pick_shard_locked(self) -> Optional[_Shard]:
@@ -982,6 +1421,8 @@ class ShardedPool:
         shard.last_message_at = time.perf_counter()
         if kind == "heartbeat":
             return
+        stale = False
+        requeue_target = None
         with self._lock:
             task = self._tasks.pop(task_id, None)
             if task is None:
@@ -990,8 +1431,43 @@ class ShardedPool:
                 # the future was already resolved exactly once.
                 self._counters["duplicate_completions"] += 1
                 return
+            if kind == "result" and task.epoch < self._integrity_epoch:
+                # Computed against bytes that later failed checksum
+                # verification: never served.  Re-dispatch at the
+                # current epoch; by the time recovery releases
+                # dispatch the segment is restored, so the retry
+                # reads clean bytes.
+                stale = True
+                self._integrity["stale_results_discarded"] += 1
+                requeue_target = self._pick_shard_locked()
+                if requeue_target is not None:
+                    task.epoch = self._integrity_epoch
+                    task.shard_id = requeue_target.shard_id
+                    self._tasks[task.task_id] = task
+                    self._counters["requeues"] += 1
+        if stale:
+            if requeue_target is None:
+                task.future.set_exception(
+                    IntegrityError(
+                        "result discarded after corruption detection and "
+                        "no shard is available to re-execute it"
+                    )
+                )
+                return
+            # Don't hand the retry to a shard while the segment is
+            # still being restored.
+            self._recovery_done.wait(timeout=30.0)
+            model, indices, images = task.payload
+            requeue_target.in_q.put((task.task_id, model, indices, images))
+            return
         if kind == "result":
             task.future.set_result(payload)
+        elif "NumericSentinelError" in str(payload):
+            with self._lock:
+                self._integrity["sentinel_trips"] += 1
+            task.future.set_exception(
+                NumericSentinelError(f"worker refused the batch: {payload}")
+            )
         else:
             task.future.set_exception(
                 ServingError(f"worker task failed: {payload}")
@@ -1104,6 +1580,10 @@ class ShardedPool:
     def close(self, timeout: float = 30.0) -> None:
         """Stop shards, fail any stranded tasks, release shared memory."""
         self._closing = True
+        self._scrub_stop.set()
+        if self._scrub_thread is not None and self._scrub_thread.is_alive():
+            self._scrub_thread.join(timeout=timeout)
+        self._recovery_done.set()  # release any dispatch waiting on recovery
         if self._supervisor is not None:
             self._supervisor.stop()
         for shard in self._shards:

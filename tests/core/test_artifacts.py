@@ -446,3 +446,78 @@ class TestArrayBundleCache:
         assert cache.clear() == 2
         cache.get_or_compute("k1", self._bundle)
         assert cache.stats.misses == 3
+
+
+class TestVerifyCache:
+    """Offline sidecar audit over every cache family (``cache verify``)."""
+
+    def _populate(self, base, tiny_pair):
+        from repro.core.artifacts import ArrayBundleCache
+
+        train_set, _ = tiny_pair
+        config = MLPConfig(n_inputs=train_set.n_inputs, n_hidden=8)
+        model_cache = ModelCache(base)
+        model_cache.get_or_train(
+            "mlp", config, train_set, _mlp_factory(config, [])
+        )
+        ArrayBundleCache(base).get_or_compute(
+            "sweep-k", lambda: {"a": np.arange(4.0)}
+        )
+        return model_cache, cache_key("mlp", config, train_set)
+
+    def test_empty_directory_reports_zero(self, tmp_path):
+        report = artifacts.verify_cache(tmp_path)
+        assert report == {
+            "directory": str(tmp_path),
+            "checked": 0,
+            "verified": 0,
+            "corrupt": 0,
+            "missing_sidecar": 0,
+            "evicted": 0,
+            "entries": [],
+        }
+
+    def test_clean_entries_all_verify(self, tmp_path, tiny_pair):
+        self._populate(tmp_path, tiny_pair)
+        report = artifacts.verify_cache(tmp_path)
+        assert report["checked"] == 2
+        assert report["verified"] == 2
+        assert report["corrupt"] == 0
+        assert {e["status"] for e in report["entries"]} == {"verified"}
+        # Entries cover both the root and the sweeps/ subdirectory.
+        assert any(e["path"].startswith("sweeps/") for e in report["entries"])
+
+    def test_bit_flip_is_reported_and_evictable(self, tmp_path, tiny_pair):
+        model_cache, key = self._populate(tmp_path, tiny_pair)
+        path = model_cache.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        report = artifacts.verify_cache(tmp_path)
+        assert report["corrupt"] == 1
+        assert report["evicted"] == 0
+        assert path.exists()  # audit without --evict never deletes
+        evicting = artifacts.verify_cache(tmp_path, evict=True)
+        assert evicting["corrupt"] == 1
+        assert evicting["evicted"] == 1
+        assert not path.exists()
+        assert not artifacts.digest_sidecar(path).exists()
+        clean = artifacts.verify_cache(tmp_path)
+        assert clean["corrupt"] == 0
+        assert clean["checked"] == 1
+
+    def test_missing_sidecar_is_tolerated_not_evicted(
+        self, tmp_path, tiny_pair
+    ):
+        model_cache, key = self._populate(tmp_path, tiny_pair)
+        path = model_cache.path_for(key)
+        artifacts.digest_sidecar(path).unlink()
+        report = artifacts.verify_cache(tmp_path, evict=True)
+        assert report["missing_sidecar"] == 1
+        assert report["evicted"] == 0
+        assert path.exists()
+
+    def test_defaults_to_the_active_cache_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachehome"))
+        report = artifacts.verify_cache()
+        assert report["directory"] == str(tmp_path / "cachehome")

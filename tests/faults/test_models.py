@@ -1,9 +1,12 @@
 """Tests for the fault descriptions and bit-level corruption primitives."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.core.errors import ConfigError
+from repro.faults.injector import FaultInjector
 from repro.faults.models import (
     FaultConfig,
     flip_bits,
@@ -151,3 +154,116 @@ class TestDeadMaskAndCounts:
             counts, 0.0, 1.0, np.random.default_rng(2), cap=10
         )
         assert out.sum() > 0
+
+
+class TestEndpointsConsumeNoRng:
+    """Rates of exactly 0.0 and 1.0 are deterministic *and* draw-free.
+
+    A sweep that includes the endpoints must not shift the RNG stream
+    position of whatever faults come next — the endpoint paths return
+    their deterministic result without touching the generator, which
+    we verify by comparing the next draw against a fresh generator.
+    """
+
+    @staticmethod
+    def _next_draw(rng):
+        return float(rng.random())
+
+    def test_flip_bits_ber_one_draw_free(self):
+        codes = np.arange(64, dtype=np.int64)
+        rng = np.random.default_rng(5)
+        flip_bits(codes, 1.0, rng)
+        assert self._next_draw(rng) == self._next_draw(np.random.default_rng(5))
+
+    def test_flip_bits_ber_zero_draw_free(self):
+        rng = np.random.default_rng(5)
+        flip_bits(np.arange(64, dtype=np.int64), 0.0, rng)
+        assert self._next_draw(rng) == self._next_draw(np.random.default_rng(5))
+
+    def test_stuck_at_one_rates_draw_free(self):
+        codes = np.arange(64, dtype=np.int64)
+        for zero_rate, one_rate in ((1.0, 0.0), (0.0, 1.0)):
+            rng = np.random.default_rng(6)
+            stuck_at(codes, zero_rate, one_rate, rng)
+            assert self._next_draw(rng) == self._next_draw(
+                np.random.default_rng(6)
+            )
+
+    def test_dead_mask_endpoints_draw_free(self):
+        for rate in (0.0, 1.0):
+            rng = np.random.default_rng(7)
+            sample_dead_mask(32, rate, rng)
+            assert self._next_draw(rng) == self._next_draw(
+                np.random.default_rng(7)
+            )
+
+    def test_perturb_counts_full_drop_draw_free(self):
+        counts = np.arange(1, 65, dtype=np.int64)
+        rng = np.random.default_rng(8)
+        out = perturb_counts(counts, 1.0, 0.0, rng, cap=10)
+        assert not out.any()
+        assert self._next_draw(rng) == self._next_draw(np.random.default_rng(8))
+
+
+def _flip_mask_in_child(seed, queue):
+    """Child-process probe: the XOR mask corrupt_weight_codes applies.
+
+    Module-level so spawn-started children can unpickle it.
+    """
+    config = FaultConfig(
+        weight_bit_flip_ber=0.05,
+        stuck_at_zero_rate=0.01,
+        stuck_at_one_rate=0.01,
+        seed=seed,
+    )
+    codes = np.arange(4096, dtype=np.int64) % 256
+    corrupted = FaultInjector(config).corrupt_weight_codes(codes, "determinism")
+    queue.put(np.asarray(codes ^ corrupted, dtype=np.int64).tobytes())
+
+
+class TestCrossStartMethodDeterminism:
+    """The same seed yields identical flip masks in fork and spawn workers.
+
+    Fault corruption is applied inside worker shards; the pool picks
+    fork or spawn per platform, so a seed must mean the same corruption
+    under both start methods (and in the parent).
+    """
+
+    def _mask_under(self, method, seed):
+        ctx = multiprocessing.get_context(method)
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_flip_mask_in_child, args=(seed, queue))
+        proc.start()
+        try:
+            blob = queue.get(timeout=60.0)
+        finally:
+            proc.join(timeout=60.0)
+        return np.frombuffer(blob, dtype=np.int64)
+
+    def test_same_seed_same_mask_across_fork_and_spawn(self):
+        methods = [
+            m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+        ]
+        if len(methods) < 2:
+            pytest.skip("platform lacks one of fork/spawn")
+        masks = {m: self._mask_under(m, seed=123) for m in methods}
+        # Parent-side reference computed with no multiprocessing at all.
+        config = FaultConfig(
+            weight_bit_flip_ber=0.05,
+            stuck_at_zero_rate=0.01,
+            stuck_at_one_rate=0.01,
+            seed=123,
+        )
+        codes = np.arange(4096, dtype=np.int64) % 256
+        reference = codes ^ FaultInjector(config).corrupt_weight_codes(
+            codes, "determinism"
+        )
+        for method in methods:
+            np.testing.assert_array_equal(masks[method], reference)
+        assert reference.any()  # the probe actually corrupted something
+
+    def test_different_seeds_differ(self):
+        method = multiprocessing.get_all_start_methods()[0]
+        a = self._mask_under(method, seed=123)
+        b = self._mask_under(method, seed=124)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,123 @@
+"""Numeric sentinels: corrupted plans are refused by every backend.
+
+Fuzzes random mini-programs, poisons a float constant (or the input
+batch) with NaN/Inf, and asserts that ``run_plan`` raises the typed
+:class:`NumericSentinelError` instead of returning a prediction — for
+**every** backend available in this environment (the ``backend_name``
+parametrization from the IR conftest).  The sentinel lives around the
+backend dispatch, so no engine can opt out of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import BackendUnsupported, NumericSentinelError
+from repro.ir import ops, run_plan
+from repro.ir.backends import get_backend
+from repro.ir.compile import _Builder
+from repro.ir.execute import check_plan_consts
+
+from .test_property import _random_program
+
+N_FUZZ_SEEDS = 12
+
+
+def _poison(plan, rng, value):
+    """Overwrite one element of one float const with ``value``.
+
+    Returns the poisoned const's name, or None when the plan has no
+    float constants (possible for const-free random programs).
+    """
+    float_consts = [
+        name
+        for name, array in sorted(plan.consts.items())
+        if np.asarray(array).dtype.kind == "f" and np.asarray(array).size
+    ]
+    if not float_consts:
+        return None
+    name = float_consts[int(rng.integers(len(float_consts)))]
+    poisoned = np.array(plan.consts[name], dtype=np.float64)
+    flat = poisoned.reshape(-1)
+    flat[int(rng.integers(flat.size))] = value
+    plan.consts[name] = poisoned
+    return name
+
+
+def _gemv_plan(weights):
+    """Minimal LOAD_V -> GEMV -> STORE(float) pipeline."""
+    b = _Builder("mlp")
+    b.buffer("x", "input")
+    b.emit(ops.LOAD_V, "x", transform="raw")
+    w = b.const("w", weights)
+    out = b.emit(ops.GEMV, b.buffer("h", "temp"), ("x", w))
+    b.store("scores", out, dtype="float64")
+    return b.finish(outputs=("scores",))
+
+
+class TestPoisonedConsts:
+    @pytest.mark.parametrize("seed", range(N_FUZZ_SEEDS))
+    @pytest.mark.parametrize("value", [np.nan, np.inf, -np.inf])
+    def test_every_backend_refuses_poisoned_plan(self, backend_name, seed, value):
+        plan, batch = _random_program(seed)
+        rng = np.random.default_rng(seed + 1000)
+        if _poison(plan, rng, value) is None:
+            pytest.skip("random program drew no float consts")
+        with pytest.raises(NumericSentinelError):
+            run_plan(plan, batch, backend=backend_name)
+
+    def test_clean_plan_passes_the_const_check(self):
+        plan, _batch = _random_program(0)
+        check_plan_consts(plan)  # must not raise
+
+    def test_sentinel_fires_before_backend_refusal(self):
+        """int8-tiled refuses float plans — but corruption wins.
+
+        The const check runs before dispatch, so even a backend that
+        would refuse the plan reports the *corruption*, not its own
+        unsupported-plan error: the operator sees the real problem.
+        """
+        plan = _gemv_plan(np.ones((3, 4)))
+        plan.consts["w"] = np.full((3, 4), np.nan)
+        with pytest.raises(NumericSentinelError):
+            run_plan(plan, np.ones((2, 4)), backend="int8-tiled")
+
+
+class TestPoisonedInputs:
+    @pytest.mark.parametrize("value", [np.nan, np.inf])
+    def test_non_finite_input_batch_refused(self, backend_name, value):
+        plan = _gemv_plan(np.ones((3, 4)))
+        batch = np.ones((2, 4))
+        batch[1, 2] = value
+        with pytest.raises((NumericSentinelError, BackendUnsupported)) as info:
+            run_plan(plan, batch, backend=backend_name)
+        if get_backend(backend_name).supports(plan) is None:
+            # Backends that accept the plan must report the sentinel.
+            assert info.type is NumericSentinelError
+
+
+class TestPoisonedOutputs:
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_overflow_to_inf_is_caught_at_the_output(self, backend_name):
+        """Finite consts, finite inputs — but the GEMV overflows.
+
+        1e200 * 1e200 exceeds float64 range, so the backend computes
+        Inf scores; the output sentinel must refuse them even though
+        both pre-dispatch checks passed.
+        """
+        plan = _gemv_plan(np.full((3, 4), 1e200))
+        engine = get_backend(backend_name)
+        if engine.supports(plan) is not None:
+            with pytest.raises(BackendUnsupported):
+                engine.run(plan, np.full((2, 4), 1e200))
+            return
+        with pytest.raises(NumericSentinelError, match="output"):
+            run_plan(plan, np.full((2, 4), 1e200), backend=backend_name)
+
+    def test_integer_label_outputs_are_exempt(self, backend_name):
+        """The sentinel only inspects float arrays; labels pass."""
+        plan, batch = _random_program(3)
+        engine = get_backend(backend_name)
+        if engine.supports(plan) is not None:
+            pytest.skip("backend refuses this plan shape")
+        labels = run_plan(plan, batch, backend=backend_name)
+        assert labels.dtype.kind in "iu"

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.errors import ServingError
 from repro.serve.chaos import (
+    CORRUPT_WEIGHTS,
     ERROR_BURST,
     KILL,
     LATENCY_SPIKE,
@@ -40,6 +41,7 @@ class TestEventValidation:
             {"kind": LATENCY_SPIKE, "at": 0.5, "duration": -0.1},
             {"kind": ERROR_BURST, "at": 0.5, "magnitude": 1.5},
             {"kind": WEDGE, "at": 0.5, "target": -1},
+            {"kind": CORRUPT_WEIGHTS, "at": 0.5, "magnitude": 0.0},
         ],
     )
     def test_bad_events_raise(self, kwargs):
@@ -58,6 +60,8 @@ class TestScenarioValidation:
             {"jobs": 0},
             {"duration_seconds": 0.0},
             {"concurrency": 0},
+            {"scrub_period": 0.0},
+            {"audit_rate": 1.5},
         ],
     )
     def test_bad_knobs_raise(self, kwargs):
@@ -85,6 +89,7 @@ class TestRegistry:
             "wedge",
             "error-burst",
             "deadline-storm",
+            "weight-corruption",
         }
         for scenario_id, scenario in SCENARIOS.items():
             assert scenario.validate().scenario_id == scenario_id

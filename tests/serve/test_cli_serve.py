@@ -132,7 +132,14 @@ class TestServeHealthJson:
         captured = capsys.readouterr()
         assert exit_code == 0
         doc = json.loads(captured.out)
-        assert sorted(doc) == ["learner", "live", "models", "pool", "ready"]
+        assert sorted(doc) == [
+            "integrity",
+            "learner",
+            "live",
+            "models",
+            "pool",
+            "ready",
+        ]
         assert doc["ready"] is True
         assert doc["learner"]["serving_epoch"] == 3
         assert doc["pool"]["jobs"] == 2
@@ -144,6 +151,23 @@ class TestServeHealthJson:
         doc = json.loads(capsys.readouterr().out)
         assert exit_code == 0
         assert doc["learner"] is None
+        assert doc["integrity"] is None
+
+    def test_json_carries_the_integrity_section(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        payload = _health_payload(ready=True)
+        payload["health"]["integrity"] = {
+            "audit_rate": 0.01,
+            "audit_checks": 12,
+            "audit_mismatches": 0,
+            "scrub_failures": 0,
+            "unrecoverable": False,
+        }
+        stats.write_text(json.dumps(payload))
+        exit_code = main(["serve-health", "--json", str(stats)])
+        doc = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert doc["integrity"]["audit_checks"] == 12
 
     def test_json_unready_still_exits_one(self, capsys, tmp_path):
         stats = tmp_path / "stats.json"
@@ -152,3 +176,108 @@ class TestServeHealthJson:
         doc = json.loads(capsys.readouterr().out)
         assert exit_code == 1
         assert doc["ready"] is False
+
+
+class TestLoadtestIntegrityFlags:
+    @pytest.mark.parametrize("rate", ["-0.1", "1.5"])
+    def test_audit_rate_out_of_range_exits_usage(self, capsys, rate):
+        exit_code = main(
+            ["loadtest", "--model", "mlp", "--audit-rate", rate]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_USAGE
+        assert "audit-rate" in captured.err
+
+    def test_non_positive_scrub_period_exits_usage(self, capsys):
+        exit_code = main(
+            ["loadtest", "--model", "mlp", "--scrub-period", "0"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_USAGE
+        assert "scrub-period" in captured.err
+
+    def test_flags_parse_before_scenario_check(self, capsys):
+        """Valid integrity flags reach the scenario short-circuit."""
+        exit_code = main(
+            [
+                "loadtest",
+                "--model",
+                "mlp",
+                "--audit-rate",
+                "0.01",
+                "--scrub-period",
+                "0.5",
+                "--chaos",
+                "meteor",
+            ]
+        )
+        assert exit_code == EXIT_USAGE
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+
+class TestCacheVerify:
+    def _flip_entry(self, root):
+        entries = sorted(root.glob("*.npz"))
+        assert entries, "no cache entries to corrupt"
+        path = entries[0]
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        return path
+
+    def _seed_cache(self, root):
+        import numpy as np
+
+        from repro.core.artifacts import ArrayBundleCache
+
+        ArrayBundleCache(root).get_or_compute(
+            "k", lambda: {"a": np.arange(3.0)}
+        )
+        return root / "sweeps"
+
+    def test_empty_cache_exits_zero(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        exit_code = main(["cache", "verify"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "checked 0 entry(ies)" in captured.out
+
+    def test_corrupt_entry_exits_one_and_is_listed(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        subdir = self._seed_cache(tmp_path)
+        self._flip_entry(subdir)
+        exit_code = main(["cache", "verify"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "1 corrupt" in captured.out
+        assert "corrupt" in captured.out and "sweeps/" in captured.out
+
+    def test_evict_then_reverify_exits_zero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        subdir = self._seed_cache(tmp_path)
+        path = self._flip_entry(subdir)
+        assert main(["cache", "verify", "--evict"]) == 1
+        assert "[evicted]" in capsys.readouterr().out
+        assert not path.exists()
+        assert main(["cache", "verify"]) == 0
+
+    def test_json_report_has_stable_keys(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self._seed_cache(tmp_path)
+        exit_code = main(["cache", "verify", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert sorted(doc) == [
+            "checked",
+            "corrupt",
+            "directory",
+            "entries",
+            "evicted",
+            "missing_sidecar",
+            "verified",
+        ]
+        assert doc["checked"] == 1 and doc["verified"] == 1

@@ -7,8 +7,8 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.errors import ServingError
-from repro.serve.shm import SharedArrayBundle
+from repro.core.errors import IntegrityError, ServingError
+from repro.serve.shm import SharedArrayBundle, array_digest
 
 
 @pytest.fixture()
@@ -66,9 +66,78 @@ class TestRoundTrip:
             # The spec must stay tiny: it crosses the process boundary
             # on every worker spawn.
             assert len(blob) < 4096
-            name, layout = pickle.loads(blob)
+            name, layout, digests = pickle.loads(blob)
             assert name == bundle.name
             assert layout == bundle.layout
+            assert digests == bundle.digests
+
+
+class TestIntegrity:
+    def test_create_records_a_digest_per_array(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            assert set(bundle.digests) == set(arrays)
+            for key, source in arrays.items():
+                assert bundle.digests[key] == array_digest(source)
+
+    def test_verify_clean_returns_empty(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            assert bundle.verify() == []
+            assert bundle.verify(keys=["weights"]) == []
+
+    def test_verify_detects_a_single_bit_flip(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            raw = bundle._writable("weights").view(np.uint8).reshape(-1)
+            raw[7] ^= 0x10
+            assert bundle.verify() == ["weights"]
+            assert bundle.verify(keys=["labels"]) == []
+            raw[7] ^= 0x10  # flip back: segment is clean again
+            assert bundle.verify() == []
+
+    def test_attach_refuses_a_corrupt_segment(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            bundle._writable("thresholds").view(np.uint8).reshape(-1)[0] ^= 0x01
+            with pytest.raises(IntegrityError):
+                SharedArrayBundle.attach(*bundle.spec(), untrack=False)
+
+    def test_attach_without_digests_skips_verification(self, arrays):
+        """Legacy two-part specs still attach (unverified)."""
+        with SharedArrayBundle.create(arrays) as bundle:
+            bundle._writable("thresholds").view(np.uint8).reshape(-1)[0] ^= 0x01
+            attached = SharedArrayBundle.attach(
+                bundle.name, bundle.layout, untrack=False
+            )
+            try:
+                assert attached.verify() == []  # no digests -> nothing to check
+            finally:
+                attached.close()
+
+    def test_restore_repairs_corruption_in_place(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            pristine = np.array(bundle["weights"])
+            bundle._writable("weights").view(np.uint8).reshape(-1)[3] ^= 0x80
+            assert bundle.verify() == ["weights"]
+            bundle.restore("weights", pristine)
+            assert bundle.verify() == []
+            np.testing.assert_array_equal(bundle["weights"], pristine)
+
+    def test_restore_refuses_unverified_bytes(self, arrays):
+        with SharedArrayBundle.create(arrays) as bundle:
+            bogus = np.array(bundle["weights"])
+            bogus[0, 0] += 1.0
+            with pytest.raises(IntegrityError):
+                bundle.restore("weights", bogus)
+            # The refusal must not have touched the segment.
+            assert bundle.verify() == []
+
+    def test_corruption_visible_through_attached_views(self, arrays):
+        """A flip in the creator's segment is seen by every attacher."""
+        with SharedArrayBundle.create(arrays) as bundle:
+            attached = SharedArrayBundle.attach(*bundle.spec(), untrack=False)
+            try:
+                bundle._writable("labels").view(np.uint8).reshape(-1)[0] ^= 0x02
+                assert attached.verify() == ["labels"]
+            finally:
+                attached.close()
 
 
 class TestLifecycle:
